@@ -1,0 +1,40 @@
+# Standard developer entry points. Everything is stdlib Go; no tools
+# beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz cover report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Regenerates every paper table and figure with cost measurement.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Ten-second fuzzing passes over the parsing surfaces.
+fuzz:
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 10s ./internal/dataset/
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 10s ./internal/dataset/
+	$(GO) test -fuzz FuzzClassifyShape -fuzztime 10s ./internal/core/
+
+cover:
+	$(GO) test -cover ./...
+
+# Full reproduction report as standalone HTML.
+report:
+	$(GO) run ./cmd/resil report -o resilience-report.html
+
+clean:
+	rm -f resilience-report.html test_output.txt bench_output.txt

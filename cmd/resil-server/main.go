@@ -1,0 +1,72 @@
+// Command resil-server runs the resilience-modeling HTTP API: fit
+// models, predict recovery times, and compute interval metrics over
+// JSON. See internal/server for the endpoint reference.
+//
+// Usage:
+//
+//	resil-server -addr :8080
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to 10 seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"resilience/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("resil-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(*addr)
+
+	// Serve until a termination signal arrives, then drain.
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("resil-server listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	case sig := <-stop:
+		log.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		// Collect the listener goroutine's exit so it never outlives main.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	}
+}

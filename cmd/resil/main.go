@@ -1,0 +1,600 @@
+// Command resil is the command-line front end for the predictive
+// resilience modeling library: it fits models to performance series,
+// predicts recovery times, computes interval-based resilience metrics,
+// and regenerates every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	resil datasets                               list the built-in recession datasets
+//	resil show -dataset 1990-93                  dump a dataset as CSV
+//	resil fit -model competing-risks -dataset 1990-93
+//	resil predict -model quadratic -dataset 2001-05 -level 1.0
+//	resil metrics -model weibull-exp -dataset 1990-93
+//	resil table 1|2|3|4                          reproduce a paper table
+//	resil figure 1|2|3|4|5|6                     reproduce a paper figure
+//	resil generate -shape V -months 48           emit a synthetic recession as CSV
+//
+// Data for -dataset may also be a CSV file path with time,value rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"resilience/internal/core"
+	"resilience/internal/dataset"
+	"resilience/internal/experiment"
+	"resilience/internal/monitor"
+	"resilience/internal/report"
+	"resilience/internal/timeseries"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "resil:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "datasets":
+		return cmdDatasets()
+	case "show":
+		return cmdShow(args[1:])
+	case "fit":
+		return cmdFit(args[1:])
+	case "predict":
+		return cmdPredict(args[1:])
+	case "metrics":
+		return cmdMetrics(args[1:])
+	case "table":
+		return cmdExperiment("table", args[1:])
+	case "figure":
+		return cmdExperiment("fig", args[1:])
+	case "ext":
+		return cmdExperiment("ext-", args[1:])
+	case "select":
+		return cmdSelect(args[1:])
+	case "bootstrap":
+		return cmdBootstrap(args[1:])
+	case "watch":
+		return cmdWatch(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "gallery":
+		return cmdGallery()
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `resil - predictive resilience modeling
+
+subcommands:
+  datasets            list built-in recession datasets
+  show                dump a dataset as CSV (-dataset)
+  fit                 fit a model (-model, -dataset)
+  predict             predict recovery time (-model, -dataset, -level)
+  metrics             interval-based resilience metrics (-model, -dataset)
+  table N             reproduce paper table N (1-4)
+  figure N            reproduce paper figure N (1-6)
+  ext NAME            run an extension experiment (composite, selection)
+  select              rank all models on a dataset (-dataset, -criterion)
+  bootstrap           residual-bootstrap intervals (-model, -dataset)
+  watch               replay a series through the online tracker (-dataset)
+  report              render all tables+figures into one HTML file (-o)
+  gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
+  generate            emit a synthetic recession curve (-shape, -months)
+
+models: quadratic, competing-risks, exp-bathtub, exp-exp, weibull-exp,
+        exp-weibull, weibull-weibull
+`)
+}
+
+// resolveModel maps a CLI name to a Model.
+func resolveModel(name string) (core.Model, error) {
+	switch strings.ToLower(name) {
+	case "quadratic", "quad":
+		return core.QuadraticModel{}, nil
+	case "competing-risks", "competing", "cr", "hjorth":
+		return core.CompetingRisksModel{}, nil
+	case "exp-bathtub":
+		return core.ExpBathtubModel{}, nil
+	}
+	aliases := map[string]string{
+		"exp-exp": "exp-exp", "wei-exp": "weibull-exp", "weibull-exp": "weibull-exp",
+		"exp-wei": "exp-weibull", "exp-weibull": "exp-weibull",
+		"wei-wei": "weibull-weibull", "weibull-weibull": "weibull-weibull",
+	}
+	canonical, ok := aliases[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+	for _, m := range core.StandardMixtures() {
+		if m.Name() == canonical {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}
+
+// resolveSeries loads a named built-in dataset or a CSV file path.
+func resolveSeries(name string) (*timeseries.Series, string, error) {
+	if rec, err := dataset.ByName(name); err == nil {
+		return rec.Series, rec.Name, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, "", fmt.Errorf("dataset %q is not built in and not a readable file: %w", name, err)
+	}
+	defer f.Close()
+	s, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("parse %s: %w", name, err)
+	}
+	return s, name, nil
+}
+
+func cmdDatasets() error {
+	recs, err := dataset.Recessions()
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("name", "shape", "months", "trough", "terminal", "description")
+	for _, r := range recs {
+		_, _, minV := r.Series.Min()
+		desc := r.Description
+		if len(desc) > 60 {
+			desc = desc[:57] + "..."
+		}
+		tbl.MustAddRow(r.Name, r.Shape, fmt.Sprintf("%d", r.Months),
+			fmt.Sprintf("%.4f", minV),
+			fmt.Sprintf("%.4f", r.Series.Value(r.Series.Len()-1)), desc)
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	name := fs.String("dataset", "", "built-in dataset name or CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("show: -dataset required")
+	}
+	s, _, err := resolveSeries(*name)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteCSV(os.Stdout, s)
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	modelName := fs.String("model", "competing-risks", "model name")
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	trainFrac := fs.Float64("train", 0.9, "training fraction for validation")
+	alpha := fs.Float64("alpha", 0.05, "CI significance level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("fit: -dataset required")
+	}
+	m, err := resolveModel(*modelName)
+	if err != nil {
+		return err
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	v, err := core.Validate(m, data, core.ValidateConfig{TrainFraction: *trainFrac, Alpha: *alpha})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s fit to %s (train %d / test %d)\n\n",
+		m.Name(), label, v.Train.Len(), v.Test.Len())
+	ptbl := report.NewTable("parameter", "estimate")
+	for i, pname := range m.ParamNames() {
+		ptbl.MustAddRow(pname, fmt.Sprintf("%.8g", v.Fit.Params[i]))
+	}
+	fmt.Print(ptbl.String())
+	gtbl := report.NewTable("measure", "value")
+	gtbl.MustAddRow("SSE", report.F(v.GoF.SSE))
+	gtbl.MustAddRow("PMSE", report.F(v.GoF.PMSE))
+	gtbl.MustAddRow("R2", report.F(v.GoF.R2))
+	gtbl.MustAddRow("R2adj", report.F(v.GoF.R2Adj))
+	gtbl.MustAddRow("AIC", fmt.Sprintf("%.4f", v.GoF.AIC))
+	gtbl.MustAddRow("BIC", fmt.Sprintf("%.4f", v.GoF.BIC))
+	gtbl.MustAddRow("EC", report.Pct(v.EC))
+	fmt.Println()
+	fmt.Print(gtbl.String())
+	if diag, err := core.DiagnoseResiduals(v.Fit); err == nil {
+		fmt.Println()
+		fmt.Println("residual diagnostics:", diag)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	modelName := fs.String("model", "competing-risks", "model name")
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	level := fs.Float64("level", 1.0, "performance level to recover to")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("predict: -dataset required")
+	}
+	m, err := resolveModel(*modelName)
+	if err != nil {
+		return err
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	fit, err := core.Fit(m, data, core.FitConfig{})
+	if err != nil {
+		return err
+	}
+	_, horizon := data.Span()
+	td, err := core.ModelMinimum(fit, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s, model %s\n", label, m.Name())
+	fmt.Printf("predicted time of minimum performance: t = %.2f (level %.5f)\n",
+		td, fit.Eval(td))
+	tr, err := core.RecoveryTime(fit, *level, horizon)
+	if err != nil {
+		return fmt.Errorf("recovery to %.4f: %w", *level, err)
+	}
+	fmt.Printf("predicted recovery to %.4f: t = %.2f\n", *level, tr)
+	return nil
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	modelName := fs.String("model", "competing-risks", "model name")
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	alphaW := fs.Float64("weight", 0.5, "Eq. 21 weight in (0,1)")
+	continuous := fs.Bool("continuous", false, "use continuous integration instead of the paper's discrete sums")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("metrics: -dataset required")
+	}
+	m, err := resolveModel(*modelName)
+	if err != nil {
+		return err
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	v, err := core.Validate(m, data, core.ValidateConfig{})
+	if err != nil {
+		return err
+	}
+	cfg := core.MetricsConfig{Alpha: *alphaW}
+	if *continuous {
+		cfg.Mode = core.Continuous
+	}
+	rows, err := core.CompareMetrics(v, data, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("interval-based resilience metrics: %s on %s\n\n", m.Name(), label)
+	tbl := report.NewTable("metric", "actual", "predicted", "rel. error")
+	for _, r := range rows {
+		tbl.MustAddRow(r.Kind.String(), report.F(r.Actual), report.F(r.Predicted), report.F(r.RelErr))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func cmdExperiment(prefix string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%s: experiment name or number required (e.g. `resil %s 1`)", prefix, prefix)
+	}
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	svgPath := fs.String("svg", "", "also write the figure as SVG to this path")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	res, err := experiment.Run(prefix + args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Title)
+	fmt.Println()
+	fmt.Println(res.Text)
+	if *svgPath != "" {
+		if res.Plot == nil {
+			return fmt.Errorf("experiment %s has no figure to export", res.ID)
+		}
+		if err := os.WriteFile(*svgPath, []byte(res.Plot.SVG(0, 0)), 0o644); err != nil {
+			return fmt.Errorf("write svg: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	shape := fs.String("shape", "V", "curve shape: V, U, W, or L")
+	months := fs.Int("months", 48, "number of monthly observations")
+	depth := fs.Float64("depth", 0.03, "trough depth as a fraction")
+	noise := fs.Float64("noise", 0.001, "observation noise standard deviation")
+	seed := fs.Uint64("seed", 7, "noise seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := specForShape(*shape, *months, *depth, *noise, *seed)
+	if err != nil {
+		return err
+	}
+	s, err := dataset.Generate(spec)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteCSV(os.Stdout, s)
+}
+
+// specForShape builds a canonical Spec per letter shape.
+func specForShape(shape string, months int, depth, noise float64, seed uint64) (dataset.Spec, error) {
+	m := float64(months)
+	base := dataset.Spec{Months: months, Noise: noise, Seed: seed, EndLevel: 1.01}
+	switch strings.ToUpper(shape) {
+	case "V":
+		base.Dips = []dataset.Dip{{Start: 0, TTrough: m * 0.15, TRecover: m * 0.45, Depth: depth,
+			DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1}}
+	case "U":
+		base.Dips = []dataset.Dip{{Start: 0, TTrough: m * 0.45, TRecover: m * 0.95, Depth: depth,
+			DeclineA: 1.8, DeclineB: 1.6, RecoverA: 1.6, RecoverB: 1.4}}
+	case "W":
+		base.Dips = []dataset.Dip{
+			{Start: 0, TTrough: m * 0.1, TRecover: m * 0.3, Depth: depth,
+				DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1, RecoverTo: 1.003},
+			{Start: m * 0.35, TTrough: m * 0.65, TRecover: m * 0.95, Depth: depth * 1.5,
+				DeclineA: 1.5, DeclineB: 1.3, RecoverA: 1.4, RecoverB: 1.2},
+		}
+	case "L":
+		base.EndLevel = 1 - depth*0.3
+		base.Dips = []dataset.Dip{{Start: 0, TTrough: math.Max(2, m*0.08), TRecover: m * 0.95, Depth: depth,
+			DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.55, RecoverB: 2.8}}
+	default:
+		return dataset.Spec{}, fmt.Errorf("unknown shape %q (want V, U, W, or L)", shape)
+	}
+	return base, nil
+}
+
+func cmdSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ContinueOnError)
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	criterion := fs.String("criterion", "pmse", "ranking criterion: pmse, aic, bic, or cv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("select: -dataset required")
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	crit, err := resolveCriterion(*criterion)
+	if err != nil {
+		return err
+	}
+	candidates := []core.Model{
+		core.QuadraticModel{},
+		core.CompetingRisksModel{},
+		core.ExpBathtubModel{},
+	}
+	for _, m := range core.StandardMixtures() {
+		candidates = append(candidates, m)
+	}
+	sel, err := core.SelectModel(candidates, data, core.SelectConfig{Criterion: crit})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model selection on %s, ranked by %s\n\n", label, crit)
+	tbl := report.NewTable("rank", "model", "PMSE", "r2adj", "AIC", "BIC")
+	for i, s := range sel.Scores {
+		tbl.MustAddRow(fmt.Sprintf("%d", i+1), s.Model.Name(),
+			report.F(s.Validation.GoF.PMSE), report.F(s.Validation.GoF.R2Adj),
+			fmt.Sprintf("%.2f", s.Validation.GoF.AIC),
+			fmt.Sprintf("%.2f", s.Validation.GoF.BIC))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func resolveCriterion(name string) (core.SelectionCriterion, error) {
+	switch strings.ToLower(name) {
+	case "pmse":
+		return core.ByPMSE, nil
+	case "aic":
+		return core.ByAIC, nil
+	case "bic":
+		return core.ByBIC, nil
+	case "cv":
+		return core.ByCV, nil
+	default:
+		return 0, fmt.Errorf("unknown criterion %q (want pmse, aic, bic, or cv)", name)
+	}
+}
+
+func cmdBootstrap(args []string) error {
+	fs := flag.NewFlagSet("bootstrap", flag.ContinueOnError)
+	modelName := fs.String("model", "competing-risks", "model name")
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	replicates := fs.Int("replicates", 200, "bootstrap replicates")
+	alpha := fs.Float64("alpha", 0.05, "significance level")
+	seed := fs.Uint64("seed", 1, "resampler seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("bootstrap: -dataset required")
+	}
+	m, err := resolveModel(*modelName)
+	if err != nil {
+		return err
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	fit, err := core.Fit(m, data, core.FitConfig{})
+	if err != nil {
+		return err
+	}
+	bs, err := core.Bootstrap(fit, core.BootstrapConfig{
+		Replicates: *replicates, Alpha: *alpha, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("residual bootstrap: %s on %s (%d/%d replicates converged)\n\n",
+		m.Name(), label, bs.Succeeded, bs.Requested)
+	tbl := report.NewTable("parameter", "estimate", "lower", "median", "upper")
+	for i, name := range m.ParamNames() {
+		tbl.MustAddRow(name,
+			fmt.Sprintf("%.8g", fit.Params[i]),
+			fmt.Sprintf("%.8g", bs.ParamLower[i]),
+			fmt.Sprintf("%.8g", bs.ParamMedian[i]),
+			fmt.Sprintf("%.8g", bs.ParamUpper[i]))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+// cmdReport renders the full paper reproduction — every table and
+// figure — into one standalone HTML file with embedded SVG figures.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	out := fs.String("o", "resilience-report.html", "output HTML path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc := report.NewHTMLReport("Predictive Resilience Modeling — reproduction report")
+	doc.AddParagraph("Generated by resil report: every table and figure of the " +
+		"paper's evaluation, recomputed from the reconstructed datasets. " +
+		"See EXPERIMENTS.md for paper-vs-measured commentary.")
+	for _, id := range experiment.IDs() {
+		res, err := experiment.Run(id)
+		if err != nil {
+			return fmt.Errorf("report %s: %w", id, err)
+		}
+		doc.AddHeading(res.Title)
+		if res.Plot != nil {
+			doc.AddPlot(res.Plot, 760, 480)
+		} else {
+			doc.AddPre(res.Text)
+		}
+	}
+	if err := os.WriteFile(*out, []byte(doc.String()), 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdWatch replays a series through the online disruption tracker,
+// printing the evolving phase and recovery prediction after each
+// observation — the emergency-management workflow the paper motivates.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	modelName := fs.String("model", "competing-risks", "model refit on each update")
+	slack := fs.Float64("slack", 0.001, "recovery slack fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("watch: -dataset required")
+	}
+	m, err := resolveModel(*modelName)
+	if err != nil {
+		return err
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	tracker := monitor.NewTracker(monitor.Config{Model: m, RecoverySlack: *slack})
+	fmt.Printf("watching %s with %s refits\n\n", label, m.Name())
+	tbl := report.NewTable("t", "value", "phase", "pred. minimum", "pred. recovery")
+	for i := 0; i < data.Len(); i++ {
+		up, err := tracker.Observe(data.Time(i), data.Value(i))
+		if err != nil {
+			return err
+		}
+		minCol, recCol := "-", "-"
+		if !math.IsNaN(up.PredictedMinimumTime) {
+			minCol = fmt.Sprintf("%.3f @ %.1f", up.PredictedMinimumValue, up.PredictedMinimumTime)
+		}
+		if !math.IsNaN(up.PredictedRecoveryTime) {
+			recCol = fmt.Sprintf("%.1f", up.PredictedRecoveryTime)
+		}
+		tbl.MustAddRow(fmt.Sprintf("%.0f", up.Time), fmt.Sprintf("%.4f", up.Value),
+			up.Phase.String(), minCol, recCol)
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nfinal phase: %s\n", tracker.Phase())
+	return nil
+}
+
+// cmdGallery prints the canonical letter-shape gallery with each curve's
+// automatic classification — a quick reference for the V/U/W/L/J/K
+// vocabulary the paper uses.
+func cmdGallery() error {
+	entries, err := dataset.Gallery()
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("shape", "classified", "trough", "terminal", "description")
+	for _, e := range entries {
+		_, _, minV := e.Series.Min()
+		tbl.MustAddRow(e.Shape,
+			string(core.ClassifyShape(e.Series.Values())),
+			fmt.Sprintf("%.4f", minV),
+			fmt.Sprintf("%.4f", e.Series.Value(e.Series.Len()-1)),
+			e.Description)
+	}
+	// K needs a pair of sector curves.
+	recovering, depressed, err := dataset.KShapedPair()
+	if err != nil {
+		return err
+	}
+	tbl.MustAddRow("K",
+		string(core.ClassifyShapePair(recovering.Values(), depressed.Values())),
+		"-", "-",
+		"Divergent sector recoveries; see dataset.KShapedPair.")
+	fmt.Print(tbl.String())
+	return nil
+}

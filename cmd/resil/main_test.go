@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResolveModel(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"quadratic", "quadratic"},
+		{"quad", "quadratic"},
+		{"competing-risks", "competing-risks"},
+		{"CR", "competing-risks"},
+		{"hjorth", "competing-risks"},
+		{"exp-bathtub", "exp-bathtub"},
+		{"exp-exp", "exp-exp"},
+		{"wei-exp", "weibull-exp"},
+		{"WEIBULL-EXP", "weibull-exp"},
+		{"exp-wei", "exp-weibull"},
+		{"wei-wei", "weibull-weibull"},
+	}
+	for _, tt := range tests {
+		m, err := resolveModel(tt.give)
+		if err != nil {
+			t.Errorf("resolveModel(%q): %v", tt.give, err)
+			continue
+		}
+		if m.Name() != tt.want {
+			t.Errorf("resolveModel(%q) = %s, want %s", tt.give, m.Name(), tt.want)
+		}
+	}
+	if _, err := resolveModel("nope"); err == nil {
+		t.Error("unknown model: want error")
+	}
+}
+
+func TestResolveSeriesBuiltinAndFile(t *testing.T) {
+	s, label, err := resolveSeries("1990-93")
+	if err != nil || s.Len() != 48 || label != "1990-93" {
+		t.Errorf("builtin: len %d, label %q, err %v", s.Len(), label, err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "series.csv")
+	if err := os.WriteFile(path, []byte("time,value\n0,1\n1,0.98\n2,0.99\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = resolveSeries(path)
+	if err != nil || s.Len() != 3 {
+		t.Errorf("file: len %d, err %v", s.Len(), err)
+	}
+
+	if _, _, err := resolveSeries("not-a-dataset-or-file"); err == nil {
+		t.Error("missing source: want error")
+	}
+}
+
+func TestSpecForShape(t *testing.T) {
+	for _, shape := range []string{"V", "U", "W", "L", "v", "u"} {
+		spec, err := specForShape(shape, 48, 0.03, 0.001, 7)
+		if err != nil {
+			t.Errorf("shape %q: %v", shape, err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("shape %q spec invalid: %v", shape, err)
+		}
+		if strings.ToUpper(shape) == "W" && len(spec.Dips) != 2 {
+			t.Errorf("W spec has %d dips", len(spec.Dips))
+		}
+	}
+	if _, err := specForShape("Z", 48, 0.03, 0.001, 7); err == nil {
+		t.Error("unknown shape: want error")
+	}
+}
+
+func TestRunSubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs model fits")
+	}
+	figPath := filepath.Join(t.TempDir(), "fig.svg")
+	cases := [][]string{
+		{"datasets"},
+		{"show", "-dataset", "2020-21"},
+		{"fit", "-model", "quadratic", "-dataset", "1990-93"},
+		{"predict", "-model", "competing-risks", "-dataset", "1990-93"},
+		{"metrics", "-model", "wei-exp", "-dataset", "1990-93"},
+		{"generate", "-shape", "W", "-months", "36"},
+		{"figure", "1", "-svg", figPath},
+		{"report", "-o", filepath.Join(filepath.Dir(figPath), "report.html")},
+		{"select", "-dataset", "2020-21", "-criterion", "aic"},
+		{"watch", "-dataset", "2020-21", "-slack", "0.015"},
+		{"bootstrap", "-model", "quadratic", "-dataset", "2020-21", "-replicates", "30"},
+		{"gallery"},
+		{"help"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Errorf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"fit"},                     // missing -dataset
+		{"predict"},                 // missing -dataset
+		{"metrics"},                 // missing -dataset
+		{"show"},                    // missing -dataset
+		{"table"},                   // missing number
+		{"table", "9"},              // unknown table
+		{"generate", "-shape", "Q"}, // unknown shape
+		{"select"},                  // missing -dataset
+		{"select", "-dataset", "1990-93", "-criterion", "bogus"},
+		{"bootstrap"}, // missing -dataset
+		{"ext"},       // missing name
+		{"fit", "-model", "bogus", "-dataset", "1990-93"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

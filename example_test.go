@@ -1,0 +1,85 @@
+package resilience_test
+
+import (
+	"fmt"
+	"math"
+
+	"resilience"
+)
+
+// incident is a small deterministic V-shaped performance series used by
+// the runnable documentation examples.
+func incident() *resilience.Series {
+	vals := make([]float64, 24)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.05*math.Sin(math.Pi*math.Min(x/18, 1))
+	}
+	s, err := resilience.SeriesFromValues(vals)
+	if err != nil {
+		panic(err) // static data cannot fail
+	}
+	return s
+}
+
+// ExampleFit fits the competing-risks bathtub model to a disruption
+// curve and reports when performance is predicted to bottom out.
+func ExampleFit() {
+	fit, err := resilience.Fit(resilience.CompetingRisks(), incident(), resilience.FitConfig{})
+	if err != nil {
+		fmt.Println("fit:", err)
+		return
+	}
+	td, err := resilience.ModelMinimum(fit, 24)
+	if err != nil {
+		fmt.Println("minimum:", err)
+		return
+	}
+	fmt.Printf("minimum performance %.2f at month %.0f\n", fit.Eval(td), td)
+	// Output:
+	// minimum performance 0.96 at month 9
+}
+
+// ExampleClassifyShape labels a resilience curve with the letter shape
+// economists use for recessions.
+func ExampleClassifyShape() {
+	sharpDrop := []float64{1, 0.93, 0.86, 0.87, 0.88, 0.89, 0.90, 0.91, 0.92, 0.93, 0.94, 0.95}
+	fmt.Println(resilience.ClassifyShape(sharpDrop))
+	// Output:
+	// L
+}
+
+// ExampleRecoveryTime predicts when a disrupted system regains a target
+// performance level.
+func ExampleRecoveryTime() {
+	fit, err := resilience.Fit(resilience.Quadratic(), incident(), resilience.FitConfig{})
+	if err != nil {
+		fmt.Println("fit:", err)
+		return
+	}
+	tr, err := resilience.RecoveryTime(fit, 0.99, 48)
+	if err != nil {
+		fmt.Println("recovery:", err)
+		return
+	}
+	fmt.Printf("recovers to 0.99 near month %.0f\n", tr)
+	// Output:
+	// recovers to 0.99 near month 19
+}
+
+// ExampleActualMetrics computes the paper's interval-based resilience
+// metrics directly from observed data.
+func ExampleActualMetrics() {
+	data := incident()
+	w := resilience.Window{TH: 0, TR: 23, TD: 9, T0: 0, Nominal: 1, PMin: 0.95}
+	set, err := resilience.ActualMetrics(data, w, resilience.MetricsConfig{Mode: resilience.Continuous})
+	if err != nil {
+		fmt.Println("metrics:", err)
+		return
+	}
+	fmt.Printf("average performance preserved: %.3f\n", set[resilience.AvgPreserved])
+	fmt.Printf("robust to %.0f%% of nominal\n", 100*w.PMin/w.Nominal)
+	// Output:
+	// average performance preserved: 0.975
+	// robust to 95% of nominal
+}

@@ -1,0 +1,109 @@
+// Cybersecurity models the cyber-resilience scenario of Sec. II: a DDoS
+// attack degrades a service's request-handling capacity; mitigation and
+// autoscaling restore it, eventually above the pre-attack baseline
+// (computational systems can reach improved performance). A mixture
+// model with a Weibull degradation process and exponential recovery is
+// fit to the first hours of telemetry to forecast the rest of the
+// incident.
+//
+// Run with:
+//
+//	go run ./examples/cybersecurity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"resilience"
+)
+
+func main() {
+	// Normalized serving capacity sampled every 10 minutes for 8 hours
+	// (49 points). The attack ramps over ~90 minutes; mitigation engages
+	// after the first hour and overshoots baseline via autoscaling.
+	observed := capacityTrace(49)
+	times := make([]float64, len(observed))
+	for i := range times {
+		times[i] = float64(i) / 6 // hours
+	}
+	data, err := resilience.NewSeries(times, observed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare all four standard mixtures plus a custom Gamma-LogNormal
+	// variant; pick the best by PMSE on a held-out tail.
+	models := []resilience.Model{}
+	for _, m := range resilience.StandardMixtures() {
+		models = append(models, m)
+	}
+	custom, err := resilience.NewMixture(resilience.GammaCDF(), resilience.LogNormalCDF(), resilience.LogTrend())
+	if err != nil {
+		log.Fatal(err)
+	}
+	models = append(models, custom)
+
+	var (
+		best     *resilience.Validation
+		bestName string
+	)
+	fmt.Println("model               PMSE          r2adj")
+	fmt.Println("------------------------------------------")
+	for _, m := range models {
+		v, err := resilience.Validate(m, data, resilience.ValidateConfig{TrainFraction: 0.8})
+		if err != nil {
+			log.Fatalf("%s: %v", m.Name(), err)
+		}
+		fmt.Printf("%-18s  %.9f  %+.5f\n", m.Name(), v.GoF.PMSE, v.GoF.R2Adj)
+		if best == nil || v.GoF.PMSE < best.GoF.PMSE {
+			best, bestName = v, m.Name()
+		}
+	}
+	fmt.Printf("\nbest forecaster: %s\n", bestName)
+
+	// Incident timeline predictions from the winning fit.
+	td, err := resilience.ModelMinimum(best.Fit, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst degradation: %.0f%% capacity at %.1f h\n", 100*best.Fit.Eval(td), td)
+	tr, err := resilience.RecoveryTime(best.Fit, 1.0, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted return to full capacity: %.1f h after attack onset\n", tr)
+
+	// Mission impact: average capacity preserved during the attack
+	// window, the cyber-resilience measure the paper cites.
+	w := resilience.Window{TH: 0, TR: 8, TD: td, T0: 0, Nominal: 1, PMin: best.Fit.Eval(td)}
+	set, err := resilience.PredictedMetrics(best.Fit, w, resilience.MetricsConfig{Mode: resilience.Continuous})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("average capacity preserved over the incident: %.1f%%\n",
+		100*set[resilience.AvgPreserved])
+	fmt.Printf("normalized capacity lost: %.2f%%\n",
+		100*set[resilience.NormalizedAvgLost])
+}
+
+// capacityTrace synthesizes the incident telemetry: Weibull-shaped
+// capacity loss to ~55% at 1.5 h, then exponential-like mitigation that
+// settles ~6% above baseline once autoscaling spreads the load.
+func capacityTrace(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		h := float64(i) / 6
+		attack := 0.45 * (1 - math.Exp(-math.Pow(h/1.0, 2.2)))
+		var mitigation float64
+		if h > 1 {
+			mitigation = 0.51 * (1 - math.Exp(-(h-1)/1.8))
+		}
+		v := 1 - attack + mitigation
+		v += 0.006 * math.Sin(7*h) // load-balancer telemetry jitter
+		out[i] = v
+	}
+	out[0] = 1
+	return out
+}

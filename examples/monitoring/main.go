@@ -1,0 +1,55 @@
+// Monitoring replays the COVID-era employment collapse through the
+// online tracker, showing the workflow the paper's introduction
+// motivates: an analyst watching the incident unfold gets a recovery
+// estimate that sharpens month by month, long before the recovery
+// actually completes.
+//
+// Run with:
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"resilience"
+	"resilience/internal/dataset"
+)
+
+func main() {
+	rec, err := dataset.ByName("2020-21")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %s month by month through the online tracker\n\n", rec.Name)
+
+	tracker := resilience.NewTracker(resilience.TrackerConfig{
+		// The 2020 collapse never regains the exact peak in-window;
+		// consider 98.5%% of baseline "recovered" for operational purposes.
+		RecoverySlack: 0.015,
+	})
+
+	fmt.Println("month  index    phase        predicted minimum       predicted recovery")
+	fmt.Println("---------------------------------------------------------------------------")
+	s := rec.Series
+	for i := 0; i < s.Len(); i++ {
+		up, err := tracker.Observe(s.Time(i), s.Value(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		minCol, recCol := "-", "-"
+		if !math.IsNaN(up.PredictedMinimumTime) {
+			minCol = fmt.Sprintf("%.3f @ month %.1f", up.PredictedMinimumValue, up.PredictedMinimumTime)
+		}
+		if !math.IsNaN(up.PredictedRecoveryTime) {
+			recCol = fmt.Sprintf("month %.1f", up.PredictedRecoveryTime)
+		}
+		fmt.Printf("%5.0f  %.4f  %-11s  %-22s  %s\n",
+			up.Time, up.Value, up.Phase, minCol, recCol)
+	}
+
+	fmt.Printf("\nfinal phase: %s after %d observations\n",
+		tracker.Phase(), len(tracker.History()))
+}

@@ -1,0 +1,59 @@
+// Quickstart: fit both bathtub-shaped resilience models to a short
+// performance series and predict when the system returns to its nominal
+// level.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilience"
+)
+
+func main() {
+	// A system's normalized performance, sampled monthly from the moment
+	// a disruption hits (t = 0 is the pre-disruption peak, value 1.0).
+	observed := []float64{
+		1.000, 0.992, 0.983, 0.975, 0.971, 0.969, 0.970, 0.974,
+		0.979, 0.985, 0.990, 0.995, 0.999, 1.003, 1.006, 1.009,
+	}
+	data, err := resilience.SeriesFromValues(observed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, model := range []resilience.Model{
+		resilience.Quadratic(),
+		resilience.CompetingRisks(),
+	} {
+		fit, err := resilience.Fit(model, data, resilience.FitConfig{})
+		if err != nil {
+			log.Fatalf("fit %s: %v", model.Name(), err)
+		}
+		fmt.Printf("== %s\n", model.Name())
+		fmt.Printf("   parameters: ")
+		for i, name := range model.ParamNames() {
+			fmt.Printf("%s=%.6g ", name, fit.Params[i])
+		}
+		fmt.Printf("\n   SSE: %.8f\n", fit.SSE)
+
+		td, err := resilience.ModelMinimum(fit, 16)
+		if err != nil {
+			log.Fatalf("minimum: %v", err)
+		}
+		fmt.Printf("   minimum performance %.4f at t = %.2f\n", fit.Eval(td), td)
+
+		tr, err := resilience.RecoveryTime(fit, 1.0, 48)
+		if err != nil {
+			log.Fatalf("recovery: %v", err)
+		}
+		fmt.Printf("   predicted recovery to 1.0 at t = %.2f\n\n", tr)
+	}
+
+	// The curve's letter shape, as economists would label it.
+	fmt.Printf("curve shape: %s\n", resilience.ClassifyShape(observed))
+}

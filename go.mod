@@ -1,0 +1,3 @@
+module resilience
+
+go 1.22

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// QuadraticModel is the bathtub-shaped quadratic hazard of Sec. II-A.1:
+//
+//	P(t) = α + βt + γt²     (Eq. 1, with the normalizing constant folded
+//	                         into the parameters)
+//
+// The curve is bathtub-shaped (a single dip followed by recovery) when
+// α, γ > 0 and −2√(αγ) < β < 0. The fitting bounds enforce α, γ > 0 and
+// β < 0; the square-root condition is data-dependent and left to the
+// optimizer.
+type QuadraticModel struct{}
+
+var (
+	_ AreaModel     = QuadraticModel{}
+	_ RecoveryModel = QuadraticModel{}
+	_ MinimumModel  = QuadraticModel{}
+)
+
+// Name returns "quadratic".
+func (QuadraticModel) Name() string { return "quadratic" }
+
+// NumParams returns 3.
+func (QuadraticModel) NumParams() int { return 3 }
+
+// ParamNames returns the parameter names α, β, γ.
+func (QuadraticModel) ParamNames() []string { return []string{"alpha", "beta", "gamma"} }
+
+// Bounds constrains α ∈ (0, 5], β ∈ [−1, 0), γ ∈ (0, 1], generous boxes
+// for performance data normalized near 1 on monthly time steps.
+func (QuadraticModel) Bounds() optimize.Bounds {
+	b, err := optimize.NewBounds(
+		[]float64{1e-9, -1, 1e-12},
+		[]float64{5, -1e-12, 1},
+	)
+	if err != nil {
+		panic("core: quadratic bounds: " + err.Error()) // static bounds cannot fail
+	}
+	return b
+}
+
+// Guess derives a starting vector from the data: α from P(0), the vertex
+// from the observed minimum, and γ from the post-minimum curvature.
+func (QuadraticModel) Guess(data *timeseries.Series) []float64 {
+	if data == nil || data.Len() < 3 {
+		return []float64{1, -0.01, 0.001}
+	}
+	_, td, pd := data.Min()
+	_, tEnd := data.Span()
+	p0 := data.Value(0)
+	pEnd := data.Value(data.Len() - 1)
+
+	gamma := 1e-4
+	if tEnd > td {
+		gamma = (pEnd - pd) / ((tEnd - td) * (tEnd - td))
+	}
+	if !(gamma > 0) || math.IsInf(gamma, 0) {
+		gamma = 1e-4
+	}
+	beta := -2 * gamma * math.Max(td, 1)
+	alpha := p0
+	if !(alpha > 0) {
+		alpha = 1
+	}
+	return []float64{alpha, beta, gamma}
+}
+
+// Validate checks the vector length and the sign constraints α, γ > 0,
+// β < 0.
+func (m QuadraticModel) Validate(params []float64) error {
+	if err := checkParams(m, params); err != nil {
+		return err
+	}
+	alpha, beta, gamma := params[0], params[1], params[2]
+	if !(alpha > 0) || !(gamma > 0) || !(beta < 0) {
+		return fmt.Errorf("%w: quadratic needs alpha, gamma > 0 and beta < 0 (got %g, %g, %g)",
+			ErrBadParams, alpha, beta, gamma)
+	}
+	return nil
+}
+
+// Eval returns α + βt + γt².
+func (QuadraticModel) Eval(params []float64, t float64) float64 {
+	return params[0] + params[1]*t + params[2]*t*t
+}
+
+// Area returns the closed-form Eq. (3): ∫ P dt = αt + βt²/2 + γt³/3
+// evaluated over [t0, t1].
+func (m QuadraticModel) Area(params []float64, t0, t1 float64) (float64, error) {
+	if err := checkParams(m, params); err != nil {
+		return math.NaN(), err
+	}
+	anti := func(t float64) float64 {
+		return params[0]*t + params[1]*t*t/2 + params[2]*t*t*t/3
+	}
+	return anti(t1) - anti(t0), nil
+}
+
+// MinimumTime returns the vertex t_d = −β/(2γ).
+func (m QuadraticModel) MinimumTime(params []float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	return -params[1] / (2 * params[2]), nil
+}
+
+// RecoveryTime solves α + βt + γt² = level for the post-minimum root,
+// Eq. (2):
+//
+//	t_r = [−β + √(β² − 4αγ + 4γ·level)] / (2γ)
+func (m QuadraticModel) RecoveryTime(params []float64, level float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	alpha, beta, gamma := params[0], params[1], params[2]
+	disc := beta*beta - 4*gamma*alpha + 4*gamma*level
+	if disc < 0 {
+		return math.NaN(), fmt.Errorf("%w: level %g below curve minimum", ErrNoRecovery, level)
+	}
+	return (-beta + math.Sqrt(disc)) / (2 * gamma), nil
+}
+
+// CompetingRisksModel is the competing-risks bathtub hazard of
+// Sec. II-A.2 (Hjorth's distribution, the paper's reference [20]):
+//
+//	P(t) = 2γt + α/(1 + βt)     (Eq. 4, normalizing constant folded in)
+//
+// The decreasing risk α/(1+βt) and the increasing risk 2γt compete; for
+// α, β, γ > 0 the curve is bathtub-shaped when the decreasing term
+// initially dominates (αβ > 2γ).
+type CompetingRisksModel struct{}
+
+var (
+	_ AreaModel     = CompetingRisksModel{}
+	_ RecoveryModel = CompetingRisksModel{}
+	_ MinimumModel  = CompetingRisksModel{}
+)
+
+// Name returns "competing-risks".
+func (CompetingRisksModel) Name() string { return "competing-risks" }
+
+// NumParams returns 3.
+func (CompetingRisksModel) NumParams() int { return 3 }
+
+// ParamNames returns the parameter names α, β, γ.
+func (CompetingRisksModel) ParamNames() []string { return []string{"alpha", "beta", "gamma"} }
+
+// Bounds constrains all three parameters to be positive with generous
+// upper limits for normalized monthly data.
+func (CompetingRisksModel) Bounds() optimize.Bounds {
+	b, err := optimize.NewBounds(
+		[]float64{1e-9, 1e-9, 1e-12},
+		[]float64{5, 10, 1},
+	)
+	if err != nil {
+		panic("core: competing-risks bounds: " + err.Error()) // static bounds cannot fail
+	}
+	return b
+}
+
+// Guess derives a starting vector: α from P(0), γ from the post-minimum
+// slope, and β from the observed time of minimum.
+func (CompetingRisksModel) Guess(data *timeseries.Series) []float64 {
+	if data == nil || data.Len() < 3 {
+		return []float64{1, 0.1, 0.001}
+	}
+	_, td, pd := data.Min()
+	_, tEnd := data.Span()
+	p0 := data.Value(0)
+	pEnd := data.Value(data.Len() - 1)
+
+	alpha := p0
+	if !(alpha > 0) {
+		alpha = 1
+	}
+	gamma := 5e-4
+	if tEnd > td {
+		gamma = (pEnd - pd) / (2 * (tEnd - td))
+	}
+	if !(gamma > 0) || math.IsInf(gamma, 0) {
+		gamma = 5e-4
+	}
+	// At the minimum, (1+βt_d)² = αβ/(2γ); for small βt_d this gives
+	// β ≈ 2γ/α·(1+βt_d)² — start from the simplest consistent value.
+	beta := 2 * gamma / alpha * 4
+	if td > 0 {
+		beta = math.Max(beta, 1/(2*td))
+	}
+	return []float64{alpha, beta, gamma}
+}
+
+// Validate checks the vector length and positivity of all parameters.
+func (m CompetingRisksModel) Validate(params []float64) error {
+	if err := checkParams(m, params); err != nil {
+		return err
+	}
+	if !(params[0] > 0) || !(params[1] > 0) || !(params[2] > 0) {
+		return fmt.Errorf("%w: competing risks needs alpha, beta, gamma > 0 (got %g, %g, %g)",
+			ErrBadParams, params[0], params[1], params[2])
+	}
+	return nil
+}
+
+// Eval returns 2γt + α/(1+βt).
+func (CompetingRisksModel) Eval(params []float64, t float64) float64 {
+	return 2*params[2]*t + params[0]/(1+params[1]*t)
+}
+
+// Area returns the closed-form Eq. (6): ∫ P dt = γt² + α·ln(1+βt)/β
+// evaluated over [t0, t1].
+func (m CompetingRisksModel) Area(params []float64, t0, t1 float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	alpha, beta, gamma := params[0], params[1], params[2]
+	anti := func(t float64) float64 {
+		return gamma*t*t + alpha*math.Log1p(beta*t)/beta
+	}
+	return anti(t1) - anti(t0), nil
+}
+
+// MinimumTime solves P'(t) = 2γ − αβ/(1+βt)² = 0 for
+// t_d = (√(αβ/(2γ)) − 1)/β. If the curve is monotonically increasing
+// (αβ <= 2γ) the minimum is at t = 0.
+func (m CompetingRisksModel) MinimumTime(params []float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	alpha, beta, gamma := params[0], params[1], params[2]
+	if alpha*beta <= 2*gamma {
+		return 0, nil
+	}
+	return (math.Sqrt(alpha*beta/(2*gamma)) - 1) / beta, nil
+}
+
+// RecoveryTime solves 2γt + α/(1+βt) = level for the post-minimum root,
+// Eq. (5):
+//
+//	t_r = [β·level − 2γ + √(β²·level² + 4βγ·level − 8αβγ + 4γ²)] / (4βγ)
+func (m CompetingRisksModel) RecoveryTime(params []float64, level float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	alpha, beta, gamma := params[0], params[1], params[2]
+	disc := beta*beta*level*level + 4*beta*gamma*level - 8*alpha*beta*gamma + 4*gamma*gamma
+	if disc < 0 {
+		return math.NaN(), fmt.Errorf("%w: level %g below curve minimum", ErrNoRecovery, level)
+	}
+	return (beta*level - 2*gamma + math.Sqrt(disc)) / (4 * beta * gamma), nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/quadrature"
+	"resilience/internal/timeseries"
+)
+
+func TestQuadraticEval(t *testing.T) {
+	m := QuadraticModel{}
+	params := []float64{1, -0.2, 0.01}
+	tests := []struct {
+		t, want float64
+	}{
+		{0, 1},
+		{1, 1 - 0.2 + 0.01},
+		{10, 1 - 2 + 1},
+		{20, 1 - 4 + 4},
+	}
+	for _, tt := range tests {
+		if got := m.Eval(params, tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestQuadraticValidate(t *testing.T) {
+	m := QuadraticModel{}
+	if err := m.Validate([]float64{1, -0.1, 0.01}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := [][]float64{
+		{1, -0.1},            // wrong length
+		{-1, -0.1, 0.01},     // alpha <= 0
+		{1, 0.1, 0.01},       // beta >= 0
+		{1, -0.1, -0.01},     // gamma <= 0
+		{1, -0.1, 0.01, 0.5}, // too long
+	}
+	for _, p := range bad {
+		if err := m.Validate(p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Validate(%v): want ErrBadParams, got %v", p, err)
+		}
+	}
+}
+
+func TestQuadraticAreaMatchesQuadrature(t *testing.T) {
+	m := QuadraticModel{}
+	params := []float64{1, -0.15, 0.004}
+	analytic, err := m.Area(params, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numeric, err := quadrature.Adaptive(func(x float64) float64 {
+		return m.Eval(params, x)
+	}, 0, 40, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(analytic-numeric) > 1e-8 {
+		t.Errorf("Area analytic %g vs quadrature %g", analytic, numeric)
+	}
+}
+
+func TestQuadraticMinimumAndRecovery(t *testing.T) {
+	m := QuadraticModel{}
+	params := []float64{1, -0.2, 0.01} // vertex at t = 10, min value 0
+	td, err := m.MinimumTime(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(td-10) > 1e-12 {
+		t.Errorf("MinimumTime = %g, want 10", td)
+	}
+	// Recovery to the starting level 1 happens at t = 20 by symmetry.
+	tr, err := m.RecoveryTime(params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-20) > 1e-9 {
+		t.Errorf("RecoveryTime(1) = %g, want 20", tr)
+	}
+	if got := m.Eval(params, tr); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Eval at recovery = %g, want 1", got)
+	}
+	// A level below the minimum is unreachable.
+	if _, err := m.RecoveryTime(params, -0.5); !errors.Is(err, ErrNoRecovery) {
+		t.Errorf("below-minimum level: want ErrNoRecovery, got %v", err)
+	}
+}
+
+func TestCompetingRisksEval(t *testing.T) {
+	m := CompetingRisksModel{}
+	params := []float64{1, 0.5, 0.01}
+	if got := m.Eval(params, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Eval(0) = %g, want alpha", got)
+	}
+	// Hand-computed: 2·0.01·10 + 1/(1+5) = 0.2 + 1/6.
+	if got := m.Eval(params, 10); math.Abs(got-(0.2+1.0/6)) > 1e-12 {
+		t.Errorf("Eval(10) = %g", got)
+	}
+}
+
+func TestCompetingRisksValidate(t *testing.T) {
+	m := CompetingRisksModel{}
+	if err := m.Validate([]float64{1, 0.5, 0.01}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, p := range [][]float64{{1, 0.5}, {0, 0.5, 0.01}, {1, -0.5, 0.01}, {1, 0.5, 0}} {
+		if err := m.Validate(p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Validate(%v): want ErrBadParams, got %v", p, err)
+		}
+	}
+}
+
+func TestCompetingRisksAreaMatchesQuadrature(t *testing.T) {
+	m := CompetingRisksModel{}
+	params := []float64{1, 0.4, 0.002}
+	analytic, err := m.Area(params, 0, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numeric, err := quadrature.Adaptive(func(x float64) float64 {
+		return m.Eval(params, x)
+	}, 0, 45, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(analytic-numeric) > 1e-8 {
+		t.Errorf("Area analytic %g vs quadrature %g", analytic, numeric)
+	}
+}
+
+func TestCompetingRisksMinimum(t *testing.T) {
+	m := CompetingRisksModel{}
+	params := []float64{1, 0.5, 0.01} // alpha*beta = 0.5 > 2*gamma = 0.02: bathtub
+	td, err := m.MinimumTime(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify stationarity: derivative 2γ − αβ/(1+βt)² vanishes at td.
+	deriv := 2*params[2] - params[0]*params[1]/math.Pow(1+params[1]*td, 2)
+	if math.Abs(deriv) > 1e-10 {
+		t.Errorf("derivative at minimum = %g", deriv)
+	}
+	// The value at td must not exceed neighbours.
+	p := m.Eval(params, td)
+	if m.Eval(params, td-0.1) < p || m.Eval(params, td+0.1) < p {
+		t.Error("MinimumTime is not a local minimum")
+	}
+	// Monotone case: alpha*beta <= 2*gamma means minimum at 0.
+	mono := []float64{0.1, 0.1, 0.5}
+	td, err = m.MinimumTime(mono)
+	if err != nil || td != 0 {
+		t.Errorf("monotone case: td = %g, err %v; want 0", td, err)
+	}
+}
+
+func TestCompetingRisksRecoveryConsistency(t *testing.T) {
+	// Property: for valid bathtub parameters, Eval(RecoveryTime(level))
+	// equals level and the recovery is after the minimum.
+	m := CompetingRisksModel{}
+	f := func(aSeed, bSeed, gSeed uint16) bool {
+		alpha := 0.5 + float64(aSeed%100)/100  // [0.5, 1.5)
+		beta := 0.1 + float64(bSeed%200)/100   // [0.1, 2.1)
+		gamma := 1e-4 + float64(gSeed%100)/2e4 // small
+		params := []float64{alpha, beta, gamma}
+		if alpha*beta <= 2*gamma {
+			return true // not a bathtub; skip
+		}
+		td, err := m.MinimumTime(params)
+		if err != nil {
+			return false
+		}
+		level := alpha // the initial level is always recoverable
+		tr, err := m.RecoveryTime(params, level)
+		if err != nil {
+			return false
+		}
+		return tr >= td-1e-9 && math.Abs(m.Eval(params, tr)-level) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadraticRecoveryConsistencyProperty(t *testing.T) {
+	m := QuadraticModel{}
+	f := func(aSeed, bSeed, gSeed uint16) bool {
+		alpha := 0.5 + float64(aSeed%100)/100
+		gamma := 1e-4 + float64(gSeed%100)/1e4
+		// Keep beta in the bathtub range (−2√(αγ), 0).
+		maxB := 2 * math.Sqrt(alpha*gamma)
+		beta := -maxB * (0.1 + 0.8*float64(bSeed%100)/100)
+		params := []float64{alpha, beta, gamma}
+		tr, err := m.RecoveryTime(params, alpha)
+		if err != nil {
+			return false
+		}
+		td, err := m.MinimumTime(params)
+		if err != nil {
+			return false
+		}
+		return tr >= td && math.Abs(m.Eval(params, tr)-alpha) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuessesAreFeasible(t *testing.T) {
+	// Guesses must validate and lie inside the fitting bounds for
+	// realistic data and for degenerate inputs.
+	series, err := timeseries.FromValues([]float64{1, 0.98, 0.96, 0.97, 0.99, 1.01, 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rising, err := timeseries.FromValues([]float64{1, 1.01, 1.02, 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []Model{QuadraticModel{}, CompetingRisksModel{}}
+	for _, m := range StandardMixtures() {
+		models = append(models, m)
+	}
+	for _, m := range models {
+		for _, data := range []*timeseries.Series{series, rising, nil} {
+			g := m.Guess(data)
+			if len(g) != m.NumParams() {
+				t.Errorf("%s: guess length %d, want %d", m.Name(), len(g), m.NumParams())
+				continue
+			}
+			if err := m.Validate(g); err != nil {
+				t.Errorf("%s: guess %v invalid: %v", m.Name(), g, err)
+			}
+		}
+	}
+}
+
+func TestParamNamesMatchCount(t *testing.T) {
+	models := []Model{QuadraticModel{}, CompetingRisksModel{}}
+	for _, m := range StandardMixtures() {
+		models = append(models, m)
+	}
+	for _, m := range models {
+		if got := len(m.ParamNames()); got != m.NumParams() {
+			t.Errorf("%s: %d names for %d params", m.Name(), got, m.NumParams())
+		}
+		if m.Bounds().Len() != m.NumParams() {
+			t.Errorf("%s: bounds dimension mismatch", m.Name())
+		}
+	}
+}

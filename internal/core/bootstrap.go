@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"resilience/internal/rng"
+	"resilience/internal/timeseries"
+)
+
+// BootstrapConfig tunes the residual bootstrap.
+type BootstrapConfig struct {
+	// Replicates is the number of bootstrap refits (default 200).
+	Replicates int
+	// Alpha is the two-sided significance level for the percentile
+	// intervals (default 0.05 for 95% intervals).
+	Alpha float64
+	// Seed drives the deterministic resampler (default 1).
+	Seed uint64
+	// Fit configures each replicate refit. Replicates warm-start from
+	// the original estimate, so a small multistart budget suffices; zero
+	// selects Starts = 2.
+	Fit FitConfig
+}
+
+func (c BootstrapConfig) withDefaults() BootstrapConfig {
+	if c.Replicates <= 0 {
+		c.Replicates = 200
+	}
+	if !(c.Alpha > 0 && c.Alpha < 1) {
+		c.Alpha = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Fit.Starts <= 0 {
+		c.Fit.Starts = 2
+	}
+	return c
+}
+
+// BootstrapResult summarizes the residual-bootstrap distribution of a
+// fit: percentile confidence intervals for each parameter and a
+// pointwise percentile band for the fitted curve. It extends the paper's
+// normal-approximation intervals (Eqs. 12–13) with a
+// distribution-free alternative, one of the Sec. VI future directions.
+type BootstrapResult struct {
+	// ParamLower and ParamUpper bound each parameter at the requested
+	// confidence.
+	ParamLower []float64
+	ParamUpper []float64
+	// ParamMedian is the per-parameter bootstrap median.
+	ParamMedian []float64
+	// Band is the pointwise percentile band of the refitted curves over
+	// the training times.
+	Band *Band
+	// Succeeded counts replicates whose refit converged; the intervals
+	// are computed from these.
+	Succeeded int
+	// Requested echoes the configured replicate count.
+	Requested int
+}
+
+// Bootstrap runs a residual bootstrap around a fitted model: residuals
+// are resampled with replacement, added back to the fitted curve to form
+// synthetic series, and the model is refit to each. At least half the
+// replicates must converge or an error is returned.
+func Bootstrap(f *FitResult, cfg BootstrapConfig) (*BootstrapResult, error) {
+	if f == nil || f.Train == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	cfg = cfg.withDefaults()
+	n := f.Train.Len()
+	if n < f.Model.NumParams()+2 {
+		return nil, fmt.Errorf("%w: too few observations for bootstrap", ErrBadData)
+	}
+
+	times := f.Train.Times()
+	fitted := f.Predict(times)
+	residuals := f.Residuals(f.Train)
+
+	gen := rng.New(cfg.Seed)
+	resampled := make([]float64, n)
+	synthetic := make([]float64, n)
+
+	warmCfg := cfg.Fit
+	warmCfg.InitialParams = f.Params
+
+	paramDraws := make([][]float64, f.Model.NumParams())
+	curveDraws := make([][]float64, n)
+	for i := range curveDraws {
+		curveDraws[i] = make([]float64, 0, cfg.Replicates)
+	}
+
+	succeeded := 0
+	for rep := 0; rep < cfg.Replicates; rep++ {
+		if err := gen.Resample(resampled, residuals); err != nil {
+			return nil, fmt.Errorf("core: bootstrap resample: %w", err)
+		}
+		for i := range synthetic {
+			synthetic[i] = fitted[i] + resampled[i]
+		}
+		series, err := timeseries.NewSeries(times, synthetic)
+		if err != nil {
+			continue // non-finite synthetic values; skip the replicate
+		}
+		refit, err := Fit(f.Model, series, warmCfg)
+		if err != nil {
+			continue
+		}
+		succeeded++
+		for j, p := range refit.Params {
+			paramDraws[j] = append(paramDraws[j], p)
+		}
+		for i, t := range times {
+			curveDraws[i] = append(curveDraws[i], refit.Eval(t))
+		}
+	}
+	if succeeded < cfg.Replicates/2 {
+		return nil, fmt.Errorf("%w: only %d/%d bootstrap replicates converged",
+			ErrBadData, succeeded, cfg.Replicates)
+	}
+
+	out := &BootstrapResult{
+		ParamLower:  make([]float64, f.Model.NumParams()),
+		ParamUpper:  make([]float64, f.Model.NumParams()),
+		ParamMedian: make([]float64, f.Model.NumParams()),
+		Succeeded:   succeeded,
+		Requested:   cfg.Replicates,
+	}
+	for j, draws := range paramDraws {
+		lo, mid, hi := percentiles(draws, cfg.Alpha)
+		out.ParamLower[j], out.ParamMedian[j], out.ParamUpper[j] = lo, mid, hi
+	}
+	band := &Band{
+		Times:  times,
+		Center: fitted,
+		Lower:  make([]float64, n),
+		Upper:  make([]float64, n),
+		Sigma:  math.NaN(), // percentile band: no single sigma
+		Z:      math.NaN(),
+	}
+	for i, draws := range curveDraws {
+		lo, _, hi := percentiles(draws, cfg.Alpha)
+		band.Lower[i], band.Upper[i] = lo, hi
+	}
+	out.Band = band
+	return out, nil
+}
+
+// percentiles returns the α/2, 0.5, and 1−α/2 empirical quantiles of xs.
+func percentiles(xs []float64, alpha float64) (lo, mid, hi float64) {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		if len(sorted) == 1 {
+			return sorted[0]
+		}
+		h := p * float64(len(sorted)-1)
+		i := int(math.Floor(h))
+		if i >= len(sorted)-1 {
+			return sorted[len(sorted)-1]
+		}
+		frac := h - float64(i)
+		return sorted[i] + frac*(sorted[i+1]-sorted[i])
+	}
+	return at(alpha / 2), at(0.5), at(1 - alpha/2)
+}

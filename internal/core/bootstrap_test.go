@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// noisyQuadratic builds data from a known quadratic plus deterministic
+// noise.
+func noisyQuadratic(t *testing.T, n int) (*timeseries.Series, []float64) {
+	t.Helper()
+	truth := []float64{1, -0.03, 0.0008}
+	vals := make([]float64, n)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = truth[0] + truth[1]*x + truth[2]*x*x + 0.002*math.Sin(5*x)
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, truth
+}
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	data, truth := noisyQuadratic(t, 40)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Bootstrap(fit, BootstrapConfig{Replicates: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Succeeded < 30 {
+		t.Fatalf("only %d replicates succeeded", bs.Succeeded)
+	}
+	for j := range truth {
+		if bs.ParamLower[j] > bs.ParamUpper[j] {
+			t.Errorf("param %d: interval inverted [%g, %g]", j, bs.ParamLower[j], bs.ParamUpper[j])
+		}
+		if truth[j] < bs.ParamLower[j]-0.02 || truth[j] > bs.ParamUpper[j]+0.02 {
+			t.Errorf("param %d: truth %g outside [%g, %g]",
+				j, truth[j], bs.ParamLower[j], bs.ParamUpper[j])
+		}
+		if bs.ParamMedian[j] < bs.ParamLower[j] || bs.ParamMedian[j] > bs.ParamUpper[j] {
+			t.Errorf("param %d: median outside interval", j)
+		}
+	}
+}
+
+func TestBootstrapBandBracketsFit(t *testing.T) {
+	data, _ := noisyQuadratic(t, 30)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Bootstrap(fit, BootstrapConfig{Replicates: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Band.Times) != data.Len() {
+		t.Fatalf("band over %d points", len(bs.Band.Times))
+	}
+	for i := range bs.Band.Times {
+		if bs.Band.Lower[i] > bs.Band.Center[i]+1e-9 || bs.Band.Upper[i] < bs.Band.Center[i]-1e-9 {
+			// The percentile band is built from refits around the
+			// original curve; it should bracket it closely.
+			if bs.Band.Upper[i] < bs.Band.Lower[i] {
+				t.Errorf("band inverted at %d", i)
+			}
+		}
+		if bs.Band.Upper[i]-bs.Band.Lower[i] < 0 {
+			t.Errorf("band width negative at %d", i)
+		}
+	}
+}
+
+func TestBootstrapDeterminism(t *testing.T) {
+	data, _ := noisyQuadratic(t, 25)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Bootstrap(fit, BootstrapConfig{Replicates: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(fit, BootstrapConfig{Replicates: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.ParamLower {
+		if a.ParamLower[j] != b.ParamLower[j] || a.ParamUpper[j] != b.ParamUpper[j] {
+			t.Fatalf("bootstrap not deterministic at param %d", j)
+		}
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, err := Bootstrap(nil, BootstrapConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	tiny, err := timeseries.FromValues([]float64{1, 0.9, 1, 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := &FitResult{Model: QuadraticModel{}, Params: []float64{1, -0.05, 0.01}, Train: tiny}
+	if _, err := Bootstrap(fit, BootstrapConfig{Replicates: 5}); !errors.Is(err, ErrBadData) {
+		t.Errorf("too few observations: %v", err)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	lo, mid, hi := percentiles(xs, 0.5) // 25th, 50th, 75th
+	if mid != 3 {
+		t.Errorf("median = %g", mid)
+	}
+	if lo != 2 || hi != 4 {
+		t.Errorf("quartiles = %g, %g", lo, hi)
+	}
+	lo, mid, hi = percentiles([]float64{7}, 0.05)
+	if lo != 7 || mid != 7 || hi != 7 {
+		t.Errorf("single-element percentiles = %g, %g, %g", lo, mid, hi)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("percentiles mutated input")
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/stat"
+)
+
+// CDFFamily is a parametric family of cumulative distribution functions
+// usable as a mixture component F₁ (degradation) or F₂ (recovery). The
+// paper's experiments combine the Exponential and Weibull families
+// (Eq. 23); Gamma and LogNormal are provided as the extensions its
+// conclusions call for.
+type CDFFamily interface {
+	// Name returns a short identifier such as "exp" or "weibull".
+	Name() string
+	// NumParams returns the number of family parameters.
+	NumParams() int
+	// ParamNames returns names for each parameter.
+	ParamNames() []string
+	// CDF returns F(t; θ). It must return 0 for t <= 0 (all built-in
+	// families are supported on the positive half-line).
+	CDF(params []float64, t float64) float64
+	// Validate checks a parameter vector.
+	Validate(params []float64) error
+	// Guess returns a starting vector given the series horizon: rates are
+	// started so that the distribution's mass spreads over the horizon.
+	Guess(horizon float64) []float64
+	// ParamBounds returns the feasible (lo, hi) box.
+	ParamBounds() (lo, hi []float64)
+}
+
+// ExpFamily is the exponential CDF family F(t) = 1 − e^{−λt}.
+type ExpFamily struct{}
+
+var _ CDFFamily = ExpFamily{}
+
+// Name returns "exp".
+func (ExpFamily) Name() string { return "exp" }
+
+// NumParams returns 1.
+func (ExpFamily) NumParams() int { return 1 }
+
+// ParamNames returns the rate parameter name.
+func (ExpFamily) ParamNames() []string { return []string{"rate"} }
+
+// CDF returns 1 − e^{−λt}.
+func (ExpFamily) CDF(params []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-params[0] * t)
+}
+
+// Validate requires λ > 0.
+func (f ExpFamily) Validate(params []float64) error {
+	if len(params) != 1 {
+		return fmt.Errorf("%w: exp family expects 1 parameter, got %d", ErrBadParams, len(params))
+	}
+	if !(params[0] > 0) {
+		return fmt.Errorf("%w: exp rate must be positive, got %g", ErrBadParams, params[0])
+	}
+	return nil
+}
+
+// Guess places the mean at a quarter of the horizon.
+func (ExpFamily) Guess(horizon float64) []float64 {
+	if horizon > 0 {
+		return []float64{4 / horizon}
+	}
+	return []float64{0.1}
+}
+
+// ParamBounds allows λ ∈ (0, 50].
+func (ExpFamily) ParamBounds() (lo, hi []float64) {
+	return []float64{1e-9}, []float64{50}
+}
+
+// Dist materializes the stat.Exponential for a parameter vector, mainly
+// for diagnostics such as Kolmogorov–Smirnov checks.
+func (f ExpFamily) Dist(params []float64) (stat.Distribution, error) {
+	if err := f.Validate(params); err != nil {
+		return nil, err
+	}
+	return stat.NewExponential(params[0])
+}
+
+// WeibullFamily is the Weibull CDF family F(t) = 1 − e^{−(t/λ)^k} of
+// Eq. (23), parameterized as [shape k, scale λ].
+type WeibullFamily struct{}
+
+var _ CDFFamily = WeibullFamily{}
+
+// Name returns "weibull".
+func (WeibullFamily) Name() string { return "weibull" }
+
+// NumParams returns 2.
+func (WeibullFamily) NumParams() int { return 2 }
+
+// ParamNames returns the shape and scale parameter names.
+func (WeibullFamily) ParamNames() []string { return []string{"shape", "scale"} }
+
+// CDF returns 1 − e^{−(t/λ)^k}.
+func (WeibullFamily) CDF(params []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(t/params[1], params[0]))
+}
+
+// Validate requires k, λ > 0.
+func (f WeibullFamily) Validate(params []float64) error {
+	if len(params) != 2 {
+		return fmt.Errorf("%w: weibull family expects 2 parameters, got %d", ErrBadParams, len(params))
+	}
+	if !(params[0] > 0) || !(params[1] > 0) {
+		return fmt.Errorf("%w: weibull shape and scale must be positive, got %g, %g",
+			ErrBadParams, params[0], params[1])
+	}
+	return nil
+}
+
+// Guess starts with shape 1.5 and scale at a quarter of the horizon.
+func (WeibullFamily) Guess(horizon float64) []float64 {
+	scale := 10.0
+	if horizon > 0 {
+		scale = horizon / 4
+	}
+	return []float64{1.5, scale}
+}
+
+// ParamBounds allows k ∈ (0.05, 20], λ ∈ (0.01, 1000].
+func (WeibullFamily) ParamBounds() (lo, hi []float64) {
+	return []float64{0.05, 0.01}, []float64{20, 1000}
+}
+
+// Dist materializes the stat.Weibull for a parameter vector.
+func (f WeibullFamily) Dist(params []float64) (stat.Distribution, error) {
+	if err := f.Validate(params); err != nil {
+		return nil, err
+	}
+	return stat.NewWeibull(params[0], params[1])
+}
+
+// GammaFamily is the gamma CDF family, an extension beyond the paper's
+// Exponential/Weibull menu, parameterized as [shape k, rate β].
+type GammaFamily struct{}
+
+var _ CDFFamily = GammaFamily{}
+
+// Name returns "gamma".
+func (GammaFamily) Name() string { return "gamma" }
+
+// NumParams returns 2.
+func (GammaFamily) NumParams() int { return 2 }
+
+// ParamNames returns the shape and rate parameter names.
+func (GammaFamily) ParamNames() []string { return []string{"shape", "rate"} }
+
+// CDF returns the regularized incomplete gamma P(k, βt).
+func (GammaFamily) CDF(params []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	d, err := stat.NewGamma(params[0], params[1])
+	if err != nil {
+		return math.NaN()
+	}
+	return d.CDF(t)
+}
+
+// Validate requires k, β > 0.
+func (f GammaFamily) Validate(params []float64) error {
+	if len(params) != 2 {
+		return fmt.Errorf("%w: gamma family expects 2 parameters, got %d", ErrBadParams, len(params))
+	}
+	if !(params[0] > 0) || !(params[1] > 0) {
+		return fmt.Errorf("%w: gamma shape and rate must be positive, got %g, %g",
+			ErrBadParams, params[0], params[1])
+	}
+	return nil
+}
+
+// Guess starts with shape 2 and mean at a quarter of the horizon.
+func (GammaFamily) Guess(horizon float64) []float64 {
+	rate := 0.1
+	if horizon > 0 {
+		rate = 8 / horizon
+	}
+	return []float64{2, rate}
+}
+
+// ParamBounds allows k ∈ (0.05, 50], β ∈ (0, 50].
+func (GammaFamily) ParamBounds() (lo, hi []float64) {
+	return []float64{0.05, 1e-9}, []float64{50, 50}
+}
+
+// LogNormalFamily is the log-normal CDF family, an extension beyond the
+// paper's menu, parameterized as [μ, σ].
+type LogNormalFamily struct{}
+
+var _ CDFFamily = LogNormalFamily{}
+
+// Name returns "lognormal".
+func (LogNormalFamily) Name() string { return "lognormal" }
+
+// NumParams returns 2.
+func (LogNormalFamily) NumParams() int { return 2 }
+
+// ParamNames returns the log-mean and log-sigma parameter names.
+func (LogNormalFamily) ParamNames() []string { return []string{"mu", "sigma"} }
+
+// CDF returns Φ((ln t − μ)/σ).
+func (LogNormalFamily) CDF(params []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	d, err := stat.NewLogNormal(params[0], params[1])
+	if err != nil {
+		return math.NaN()
+	}
+	return d.CDF(t)
+}
+
+// Validate requires finite μ and σ > 0.
+func (f LogNormalFamily) Validate(params []float64) error {
+	if len(params) != 2 {
+		return fmt.Errorf("%w: lognormal family expects 2 parameters, got %d", ErrBadParams, len(params))
+	}
+	if math.IsNaN(params[0]) || math.IsInf(params[0], 0) || !(params[1] > 0) {
+		return fmt.Errorf("%w: lognormal needs finite mu and sigma > 0, got %g, %g",
+			ErrBadParams, params[0], params[1])
+	}
+	return nil
+}
+
+// Guess centers the distribution at a quarter of the horizon.
+func (LogNormalFamily) Guess(horizon float64) []float64 {
+	mu := 1.0
+	if horizon > 4 {
+		mu = math.Log(horizon / 4)
+	}
+	return []float64{mu, 0.8}
+}
+
+// ParamBounds allows μ ∈ [−10, 10], σ ∈ (0.01, 5].
+func (LogNormalFamily) ParamBounds() (lo, hi []float64) {
+	return []float64{-10, 0.01}, []float64{10, 5}
+}
+
+// LogLogisticFamily is the log-logistic CDF family
+// F(t) = (t/α)^β / (1 + (t/α)^β), parameterized as [shape β, scale α] —
+// an extension whose S-curve rises faster around its midpoint than the
+// Weibull's, suiting recovery processes with a sharp adoption phase.
+type LogLogisticFamily struct{}
+
+var _ CDFFamily = LogLogisticFamily{}
+
+// Name returns "loglogistic".
+func (LogLogisticFamily) Name() string { return "loglogistic" }
+
+// NumParams returns 2.
+func (LogLogisticFamily) NumParams() int { return 2 }
+
+// ParamNames returns the shape and scale parameter names.
+func (LogLogisticFamily) ParamNames() []string { return []string{"shape", "scale"} }
+
+// CDF returns the log-logistic CDF at t.
+func (LogLogisticFamily) CDF(params []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	r := math.Pow(t/params[1], params[0])
+	return r / (1 + r)
+}
+
+// Validate requires β, α > 0.
+func (f LogLogisticFamily) Validate(params []float64) error {
+	if len(params) != 2 {
+		return fmt.Errorf("%w: loglogistic family expects 2 parameters, got %d", ErrBadParams, len(params))
+	}
+	if !(params[0] > 0) || !(params[1] > 0) {
+		return fmt.Errorf("%w: loglogistic shape and scale must be positive, got %g, %g",
+			ErrBadParams, params[0], params[1])
+	}
+	return nil
+}
+
+// Guess starts with shape 2 and the median at a quarter of the horizon.
+func (LogLogisticFamily) Guess(horizon float64) []float64 {
+	scale := 10.0
+	if horizon > 0 {
+		scale = horizon / 4
+	}
+	return []float64{2, scale}
+}
+
+// ParamBounds allows β ∈ (0.05, 20], α ∈ (0.01, 1000].
+func (LogLogisticFamily) ParamBounds() (lo, hi []float64) {
+	return []float64{0.05, 0.01}, []float64{20, 1000}
+}
+
+// Dist materializes the stat.LogLogistic for diagnostics.
+func (f LogLogisticFamily) Dist(params []float64) (stat.Distribution, error) {
+	if err := f.Validate(params); err != nil {
+		return nil, err
+	}
+	return stat.NewLogLogistic(params[0], params[1])
+}
+
+// GompertzFamily is the Gompertz CDF family
+// F(t) = 1 − exp(−η(e^{bt} − 1)), parameterized as [shape η, rate b] —
+// an extension with an exponentially accelerating hazard.
+type GompertzFamily struct{}
+
+var _ CDFFamily = GompertzFamily{}
+
+// Name returns "gompertz".
+func (GompertzFamily) Name() string { return "gompertz" }
+
+// NumParams returns 2.
+func (GompertzFamily) NumParams() int { return 2 }
+
+// ParamNames returns the shape and rate parameter names.
+func (GompertzFamily) ParamNames() []string { return []string{"shape", "rate"} }
+
+// CDF returns the Gompertz CDF at t.
+func (GompertzFamily) CDF(params []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-params[0] * math.Expm1(params[1]*t))
+}
+
+// Validate requires η, b > 0.
+func (f GompertzFamily) Validate(params []float64) error {
+	if len(params) != 2 {
+		return fmt.Errorf("%w: gompertz family expects 2 parameters, got %d", ErrBadParams, len(params))
+	}
+	if !(params[0] > 0) || !(params[1] > 0) {
+		return fmt.Errorf("%w: gompertz shape and rate must be positive, got %g, %g",
+			ErrBadParams, params[0], params[1])
+	}
+	return nil
+}
+
+// Guess places the distribution's bulk within the horizon.
+func (GompertzFamily) Guess(horizon float64) []float64 {
+	rate := 0.1
+	if horizon > 0 {
+		rate = 4 / horizon
+	}
+	return []float64{0.3, rate}
+}
+
+// ParamBounds allows η ∈ (0, 20], b ∈ (0, 5].
+func (GompertzFamily) ParamBounds() (lo, hi []float64) {
+	return []float64{1e-9, 1e-9}, []float64{20, 5}
+}
+
+// Dist materializes the stat.Gompertz for diagnostics.
+func (f GompertzFamily) Dist(params []float64) (stat.Distribution, error) {
+	if err := f.Validate(params); err != nil {
+		return nil, err
+	}
+	return stat.NewGompertz(params[0], params[1])
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/stat"
+	"resilience/internal/timeseries"
+)
+
+// Band is a per-observation confidence band around a fitted curve.
+type Band struct {
+	// Times are the observation times the band is evaluated at.
+	Times []float64
+	// Center is the fitted curve P̂(tᵢ).
+	Center []float64
+	// Lower and Upper are the band edges at each time.
+	Lower []float64
+	// Upper is the upper band edge.
+	Upper []float64
+	// Sigma is the residual standard deviation √(SSE/(n−2)) of Eq. (12).
+	Sigma float64
+	// Z is the critical value z_{1−α/2} used to scale the band.
+	Z float64
+}
+
+// ResidualSigma computes Eq. (12): σ = √(SSE/(n−2)), the dispersion of
+// the fit residuals over the training data.
+func ResidualSigma(f *FitResult) (float64, error) {
+	if f == nil || f.Train == nil {
+		return math.NaN(), fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	n := f.Train.Len()
+	if n <= 2 {
+		return math.NaN(), fmt.Errorf("%w: need n > 2 for residual variance", ErrBadData)
+	}
+	sse, err := SSE(f, f.Train)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return math.Sqrt(sse / float64(n-2)), nil
+}
+
+// ConfidenceBand builds the level band P̂(tᵢ) ± z_{1−α/2}·σ over the
+// given series (typically the full series including the held-out tail, as
+// in Figs. 3–6). σ comes from the training residuals via Eq. (12) and z
+// from the standard normal quantile.
+func ConfidenceBand(f *FitResult, data *timeseries.Series, alpha float64) (*Band, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrBadData)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("%w: alpha %g outside (0, 1)", ErrBadData, alpha)
+	}
+	sigma, err := ResidualSigma(f)
+	if err != nil {
+		return nil, err
+	}
+	z := stat.ZCritical(alpha)
+	b := &Band{
+		Times:  data.Times(),
+		Center: make([]float64, data.Len()),
+		Lower:  make([]float64, data.Len()),
+		Upper:  make([]float64, data.Len()),
+		Sigma:  sigma,
+		Z:      z,
+	}
+	for i := range b.Times {
+		c := f.Eval(b.Times[i])
+		b.Center[i] = c
+		b.Lower[i] = c - z*sigma
+		b.Upper[i] = c + z*sigma
+	}
+	return b, nil
+}
+
+// DeltaCI computes Eq. (13) literally: confidence limits for the change
+// in performance between consecutive intervals, ΔP̂(tᵢ) ± z_{1−α/2}·σ.
+// The returned band is indexed at the later time of each consecutive
+// pair, so it has Len−1 entries.
+func DeltaCI(f *FitResult, data *timeseries.Series, alpha float64) (*Band, error) {
+	if data == nil || data.Len() < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 observations for delta CI", ErrBadData)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("%w: alpha %g outside (0, 1)", ErrBadData, alpha)
+	}
+	sigma, err := ResidualSigma(f)
+	if err != nil {
+		return nil, err
+	}
+	z := stat.ZCritical(alpha)
+	n := data.Len() - 1
+	b := &Band{
+		Times:  make([]float64, n),
+		Center: make([]float64, n),
+		Lower:  make([]float64, n),
+		Upper:  make([]float64, n),
+		Sigma:  sigma,
+		Z:      z,
+	}
+	for i := 1; i <= n; i++ {
+		delta := f.Eval(data.Time(i)) - f.Eval(data.Time(i-1))
+		b.Times[i-1] = data.Time(i)
+		b.Center[i-1] = delta
+		b.Lower[i-1] = delta - z*sigma
+		b.Upper[i-1] = delta + z*sigma
+	}
+	return b, nil
+}
+
+// EmpiricalCoverage returns the fraction of observed values contained by
+// the band: the EC measure the paper reports alongside each fit. The band
+// must have been built over the same series.
+func EmpiricalCoverage(b *Band, data *timeseries.Series) (float64, error) {
+	if b == nil || data == nil {
+		return math.NaN(), fmt.Errorf("%w: nil band or data", ErrBadData)
+	}
+	if len(b.Times) != data.Len() {
+		return math.NaN(), fmt.Errorf("%w: band covers %d points, data has %d",
+			ErrBadData, len(b.Times), data.Len())
+	}
+	inside := 0
+	for i := 0; i < data.Len(); i++ {
+		v := data.Value(i)
+		if v >= b.Lower[i] && v <= b.Upper[i] {
+			inside++
+		}
+	}
+	return float64(inside) / float64(data.Len()), nil
+}
+
+// DeltaCoverage returns the fraction of observed performance *changes*
+// ΔR(tᵢ) covered by a DeltaCI band, the literal Eq. (13) reading of
+// empirical coverage.
+func DeltaCoverage(b *Band, data *timeseries.Series) (float64, error) {
+	if b == nil || data == nil || data.Len() < 2 {
+		return math.NaN(), fmt.Errorf("%w: nil band or too-short data", ErrBadData)
+	}
+	if len(b.Times) != data.Len()-1 {
+		return math.NaN(), fmt.Errorf("%w: band covers %d deltas, data yields %d",
+			ErrBadData, len(b.Times), data.Len()-1)
+	}
+	inside := 0
+	for i := 1; i < data.Len(); i++ {
+		d := data.Value(i) - data.Value(i-1)
+		if d >= b.Lower[i-1] && d <= b.Upper[i-1] {
+			inside++
+		}
+	}
+	return float64(inside) / float64(data.Len()-1), nil
+}

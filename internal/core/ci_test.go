@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestResidualSigmaHandComputed(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4)
+	fit := constFit(t, 2, data)
+	// Residuals -1, 0, 1, 2 → SSE = 6, σ = √(6/2) = √3.
+	sigma, err := ResidualSigma(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("sigma = %g, want √3", sigma)
+	}
+}
+
+func TestResidualSigmaNeedsEnoughData(t *testing.T) {
+	data := seriesOf(t, 1, 2)
+	if _, err := ResidualSigma(constFit(t, 1, data)); !errors.Is(err, ErrBadData) {
+		t.Errorf("n <= 2: %v", err)
+	}
+	if _, err := ResidualSigma(nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+}
+
+func TestConfidenceBandStructure(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4, 5)
+	fit := constFit(t, 3, data)
+	band, err := ConfidenceBand(fit, data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(band.Times) != 5 || len(band.Lower) != 5 || len(band.Upper) != 5 {
+		t.Fatalf("band lengths wrong: %+v", band)
+	}
+	if math.Abs(band.Z-1.959963984540054) > 1e-9 {
+		t.Errorf("Z = %g, want 1.96", band.Z)
+	}
+	for i := range band.Times {
+		if band.Center[i] != 3 {
+			t.Errorf("center[%d] = %g, want 3 (constant model)", i, band.Center[i])
+		}
+		if band.Upper[i]-band.Lower[i] <= 0 {
+			t.Errorf("band width at %d non-positive", i)
+		}
+		want := 2 * band.Z * band.Sigma
+		if math.Abs((band.Upper[i]-band.Lower[i])-want) > 1e-12 {
+			t.Errorf("band width = %g, want %g", band.Upper[i]-band.Lower[i], want)
+		}
+	}
+}
+
+func TestConfidenceBandAlphaValidation(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4)
+	fit := constFit(t, 2, data)
+	for _, alpha := range []float64{0, 1, -0.1, 2} {
+		if _, err := ConfidenceBand(fit, data, alpha); !errors.Is(err, ErrBadData) {
+			t.Errorf("alpha %g: want ErrBadData, got %v", alpha, err)
+		}
+	}
+	if _, err := ConfidenceBand(fit, nil, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil series: %v", err)
+	}
+}
+
+func TestConfidenceBandWiderAtLowerAlpha(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4, 5, 6)
+	fit := constFit(t, 3.5, data)
+	b95, err := ConfidenceBand(fit, data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b99, err := ConfidenceBand(fit, data, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b99.Upper[0]-b99.Lower[0] > b95.Upper[0]-b95.Lower[0]) {
+		t.Error("99% band should be wider than 95% band")
+	}
+}
+
+func TestEmpiricalCoverage(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4, 5)
+	band := &Band{
+		Times: data.Times(),
+		Lower: []float64{0, 0, 0, 0, 10}, // last point excluded
+		Upper: []float64{10, 10, 10, 10, 11},
+	}
+	ec, err := EmpiricalCoverage(band, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec != 0.8 {
+		t.Errorf("EC = %g, want 0.8", ec)
+	}
+	// Mismatched lengths error.
+	short := seriesOf(t, 1, 2)
+	if _, err := EmpiricalCoverage(band, short); !errors.Is(err, ErrBadData) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := EmpiricalCoverage(nil, data); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil band: %v", err)
+	}
+}
+
+func TestCoverageOnWellFitModelIsHigh(t *testing.T) {
+	// A good fit's 95% band should cover most observations.
+	vals := make([]float64, 40)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.01*x + 0.0003*x*x + 0.0005*math.Sin(2*x)
+	}
+	data := seriesOf(t, vals...)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := ConfidenceBand(fit, data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := EmpiricalCoverage(band, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec < 0.85 {
+		t.Errorf("EC = %g, want >= 0.85 for a good fit", ec)
+	}
+}
+
+func TestDeltaCI(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4, 5)
+	fit := constFit(t, 3, data)
+	band, err := DeltaCI(fit, data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(band.Times) != 4 {
+		t.Fatalf("delta band has %d entries, want 4", len(band.Times))
+	}
+	for i, c := range band.Center {
+		if c != 0 { // constant model: all deltas are zero
+			t.Errorf("delta center[%d] = %g, want 0", i, c)
+		}
+	}
+	cov, err := DeltaCoverage(band, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed deltas are all 1; band is 0 ± 1.96·√3 ≈ ±3.39, so all in.
+	if cov != 1 {
+		t.Errorf("delta coverage = %g, want 1", cov)
+	}
+}
+
+func TestDeltaCIValidation(t *testing.T) {
+	one := seriesOf(t, 1)
+	fit := constFit(t, 1, seriesOf(t, 1, 2, 3, 4))
+	if _, err := DeltaCI(fit, one, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("single point: %v", err)
+	}
+	data := seriesOf(t, 1, 2, 3)
+	if _, err := DeltaCI(fit, data, 0); !errors.Is(err, ErrBadData) {
+		t.Errorf("alpha 0: %v", err)
+	}
+	band, err := DeltaCI(fit, data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeltaCoverage(band, seriesOf(t, 1, 2, 3, 4, 5)); !errors.Is(err, ErrBadData) {
+		t.Errorf("mismatched delta coverage: %v", err)
+	}
+	if _, err := DeltaCoverage(nil, data); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil band: %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// CompositeModel chains two single-dip resilience models at a fitted
+// changepoint τ, implementing the extension the paper's conclusions call
+// for: W-shaped events ("two successive periods of degradation and
+// recovery in sequence") that no single bathtub or mixture curve can
+// express.
+//
+//	P(t) = M₁(t)                      for t <= τ
+//	P(t) = s·M₂(t−τ), s = M₁(τ)/M₂(0) for t >  τ
+//
+// The scale s keeps the curve continuous at the changepoint. The
+// parameter vector is [τ, M₁ params..., M₂ params...].
+type CompositeModel struct {
+	first  Model
+	second Model
+	tauLo  float64
+	tauHi  float64
+}
+
+var _ Model = (*CompositeModel)(nil)
+
+// NewComposite builds a two-phase model whose changepoint is constrained
+// to (tauLo, tauHi) — typically a window around the inter-dip peak.
+func NewComposite(first, second Model, tauLo, tauHi float64) (*CompositeModel, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("%w: composite phases must be non-nil", ErrBadParams)
+	}
+	if !(tauLo >= 0 && tauHi > tauLo) {
+		return nil, fmt.Errorf("%w: changepoint window [%g, %g] invalid", ErrBadParams, tauLo, tauHi)
+	}
+	return &CompositeModel{first: first, second: second, tauLo: tauLo, tauHi: tauHi}, nil
+}
+
+// Phases returns the two component models.
+func (c *CompositeModel) Phases() (first, second Model) { return c.first, c.second }
+
+// Name returns e.g. "composite(competing-risks,competing-risks)".
+func (c *CompositeModel) Name() string {
+	return "composite(" + c.first.Name() + "," + c.second.Name() + ")"
+}
+
+// NumParams returns 1 (the changepoint) plus both phases' counts.
+func (c *CompositeModel) NumParams() int {
+	return 1 + c.first.NumParams() + c.second.NumParams()
+}
+
+// ParamNames returns "tau" followed by phase-qualified names.
+func (c *CompositeModel) ParamNames() []string {
+	names := make([]string, 0, c.NumParams())
+	names = append(names, "tau")
+	for _, n := range c.first.ParamNames() {
+		names = append(names, "phase1."+n)
+	}
+	for _, n := range c.second.ParamNames() {
+		names = append(names, "phase2."+n)
+	}
+	return names
+}
+
+// split partitions the parameter vector.
+func (c *CompositeModel) split(params []float64) (tau float64, p1, p2 []float64) {
+	tau = params[0]
+	p1 = params[1 : 1+c.first.NumParams()]
+	p2 = params[1+c.first.NumParams():]
+	return tau, p1, p2
+}
+
+// Bounds prepends the changepoint window to the phase bounds.
+func (c *CompositeModel) Bounds() optimize.Bounds {
+	b1 := c.first.Bounds()
+	b2 := c.second.Bounds()
+	lo := append([]float64{c.tauLo}, b1.Lo...)
+	lo = append(lo, b2.Lo...)
+	hi := append([]float64{c.tauHi}, b1.Hi...)
+	hi = append(hi, b2.Hi...)
+	b, err := optimize.NewBounds(lo, hi)
+	if err != nil {
+		panic("core: composite bounds: " + err.Error()) // component bounds are static
+	}
+	return b
+}
+
+// Guess places the changepoint at the highest interior point of the data
+// within the allowed window (the inter-dip peak) and lets each phase
+// guess from its own segment.
+func (c *CompositeModel) Guess(data *timeseries.Series) []float64 {
+	tau := (c.tauLo + c.tauHi) / 2
+	var seg1, seg2 *timeseries.Series
+	if data != nil && data.Len() >= 4 {
+		bestIdx, bestVal := -1, math.Inf(-1)
+		for i := 1; i < data.Len()-1; i++ {
+			t := data.Time(i)
+			if t <= c.tauLo || t >= c.tauHi {
+				continue
+			}
+			if v := data.Value(i); v > bestVal {
+				bestIdx, bestVal = i, v
+			}
+		}
+		if bestIdx > 1 && bestIdx < data.Len()-2 {
+			tau = data.Time(bestIdx)
+			if s, err := data.Slice(0, bestIdx+1); err == nil {
+				seg1 = s
+			}
+			if s, err := data.Slice(bestIdx, data.Len()); err == nil {
+				// Re-zero the second segment's clock for the phase guess.
+				times := s.Times()
+				vals := s.Values()
+				for j := range times {
+					times[j] -= times[0]
+				}
+				if rs, err := timeseries.NewSeries(times, vals); err == nil {
+					seg2 = rs
+				}
+			}
+		}
+	}
+	params := []float64{tau}
+	params = append(params, c.first.Guess(seg1)...)
+	params = append(params, c.second.Guess(seg2)...)
+	return params
+}
+
+// Validate checks the changepoint window and both phase vectors.
+func (c *CompositeModel) Validate(params []float64) error {
+	if err := checkParams(c, params); err != nil {
+		return err
+	}
+	tau, p1, p2 := c.split(params)
+	if !(tau > c.tauLo && tau < c.tauHi) {
+		return fmt.Errorf("%w: changepoint %g outside (%g, %g)", ErrBadParams, tau, c.tauLo, c.tauHi)
+	}
+	if err := c.first.Validate(p1); err != nil {
+		return fmt.Errorf("phase 1: %w", err)
+	}
+	if err := c.second.Validate(p2); err != nil {
+		return fmt.Errorf("phase 2: %w", err)
+	}
+	return nil
+}
+
+// Eval returns the continuous two-phase curve value.
+func (c *CompositeModel) Eval(params []float64, t float64) float64 {
+	tau, p1, p2 := c.split(params)
+	if t <= tau {
+		return c.first.Eval(p1, t)
+	}
+	base := c.second.Eval(p2, 0)
+	if base == 0 || math.IsNaN(base) {
+		return math.NaN()
+	}
+	scale := c.first.Eval(p1, tau) / base
+	return scale * c.second.Eval(p2, t-tau)
+}

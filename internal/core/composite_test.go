@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// wShapedSeries builds a clean double-dip curve: dip to 0.98 around t=5,
+// recovery to ~1.0 by t=14, second deeper dip to 0.965 around t=30,
+// recovery above 1.0 by t=47.
+func wShapedSeries(t *testing.T) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, 48)
+	for i := range vals {
+		x := float64(i)
+		var v float64
+		switch {
+		case x <= 14:
+			v = 1 - 0.02*math.Sin(math.Pi*x/14)
+		case x <= 46:
+			v = 1 - 0.035*math.Sin(math.Pi*(x-14)/32)
+		default:
+			v = 1 + 0.002*(x-46)
+		}
+		vals[i] = v
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustComposite(t *testing.T) *CompositeModel {
+	t.Helper()
+	c, err := NewComposite(CompetingRisksModel{}, CompetingRisksModel{}, 8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCompositeValidation(t *testing.T) {
+	if _, err := NewComposite(nil, QuadraticModel{}, 0, 10); !errors.Is(err, ErrBadParams) {
+		t.Errorf("nil first: %v", err)
+	}
+	if _, err := NewComposite(QuadraticModel{}, nil, 0, 10); !errors.Is(err, ErrBadParams) {
+		t.Errorf("nil second: %v", err)
+	}
+	if _, err := NewComposite(QuadraticModel{}, QuadraticModel{}, 10, 10); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty window: %v", err)
+	}
+	if _, err := NewComposite(QuadraticModel{}, QuadraticModel{}, -1, 10); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative lower: %v", err)
+	}
+}
+
+func TestCompositeStructure(t *testing.T) {
+	c := mustComposite(t)
+	if c.NumParams() != 7 {
+		t.Errorf("NumParams = %d, want 1+3+3", c.NumParams())
+	}
+	names := c.ParamNames()
+	if names[0] != "tau" || !strings.HasPrefix(names[1], "phase1.") || !strings.HasPrefix(names[4], "phase2.") {
+		t.Errorf("ParamNames = %v", names)
+	}
+	if c.Bounds().Len() != 7 {
+		t.Error("bounds dimension mismatch")
+	}
+	if !strings.Contains(c.Name(), "composite(") {
+		t.Errorf("Name = %q", c.Name())
+	}
+	f, s := c.Phases()
+	if f.Name() != "competing-risks" || s.Name() != "competing-risks" {
+		t.Error("Phases accessor")
+	}
+}
+
+func TestCompositeContinuityAtChangepoint(t *testing.T) {
+	c := mustComposite(t)
+	params := []float64{15, 1, 0.5, 0.002, 0.9, 0.3, 0.001}
+	if err := c.Validate(params); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	left := c.Eval(params, 15)
+	right := c.Eval(params, 15+1e-9)
+	if math.Abs(left-right) > 1e-6 {
+		t.Errorf("discontinuity at changepoint: %g vs %g", left, right)
+	}
+	// Before the changepoint, the curve is exactly phase 1.
+	m := CompetingRisksModel{}
+	if got, want := c.Eval(params, 7), m.Eval(params[1:4], 7); got != want {
+		t.Errorf("phase 1 value %g, want %g", got, want)
+	}
+}
+
+func TestCompositeValidateRejects(t *testing.T) {
+	c := mustComposite(t)
+	cases := [][]float64{
+		{15, 1, 0.5, 0.002},                   // wrong length
+		{5, 1, 0.5, 0.002, 0.9, 0.3, 0.001},   // tau below window
+		{30, 1, 0.5, 0.002, 0.9, 0.3, 0.001},  // tau above window
+		{15, -1, 0.5, 0.002, 0.9, 0.3, 0.001}, // phase 1 invalid
+		{15, 1, 0.5, 0.002, 0.9, -0.3, 0.001}, // phase 2 invalid
+	}
+	for _, p := range cases {
+		if err := c.Validate(p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Validate(%v): want ErrBadParams, got %v", p, err)
+		}
+	}
+}
+
+func TestCompositeGuessFeasible(t *testing.T) {
+	c := mustComposite(t)
+	data := wShapedSeries(t)
+	g := c.Guess(data)
+	if len(g) != c.NumParams() {
+		t.Fatalf("guess length %d", len(g))
+	}
+	if err := c.Validate(g); err != nil {
+		t.Errorf("guess invalid: %v", err)
+	}
+	// The changepoint guess should land near the inter-dip peak (t≈14).
+	if g[0] < 9 || g[0] > 20 {
+		t.Errorf("changepoint guess %g, want near 14", g[0])
+	}
+	// Degenerate data still yields a feasible guess.
+	if err := c.Validate(c.Guess(nil)); err != nil {
+		t.Errorf("nil-data guess invalid: %v", err)
+	}
+}
+
+func TestCompositeFitsWShape(t *testing.T) {
+	// The headline extension claim: a two-phase composite fits the
+	// W-shaped data that defeats every single-dip model.
+	data := wShapedSeries(t)
+	single, err := Validate(CompetingRisksModel{}, data, ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composite := mustComposite(t)
+	multi, err := Validate(composite, data, ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.GoF.R2Adj < 0.9 {
+		t.Errorf("composite r2adj = %.4f, want > 0.9 on a clean W", multi.GoF.R2Adj)
+	}
+	if multi.GoF.R2Adj <= single.GoF.R2Adj {
+		t.Errorf("composite (%.4f) should beat single-dip (%.4f) on W data",
+			multi.GoF.R2Adj, single.GoF.R2Adj)
+	}
+}
+
+func TestExpBathtubBasics(t *testing.T) {
+	m := ExpBathtubModel{}
+	params := []float64{1, 0.3, 0.01, 0.08}
+	if got := m.Eval(params, 0); got != 1 {
+		t.Errorf("Eval(0) = %g, want alpha", got)
+	}
+	// Hand check at t = 10: e^{-3} + 0.01(e^{0.8} − 1).
+	want := math.Exp(-3) + 0.01*math.Expm1(0.8)
+	if got := m.Eval(params, 10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval(10) = %g, want %g", got, want)
+	}
+	if err := m.Validate(params); err != nil {
+		t.Errorf("valid params: %v", err)
+	}
+	for _, bad := range [][]float64{
+		{1, 0.3, 0.01}, {0, 0.3, 0.01, 0.08}, {1, -0.3, 0.01, 0.08},
+		{1, 0.3, 0, 0.08}, {1, 0.3, 0.01, -0.08},
+	} {
+		if err := m.Validate(bad); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Validate(%v): %v", bad, err)
+		}
+	}
+}
+
+func TestExpBathtubAreaAndMinimum(t *testing.T) {
+	m := ExpBathtubModel{}
+	params := []float64{1, 0.3, 0.01, 0.08}
+	// Area against midpoint sampling.
+	analytic, err := m.Area(params, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const steps = 40000
+	for i := 0; i < steps; i++ {
+		x := 40 * (float64(i) + 0.5) / steps
+		sum += m.Eval(params, x)
+	}
+	sum *= 40.0 / steps
+	if math.Abs(analytic-sum) > 1e-4 {
+		t.Errorf("Area = %g, sampling %g", analytic, sum)
+	}
+	// Minimum is stationary.
+	td, err := m.MinimumTime(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Eval(params, td)
+	if m.Eval(params, td-0.01) < p || m.Eval(params, td+0.01) < p {
+		t.Errorf("t_d = %g is not a minimum", td)
+	}
+	// Increasing-from-start parameters give t_d = 0.
+	inc := []float64{0.01, 0.1, 1, 0.5}
+	td, err = m.MinimumTime(inc)
+	if err != nil || td != 0 {
+		t.Errorf("increasing case: td = %g, %v", td, err)
+	}
+}
+
+func TestExpBathtubFitsAsymmetricDip(t *testing.T) {
+	// Fast drop, slow recovery: the 4-parameter exp-bathtub should match
+	// or beat the 3-parameter forms.
+	vals := make([]float64, 48)
+	truth := []float64{1, 0.5, 0.004, 0.06}
+	m := ExpBathtubModel{}
+	for i := range vals {
+		vals[i] = m.Eval(truth, float64(i))
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(m, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SSE > 1e-8 {
+		t.Errorf("SSE on exact data = %g", fit.SSE)
+	}
+	g := m.Guess(data)
+	if err := m.Validate(g); err != nil {
+		t.Errorf("guess invalid: %v", err)
+	}
+	if err := m.Validate(m.Guess(nil)); err != nil {
+		t.Errorf("nil-data guess invalid: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"resilience/internal/stat"
+)
+
+// ResidualDiagnostics checks the assumptions behind the paper's
+// confidence intervals (Eqs. 12–13): uncorrelated, roughly Gaussian
+// residuals. Each warning names the violated assumption and what it
+// means for the reported bands.
+type ResidualDiagnostics struct {
+	// LjungBox tests residual autocorrelation (iid assumption).
+	LjungBox stat.LjungBoxResult
+	// JarqueBera tests residual normality (z critical-value assumption).
+	JarqueBera stat.JarqueBeraResult
+	// DurbinWatson is the lag-1 serial correlation statistic (≈2 = none).
+	DurbinWatson float64
+	// Warnings lists human-readable assumption violations at the 5%
+	// level; empty means the Eq. (13) bands rest on solid ground.
+	Warnings []string
+}
+
+// DiagnoseResiduals runs the assumption checks on a fit's training
+// residuals. Curve-fit residuals are usually autocorrelated when the
+// model misses structure (a W shape fit by a single dip, for example),
+// which is exactly when the paper's bands overstate their confidence —
+// these diagnostics surface that.
+func DiagnoseResiduals(f *FitResult) (*ResidualDiagnostics, error) {
+	if f == nil || f.Train == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	residuals := f.Residuals(f.Train)
+	if len(residuals) < 8 {
+		return nil, fmt.Errorf("%w: need at least 8 residuals to diagnose", ErrBadData)
+	}
+
+	out := &ResidualDiagnostics{}
+	lb, err := stat.LjungBox(residuals, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: ljung-box: %w", err)
+	}
+	out.LjungBox = lb
+	jb, err := stat.JarqueBera(residuals)
+	if err != nil {
+		return nil, fmt.Errorf("core: jarque-bera: %w", err)
+	}
+	out.JarqueBera = jb
+	dw, err := stat.DurbinWatson(residuals)
+	if err != nil {
+		return nil, fmt.Errorf("core: durbin-watson: %w", err)
+	}
+	out.DurbinWatson = dw
+
+	const alpha = 0.05
+	if lb.PValue < alpha {
+		out.Warnings = append(out.Warnings, fmt.Sprintf(
+			"residuals are autocorrelated (Ljung-Box p=%.4f): the Eq. 13 "+
+				"confidence bands assume independent errors and will be "+
+				"narrower than honest; consider the bootstrap band instead",
+			lb.PValue))
+	}
+	if jb.PValue < alpha {
+		out.Warnings = append(out.Warnings, fmt.Sprintf(
+			"residuals are non-Gaussian (Jarque-Bera p=%.4f, skew %.2f, "+
+				"kurtosis %.2f): the z critical values in Eq. 13 may miss "+
+				"the nominal coverage",
+			jb.PValue, jb.Skewness, jb.Kurtosis))
+	}
+	if dw < 1 || dw > 3 {
+		out.Warnings = append(out.Warnings, fmt.Sprintf(
+			"strong lag-1 serial correlation (Durbin-Watson %.2f, expect ~2)", dw))
+	}
+	return out, nil
+}
+
+// Healthy reports whether no assumption violations were flagged.
+func (d *ResidualDiagnostics) Healthy() bool { return len(d.Warnings) == 0 }
+
+// String summarizes the diagnostics in one block.
+func (d *ResidualDiagnostics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ljung-Box Q=%.3f (p=%.4f, %d lags); ", d.LjungBox.Statistic, d.LjungBox.PValue, d.LjungBox.Lags)
+	fmt.Fprintf(&b, "Jarque-Bera JB=%.3f (p=%.4f); ", d.JarqueBera.Statistic, d.JarqueBera.PValue)
+	fmt.Fprintf(&b, "Durbin-Watson %.3f", d.DurbinWatson)
+	for _, w := range d.Warnings {
+		b.WriteString("\nwarning: " + w)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+func TestDiagnoseResidualsHealthyFit(t *testing.T) {
+	// A correct model with pseudo-random noise: diagnostics should pass
+	// (the paper's CI assumptions hold).
+	m := CompetingRisksModel{}
+	truth := []float64{1, 0.3, 0.002}
+	state := uint64(7)
+	next := func() float64 {
+		var s float64
+		for j := 0; j < 12; j++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			s += float64(state>>11) / (1 << 53)
+		}
+		return s - 6
+	}
+	// Noise large enough that the fitted curve's smooth approximation
+	// error is negligible next to it; otherwise the test would probe the
+	// optimizer, not the diagnostics.
+	vals := make([]float64, 80)
+	for i := range vals {
+		vals[i] = m.Eval(truth, float64(i)) + 0.006*next()
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(m, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := DiagnoseResiduals(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Healthy() {
+		t.Errorf("healthy fit flagged: %v", diag.Warnings)
+	}
+	if diag.DurbinWatson < 1.4 || diag.DurbinWatson > 2.6 {
+		t.Errorf("DW = %g on white residuals", diag.DurbinWatson)
+	}
+	if s := diag.String(); !strings.Contains(s, "Ljung-Box") || !strings.Contains(s, "Durbin-Watson") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDiagnoseResidualsFlagsMisfit(t *testing.T) {
+	// Fit a single-dip model to a W shape: the structured residuals must
+	// trip the autocorrelation warning — exactly the situation where the
+	// paper's bands overstate confidence.
+	data := wShapedSeries(t)
+	fit, err := Fit(CompetingRisksModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := DiagnoseResiduals(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Healthy() {
+		t.Error("misfit residuals passed diagnostics")
+	}
+	if diag.LjungBox.PValue > 0.05 {
+		t.Errorf("Ljung-Box p = %g, want < 0.05 on structured residuals", diag.LjungBox.PValue)
+	}
+	if !strings.Contains(diag.String(), "warning:") {
+		t.Error("String() missing warnings")
+	}
+}
+
+func TestDiagnoseResidualsValidation(t *testing.T) {
+	if _, err := DiagnoseResiduals(nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	tiny, err := timeseries.FromValues([]float64{1, 0.9, 0.95, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := &FitResult{Model: QuadraticModel{}, Params: []float64{1, -0.05, 0.01}, Train: tiny}
+	if _, err := DiagnoseResiduals(fit); !errors.Is(err, ErrBadData) {
+		t.Errorf("too few residuals: %v", err)
+	}
+}
+
+func TestDiagnosticsAgreeWithCoverage(t *testing.T) {
+	// Sanity link: when diagnostics flag a misfit, the model's band EC on
+	// the misfit dataset should also be imperfect (not a hard law, but on
+	// our W data it holds).
+	data := wShapedSeries(t)
+	v, err := Validate(CompetingRisksModel{}, data, ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := DiagnoseResiduals(v.Fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Healthy() && v.EC < 0.9 {
+		t.Errorf("diagnostics healthy but EC only %.2f", v.EC)
+	}
+	if math.IsNaN(diag.DurbinWatson) {
+		t.Error("DW NaN")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// ExpBathtubModel is a four-parameter bathtub extension beyond the
+// paper's two forms: a decreasing exponential risk competing with an
+// increasing exponential one,
+//
+//	P(t) = α·e^{−βt} + γ·(e^{δt} − 1),   α, β, γ, δ > 0.
+//
+// Unlike the classic additive-Weibull bathtub, the hazard is finite at
+// t = 0 (P(0) = α), which suits performance curves normalized to 1 at
+// the disruption. The extra parameter lets the descent and recovery
+// speeds decouple, addressing the paper's observation that the
+// three-parameter forms lack flexibility for asymmetric dips.
+type ExpBathtubModel struct{}
+
+var (
+	_ AreaModel    = ExpBathtubModel{}
+	_ MinimumModel = ExpBathtubModel{}
+)
+
+// Name returns "exp-bathtub".
+func (ExpBathtubModel) Name() string { return "exp-bathtub" }
+
+// NumParams returns 4.
+func (ExpBathtubModel) NumParams() int { return 4 }
+
+// ParamNames returns α, β, γ, δ.
+func (ExpBathtubModel) ParamNames() []string {
+	return []string{"alpha", "beta", "gamma", "delta"}
+}
+
+// Bounds constrains all four parameters to positive boxes sized for
+// normalized monthly data.
+func (ExpBathtubModel) Bounds() optimize.Bounds {
+	b, err := optimize.NewBounds(
+		[]float64{1e-9, 1e-9, 1e-12, 1e-9},
+		[]float64{5, 2, 2, 0.5},
+	)
+	if err != nil {
+		panic("core: exp-bathtub bounds: " + err.Error()) // static bounds cannot fail
+	}
+	return b
+}
+
+// Guess derives starting values from the observed minimum and terminal
+// slope.
+func (ExpBathtubModel) Guess(data *timeseries.Series) []float64 {
+	if data == nil || data.Len() < 4 {
+		return []float64{1, 0.1, 0.01, 0.05}
+	}
+	_, td, pd := data.Min()
+	_, tEnd := data.Span()
+	p0 := data.Value(0)
+	pEnd := data.Value(data.Len() - 1)
+	alpha := math.Max(p0, 1e-6)
+	// Decay rate so that the decreasing term is mostly gone by the
+	// observed minimum.
+	beta := 0.1
+	if td > 0 {
+		beta = 2 / td
+	}
+	// Recovery: γ(e^{δ·tEnd} − 1) ≈ recovered amount. Start δ small and
+	// size γ accordingly.
+	delta := 0.05
+	recovered := math.Max(pEnd-pd, 1e-4)
+	gamma := recovered / math.Max(math.Expm1(delta*(tEnd-td)), 1e-6)
+	gamma = math.Min(math.Max(gamma, 1e-10), 1)
+	return []float64{alpha, beta, gamma, delta}
+}
+
+// Validate requires all parameters strictly positive.
+func (m ExpBathtubModel) Validate(params []float64) error {
+	if err := checkParams(m, params); err != nil {
+		return err
+	}
+	for i, p := range params {
+		if !(p > 0) {
+			return fmt.Errorf("%w: exp-bathtub %s must be positive, got %g",
+				ErrBadParams, m.ParamNames()[i], p)
+		}
+	}
+	return nil
+}
+
+// Eval returns α·e^{−βt} + γ·(e^{δt} − 1).
+func (ExpBathtubModel) Eval(params []float64, t float64) float64 {
+	return params[0]*math.Exp(-params[1]*t) + params[2]*math.Expm1(params[3]*t)
+}
+
+// Area integrates the curve in closed form:
+// ∫ P dt = −(α/β)e^{−βt} + γ(e^{δt}/δ − t).
+func (m ExpBathtubModel) Area(params []float64, t0, t1 float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	alpha, beta, gamma, delta := params[0], params[1], params[2], params[3]
+	anti := func(t float64) float64 {
+		return -alpha/beta*math.Exp(-beta*t) + gamma*(math.Exp(delta*t)/delta-t)
+	}
+	return anti(t1) - anti(t0), nil
+}
+
+// MinimumTime solves P'(t) = −αβe^{−βt} + γδe^{δt} = 0 in closed form:
+// t_d = ln(αβ/(γδ))/(β+δ), clamped at 0 when the curve is increasing
+// from the start.
+func (m ExpBathtubModel) MinimumTime(params []float64) (float64, error) {
+	if err := m.Validate(params); err != nil {
+		return math.NaN(), err
+	}
+	alpha, beta, gamma, delta := params[0], params[1], params[2], params[3]
+	ratio := alpha * beta / (gamma * delta)
+	if ratio <= 1 {
+		return 0, nil
+	}
+	return math.Log(ratio) / (beta + delta), nil
+}

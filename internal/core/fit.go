@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/numeric"
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// FitConfig configures the least-squares fitting driver. The zero value
+// selects the defaults used throughout the paper reproduction.
+type FitConfig struct {
+	// Starts is the number of multistart launches (default 12).
+	Starts int
+	// SkipPolish disables the Levenberg–Marquardt refinement that runs
+	// after multistart Nelder–Mead by default.
+	SkipPolish bool
+	// InitialParams, when non-nil, replaces the model's data-derived
+	// guess as the first multistart point. Bootstrap replicates and
+	// rolling-origin cross-validation warm-start from a previous fit this
+	// way.
+	InitialParams []float64
+	// Local configures each local solve.
+	Local optimize.Options
+}
+
+func (c FitConfig) withDefaults() FitConfig {
+	if c.Starts <= 0 {
+		c.Starts = 12
+	}
+	return c
+}
+
+// FitResult is a fitted resilience model bound to its training data.
+type FitResult struct {
+	// Model is the fitted family.
+	Model Model
+	// Params is the least-squares parameter estimate.
+	Params []float64
+	// Train is the series the model was fit to.
+	Train *timeseries.Series
+	// SSE is Eq. (9) evaluated over the training series.
+	SSE float64
+	// Evals counts objective evaluations spent by the optimizer.
+	Evals int
+}
+
+// Fit estimates the model's parameters from data by least squares
+// (Eq. 8), minimizing Σᵢ (R(tᵢ) − P(tᵢ; θ))² with multistart Nelder–Mead
+// followed by Levenberg–Marquardt polish.
+func Fit(m Model, data *timeseries.Series, cfg FitConfig) (*FitResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadData)
+	}
+	if data == nil || data.Len() < m.NumParams()+1 {
+		return nil, fmt.Errorf("%w: need more observations than parameters (%d) to fit %s",
+			ErrBadData, m.NumParams(), nameOf(m))
+	}
+	cfg = cfg.withDefaults()
+
+	times := data.Times()
+	values := data.Values()
+
+	objective := func(params []float64) float64 {
+		if m.Validate(params) != nil {
+			return math.Inf(1)
+		}
+		var sse float64
+		for i, t := range times {
+			d := values[i] - m.Eval(params, t)
+			sse += d * d
+		}
+		if math.IsNaN(sse) {
+			return math.Inf(1)
+		}
+		return sse
+	}
+	residual := func(params []float64) ([]float64, error) {
+		if err := m.Validate(params); err != nil {
+			return nil, err
+		}
+		r := make([]float64, len(times))
+		for i, t := range times {
+			r[i] = m.Eval(params, t) - values[i]
+		}
+		if !numeric.AllFinite(r) {
+			return nil, fmt.Errorf("%w: non-finite residual", ErrBadParams)
+		}
+		return r, nil
+	}
+
+	guess := cfg.InitialParams
+	if len(guess) != m.NumParams() {
+		guess = m.Guess(data)
+	}
+	res, err := optimize.MultiStart(objective, residual, guess, optimize.MultiStartConfig{
+		Starts: cfg.Starts,
+		Bounds: m.Bounds(),
+		Local:  cfg.Local,
+		Polish: !cfg.SkipPolish,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fit %s: %w", nameOf(m), err)
+	}
+	if err := m.Validate(res.X); err != nil {
+		return nil, fmt.Errorf("fit %s: optimizer left feasible region: %w", nameOf(m), err)
+	}
+	return &FitResult{
+		Model:  m,
+		Params: res.X,
+		Train:  data,
+		SSE:    objective(res.X),
+		Evals:  res.FuncEvals,
+	}, nil
+}
+
+// Eval returns the fitted curve value P̂(t).
+func (f *FitResult) Eval(t float64) float64 {
+	return f.Model.Eval(f.Params, t)
+}
+
+// Predict evaluates the fitted curve at each time in ts.
+func (f *FitResult) Predict(ts []float64) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = f.Eval(t)
+	}
+	return out
+}
+
+// Residuals returns R(tᵢ) − P̂(tᵢ) over an arbitrary series.
+func (f *FitResult) Residuals(data *timeseries.Series) []float64 {
+	out := make([]float64, data.Len())
+	for i := 0; i < data.Len(); i++ {
+		out[i] = data.Value(i) - f.Eval(data.Time(i))
+	}
+	return out
+}
+
+// nameOf guards against Name() on a nil interface implementation.
+func nameOf(m Model) string {
+	if m == nil {
+		return "<nil>"
+	}
+	return m.Name()
+}
+
+// fitWithObjective runs the multistart driver against a custom scalar
+// objective (e.g. a weighted SSE) instead of the standard Eq. (8) sum.
+// No Levenberg–Marquardt polish is applied, since the objective need not
+// decompose into residuals.
+func fitWithObjective(m Model, data *timeseries.Series, cfg FitConfig, objective func([]float64) float64) (*FitResult, error) {
+	if m == nil || objective == nil {
+		return nil, fmt.Errorf("%w: nil model or objective", ErrBadData)
+	}
+	if data == nil || data.Len() < m.NumParams()+1 {
+		return nil, fmt.Errorf("%w: need more observations than parameters", ErrBadData)
+	}
+	cfg = cfg.withDefaults()
+
+	guarded := func(params []float64) float64 {
+		if m.Validate(params) != nil {
+			return math.Inf(1)
+		}
+		v := objective(params)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	guess := cfg.InitialParams
+	if len(guess) != m.NumParams() {
+		guess = m.Guess(data)
+	}
+	res, err := optimize.MultiStart(guarded, nil, guess, optimize.MultiStartConfig{
+		Starts: cfg.Starts,
+		Bounds: m.Bounds(),
+		Local:  cfg.Local,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fit %s: %w", nameOf(m), err)
+	}
+	if err := m.Validate(res.X); err != nil {
+		return nil, fmt.Errorf("fit %s: optimizer left feasible region: %w", nameOf(m), err)
+	}
+	return &FitResult{
+		Model:  m,
+		Params: res.X,
+		Train:  data,
+		SSE:    guarded(res.X),
+		Evals:  res.FuncEvals,
+	}, nil
+}

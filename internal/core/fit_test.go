@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// quadraticSeries samples a known quadratic curve on 0..n-1.
+func quadraticSeries(t *testing.T, alpha, beta, gamma float64, n int) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, n)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = alpha + beta*x + gamma*x*x
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFitRecoversQuadraticParams(t *testing.T) {
+	want := []float64{1, -0.02, 0.0005}
+	data := quadraticSeries(t, want[0], want[1], want[2], 40)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SSE > 1e-10 {
+		t.Errorf("SSE on exact data = %g", fit.SSE)
+	}
+	for i := range want {
+		if math.Abs(fit.Params[i]-want[i]) > 1e-4*math.Max(1, math.Abs(want[i])) {
+			t.Errorf("param %d = %g, want %g", i, fit.Params[i], want[i])
+		}
+	}
+}
+
+func TestFitRecoversCompetingRisksParams(t *testing.T) {
+	m := CompetingRisksModel{}
+	want := []float64{1, 0.3, 0.0008}
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = m.Eval(want, float64(i))
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(m, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SSE > 1e-9 {
+		t.Errorf("SSE on exact data = %g (params %v)", fit.SSE, fit.Params)
+	}
+}
+
+func TestFitRecoversMixtureCurve(t *testing.T) {
+	mix, err := NewMixture(ExpFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.15, 0.08, 0.35}
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = mix.Eval(truth, float64(i))
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(mix, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameter identifiability is weak for mixtures; require curve
+	// agreement rather than parameter agreement.
+	if fit.SSE > 1e-7 {
+		t.Errorf("SSE on exact mixture data = %g (params %v)", fit.SSE, fit.Params)
+	}
+}
+
+func TestFitValidatesInput(t *testing.T) {
+	data := quadraticSeries(t, 1, -0.02, 0.0005, 10)
+	if _, err := Fit(nil, data, FitConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil model: %v", err)
+	}
+	if _, err := Fit(QuadraticModel{}, nil, FitConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil data: %v", err)
+	}
+	tiny, err := timeseries.FromValues([]float64{1, 0.9, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(QuadraticModel{}, tiny, FitConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("too few points: %v", err)
+	}
+}
+
+func TestFitResultHelpers(t *testing.T) {
+	data := quadraticSeries(t, 1, -0.02, 0.0005, 30)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := fit.Predict([]float64{0, 10, 29})
+	if len(preds) != 3 {
+		t.Fatalf("Predict returned %d values", len(preds))
+	}
+	for i, tt := range []float64{0, 10, 29} {
+		if math.Abs(preds[i]-fit.Eval(tt)) > 1e-15 {
+			t.Errorf("Predict[%d] != Eval", i)
+		}
+	}
+	res := fit.Residuals(data)
+	if len(res) != data.Len() {
+		t.Fatalf("Residuals length %d", len(res))
+	}
+	for i, r := range res {
+		if math.Abs(r) > 1e-4 {
+			t.Errorf("residual[%d] = %g on exact data", i, r)
+		}
+	}
+}
+
+func TestFitSkipPolishStillConverges(t *testing.T) {
+	data := quadraticSeries(t, 1, -0.02, 0.0005, 30)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{SkipPolish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SSE > 1e-6 {
+		t.Errorf("SSE without polish = %g", fit.SSE)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	// Deterministic noise around a quadratic: the fit must land near the
+	// truth, with SSE on the order of the injected noise energy.
+	truth := []float64{1, -0.015, 0.0004}
+	vals := make([]float64, 48)
+	var noiseEnergy float64
+	for i := range vals {
+		x := float64(i)
+		noise := 0.001 * math.Sin(3*x)
+		vals[i] = truth[0] + truth[1]*x + truth[2]*x*x + noise
+		noiseEnergy += noise * noise
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SSE > 2*noiseEnergy {
+		t.Errorf("SSE = %g, noise energy %g", fit.SSE, noiseEnergy)
+	}
+}

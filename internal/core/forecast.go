@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/stat"
+)
+
+// Forecast is a set of future-time predictions from a fitted model with
+// an approximate uncertainty band.
+type Forecast struct {
+	// Times are the forecast horizons requested.
+	Times []float64
+	// Mean is the fitted-curve prediction P̂(t).
+	Mean []float64
+	// Lower and Upper bound each prediction at the requested confidence,
+	// using the Eq. (12) residual dispersion scaled by the normal
+	// critical value — the same machinery as the paper's in-sample bands,
+	// extrapolated forward.
+	Lower []float64
+	Upper []float64
+	// Sigma is the residual standard deviation the band is built from.
+	Sigma float64
+}
+
+// ForecastAt predicts the fitted curve at the given future times with a
+// (1−alpha) normal-approximation band. Times may be any nonnegative
+// values, including far beyond the training window; the band width is
+// constant in time, so treat long extrapolations with the usual caution.
+func ForecastAt(f *FitResult, times []float64, alpha float64) (*Forecast, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: no forecast times", ErrBadData)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("%w: alpha %g outside (0, 1)", ErrBadData, alpha)
+	}
+	for _, t := range times {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("%w: non-finite forecast time", ErrBadData)
+		}
+	}
+	sigma, err := ResidualSigma(f)
+	if err != nil {
+		return nil, err
+	}
+	z := stat.ZCritical(alpha)
+	out := &Forecast{
+		Times: append([]float64(nil), times...),
+		Mean:  make([]float64, len(times)),
+		Lower: make([]float64, len(times)),
+		Upper: make([]float64, len(times)),
+		Sigma: sigma,
+	}
+	for i, t := range times {
+		m := f.Eval(t)
+		out.Mean[i] = m
+		out.Lower[i] = m - z*sigma
+		out.Upper[i] = m + z*sigma
+	}
+	return out, nil
+}
+
+// ForecastHorizon predicts the next `steps` equally spaced points after
+// the training window, continuing its sampling interval — the "what
+// happens over the next h months" call emergency planners need.
+func ForecastHorizon(f *FitResult, steps int, alpha float64) (*Forecast, error) {
+	if f == nil || f.Train == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("%w: non-positive steps", ErrBadData)
+	}
+	n := f.Train.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 training points", ErrBadData)
+	}
+	last := f.Train.Time(n - 1)
+	dt := (last - f.Train.Time(0)) / float64(n-1)
+	times := make([]float64, steps)
+	for i := range times {
+		times[i] = last + dt*float64(i+1)
+	}
+	return ForecastAt(f, times, alpha)
+}

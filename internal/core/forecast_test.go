@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestForecastAt(t *testing.T) {
+	data, truth := noisyQuadratic(t, 30)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{30, 35, 40}
+	fc, err := ForecastAt(fit, times, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Mean) != 3 || len(fc.Lower) != 3 || len(fc.Upper) != 3 {
+		t.Fatalf("forecast lengths: %+v", fc)
+	}
+	m := QuadraticModel{}
+	for i, tt := range times {
+		wantMean := fit.Eval(tt)
+		if fc.Mean[i] != wantMean {
+			t.Errorf("mean[%d] = %g, want %g", i, fc.Mean[i], wantMean)
+		}
+		if fc.Lower[i] >= fc.Mean[i] || fc.Upper[i] <= fc.Mean[i] {
+			t.Errorf("band does not bracket mean at %d", i)
+		}
+		// On lightly noisy data, the truth curve stays inside the band.
+		truthVal := m.Eval(truth, tt)
+		if truthVal < fc.Lower[i]-0.01 || truthVal > fc.Upper[i]+0.01 {
+			t.Errorf("truth %g outside [%g, %g] at t=%g",
+				truthVal, fc.Lower[i], fc.Upper[i], tt)
+		}
+	}
+	if fc.Sigma <= 0 {
+		t.Errorf("sigma = %g", fc.Sigma)
+	}
+}
+
+func TestForecastHorizonContinuesSpacing(t *testing.T) {
+	data, _ := noisyQuadratic(t, 20) // times 0..19 spaced 1
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := ForecastHorizon(fit, 5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{20, 21, 22, 23, 24}
+	for i, w := range want {
+		if math.Abs(fc.Times[i]-w) > 1e-12 {
+			t.Errorf("time[%d] = %g, want %g", i, fc.Times[i], w)
+		}
+	}
+}
+
+func TestForecastValidation(t *testing.T) {
+	data, _ := noisyQuadratic(t, 20)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForecastAt(nil, []float64{1}, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	if _, err := ForecastAt(fit, nil, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("no times: %v", err)
+	}
+	if _, err := ForecastAt(fit, []float64{1}, 0); !errors.Is(err, ErrBadData) {
+		t.Errorf("alpha 0: %v", err)
+	}
+	if _, err := ForecastAt(fit, []float64{math.NaN()}, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("NaN time: %v", err)
+	}
+	if _, err := ForecastHorizon(fit, 0, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero steps: %v", err)
+	}
+	if _, err := ForecastHorizon(nil, 3, 0.05); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit horizon: %v", err)
+	}
+}
+
+func TestForecastWiderAtHigherConfidence(t *testing.T) {
+	data, _ := noisyQuadratic(t, 25)
+	fit, err := Fit(QuadraticModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f95, err := ForecastAt(fit, []float64{30}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f99, err := ForecastAt(fit, []float64{30}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f99.Upper[0]-f99.Lower[0] > f95.Upper[0]-f95.Lower[0]) {
+		t.Error("99% forecast band should be wider than 95%")
+	}
+}

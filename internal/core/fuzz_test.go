@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClassifyShape asserts the shape classifier is total: any slice of
+// floats yields one of the known labels without panicking.
+func FuzzClassifyShape(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 255, 0, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := make([]float64, len(raw))
+		for i, b := range raw {
+			vals[i] = 0.5 + float64(b)/255 // (0.5, 1.5]
+		}
+		got := ClassifyShape(vals)
+		switch got {
+		case ShapeV, ShapeU, ShapeW, ShapeL, ShapeJ, ShapeFlat:
+		default:
+			t.Fatalf("unknown shape %q", got)
+		}
+	})
+}
+
+// FuzzModelEval asserts Eval never panics on validated parameters over
+// arbitrary times, and that valid parameters always produce finite
+// values at finite nonnegative times for the bathtub models.
+func FuzzModelEval(f *testing.F) {
+	f.Add(1.0, -0.1, 0.01, 5.0)
+	f.Add(0.5, -0.001, 0.0001, 47.0)
+	f.Fuzz(func(t *testing.T, alpha, beta, gamma, x float64) {
+		params := []float64{alpha, beta, gamma}
+		quad := QuadraticModel{}
+		if quad.Validate(params) == nil && x >= 0 && x < 1e6 &&
+			!math.IsNaN(x) && !math.IsInf(x, 0) {
+			if v := quad.Eval(params, x); math.IsNaN(v) {
+				t.Fatalf("quadratic Eval(%v, %g) = NaN", params, x)
+			}
+		}
+		// Competing risks needs positive parameters; reuse magnitudes.
+		crParams := []float64{math.Abs(alpha), math.Abs(beta), math.Abs(gamma)}
+		cr := CompetingRisksModel{}
+		if cr.Validate(crParams) == nil && x >= 0 && x < 1e6 &&
+			!math.IsNaN(x) && !math.IsInf(x, 0) {
+			if v := cr.Eval(crParams, x); math.IsNaN(v) {
+				t.Fatalf("competing risks Eval(%v, %g) = NaN", crParams, x)
+			}
+		}
+	})
+}
+
+// FuzzRelativeError asserts Eq. (22) is total and nonnegative.
+func FuzzRelativeError(f *testing.F) {
+	f.Add(1.0, 2.0)
+	f.Add(0.0, 0.0)
+	f.Add(-5.0, 5.0)
+	f.Fuzz(func(t *testing.T, actual, predicted float64) {
+		if math.IsNaN(actual) || math.IsNaN(predicted) {
+			return
+		}
+		got := RelativeError(actual, predicted)
+		if got < 0 {
+			t.Fatalf("RelativeError(%g, %g) = %g < 0", actual, predicted, got)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/stat"
+	"resilience/internal/timeseries"
+)
+
+// GoF bundles the goodness-of-fit measures of Sec. III-B.1 plus the AIC
+// and BIC extensions.
+type GoF struct {
+	// SSE is the sum of squared errors over the training data (Eq. 9).
+	SSE float64
+	// PMSE is the predictive mean squared error over the held-out data
+	// (Eq. 10); NaN when no test data was supplied.
+	PMSE float64
+	// R2Adj is the adjusted coefficient of determination over the
+	// training data (Eq. 11).
+	R2Adj float64
+	// R2 is the unadjusted coefficient of determination.
+	R2 float64
+	// AIC is Akaike's information criterion under a Gaussian error model,
+	// an extension beyond the paper's measures.
+	AIC float64
+	// BIC is the Bayesian information criterion under the same model.
+	BIC float64
+}
+
+// SSE computes Eq. (9): Σ (R(tᵢ) − P(tᵢ))² over the series.
+func SSE(f *FitResult, data *timeseries.Series) (float64, error) {
+	if f == nil || data == nil || data.Len() == 0 {
+		return math.NaN(), fmt.Errorf("%w: SSE needs a fit and data", ErrBadData)
+	}
+	var sse float64
+	for _, r := range f.Residuals(data) {
+		sse += r * r
+	}
+	return sse, nil
+}
+
+// PMSE computes Eq. (10): the mean squared prediction residual over the
+// ℓ held-out observations, (1/ℓ) Σ (R(tᵢ) − P(tᵢ))².
+func PMSE(f *FitResult, test *timeseries.Series) (float64, error) {
+	sse, err := SSE(f, test)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return sse / float64(test.Len()), nil
+}
+
+// R2Adjusted computes Eq. (11):
+//
+//	r²adj = 1 − (SSE/SSY)·(n−1)/(n−m−1)
+//
+// where SSY is the total sum of squares about the sample mean (the error
+// of the naive mean predictor) and m is the number of model parameters.
+// It can be negative when the model fits worse than the mean, which is
+// exactly what the paper reports for the quadratic model on the W-shaped
+// 1980 recession.
+func R2Adjusted(f *FitResult, data *timeseries.Series) (float64, error) {
+	r2, err := R2(f, data)
+	if err != nil {
+		return math.NaN(), err
+	}
+	n := float64(data.Len())
+	m := float64(f.Model.NumParams())
+	denom := n - m - 1
+	if denom <= 0 {
+		return math.NaN(), fmt.Errorf("%w: need n > m+1 for adjusted R²", ErrBadData)
+	}
+	return 1 - (1-r2)*(n-1)/denom, nil
+}
+
+// R2 computes the unadjusted coefficient of determination 1 − SSE/SSY.
+func R2(f *FitResult, data *timeseries.Series) (float64, error) {
+	sse, err := SSE(f, data)
+	if err != nil {
+		return math.NaN(), err
+	}
+	mean, err := stat.Mean(data.Values())
+	if err != nil {
+		return math.NaN(), err
+	}
+	ssy := stat.SumSquares(data.Values(), mean)
+	if ssy == 0 {
+		return math.NaN(), fmt.Errorf("%w: zero variance data", ErrBadData)
+	}
+	return 1 - sse/ssy, nil
+}
+
+// InformationCriteria returns (AIC, BIC) under a Gaussian error model:
+// AIC = n·ln(SSE/n) + 2k, BIC = n·ln(SSE/n) + k·ln n, with k counting the
+// model parameters plus the error variance.
+func InformationCriteria(f *FitResult, data *timeseries.Series) (aic, bic float64, err error) {
+	sse, err := SSE(f, data)
+	if err != nil {
+		return math.NaN(), math.NaN(), err
+	}
+	n := float64(data.Len())
+	if sse <= 0 {
+		// A perfect fit: the criteria diverge to −∞; report that rather
+		// than erroring so model-selection loops can still rank.
+		return math.Inf(-1), math.Inf(-1), nil
+	}
+	k := float64(f.Model.NumParams() + 1)
+	base := n * math.Log(sse/n)
+	return base + 2*k, base + k*math.Log(n), nil
+}
+
+// Evaluate computes the full goodness-of-fit bundle for a fit over its
+// training data plus an optional held-out test set (pass nil to skip
+// PMSE).
+func Evaluate(f *FitResult, test *timeseries.Series) (GoF, error) {
+	if f == nil {
+		return GoF{}, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	sse, err := SSE(f, f.Train)
+	if err != nil {
+		return GoF{}, err
+	}
+	r2, err := R2(f, f.Train)
+	if err != nil {
+		return GoF{}, err
+	}
+	r2adj, err := R2Adjusted(f, f.Train)
+	if err != nil {
+		return GoF{}, err
+	}
+	aic, bic, err := InformationCriteria(f, f.Train)
+	if err != nil {
+		return GoF{}, err
+	}
+	g := GoF{SSE: sse, R2: r2, R2Adj: r2adj, AIC: aic, BIC: bic, PMSE: math.NaN()}
+	if test != nil && test.Len() > 0 {
+		pmse, err := PMSE(f, test)
+		if err != nil {
+			return GoF{}, err
+		}
+		g.PMSE = pmse
+	}
+	return g, nil
+}

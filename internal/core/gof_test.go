@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// fixedModel is a one-parameter constant test model P(t) = c used to make
+// goodness-of-fit arithmetic hand-checkable.
+type fixedModel struct{}
+
+func (fixedModel) Name() string                             { return "fixed" }
+func (fixedModel) NumParams() int                           { return 1 }
+func (fixedModel) ParamNames() []string                     { return []string{"c"} }
+func (fixedModel) Eval(params []float64, _ float64) float64 { return params[0] }
+func (fixedModel) Guess(*timeseries.Series) []float64       { return []float64{1} }
+func (fixedModel) Bounds() optimize.Bounds                  { return optimize.Unbounded(1) }
+func (fixedModel) Validate(params []float64) error {
+	if len(params) != 1 {
+		return ErrBadParams
+	}
+	return nil
+}
+
+func constFit(t *testing.T, c float64, data *timeseries.Series) *FitResult {
+	t.Helper()
+	return &FitResult{Model: fixedModel{}, Params: []float64{c}, Train: data}
+}
+
+func seriesOf(t *testing.T, vals ...float64) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSSEHandComputed(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4)
+	fit := constFit(t, 2, data)
+	// Residuals: -1, 0, 1, 2 → SSE = 6.
+	got, err := SSE(fit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("SSE = %g, want 6", got)
+	}
+}
+
+func TestPMSEHandComputed(t *testing.T) {
+	train := seriesOf(t, 2, 2)
+	fit := constFit(t, 2, train)
+	test, err := timeseries.NewSeries([]float64{5, 6}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction residuals 1, 2 → PMSE = (1+4)/2 = 2.5.
+	got, err := PMSE(fit, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("PMSE = %g, want 2.5", got)
+	}
+}
+
+func TestR2AdjustedHandComputed(t *testing.T) {
+	// Data 1,2,3,4,5 with mean 3; SSY = 10. Constant model c = 3 gives
+	// SSE = 10, so R² = 0 and r²adj = 1 − (1)(4)/(5−1−1) = −1/3.
+	data := seriesOf(t, 1, 2, 3, 4, 5)
+	fit := constFit(t, 3, data)
+	r2, err := R2(fit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2) > 1e-12 {
+		t.Errorf("R2 = %g, want 0", r2)
+	}
+	adj, err := R2Adjusted(fit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adj-(-1.0/3)) > 1e-12 {
+		t.Errorf("R2Adjusted = %g, want -1/3", adj)
+	}
+}
+
+func TestR2AdjustedPenalizesParameters(t *testing.T) {
+	// Two models with the same SSE: the one with more parameters must
+	// score a lower adjusted R². Compare the 3-parameter quadratic vs the
+	// 5-parameter wei-wei mixture on a shared residual pattern by faking
+	// fits with identical predictions.
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = 1 + 0.01*math.Sin(float64(i))
+	}
+	data := seriesOf(t, vals...)
+
+	quadFit := &FitResult{Model: QuadraticModel{}, Params: []float64{1, -1e-9, 1e-12}, Train: data}
+	mixFit := &FitResult{Model: StandardMixtures()[3], Params: StandardMixtures()[3].Guess(data), Train: data}
+	// Force identical predictions by comparing through the formula
+	// directly: compute adjusted values for SSE = S with m = 3 vs m = 5.
+	sseQuad, err := SSE(quadFit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sseQuad
+	adjQuad, err := R2Adjusted(quadFit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjMix, err := R2Adjusted(mixFit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quadratic's predictions here are ~constant 1, same as the naive
+	// mean; the mixture's guess curve differs. We only assert both are
+	// finite and the formula ran; the direct penalty check follows.
+	if math.IsNaN(adjQuad) || math.IsNaN(adjMix) {
+		t.Error("adjusted R² is NaN")
+	}
+
+	// Direct formula check: same R², more params → smaller adjusted R².
+	n := float64(20)
+	adj := func(r2, m float64) float64 { return 1 - (1-r2)*(n-1)/(n-m-1) }
+	if !(adj(0.9, 5) < adj(0.9, 3)) {
+		t.Error("more parameters should reduce adjusted R²")
+	}
+}
+
+func TestR2ErrorsOnDegenerateData(t *testing.T) {
+	flat := seriesOf(t, 2, 2, 2, 2)
+	fit := constFit(t, 2, flat)
+	if _, err := R2(fit, flat); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero-variance data: %v", err)
+	}
+	tiny := seriesOf(t, 1, 2)
+	fitTiny := constFit(t, 1, tiny)
+	if _, err := R2Adjusted(fitTiny, tiny); !errors.Is(err, ErrBadData) {
+		t.Errorf("n <= m+1: %v", err)
+	}
+}
+
+func TestInformationCriteria(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4, 5, 6)
+	fit := constFit(t, 3.5, data)
+	aic, bic, err := InformationCriteria(fit, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSE = 2*(2.5² + 1.5² + 0.5²) = 17.5; n = 6; k = 2.
+	wantBase := 6 * math.Log(17.5/6)
+	if math.Abs(aic-(wantBase+4)) > 1e-12 {
+		t.Errorf("AIC = %g, want %g", aic, wantBase+4)
+	}
+	if math.Abs(bic-(wantBase+2*math.Log(6))) > 1e-12 {
+		t.Errorf("BIC = %g, want %g", bic, wantBase+2*math.Log(6))
+	}
+	// Perfect fit → −∞ criteria, not an error.
+	perfect := seriesOf(t, 3, 3, 3)
+	fitP := constFit(t, 3, perfect)
+	aic, bic, err = InformationCriteria(fitP, perfect)
+	if err != nil || !math.IsInf(aic, -1) || !math.IsInf(bic, -1) {
+		t.Errorf("perfect fit: aic=%g bic=%g err=%v", aic, bic, err)
+	}
+}
+
+func TestEvaluateBundle(t *testing.T) {
+	data := seriesOf(t, 1, 2, 3, 4, 5)
+	fit := constFit(t, 3, data)
+	test, err := timeseries.NewSeries([]float64{10}, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Evaluate(fit, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SSE != 10 || g.PMSE != 1 {
+		t.Errorf("GoF = %+v", g)
+	}
+	// Without test data, PMSE is NaN.
+	g2, err := Evaluate(fit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(g2.PMSE) {
+		t.Errorf("PMSE without test = %g, want NaN", g2.PMSE)
+	}
+	if _, err := Evaluate(nil, nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+}
+
+func TestSSEInputValidation(t *testing.T) {
+	if _, err := SSE(nil, nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil everything: %v", err)
+	}
+	data := seriesOf(t, 1, 2)
+	if _, err := SSE(constFit(t, 1, data), nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil data: %v", err)
+	}
+}

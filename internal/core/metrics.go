@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/quadrature"
+	"resilience/internal/timeseries"
+)
+
+// MetricKind identifies one of the eight interval-based resilience
+// metrics of Sec. IV.
+type MetricKind int
+
+// The eight interval-based metrics, in the row order of Tables II and IV.
+const (
+	// PerformancePreserved is the area under the curve (Eq. 14,
+	// Bruneau & Reinhorn).
+	PerformancePreserved MetricKind = iota + 1
+	// PerformanceLost is the area above the curve relative to nominal
+	// (Eq. 16, Yang & Frangopol).
+	PerformanceLost
+	// NormalizedAvgPreserved is the ratio of actual to nominal area
+	// (Eq. 15, Ouyang & Dueñas-Osorio).
+	NormalizedAvgPreserved
+	// NormalizedAvgLost is the normalized area above the curve (Eq. 17,
+	// Zhou et al.).
+	NormalizedAvgLost
+	// PreservedFromMinimum is the post-minimum area above the minimum
+	// level (Eq. 18, Zobel).
+	PreservedFromMinimum
+	// AvgPreserved is the time-averaged performance (Eq. 19, Reed et
+	// al.).
+	AvgPreserved
+	// AvgLost is the time-averaged performance deficit (Eq. 20, Reed et
+	// al.).
+	AvgLost
+	// WeightedAvgPreserved is the weighted average of performance before
+	// and after the minimum (Eq. 21, Cimellaro et al.).
+	WeightedAvgPreserved
+)
+
+// MetricKinds lists all metrics in table order.
+func MetricKinds() []MetricKind {
+	return []MetricKind{
+		PerformancePreserved, PerformanceLost,
+		NormalizedAvgPreserved, NormalizedAvgLost,
+		PreservedFromMinimum, AvgPreserved, AvgLost,
+		WeightedAvgPreserved,
+	}
+}
+
+// String returns the metric's table label.
+func (k MetricKind) String() string {
+	switch k {
+	case PerformancePreserved:
+		return "performance preserved"
+	case PerformanceLost:
+		return "performance lost"
+	case NormalizedAvgPreserved:
+		return "normalized average performance preserved"
+	case NormalizedAvgLost:
+		return "normalized average performance lost"
+	case PreservedFromMinimum:
+		return "performance preserved from the minimum"
+	case AvgPreserved:
+		return "average performance preserved"
+	case AvgLost:
+		return "average performance lost"
+	case WeightedAvgPreserved:
+		return "average performance preserved before/after minimum"
+	default:
+		return fmt.Sprintf("metric(%d)", int(k))
+	}
+}
+
+// IntegrationMode selects how ∫ P dt is computed by the metrics engine.
+type IntegrationMode int
+
+// Integration modes.
+const (
+	// DiscreteSum replicates the paper's tables: the "integral" is the
+	// sum of P over the unit-spaced sample points in the window
+	// (inclusive of both endpoints), matching the monthly data.
+	DiscreteSum IntegrationMode = iota + 1
+	// Continuous uses adaptive quadrature for a true ∫ P dt.
+	Continuous
+)
+
+// Window fixes the time points and levels that parameterize the metrics:
+// the hazard time t_h, recovery time t_r, time of minimum t_d, the
+// nominal performance P(t_h), the minimum performance P(t_d), and the
+// series start t_0 used by the whole-interval weighted metric (Eq. 21).
+type Window struct {
+	TH, TR, TD float64
+	T0         float64
+	Nominal    float64
+	PMin       float64
+}
+
+// PredictiveWindow builds the Sec. IV predictive-mode window from a data
+// series and the index of the first held-out observation: t_h becomes
+// t_{n−ℓ+1}, t_r becomes t_n, and t_d (with P(t_d)) comes from the
+// observed minimum when it lies inside the data, otherwise from the
+// fitted model's minimum (pass fit == nil to force the data minimum).
+func PredictiveWindow(data *timeseries.Series, testStart int, fit *FitResult) (Window, error) {
+	if data == nil || data.Len() < 2 {
+		return Window{}, fmt.Errorf("%w: need at least 2 observations", ErrBadData)
+	}
+	if testStart <= 0 || testStart >= data.Len() {
+		return Window{}, fmt.Errorf("%w: test start %d outside (0, %d)", ErrBadData, testStart, data.Len())
+	}
+	t0, tEnd := data.Span()
+	w := Window{
+		TH:      data.Time(testStart),
+		TR:      tEnd,
+		T0:      t0,
+		Nominal: data.Value(testStart),
+	}
+	minIdx, td, pmin := data.Min()
+	interiorMin := minIdx > 0 && minIdx < data.Len()-1
+	if interiorMin || fit == nil {
+		w.TD, w.PMin = td, pmin
+		return w, nil
+	}
+	// Minimum not observed in the interior: use the model's prediction.
+	mt, err := ModelMinimum(fit, tEnd)
+	if err != nil {
+		w.TD, w.PMin = td, pmin
+		return w, nil
+	}
+	w.TD = mt
+	w.PMin = fit.Eval(mt)
+	return w, nil
+}
+
+// MetricsConfig tunes the metrics engine.
+type MetricsConfig struct {
+	// Mode selects discrete-sum (default) or continuous integration.
+	Mode IntegrationMode
+	// Alpha is the Eq. (21) weight in (0, 1); default 0.5 as in the
+	// paper's tables.
+	Alpha float64
+	// Step is the discrete-sum spacing; default 1 (monthly data).
+	Step float64
+}
+
+func (c MetricsConfig) withDefaults() MetricsConfig {
+	if c.Mode == 0 {
+		c.Mode = DiscreteSum
+	}
+	if !(c.Alpha > 0 && c.Alpha < 1) {
+		c.Alpha = 0.5
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	return c
+}
+
+// MetricSet holds all eight metric values keyed by MetricKind.
+type MetricSet map[MetricKind]float64
+
+// Compute evaluates all eight interval-based metrics for an arbitrary
+// performance curve over the window.
+func Compute(curve func(float64) float64, w Window, cfg MetricsConfig) (MetricSet, error) {
+	if curve == nil {
+		return nil, fmt.Errorf("%w: nil curve", ErrBadData)
+	}
+	if !(w.TR > w.TH) {
+		return nil, fmt.Errorf("%w: window needs t_r > t_h (got %g <= %g)", ErrBadData, w.TR, w.TH)
+	}
+	cfg = cfg.withDefaults()
+
+	integ := func(a, b float64) (float64, error) {
+		return integrate(curve, a, b, cfg)
+	}
+
+	span := w.TR - w.TH
+	area, err := integ(w.TH, w.TR)
+	if err != nil {
+		return nil, err
+	}
+	nominalArea := w.Nominal * span
+
+	set := MetricSet{
+		PerformancePreserved:   area,
+		PerformanceLost:        nominalArea - area,
+		NormalizedAvgPreserved: area / nominalArea,
+		NormalizedAvgLost:      (nominalArea - area) / nominalArea,
+		AvgPreserved:           area / span,
+		AvgLost:                (nominalArea - area) / span,
+	}
+
+	// Eq. (18): post-minimum area above the rectangle at the minimum.
+	tdClamped := math.Min(math.Max(w.TD, w.TH), w.TR)
+	postArea, err := integ(tdClamped, w.TR)
+	if err != nil {
+		return nil, err
+	}
+	set[PreservedFromMinimum] = postArea - w.PMin*(w.TR-tdClamped)
+
+	// Eq. (21): weighted average before/after the minimum over the whole
+	// interval [t_0, t_r].
+	tdW := math.Min(math.Max(w.TD, w.T0), w.TR)
+	before, err := segmentAverage(curve, w.T0, tdW, cfg)
+	if err != nil {
+		return nil, err
+	}
+	after, err := segmentAverage(curve, tdW, w.TR, cfg)
+	if err != nil {
+		return nil, err
+	}
+	set[WeightedAvgPreserved] = cfg.Alpha*before + (1-cfg.Alpha)*after
+
+	return set, nil
+}
+
+// ActualMetrics computes the metrics from the observed data itself, the
+// "Actual" rows of Tables II and IV. The curve is the linear
+// interpolation of the series.
+func ActualMetrics(data *timeseries.Series, w Window, cfg MetricsConfig) (MetricSet, error) {
+	if data == nil || data.Len() < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 observations", ErrBadData)
+	}
+	curve := func(t float64) float64 {
+		v, err := data.Interpolate(t)
+		if err != nil {
+			// Outside the observed span: hold the nearest endpoint, which
+			// only matters if the window extends past the data.
+			if t < data.Time(0) {
+				return data.Value(0)
+			}
+			return data.Value(data.Len() - 1)
+		}
+		return v
+	}
+	return Compute(curve, w, cfg)
+}
+
+// PredictedMetrics computes the metrics from a fitted model, the
+// "Predicted" rows of Tables II and IV.
+func PredictedMetrics(f *FitResult, w Window, cfg MetricsConfig) (MetricSet, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	return Compute(f.Eval, w, cfg)
+}
+
+// RelativeError computes Eq. (22): |actual − predicted| / |actual|.
+func RelativeError(actual, predicted float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(actual-predicted) / math.Abs(actual)
+}
+
+// RelativeErrors applies Eq. (22) metric-by-metric.
+func RelativeErrors(actual, predicted MetricSet) MetricSet {
+	out := make(MetricSet, len(actual))
+	for k, a := range actual {
+		if p, ok := predicted[k]; ok {
+			out[k] = RelativeError(a, p)
+		}
+	}
+	return out
+}
+
+// integrate computes the windowed "integral" of the curve under the
+// configured mode. In DiscreteSum mode the value is Σ curve(t) over
+// t = a, a+step, …, b (inclusive), mirroring how the paper's tables sum
+// monthly observations; in Continuous mode it is adaptive-quadrature
+// ∫ curve dt.
+func integrate(curve func(float64) float64, a, b float64, cfg MetricsConfig) (float64, error) {
+	if b < a {
+		return math.NaN(), fmt.Errorf("%w: inverted integration window [%g, %g]", ErrBadData, a, b)
+	}
+	if cfg.Mode == Continuous {
+		v, err := quadrature.Adaptive(curve, a, b, 1e-10)
+		if err != nil {
+			return math.NaN(), fmt.Errorf("core: metric integration: %w", err)
+		}
+		return v, nil
+	}
+	var sum float64
+	// Tolerate float accumulation so the final endpoint is included.
+	eps := cfg.Step * 1e-9
+	for t := a; t <= b+eps; t += cfg.Step {
+		sum += curve(math.Min(t, b))
+	}
+	return sum, nil
+}
+
+// segmentAverage returns the average performance over [a, b] under the
+// configured mode; for an empty segment it returns the curve value at the
+// point, the natural limit.
+func segmentAverage(curve func(float64) float64, a, b float64, cfg MetricsConfig) (float64, error) {
+	if b <= a {
+		return curve(a), nil
+	}
+	// In both modes the divisor is the elapsed time b−a: in discrete mode
+	// this reproduces the paper's mixed convention (sum of points divided
+	// by the span).
+	v, err := integrate(curve, a, b, cfg)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return v / (b - a), nil
+}

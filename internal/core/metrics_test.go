@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/timeseries"
+)
+
+// flatWindow is a simple window over [0, 4] with nominal 1.
+func flatWindow() Window {
+	return Window{TH: 0, TR: 4, TD: 0, T0: 0, Nominal: 1, PMin: 1}
+}
+
+func TestComputeOnConstantCurve(t *testing.T) {
+	// P(t) = 1 everywhere, window [0, 4], nominal 1, minimum at 0 level 1.
+	curve := func(float64) float64 { return 1 }
+
+	t.Run("continuous", func(t *testing.T) {
+		set, err := Compute(curve, flatWindow(), MetricsConfig{Mode: Continuous})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[MetricKind]float64{
+			PerformancePreserved:   4,
+			PerformanceLost:        0,
+			NormalizedAvgPreserved: 1,
+			NormalizedAvgLost:      0,
+			PreservedFromMinimum:   0,
+			AvgPreserved:           1,
+			AvgLost:                0,
+			WeightedAvgPreserved:   1,
+		}
+		for k, w := range want {
+			if got := set[k]; math.Abs(got-w) > 1e-9 {
+				t.Errorf("%v = %g, want %g", k, got, w)
+			}
+		}
+	})
+
+	t.Run("discrete", func(t *testing.T) {
+		set, err := Compute(curve, flatWindow(), MetricsConfig{Mode: DiscreteSum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Discrete sum over t = 0..4 is 5 points: "area" = 5, lost = 4−5.
+		if set[PerformancePreserved] != 5 {
+			t.Errorf("preserved = %g, want 5", set[PerformancePreserved])
+		}
+		if set[PerformanceLost] != -1 {
+			t.Errorf("lost = %g, want -1", set[PerformanceLost])
+		}
+		if math.Abs(set[AvgPreserved]-1.25) > 1e-12 {
+			t.Errorf("avg preserved = %g, want 1.25", set[AvgPreserved])
+		}
+	})
+}
+
+func TestComputeOnLinearRecovery(t *testing.T) {
+	// P(t) = t/10 over window [0, 10], nominal 1, minimum at t = 0 with
+	// P = 0. Continuous integrals are exact.
+	curve := func(t float64) float64 { return t / 10 }
+	w := Window{TH: 0, TR: 10, TD: 0, T0: 0, Nominal: 1, PMin: 0}
+	set, err := Compute(curve, w, MetricsConfig{Mode: Continuous, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∫ = 5; lost = 10−5 = 5; normalized averages 0.5; from-minimum:
+	// ∫_0^10 − 0·10 = 5; avg = 0.5; weighted: td == t0 so the "before"
+	// segment is the point value 0 → 0.5·0 + 0.5·0.5 = 0.25.
+	checks := map[MetricKind]float64{
+		PerformancePreserved:   5,
+		PerformanceLost:        5,
+		NormalizedAvgPreserved: 0.5,
+		NormalizedAvgLost:      0.5,
+		PreservedFromMinimum:   5,
+		AvgPreserved:           0.5,
+		AvgLost:                0.5,
+		WeightedAvgPreserved:   0.25,
+	}
+	for k, want := range checks {
+		if got := set[k]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestComputeWeightedMetricRespectsAlpha(t *testing.T) {
+	// V-curve: down to 0 at t=5, back to 1 at t=10.
+	curve := func(t float64) float64 {
+		if t <= 5 {
+			return 1 - t/5
+		}
+		return (t - 5) / 5
+	}
+	w := Window{TH: 0, TR: 10, TD: 5, T0: 0, Nominal: 1, PMin: 0}
+	// Both halves average 0.5 by symmetry, so every alpha yields 0.5; use
+	// an asymmetric curve to see alpha.
+	set, err := Compute(curve, w, MetricsConfig{Mode: Continuous, Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(set[WeightedAvgPreserved]-0.5) > 1e-9 {
+		t.Errorf("symmetric V: weighted = %g, want 0.5", set[WeightedAvgPreserved])
+	}
+	asym := func(t float64) float64 {
+		if t <= 5 {
+			return 1 - t/5 // average 0.5 before
+		}
+		return 1 // average 1 after
+	}
+	wa := Window{TH: 0, TR: 10, TD: 5, T0: 0, Nominal: 1, PMin: 0}
+	set1, err := Compute(asym, wa, MetricsConfig{Mode: Continuous, Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := Compute(asym, wa, MetricsConfig{Mode: Continuous, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := 0.9*0.5 + 0.1*1.0
+	want2 := 0.1*0.5 + 0.9*1.0
+	if math.Abs(set1[WeightedAvgPreserved]-want1) > 1e-9 {
+		t.Errorf("alpha 0.9: %g, want %g", set1[WeightedAvgPreserved], want1)
+	}
+	if math.Abs(set2[WeightedAvgPreserved]-want2) > 1e-9 {
+		t.Errorf("alpha 0.1: %g, want %g", set2[WeightedAvgPreserved], want2)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(nil, flatWindow(), MetricsConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil curve: %v", err)
+	}
+	curve := func(float64) float64 { return 1 }
+	bad := Window{TH: 4, TR: 4}
+	if _, err := Compute(curve, bad, MetricsConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("empty window: %v", err)
+	}
+}
+
+func TestPredictiveWindowRules(t *testing.T) {
+	// 10 points, dip at index 3, test split at index 8: t_h = 8, t_r = 9,
+	// t_d from the data (interior minimum).
+	vals := []float64{1, 0.95, 0.9, 0.88, 0.9, 0.94, 0.98, 1.0, 1.02, 1.04}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := PredictiveWindow(data, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TH != 8 || w.TR != 9 || w.T0 != 0 {
+		t.Errorf("window times = %+v", w)
+	}
+	if w.TD != 3 || w.PMin != 0.88 {
+		t.Errorf("minimum = (%g, %g), want (3, 0.88)", w.TD, w.PMin)
+	}
+	if w.Nominal != 1.02 {
+		t.Errorf("nominal = %g, want value at t_h", w.Nominal)
+	}
+}
+
+func TestPredictiveWindowUsesModelWhenMinimumNotObserved(t *testing.T) {
+	// Strictly decreasing data: the observed minimum is the last point, so
+	// the window should consult the fitted model's vertex instead.
+	vals := make([]float64, 12)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.05*x + 0.001*x*x
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := &FitResult{
+		Model:  QuadraticModel{},
+		Params: []float64{1, -0.05, 0.001}, // vertex at t = 25
+		Train:  data,
+	}
+	w, err := PredictiveWindow(data, 10, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex at 25 clamps to the horizon 11.
+	if w.TD != 11 {
+		t.Errorf("TD = %g, want 11 (clamped model vertex)", w.TD)
+	}
+}
+
+func TestPredictiveWindowValidation(t *testing.T) {
+	data, err := timeseries.FromValues([]float64{1, 0.9, 1, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, -1, 4, 9} {
+		if _, err := PredictiveWindow(data, idx, nil); !errors.Is(err, ErrBadData) {
+			t.Errorf("testStart %d: want ErrBadData, got %v", idx, err)
+		}
+	}
+	if _, err := PredictiveWindow(nil, 1, nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil data: %v", err)
+	}
+}
+
+func TestActualVsPredictedMetricsAgreeOnExactFit(t *testing.T) {
+	// When the model reproduces the data exactly, actual and predicted
+	// metrics must agree and all relative errors vanish.
+	m := QuadraticModel{}
+	truth := []float64{1, -0.04, 0.002}
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = m.Eval(truth, float64(i))
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := &FitResult{Model: m, Params: truth, Train: data}
+	w, err := PredictiveWindow(data, 15, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []IntegrationMode{DiscreteSum, Continuous} {
+		cfg := MetricsConfig{Mode: mode}
+		actual, err := ActualMetrics(data, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted, err := PredictedMetrics(fit, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := RelativeErrors(actual, predicted)
+		for k, r := range rel {
+			// Continuous mode interpolates the data linearly between
+			// samples while the model is quadratic, so allow a small gap.
+			tol := 1e-9
+			if mode == Continuous {
+				tol = 5e-3
+			}
+			if r > tol {
+				t.Errorf("mode %v, %v: relative error %g (actual %g vs predicted %g)",
+					mode, k, r, actual[k], predicted[k])
+			}
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	tests := []struct {
+		actual, predicted, want float64
+	}{
+		{2, 1.5, 0.25},
+		{-2, -1.5, 0.25},
+		{1, 1, 0},
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := RelativeError(tt.actual, tt.predicted); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("RelativeError(%g, %g) = %g, want %g", tt.actual, tt.predicted, got, tt.want)
+		}
+	}
+	if !math.IsInf(RelativeError(0, 1), 1) {
+		t.Error("zero actual with nonzero prediction should be +Inf")
+	}
+}
+
+func TestMetricKindStrings(t *testing.T) {
+	for _, k := range MetricKinds() {
+		if s := k.String(); s == "" || s[:6] == "metric" {
+			t.Errorf("kind %d has placeholder name %q", k, s)
+		}
+	}
+	if MetricKind(99).String() != "metric(99)" {
+		t.Error("unknown kind should render as metric(n)")
+	}
+	if len(MetricKinds()) != 8 {
+		t.Errorf("expected 8 metrics, got %d", len(MetricKinds()))
+	}
+}
+
+func TestMetricsPropertyNormalizationConsistency(t *testing.T) {
+	// Property: normalized-average-preserved + normalized-average-lost = 1
+	// and avg-preserved = preserved/span for arbitrary positive curves.
+	f := func(a, b, c uint16) bool {
+		curve := func(t float64) float64 {
+			return 1 + 0.001*float64(a%100) + 0.01*float64(b%10)*math.Sin(t/3+float64(c%7))
+		}
+		w := Window{TH: 0, TR: 12, TD: 4, T0: 0, Nominal: curve(0), PMin: curve(4)}
+		set, err := Compute(curve, w, MetricsConfig{Mode: Continuous})
+		if err != nil {
+			return false
+		}
+		sumTo1 := math.Abs(set[NormalizedAvgPreserved]+set[NormalizedAvgLost]-1) < 1e-9
+		avgOK := math.Abs(set[AvgPreserved]-set[PerformancePreserved]/12) < 1e-9
+		lostOK := math.Abs(set[AvgLost]*12-set[PerformanceLost]) < 1e-9
+		return sumTo1 && avgOK && lostOK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// MixtureModel is the mixture-distribution resilience model of Sec. II-B:
+//
+//	P(t) = a₁(t)·(1 − F₁(t)) + a₂(t)·F₂(t)     (Eq. 7)
+//
+// where (1 − F₁) characterizes degradation, F₂ characterizes recovery,
+// a₁ is the transition from degradation, and a₂ the transition to
+// recovery. Following the paper's experiments, NewMixture fixes
+// a₁(t) = 1; NewMixtureFull exposes the fully general form.
+//
+// The parameter vector is the concatenation
+// [F₁ params..., F₂ params..., a₂ params..., a₁ params...], with the
+// trailing groups absent when the corresponding component has no
+// parameters.
+type MixtureModel struct {
+	f1 CDFFamily
+	f2 CDFFamily
+	a1 Trend
+	a2 Trend
+}
+
+var _ Model = (*MixtureModel)(nil)
+
+// NewMixture builds the paper's mixture: a₁(t) = 1, with the given
+// degradation CDF F₁, recovery CDF F₂, and recovery transition a₂.
+func NewMixture(f1, f2 CDFFamily, a2 Trend) (*MixtureModel, error) {
+	return NewMixtureFull(f1, f2, UnitTrend{}, a2)
+}
+
+// NewMixtureFull builds a mixture with both transitions free.
+func NewMixtureFull(f1, f2 CDFFamily, a1, a2 Trend) (*MixtureModel, error) {
+	if f1 == nil || f2 == nil || a1 == nil || a2 == nil {
+		return nil, fmt.Errorf("%w: mixture components must be non-nil", ErrBadParams)
+	}
+	return &MixtureModel{f1: f1, f2: f2, a1: a1, a2: a2}, nil
+}
+
+// Components returns the mixture's degradation CDF, recovery CDF, and
+// transitions (a₁, a₂).
+func (m *MixtureModel) Components() (f1, f2 CDFFamily, a1, a2 Trend) {
+	return m.f1, m.f2, m.a1, m.a2
+}
+
+// Name returns e.g. "exp-weibull" (degradation-recovery), with a trend
+// suffix when a₂ is not the paper's default β·ln t.
+func (m *MixtureModel) Name() string {
+	name := m.f1.Name() + "-" + m.f2.Name()
+	if m.a2.Name() != (LogTrend{}).Name() {
+		name += "+" + m.a2.Name()
+	}
+	return name
+}
+
+// NumParams returns the total parameter count across all components.
+func (m *MixtureModel) NumParams() int {
+	return m.f1.NumParams() + m.f2.NumParams() + m.a2.NumParams() + m.a1.NumParams()
+}
+
+// ParamNames returns component-qualified parameter names such as
+// "F1.rate" or "a2.beta".
+func (m *MixtureModel) ParamNames() []string {
+	names := make([]string, 0, m.NumParams())
+	for _, n := range m.f1.ParamNames() {
+		names = append(names, "F1."+n)
+	}
+	for _, n := range m.f2.ParamNames() {
+		names = append(names, "F2."+n)
+	}
+	for i := 0; i < m.a2.NumParams(); i++ {
+		names = append(names, "a2.beta")
+	}
+	for i := 0; i < m.a1.NumParams(); i++ {
+		names = append(names, "a1.beta")
+	}
+	return names
+}
+
+// split partitions a full parameter vector into component vectors.
+func (m *MixtureModel) split(params []float64) (f1p, f2p, a2p, a1p []float64) {
+	i := 0
+	f1p = params[i : i+m.f1.NumParams()]
+	i += m.f1.NumParams()
+	f2p = params[i : i+m.f2.NumParams()]
+	i += m.f2.NumParams()
+	a2p = params[i : i+m.a2.NumParams()]
+	i += m.a2.NumParams()
+	a1p = params[i : i+m.a1.NumParams()]
+	return f1p, f2p, a2p, a1p
+}
+
+// Bounds concatenates the component boxes.
+func (m *MixtureModel) Bounds() optimize.Bounds {
+	var lo, hi []float64
+	appendBounds := func(l, h []float64) {
+		lo = append(lo, l...)
+		hi = append(hi, h...)
+	}
+	l, h := m.f1.ParamBounds()
+	appendBounds(l, h)
+	l, h = m.f2.ParamBounds()
+	appendBounds(l, h)
+	l, h = m.a2.ParamBounds()
+	appendBounds(l, h)
+	l, h = m.a1.ParamBounds()
+	appendBounds(l, h)
+	b, err := optimize.NewBounds(lo, hi)
+	if err != nil {
+		panic("core: mixture bounds: " + err.Error()) // component bounds are static
+	}
+	return b
+}
+
+// Guess concatenates component guesses informed by the data horizon and
+// terminal performance.
+func (m *MixtureModel) Guess(data *timeseries.Series) []float64 {
+	horizon, terminal := 40.0, 1.0
+	if data != nil && data.Len() > 0 {
+		_, horizon = data.Span()
+		terminal = data.Value(data.Len() - 1)
+	}
+	var params []float64
+	params = append(params, m.f1.Guess(horizon)...)
+	params = append(params, m.f2.Guess(horizon)...)
+	params = append(params, m.a2.GuessParam(horizon, terminal)...)
+	params = append(params, m.a1.GuessParam(horizon, terminal)...)
+	return params
+}
+
+// Validate checks length and delegates to the component families.
+func (m *MixtureModel) Validate(params []float64) error {
+	if err := checkParams(m, params); err != nil {
+		return err
+	}
+	f1p, f2p, _, _ := m.split(params)
+	if err := m.f1.Validate(f1p); err != nil {
+		return fmt.Errorf("degradation component: %w", err)
+	}
+	if err := m.f2.Validate(f2p); err != nil {
+		return fmt.Errorf("recovery component: %w", err)
+	}
+	return nil
+}
+
+// Eval returns a₁(t)(1−F₁(t)) + a₂(t)F₂(t). The recovery term is defined
+// as exactly zero wherever F₂(t) = 0, which keeps trends like β·ln t
+// (undefined at t = 0) well-behaved at the hazard onset.
+func (m *MixtureModel) Eval(params []float64, t float64) float64 {
+	f1p, f2p, a2p, a1p := m.split(params)
+	p := m.a1.Eval(a1p, t) * (1 - m.f1.CDF(f1p, t))
+	if f2 := m.f2.CDF(f2p, t); f2 > 0 {
+		p += m.a2.Eval(a2p, t) * f2
+	}
+	return p
+}
+
+// standardTrend is the a₂ transition used throughout the paper's Table
+// III and IV experiments.
+func standardTrend() Trend { return LogTrend{} }
+
+// StandardMixtures returns the paper's four mixture combinations
+// (Exp-Exp, Wei-Exp, Exp-Wei, Wei-Wei) with a₂(t) = β·ln t, in the
+// column order of Table III.
+func StandardMixtures() []*MixtureModel {
+	combos := []struct{ f1, f2 CDFFamily }{
+		{ExpFamily{}, ExpFamily{}},
+		{WeibullFamily{}, ExpFamily{}},
+		{ExpFamily{}, WeibullFamily{}},
+		{WeibullFamily{}, WeibullFamily{}},
+	}
+	out := make([]*MixtureModel, 0, len(combos))
+	for _, c := range combos {
+		mix, err := NewMixture(c.f1, c.f2, standardTrend())
+		if err != nil {
+			panic("core: standard mixture construction: " + err.Error()) // static components
+		}
+		out = append(out, mix)
+	}
+	return out
+}
+
+// MixtureWithTrend returns the four standard component combinations with
+// an alternative a₂ transition, used by the trend ablation bench.
+func MixtureWithTrend(a2 Trend) ([]*MixtureModel, error) {
+	combos := []struct{ f1, f2 CDFFamily }{
+		{ExpFamily{}, ExpFamily{}},
+		{WeibullFamily{}, ExpFamily{}},
+		{ExpFamily{}, WeibullFamily{}},
+		{WeibullFamily{}, WeibullFamily{}},
+	}
+	out := make([]*MixtureModel, 0, len(combos))
+	for _, c := range combos {
+		mix, err := NewMixture(c.f1, c.f2, a2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mix)
+	}
+	return out, nil
+}
+
+// mixtureMinimum locates the minimum of a mixture curve numerically on
+// [0, horizon] by golden-section refinement of a coarse grid scan.
+func mixtureMinimum(m Model, params []float64, horizon float64) (float64, error) {
+	if horizon <= 0 {
+		return math.NaN(), fmt.Errorf("%w: non-positive horizon", ErrBadData)
+	}
+	const gridN = 256
+	bestT, bestP := 0.0, math.Inf(1)
+	for i := 0; i <= gridN; i++ {
+		t := horizon * float64(i) / gridN
+		if p := m.Eval(params, t); p < bestP {
+			bestT, bestP = t, p
+		}
+	}
+	lo := math.Max(0, bestT-horizon/gridN)
+	hi := math.Min(horizon, bestT+horizon/gridN)
+	if lo >= hi {
+		return bestT, nil
+	}
+	t, _, err := optimize.GoldenSection(func(t float64) float64 {
+		return m.Eval(params, t)
+	}, lo, hi, 1e-10)
+	if err != nil {
+		return bestT, nil
+	}
+	return t, nil
+}

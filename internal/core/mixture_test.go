@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestStandardMixtures(t *testing.T) {
+	mixtures := StandardMixtures()
+	if len(mixtures) != 4 {
+		t.Fatalf("got %d standard mixtures, want 4", len(mixtures))
+	}
+	wantNames := []string{"exp-exp", "weibull-exp", "exp-weibull", "weibull-weibull"}
+	wantParams := []int{3, 4, 4, 5}
+	for i, m := range mixtures {
+		if m.Name() != wantNames[i] {
+			t.Errorf("mixture %d name = %q, want %q", i, m.Name(), wantNames[i])
+		}
+		if m.NumParams() != wantParams[i] {
+			t.Errorf("%s: NumParams = %d, want %d", m.Name(), m.NumParams(), wantParams[i])
+		}
+	}
+}
+
+func TestMixtureEvalAtZeroIsOne(t *testing.T) {
+	// With a1(t) = 1 and both CDFs zero at t = 0, P(0) must be exactly 1
+	// for every combination, including the log trend (no NaN from ln 0).
+	for _, m := range StandardMixtures() {
+		params := m.Guess(nil)
+		got := m.Eval(params, 0)
+		if got != 1 {
+			t.Errorf("%s: Eval(0) = %g, want 1", m.Name(), got)
+		}
+		if math.IsNaN(m.Eval(params, 0.5)) {
+			t.Errorf("%s: Eval(0.5) is NaN", m.Name())
+		}
+	}
+}
+
+func TestMixtureEvalHandComputed(t *testing.T) {
+	// exp-exp with log trend: P(t) = e^{-r1 t} + β ln(t)(1 - e^{-r2 t}).
+	mix, err := NewMixture(ExpFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{0.2, 0.1, 0.5} // r1, r2, beta
+	tt := 5.0
+	want := math.Exp(-0.2*tt) + 0.5*math.Log(tt)*(1-math.Exp(-0.1*tt))
+	if got := mix.Eval(params, tt); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval(5) = %.12g, want %.12g", got, want)
+	}
+}
+
+func TestMixtureParamLayout(t *testing.T) {
+	// weibull-exp: [F1.shape, F1.scale, F2.rate, a2.beta].
+	mix, err := NewMixture(WeibullFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := mix.ParamNames()
+	want := []string{"F1.shape", "F1.scale", "F2.rate", "a2.beta"}
+	if len(names) != len(want) {
+		t.Fatalf("ParamNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("ParamNames[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	// The parameter order must drive Eval correctly:
+	// P(t) = e^{-(t/scale)^shape} + β ln(t)(1 - e^{-rate·t}).
+	params := []float64{2, 10, 0.3, 0.4}
+	tt := 8.0
+	want2 := math.Exp(-math.Pow(tt/10, 2)) + 0.4*math.Log(tt)*(1-math.Exp(-0.3*tt))
+	if got := mix.Eval(params, tt); math.Abs(got-want2) > 1e-12 {
+		t.Errorf("Eval = %.12g, want %.12g", got, want2)
+	}
+}
+
+func TestMixtureValidate(t *testing.T) {
+	mix, err := NewMixture(ExpFamily{}, WeibullFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mix.Validate([]float64{0.1, 1.5, 20, 0.3}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	cases := [][]float64{
+		{0.1, 1.5, 20},       // wrong length
+		{-0.1, 1.5, 20, 0.3}, // bad F1 rate
+		{0.1, -1.5, 20, 0.3}, // bad F2 shape
+		{0.1, 1.5, -20, 0.3}, // bad F2 scale
+	}
+	for _, p := range cases {
+		if err := mix.Validate(p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Validate(%v): want ErrBadParams, got %v", p, err)
+		}
+	}
+}
+
+func TestNewMixtureNilComponents(t *testing.T) {
+	if _, err := NewMixture(nil, ExpFamily{}, LogTrend{}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("nil F1: %v", err)
+	}
+	if _, err := NewMixture(ExpFamily{}, nil, LogTrend{}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("nil F2: %v", err)
+	}
+	if _, err := NewMixture(ExpFamily{}, ExpFamily{}, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("nil trend: %v", err)
+	}
+}
+
+func TestMixtureWithTrendNames(t *testing.T) {
+	for _, trend := range []Trend{ConstTrend{}, LinearTrend{}, ExpTrend{}} {
+		mixtures, err := MixtureWithTrend(trend)
+		if err != nil {
+			t.Fatalf("MixtureWithTrend(%s): %v", trend.Name(), err)
+		}
+		if len(mixtures) != 4 {
+			t.Fatalf("got %d mixtures", len(mixtures))
+		}
+		// Non-default trends must be visible in the name.
+		for _, m := range mixtures {
+			wantSuffix := "+" + trend.Name()
+			if got := m.Name(); len(got) < len(wantSuffix) ||
+				got[len(got)-len(wantSuffix):] != wantSuffix {
+				t.Errorf("name %q missing trend suffix %q", got, wantSuffix)
+			}
+		}
+	}
+	// The default log trend is not suffixed.
+	logMixtures, err := MixtureWithTrend(LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logMixtures[0].Name() != "exp-exp" {
+		t.Errorf("log-trend name = %q", logMixtures[0].Name())
+	}
+}
+
+func TestTrendEval(t *testing.T) {
+	tests := []struct {
+		trend  Trend
+		params []float64
+		t      float64
+		want   float64
+	}{
+		{UnitTrend{}, nil, 5, 1},
+		{ConstTrend{}, []float64{2.5}, 99, 2.5},
+		{LinearTrend{}, []float64{0.5}, 6, 3},
+		{ExpTrend{}, []float64{0.1}, 10, math.E},
+		{LogTrend{}, []float64{2}, math.E, 2},
+	}
+	for _, tt := range tests {
+		if got := tt.trend.Eval(tt.params, tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s.Eval(%v, %g) = %g, want %g", tt.trend.Name(), tt.params, tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestTrendGuessesInsideBounds(t *testing.T) {
+	trends := []Trend{ConstTrend{}, LinearTrend{}, ExpTrend{}, LogTrend{}}
+	horizons := []float64{0, 1, 24, 48}
+	terminals := []float64{0, 0.9, 1.0, 1.1}
+	for _, tr := range trends {
+		lo, hi := tr.ParamBounds()
+		for _, h := range horizons {
+			for _, term := range terminals {
+				g := tr.GuessParam(h, term)
+				if len(g) != tr.NumParams() {
+					t.Fatalf("%s: guess length %d", tr.Name(), len(g))
+				}
+				for i := range g {
+					if g[i] < lo[i] || g[i] > hi[i] {
+						t.Errorf("%s: guess %g outside [%g, %g] at h=%g term=%g",
+							tr.Name(), g[i], lo[i], hi[i], h, term)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCDFFamiliesMatchStatDistributions(t *testing.T) {
+	// Family CDF evaluations must agree with the stat package.
+	expF := ExpFamily{}
+	weiF := WeibullFamily{}
+	for x := 0.0; x < 20; x += 0.7 {
+		d1, err := expF.Dist([]float64{0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(expF.CDF([]float64{0.3}, x)-d1.CDF(x)) > 1e-14 {
+			t.Fatalf("exp family CDF mismatch at %g", x)
+		}
+		d2, err := weiF.Dist([]float64{1.7, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(weiF.CDF([]float64{1.7, 9}, x)-d2.CDF(x)) > 1e-14 {
+			t.Fatalf("weibull family CDF mismatch at %g", x)
+		}
+	}
+}
+
+func TestExtensionFamiliesValidateAndEval(t *testing.T) {
+	gamma := GammaFamily{}
+	logn := LogNormalFamily{}
+	if err := gamma.Validate([]float64{2, 0.5}); err != nil {
+		t.Errorf("gamma valid params: %v", err)
+	}
+	if err := gamma.Validate([]float64{-2, 0.5}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("gamma bad shape: %v", err)
+	}
+	if err := logn.Validate([]float64{0, 1}); err != nil {
+		t.Errorf("lognormal valid params: %v", err)
+	}
+	if err := logn.Validate([]float64{0, -1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("lognormal bad sigma: %v", err)
+	}
+	// CDFs rise from 0 toward 1.
+	for _, f := range []CDFFamily{gamma, logn} {
+		params := f.Guess(48)
+		if got := f.CDF(params, 0); got != 0 {
+			t.Errorf("%s: CDF(0) = %g", f.Name(), got)
+		}
+		prev := 0.0
+		for x := 0.5; x < 200; x += 2 {
+			c := f.CDF(params, x)
+			if c < prev-1e-12 || c > 1 {
+				t.Fatalf("%s: CDF not monotone in [0,1] at %g", f.Name(), x)
+			}
+			prev = c
+		}
+	}
+	// Mixtures built from extension families behave.
+	mix, err := NewMixture(GammaFamily{}, LogNormalFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := mix.Guess(nil)
+	if err := mix.Validate(params); err != nil {
+		t.Errorf("extension mixture guess invalid: %v", err)
+	}
+	if mix.Eval(params, 0) != 1 {
+		t.Errorf("extension mixture Eval(0) = %g", mix.Eval(params, 0))
+	}
+}
+
+func TestMixtureComponentsAccessor(t *testing.T) {
+	mix, err := NewMixture(ExpFamily{}, WeibullFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2, a1, a2 := mix.Components()
+	if f1.Name() != "exp" || f2.Name() != "weibull" || a1.Name() != "unit" || a2.Name() != "log" {
+		t.Errorf("Components = %s, %s, %s, %s", f1.Name(), f2.Name(), a1.Name(), a2.Name())
+	}
+}
+
+func TestNewCDFFamiliesInMixtures(t *testing.T) {
+	// The LogLogistic and Gompertz extensions slot into mixtures like the
+	// paper's families: P(0) = 1, finite everywhere, guesses feasible.
+	for _, f := range []CDFFamily{LogLogisticFamily{}, GompertzFamily{}} {
+		t.Run(f.Name(), func(t *testing.T) {
+			if len(f.ParamNames()) != f.NumParams() {
+				t.Error("param name count")
+			}
+			g := f.Guess(48)
+			if err := f.Validate(g); err != nil {
+				t.Errorf("guess invalid: %v", err)
+			}
+			if err := f.Validate(g[:1]); !errors.Is(err, ErrBadParams) {
+				t.Errorf("short params: %v", err)
+			}
+			if err := f.Validate([]float64{-1, 1}); !errors.Is(err, ErrBadParams) {
+				t.Errorf("negative params: %v", err)
+			}
+			if f.CDF(g, 0) != 0 {
+				t.Error("CDF(0) != 0")
+			}
+			prev := 0.0
+			for x := 0.25; x < 100; x += 0.5 {
+				c := f.CDF(g, x)
+				if c < prev-1e-12 || c > 1 || math.IsNaN(c) {
+					t.Fatalf("CDF not monotone in [0,1] at %g: %g", x, c)
+				}
+				prev = c
+			}
+			mix, err := NewMixture(WeibullFamily{}, f, LogTrend{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := mix.Guess(nil)
+			if mix.Eval(params, 0) != 1 {
+				t.Errorf("mixture Eval(0) = %g", mix.Eval(params, 0))
+			}
+		})
+	}
+}
+
+func TestNewFamiliesMatchStatDistributions(t *testing.T) {
+	ll := LogLogisticFamily{}
+	llDist, err := ll.Dist([]float64{2.5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := GompertzFamily{}
+	gzDist, err := gz.Dist([]float64{0.4, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 30; x += 1.3 {
+		if math.Abs(ll.CDF([]float64{2.5, 8}, x)-llDist.CDF(x)) > 1e-14 {
+			t.Fatalf("loglogistic mismatch at %g", x)
+		}
+		if math.Abs(gz.CDF([]float64{0.4, 0.2}, x)-gzDist.CDF(x)) > 1e-14 {
+			t.Fatalf("gompertz mismatch at %g", x)
+		}
+	}
+	if _, err := ll.Dist([]float64{-1, 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad loglogistic dist: %v", err)
+	}
+	if _, err := gz.Dist([]float64{-1, 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad gompertz dist: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package core implements the paper's contribution: parametric models
+// that predict a system's resilience curve — performance degradation and
+// recovery after a disruptive event — together with least-squares fitting
+// (Eq. 8), goodness-of-fit measures (Eqs. 9–11), confidence intervals and
+// empirical coverage (Eqs. 12–13), the eight interval-based resilience
+// metrics (Eqs. 14–21), and recovery-time prediction (Eqs. 2 and 5).
+//
+// Two model families are provided, following Sec. II of the paper:
+//
+//   - bathtub-shaped hazard functions from reliability engineering: the
+//     quadratic hazard λ(t) = α + βt + γt² and the competing-risks
+//     (Hjorth-style) hazard λ(t) = 2γt + α/(1+βt), and
+//   - mixture distributions P(t) = a₁(t)(1−F₁(t)) + a₂(t)F₂(t) with
+//     pluggable degradation/recovery CDFs and transition trends.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// Model is a parametric resilience-curve family P(t; θ). Implementations
+// are stateless: parameters are always passed explicitly, so one Model
+// value can be shared freely across goroutines and fits.
+type Model interface {
+	// Name returns a short identifier such as "quadratic" or "wei-exp".
+	Name() string
+	// NumParams returns the dimension of the parameter vector θ.
+	NumParams() int
+	// ParamNames returns human-readable names for each parameter, in the
+	// order Eval expects them.
+	ParamNames() []string
+	// Bounds returns the feasible box for θ used by the fitting driver.
+	Bounds() optimize.Bounds
+	// Guess produces a data-informed starting vector for the fit.
+	Guess(data *timeseries.Series) []float64
+	// Validate reports whether θ is usable (correct length, inside the
+	// feasible region).
+	Validate(params []float64) error
+	// Eval returns P(t; θ). Behaviour is undefined if Validate fails;
+	// fitting code always validates first.
+	Eval(params []float64, t float64) float64
+}
+
+// AreaModel is implemented by models with a closed-form area under the
+// curve, such as the bathtub models (Eqs. 3 and 6). Models without it are
+// integrated numerically.
+type AreaModel interface {
+	Model
+	// Area returns ∫ P(t; θ) dt over [t0, t1].
+	Area(params []float64, t0, t1 float64) (float64, error)
+}
+
+// RecoveryModel is implemented by models with a closed-form solution for
+// the time at which performance returns to a target level, as in Eqs. (2)
+// and (5). Models without it fall back to root finding.
+type RecoveryModel interface {
+	Model
+	// RecoveryTime returns the time t > time-of-minimum at which
+	// P(t; θ) = level.
+	RecoveryTime(params []float64, level float64) (float64, error)
+}
+
+// MinimumModel is implemented by models that can locate their performance
+// minimum t_d analytically.
+type MinimumModel interface {
+	Model
+	// MinimumTime returns the time t_d at which P(t; θ) is smallest.
+	MinimumTime(params []float64) (float64, error)
+}
+
+// Sentinel errors shared across the core package.
+var (
+	// ErrBadParams indicates a parameter vector of the wrong length or
+	// outside the model's feasible region.
+	ErrBadParams = errors.New("core: invalid model parameters")
+	// ErrNoRecovery indicates the model curve never returns to the
+	// requested performance level.
+	ErrNoRecovery = errors.New("core: model does not recover to the requested level")
+	// ErrBadData indicates input data unusable for the requested
+	// operation.
+	ErrBadData = errors.New("core: invalid input data")
+)
+
+// checkParams verifies the length of a parameter vector against a model.
+func checkParams(m Model, params []float64) error {
+	if len(params) != m.NumParams() {
+		return fmt.Errorf("%w: %s expects %d parameters, got %d",
+			ErrBadParams, m.Name(), m.NumParams(), len(params))
+	}
+	return nil
+}

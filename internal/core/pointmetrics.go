@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PointMetrics are the point-based resilience measures of the taxonomy
+// the paper cites (Cheng et al.): where the interval metrics of Sec. IV
+// integrate performance over a window, these characterize single points
+// and slopes of the curve — the "4R" quantities emergency managers ask
+// for first.
+type PointMetrics struct {
+	// Robustness is the fraction of nominal performance retained at the
+	// worst point: P(t_d) / P(t_h).
+	Robustness float64
+	// Rapidity is the average recovery slope from the minimum to
+	// recovery: (P(t_r) − P(t_d)) / (t_r − t_d). Zero when t_r == t_d.
+	Rapidity float64
+	// TimeToMinimum is t_d − t_h, how long degradation lasts.
+	TimeToMinimum float64
+	// TimeToRecovery is t_r − t_h, the total disruption duration.
+	TimeToRecovery float64
+	// ResilienceLoss is the Bruneau "resilience triangle":
+	// ∫ (P(t_h) − P(t)) dt over [t_h, t_r].
+	ResilienceLoss float64
+}
+
+// ComputePointMetrics evaluates the point-based metrics for an arbitrary
+// performance curve over a window. The curve is integrated continuously
+// for the resilience-loss term.
+func ComputePointMetrics(curve func(float64) float64, w Window) (PointMetrics, error) {
+	if curve == nil {
+		return PointMetrics{}, fmt.Errorf("%w: nil curve", ErrBadData)
+	}
+	if !(w.TR > w.TH) {
+		return PointMetrics{}, fmt.Errorf("%w: window needs t_r > t_h", ErrBadData)
+	}
+	if w.Nominal == 0 {
+		return PointMetrics{}, fmt.Errorf("%w: zero nominal performance", ErrBadData)
+	}
+	td := math.Min(math.Max(w.TD, w.TH), w.TR)
+	pMin := curve(td)
+	pEnd := curve(w.TR)
+
+	rapidity := 0.0
+	if w.TR > td {
+		rapidity = (pEnd - pMin) / (w.TR - td)
+	}
+
+	set, err := Compute(curve, Window{
+		TH: w.TH, TR: w.TR, TD: td, T0: w.T0,
+		Nominal: w.Nominal, PMin: pMin,
+	}, MetricsConfig{Mode: Continuous})
+	if err != nil {
+		return PointMetrics{}, err
+	}
+
+	return PointMetrics{
+		Robustness:     pMin / w.Nominal,
+		Rapidity:       rapidity,
+		TimeToMinimum:  td - w.TH,
+		TimeToRecovery: w.TR - w.TH,
+		ResilienceLoss: set[PerformanceLost],
+	}, nil
+}
+
+// FitPointMetrics evaluates the point-based metrics on a fitted curve,
+// locating the minimum from the model and the recovery time from the
+// curve's return to the nominal level (falling back to the window end if
+// the curve never recovers within it).
+func FitPointMetrics(f *FitResult, th, horizon, nominal float64) (PointMetrics, error) {
+	if f == nil {
+		return PointMetrics{}, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if !(horizon > th) {
+		return PointMetrics{}, fmt.Errorf("%w: horizon must exceed t_h", ErrBadData)
+	}
+	td, err := ModelMinimum(f, horizon)
+	if err != nil {
+		return PointMetrics{}, err
+	}
+	tr, err := RecoveryTime(f, nominal, horizon)
+	if err != nil || tr > horizon || tr <= td {
+		// The curve does not regain nominal inside the horizon; use the
+		// horizon end as the assessment boundary, as Sec. IV does when
+		// replacing t_r with the final observation time.
+		tr = horizon
+	}
+	return ComputePointMetrics(f.Eval, Window{
+		TH: th, TR: tr, TD: td, T0: th, Nominal: nominal, PMin: f.Eval(td),
+	})
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/numeric"
+)
+
+// ModelMinimum returns the time t_d at which the fitted curve attains its
+// minimum, using the model's closed form when available (quadratic vertex
+// or the competing-risks stationary point) and a grid-plus-golden-section
+// search on [0, horizon] otherwise.
+func ModelMinimum(f *FitResult, horizon float64) (float64, error) {
+	if f == nil {
+		return math.NaN(), fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if mm, ok := f.Model.(MinimumModel); ok {
+		td, err := mm.MinimumTime(f.Params)
+		if err != nil {
+			return math.NaN(), err
+		}
+		if td < 0 {
+			td = 0
+		}
+		if horizon > 0 && td > horizon {
+			td = horizon
+		}
+		return td, nil
+	}
+	return mixtureMinimum(f.Model, f.Params, horizon)
+}
+
+// RecoveryTime returns the earliest post-minimum time at which the fitted
+// curve returns to the given performance level — the restoration-time
+// prediction the paper motivates in its introduction. Closed forms
+// (Eqs. 2 and 5) are used when the model provides them; otherwise the
+// curve is bracketed beyond its minimum and solved with Brent's method.
+// searchHorizon bounds the numeric search (use a few multiples of the
+// observed span).
+func RecoveryTime(f *FitResult, level, searchHorizon float64) (float64, error) {
+	if f == nil {
+		return math.NaN(), fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if rm, ok := f.Model.(RecoveryModel); ok {
+		return rm.RecoveryTime(f.Params, level)
+	}
+	if searchHorizon <= 0 {
+		return math.NaN(), fmt.Errorf("%w: non-positive search horizon", ErrBadData)
+	}
+	td, err := ModelMinimum(f, searchHorizon)
+	if err != nil {
+		return math.NaN(), err
+	}
+	g := func(t float64) float64 { return f.Eval(t) - level }
+	if g(td) >= 0 {
+		// Already at or above the level at the minimum: recovery is
+		// immediate.
+		return td, nil
+	}
+	// March outward from the minimum until the curve crosses the level.
+	lo := td
+	step := math.Max((searchHorizon-td)/64, 1e-6)
+	for hi := td + step; hi <= searchHorizon*4; hi += step {
+		if g(hi) >= 0 {
+			root, err := numeric.BrentRoot(g, lo, hi, 1e-10)
+			if err != nil {
+				return math.NaN(), fmt.Errorf("core: recovery root: %w", err)
+			}
+			return root, nil
+		}
+		lo = hi
+	}
+	return math.NaN(), fmt.Errorf("%w: level %g not reached within horizon %g",
+		ErrNoRecovery, level, searchHorizon*4)
+}
+
+// AreaUnderCurve returns ∫ P̂ dt over [t0, t1], using the model's closed
+// form (Eqs. 3 and 6) when available and adaptive quadrature otherwise.
+func AreaUnderCurve(f *FitResult, t0, t1 float64) (float64, error) {
+	if f == nil {
+		return math.NaN(), fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if am, ok := f.Model.(AreaModel); ok {
+		return am.Area(f.Params, t0, t1)
+	}
+	set, err := Compute(f.Eval, Window{TH: t0, TR: t1, TD: t0, T0: t0, Nominal: 1, PMin: 0},
+		MetricsConfig{Mode: Continuous})
+	if err != nil {
+		return math.NaN(), err
+	}
+	return set[PerformancePreserved], nil
+}
+
+// CurveShape classifies the letter shape economists use for resilience
+// curves (Sec. V): V, U, W, L, or J. Classification is heuristic, based
+// on the drop depth, the time spent near the minimum, the number of
+// distinct dips, and the terminal recovery level. It implements the
+// shape-awareness the paper's conclusions call for: W- and L-shaped data
+// cannot be captured by single-dip models.
+type CurveShape string
+
+// Recognized curve shapes.
+const (
+	// ShapeV is a sharp drop with a similarly fast recovery.
+	ShapeV CurveShape = "V"
+	// ShapeU is a slower decline with an extended trough.
+	ShapeU CurveShape = "U"
+	// ShapeW contains two successive degradation/recovery cycles.
+	ShapeW CurveShape = "W"
+	// ShapeL is a sharp drop followed by sustained underperformance.
+	ShapeL CurveShape = "L"
+	// ShapeJ recovers slowly but eventually exceeds the pre-hazard trend.
+	ShapeJ CurveShape = "J"
+	// ShapeFlat means no meaningful degradation was detected.
+	ShapeFlat CurveShape = "flat"
+)
+
+// ClassifyShape labels a normalized resilience series (values ≈ 1 at the
+// hazard onset) with its letter shape.
+func ClassifyShape(values []float64) CurveShape {
+	if len(values) < 3 {
+		return ShapeFlat
+	}
+	base := values[0]
+	minV, minIdx := values[0], 0
+	for i, v := range values {
+		if v < minV {
+			minV, minIdx = v, i
+		}
+	}
+	depth := (base - minV) / math.Max(base, 1e-12)
+	if depth < 0.002 {
+		return ShapeFlat
+	}
+
+	// Count distinct dips: descents below the midpoint between base and
+	// minimum separated by a recovery above it.
+	mid := minV + (base-minV)*0.5
+	dips := 0
+	below := false
+	for _, v := range values {
+		if !below && v < mid {
+			dips++
+			below = true
+		} else if below && v > mid {
+			below = false
+		}
+	}
+	if dips >= 2 {
+		return ShapeW
+	}
+
+	terminal := values[len(values)-1]
+	recovered := (terminal - minV) / math.Max(base-minV, 1e-12)
+	dropSpeed := float64(minIdx) / float64(len(values))
+
+	// L: a deep, near-instant collapse that never regains the starting
+	// level within the horizon (the paper's 2020-21 COVID shape).
+	fastDrop := float64(minIdx) <= math.Max(3, 0.15*float64(len(values)))
+	if fastDrop && depth >= 0.04 && terminal < base {
+		return ShapeL
+	}
+
+	// J: eventually exceeds the pre-hazard level, but the climb back takes
+	// much longer than the fall.
+	if terminal > base*1.01 {
+		recoverIdx := -1
+		for i := minIdx + 1; i < len(values); i++ {
+			if values[i] >= base {
+				recoverIdx = i
+				break
+			}
+		}
+		if recoverIdx > 0 && minIdx > 0 && float64(recoverIdx-minIdx) > 2*float64(minIdx) {
+			return ShapeJ
+		}
+	}
+
+	if dropSpeed < 0.25 && recovered >= 0.9 {
+		return ShapeV
+	}
+	return ShapeU
+}
+
+// ErrBadPiecewise indicates invalid piecewise-curve breakpoints.
+var ErrBadPiecewise = errors.New("core: piecewise curve needs th < tr")
+
+// PiecewiseCurve is the Sec. II piecewise resilience curve: nominal
+// performance before the hazard at t_h, the model curve during disruption
+// and recovery, and a (possibly different) steady level after t_r. It
+// renders the conceptual Fig. 1.
+type PiecewiseCurve struct {
+	// TH and TR are the hazard and new-steady-state times.
+	TH, TR float64
+	// Before is the nominal performance P(t_h) for t < t_h.
+	Before float64
+	// After is the steady performance P(t_r) for t > t_r.
+	After float64
+	// During evaluates the model section on [t_h, t_r]; times are passed
+	// relative to t_h (the model's own clock starts at the hazard).
+	During func(t float64) float64
+	// Scale is the normalizing constant c of Eq. (1) that keeps the curve
+	// continuous at t_h: c = Before / During(0).
+	Scale float64
+}
+
+// NewPiecewise builds a continuous piecewise resilience curve around a
+// fitted (or raw) model section, computing the normalizing constant c so
+// that c·P(0) equals the pre-hazard level.
+func NewPiecewise(th, tr, before float64, during func(float64) float64) (*PiecewiseCurve, error) {
+	if during == nil || !(tr > th) {
+		return nil, ErrBadPiecewise
+	}
+	p0 := during(0)
+	if p0 == 0 || math.IsNaN(p0) || math.IsInf(p0, 0) {
+		return nil, fmt.Errorf("%w: model section value at hazard is %g", ErrBadData, p0)
+	}
+	scale := before / p0
+	return &PiecewiseCurve{
+		TH: th, TR: tr,
+		Before: before,
+		After:  scale * during(tr-th),
+		During: during,
+		Scale:  scale,
+	}, nil
+}
+
+// Eval returns the piecewise curve value at absolute time t.
+func (p *PiecewiseCurve) Eval(t float64) float64 {
+	switch {
+	case t < p.TH:
+		return p.Before
+	case t > p.TR:
+		return p.After
+	default:
+		return p.Scale * p.During(t-p.TH)
+	}
+}
+
+// ShapeK is the K-shaped classification for a pair of sector series with
+// divergent recoveries (one recovers, one stays depressed) — the one
+// letter shape that needs two curves to define (Sec. V: "divergent
+// recovery paths").
+const ShapeK CurveShape = "K"
+
+// ClassifyShapePair labels two sector series observed over the same
+// disruption. It returns ShapeK when both sectors drop together but
+// their recoveries diverge: one ends at or above its starting level
+// while the other remains well below. Otherwise it returns the
+// classification of the aggregate (mean) curve.
+func ClassifyShapePair(a, b []float64) CurveShape {
+	if len(a) != len(b) || len(a) < 3 {
+		return ShapeFlat
+	}
+	dropA, endA := dropAndEnd(a)
+	dropB, endB := dropAndEnd(b)
+	bothDropped := dropA > 0.01 && dropB > 0.01
+	oneRecovered := endA >= 0.995 || endB >= 0.995
+	oneDepressed := endA < 0.97 || endB < 0.97
+	diverged := math.Abs(endA-endB) > 0.03
+	if bothDropped && oneRecovered && oneDepressed && diverged {
+		return ShapeK
+	}
+	mean := make([]float64, len(a))
+	for i := range a {
+		mean[i] = (a[i] + b[i]) / 2
+	}
+	return ClassifyShape(mean)
+}
+
+// dropAndEnd returns the normalized maximum drawdown and terminal level
+// of a series relative to its first value.
+func dropAndEnd(values []float64) (drop, end float64) {
+	base := values[0]
+	if base == 0 {
+		return 0, 0
+	}
+	min := values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+	}
+	return (base - min) / base, values[len(values)-1] / base
+}

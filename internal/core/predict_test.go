@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+func TestModelMinimumUsesClosedForm(t *testing.T) {
+	data := seriesOf(t, 1, 0.9, 0.85, 0.9, 1)
+	fit := &FitResult{Model: QuadraticModel{}, Params: []float64{1, -0.2, 0.01}, Train: data}
+	td, err := ModelMinimum(fit, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(td-10) > 1e-12 {
+		t.Errorf("td = %g, want 10 (vertex)", td)
+	}
+	// Horizon clamps.
+	td, err = ModelMinimum(fit, 5)
+	if err != nil || td != 5 {
+		t.Errorf("clamped td = %g, err %v; want 5", td, err)
+	}
+	if _, err := ModelMinimum(nil, 10); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+}
+
+func TestModelMinimumNumericFallbackForMixture(t *testing.T) {
+	mix, err := NewMixture(ExpFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{0.3, 0.05, 0.4}
+	fit := &FitResult{Model: mix, Params: params}
+	td, err := ModelMinimum(fit, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check local minimality numerically.
+	p := mix.Eval(params, td)
+	for _, dt := range []float64{-0.5, 0.5} {
+		tt := td + dt
+		if tt >= 0 && tt <= 48 && mix.Eval(params, tt) < p-1e-9 {
+			t.Errorf("numeric minimum %g not minimal: P(%g)=%g < P(td)=%g",
+				td, tt, mix.Eval(params, tt), p)
+		}
+	}
+}
+
+func TestRecoveryTimeClosedForm(t *testing.T) {
+	data := seriesOf(t, 1, 0.9, 0.85)
+	fit := &FitResult{Model: QuadraticModel{}, Params: []float64{1, -0.2, 0.01}, Train: data}
+	tr, err := RecoveryTime(fit, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-20) > 1e-9 {
+		t.Errorf("tr = %g, want 20", tr)
+	}
+}
+
+func TestRecoveryTimeNumericFallback(t *testing.T) {
+	mix, err := NewMixture(ExpFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{0.3, 0.05, 0.4}
+	fit := &FitResult{Model: mix, Params: params}
+	level := 0.95
+	tr, err := RecoveryTime(fit, level, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mix.Eval(params, tr)-level) > 1e-6 {
+		t.Errorf("P(tr) = %g, want %g", mix.Eval(params, tr), level)
+	}
+	// Unreachable level errors with ErrNoRecovery.
+	if _, err := RecoveryTime(fit, 100, 48); !errors.Is(err, ErrNoRecovery) {
+		t.Errorf("unreachable level: %v", err)
+	}
+	// Level already met at the minimum returns the minimum time.
+	trLow, err := RecoveryTime(fit, -10, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trLow < 0 || trLow > 48 {
+		t.Errorf("already-recovered time = %g", trLow)
+	}
+	if _, err := RecoveryTime(fit, 1, 0); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero horizon on numeric path: %v", err)
+	}
+	if _, err := RecoveryTime(nil, 1, 10); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+}
+
+func TestAreaUnderCurveClosedFormVsNumeric(t *testing.T) {
+	// The quadratic uses Eq. (3); a mixture integrates numerically. Both
+	// must agree with direct quadrature.
+	data := seriesOf(t, 1, 0.95, 0.92)
+	quadFit := &FitResult{Model: QuadraticModel{}, Params: []float64{1, -0.1, 0.003}, Train: data}
+	a1, err := AreaUnderCurve(quadFit, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 30 - 0.1*450 + 0.003*9000 // αt + βt²/2 + γt³/3
+	if math.Abs(a1-want) > 1e-9 {
+		t.Errorf("quadratic AUC = %g, want %g", a1, want)
+	}
+
+	mix, err := NewMixture(ExpFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixFit := &FitResult{Model: mix, Params: []float64{0.3, 0.05, 0.4}}
+	a2, err := AreaUnderCurve(mixFit, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rough check via midpoint samples.
+	var sum float64
+	const n = 20000.0
+	for i := 0; i < n; i++ {
+		tt := 1 + (30-1)*(float64(i)+0.5)/n
+		sum += mix.Eval(mixFit.Params, tt)
+	}
+	sum *= (30 - 1) / n
+	if math.Abs(a2-sum) > 1e-3 {
+		t.Errorf("mixture AUC = %g, midpoint estimate %g", a2, sum)
+	}
+	if _, err := AreaUnderCurve(nil, 0, 1); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+}
+
+func TestClassifyShape(t *testing.T) {
+	mk := func(f func(i int) float64, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	tests := []struct {
+		name string
+		vals []float64
+		want CurveShape
+	}{
+		{
+			name: "flat",
+			vals: mk(func(int) float64 { return 1 }, 20),
+			want: ShapeFlat,
+		},
+		{
+			name: "V: quick drop quick recovery",
+			vals: mk(func(i int) float64 {
+				x := float64(i)
+				if x <= 4 {
+					return 1 - 0.03*x/4
+				}
+				return math.Min(1.02, 0.97+0.03*(x-4)/6)
+			}, 48),
+			want: ShapeV,
+		},
+		{
+			name: "U: long trough",
+			vals: mk(func(i int) float64 {
+				x := float64(i)
+				return 1 - 0.03*math.Sin(math.Pi*math.Min(x/40, 1))
+			}, 48),
+			want: ShapeU,
+		},
+		{
+			name: "W: two dips",
+			vals: mk(func(i int) float64 {
+				x := float64(i)
+				return 1 - 0.02*math.Abs(math.Sin(x/7))
+			}, 44),
+			want: ShapeW,
+		},
+		{
+			name: "L: collapse without recovery",
+			vals: mk(func(i int) float64 {
+				if i < 3 {
+					return 1 - 0.05*float64(i)
+				}
+				return 0.86 + 0.001*float64(i)
+			}, 30),
+			want: ShapeL,
+		},
+		{
+			name: "too short",
+			vals: []float64{1, 0.9},
+			want: ShapeFlat,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClassifyShape(tt.vals); got != tt.want {
+				t.Errorf("ClassifyShape = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPiecewiseCurve(t *testing.T) {
+	// Model section: a V shape dropping to 0.5 at t=5, back to 1.2 at 10.
+	during := func(t float64) float64 {
+		if t <= 5 {
+			return 1 - 0.1*t
+		}
+		return 0.5 + 0.14*(t-5)
+	}
+	pc, err := NewPiecewise(100, 110, 2, during)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Scale != 2 {
+		t.Errorf("scale = %g, want 2 (continuity at hazard)", pc.Scale)
+	}
+	if got := pc.Eval(50); got != 2 {
+		t.Errorf("pre-hazard = %g, want 2", got)
+	}
+	if got := pc.Eval(100); math.Abs(got-2) > 1e-12 {
+		t.Errorf("at hazard = %g, want 2 (continuous)", got)
+	}
+	if got := pc.Eval(105); math.Abs(got-1) > 1e-12 {
+		t.Errorf("at trough = %g, want 1", got)
+	}
+	wantAfter := 2 * during(10)
+	if got := pc.Eval(200); math.Abs(got-wantAfter) > 1e-12 {
+		t.Errorf("post-recovery = %g, want %g", got, wantAfter)
+	}
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	during := func(t float64) float64 { return 1 }
+	if _, err := NewPiecewise(10, 5, 1, during); !errors.Is(err, ErrBadPiecewise) {
+		t.Errorf("tr <= th: %v", err)
+	}
+	if _, err := NewPiecewise(0, 10, 1, nil); !errors.Is(err, ErrBadPiecewise) {
+		t.Errorf("nil section: %v", err)
+	}
+	zero := func(float64) float64 { return 0 }
+	if _, err := NewPiecewise(0, 10, 1, zero); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero at hazard: %v", err)
+	}
+}
+
+func TestRecoveryTimePredictionOnFittedRecession(t *testing.T) {
+	// End-to-end: fit the competing-risks model to a clean U-shaped
+	// series, then predict when performance regains the starting level.
+	m := CompetingRisksModel{}
+	truth := []float64{1, 0.4, 0.0012}
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = m.Eval(truth, float64(i))
+	}
+	data, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(m, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTr, err := m.RecoveryTime(truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTr, err := RecoveryTime(fit, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotTr-wantTr) > 0.5 {
+		t.Errorf("predicted recovery %g, truth %g", gotTr, wantTr)
+	}
+}
+
+func TestClassifyShapePair(t *testing.T) {
+	n := 24
+	mk := func(drop, end float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			x := float64(i)
+			switch {
+			case x <= 2:
+				out[i] = 1 - drop*x/2
+			default:
+				out[i] = (1 - drop) + (end-(1-drop))*(x-2)/float64(n-3)
+			}
+		}
+		return out
+	}
+	recovering := mk(0.10, 1.03)
+	depressed := mk(0.25, 0.90)
+	if got := ClassifyShapePair(recovering, depressed); got != ShapeK {
+		t.Errorf("divergent pair = %v, want K", got)
+	}
+	// Two parallel recoveries are not K; they classify as the aggregate.
+	twin := mk(0.10, 1.02)
+	if got := ClassifyShapePair(recovering, twin); got == ShapeK {
+		t.Error("parallel recoveries misclassified as K")
+	}
+	// Mismatched lengths are flat.
+	if got := ClassifyShapePair(recovering[:5], depressed); got != ShapeFlat {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+	if got := ClassifyShapePair(nil, nil); got != ShapeFlat {
+		t.Errorf("empty = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Intervention models a restoration activity applied to a fitted
+// resilience curve — the paper's Sec. VI future work asks how predicted
+// performance moves "as a function of disruptive events and activities
+// to restore performance". An intervention starting at time Start
+// accelerates the post-Start clock by Accel: the system traverses the
+// remaining recovery path Accel times faster (surge staffing, mutual-aid
+// crews, autoscaling). Accel < 1 models a slowdown (resource
+// exhaustion).
+type Intervention struct {
+	// Start is the absolute time the intervention takes effect.
+	Start float64
+	// Accel is the clock multiplier for t > Start; must be positive.
+	Accel float64
+}
+
+// Validate checks the intervention's fields.
+func (iv Intervention) Validate() error {
+	if math.IsNaN(iv.Start) || math.IsInf(iv.Start, 0) || iv.Start < 0 {
+		return fmt.Errorf("%w: intervention start %g", ErrBadData, iv.Start)
+	}
+	if !(iv.Accel > 0) || math.IsInf(iv.Accel, 0) {
+		return fmt.Errorf("%w: intervention acceleration %g must be positive", ErrBadData, iv.Accel)
+	}
+	return nil
+}
+
+// Apply returns the intervened curve: identical to the fit before Start,
+// then time-dilated so recovery proceeds Accel× faster. The curve stays
+// continuous at Start by construction.
+func (iv Intervention) Apply(f *FitResult) (func(float64) float64, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if err := iv.Validate(); err != nil {
+		return nil, err
+	}
+	return func(t float64) float64 {
+		if t <= iv.Start {
+			return f.Eval(t)
+		}
+		return f.Eval(iv.Start + iv.Accel*(t-iv.Start))
+	}, nil
+}
+
+// ScenarioImpact quantifies an intervention: recovery times and metric
+// sets with and without it.
+type ScenarioImpact struct {
+	// BaselineRecovery and IntervenedRecovery are the times performance
+	// regains the target level under each curve; NaN when unreachable
+	// within the horizon.
+	BaselineRecovery   float64
+	IntervenedRecovery float64
+	// RecoverySaved is Baseline − Intervened (positive = faster).
+	RecoverySaved float64
+	// Baseline and Intervened are the interval metrics for each curve
+	// over the same window.
+	Baseline   MetricSet
+	Intervened MetricSet
+}
+
+// EvaluateIntervention compares the fitted curve against the intervened
+// one: when does each regain `level`, and how do the interval metrics
+// move over [0, horizon]?
+func EvaluateIntervention(f *FitResult, iv Intervention, level, horizon float64) (*ScenarioImpact, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
+	}
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("%w: non-positive horizon", ErrBadData)
+	}
+	curve, err := iv.Apply(f)
+	if err != nil {
+		return nil, err
+	}
+
+	impact := &ScenarioImpact{
+		BaselineRecovery:   math.NaN(),
+		IntervenedRecovery: math.NaN(),
+		RecoverySaved:      math.NaN(),
+	}
+	// Both recovery times come from the same horizon-bounded search so
+	// the comparison is apples-to-apples (the closed forms ignore the
+	// horizon).
+	if tr, err := curveRecovery(f.Eval, level, horizon); err == nil {
+		impact.BaselineRecovery = tr
+	}
+	if tr, err := curveRecovery(curve, level, horizon); err == nil {
+		impact.IntervenedRecovery = tr
+	}
+	if !math.IsNaN(impact.BaselineRecovery) && !math.IsNaN(impact.IntervenedRecovery) {
+		impact.RecoverySaved = impact.BaselineRecovery - impact.IntervenedRecovery
+	}
+
+	td, err := ModelMinimum(f, horizon)
+	if err != nil {
+		return nil, err
+	}
+	w := Window{
+		TH: 0, TR: horizon, TD: td, T0: 0,
+		Nominal: f.Eval(0), PMin: f.Eval(td),
+	}
+	cfg := MetricsConfig{Mode: Continuous}
+	impact.Baseline, err = Compute(f.Eval, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The intervened curve shares the window anatomy (t_d can only move
+	// earlier; reuse the clamped value at the same level for
+	// comparability).
+	impact.Intervened, err = Compute(curve, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return impact, nil
+}
+
+// curveRecovery locates the time an arbitrary curve *recovers* to the
+// level: the first upward crossing after the curve has dropped below it.
+// A curve that starts at or above the level and never drops below it is
+// already recovered at t = 0.
+func curveRecovery(curve func(float64) float64, level, horizon float64) (float64, error) {
+	const gridN = 1024
+	below := curve(0) < level
+	prevT := 0.0
+	for i := 1; i <= gridN; i++ {
+		t := horizon * float64(i) / gridN
+		v := curve(t)
+		if !below {
+			if v < level {
+				below = true // degradation has begun
+			}
+			prevT = t
+			continue
+		}
+		if v >= level {
+			// Upward crossing: bisect within [prevT, t].
+			lo, hi := prevT, t
+			for iter := 0; iter < 60; iter++ {
+				mid := lo + (hi-lo)/2
+				if curve(mid) >= level {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return hi, nil
+		}
+		prevT = t
+	}
+	if !below {
+		// Never dropped below the level: recovered throughout.
+		return 0, nil
+	}
+	return math.NaN(), fmt.Errorf("%w: level %g not reached within %g", ErrNoRecovery, level, horizon)
+}

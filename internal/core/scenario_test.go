@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// fittedV returns a competing-risks fit to a mild recession-like curve:
+// a 3% dip around t = 7 recovering past the baseline by t ≈ 17.
+func fittedV(t *testing.T) *FitResult {
+	t.Helper()
+	m := CompetingRisksModel{}
+	truth := []float64{1, 0.03, 0.01}
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = m.Eval(truth, float64(i))
+	}
+	data, err := seriesFrom(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(m, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fit
+}
+
+func TestInterventionValidate(t *testing.T) {
+	cases := []struct {
+		iv Intervention
+		ok bool
+	}{
+		{Intervention{Start: 5, Accel: 2}, true},
+		{Intervention{Start: 0, Accel: 0.5}, true},
+		{Intervention{Start: -1, Accel: 2}, false},
+		{Intervention{Start: 5, Accel: 0}, false},
+		{Intervention{Start: 5, Accel: -1}, false},
+		{Intervention{Start: math.NaN(), Accel: 1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.iv.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", tc.iv, err)
+		}
+		if !tc.ok && !errors.Is(err, ErrBadData) {
+			t.Errorf("%+v: want ErrBadData, got %v", tc.iv, err)
+		}
+	}
+}
+
+func TestInterventionApplyContinuity(t *testing.T) {
+	fit := fittedV(t)
+	iv := Intervention{Start: 10, Accel: 3}
+	curve, err := iv.Apply(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical before the start, continuous at it.
+	for _, tt := range []float64{0, 3, 9.99} {
+		if curve(tt) != fit.Eval(tt) {
+			t.Errorf("pre-intervention value differs at %g", tt)
+		}
+	}
+	if math.Abs(curve(10)-curve(10+1e-9)) > 1e-6 {
+		t.Error("discontinuity at intervention start")
+	}
+	// After the start, the curve at t matches the baseline at the dilated
+	// clock.
+	if got, want := curve(15), fit.Eval(10+3*5.0); got != want {
+		t.Errorf("dilated value = %g, want %g", got, want)
+	}
+	if _, err := iv.Apply(nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+}
+
+func TestEvaluateInterventionSpeedsRecovery(t *testing.T) {
+	fit := fittedV(t)
+	iv := Intervention{Start: 5, Accel: 2}
+	impact, err := EvaluateIntervention(fit, iv, 1.0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(impact.BaselineRecovery) || math.IsNaN(impact.IntervenedRecovery) {
+		t.Fatalf("recovery times: %+v", impact)
+	}
+	if impact.IntervenedRecovery >= impact.BaselineRecovery {
+		t.Errorf("acceleration did not speed recovery: %g vs %g",
+			impact.IntervenedRecovery, impact.BaselineRecovery)
+	}
+	if impact.RecoverySaved <= 0 {
+		t.Errorf("RecoverySaved = %g", impact.RecoverySaved)
+	}
+	// More performance preserved under the intervention.
+	if impact.Intervened[PerformancePreserved] <= impact.Baseline[PerformancePreserved] {
+		t.Errorf("intervention did not raise preserved performance: %g vs %g",
+			impact.Intervened[PerformancePreserved], impact.Baseline[PerformancePreserved])
+	}
+}
+
+func TestEvaluateInterventionSlowdown(t *testing.T) {
+	fit := fittedV(t)
+	iv := Intervention{Start: 5, Accel: 0.5}
+	impact, err := EvaluateIntervention(fit, iv, 1.0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(impact.IntervenedRecovery) && !math.IsNaN(impact.BaselineRecovery) &&
+		impact.IntervenedRecovery <= impact.BaselineRecovery {
+		t.Errorf("slowdown should delay recovery: %g vs %g",
+			impact.IntervenedRecovery, impact.BaselineRecovery)
+	}
+}
+
+func TestEvaluateInterventionValidation(t *testing.T) {
+	fit := fittedV(t)
+	if _, err := EvaluateIntervention(nil, Intervention{Start: 1, Accel: 2}, 1, 10); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	if _, err := EvaluateIntervention(fit, Intervention{Start: 1, Accel: 2}, 1, 0); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero horizon: %v", err)
+	}
+	if _, err := EvaluateIntervention(fit, Intervention{Start: 1, Accel: 0}, 1, 10); !errors.Is(err, ErrBadData) {
+		t.Errorf("bad intervention: %v", err)
+	}
+}
+
+func TestFitRobustMatchesLSEOnCleanData(t *testing.T) {
+	data := crShapedSeries(t)
+	plain, err := Fit(CompetingRisksModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := FitRobust(CompetingRisksModel{}, data, RobustConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without outliers the two estimators agree closely.
+	for i := range plain.Params {
+		if math.Abs(plain.Params[i]-robust.Params[i]) > 0.05*math.Max(1, math.Abs(plain.Params[i])) {
+			t.Errorf("param %d: LSE %g vs robust %g", i, plain.Params[i], robust.Params[i])
+		}
+	}
+}
+
+func TestFitRobustResistsOutliers(t *testing.T) {
+	// Clean competing-risks curve with two gross outliers injected; the
+	// robust fit should track the clean curve far better than plain LSE.
+	m := CompetingRisksModel{}
+	truth := []float64{1, 0.35, 0.001}
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = m.Eval(truth, float64(i))
+	}
+	vals[12] += 0.20 // data-revision spike
+	vals[30] -= 0.15 // reporting artifact
+	data, err := seriesFrom(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Fit(m, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := FitRobust(m, data, RobustConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare curve recovery against the truth on the clean points.
+	cleanErr := func(f *FitResult) float64 {
+		var sum float64
+		for i := range vals {
+			if i == 12 || i == 30 {
+				continue
+			}
+			d := f.Eval(float64(i)) - m.Eval(truth, float64(i))
+			sum += d * d
+		}
+		return sum
+	}
+	pe, re := cleanErr(plain), cleanErr(robust)
+	if re >= pe {
+		t.Errorf("robust clean-error %g not better than LSE %g", re, pe)
+	}
+	if re > pe/4 {
+		t.Errorf("robust improvement too small: %g vs %g", re, pe)
+	}
+}
+
+func TestFitRobustValidation(t *testing.T) {
+	if _, err := FitRobust(nil, nil, RobustConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil model: %v", err)
+	}
+	tiny, err := seriesFrom([]float64{1, 0.9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitRobust(QuadraticModel{}, tiny, RobustConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("tiny data: %v", err)
+	}
+}
+
+func TestMadScale(t *testing.T) {
+	// Residuals ±1 have MAD 1 → scale 1/0.6745.
+	rs := []float64{1, -1, 1, -1, 1}
+	if got := madScale(rs); math.Abs(got-1/0.6745) > 1e-12 {
+		t.Errorf("madScale = %g", got)
+	}
+	if got := madScale(nil); got != 0 {
+		t.Errorf("empty madScale = %g", got)
+	}
+	// Even count takes the midpoint.
+	if got := madScale([]float64{1, 3}); math.Abs(got-2/0.6745) > 1e-12 {
+		t.Errorf("even madScale = %g", got)
+	}
+}
+
+// seriesFrom is a test helper building a Series from values.
+func seriesFrom(vals []float64) (*timeseries.Series, error) {
+	return timeseries.FromValues(vals)
+}

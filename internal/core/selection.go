@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"resilience/internal/stat"
+	"resilience/internal/timeseries"
+)
+
+// SelectionCriterion chooses which score ranks candidate models.
+type SelectionCriterion int
+
+// Ranking criteria.
+const (
+	// ByPMSE ranks by held-out predictive mean squared error (Eq. 10),
+	// the paper's primary predictive measure.
+	ByPMSE SelectionCriterion = iota + 1
+	// ByAIC ranks by Akaike's information criterion on the training fit.
+	ByAIC
+	// ByBIC ranks by the Bayesian information criterion.
+	ByBIC
+	// ByCV ranks by rolling-origin cross-validated one-step error, the
+	// most expensive and most honest predictive score.
+	ByCV
+)
+
+// String returns the criterion name.
+func (c SelectionCriterion) String() string {
+	switch c {
+	case ByPMSE:
+		return "pmse"
+	case ByAIC:
+		return "aic"
+	case ByBIC:
+		return "bic"
+	case ByCV:
+		return "cv"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// ModelScore is one candidate's full scorecard.
+type ModelScore struct {
+	// Model is the scored candidate.
+	Model Model
+	// Validation holds the single-split pipeline output.
+	Validation *Validation
+	// CV is the rolling-origin one-step mean squared error; NaN unless
+	// requested.
+	CV float64
+}
+
+// SelectConfig tunes SelectModel.
+type SelectConfig struct {
+	// Criterion picks the ranking score (default ByPMSE).
+	Criterion SelectionCriterion
+	// Validate configures the single-split pipeline.
+	Validate ValidateConfig
+	// CVMinTrain is the smallest training prefix for rolling-origin CV
+	// (default max(8, 2·(params+1))). Only used with ByCV or when
+	// AlwaysCV is set.
+	CVMinTrain int
+	// AlwaysCV computes the CV score even when another criterion ranks.
+	AlwaysCV bool
+}
+
+// SelectionResult ranks candidate models on one dataset.
+type SelectionResult struct {
+	// Scores is sorted best-first under the configured criterion.
+	Scores []ModelScore
+	// Criterion echoes the ranking score used.
+	Criterion SelectionCriterion
+}
+
+// Best returns the winning model.
+func (r *SelectionResult) Best() ModelScore { return r.Scores[0] }
+
+// SelectModel fits every candidate to the dataset, scores each with the
+// full validation pipeline (plus rolling-origin cross-validation when
+// requested), and ranks them. Candidates that fail to fit are dropped;
+// an error is returned only if none survive.
+func SelectModel(candidates []Model, data *timeseries.Series, cfg SelectConfig) (*SelectionResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: no candidate models", ErrBadData)
+	}
+	if data == nil || data.Len() < 4 {
+		return nil, fmt.Errorf("%w: need at least 4 observations", ErrBadData)
+	}
+	if cfg.Criterion == 0 {
+		cfg.Criterion = ByPMSE
+	}
+	needCV := cfg.Criterion == ByCV || cfg.AlwaysCV
+
+	var scores []ModelScore
+	var firstErr error
+	for _, m := range candidates {
+		v, err := Validate(m, data, cfg.Validate)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", m.Name(), err)
+			}
+			continue
+		}
+		score := ModelScore{Model: m, Validation: v, CV: math.NaN()}
+		if needCV {
+			cv, err := RollingOriginCV(m, data, cfg.CVMinTrain, cfg.Validate.Fit)
+			if err == nil {
+				score.CV = cv
+			}
+		}
+		scores = append(scores, score)
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("core: every candidate failed: %w", firstErr)
+	}
+
+	key := func(s ModelScore) float64 {
+		switch cfg.Criterion {
+		case ByAIC:
+			return s.Validation.GoF.AIC
+		case ByBIC:
+			return s.Validation.GoF.BIC
+		case ByCV:
+			return s.CV
+		default:
+			return s.Validation.GoF.PMSE
+		}
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		a, b := key(scores[i]), key(scores[j])
+		// NaN scores sort last.
+		if math.IsNaN(a) {
+			return false
+		}
+		if math.IsNaN(b) {
+			return true
+		}
+		return a < b
+	})
+	return &SelectionResult{Scores: scores, Criterion: cfg.Criterion}, nil
+}
+
+// RollingOriginCV computes the rolling-origin (expanding-window)
+// one-step-ahead mean squared prediction error: for each origin k from
+// minTrain to n−1, fit the model on observations [0, k) and score the
+// squared error predicting observation k. Successive refits warm-start
+// from the previous origin's parameters, which keeps the n−minTrain
+// refits affordable.
+func RollingOriginCV(m Model, data *timeseries.Series, minTrain int, fitCfg FitConfig) (float64, error) {
+	if m == nil || data == nil {
+		return math.NaN(), fmt.Errorf("%w: nil model or data", ErrBadData)
+	}
+	if minTrain <= 0 {
+		minTrain = m.NumParams() + 1
+		if minTrain < 8 {
+			minTrain = 8
+		}
+	}
+	if minTrain <= m.NumParams() {
+		minTrain = m.NumParams() + 1
+	}
+	n := data.Len()
+	if minTrain >= n {
+		return math.NaN(), fmt.Errorf("%w: minTrain %d >= n %d", ErrBadData, minTrain, n)
+	}
+	// Cheap per-origin fits: the warm start carries most of the work.
+	cfg := fitCfg
+	if cfg.Starts <= 0 {
+		cfg.Starts = 2
+	}
+
+	var (
+		sum    float64
+		count  int
+		warmed []float64
+	)
+	for k := minTrain; k < n; k++ {
+		train, err := data.Slice(0, k)
+		if err != nil {
+			return math.NaN(), err
+		}
+		cfg.InitialParams = warmed
+		fit, err := Fit(m, train, cfg)
+		if err != nil {
+			continue // origin skipped; CV averages the rest
+		}
+		warmed = fit.Params
+		pred := fit.Eval(data.Time(k))
+		d := data.Value(k) - pred
+		sum += d * d
+		count++
+	}
+	if count == 0 {
+		return math.NaN(), fmt.Errorf("%w: every CV origin failed to fit", ErrBadData)
+	}
+	return sum / float64(count), nil
+}
+
+// ComparePredictive runs a Diebold–Mariano test of equal predictive
+// accuracy between two fitted models on the same held-out series. A
+// negative statistic with a small p-value means the first model's
+// forecasts are significantly more accurate — statistical backing for
+// Table I-style "who wins PMSE" comparisons.
+func ComparePredictive(a, b *FitResult, test *timeseries.Series) (stat.DMResult, error) {
+	if a == nil || b == nil || test == nil || test.Len() < 3 {
+		return stat.DMResult{}, fmt.Errorf("%w: need two fits and >= 3 test points", ErrBadData)
+	}
+	return stat.DieboldMariano(a.Residuals(test), b.Residuals(test), 1)
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// crShapedSeries samples a competing-risks curve plus small noise, so
+// that model truly is the best candidate.
+func crShapedSeries(t *testing.T) *timeseries.Series {
+	t.Helper()
+	m := CompetingRisksModel{}
+	truth := []float64{1, 0.35, 0.001}
+	vals := make([]float64, 48)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = m.Eval(truth, x) + 0.0008*math.Sin(3*x)
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSelectModelRanksByPMSE(t *testing.T) {
+	data := crShapedSeries(t)
+	candidates := []Model{
+		QuadraticModel{},
+		CompetingRisksModel{},
+		StandardMixtures()[0], // exp-exp: should rank poorly
+	}
+	res, err := SelectModel(candidates, data, SelectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 3 {
+		t.Fatalf("%d scores", len(res.Scores))
+	}
+	if res.Criterion != ByPMSE {
+		t.Errorf("criterion = %v", res.Criterion)
+	}
+	// Sorted best-first by PMSE.
+	for i := 1; i < len(res.Scores); i++ {
+		if res.Scores[i-1].Validation.GoF.PMSE > res.Scores[i].Validation.GoF.PMSE {
+			t.Errorf("scores not sorted at %d", i)
+		}
+	}
+	if best := res.Best().Model.Name(); best != "competing-risks" {
+		t.Errorf("best = %s, want competing-risks on its own data", best)
+	}
+}
+
+func TestSelectModelByInformationCriteria(t *testing.T) {
+	data := crShapedSeries(t)
+	candidates := []Model{QuadraticModel{}, CompetingRisksModel{}}
+	for _, crit := range []SelectionCriterion{ByAIC, ByBIC} {
+		res, err := SelectModel(candidates, data, SelectConfig{Criterion: crit})
+		if err != nil {
+			t.Fatalf("%v: %v", crit, err)
+		}
+		if res.Best().Model.Name() != "competing-risks" {
+			t.Errorf("%v: best = %s", crit, res.Best().Model.Name())
+		}
+	}
+}
+
+func TestSelectModelByCV(t *testing.T) {
+	data := crShapedSeries(t)
+	candidates := []Model{QuadraticModel{}, CompetingRisksModel{}}
+	res, err := SelectModel(candidates, data, SelectConfig{Criterion: ByCV, CVMinTrain: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scores {
+		if math.IsNaN(s.CV) {
+			t.Errorf("%s: CV not computed", s.Model.Name())
+		}
+	}
+	if res.Best().Model.Name() != "competing-risks" {
+		t.Errorf("CV best = %s", res.Best().Model.Name())
+	}
+}
+
+func TestSelectModelValidation(t *testing.T) {
+	data := crShapedSeries(t)
+	if _, err := SelectModel(nil, data, SelectConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("no candidates: %v", err)
+	}
+	if _, err := SelectModel([]Model{QuadraticModel{}}, nil, SelectConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil data: %v", err)
+	}
+}
+
+func TestSelectionCriterionString(t *testing.T) {
+	tests := []struct {
+		c    SelectionCriterion
+		want string
+	}{
+		{ByPMSE, "pmse"}, {ByAIC, "aic"}, {ByBIC, "bic"}, {ByCV, "cv"},
+		{SelectionCriterion(42), "criterion(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String(%d) = %q", tt.c, got)
+		}
+	}
+}
+
+func TestRollingOriginCV(t *testing.T) {
+	data := crShapedSeries(t)
+	cv, err := RollingOriginCV(CompetingRisksModel{}, data, 36, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv <= 0 || cv > 0.001 {
+		t.Errorf("CV = %g, want small positive (noise-level)", cv)
+	}
+	// The wrong model family scores worse.
+	cvBad, err := RollingOriginCV(StandardMixtures()[0], data, 36, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvBad <= cv {
+		t.Errorf("exp-exp CV %g should exceed competing-risks CV %g", cvBad, cv)
+	}
+}
+
+func TestRollingOriginCVValidation(t *testing.T) {
+	data := crShapedSeries(t)
+	if _, err := RollingOriginCV(nil, data, 10, FitConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil model: %v", err)
+	}
+	if _, err := RollingOriginCV(QuadraticModel{}, data, 48, FitConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("minTrain >= n: %v", err)
+	}
+	// Default minTrain applies when non-positive.
+	if _, err := RollingOriginCV(QuadraticModel{}, data, 0, FitConfig{}); err != nil {
+		t.Errorf("default minTrain: %v", err)
+	}
+}
+
+func TestPointMetricsOnKnownCurve(t *testing.T) {
+	// V: down from 1 to 0.8 at t=5, back to 1.1 at t=15.
+	curve := func(t float64) float64 {
+		if t <= 5 {
+			return 1 - 0.04*t
+		}
+		return 0.8 + 0.03*(t-5)
+	}
+	w := Window{TH: 0, TR: 15, TD: 5, T0: 0, Nominal: 1, PMin: 0.8}
+	pm, err := ComputePointMetrics(curve, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pm.Robustness-0.8) > 1e-9 {
+		t.Errorf("robustness = %g", pm.Robustness)
+	}
+	if math.Abs(pm.Rapidity-0.03) > 1e-9 {
+		t.Errorf("rapidity = %g", pm.Rapidity)
+	}
+	if pm.TimeToMinimum != 5 || pm.TimeToRecovery != 15 {
+		t.Errorf("times = %g, %g", pm.TimeToMinimum, pm.TimeToRecovery)
+	}
+	// Resilience loss: triangle area ∫(1−P). Down phase: ½·5·0.2 = 0.5;
+	// up phase: ∫(1 − (0.8+0.03u))du over [0,10] = 2−1.5+... compute:
+	// ∫0..10 (0.2 − 0.03u) du = 2 − 1.5 = 0.5. Total 1.0.
+	if math.Abs(pm.ResilienceLoss-1.0) > 1e-6 {
+		t.Errorf("resilience loss = %g, want 1.0", pm.ResilienceLoss)
+	}
+}
+
+func TestPointMetricsValidation(t *testing.T) {
+	if _, err := ComputePointMetrics(nil, Window{TH: 0, TR: 1, Nominal: 1}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil curve: %v", err)
+	}
+	c := func(float64) float64 { return 1 }
+	if _, err := ComputePointMetrics(c, Window{TH: 1, TR: 1, Nominal: 1}); !errors.Is(err, ErrBadData) {
+		t.Errorf("empty window: %v", err)
+	}
+	if _, err := ComputePointMetrics(c, Window{TH: 0, TR: 1, Nominal: 0}); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero nominal: %v", err)
+	}
+}
+
+func TestFitPointMetrics(t *testing.T) {
+	data := crShapedSeries(t)
+	fit, err := Fit(CompetingRisksModel{}, data, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := FitPointMetrics(fit, 0, 47, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Robustness <= 0 || pm.Robustness >= 1 {
+		t.Errorf("robustness = %g, want in (0,1) for a dipping curve", pm.Robustness)
+	}
+	if pm.Rapidity <= 0 {
+		t.Errorf("rapidity = %g, want positive", pm.Rapidity)
+	}
+	if pm.TimeToMinimum <= 0 || pm.TimeToRecovery <= pm.TimeToMinimum {
+		t.Errorf("times: min %g, recovery %g", pm.TimeToMinimum, pm.TimeToRecovery)
+	}
+	if _, err := FitPointMetrics(nil, 0, 10, 1); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	if _, err := FitPointMetrics(fit, 10, 10, 1); !errors.Is(err, ErrBadData) {
+		t.Errorf("bad horizon: %v", err)
+	}
+}
+
+func TestComparePredictive(t *testing.T) {
+	data := crShapedSeries(t)
+	train, test, err := data.SplitFraction(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Fit(CompetingRisksModel{}, train, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Fit(StandardMixtures()[0], train, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ComparePredictive(good, bad, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true-family model forecasts better: negative statistic.
+	if res.Statistic >= 0 {
+		t.Errorf("DM statistic = %g, want negative", res.Statistic)
+	}
+	if _, err := ComparePredictive(nil, bad, test); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	tiny, err := seriesFrom([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComparePredictive(good, bad, tiny); !errors.Is(err, ErrBadData) {
+		t.Errorf("tiny test set: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import "math"
+
+// Trend is a deterministic time trend used by the mixture model's
+// transition functions a₁(t) and a₂(t) (Eq. 7). The paper holds
+// a₁(t) = 1 and considers a₂(t) ∈ {β, βt, e^{βt}, β·ln t}, all
+// single-parameter increasing trends characteristic of economic data.
+type Trend interface {
+	// Name returns a short identifier such as "log" or "linear".
+	Name() string
+	// NumParams returns the number of trend parameters (0 or 1 for the
+	// built-in trends).
+	NumParams() int
+	// Eval returns a(t; θ).
+	Eval(params []float64, t float64) float64
+	// GuessParam returns a starting value for the trend parameter given
+	// the series horizon and terminal performance level.
+	GuessParam(horizon, terminal float64) []float64
+	// ParamBounds returns the feasible (lo, hi) box for the parameters.
+	ParamBounds() (lo, hi []float64)
+}
+
+// UnitTrend is the fixed a(t) = 1 used for the degradation transition
+// a₁(t) in the paper's experiments.
+type UnitTrend struct{}
+
+var _ Trend = UnitTrend{}
+
+// Name returns "unit".
+func (UnitTrend) Name() string { return "unit" }
+
+// NumParams returns 0.
+func (UnitTrend) NumParams() int { return 0 }
+
+// Eval returns 1 for every t.
+func (UnitTrend) Eval([]float64, float64) float64 { return 1 }
+
+// GuessParam returns nil: the unit trend has no parameters.
+func (UnitTrend) GuessParam(_, _ float64) []float64 { return nil }
+
+// ParamBounds returns empty bounds.
+func (UnitTrend) ParamBounds() (lo, hi []float64) { return nil, nil }
+
+// ConstTrend is a(t) = β.
+type ConstTrend struct{}
+
+var _ Trend = ConstTrend{}
+
+// Name returns "const".
+func (ConstTrend) Name() string { return "const" }
+
+// NumParams returns 1.
+func (ConstTrend) NumParams() int { return 1 }
+
+// Eval returns β.
+func (ConstTrend) Eval(params []float64, _ float64) float64 { return params[0] }
+
+// GuessParam starts at the terminal performance level: if recovery has
+// completed by the horizon, a₂ ≈ P(t_end).
+func (ConstTrend) GuessParam(_, terminal float64) []float64 {
+	if terminal > 0 {
+		return []float64{terminal}
+	}
+	return []float64{1}
+}
+
+// ParamBounds allows β ∈ (0, 100].
+func (ConstTrend) ParamBounds() (lo, hi []float64) {
+	return []float64{1e-9}, []float64{100}
+}
+
+// LinearTrend is a(t) = βt.
+type LinearTrend struct{}
+
+var _ Trend = LinearTrend{}
+
+// Name returns "linear".
+func (LinearTrend) Name() string { return "linear" }
+
+// NumParams returns 1.
+func (LinearTrend) NumParams() int { return 1 }
+
+// Eval returns βt.
+func (LinearTrend) Eval(params []float64, t float64) float64 { return params[0] * t }
+
+// GuessParam starts at terminal/horizon so a₂(horizon) ≈ P(t_end).
+func (LinearTrend) GuessParam(horizon, terminal float64) []float64 {
+	if horizon > 0 && terminal > 0 {
+		return []float64{terminal / horizon}
+	}
+	return []float64{0.05}
+}
+
+// ParamBounds allows β ∈ (0, 100].
+func (LinearTrend) ParamBounds() (lo, hi []float64) {
+	return []float64{1e-9}, []float64{100}
+}
+
+// ExpTrend is a(t) = e^{βt}.
+type ExpTrend struct{}
+
+var _ Trend = ExpTrend{}
+
+// Name returns "exp-trend".
+func (ExpTrend) Name() string { return "exp-trend" }
+
+// NumParams returns 1.
+func (ExpTrend) NumParams() int { return 1 }
+
+// Eval returns e^{βt}.
+func (ExpTrend) Eval(params []float64, t float64) float64 { return math.Exp(params[0] * t) }
+
+// GuessParam starts at ln(terminal)/horizon so a₂(horizon) ≈ P(t_end).
+func (ExpTrend) GuessParam(horizon, terminal float64) []float64 {
+	if horizon > 0 && terminal > 0 {
+		return []float64{math.Log(math.Max(terminal, 1.0001)) / horizon}
+	}
+	return []float64{0.001}
+}
+
+// ParamBounds allows β ∈ (0, 1]: growth faster than e^t explodes on
+// monthly horizons.
+func (ExpTrend) ParamBounds() (lo, hi []float64) {
+	return []float64{1e-12}, []float64{1}
+}
+
+// LogTrend is a(t) = β·ln(t), the transition the paper reports Table III
+// results for (a₂(t) = β·ln t "performed well for each data set").
+// Because ln t is undefined at t <= 0, Eval clamps t below at a small
+// positive value; mixture evaluation additionally zeroes the recovery
+// term wherever F₂(t) = 0, which covers t = 0 exactly.
+type LogTrend struct{}
+
+var _ Trend = LogTrend{}
+
+// Name returns "log".
+func (LogTrend) Name() string { return "log" }
+
+// NumParams returns 1.
+func (LogTrend) NumParams() int { return 1 }
+
+// Eval returns β·ln(max(t, ε)).
+func (LogTrend) Eval(params []float64, t float64) float64 {
+	const eps = 1e-12
+	return params[0] * math.Log(math.Max(t, eps))
+}
+
+// GuessParam starts at terminal/ln(horizon) so a₂(horizon) ≈ P(t_end).
+func (LogTrend) GuessParam(horizon, terminal float64) []float64 {
+	if horizon > 1 && terminal > 0 {
+		return []float64{terminal / math.Log(horizon)}
+	}
+	return []float64{0.3}
+}
+
+// ParamBounds allows β ∈ (0, 100].
+func (LogTrend) ParamBounds() (lo, hi []float64) {
+	return []float64{1e-9}, []float64{100}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/timeseries"
+)
+
+// Validation is the full fit-and-validate pipeline result for one model
+// on one dataset: exactly the quantities in a row block of Table I or
+// Table III.
+type Validation struct {
+	// Fit is the model fit to the training prefix.
+	Fit *FitResult
+	// Train and Test are the split halves of the input series.
+	Train *timeseries.Series
+	Test  *timeseries.Series
+	// GoF holds SSE (train), PMSE (test), and R²adj (train).
+	GoF GoF
+	// Band is the 95% (or caller-chosen) confidence band over the full
+	// series.
+	Band *Band
+	// EC is the empirical coverage of the band over the full series.
+	EC float64
+}
+
+// ValidateConfig configures the pipeline.
+type ValidateConfig struct {
+	// TrainFraction is the share of observations used for fitting
+	// (default 0.9, the paper's split).
+	TrainFraction float64
+	// Alpha is the CI significance level (default 0.05 for 95% bands).
+	Alpha float64
+	// Fit configures the optimizer.
+	Fit FitConfig
+}
+
+func (c ValidateConfig) withDefaults() ValidateConfig {
+	if !(c.TrainFraction > 0 && c.TrainFraction < 1) {
+		c.TrainFraction = 0.9
+	}
+	if !(c.Alpha > 0 && c.Alpha < 1) {
+		c.Alpha = 0.05
+	}
+	return c
+}
+
+// Validate runs the paper's validation pipeline on one model and one
+// dataset: split the series, fit the training prefix by least squares,
+// compute SSE/PMSE/R²adj, build the confidence band over the whole
+// series, and measure its empirical coverage.
+func Validate(m Model, data *timeseries.Series, cfg ValidateConfig) (*Validation, error) {
+	if data == nil || data.Len() < 4 {
+		return nil, fmt.Errorf("%w: need at least 4 observations", ErrBadData)
+	}
+	cfg = cfg.withDefaults()
+
+	train, test, err := data.SplitFraction(cfg.TrainFraction)
+	if err != nil {
+		return nil, fmt.Errorf("core: validate split: %w", err)
+	}
+	fit, err := Fit(m, train, cfg.Fit)
+	if err != nil {
+		return nil, err
+	}
+	gof, err := Evaluate(fit, test)
+	if err != nil {
+		return nil, err
+	}
+	band, err := ConfidenceBand(fit, data, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := EmpiricalCoverage(band, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Validation{
+		Fit:   fit,
+		Train: train,
+		Test:  test,
+		GoF:   gof,
+		Band:  band,
+		EC:    ec,
+	}, nil
+}
+
+// MetricComparison is one row of Table II / Table IV: a metric's actual
+// value from the data, the model's prediction, and the Eq. (22) relative
+// error.
+type MetricComparison struct {
+	Kind      MetricKind
+	Actual    float64
+	Predicted float64
+	RelErr    float64
+}
+
+// CompareMetrics computes the predictive interval-based metrics for a
+// validation run: the window follows the Sec. IV rules (t_h at the first
+// held-out point, t_r at the last, t_d from data or model), actual values
+// come from the observed series, and predictions from the fitted model.
+func CompareMetrics(v *Validation, data *timeseries.Series, cfg MetricsConfig) ([]MetricComparison, error) {
+	if v == nil || v.Fit == nil {
+		return nil, fmt.Errorf("%w: nil validation", ErrBadData)
+	}
+	w, err := PredictiveWindow(data, v.Train.Len(), v.Fit)
+	if err != nil {
+		return nil, err
+	}
+	actual, err := ActualMetrics(data, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := PredictedMetrics(v.Fit, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MetricComparison, 0, len(MetricKinds()))
+	for _, k := range MetricKinds() {
+		a, p := actual[k], predicted[k]
+		row := MetricComparison{Kind: k, Actual: a, Predicted: p, RelErr: RelativeError(a, p)}
+		if math.IsNaN(a) || math.IsNaN(p) {
+			row.RelErr = math.NaN()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// vShapedSeries builds a clean 48-month V-shaped recession curve.
+func vShapedSeries(t *testing.T) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, 48)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.028*math.Sin(math.Pi*math.Min(x/34, 1)) + 0.0007*math.Max(0, x-34)
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidatePipeline(t *testing.T) {
+	data := vShapedSeries(t)
+	v, err := Validate(CompetingRisksModel{}, data, ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Train.Len() != 43 || v.Test.Len() != 5 {
+		t.Errorf("split = %d/%d, want 43/5", v.Train.Len(), v.Test.Len())
+	}
+	if v.GoF.SSE < 0 || math.IsNaN(v.GoF.SSE) {
+		t.Errorf("SSE = %g", v.GoF.SSE)
+	}
+	if math.IsNaN(v.GoF.PMSE) {
+		t.Error("PMSE should be computed when a test set exists")
+	}
+	if v.GoF.R2Adj < 0.9 {
+		t.Errorf("R2Adj = %g on clean V data, want > 0.9", v.GoF.R2Adj)
+	}
+	if v.EC < 0.8 || v.EC > 1 {
+		t.Errorf("EC = %g", v.EC)
+	}
+	if len(v.Band.Times) != data.Len() {
+		t.Errorf("band over %d points, want %d", len(v.Band.Times), data.Len())
+	}
+}
+
+func TestValidateCustomSplit(t *testing.T) {
+	data := vShapedSeries(t)
+	v, err := Validate(QuadraticModel{}, data, ValidateConfig{TrainFraction: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Train.Len() != 36 {
+		t.Errorf("train = %d, want 36", v.Train.Len())
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	if _, err := Validate(QuadraticModel{}, nil, ValidateConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil data: %v", err)
+	}
+	tiny, err := timeseries.FromValues([]float64{1, 0.9, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(QuadraticModel{}, tiny, ValidateConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("tiny data: %v", err)
+	}
+}
+
+func TestCompareMetricsEndToEnd(t *testing.T) {
+	data := vShapedSeries(t)
+	v, err := Validate(CompetingRisksModel{}, data, ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := CompareMetrics(v, data, MetricsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d metric rows, want 8", len(rows))
+	}
+	seen := map[MetricKind]bool{}
+	for _, row := range rows {
+		if seen[row.Kind] {
+			t.Errorf("duplicate metric %v", row.Kind)
+		}
+		seen[row.Kind] = true
+		if math.IsNaN(row.Actual) || math.IsNaN(row.Predicted) {
+			t.Errorf("%v: NaN entries", row.Kind)
+		}
+	}
+	// On clean data with a good fit, the headline metrics should predict
+	// within a few percent.
+	for _, row := range rows {
+		switch row.Kind {
+		case PerformancePreserved, AvgPreserved, NormalizedAvgPreserved:
+			if row.RelErr > 0.05 {
+				t.Errorf("%v: relative error %g too large", row.Kind, row.RelErr)
+			}
+		}
+	}
+	if _, err := CompareMetrics(nil, data, MetricsConfig{}); !errors.Is(err, ErrBadData) {
+		t.Errorf("nil validation: %v", err)
+	}
+}
+
+func TestValidateMixtureOnRecessionShape(t *testing.T) {
+	data := vShapedSeries(t)
+	mix, err := NewMixture(WeibullFamily{}, ExpFamily{}, LogTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Validate(mix, data, ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GoF.R2Adj < 0.8 {
+		t.Errorf("wei-exp R2Adj = %g on V data, want > 0.8", v.GoF.R2Adj)
+	}
+}

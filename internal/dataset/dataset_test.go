@@ -1,0 +1,398 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Months:   48,
+		Dips:     []Dip{{Start: 0, TTrough: 10, TRecover: 30, Depth: 0.03, DeclineA: 1.5, DeclineB: 1.2, RecoverA: 1.4, RecoverB: 1.1}},
+		EndLevel: 1.02,
+		Noise:    0,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"too few months", func(s *Spec) { s.Months = 2 }},
+		{"no dips", func(s *Spec) { s.Dips = nil }},
+		{"trough before start", func(s *Spec) { s.Dips[0].TTrough = -1 }},
+		{"recover before trough", func(s *Spec) { s.Dips[0].TRecover = 5 }},
+		{"zero depth", func(s *Spec) { s.Dips[0].Depth = 0 }},
+		{"depth >= 1", func(s *Spec) { s.Dips[0].Depth = 1 }},
+		{"bad shape param", func(s *Spec) { s.Dips[0].DeclineA = 0 }},
+		{"negative noise", func(s *Spec) { s.Noise = -0.1 }},
+		{"overlapping dips", func(s *Spec) {
+			s.Dips = append(s.Dips, Dip{Start: 20, TTrough: 25, TRecover: 35, Depth: 0.02,
+				DeclineA: 1, DeclineB: 1, RecoverA: 1, RecoverB: 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	s, err := Generate(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 48 {
+		t.Fatalf("length %d", s.Len())
+	}
+	if s.Value(0) != 1 {
+		t.Errorf("start = %g, want 1 (normalized)", s.Value(0))
+	}
+	minIdx, _, minV := s.Min()
+	if minIdx < 8 || minIdx > 12 {
+		t.Errorf("minimum at %d, want near 10", minIdx)
+	}
+	if math.Abs(minV-0.97) > 0.003 {
+		t.Errorf("trough %g, want ~0.97", minV)
+	}
+	if math.Abs(s.Value(47)-1.02) > 0.005 {
+		t.Errorf("terminal %g, want ~1.02", s.Value(47))
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	spec := validSpec()
+	spec.Noise = 0.002
+	spec.Seed = 42
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Value(i) != b.Value(i) {
+			t.Fatalf("non-deterministic at %d: %g vs %g", i, a.Value(i), b.Value(i))
+		}
+	}
+	spec.Seed = 43
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.Value(i) != c.Value(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestGenerateRejectsInvalidSpec(t *testing.T) {
+	s := validSpec()
+	s.Months = 1
+	if _, err := Generate(s); err == nil {
+		t.Error("invalid spec: want error")
+	}
+}
+
+func TestGenerateWShape(t *testing.T) {
+	spec := Spec{
+		Months: 48,
+		Dips: []Dip{
+			{Start: 0, TTrough: 4, TRecover: 13, Depth: 0.02, DeclineA: 1.2, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1, RecoverTo: 1.005},
+			{Start: 16, TTrough: 32, TRecover: 46, Depth: 0.03, DeclineA: 1.5, DeclineB: 1.3, RecoverA: 1.4, RecoverB: 1.2},
+		},
+		EndLevel: 1.01,
+	}
+	s, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inter-dip plateau must rise back above 1 before falling again.
+	peakBetween := 0.0
+	for i := 12; i <= 16; i++ {
+		if v := s.Value(i); v > peakBetween {
+			peakBetween = v
+		}
+	}
+	if peakBetween < 1.0 {
+		t.Errorf("inter-dip plateau %g, want >= 1 (RecoverTo)", peakBetween)
+	}
+	if v := s.Value(4); v > 0.99 {
+		t.Errorf("first trough %g, want < 0.99", v)
+	}
+	if v := s.Value(32); v > 0.985 {
+		t.Errorf("second trough %g, want < 0.985", v)
+	}
+}
+
+func TestRecessionsCatalog(t *testing.T) {
+	recs, err := Recessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 {
+		t.Fatalf("got %d recessions, want 7", len(recs))
+	}
+	wantMonths := map[string]int{
+		"1974-76": 48, "1980": 48, "1981-83": 48, "1990-93": 48,
+		"2001-05": 48, "2007-09": 48, "2020-21": 24,
+	}
+	for _, r := range recs {
+		if r.Series.Len() != wantMonths[r.Name] {
+			t.Errorf("%s: %d months, want %d", r.Name, r.Series.Len(), wantMonths[r.Name])
+		}
+		if r.Series.Value(0) != 1 {
+			t.Errorf("%s: unnormalized start %g", r.Name, r.Series.Value(0))
+		}
+		_, _, minV := r.Series.Min()
+		if minV >= 1 || minV < 0.8 {
+			t.Errorf("%s: trough %g outside plausible range", r.Name, minV)
+		}
+		if r.Description == "" || r.Shape == "" {
+			t.Errorf("%s: missing metadata", r.Name)
+		}
+	}
+}
+
+func TestRecessionTroughDepths(t *testing.T) {
+	// The documented characteristics each reconstruction must reproduce.
+	wantDepth := map[string]float64{
+		"1974-76": 0.028,
+		"1981-83": 0.031,
+		"1990-93": 0.015,
+		"2001-05": 0.020,
+		"2007-09": 0.063,
+		"2020-21": 0.144,
+	}
+	for name, want := range wantDepth {
+		r, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, minV := r.Series.Min()
+		depth := 1 - minV
+		if math.Abs(depth-want) > 0.004 {
+			t.Errorf("%s: depth %.4f, want ~%.3f", name, depth, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	r, err := ByName("1990-93")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "1990-93" {
+		t.Errorf("got %q", r.Name)
+	}
+	if _, err := ByName("2030-35"); err == nil {
+		t.Error("unknown name: want error")
+	}
+	if got := Names(); len(got) != 7 || got[0] != "1974-76" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r, err := ByName("1990-93")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r.Series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time,value\n") {
+		t.Error("missing header")
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Series.Len() {
+		t.Fatalf("length %d, want %d", back.Len(), r.Series.Len())
+	}
+	for i := 0; i < back.Len(); i++ {
+		if back.Value(i) != r.Series.Value(i) {
+			t.Fatalf("value %d: %g vs %g", i, back.Value(i), r.Series.Value(i))
+		}
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("0,1\n1,0.98\n2,0.97\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Value(1) != 0.98 {
+		t.Errorf("parsed %v", s.Values())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"time,value\n",             // header only
+		"time,value\n0,1\nbad,row", // bad body row after data
+		"0,1,2\n",                  // wrong field count
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("ReadCSV(%q): want ErrBadFormat, got %v", c, err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r, err := ByName("2020-21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Series); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < back.Len(); i++ {
+		if back.Value(i) != r.Series.Value(i) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader("{not json")); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad JSON: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"times":[0],"values":[1,2]}`)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("mismatched JSON: %v", err)
+	}
+	if err := WriteJSON(&buf, nil); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("nil series: %v", err)
+	}
+	if err := WriteCSV(&buf, nil); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("nil series CSV: %v", err)
+	}
+}
+
+func TestKumaraswamyProperties(t *testing.T) {
+	// Property: monotone from 0 to 1 on [0, 1] for positive shapes.
+	f := func(aSeed, bSeed uint16) bool {
+		a := 0.1 + float64(aSeed%50)/10
+		b := 0.1 + float64(bSeed%50)/10
+		if kumaraswamy(0, a, b) != 0 || kumaraswamy(1, a, b) != 1 {
+			return false
+		}
+		if kumaraswamy(-0.5, a, b) != 0 || kumaraswamy(1.5, a, b) != 1 {
+			return false
+		}
+		prev := 0.0
+		for u := 0.0; u <= 1.0001; u += 0.01 {
+			v := kumaraswamy(u, a, b)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCGNormalMoments(t *testing.T) {
+	rng := newLCG(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := rng.normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %g", variance)
+	}
+	// Zero seed falls back to a nonzero default.
+	zeroSeeded := newLCG(0)
+	if zeroSeeded.uniform() == 0 {
+		t.Error("zero-seed generator degenerate")
+	}
+}
+
+func TestGallery(t *testing.T) {
+	entries, err := Gallery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d gallery entries", len(entries))
+	}
+	shapes := map[string]bool{}
+	for _, e := range entries {
+		shapes[e.Shape] = true
+		if e.Series.Len() != 48 {
+			t.Errorf("%s: %d months", e.Shape, e.Series.Len())
+		}
+		if e.Series.Value(0) != 1 {
+			t.Errorf("%s: unnormalized start", e.Shape)
+		}
+		if e.Description == "" {
+			t.Errorf("%s: empty description", e.Shape)
+		}
+	}
+	for _, want := range []string{"V", "U", "W", "L", "J"} {
+		if !shapes[want] {
+			t.Errorf("missing shape %s", want)
+		}
+	}
+}
+
+func TestKShapedPair(t *testing.T) {
+	recovering, depressed, err := KShapedPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovering.Len() != 24 || depressed.Len() != 24 {
+		t.Fatalf("lengths %d, %d", recovering.Len(), depressed.Len())
+	}
+	// Both drop together early.
+	if recovering.Value(2) > 0.95 || depressed.Value(2) > 0.85 {
+		t.Errorf("troughs: %g, %g", recovering.Value(2), depressed.Value(2))
+	}
+	// Divergent ends: one above its peak, one well below.
+	endR := recovering.Value(23)
+	endD := depressed.Value(23)
+	if endR < 1.0 {
+		t.Errorf("recovering sector ends at %g, want >= 1", endR)
+	}
+	if endD > 0.95 {
+		t.Errorf("depressed sector ends at %g, want depressed", endD)
+	}
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV parser never panics and that anything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time,value\n0,1\n1,0.98\n")
+	f.Add("0,1\n1,2\n2,3\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0,1\nnot,numeric\n")
+	f.Add("0,1\n0,2\n") // duplicate time
+	f.Add("time,value\n-5,1e300\n-4,-1e300\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted series must satisfy the Series invariants and survive a
+		// write/read round trip.
+		if s.Len() == 0 {
+			t.Fatal("accepted empty series")
+		}
+		var buf strings.Builder
+		if err := WriteCSV(&buf, s); err != nil {
+			t.Fatalf("WriteCSV on accepted series: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip length %d != %d", back.Len(), s.Len())
+		}
+	})
+}
+
+// FuzzReadJSON asserts the JSON loader never panics and validates its
+// inputs.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"times":[0,1],"values":[1,0.9]}`)
+	f.Add(`{}`)
+	f.Add(`{"times":[1,0],"values":[1,2]}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Fatal("accepted empty series")
+		}
+		// Times strictly increasing is a Series invariant.
+		for i := 1; i < s.Len(); i++ {
+			if s.Time(i) <= s.Time(i-1) {
+				t.Fatal("accepted non-increasing times")
+			}
+		}
+	})
+}

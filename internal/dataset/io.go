@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"resilience/internal/timeseries"
+)
+
+// ErrBadFormat indicates unparsable input data.
+var ErrBadFormat = errors.New("dataset: malformed input")
+
+// WriteCSV writes a series as "time,value" rows with a header.
+func WriteCSV(w io.Writer, s *timeseries.Series) error {
+	if s == nil || s.Len() == 0 {
+		return fmt.Errorf("%w: empty series", ErrBadFormat)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "value"}); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		rec := []string{
+			strconv.FormatFloat(s.Time(i), 'g', -1, 64),
+			strconv.FormatFloat(s.Value(i), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses "time,value" rows, skipping a header row if present.
+func ReadCSV(r io.Reader) (*timeseries.Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var times, values []float64
+	for rowIdx := 0; ; rowIdx++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		t, errT := strconv.ParseFloat(rec[0], 64)
+		v, errV := strconv.ParseFloat(rec[1], 64)
+		if errT != nil || errV != nil {
+			if rowIdx == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("%w: row %d: %q", ErrBadFormat, rowIdx, rec)
+		}
+		times = append(times, t)
+		values = append(values, v)
+	}
+	s, err := timeseries.NewSeries(times, values)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return s, nil
+}
+
+// jsonSeries is the JSON wire form of a series.
+type jsonSeries struct {
+	Times  []float64 `json:"times"`
+	Values []float64 `json:"values"`
+}
+
+// WriteJSON writes a series as {"times": [...], "values": [...]}.
+func WriteJSON(w io.Writer, s *timeseries.Series) error {
+	if s == nil || s.Len() == 0 {
+		return fmt.Errorf("%w: empty series", ErrBadFormat)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonSeries{Times: s.Times(), Values: s.Values()})
+}
+
+// ReadJSON parses the WriteJSON format.
+func ReadJSON(r io.Reader) (*timeseries.Series, error) {
+	var js jsonSeries
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	s, err := timeseries.NewSeries(js.Times, js.Values)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return s, nil
+}

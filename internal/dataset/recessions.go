@@ -1,0 +1,302 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"resilience/internal/timeseries"
+)
+
+// Recession is one of the seven U.S. recession payroll curves of Fig. 2.
+type Recession struct {
+	// Name is the label used in the paper's tables, e.g. "1990-93".
+	Name string
+	// Shape is the letter shape economists assign the episode.
+	Shape string
+	// Months is the number of monthly observations (Table I's n).
+	Months int
+	// Description summarizes the documented characteristics the series is
+	// reconstructed from.
+	Description string
+	// Series is the normalized payroll index, 1.0 at the employment peak.
+	Series *timeseries.Series
+}
+
+// _recessionSpecs encodes the documented characteristics of each episode:
+// trough depth and timing from BLS payroll statistics, recovery duration,
+// and terminal level relative to the pre-recession peak. The curve-shape
+// parameters were chosen so each series reproduces its letter shape.
+var _recessionSpecs = []struct {
+	name, shape, desc string
+	spec              Spec
+}{
+	{
+		name:  "1974-76",
+		shape: "V",
+		desc: "Sharp but brief 1973-75 oil-shock recession: payrolls fell " +
+			"about 2.8% in roughly 8 months and regained the peak about 17 " +
+			"months after it, then kept growing.",
+		spec: Spec{
+			Months:   48,
+			Dips:     []Dip{{Start: 0, TTrough: 8, TRecover: 17, Depth: 0.028, DeclineA: 1.6, DeclineB: 1.3, RecoverA: 1.5, RecoverB: 1.2}},
+			EndLevel: 1.012,
+			Drift:    0.0022,
+			Noise:    0.0012,
+			Seed:     1974,
+		},
+	},
+	{
+		name:  "1980",
+		shape: "W",
+		desc: "The 1980 recession's brief 1.4% dip recovered within about a " +
+			"year, but the 1981-82 recession began inside the 48-month " +
+			"window, producing the W shape neither model family can fit.",
+		spec: Spec{
+			Months: 48,
+			Dips: []Dip{
+				{Start: 0, TTrough: 4, TRecover: 13, Depth: 0.016, DeclineA: 1.2, DeclineB: 1.1, RecoverA: 1.4, RecoverB: 1.2, RecoverTo: 1.005},
+				{Start: 16, TTrough: 33, TRecover: 46, Depth: 0.035, DeclineA: 1.8, DeclineB: 1.5, RecoverA: 1.4, RecoverB: 1.2},
+			},
+			EndLevel: 1.008,
+			Drift:    0.003,
+			Noise:    0.0012,
+			Seed:     1980,
+		},
+	},
+	{
+		name:  "1981-83",
+		shape: "U",
+		desc: "The deep 1981-82 recession: payrolls fell about 3.1% over 17 " +
+			"months and took until month 28 to regain the peak, ending the " +
+			"window about 7% above it.",
+		spec: Spec{
+			Months:   48,
+			Dips:     []Dip{{Start: 0, TTrough: 17, TRecover: 28, Depth: 0.031, DeclineA: 1.7, DeclineB: 1.4, RecoverA: 1.5, RecoverB: 1.1}},
+			EndLevel: 1.018,
+			Drift:    0.0028,
+			Noise:    0.0012,
+			Seed:     1981,
+		},
+	},
+	{
+		name:  "1990-93",
+		shape: "V",
+		desc: "Shallow 1990-91 recession: a 1.5% decline over about 11 " +
+			"months, a flat trough, recovery of the peak near month 32, and " +
+			"about 3% growth by month 47.",
+		spec: Spec{
+			Months:   48,
+			Dips:     []Dip{{Start: 0, TTrough: 11, TRecover: 32, Depth: 0.015, DeclineA: 1.5, DeclineB: 1.2, RecoverA: 1.3, RecoverB: 0.9}},
+			EndLevel: 1.0,
+			Drift:    0.0021,
+			Noise:    0.0008,
+			Seed:     1990,
+		},
+	},
+	{
+		name:  "2001-05",
+		shape: "U",
+		desc: "The 2001 recession's jobless recovery: payrolls drifted about " +
+			"2% down over 28 months and only regained the peak at the very " +
+			"end of the 48-month window.",
+		spec: Spec{
+			Months:   48,
+			Dips:     []Dip{{Start: 0, TTrough: 28, TRecover: 47, Depth: 0.02, DeclineA: 1.4, DeclineB: 1.6, RecoverA: 1.6, RecoverB: 1.2}},
+			EndLevel: 1.0,
+			Drift:    0.001,
+			Noise:    0.0007,
+			Seed:     2001,
+		},
+	},
+	{
+		name:  "2007-09",
+		shape: "U",
+		desc: "The Great Recession: payrolls fell about 6.3% over 25 months; " +
+			"by month 47 they had recovered only part of the loss, still " +
+			"about 3% below the peak.",
+		spec: Spec{
+			Months:   48,
+			Dips:     []Dip{{Start: 0, TTrough: 25, TRecover: 47, Depth: 0.063, DeclineA: 1.8, DeclineB: 1.6, RecoverA: 1.2, RecoverB: 1.0}},
+			EndLevel: 0.97,
+			Drift:    0.0014,
+			Noise:    0.0009,
+			Seed:     2007,
+		},
+	},
+	{
+		name:  "2020-21",
+		shape: "L",
+		desc: "The COVID-19 shock: a 14.4% collapse in two months, a rapid " +
+			"partial rebound, then a slow grind back to about 1.6% below " +
+			"the peak at month 23. The sudden drop defeats single-dip " +
+			"bathtub and mixture models, as the paper reports.",
+		spec: Spec{
+			Months:   24,
+			Dips:     []Dip{{Start: 0, TTrough: 2, TRecover: 23, Depth: 0.144, DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.55, RecoverB: 2.8}},
+			EndLevel: 0.984,
+			Drift:    0,
+			Noise:    0.0012,
+			Seed:     2020,
+		},
+	},
+}
+
+// Recessions returns the seven reconstructed recession datasets in the
+// order of Fig. 2 and Table I. The series are regenerated on each call;
+// generation is deterministic, so repeated calls agree exactly.
+func Recessions() ([]Recession, error) {
+	out := make([]Recession, 0, len(_recessionSpecs))
+	for _, rs := range _recessionSpecs {
+		series, err := Generate(rs.spec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building %s: %w", rs.name, err)
+		}
+		out = append(out, Recession{
+			Name:        rs.name,
+			Shape:       rs.shape,
+			Months:      rs.spec.Months,
+			Description: rs.desc,
+			Series:      series,
+		})
+	}
+	return out, nil
+}
+
+// ByName returns the named recession dataset.
+func ByName(name string) (Recession, error) {
+	all, err := Recessions()
+	if err != nil {
+		return Recession{}, err
+	}
+	for _, r := range all {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	names := make([]string, 0, len(all))
+	for _, r := range all {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return Recession{}, fmt.Errorf("dataset: unknown recession %q (have %v)", name, names)
+}
+
+// Names lists the dataset names in table order.
+func Names() []string {
+	out := make([]string, 0, len(_recessionSpecs))
+	for _, rs := range _recessionSpecs {
+		out = append(out, rs.name)
+	}
+	return out
+}
+
+// GalleryEntry is one canonical letter-shaped resilience curve.
+type GalleryEntry struct {
+	// Shape is the letter label (V, U, W, L, J).
+	Shape string
+	// Description summarizes the economic reading of the shape.
+	Description string
+	// Series is the canonical noiseless curve, 48 months, normalized.
+	Series *timeseries.Series
+}
+
+// Gallery returns one canonical synthetic curve per letter shape the
+// economics literature uses for recessions (Sec. V). The curves are
+// noiseless, so they double as ground truth for shape-classifier tests
+// and as clean fixtures for model experiments.
+func Gallery() ([]GalleryEntry, error) {
+	specs := []struct {
+		shape, desc string
+		spec        Spec
+	}{
+		{
+			shape: "V",
+			desc:  "Sharp drop, similarly fast recovery.",
+			spec: Spec{
+				Months:   48,
+				Dips:     []Dip{{Start: 0, TTrough: 6, TRecover: 14, Depth: 0.04, DeclineA: 1.2, DeclineB: 1.1, RecoverA: 1.2, RecoverB: 1.1}},
+				EndLevel: 1.02,
+				Drift:    0.001,
+			},
+		},
+		{
+			shape: "U",
+			desc:  "Slow decline, extended trough, slow recovery.",
+			spec: Spec{
+				Months:   48,
+				Dips:     []Dip{{Start: 0, TTrough: 20, TRecover: 42, Depth: 0.04, DeclineA: 2.2, DeclineB: 1.8, RecoverA: 2.0, RecoverB: 1.6}},
+				EndLevel: 1.0,
+			},
+		},
+		{
+			shape: "W",
+			desc:  "Two successive degradation/recovery cycles.",
+			spec: Spec{
+				Months: 48,
+				Dips: []Dip{
+					{Start: 0, TTrough: 6, TRecover: 16, Depth: 0.035, DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1, RecoverTo: 1.002},
+					{Start: 20, TTrough: 30, TRecover: 44, Depth: 0.04, DeclineA: 1.4, DeclineB: 1.2, RecoverA: 1.3, RecoverB: 1.1},
+				},
+				EndLevel: 1.01,
+			},
+		},
+		{
+			shape: "L",
+			desc:  "Sharp collapse, sustained underperformance.",
+			spec: Spec{
+				Months:   48,
+				Dips:     []Dip{{Start: 0, TTrough: 3, TRecover: 46, Depth: 0.12, DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.6, RecoverB: 3.2}},
+				EndLevel: 0.95,
+			},
+		},
+		{
+			shape: "J",
+			desc:  "Quick dip, long climb that ends above the prior trend.",
+			spec: Spec{
+				Months:   48,
+				Dips:     []Dip{{Start: 0, TTrough: 5, TRecover: 40, Depth: 0.035, DeclineA: 1.2, DeclineB: 1.1, RecoverA: 1.6, RecoverB: 1.0}},
+				EndLevel: 1.05,
+				Drift:    0.004,
+			},
+		},
+	}
+	out := make([]GalleryEntry, 0, len(specs))
+	for _, gs := range specs {
+		series, err := Generate(gs.spec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: gallery %s: %w", gs.shape, err)
+		}
+		out = append(out, GalleryEntry{Shape: gs.shape, Description: gs.desc, Series: series})
+	}
+	return out, nil
+}
+
+// KShapedPair returns the two-sector decomposition of a K-shaped
+// recession like 2020-21: both sectors collapse together, then one
+// (remote-friendly work) recovers past its peak while the other
+// (in-person services) stays depressed — the divergence that makes
+// K-shaped events impossible to describe with one curve.
+func KShapedPair() (recovering, depressed *timeseries.Series, err error) {
+	recovering, err = Generate(Spec{
+		Months:   24,
+		Dips:     []Dip{{Start: 0, TTrough: 2, TRecover: 14, Depth: 0.09, DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.8, RecoverB: 1.6}},
+		EndLevel: 1.04,
+		Drift:    0.002,
+		Noise:    0.001,
+		Seed:     20201,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: k-shaped recovering sector: %w", err)
+	}
+	depressed, err = Generate(Spec{
+		Months:   24,
+		Dips:     []Dip{{Start: 0, TTrough: 2, TRecover: 23, Depth: 0.25, DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.6, RecoverB: 2.5}},
+		EndLevel: 0.90,
+		Noise:    0.0015,
+		Seed:     20202,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: k-shaped depressed sector: %w", err)
+	}
+	return recovering, depressed, nil
+}

@@ -1,0 +1,208 @@
+// Package dataset supplies the empirical workloads of the paper's
+// Sec. V: seven U.S. recession payroll-employment curves (Fig. 2),
+// reconstructed from their published characteristics, plus a parametric
+// synthetic-recession generator for the letter shapes (V, U, W, L, J)
+// economists use to describe downturns, and CSV/JSON persistence.
+//
+// Substitution note (see DESIGN.md): the paper uses Bureau of Labor
+// Statistics Current Employment Statistics data. This module is offline,
+// so each recession series is regenerated from documented shape
+// parameters — trough depth, months to trough, months to recovery,
+// terminal level — rather than copied from BLS tables. The models consume
+// only the normalized shape, so every qualitative conclusion
+// (which family fits which letter shape) is preserved.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/timeseries"
+)
+
+// Dip describes one degradation/recovery cycle within a synthetic
+// resilience curve.
+type Dip struct {
+	// Start is the month the dip begins.
+	Start float64
+	// TTrough is the month of minimum performance.
+	TTrough float64
+	// TRecover is the month the dip's recovery completes.
+	TRecover float64
+	// Depth is the fractional performance drop at the trough (0.03 means
+	// −3%).
+	Depth float64
+	// DeclineA and DeclineB are Kumaraswamy shape parameters for the
+	// decline path: the drop fraction at normalized time u in [0, 1] is
+	// 1 − (1 − u^a)^b. a < 1 front-loads the drop (sharp, L-like);
+	// a, b ≈ 2 gives a smooth S (U-like).
+	DeclineA, DeclineB float64
+	// RecoverA and RecoverB shape the recovery path the same way.
+	RecoverA, RecoverB float64
+	// RecoverTo, when nonzero, overrides the level this dip recovers to.
+	// Zero means "the level before the dip" for interior dips and the
+	// spec's EndLevel for the final dip. A value above the pre-dip level
+	// produces the overshoot plateau seen between the 1980 and 1981-82
+	// recessions.
+	RecoverTo float64
+}
+
+// Spec parameterizes a synthetic resilience curve.
+type Spec struct {
+	// Months is the number of monthly observations (t = 0 … Months−1).
+	Months int
+	// Dips lists the degradation/recovery cycles; one for V/U/L/J curves,
+	// two for W curves. Dips must be time-ordered and non-overlapping.
+	Dips []Dip
+	// EndLevel is the performance level approached at the end of the
+	// final recovery (1.05 means +5% above the pre-hazard peak).
+	EndLevel float64
+	// Drift is a linear growth applied after the final recovery
+	// completes, per month.
+	Drift float64
+	// Noise is the standard deviation of the multiplicative observation
+	// noise; 0 disables it.
+	Noise float64
+	// Seed drives the deterministic noise generator.
+	Seed uint64
+}
+
+// Validate checks a Spec for structural errors.
+func (s Spec) Validate() error {
+	if s.Months < 3 {
+		return fmt.Errorf("dataset: spec needs at least 3 months, got %d", s.Months)
+	}
+	if len(s.Dips) == 0 {
+		return errors.New("dataset: spec needs at least one dip")
+	}
+	prevEnd := math.Inf(-1)
+	for i, d := range s.Dips {
+		if !(d.Start < d.TTrough && d.TTrough < d.TRecover) {
+			return fmt.Errorf("dataset: dip %d needs start < trough < recover", i)
+		}
+		if d.Start < prevEnd {
+			return fmt.Errorf("dataset: dip %d overlaps previous dip", i)
+		}
+		if !(d.Depth > 0 && d.Depth < 1) {
+			return fmt.Errorf("dataset: dip %d depth %g outside (0, 1)", i, d.Depth)
+		}
+		if d.DeclineA <= 0 || d.DeclineB <= 0 || d.RecoverA <= 0 || d.RecoverB <= 0 {
+			return fmt.Errorf("dataset: dip %d shape parameters must be positive", i)
+		}
+		prevEnd = d.TRecover
+	}
+	if s.Noise < 0 {
+		return errors.New("dataset: negative noise")
+	}
+	return nil
+}
+
+// kumaraswamy is the Kumaraswamy CDF 1 − (1 − u^a)^b on [0, 1], the
+// closed-form S-curve family used for decline and recovery paths.
+func kumaraswamy(u, a, b float64) float64 {
+	switch {
+	case u <= 0:
+		return 0
+	case u >= 1:
+		return 1
+	default:
+		return 1 - math.Pow(1-math.Pow(u, a), b)
+	}
+}
+
+// Generate renders the spec into a monthly Series normalized to 1.0 at
+// t = 0.
+func Generate(spec Spec) (*timeseries.Series, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := newLCG(spec.Seed)
+	values := make([]float64, spec.Months)
+	lastRecover := spec.Dips[len(spec.Dips)-1].TRecover
+	for i := range values {
+		t := float64(i)
+		v := baseLevel(spec, t)
+		if t > lastRecover {
+			v += spec.Drift * (t - lastRecover)
+		}
+		if spec.Noise > 0 && i > 0 {
+			v *= 1 + spec.Noise*rng.normal()
+		}
+		values[i] = v
+	}
+	// Re-normalize so the series starts exactly at 1.0 even with noise.
+	base := values[0]
+	for i := range values {
+		values[i] /= base
+	}
+	return timeseries.FromValues(values)
+}
+
+// baseLevel evaluates the noiseless curve: each dip subtracts its depth
+// along the decline path and adds it back along the recovery path; the
+// final dip recovers toward EndLevel instead of the pre-dip level.
+func baseLevel(spec Spec, t float64) float64 {
+	level := 1.0
+	for i, d := range spec.Dips {
+		last := i == len(spec.Dips)-1
+		target := level
+		if last {
+			target = spec.EndLevel
+		}
+		if d.RecoverTo != 0 {
+			target = d.RecoverTo
+		}
+		switch {
+		case t <= d.Start:
+			return level
+		case t <= d.TTrough:
+			u := (t - d.Start) / (d.TTrough - d.Start)
+			return level - d.Depth*kumaraswamy(u, d.DeclineA, d.DeclineB)
+		case t <= d.TRecover:
+			u := (t - d.TTrough) / (d.TRecover - d.TTrough)
+			trough := level - d.Depth
+			return trough + (target-trough)*kumaraswamy(u, d.RecoverA, d.RecoverB)
+		default:
+			level = target
+		}
+	}
+	return level
+}
+
+// lcg is a deterministic linear congruential generator with a Box–Muller
+// normal transform. math/rand would work too, but a local generator keeps
+// the embedded datasets reproducible across Go versions regardless of
+// rand's internals.
+type lcg struct {
+	state uint64
+	spare float64
+	has   bool
+}
+
+func newLCG(seed uint64) *lcg {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &lcg{state: seed}
+}
+
+// uniform returns the next value in (0, 1).
+func (r *lcg) uniform() float64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	// Use the top 53 bits for a uniform double.
+	return (float64(r.state>>11) + 0.5) / (1 << 53)
+}
+
+// normal returns a standard normal draw via Box–Muller.
+func (r *lcg) normal() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	u1, u2 := r.uniform(), r.uniform()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.spare = mag * math.Sin(2*math.Pi*u2)
+	r.has = true
+	return mag * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,118 @@
+// Package experiment reproduces every table and figure in the paper's
+// evaluation (Sec. V). Each experiment is registered under the paper's
+// artifact ID ("table1" … "table4", "fig1" … "fig6"), runs the full
+// pipeline on the reconstructed recession datasets, and renders output
+// matching the paper's layout. bench_test.go and cmd/resil are thin
+// wrappers over this package.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"resilience/internal/report"
+)
+
+// Result is a completed experiment: rendered text plus the underlying
+// typed rows for programmatic assertions.
+type Result struct {
+	// ID is the artifact identifier, e.g. "table1" or "fig3".
+	ID string
+	// Title describes the artifact as in the paper.
+	Title string
+	// Text is the rendered table or ASCII figure.
+	Text string
+	// Rows holds experiment-specific typed data (see each experiment).
+	Rows any
+	// Plot holds the figure's plot object for figure experiments, usable
+	// for SVG export; nil for tables.
+	Plot *report.Plot
+}
+
+// Runner executes one experiment.
+type Runner func() (*Result, error)
+
+// ErrUnknown is returned for unregistered experiment IDs.
+var ErrUnknown = errors.New("experiment: unknown experiment id")
+
+// _titles maps artifact IDs to their paper descriptions. It is consulted
+// by Title without touching the runner registry, which keeps package
+// initialization acyclic (runners themselves call Title).
+var _titles = map[string]string{
+	"fig1":          "Figure 1: conceptual resilience curve",
+	"fig2":          "Figure 2: payroll change in U.S. recessions from peak employment",
+	"table1":        "Table I: validation of prediction using two bathtub functions",
+	"fig3":          "Figure 3: quadratic model fit to 2001-05 U.S. recession data",
+	"fig4":          "Figure 4: competing risks model fit to 1990-93 U.S. recession data",
+	"table2":        "Table II: interval-based resilience metrics using bathtub functions (1990-93)",
+	"table3":        "Table III: validation of prediction using mixture distributions",
+	"fig5":          "Figure 5: Weibull-Exponential model fit to 1990-93 U.S. recession data",
+	"fig6":          "Figure 6: Exp-Weibull and Wei-Wei model fits to 1981-83 U.S. recession data",
+	"table4":        "Table IV: interval-based resilience metrics using mixture distributions (1990-93)",
+	"ext-composite": "Extension: changepoint composites on the W-shaped 1980 recession",
+	"ext-selection": "Extension: automated model selection on 1990-93",
+}
+
+// runners maps artifact IDs to their implementations. Lazily resolved by
+// Run so that package-level initialization stays acyclic.
+func runners() map[string]Runner {
+	return map[string]Runner{
+		"fig1":          Figure1,
+		"fig2":          Figure2,
+		"table1":        Table1,
+		"fig3":          Figure3,
+		"fig4":          Figure4,
+		"table2":        Table2,
+		"table3":        Table3,
+		"fig5":          Figure5,
+		"fig6":          Figure6,
+		"table4":        Table4,
+		"ext-composite": ExtensionComposite,
+		"ext-selection": func() (*Result, error) { return ExtensionSelection("1990-93") },
+	}
+}
+
+// IDs returns the registered experiment IDs sorted with tables and
+// figures in paper order.
+func IDs() []string {
+	ids := make([]string, 0, len(_titles))
+	for id := range _titles {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+// orderKey sorts artifacts in paper-presentation order.
+func orderKey(id string) string {
+	order := map[string]string{
+		"fig1": "00", "fig2": "01", "table1": "02", "fig3": "03",
+		"fig4": "04", "table2": "05", "table3": "06", "fig5": "07",
+		"fig6": "08", "table4": "09",
+		"ext-composite": "10", "ext-selection": "11",
+	}
+	if k, ok := order[id]; ok {
+		return k
+	}
+	return "99" + id
+}
+
+// Title returns the registered title for an ID.
+func Title(id string) (string, error) {
+	t, ok := _titles[strings.ToLower(id)]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	return t, nil
+}
+
+// Run executes the experiment registered under id.
+func Run(id string) (*Result, error) {
+	r, ok := runners()[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknown, id, IDs())
+	}
+	return r()
+}

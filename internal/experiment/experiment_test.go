@@ -1,0 +1,344 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"resilience/internal/core"
+	"resilience/internal/dataset"
+)
+
+func TestRegistryCompleteness(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig2", "table1", "fig3", "fig4", "table2",
+		"table3", "fig5", "fig6", "table4", "ext-composite", "ext-selection"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+	for _, id := range ids {
+		if title, err := Title(id); err != nil || title == "" {
+			t.Errorf("Title(%q) = %q, %v", id, title, err)
+		}
+	}
+	if _, err := Title("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown title: %v", err)
+	}
+	if _, err := Run("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown run: %v", err)
+	}
+}
+
+func TestRunIsCaseInsensitive(t *testing.T) {
+	r, err := Run("FIG1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig1" {
+		t.Errorf("ID = %q", r.ID)
+	}
+}
+
+// table1Rows runs Table1 once for the assertions below.
+func table1Rows(t *testing.T) []Table1Row {
+	t.Helper()
+	res, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]Table1Row)
+	if !ok || len(rows) != 7 {
+		t.Fatalf("Table1 rows: %T (%d)", res.Rows, len(rows))
+	}
+	if res.Text == "" || !strings.Contains(res.Text, "Competing Risks") {
+		t.Error("Table1 text missing")
+	}
+	return rows
+}
+
+func TestTable1PaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	rows := table1Rows(t)
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Recession] = r
+	}
+
+	// Claim 1: on V/U-shaped datasets both bathtub models achieve a solid
+	// adjusted R².
+	for _, name := range []string{"1974-76", "1981-83", "1990-93", "2001-05", "2007-09"} {
+		r := byName[name]
+		if r.Quadratic.R2Adj < 0.8 || r.Competing.R2Adj < 0.8 {
+			t.Errorf("%s: r2adj quad %.3f / comp %.3f, want both > 0.8",
+				name, r.Quadratic.R2Adj, r.Competing.R2Adj)
+		}
+	}
+
+	// Claim 2: the W-shaped 1980 and L-shaped 2020-21 data defeat both
+	// models ("substantially poorer", low or negative r2adj).
+	for _, name := range []string{"1980", "2020-21"} {
+		r := byName[name]
+		if r.Quadratic.R2Adj > 0.6 || r.Competing.R2Adj > 0.6 {
+			t.Errorf("%s: r2adj quad %.3f / comp %.3f, want both < 0.6 (model should fail)",
+				name, r.Quadratic.R2Adj, r.Competing.R2Adj)
+		}
+	}
+
+	// Claim 3: the competing-risks model shows greater flexibility,
+	// winning PMSE on most datasets.
+	wins := 0
+	for _, r := range rows {
+		if r.Competing.PMSE < r.Quadratic.PMSE {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Errorf("competing risks wins PMSE on %d/7 datasets, want majority", wins)
+	}
+
+	// Empirical coverage should be broadly near the 95% target.
+	for _, r := range rows {
+		if r.QuadEC < 0.75 || r.CompEC < 0.75 {
+			t.Errorf("%s: EC quad %.2f / comp %.2f implausibly low", r.Recession, r.QuadEC, r.CompEC)
+		}
+	}
+}
+
+func TestTable3PaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	res, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]Table3Row)
+	if !ok || len(rows) != 28 {
+		t.Fatalf("Table3 rows: %T (%d)", res.Rows, len(rows))
+	}
+	type key struct{ rec, model string }
+	byKey := map[key]Table3Row{}
+	for _, r := range rows {
+		byKey[key{r.Recession, r.Model}] = r
+	}
+
+	// Claim 1: Exp-Exp is the weakest combination — on most datasets it
+	// has the worst (or tied-worst) SSE of the four.
+	models := []string{"exp-exp", "weibull-exp", "exp-weibull", "weibull-weibull"}
+	worstCount := 0
+	for _, rec := range []string{"1974-76", "1980", "1981-83", "1990-93", "2001-05", "2007-09", "2020-21"} {
+		worst := true
+		ee := byKey[key{rec, "exp-exp"}].GoF.SSE
+		for _, m := range models[1:] {
+			if byKey[key{rec, m}].GoF.SSE > ee*1.001 {
+				worst = false
+				break
+			}
+		}
+		if worst {
+			worstCount++
+		}
+	}
+	if worstCount < 4 {
+		t.Errorf("exp-exp worst on only %d/7 datasets, want majority", worstCount)
+	}
+
+	// Claim 2: at least one richer mixture reaches r2adj > 0.9 on each
+	// V/U-shaped dataset.
+	for _, rec := range []string{"1974-76", "1981-83", "1990-93", "2001-05", "2007-09"} {
+		best := -10.0
+		for _, m := range models[1:] {
+			if r2 := byKey[key{rec, m}].GoF.R2Adj; r2 > best {
+				best = r2
+			}
+		}
+		if best < 0.9 {
+			t.Errorf("%s: best non-exp-exp r2adj %.3f, want > 0.9", rec, best)
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	res, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]Table2Row)
+	if !ok || len(rows) != 8 {
+		t.Fatalf("Table2 rows: %T (%d)", res.Rows, len(rows))
+	}
+	// The headline area metrics must be predicted accurately by both
+	// bathtub models on the well-behaved 1990-93 data (paper: δ < 0.01 on
+	// all but the normalization-sensitive metric).
+	for _, r := range rows {
+		switch r.Metric {
+		case core.PerformancePreserved, core.AvgPreserved, core.NormalizedAvgPreserved:
+			if r.Quadratic.RelErr > 0.05 || r.Competing.RelErr > 0.05 {
+				t.Errorf("%v: rel err quad %.4f / comp %.4f, want < 0.05",
+					r.Metric, r.Quadratic.RelErr, r.Competing.RelErr)
+			}
+		}
+	}
+	if !strings.Contains(res.Text, "performance preserved") {
+		t.Error("Table2 text missing metric names")
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	res, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]Table4Row)
+	if !ok || len(rows) != 8 {
+		t.Fatalf("Table4 rows: %T (%d)", res.Rows, len(rows))
+	}
+	for _, r := range rows {
+		if len(r.ByModel) != 4 {
+			t.Errorf("%v: %d models", r.Metric, len(r.ByModel))
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Text == "" {
+				t.Fatal("empty figure text")
+			}
+			if !strings.Contains(res.Text, "Figure") {
+				t.Error("missing title")
+			}
+		})
+	}
+}
+
+func TestFitFigureCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	// Figures 3-5 show fits whose bands cover most points; verify the
+	// machinery reports plausible coverage for each.
+	for _, id := range []string{"fig3", "fig4", "fig5"} {
+		res, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fits, ok := res.Rows.([]FigureFit)
+		if !ok || len(fits) == 0 {
+			t.Fatalf("%s rows: %T", id, res.Rows)
+		}
+		for _, f := range fits {
+			if f.EC < 0.8 || f.EC > 1 {
+				t.Errorf("%s %s: EC %.3f", id, f.Model, f.EC)
+			}
+		}
+	}
+}
+
+func TestMixtureValidationWithTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	res, err := MixtureValidationWithTrend(core.LinearTrend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]Table3Row)
+	if !ok || len(rows) != 28 {
+		t.Fatalf("trend rows: %T (%d)", res.Rows, len(rows))
+	}
+	if !strings.Contains(res.ID, "linear") {
+		t.Errorf("ID = %q", res.ID)
+	}
+}
+
+func TestExtensionCompositeFixesWShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	res, err := ExtensionComposite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]ExtensionRow)
+	if !ok || len(rows) != 5 {
+		t.Fatalf("rows: %T (%d)", res.Rows, len(rows))
+	}
+	byModel := map[string]ExtensionRow{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	singleBest := byModel["quadratic"].GoF.R2Adj
+	if r := byModel["competing-risks"].GoF.R2Adj; r > singleBest {
+		singleBest = r
+	}
+	compositeBest := byModel["composite(quadratic,quadratic)"].GoF.R2Adj
+	if r := byModel["composite(competing-risks,competing-risks)"].GoF.R2Adj; r > compositeBest {
+		compositeBest = r
+	}
+	if compositeBest < 0.8 {
+		t.Errorf("composite r2adj = %.4f on 1980, want > 0.8", compositeBest)
+	}
+	if compositeBest <= singleBest+0.2 {
+		t.Errorf("composite (%.4f) should clearly beat single-dip (%.4f)",
+			compositeBest, singleBest)
+	}
+}
+
+func TestExtensionSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	res, err := ExtensionSelection("1990-93")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]SelectionRow)
+	if !ok || len(rows) != 7 {
+		t.Fatalf("rows: %T (%d)", res.Rows, len(rows))
+	}
+	// Ranked by PMSE ascending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].PMSE > rows[i].PMSE {
+			t.Errorf("rows not sorted at %d", i)
+		}
+	}
+	if _, err := ExtensionSelection("no-such-dataset"); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+}
+
+func TestShapeClassifierOnGallery(t *testing.T) {
+	// The canonical letter-shape gallery is ground truth for the
+	// classifier: every noiseless curve must classify as its label.
+	entries, err := dataset.Gallery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if got := core.ClassifyShape(e.Series.Values()); string(got) != e.Shape {
+			t.Errorf("gallery %s classified as %s", e.Shape, got)
+		}
+	}
+}

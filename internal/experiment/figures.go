@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"resilience/internal/core"
+	"resilience/internal/dataset"
+	"resilience/internal/report"
+	"resilience/internal/timeseries"
+)
+
+// FigureFit bundles the data a fitted-curve figure renders: the series,
+// the fitted curve sampled at the data times, and the confidence band.
+type FigureFit struct {
+	Dataset string
+	Model   string
+	Band    *core.Band
+	EC      float64
+}
+
+// Figure1 renders the conceptual resilience curve of Fig. 1: nominal
+// performance, a disruption at t_h, degradation to a minimum at t_d, and
+// recovery to degraded, nominal, or improved steady state at t_r.
+func Figure1() (*Result, error) {
+	// A competing-risks section provides the bathtub dip.
+	m := core.CompetingRisksModel{}
+	params := []float64{1, 0.6, 0.004}
+	during := func(t float64) float64 { return m.Eval(params, t) }
+
+	const (
+		th = 10.0
+		tr = 40.0
+	)
+	nominal, err := core.NewPiecewise(th, tr, 1, during)
+	if err != nil {
+		return nil, fmt.Errorf("fig1 nominal: %w", err)
+	}
+
+	plot := report.NewPlot(mustTitle("fig1"), 72, 18)
+	plot.SetLabels("time", "performance P(t)")
+	var times, base, degraded, improved []float64
+	for t := 0.0; t <= 55; t += 0.5 {
+		times = append(times, t)
+		v := nominal.Eval(t)
+		base = append(base, v)
+		// Alternative post-recovery levels branch after the minimum.
+		if t <= tr {
+			degraded = append(degraded, v)
+			improved = append(improved, v)
+		} else {
+			degraded = append(degraded, v*0.96)
+			improved = append(improved, v*1.05)
+		}
+	}
+	if err := plot.AddSeries("nominal recovery", 'o', times, base); err != nil {
+		return nil, err
+	}
+	if err := plot.AddSeries("degraded recovery", '-', times, degraded); err != nil {
+		return nil, err
+	}
+	if err := plot.AddSeries("improved recovery", '+', times, improved); err != nil {
+		return nil, err
+	}
+	text := plot.String() +
+		fmt.Sprintf("\nt_h = %.0f (hazard), t_r = %.0f (new steady state)\n", th, tr)
+	return &Result{ID: "fig1", Title: mustTitle("fig1"), Text: text, Rows: nominal, Plot: plot}, nil
+}
+
+// Figure2 renders all seven recession curves on shared axes, as in
+// Fig. 2.
+func Figure2() (*Result, error) {
+	recs, err := dataset.Recessions()
+	if err != nil {
+		return nil, err
+	}
+	plot := report.NewPlot(mustTitle("fig2"), 76, 24)
+	plot.SetLabels("months after employment peak", "payroll employment index")
+	markers := []byte{'1', '2', '3', '4', '5', '6', '7'}
+	for i, rec := range recs {
+		if err := plot.AddSeries(rec.Name+" ("+rec.Shape+")", markers[i], rec.Series.Times(), rec.Series.Values()); err != nil {
+			return nil, err
+		}
+	}
+	var b strings.Builder
+	b.WriteString(plot.String())
+	b.WriteString("\nShape classification (ClassifyShape):\n")
+	for _, rec := range recs {
+		b.WriteString(fmt.Sprintf("  %-8s documented %-2s classified %s\n",
+			rec.Name, rec.Shape, core.ClassifyShape(rec.Series.Values())))
+	}
+	return &Result{ID: "fig2", Title: mustTitle("fig2"), Text: b.String(), Rows: recs, Plot: plot}, nil
+}
+
+// fitFigure renders one dataset with one or more fitted models plus 95%
+// confidence bands — the shared engine behind Figures 3–6.
+func fitFigure(id, datasetName string, models []core.Model) (*Result, error) {
+	rec, err := dataset.ByName(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	plot := report.NewPlot(mustTitle(id), 76, 22)
+	plot.SetLabels("months after employment peak", "payroll employment index")
+	if err := plot.AddSeries(datasetName+" data", 'o', rec.Series.Times(), rec.Series.Values()); err != nil {
+		return nil, err
+	}
+	markers := []byte{'*', '#'}
+	var fits []FigureFit
+	for i, m := range models {
+		v, err := core.Validate(m, rec.Series, core.ValidateConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", id, m.Name(), err)
+		}
+		if err := plot.AddSeries(m.Name()+" fit", markers[i%len(markers)], v.Band.Times, v.Band.Center); err != nil {
+			return nil, err
+		}
+		// One band only (the first model's), to keep the ASCII readable;
+		// every band is still returned in Rows.
+		if i == 0 {
+			if err := plot.SetBand(v.Band.Times, v.Band.Lower, v.Band.Upper); err != nil {
+				return nil, err
+			}
+		}
+		fits = append(fits, FigureFit{Dataset: datasetName, Model: m.Name(), Band: v.Band, EC: v.EC})
+	}
+	var b strings.Builder
+	b.WriteString(plot.String())
+	trainLen := trainSplit(rec.Series)
+	b.WriteString(fmt.Sprintf("\nFirst %d months fit the model; the last %d validate predictions.\n",
+		trainLen, rec.Series.Len()-trainLen))
+	for _, f := range fits {
+		b.WriteString(fmt.Sprintf("  %-16s empirical coverage %s (sigma %.6f)\n",
+			f.Model, report.Pct(f.EC), f.Band.Sigma))
+	}
+	return &Result{ID: id, Title: mustTitle(id), Text: b.String(), Rows: fits, Plot: plot}, nil
+}
+
+// trainSplit mirrors the 90% train split used by core.ValidateConfig.
+func trainSplit(s *timeseries.Series) int {
+	train, _, err := s.SplitFraction(0.9)
+	if err != nil {
+		return s.Len()
+	}
+	return train.Len()
+}
+
+// Figure3 reproduces Fig. 3: quadratic fit and 95% CI on 2001-05.
+func Figure3() (*Result, error) {
+	return fitFigure("fig3", "2001-05", []core.Model{core.QuadraticModel{}})
+}
+
+// Figure4 reproduces Fig. 4: competing-risks fit and 95% CI on 1990-93.
+func Figure4() (*Result, error) {
+	return fitFigure("fig4", "1990-93", []core.Model{core.CompetingRisksModel{}})
+}
+
+// Figure5 reproduces Fig. 5: Weibull-Exponential mixture fit on 1990-93.
+func Figure5() (*Result, error) {
+	mix, err := core.NewMixture(core.WeibullFamily{}, core.ExpFamily{}, core.LogTrend{})
+	if err != nil {
+		return nil, err
+	}
+	return fitFigure("fig5", "1990-93", []core.Model{mix})
+}
+
+// Figure6 reproduces Fig. 6: Exponential-Weibull and Weibull-Weibull
+// mixture fits on 1981-83.
+func Figure6() (*Result, error) {
+	expWei, err := core.NewMixture(core.ExpFamily{}, core.WeibullFamily{}, core.LogTrend{})
+	if err != nil {
+		return nil, err
+	}
+	weiWei, err := core.NewMixture(core.WeibullFamily{}, core.WeibullFamily{}, core.LogTrend{})
+	if err != nil {
+		return nil, err
+	}
+	return fitFigure("fig6", "1981-83", []core.Model{expWei, weiWei})
+}

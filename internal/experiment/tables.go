@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/core"
+	"resilience/internal/dataset"
+	"resilience/internal/report"
+)
+
+// Table1Row is one dataset × measure block of Table I, extended with a
+// Diebold–Mariano test of equal predictive accuracy between the two
+// models on the held-out months (negative statistic = quadratic wins).
+type Table1Row struct {
+	Recession string
+	N         int
+	Quadratic core.GoF
+	QuadEC    float64
+	Competing core.GoF
+	CompEC    float64
+	DMStat    float64
+	DMPValue  float64
+}
+
+// Table1 reproduces Table I: both bathtub models validated on all seven
+// recessions with SSE, PMSE, adjusted R², and empirical coverage at 95%.
+func Table1() (*Result, error) {
+	recs, err := dataset.Recessions()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	tbl := report.NewTable("U.S. Recession", "n", "Measure", "Quadratic", "Competing Risks")
+	for _, rec := range recs {
+		quad, err := core.Validate(core.QuadraticModel{}, rec.Series, core.ValidateConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s quadratic: %w", rec.Name, err)
+		}
+		comp, err := core.Validate(core.CompetingRisksModel{}, rec.Series, core.ValidateConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s competing: %w", rec.Name, err)
+		}
+		row := Table1Row{
+			Recession: rec.Name, N: rec.Months,
+			Quadratic: quad.GoF, QuadEC: quad.EC,
+			Competing: comp.GoF, CompEC: comp.EC,
+			DMStat: math.NaN(), DMPValue: math.NaN(),
+		}
+		if dm, err := core.ComparePredictive(quad.Fit, comp.Fit, quad.Test); err == nil {
+			row.DMStat, row.DMPValue = dm.Statistic, dm.PValue
+		}
+		rows = append(rows, row)
+		n := fmt.Sprintf("%d", rec.Months)
+		tbl.MustAddRow(rec.Name, n, "SSE", report.F(quad.GoF.SSE), report.F(comp.GoF.SSE))
+		tbl.MustAddRow("", "", "PMSE", report.F(quad.GoF.PMSE), report.F(comp.GoF.PMSE))
+		tbl.MustAddRow("", "", "r2adj", report.F(quad.GoF.R2Adj), report.F(comp.GoF.R2Adj))
+		tbl.MustAddRow("", "", "EC", report.Pct(quad.EC), report.Pct(comp.EC))
+		dmCell := "n/a"
+		if !math.IsNaN(row.DMStat) {
+			dmCell = fmt.Sprintf("stat %+.2f, p %.3f", row.DMStat, row.DMPValue)
+		}
+		tbl.MustAddRow("", "", "DM test", dmCell, "")
+	}
+	return &Result{
+		ID:    "table1",
+		Title: mustTitle("table1"),
+		Text:  tbl.String(),
+		Rows:  rows,
+	}, nil
+}
+
+func mustTitle(id string) string {
+	t, err := Title(id)
+	if err != nil {
+		panic(err) // registry entries are static
+	}
+	return t
+}
+
+// Table2Row is one metric row of Table II: actual value, per-model
+// predictions, and relative errors.
+type Table2Row struct {
+	Metric    core.MetricKind
+	Actual    float64
+	Quadratic core.MetricComparison
+	Competing core.MetricComparison
+}
+
+// Table2 reproduces Table II: the eight interval-based metrics predicted
+// by both bathtub models on the 1990-93 recession, with relative errors
+// (Eq. 22) and α = 0.5 for the weighted metric.
+func Table2() (*Result, error) {
+	rec, err := dataset.ByName("1990-93")
+	if err != nil {
+		return nil, err
+	}
+	quad, err := core.Validate(core.QuadraticModel{}, rec.Series, core.ValidateConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("table2 quadratic: %w", err)
+	}
+	comp, err := core.Validate(core.CompetingRisksModel{}, rec.Series, core.ValidateConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("table2 competing: %w", err)
+	}
+	quadRows, err := core.CompareMetrics(quad, rec.Series, core.MetricsConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("table2 quadratic metrics: %w", err)
+	}
+	compRows, err := core.CompareMetrics(comp, rec.Series, core.MetricsConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("table2 competing metrics: %w", err)
+	}
+
+	var rows []Table2Row
+	tbl := report.NewTable("Metric", "Data", "Quadratic", "Competing Risks")
+	for i, qr := range quadRows {
+		cr := compRows[i]
+		rows = append(rows, Table2Row{Metric: qr.Kind, Actual: qr.Actual, Quadratic: qr, Competing: cr})
+		tbl.MustAddRow(qr.Kind.String(), "Actual", report.F(qr.Actual), report.F(cr.Actual))
+		tbl.MustAddRow("", "Predicted", report.F(qr.Predicted), report.F(cr.Predicted))
+		tbl.MustAddRow("", "delta", report.F(qr.RelErr), report.F(cr.RelErr))
+	}
+	return &Result{ID: "table2", Title: mustTitle("table2"), Text: tbl.String(), Rows: rows}, nil
+}
+
+// Table3Row is one dataset × mixture-model block of Table III.
+type Table3Row struct {
+	Recession string
+	Model     string
+	GoF       core.GoF
+	EC        float64
+}
+
+// Table3 reproduces Table III: the four mixture combinations (Exp-Exp,
+// Wei-Exp, Exp-Wei, Wei-Wei) with a₂(t) = β·ln t validated on all seven
+// recessions.
+func Table3() (*Result, error) {
+	return mixtureValidation("table3", core.StandardMixtures())
+}
+
+// mixtureValidation runs the Table III pipeline for an arbitrary mixture
+// set; the trend-ablation bench reuses it with non-default transitions.
+func mixtureValidation(id string, mixtures []*core.MixtureModel) (*Result, error) {
+	recs, err := dataset.Recessions()
+	if err != nil {
+		return nil, err
+	}
+	headers := []string{"U.S. Recession", "Measure"}
+	for _, m := range mixtures {
+		headers = append(headers, m.Name())
+	}
+	tbl := report.NewTable(headers...)
+	var rows []Table3Row
+	for _, rec := range recs {
+		vals := make([]*core.Validation, len(mixtures))
+		for i, m := range mixtures {
+			v, err := core.Validate(m, rec.Series, core.ValidateConfig{})
+			if err != nil {
+				return nil, fmt.Errorf("%s %s %s: %w", id, rec.Name, m.Name(), err)
+			}
+			vals[i] = v
+			rows = append(rows, Table3Row{Recession: rec.Name, Model: m.Name(), GoF: v.GoF, EC: v.EC})
+		}
+		addRow := func(measure string, pick func(*core.Validation) string) {
+			cells := []string{"", measure}
+			if measure == "SSE" {
+				cells[0] = rec.Name
+			}
+			for _, v := range vals {
+				cells = append(cells, pick(v))
+			}
+			tbl.MustAddRow(cells...)
+		}
+		addRow("SSE", func(v *core.Validation) string { return report.F(v.GoF.SSE) })
+		addRow("PMSE", func(v *core.Validation) string { return report.F(v.GoF.PMSE) })
+		addRow("r2adj", func(v *core.Validation) string { return report.F(v.GoF.R2Adj) })
+		addRow("EC", func(v *core.Validation) string { return report.Pct(v.EC) })
+	}
+	title := id
+	if t, err := Title(id); err == nil {
+		title = t
+	}
+	return &Result{ID: id, Title: title, Text: tbl.String(), Rows: rows}, nil
+}
+
+// Table4Row is one metric row of Table IV across the four mixtures.
+type Table4Row struct {
+	Metric core.MetricKind
+	Actual float64
+	// ByModel maps mixture name to its comparison.
+	ByModel map[string]core.MetricComparison
+}
+
+// Table4 reproduces Table IV: the eight interval-based metrics predicted
+// by all four mixture combinations on the 1990-93 recession.
+func Table4() (*Result, error) {
+	rec, err := dataset.ByName("1990-93")
+	if err != nil {
+		return nil, err
+	}
+	mixtures := core.StandardMixtures()
+	headers := []string{"Metric", "Data"}
+	comparisons := make([][]core.MetricComparison, len(mixtures))
+	for i, m := range mixtures {
+		headers = append(headers, m.Name())
+		v, err := core.Validate(m, rec.Series, core.ValidateConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", m.Name(), err)
+		}
+		comparisons[i], err = core.CompareMetrics(v, rec.Series, core.MetricsConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s metrics: %w", m.Name(), err)
+		}
+	}
+	tbl := report.NewTable(headers...)
+	var rows []Table4Row
+	for rowIdx, kind := range core.MetricKinds() {
+		row := Table4Row{Metric: kind, Actual: comparisons[0][rowIdx].Actual,
+			ByModel: make(map[string]core.MetricComparison, len(mixtures))}
+		addRow := func(label string, pick func(core.MetricComparison) float64) {
+			cells := []string{"", label}
+			if label == "Actual" {
+				cells[0] = kind.String()
+			}
+			for i := range mixtures {
+				cells = append(cells, report.F(pick(comparisons[i][rowIdx])))
+			}
+			tbl.MustAddRow(cells...)
+		}
+		for i, m := range mixtures {
+			row.ByModel[m.Name()] = comparisons[i][rowIdx]
+		}
+		addRow("Actual", func(c core.MetricComparison) float64 { return c.Actual })
+		addRow("Predicted", func(c core.MetricComparison) float64 { return c.Predicted })
+		addRow("delta", func(c core.MetricComparison) float64 { return c.RelErr })
+		rows = append(rows, row)
+	}
+	return &Result{ID: "table4", Title: mustTitle("table4"), Text: tbl.String(), Rows: rows}, nil
+}
+
+// MixtureValidationWithTrend runs the Table III pipeline with an
+// alternative a₂ transition; used by the trend ablation bench.
+func MixtureValidationWithTrend(trend core.Trend) (*Result, error) {
+	mixtures, err := core.MixtureWithTrend(trend)
+	if err != nil {
+		return nil, err
+	}
+	return mixtureValidation("table3+"+trend.Name(), mixtures)
+}

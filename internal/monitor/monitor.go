@@ -1,0 +1,300 @@
+// Package monitor implements the paper's motivating use case
+// (Sec. I): emergency managers watching a system degrade in real time
+// need recovery predictions *during* the event, not retrospectively. A
+// Tracker consumes performance observations one at a time, detects the
+// disruption onset, fits resilience models once enough of the curve is
+// visible, and emits recovery-time predictions that sharpen as data
+// accumulates.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/core"
+	"resilience/internal/timeseries"
+)
+
+// Phase is the tracker's view of the system's disruption lifecycle.
+type Phase int
+
+// Lifecycle phases.
+const (
+	// PhaseNominal means no disruption has been detected.
+	PhaseNominal Phase = iota + 1
+	// PhaseDegrading means performance is falling from its baseline.
+	PhaseDegrading
+	// PhaseRecovering means the minimum appears to have passed.
+	PhaseRecovering
+	// PhaseRecovered means performance has regained the baseline level.
+	PhaseRecovered
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNominal:
+		return "nominal"
+	case PhaseDegrading:
+		return "degrading"
+	case PhaseRecovering:
+		return "recovering"
+	case PhaseRecovered:
+		return "recovered"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// Baseline is the nominal performance level; observations are judged
+	// against it (default: the first observation).
+	Baseline float64
+	// OnsetDrop is the fractional drop below baseline that declares a
+	// disruption (default 0.005, i.e. −0.5%).
+	OnsetDrop float64
+	// RecoverySlack is how close to baseline performance must return to
+	// declare recovery, as a fraction (default 0.001).
+	RecoverySlack float64
+	// MinFitPoints is the minimum number of post-onset observations
+	// before model fitting starts (default 6).
+	MinFitPoints int
+	// Model is the resilience model refit on each update (default
+	// competing risks).
+	Model core.Model
+	// Fit configures each refit; refits warm-start from the previous
+	// parameters.
+	Fit core.FitConfig
+	// HorizonFactor bounds the numeric recovery search as a multiple of
+	// the observed span (default 6).
+	HorizonFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OnsetDrop <= 0 {
+		c.OnsetDrop = 0.005
+	}
+	if c.RecoverySlack <= 0 {
+		c.RecoverySlack = 0.001
+	}
+	if c.MinFitPoints <= 0 {
+		c.MinFitPoints = 6
+	}
+	if c.Model == nil {
+		c.Model = core.CompetingRisksModel{}
+	}
+	if c.Fit.Starts <= 0 {
+		c.Fit.Starts = 4
+	}
+	if c.HorizonFactor <= 0 {
+		c.HorizonFactor = 6
+	}
+	return c
+}
+
+// Update is the tracker's state after one observation.
+type Update struct {
+	// Time and Value echo the observation.
+	Time, Value float64
+	// Phase is the lifecycle phase after this observation.
+	Phase Phase
+	// OnsetTime is when the disruption was detected; NaN while nominal.
+	OnsetTime float64
+	// Fit is the latest model fit; nil until MinFitPoints post-onset
+	// observations have arrived or if fitting failed this round.
+	Fit *core.FitResult
+	// PredictedMinimumTime and PredictedMinimumValue locate the model's
+	// performance minimum; NaN without a fit.
+	PredictedMinimumTime  float64
+	PredictedMinimumValue float64
+	// PredictedRecoveryTime is when the model expects performance to
+	// regain the baseline; NaN without a fit or if the model never
+	// recovers within the search horizon.
+	PredictedRecoveryTime float64
+}
+
+// Tracker consumes observations and maintains disruption state. It is
+// not safe for concurrent use.
+type Tracker struct {
+	cfg        Config
+	times      []float64
+	values     []float64
+	phase      Phase
+	onsetIdx   int
+	warmParams []float64
+	history    []Update
+}
+
+// ErrBadObservation is returned for non-finite or non-increasing-time
+// observations.
+var ErrBadObservation = errors.New("monitor: bad observation")
+
+// NewTracker creates a tracker with the given configuration.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), phase: PhaseNominal, onsetIdx: -1}
+}
+
+// Phase returns the current lifecycle phase.
+func (tr *Tracker) Phase() Phase { return tr.phase }
+
+// History returns all updates so far (shared slice; do not modify).
+func (tr *Tracker) History() []Update { return tr.history }
+
+// Observe ingests one (time, value) observation and returns the updated
+// state.
+func (tr *Tracker) Observe(t, v float64) (Update, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return Update{}, fmt.Errorf("%w: non-finite (%g, %g)", ErrBadObservation, t, v)
+	}
+	if n := len(tr.times); n > 0 && t <= tr.times[n-1] {
+		return Update{}, fmt.Errorf("%w: time %g not after %g", ErrBadObservation, t, tr.times[n-1])
+	}
+	tr.times = append(tr.times, t)
+	tr.values = append(tr.values, v)
+	if len(tr.values) == 1 && tr.cfg.Baseline == 0 {
+		tr.cfg.Baseline = v
+	}
+
+	up := Update{
+		Time: t, Value: v,
+		OnsetTime:             math.NaN(),
+		PredictedMinimumTime:  math.NaN(),
+		PredictedMinimumValue: math.NaN(),
+		PredictedRecoveryTime: math.NaN(),
+	}
+
+	tr.advancePhase(v)
+	up.Phase = tr.phase
+	if tr.onsetIdx >= 0 {
+		up.OnsetTime = tr.times[tr.onsetIdx]
+	}
+
+	// Refit once enough of the disruption is visible.
+	if tr.onsetIdx >= 0 && tr.phase != PhaseNominal {
+		if post := len(tr.times) - tr.onsetIdx; post >= tr.cfg.MinFitPoints {
+			tr.refit(&up)
+		}
+	}
+
+	tr.history = append(tr.history, up)
+	return up, nil
+}
+
+// advancePhase runs the threshold state machine.
+func (tr *Tracker) advancePhase(v float64) {
+	base := tr.cfg.Baseline
+	switch tr.phase {
+	case PhaseNominal:
+		if v < base*(1-tr.cfg.OnsetDrop) {
+			tr.phase = PhaseDegrading
+			tr.onsetIdx = tr.findOnset()
+		}
+	case PhaseDegrading:
+		if tr.pastMinimum() {
+			tr.phase = PhaseRecovering
+		}
+		if v >= base*(1-tr.cfg.RecoverySlack) {
+			tr.phase = PhaseRecovered
+		}
+	case PhaseRecovering:
+		if v >= base*(1-tr.cfg.RecoverySlack) {
+			tr.phase = PhaseRecovered
+		}
+	case PhaseRecovered:
+		// A fresh drop restarts the cycle (the W-shape case). The
+		// re-entry threshold sits OnsetDrop below the recovery
+		// threshold, giving hysteresis so noise around the recovery
+		// level does not flap the state machine.
+		if v < base*(1-tr.cfg.RecoverySlack-tr.cfg.OnsetDrop) {
+			tr.phase = PhaseDegrading
+			tr.onsetIdx = tr.findOnset()
+		}
+	}
+}
+
+// findOnset backtracks from the current point to the most recent
+// observation at or above baseline, which anchors the disruption clock.
+func (tr *Tracker) findOnset() int {
+	base := tr.cfg.Baseline
+	for i := len(tr.values) - 1; i >= 0; i-- {
+		if tr.values[i] >= base*(1-tr.cfg.RecoverySlack) {
+			return i
+		}
+	}
+	return 0
+}
+
+// pastMinimum reports whether the last few observations trend upward
+// from the observed minimum.
+func (tr *Tracker) pastMinimum() bool {
+	n := len(tr.values)
+	if n-tr.onsetIdx < 3 {
+		return false
+	}
+	minIdx := tr.onsetIdx
+	for i := tr.onsetIdx; i < n; i++ {
+		if tr.values[i] < tr.values[minIdx] {
+			minIdx = i
+		}
+	}
+	// Minimum strictly inside the window plus two consecutive rises.
+	return minIdx < n-2 && tr.values[n-1] > tr.values[minIdx] && tr.values[n-2] > tr.values[minIdx]
+}
+
+// refit fits the configured model to the post-onset window (re-zeroed so
+// the model clock starts at the onset) and fills the update's
+// predictions.
+func (tr *Tracker) refit(up *Update) {
+	onsetT := tr.times[tr.onsetIdx]
+	times := make([]float64, 0, len(tr.times)-tr.onsetIdx)
+	vals := make([]float64, 0, len(tr.times)-tr.onsetIdx)
+	for i := tr.onsetIdx; i < len(tr.times); i++ {
+		times = append(times, tr.times[i]-onsetT)
+		vals = append(vals, tr.values[i])
+	}
+	window, err := timeseries.NewSeries(times, vals)
+	if err != nil {
+		return
+	}
+	cfg := tr.cfg.Fit
+	cfg.InitialParams = tr.warmParams
+	fit, err := core.Fit(tr.cfg.Model, window, cfg)
+	if err != nil {
+		return
+	}
+	tr.warmParams = fit.Params
+	up.Fit = fit
+
+	span := times[len(times)-1]
+	horizon := math.Max(span, 1) * tr.cfg.HorizonFactor
+	if td, err := core.ModelMinimum(fit, horizon); err == nil {
+		up.PredictedMinimumTime = onsetT + td
+		up.PredictedMinimumValue = fit.Eval(td)
+	}
+	// Closed-form recovery solutions can land absurdly far out when only
+	// the descent has been observed; report a prediction only when it
+	// falls inside the search horizon, otherwise leave it "not yet
+	// predictable" (NaN).
+	if rt, err := core.RecoveryTime(fit, tr.cfg.Baseline*(1-tr.cfg.RecoverySlack), horizon); err == nil && rt <= horizon {
+		up.PredictedRecoveryTime = onsetT + rt
+	}
+}
+
+// ObserveSeries feeds a whole series through the tracker, returning the
+// final update — a convenience for replaying recorded incidents.
+func (tr *Tracker) ObserveSeries(s *timeseries.Series) (Update, error) {
+	if s == nil || s.Len() == 0 {
+		return Update{}, fmt.Errorf("%w: empty series", ErrBadObservation)
+	}
+	var last Update
+	for i := 0; i < s.Len(); i++ {
+		up, err := tr.Observe(s.Time(i), s.Value(i))
+		if err != nil {
+			return Update{}, err
+		}
+		last = up
+	}
+	return last, nil
+}

@@ -1,0 +1,255 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/core"
+	"resilience/internal/timeseries"
+)
+
+// vCurve produces a clean V-shaped incident: flat at 1.0 for lead steps,
+// dip to 1-depth at bottom, recovery to 1.02 by the end.
+func vCurve(lead, n int, depth float64) []float64 {
+	out := make([]float64, lead+n)
+	for i := 0; i < lead; i++ {
+		out[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		u := float64(i) / float64(n-1)
+		out[lead+i] = 1 - depth*math.Sin(math.Pi*math.Min(u/0.75, 1)) + 0.02*math.Max(0, (u-0.75)/0.25)
+	}
+	return out
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker(Config{})
+	vals := vCurve(5, 40, 0.05)
+	var phases []Phase
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases = append(phases, up.Phase)
+	}
+	// Starts nominal, ends recovered, passes through degrading and
+	// recovering in order.
+	if phases[0] != PhaseNominal {
+		t.Errorf("first phase = %v", phases[0])
+	}
+	if phases[len(phases)-1] != PhaseRecovered {
+		t.Errorf("final phase = %v", phases[len(phases)-1])
+	}
+	idx := map[Phase]int{}
+	for i, p := range phases {
+		if _, seen := idx[p]; !seen {
+			idx[p] = i
+		}
+	}
+	if !(idx[PhaseNominal] < idx[PhaseDegrading] &&
+		idx[PhaseDegrading] < idx[PhaseRecovering] &&
+		idx[PhaseRecovering] < idx[PhaseRecovered]) {
+		t.Errorf("phase order wrong: %v", idx)
+	}
+}
+
+func TestTrackerPredictsRecovery(t *testing.T) {
+	tr := NewTracker(Config{})
+	vals := vCurve(3, 40, 0.04)
+	// The true recovery (value back to >= baseline) happens at:
+	trueRecovery := -1
+	for i := 4; i < len(vals); i++ {
+		if vals[i] >= 1-0.001 {
+			trueRecovery = i
+			break
+		}
+	}
+	sawPrediction := false
+	postMinPrediction := math.NaN()
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Fit == nil || math.IsNaN(up.PredictedRecoveryTime) {
+			continue
+		}
+		sawPrediction = true
+		// Every prediction must postdate the onset.
+		if up.PredictedRecoveryTime < up.OnsetTime {
+			t.Errorf("step %d: recovery %g before onset %g", i, up.PredictedRecoveryTime, up.OnsetTime)
+		}
+		// Once the minimum has passed, the curve shape is pinned down;
+		// record the first post-minimum prediction.
+		if up.Phase == PhaseRecovering && math.IsNaN(postMinPrediction) {
+			postMinPrediction = up.PredictedRecoveryTime
+		}
+	}
+	if !sawPrediction {
+		t.Fatal("tracker never produced a recovery prediction")
+	}
+	// Predictions made while still degrading are honest extrapolations
+	// and may be far out; the post-minimum prediction should land near
+	// the truth.
+	if trueRecovery > 0 && !math.IsNaN(postMinPrediction) &&
+		math.Abs(postMinPrediction-float64(trueRecovery)) > 8 {
+		t.Errorf("post-minimum prediction %g vs true recovery %d too far",
+			postMinPrediction, trueRecovery)
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	tr := NewTracker(Config{})
+	if _, err := tr.Observe(math.NaN(), 1); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("NaN time: %v", err)
+	}
+	if _, err := tr.Observe(0, math.Inf(1)); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("Inf value: %v", err)
+	}
+	if _, err := tr.Observe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Observe(0, 1); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("repeated time: %v", err)
+	}
+	if _, err := tr.Observe(-1, 1); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("backwards time: %v", err)
+	}
+}
+
+func TestTrackerStaysNominalOnFlatData(t *testing.T) {
+	tr := NewTracker(Config{})
+	for i := 0; i < 30; i++ {
+		up, err := tr.Observe(float64(i), 1+0.001*math.Sin(float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Phase != PhaseNominal {
+			t.Fatalf("step %d: phase %v on flat data", i, up.Phase)
+		}
+		if up.Fit != nil {
+			t.Fatalf("step %d: fit produced without disruption", i)
+		}
+	}
+}
+
+func TestTrackerRestartsOnSecondDip(t *testing.T) {
+	tr := NewTracker(Config{MinFitPoints: 100}) // disable fitting; test phases only
+	feed := func(start int, vals []float64) Phase {
+		var last Update
+		for i, v := range vals {
+			up, err := tr.Observe(float64(start+i), v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = up
+		}
+		return last.Phase
+	}
+	// First dip and recovery.
+	if p := feed(0, []float64{1, 1, 0.98, 0.96, 0.97, 0.99, 1.0}); p != PhaseRecovered {
+		t.Fatalf("after first dip: %v", p)
+	}
+	// Second dip restarts the cycle.
+	if p := feed(10, []float64{0.97}); p != PhaseDegrading {
+		t.Fatalf("after second drop: %v", p)
+	}
+}
+
+func TestObserveSeries(t *testing.T) {
+	s, err := timeseries.FromValues(vCurve(3, 30, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(Config{})
+	last, err := tr.ObserveSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Phase != PhaseRecovered {
+		t.Errorf("final phase = %v", last.Phase)
+	}
+	if len(tr.History()) != s.Len() {
+		t.Errorf("history %d entries, want %d", len(tr.History()), s.Len())
+	}
+	if _, err := NewTracker(Config{}).ObserveSeries(nil); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("nil series: %v", err)
+	}
+}
+
+func TestTrackerWithCustomModel(t *testing.T) {
+	tr := NewTracker(Config{Model: core.QuadraticModel{}})
+	vals := vCurve(2, 30, 0.05)
+	var sawFit bool
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Fit != nil {
+			sawFit = true
+			if up.Fit.Model.Name() != "quadratic" {
+				t.Fatalf("fit model = %s", up.Fit.Model.Name())
+			}
+		}
+	}
+	if !sawFit {
+		t.Error("never fit the custom model")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	tests := []struct {
+		p    Phase
+		want string
+	}{
+		{PhaseNominal, "nominal"},
+		{PhaseDegrading, "degrading"},
+		{PhaseRecovering, "recovering"},
+		{PhaseRecovered, "recovered"},
+		{Phase(9), "phase(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%d) = %q", tt.p, got)
+		}
+	}
+}
+
+func TestPredictionsSharpenWithData(t *testing.T) {
+	// As more of the incident is observed, the recovery prediction should
+	// approach the eventual truth (monotone improvement is not guaranteed,
+	// but the final prediction must be closer than the first).
+	tr := NewTracker(Config{})
+	vals := vCurve(2, 36, 0.05)
+	trueRecovery := -1.0
+	for i := 3; i < len(vals); i++ {
+		if vals[i] >= 1-0.001 {
+			trueRecovery = float64(i)
+			break
+		}
+	}
+	var preds []float64
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Fit != nil && !math.IsNaN(up.PredictedRecoveryTime) && up.Phase != PhaseRecovered {
+			preds = append(preds, up.PredictedRecoveryTime)
+		}
+	}
+	if len(preds) < 3 || trueRecovery < 0 {
+		t.Fatalf("not enough predictions (%d) or no true recovery", len(preds))
+	}
+	firstErr := math.Abs(preds[0] - trueRecovery)
+	lastErr := math.Abs(preds[len(preds)-1] - trueRecovery)
+	if lastErr > firstErr+2 {
+		t.Errorf("prediction got worse: first err %.1f, last err %.1f", firstErr, lastErr)
+	}
+	if lastErr > 4 {
+		t.Errorf("final prediction err %.1f months, want <= 4", lastErr)
+	}
+}

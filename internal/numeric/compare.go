@@ -1,0 +1,72 @@
+package numeric
+
+import "math"
+
+// DefaultTol is the default relative tolerance used by the comparison
+// helpers when callers have no better problem-specific choice.
+const DefaultTol = 1e-9
+
+// EqualWithin reports whether a and b are equal to within tol using a
+// combined absolute/relative criterion: |a-b| <= tol*max(1, |a|, |b|).
+// NaN is never equal to anything, matching IEEE semantics.
+func EqualWithin(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// EqualWithinAbs reports whether |a-b| <= tol. NaN compares unequal.
+func EqualWithinAbs(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// IsFinite reports whether x is neither NaN nor an infinity.
+func IsFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// AllFinite reports whether every element of xs is finite.
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if !IsFinite(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp returns x restricted to the interval [lo, hi]. It panics if
+// lo > hi since that indicates a programming error, not a data error.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("numeric: Clamp called with lo > hi")
+	}
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// Sign returns -1, 0, or +1 according to the sign of x. Sign(NaN) is 0.
+func Sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,92 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// Func is a scalar function of one variable.
+type Func func(x float64) float64
+
+// Derivative approximates f'(x) with a central difference using a step
+// scaled to x. It is accurate to O(h²) for smooth f.
+func Derivative(f Func, x float64) float64 {
+	h := stepFor(x)
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// DerivativeRichardson approximates f'(x) with Richardson extrapolation of
+// central differences, giving O(h⁴) accuracy for smooth f.
+func DerivativeRichardson(f Func, x float64) float64 {
+	h := stepFor(x)
+	d1 := (f(x+h) - f(x-h)) / (2 * h)
+	d2 := (f(x+h/2) - f(x-h/2)) / h
+	return (4*d2 - d1) / 3
+}
+
+// SecondDerivative approximates f”(x) with the standard three-point
+// central stencil.
+func SecondDerivative(f Func, x float64) float64 {
+	h := math.Sqrt(stepFor(x))
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// Gradient fills grad with the central-difference gradient of f at x.
+// It returns an error if the two slices have different lengths.
+func Gradient(f func([]float64) float64, x, grad []float64) error {
+	if len(x) != len(grad) {
+		return errors.New("numeric: Gradient slice length mismatch")
+	}
+	xi := make([]float64, len(x))
+	copy(xi, x)
+	for i := range x {
+		h := stepFor(x[i])
+		orig := xi[i]
+		xi[i] = orig + h
+		fp := f(xi)
+		xi[i] = orig - h
+		fm := f(xi)
+		xi[i] = orig
+		grad[i] = (fp - fm) / (2 * h)
+	}
+	return nil
+}
+
+// Jacobian computes the m×n Jacobian of a vector-valued function
+// r: Rⁿ → Rᵐ at x by forward differences, writing row i of ∂r_i/∂x_j into
+// jac[i]. The residual value r(x) is passed in as r0 to avoid recomputing
+// it. jac must have m rows of length n.
+func Jacobian(r func([]float64) ([]float64, error), x, r0 []float64, jac [][]float64) error {
+	if len(jac) != len(r0) {
+		return errors.New("numeric: Jacobian row count mismatch")
+	}
+	xi := make([]float64, len(x))
+	copy(xi, x)
+	for j := range x {
+		h := stepFor(x[j])
+		orig := xi[j]
+		xi[j] = orig + h
+		rp, err := r(xi)
+		xi[j] = orig
+		if err != nil {
+			return err
+		}
+		if len(rp) != len(r0) {
+			return errors.New("numeric: Jacobian residual length changed")
+		}
+		for i := range rp {
+			if len(jac[i]) != len(x) {
+				return errors.New("numeric: Jacobian column count mismatch")
+			}
+			jac[i][j] = (rp[i] - r0[i]) / h
+		}
+	}
+	return nil
+}
+
+// stepFor picks a finite-difference step proportional to the magnitude of
+// x, bounded away from zero so that x == 0 still gets a usable step.
+func stepFor(x float64) float64 {
+	const base = 1e-6
+	return base * math.Max(1, math.Abs(x))
+}

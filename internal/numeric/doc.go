@@ -1,0 +1,8 @@
+// Package numeric provides the low-level numerical kernels shared by the
+// rest of the library: special functions (regularized incomplete gamma),
+// numerical differentiation, scalar root finding, and floating-point
+// comparison helpers.
+//
+// Everything in this package is implemented on top of the Go standard
+// library's math package; no third-party numerical code is used.
+package numeric

@@ -1,0 +1,124 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("numeric: matrix is singular")
+
+// SolveLinear solves the dense n×n system A x = b by Gaussian elimination
+// with partial pivoting. A and b are not modified. It is intended for the
+// small systems that arise in Levenberg–Marquardt normal equations.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n {
+		return nil, errors.New("numeric: SolveLinear dimension mismatch")
+	}
+	// Work on copies: an augmented matrix [A | b].
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, errors.New("numeric: SolveLinear matrix is not square")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m[r][col]); abs > maxAbs {
+				pivot, maxAbs = r, abs
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+		if !IsFinite(x[i]) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// MatTMul computes Aᵀ·A for an m×n matrix A, returning an n×n matrix.
+func MatTMul(a [][]float64) [][]float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	n := len(a[0])
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for _, row := range a {
+		for i := 0; i < n; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatTVec computes Aᵀ·v for an m×n matrix A and length-m vector v,
+// returning a length-n vector.
+func MatTVec(a [][]float64, v []float64) []float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	n := len(a[0])
+	out := make([]float64, n)
+	for i, row := range a {
+		for j := 0; j < n; j++ {
+			out[j] += row[j] * v[i]
+		}
+	}
+	return out
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

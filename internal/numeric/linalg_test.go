@@ -1,0 +1,175 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinear(t *testing.T) {
+	tests := []struct {
+		name string
+		a    [][]float64
+		b    []float64
+		want []float64
+	}{
+		{
+			name: "identity",
+			a:    [][]float64{{1, 0}, {0, 1}},
+			b:    []float64{3, -4},
+			want: []float64{3, -4},
+		},
+		{
+			name: "2x2",
+			a:    [][]float64{{2, 1}, {1, 3}},
+			b:    []float64{5, 10},
+			want: []float64{1, 3},
+		},
+		{
+			name: "3x3 needs pivoting",
+			a:    [][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}},
+			b:    []float64{8, 4, 4},
+			want: []float64{1, 2, 3},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SolveLinear(tt.a, tt.b)
+			if err != nil {
+				t.Fatalf("SolveLinear: %v", err)
+			}
+			for i := range tt.want {
+				if !EqualWithin(got[i], tt.want[i], 1e-10) {
+					t.Errorf("x[%d] = %g, want %g", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	_, err := SolveLinear([][]float64{{1, 2}, {2, 4}}, []float64{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("singular matrix: want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveLinearBadShape(t *testing.T) {
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("row mismatch: want error")
+	}
+	if _, err := SolveLinear([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Error("non-square: want error")
+	}
+}
+
+func TestSolveLinearRoundTrip(t *testing.T) {
+	// Property: for random diagonally-dominant A and x, solving A·(Ax)
+	// recovers x.
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func() float64 {
+			rng = rng*1664525 + 1013904223
+			return float64(rng%2000)/1000 - 1 // [-1, 1)
+		}
+		const n = 4
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = next()
+			}
+			a[i][i] += float64(n) // diagonal dominance => nonsingular
+			x[i] = next() * 10
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range x {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !EqualWithin(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatTMulAndVec(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	ata := MatTMul(a)
+	want := [][]float64{{35, 44}, {44, 56}}
+	for i := range want {
+		for j := range want[i] {
+			if ata[i][j] != want[i][j] {
+				t.Errorf("AᵀA[%d][%d] = %g, want %g", i, j, ata[i][j], want[i][j])
+			}
+		}
+	}
+	atv := MatTVec(a, []float64{1, 1, 1})
+	if atv[0] != 9 || atv[1] != 12 {
+		t.Errorf("Aᵀv = %v, want [9 12]", atv)
+	}
+	if MatTMul(nil) != nil || MatTVec(nil, nil) != nil {
+		t.Error("empty inputs should return nil")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+}
+
+func TestCompareHelpers(t *testing.T) {
+	if !EqualWithin(1, 1+1e-12, 1e-9) {
+		t.Error("EqualWithin near-equal failed")
+	}
+	if EqualWithin(1, 2, 1e-9) {
+		t.Error("EqualWithin distinct values should differ")
+	}
+	if EqualWithin(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN must not compare equal")
+	}
+	if !EqualWithin(1e20, 1e20*(1+1e-12), 1e-9) {
+		t.Error("relative comparison at large scale failed")
+	}
+	if !EqualWithinAbs(5, 5.05, 0.1) || EqualWithinAbs(5, 5.2, 0.1) {
+		t.Error("EqualWithinAbs misbehaves")
+	}
+	if IsFinite(math.Inf(1)) || IsFinite(math.NaN()) || !IsFinite(0) {
+		t.Error("IsFinite misbehaves")
+	}
+	if AllFinite([]float64{1, math.NaN()}) || !AllFinite([]float64{1, 2}) {
+		t.Error("AllFinite misbehaves")
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+	if Sign(3) != 1 || Sign(-3) != -1 || Sign(0) != 0 || Sign(math.NaN()) != 0 {
+		t.Error("Sign misbehaves")
+	}
+}
+
+func TestClampPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp(lo>hi) should panic")
+		}
+	}()
+	Clamp(0, 1, -1)
+}

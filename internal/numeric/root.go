@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by the root finders when the supplied interval
+// does not bracket a sign change.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. tol is the absolute width of the final interval.
+func Bisect(f Func, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 || math.IsNaN(fa) || math.IsNaN(fb) {
+		return math.NaN(), fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200; i++ {
+		mid := a + (b-a)/2
+		fm := f(mid)
+		if fm == 0 || (b-a)/2 < tol {
+			return mid, nil
+		}
+		if fa*fm < 0 {
+			b = mid
+		} else {
+			a, fa = mid, fm
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// BrentRoot finds a root of f in [a, b] using Brent's method, which
+// combines bisection, secant, and inverse quadratic interpolation.
+// f(a) and f(b) must have opposite signs.
+func BrentRoot(f Func, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 || math.IsNaN(fa) || math.IsNaN(fb) {
+		return math.NaN(), fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	const machEps = 2.220446049250313e-16
+	c, fc := b, fb
+	var d, e float64
+	for i := 0; i < 200; i++ {
+		if (fb > 0 && fc > 0) || (fb < 0 && fc < 0) {
+			c, fc = a, fa
+			d = b - a
+			e = d
+		}
+		if math.Abs(fc) < math.Abs(fb) {
+			a, fa = b, fb
+			b, fb = c, fc
+			c, fc = a, fa
+		}
+		tol1 := 2*machEps*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e = d
+				d = p / q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm >= 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+	}
+	return b, nil
+}
+
+// BracketRoot expands outward from [a, b] by a growth factor until the
+// interval brackets a sign change of f, or gives up after maxExpand
+// expansions. It returns the bracketing interval.
+func BracketRoot(f Func, a, b float64, maxExpand int) (lo, hi float64, err error) {
+	if a >= b {
+		return 0, 0, errors.New("numeric: BracketRoot requires a < b")
+	}
+	if maxExpand <= 0 {
+		maxExpand = 50
+	}
+	const growth = 1.6
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if !math.IsNaN(fa) && !math.IsNaN(fb) && fa*fb <= 0 {
+			return a, b, nil
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a += growth * (a - b)
+			fa = f(a)
+		} else {
+			b += growth * (b - a)
+			fb = f(b)
+		}
+	}
+	return 0, 0, ErrNoBracket
+}

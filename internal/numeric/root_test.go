@@ -1,0 +1,153 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBisect(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func
+		a, b float64
+		want float64
+	}{
+		{name: "linear", f: func(x float64) float64 { return x - 3 }, a: 0, b: 10, want: 3},
+		{name: "quadratic", f: func(x float64) float64 { return x*x - 2 }, a: 0, b: 2, want: math.Sqrt2},
+		{name: "cosine", f: math.Cos, a: 0, b: 3, want: math.Pi / 2},
+		{name: "root at endpoint a", f: func(x float64) float64 { return x }, a: 0, b: 1, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Bisect(tt.f, tt.a, tt.b, 1e-12)
+			if err != nil {
+				t.Fatalf("Bisect: %v", err)
+			}
+			if !EqualWithinAbs(got, tt.want, 1e-10) {
+				t.Errorf("Bisect = %.15g, want %.15g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentRoot(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func
+		a, b float64
+		want float64
+	}{
+		{name: "linear", f: func(x float64) float64 { return 2*x - 7 }, a: 0, b: 10, want: 3.5},
+		{name: "cubic", f: func(x float64) float64 { return x*x*x - 8 }, a: 0, b: 5, want: 2},
+		{name: "transcendental", f: func(x float64) float64 { return math.Exp(x) - 2 }, a: 0, b: 2, want: math.Ln2},
+		{name: "flat tail", f: func(x float64) float64 { return math.Tanh(x - 4) }, a: 0, b: 10, want: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := BrentRoot(tt.f, tt.a, tt.b, 1e-13)
+			if err != nil {
+				t.Fatalf("BrentRoot: %v", err)
+			}
+			if !EqualWithinAbs(got, tt.want, 1e-9) {
+				t.Errorf("BrentRoot = %.15g, want %.15g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBrentRootNoBracket(t *testing.T) {
+	_, err := BrentRoot(func(x float64) float64 { return 1 + x*x }, -3, 3, 1e-12)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBracketRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	lo, hi, err := BracketRoot(f, 0, 1, 50)
+	if err != nil {
+		t.Fatalf("BracketRoot: %v", err)
+	}
+	if f(lo)*f(hi) > 0 {
+		t.Errorf("interval [%g, %g] does not bracket", lo, hi)
+	}
+	if _, _, err := BracketRoot(func(float64) float64 { return 1 }, 0, 1, 5); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("constant function: want ErrNoBracket, got %v", err)
+	}
+	if _, _, err := BracketRoot(f, 2, 1, 5); err == nil {
+		t.Error("a >= b: want error")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func
+		x    float64
+		want float64
+	}{
+		{name: "sin at 0", f: math.Sin, x: 0, want: 1},
+		{name: "exp at 1", f: math.Exp, x: 1, want: math.E},
+		{name: "square at 3", f: func(x float64) float64 { return x * x }, x: 3, want: 6},
+		{name: "log at 2", f: math.Log, x: 2, want: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Derivative(tt.f, tt.x); !EqualWithin(got, tt.want, 1e-6) {
+				t.Errorf("Derivative = %g, want %g", got, tt.want)
+			}
+			if got := DerivativeRichardson(tt.f, tt.x); !EqualWithin(got, tt.want, 1e-8) {
+				t.Errorf("DerivativeRichardson = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSecondDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x * x * x }
+	if got := SecondDerivative(f, 2); !EqualWithin(got, 12, 1e-4) {
+		t.Errorf("SecondDerivative(x³, 2) = %g, want 12", got)
+	}
+}
+
+func TestGradient(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + 3*x[1] }
+	grad := make([]float64, 2)
+	if err := Gradient(f, []float64{2, 5}, grad); err != nil {
+		t.Fatalf("Gradient: %v", err)
+	}
+	if !EqualWithin(grad[0], 4, 1e-6) || !EqualWithin(grad[1], 3, 1e-6) {
+		t.Errorf("Gradient = %v, want [4 3]", grad)
+	}
+	if err := Gradient(f, []float64{1}, grad); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestJacobian(t *testing.T) {
+	r := func(x []float64) ([]float64, error) {
+		return []float64{x[0] * x[1], x[0] + 2*x[1]}, nil
+	}
+	x := []float64{3, 4}
+	r0, _ := r(x)
+	jac := [][]float64{make([]float64, 2), make([]float64, 2)}
+	if err := Jacobian(r, x, r0, jac); err != nil {
+		t.Fatalf("Jacobian: %v", err)
+	}
+	want := [][]float64{{4, 3}, {1, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if !EqualWithin(jac[i][j], want[i][j], 1e-5) {
+				t.Errorf("jac[%d][%d] = %g, want %g", i, j, jac[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaRegPKnownValues(t *testing.T) {
+	// Reference values computed from the identity P(1, x) = 1 - e^{-x}
+	// and published tables for other shapes.
+	tests := []struct {
+		name string
+		a, x float64
+		want float64
+	}{
+		{name: "a=1 x=0", a: 1, x: 0, want: 0},
+		{name: "a=1 x=1", a: 1, x: 1, want: 1 - math.Exp(-1)},
+		{name: "a=1 x=5", a: 1, x: 5, want: 1 - math.Exp(-5)},
+		{name: "a=2 x=2", a: 2, x: 2, want: 1 - 3*math.Exp(-2)},
+		{name: "a=0.5 x=0.25", a: 0.5, x: 0.25, want: math.Erf(0.5)},
+		{name: "a=0.5 x=4", a: 0.5, x: 4, want: math.Erf(2)},
+		{name: "a=3 x=10", a: 3, x: 10, want: 1 - math.Exp(-10)*(1+10+50)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := GammaRegP(tt.a, tt.x)
+			if err != nil {
+				t.Fatalf("GammaRegP(%g, %g) error: %v", tt.a, tt.x, err)
+			}
+			if !EqualWithin(got, tt.want, 1e-12) {
+				t.Errorf("GammaRegP(%g, %g) = %.15g, want %.15g", tt.a, tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGammaRegPInvalidInputs(t *testing.T) {
+	tests := []struct {
+		name string
+		a, x float64
+	}{
+		{name: "a zero", a: 0, x: 1},
+		{name: "a negative", a: -2, x: 1},
+		{name: "x negative", a: 1, x: -1},
+		{name: "a NaN", a: math.NaN(), x: 1},
+		{name: "x NaN", a: 1, x: math.NaN()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := GammaRegP(tt.a, tt.x); err == nil {
+				t.Errorf("GammaRegP(%g, %g): want error, got nil", tt.a, tt.x)
+			}
+			if _, err := GammaRegQ(tt.a, tt.x); err == nil {
+				t.Errorf("GammaRegQ(%g, %g): want error, got nil", tt.a, tt.x)
+			}
+		})
+	}
+}
+
+func TestGammaRegComplement(t *testing.T) {
+	// P + Q must equal 1 across a grid spanning both algorithm branches.
+	for _, a := range []float64{0.3, 0.5, 1, 2, 5, 10, 50} {
+		for _, x := range []float64{0.01, 0.5, 1, 2, 5, 10, 60} {
+			p, err := GammaRegP(a, x)
+			if err != nil {
+				t.Fatalf("P(%g,%g): %v", a, x, err)
+			}
+			q, err := GammaRegQ(a, x)
+			if err != nil {
+				t.Fatalf("Q(%g,%g): %v", a, x, err)
+			}
+			if !EqualWithin(p+q, 1, 1e-10) {
+				t.Errorf("P+Q at a=%g x=%g: %.15g", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestGammaRegPMonotoneInX(t *testing.T) {
+	// Property: for fixed a, P(a, x) is nondecreasing in x and in [0, 1].
+	f := func(aSeed, x1Seed, x2Seed uint32) bool {
+		a := 0.1 + float64(aSeed%1000)/50          // (0.1, 20.1]
+		x1 := float64(x1Seed%10000) / 100          // [0, 100)
+		x2 := x1 + float64(x2Seed%10000)/100 + 0.1 // > x1
+		p1, err1 := GammaRegP(a, x1)
+		p2, err2 := GammaRegP(a, x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1 >= -1e-15 && p2 <= 1+1e-12 && p2 >= p1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(1,1)=1, B(2,3)=1/12, B(0.5,0.5)=π.
+	tests := []struct {
+		a, b, want float64
+	}{
+		{1, 1, 0},
+		{2, 3, math.Log(1.0 / 12.0)},
+		{0.5, 0.5, math.Log(math.Pi)},
+	}
+	for _, tt := range tests {
+		got, err := LogBeta(tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("LogBeta(%g,%g): %v", tt.a, tt.b, err)
+		}
+		if !EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("LogBeta(%g,%g) = %g, want %g", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if _, err := LogBeta(0, 1); err == nil {
+		t.Error("LogBeta(0,1): want error")
+	}
+}
+
+func TestLog1pExp(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, math.Log(2)},
+		{1, math.Log(1 + math.E)},
+		{100, 100},
+		{-100, math.Exp(-100)},
+	}
+	for _, tt := range tests {
+		if got := Log1pExp(tt.x); !EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("Log1pExp(%g) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/numeric"
+)
+
+// LeastSquares minimizes ½‖r(x)‖² with the Levenberg–Marquardt algorithm
+// using a forward-difference Jacobian. It is used to polish Nelder–Mead
+// solutions of the paper's least-squares objective (Eq. 8): LM converges
+// quadratically near a minimum where the simplex crawls.
+//
+// The residual function may return an error to signal an infeasible point;
+// the solver treats trial points that error as rejected steps, but returns
+// the error if the starting point itself is infeasible.
+func LeastSquares(res Residual, x0 []float64, opts Options) (Result, error) {
+	if res == nil || len(x0) == 0 {
+		return Result{}, fmt.Errorf("%w: nil residual or empty start", ErrBadInput)
+	}
+	opts = opts.withDefaults()
+	n := len(x0)
+
+	evals := 0
+	x := append([]float64(nil), x0...)
+	r0, err := res(x)
+	evals++
+	if err != nil {
+		return Result{}, fmt.Errorf("optimize: residual at start: %w", err)
+	}
+	if len(r0) == 0 {
+		return Result{}, fmt.Errorf("%w: residual returned no components", ErrBadInput)
+	}
+	m := len(r0)
+	cost := halfSq(r0)
+
+	jac := make([][]float64, m)
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+
+	lambda := 1e-3
+	const (
+		lambdaUp   = 10
+		lambdaDown = 10
+		lambdaMax  = 1e12
+		lambdaMin  = 1e-14
+	)
+
+	iter := 0
+	for ; iter < opts.MaxIterations; iter++ {
+		// Numerical Jacobian at the current point (forward differences;
+		// each column costs one residual evaluation).
+		if err := numeric.Jacobian(wrapResidual(res, &evals), x, r0, jac); err != nil {
+			return Result{
+				X: x, F: cost, Status: Stalled, Iterations: iter, FuncEvals: evals,
+			}, nil
+		}
+		jtj := numeric.MatTMul(jac)
+		jtr := numeric.MatTVec(jac, r0)
+
+		gradNorm := numeric.Norm2(jtr)
+		if gradNorm <= opts.TolF*(1+cost) {
+			return Result{X: x, F: cost, Status: Converged, Iterations: iter, FuncEvals: evals}, nil
+		}
+
+		stepped := false
+		for lambda <= lambdaMax {
+			// Solve (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr.
+			a := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				a[i] = append([]float64(nil), jtj[i]...)
+				damping := jtj[i][i]
+				if damping <= 0 {
+					damping = 1
+				}
+				a[i][i] += lambda * damping
+			}
+			negJtr := make([]float64, n)
+			for i := range jtr {
+				negJtr[i] = -jtr[i]
+			}
+			delta, solveErr := numeric.SolveLinear(a, negJtr)
+			if solveErr != nil {
+				lambda *= lambdaUp
+				continue
+			}
+			trial := make([]float64, n)
+			for i := range x {
+				trial[i] = x[i] + delta[i]
+			}
+			rTrial, rErr := res(trial)
+			evals++
+			if rErr != nil || len(rTrial) != m || !numeric.AllFinite(rTrial) {
+				lambda *= lambdaUp
+				continue
+			}
+			trialCost := halfSq(rTrial)
+			if trialCost < cost {
+				// Accept.
+				stepNorm := numeric.Norm2(delta)
+				improvement := cost - trialCost
+				x = trial
+				r0 = rTrial
+				cost = trialCost
+				lambda = math.Max(lambda/lambdaDown, lambdaMin)
+				if stepNorm <= opts.TolX*(1+numeric.Norm2(x)) ||
+					improvement <= opts.TolF*(1+cost) {
+					return Result{X: x, F: cost, Status: Converged, Iterations: iter + 1, FuncEvals: evals}, nil
+				}
+				stepped = true
+				break
+			}
+			lambda *= lambdaUp
+		}
+		if !stepped {
+			return Result{X: x, F: cost, Status: Stalled, Iterations: iter, FuncEvals: evals}, nil
+		}
+	}
+	return Result{X: x, F: cost, Status: MaxIterations, Iterations: iter, FuncEvals: evals}, nil
+}
+
+// wrapResidual adapts a Residual to the signature numeric.Jacobian expects
+// while counting evaluations and converting errors into NaN rows (the
+// Jacobian step then fails cleanly instead of panicking).
+func wrapResidual(res Residual, evals *int) func([]float64) ([]float64, error) {
+	return func(x []float64) ([]float64, error) {
+		*evals++
+		r, err := res(x)
+		if err != nil {
+			return nil, err
+		}
+		if !numeric.AllFinite(r) {
+			return nil, errors.New("optimize: non-finite residual")
+		}
+		return r, nil
+	}
+}
+
+func halfSq(r []float64) float64 {
+	var s float64
+	for _, v := range r {
+		s += v * v
+	}
+	return s / 2
+}

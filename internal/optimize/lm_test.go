@@ -1,0 +1,142 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// expDecayData is y = 2·e^{-0.5 t} sampled on t = 0..9, the canonical
+// nonlinear least-squares test problem.
+func expDecayResidual(x []float64) ([]float64, error) {
+	r := make([]float64, 10)
+	for i := range r {
+		t := float64(i)
+		want := 2 * math.Exp(-0.5*t)
+		r[i] = x[0]*math.Exp(-x[1]*t) - want
+	}
+	return r, nil
+}
+
+func TestLeastSquaresLinearFit(t *testing.T) {
+	// Fit y = a + b·t to exact data from a=1, b=2.
+	res := func(x []float64) ([]float64, error) {
+		r := make([]float64, 5)
+		for i := range r {
+			ti := float64(i)
+			r[i] = x[0] + x[1]*ti - (1 + 2*ti)
+		}
+		return r, nil
+	}
+	r, err := LeastSquares(res, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-6 || math.Abs(r.X[1]-2) > 1e-6 {
+		t.Errorf("X = %v, want (1, 2)", r.X)
+	}
+	if r.F > 1e-12 {
+		t.Errorf("F = %g", r.F)
+	}
+}
+
+func TestLeastSquaresExpDecay(t *testing.T) {
+	r, err := LeastSquares(expDecayResidual, []float64{1, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-5 || math.Abs(r.X[1]-0.5) > 1e-5 {
+		t.Errorf("X = %v, want (2, 0.5); F = %g, status %v", r.X, r.F, r.Status)
+	}
+}
+
+func TestLeastSquaresNoisyProblemConverges(t *testing.T) {
+	// Deterministic "noise" keeps the minimum near but not at (2, 0.5);
+	// LM should still converge to a finite stationary point.
+	res := func(x []float64) ([]float64, error) {
+		r := make([]float64, 20)
+		for i := range r {
+			ti := float64(i) / 2
+			noise := 0.01 * math.Sin(7*ti)
+			r[i] = x[0]*math.Exp(-x[1]*ti) - (2*math.Exp(-0.5*ti) + noise)
+		}
+		return r, nil
+	}
+	r, err := LeastSquares(res, []float64{1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 0.1 || math.Abs(r.X[1]-0.5) > 0.1 {
+		t.Errorf("X = %v, want near (2, 0.5)", r.X)
+	}
+}
+
+func TestLeastSquaresBadInput(t *testing.T) {
+	if _, err := LeastSquares(nil, []float64{1}, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil residual: %v", err)
+	}
+	if _, err := LeastSquares(expDecayResidual, nil, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty start: %v", err)
+	}
+	empty := func([]float64) ([]float64, error) { return nil, nil }
+	if _, err := LeastSquares(empty, []float64{1}, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty residual vector: %v", err)
+	}
+	failing := func([]float64) ([]float64, error) { return nil, errors.New("boom") }
+	if _, err := LeastSquares(failing, []float64{1}, Options{}); err == nil {
+		t.Error("failing start residual: want error")
+	}
+}
+
+func TestLeastSquaresAlreadyAtMinimum(t *testing.T) {
+	r, err := LeastSquares(expDecayResidual, []float64{2, 0.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.F > 1e-12 {
+		t.Errorf("F at exact minimum = %g", r.F)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, fx, err := GoldenSection(func(x float64) float64 { return (x - 3) * (x - 3) }, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 1e-6 || fx > 1e-10 {
+		t.Errorf("GoldenSection = %g (f=%g), want 3", x, fx)
+	}
+	if _, _, err := GoldenSection(nil, 0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil func: %v", err)
+	}
+	if _, _, err := GoldenSection(math.Sin, 2, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("a >= b: %v", err)
+	}
+}
+
+func TestBrentMin(t *testing.T) {
+	cases := []struct {
+		name  string
+		f     ScalarFunc
+		a, b  float64
+		wantX float64
+	}{
+		{"parabola", func(x float64) float64 { return (x - 2) * (x - 2) }, -5, 5, 2},
+		{"quartic", func(x float64) float64 { return math.Pow(x-1, 4) }, -3, 4, 1},
+		{"cosine", math.Cos, 0, 2 * math.Pi, math.Pi},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, _, err := BrentMin(tc.f, tc.a, tc.b, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(x-tc.wantX) > 1e-4 {
+				t.Errorf("x = %g, want %g", x, tc.wantX)
+			}
+		})
+	}
+	if _, _, err := BrentMin(nil, 0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil func: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Halton returns the n-th element (1-indexed) of the Halton low-discrepancy
+// sequence in the given prime base. Halton points fill the unit interval
+// far more evenly than pseudorandom draws, which makes small multistart
+// budgets effective — and, unlike math/rand, the sequence is reproducible
+// by construction with no seed plumbing.
+func Halton(n, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for n > 0 {
+		f /= float64(base)
+		r += f * float64(n%base)
+		n /= base
+	}
+	return r
+}
+
+// _haltonBases are the first primes, one per parameter dimension.
+var _haltonBases = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// StartPoints generates count quasirandom starting points inside the
+// finite box [lo, hi]^n using the Halton sequence. Infinite bounds are
+// replaced by a default window around zero, which is adequate for the
+// scaled parameters used by the resilience models.
+func StartPoints(b Bounds, count int) ([][]float64, error) {
+	n := b.Len()
+	if n == 0 || count <= 0 {
+		return nil, fmt.Errorf("%w: empty bounds or non-positive count", ErrBadInput)
+	}
+	if n > len(_haltonBases) {
+		return nil, fmt.Errorf("%w: at most %d dimensions supported", ErrBadInput, len(_haltonBases))
+	}
+	const window = 10.0
+	pts := make([][]float64, count)
+	for k := 0; k < count; k++ {
+		x := make([]float64, n)
+		for j := 0; j < n; j++ {
+			u := Halton(k+1, _haltonBases[j])
+			lo, hi := b.Lo[j], b.Hi[j]
+			if math.IsInf(lo, -1) {
+				lo = -window
+			}
+			if math.IsInf(hi, 1) {
+				hi = math.Max(lo, -window) + 2*window
+			}
+			x[j] = lo + u*(hi-lo)
+		}
+		pts[k] = x
+	}
+	return pts, nil
+}
+
+// MultiStartConfig configures MultiStart.
+type MultiStartConfig struct {
+	// Starts is the number of Nelder–Mead launches (default 8). The first
+	// start is always the caller-provided initial guess when one is given.
+	Starts int
+	// Bounds constrains the search box; required.
+	Bounds Bounds
+	// Local configures each local solve.
+	Local Options
+	// Polish enables a Levenberg–Marquardt refinement of the best
+	// Nelder–Mead solution when a Residual is available.
+	Polish bool
+}
+
+// MultiStart minimizes obj over the bounded box by launching Nelder–Mead
+// from quasirandom start points (plus the optional initial guess x0) and
+// keeping the best local solution. If cfg.Polish is set and res is
+// non-nil, the winner is refined with Levenberg–Marquardt. The objective
+// is evaluated in the original (bounded) coordinates; the box is enforced
+// through the smooth Bounds transform.
+func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig) (Result, error) {
+	if obj == nil {
+		return Result{}, fmt.Errorf("%w: nil objective", ErrBadInput)
+	}
+	if cfg.Bounds.Len() == 0 {
+		return Result{}, fmt.Errorf("%w: bounds required", ErrBadInput)
+	}
+	if cfg.Starts <= 0 {
+		cfg.Starts = 8
+	}
+
+	wrapped := func(z []float64) float64 {
+		return obj(cfg.Bounds.Decode(z))
+	}
+
+	starts, err := StartPoints(cfg.Bounds, cfg.Starts)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(x0) == cfg.Bounds.Len() {
+		starts = append([][]float64{x0}, starts[:len(starts)-1]...)
+	}
+
+	var (
+		best      Result
+		haveBest  bool
+		totalIter int
+		totalEval int
+	)
+	for _, start := range starts {
+		z0 := cfg.Bounds.Encode(start)
+		r, nmErr := NelderMead(wrapped, z0, cfg.Local)
+		if nmErr != nil {
+			continue
+		}
+		totalIter += r.Iterations
+		totalEval += r.FuncEvals
+		if !haveBest || r.F < best.F {
+			r.X = cfg.Bounds.Decode(r.X)
+			best = r
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return Result{}, fmt.Errorf("%w: every start failed", ErrBadInput)
+	}
+
+	if cfg.Polish && res != nil {
+		if polished, lmErr := LeastSquares(res, best.X, cfg.Local); lmErr == nil {
+			f := sanitize(obj(polished.X))
+			totalIter += polished.Iterations
+			totalEval += polished.FuncEvals
+			if f < best.F && cfg.Bounds.Contains(polished.X) {
+				best.X = polished.X
+				best.F = f
+				best.Status = polished.Status
+			}
+		}
+	}
+	best.Iterations = totalIter
+	best.FuncEvals = totalEval
+	return best, nil
+}

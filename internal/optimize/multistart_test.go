@@ -1,0 +1,230 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaltonProperties(t *testing.T) {
+	// All values in (0,1), and the base-2 prefix is the van der Corput
+	// sequence 1/2, 1/4, 3/4, 1/8, ...
+	want := []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875}
+	for i, w := range want {
+		if got := Halton(i+1, 2); math.Abs(got-w) > 1e-15 {
+			t.Errorf("Halton(%d, 2) = %g, want %g", i+1, got, w)
+		}
+	}
+	f := func(n uint16, baseIdx uint8) bool {
+		bases := []int{2, 3, 5, 7}
+		h := Halton(int(n)+1, bases[int(baseIdx)%len(bases)])
+		return h > 0 && h < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartPointsInsideBox(t *testing.T) {
+	b, err := NewBounds([]float64{-1, 0, 5}, []float64{1, 10, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := StartPoints(b, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		for j := range p {
+			if p[j] < b.Lo[j] || p[j] > b.Hi[j] {
+				t.Fatalf("point %v outside box", p)
+			}
+		}
+	}
+}
+
+func TestStartPointsInfiniteBounds(t *testing.T) {
+	pts, err := StartPoints(Unbounded(2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		for _, v := range p {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("non-finite start %v", p)
+			}
+		}
+	}
+}
+
+func TestStartPointsErrors(t *testing.T) {
+	if _, err := StartPoints(Bounds{}, 3); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty bounds: %v", err)
+	}
+	if _, err := StartPoints(Unbounded(2), 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero count: %v", err)
+	}
+	if _, err := StartPoints(Unbounded(13), 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("too many dims: %v", err)
+	}
+}
+
+func TestBoundsDecodeEncodeRoundTrip(t *testing.T) {
+	b, err := NewBounds(
+		[]float64{0, math.Inf(-1), -5, math.Inf(-1)},
+		[]float64{1, math.Inf(1), math.Inf(1), 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -7, 2, -1}
+	z := b.Encode(x)
+	back := b.Decode(z)
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-8 {
+			t.Errorf("round trip [%d]: %g -> %g", i, x[i], back[i])
+		}
+	}
+}
+
+func TestBoundsDecodeAlwaysInside(t *testing.T) {
+	b, err := NewBounds([]float64{2, 0}, []float64{5, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(z1, z2 int16) bool {
+		z := []float64{float64(z1) / 100, float64(z2) / 100}
+		x := b.Decode(z)
+		return x[0] > 2 && x[0] < 5 && x[1] > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsEncodeNudgesBoundaryPoints(t *testing.T) {
+	b, err := NewBounds([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, -0.5, 2} {
+		z := b.Encode([]float64{x})
+		if !numericFinite(z[0]) {
+			t.Errorf("Encode(%g) produced %g", x, z[0])
+		}
+	}
+	lower, err := NewBounds([]float64{1}, []float64{math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := lower.Encode([]float64{0.5}); !numericFinite(z[0]) {
+		t.Errorf("Encode below lower bound produced %g", z[0])
+	}
+	upper, err := NewBounds([]float64{math.Inf(-1)}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := upper.Encode([]float64{3}); !numericFinite(z[0]) {
+		t.Errorf("Encode above upper bound produced %g", z[0])
+	}
+}
+
+func numericFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+func TestNewBoundsValidation(t *testing.T) {
+	if _, err := NewBounds([]float64{0}, []float64{0, 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := NewBounds([]float64{1}, []float64{0}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("inverted: %v", err)
+	}
+	if _, err := NewBounds([]float64{math.NaN()}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("NaN: %v", err)
+	}
+}
+
+func TestBoundsContains(t *testing.T) {
+	b, _ := NewBounds([]float64{0, math.Inf(-1)}, []float64{1, math.Inf(1)})
+	if !b.Contains([]float64{0.5, 100}) {
+		t.Error("interior point reported outside")
+	}
+	if b.Contains([]float64{-0.1, 0}) || b.Contains([]float64{1.5, 0}) {
+		t.Error("exterior point reported inside")
+	}
+	if b.Contains([]float64{0.5}) {
+		t.Error("wrong length should be outside")
+	}
+}
+
+func TestPositiveAndUnbounded(t *testing.T) {
+	p := Positive(3)
+	if p.Len() != 3 || p.Lo[0] != 0 || !math.IsInf(p.Hi[2], 1) {
+		t.Errorf("Positive(3) = %+v", p)
+	}
+	u := Unbounded(2)
+	if !math.IsInf(u.Lo[0], -1) || !math.IsInf(u.Hi[1], 1) {
+		t.Errorf("Unbounded(2) = %+v", u)
+	}
+}
+
+func TestMultiStartFindsGlobalMinimum(t *testing.T) {
+	// A two-well function: local min near x=4 (f=0.5), global at x=-3
+	// (f=0). Single NM from x0=4 finds the local well; multistart must
+	// find the global one.
+	obj := func(x []float64) float64 {
+		a := (x[0] - 4) * (x[0] - 4) / 10
+		b := (x[0] + 3) * (x[0] + 3) / 10
+		return math.Min(a+0.5, b)
+	}
+	b, _ := NewBounds([]float64{-10}, []float64{10})
+	r, err := MultiStart(obj, nil, []float64{4}, MultiStartConfig{Starts: 12, Bounds: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]+3) > 1e-3 {
+		t.Errorf("X = %v, want -3 (global); F = %g", r.X, r.F)
+	}
+}
+
+func TestMultiStartWithPolish(t *testing.T) {
+	res := func(x []float64) ([]float64, error) {
+		r := make([]float64, 10)
+		for i := range r {
+			ti := float64(i)
+			r[i] = x[0]*math.Exp(-x[1]*ti) - 2*math.Exp(-0.5*ti)
+		}
+		return r, nil
+	}
+	obj := func(x []float64) float64 {
+		rv, _ := res(x)
+		var s float64
+		for _, v := range rv {
+			s += v * v
+		}
+		return s
+	}
+	b, _ := NewBounds([]float64{0, 0}, []float64{10, 5})
+	r, err := MultiStart(obj, res, nil, MultiStartConfig{Starts: 6, Bounds: b, Polish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-4 || math.Abs(r.X[1]-0.5) > 1e-4 {
+		t.Errorf("X = %v, want (2, 0.5)", r.X)
+	}
+}
+
+func TestMultiStartBadInput(t *testing.T) {
+	b, _ := NewBounds([]float64{0}, []float64{1})
+	if _, err := MultiStart(nil, nil, nil, MultiStartConfig{Bounds: b}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil objective: %v", err)
+	}
+	if _, err := MultiStart(sphere, nil, nil, MultiStartConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no bounds: %v", err)
+	}
+}

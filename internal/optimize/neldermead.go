@@ -1,0 +1,153 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes obj starting from x0 using the Nelder–Mead simplex
+// algorithm with the standard reflection/expansion/contraction/shrink
+// coefficients (1, 2, 0.5, 0.5). It never evaluates derivatives, which
+// makes it the workhorse for the non-smooth least-squares surfaces that
+// arise when resilience models are fit to short, noisy series.
+func NelderMead(obj Objective, x0 []float64, opts Options) (Result, error) {
+	if obj == nil || len(x0) == 0 {
+		return Result{}, fmt.Errorf("%w: nil objective or empty start", ErrBadInput)
+	}
+	opts = opts.withDefaults()
+	n := len(x0)
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return sanitize(obj(x))
+	}
+
+	// Build the initial simplex: x0 plus a perturbation along each axis.
+	simplex := make([][]float64, n+1)
+	fvals := make([]float64, n+1)
+	simplex[0] = append([]float64(nil), x0...)
+	fvals[0] = eval(simplex[0])
+	for i := 0; i < n; i++ {
+		v := append([]float64(nil), x0...)
+		step := opts.SimplexScale * math.Max(1, math.Abs(x0[i]))
+		v[i] += step
+		simplex[i+1] = v
+		fvals[i+1] = eval(v)
+	}
+
+	order := make([]int, n+1)
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+
+	iter := 0
+	for ; iter < opts.MaxIterations; iter++ {
+		// Order vertices by objective value.
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return fvals[order[a]] < fvals[order[b]] })
+		best, worst, secondWorst := order[0], order[n], order[n-1]
+
+		// Convergence: spread of function values and simplex size.
+		fSpread := math.Abs(fvals[worst] - fvals[best])
+		xSpread := 0.0
+		for i := 0; i < n; i++ {
+			d := math.Abs(simplex[worst][i] - simplex[best][i])
+			if d > xSpread {
+				xSpread = d
+			}
+		}
+		scale := math.Max(1, math.Abs(fvals[best]))
+		if fSpread <= opts.TolF*scale && xSpread <= opts.TolX {
+			return Result{
+				X: append([]float64(nil), simplex[best]...), F: fvals[best],
+				Status: Converged, Iterations: iter, FuncEvals: evals,
+			}, nil
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
+		for _, idx := range order[:n] {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[idx][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+
+		// Reflection.
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-simplex[worst][j])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < fvals[best]:
+			// Expansion.
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+			}
+			fe := eval(xe)
+			if fe < fr {
+				copy(simplex[worst], xe)
+				fvals[worst] = fe
+			} else {
+				copy(simplex[worst], xr)
+				fvals[worst] = fr
+			}
+		case fr < fvals[secondWorst]:
+			copy(simplex[worst], xr)
+			fvals[worst] = fr
+		default:
+			// Contraction: outside if the reflected point improved on the
+			// worst vertex, inside otherwise.
+			if fr < fvals[worst] {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + rho*(xr[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + rho*(simplex[worst][j]-centroid[j])
+				}
+			}
+			fc := eval(xc)
+			if fc < math.Min(fr, fvals[worst]) {
+				copy(simplex[worst], xc)
+				fvals[worst] = fc
+			} else {
+				// Shrink every vertex toward the best one.
+				for _, idx := range order[1:] {
+					for j := 0; j < n; j++ {
+						simplex[idx][j] = simplex[best][j] + sigma*(simplex[idx][j]-simplex[best][j])
+					}
+					fvals[idx] = eval(simplex[idx])
+				}
+			}
+		}
+	}
+
+	// Budget exhausted: return the best vertex.
+	best := 0
+	for i := 1; i <= n; i++ {
+		if fvals[i] < fvals[best] {
+			best = i
+		}
+	}
+	return Result{
+		X: append([]float64(nil), simplex[best]...), F: fvals[best],
+		Status: MaxIterations, Iterations: iter, FuncEvals: evals,
+	}, nil
+}

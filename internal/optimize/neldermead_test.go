@@ -1,0 +1,126 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	var s float64
+	for i := 0; i < len(x)-1; i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	r, err := NelderMead(sphere, []float64{3, -4, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Converged {
+		t.Errorf("status = %v", r.Status)
+	}
+	for i, v := range r.X {
+		if math.Abs(v) > 1e-5 {
+			t.Errorf("x[%d] = %g, want ~0", i, v)
+		}
+	}
+	if r.F > 1e-10 {
+		t.Errorf("F = %g", r.F)
+	}
+}
+
+func TestNelderMeadRosenbrock2D(t *testing.T) {
+	r, err := NelderMead(rosenbrock, []float64{-1.2, 1}, Options{MaxIterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-4 || math.Abs(r.X[1]-1) > 1e-4 {
+		t.Errorf("X = %v, want (1, 1); F = %g", r.X, r.F)
+	}
+}
+
+func TestNelderMeadQuadraticWithOffset(t *testing.T) {
+	obj := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + 3*(x[1]+1)*(x[1]+1) + 7
+	}
+	r, err := NelderMead(obj, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-5 || math.Abs(r.X[1]+1) > 1e-5 {
+		t.Errorf("X = %v, want (2, -1)", r.X)
+	}
+	if math.Abs(r.F-7) > 1e-9 {
+		t.Errorf("F = %g, want 7", r.F)
+	}
+}
+
+func TestNelderMeadHandlesNaNRegions(t *testing.T) {
+	// Objective is NaN for x < 0; minimum at x = 1 from start in the
+	// feasible region. The solver must not get stuck on NaN.
+	obj := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 1) * (x[0] - 1)
+	}
+	r, err := NelderMead(obj, []float64{0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-5 {
+		t.Errorf("X = %v, want 1", r.X)
+	}
+}
+
+func TestNelderMeadBadInput(t *testing.T) {
+	if _, err := NelderMead(nil, []float64{1}, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil objective: %v", err)
+	}
+	if _, err := NelderMead(sphere, nil, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty start: %v", err)
+	}
+}
+
+func TestNelderMeadRespectsIterationBudget(t *testing.T) {
+	r, err := NelderMead(rosenbrock, []float64{-1.2, 1}, Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != MaxIterations {
+		t.Errorf("status = %v, want MaxIterations", r.Status)
+	}
+	if r.Iterations > 5 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{Converged, "converged"},
+		{MaxIterations, "max-iterations"},
+		{Stalled, "stalled"},
+		{Status(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package optimize provides the derivative-free and least-squares
+// optimizers used to fit resilience models by least squares (Eq. 8 of the
+// paper): Nelder–Mead simplex search, Levenberg–Marquardt with a numerical
+// Jacobian, golden-section and Brent scalar minimization, box-constraint
+// parameter transforms, and a deterministic multistart driver.
+//
+// Everything is hand-rolled on the standard library; there is no
+// dependency on gonum or any other numerical package.
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// Objective is a scalar-valued function of a parameter vector. Objectives
+// may return +Inf or NaN for infeasible points; the solvers treat such
+// points as arbitrarily bad rather than erroring.
+type Objective func(x []float64) float64
+
+// Residual is a vector-valued function whose squared norm is minimized by
+// least-squares solvers.
+type Residual func(x []float64) ([]float64, error)
+
+// Status describes how an optimization run terminated.
+type Status int
+
+// Termination statuses.
+const (
+	// Converged means the tolerance criteria were met.
+	Converged Status = iota + 1
+	// MaxIterations means the iteration budget ran out first; the result
+	// is still the best point seen.
+	MaxIterations
+	// Stalled means the solver could make no further progress (e.g. a
+	// degenerate simplex or singular normal equations) before meeting its
+	// tolerances; the best point seen is returned.
+	Stalled
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case MaxIterations:
+		return "max-iterations"
+	case Stalled:
+		return "stalled"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// X is the best parameter vector found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Status reports why the run stopped.
+	Status Status
+	// Iterations is the number of major iterations performed.
+	Iterations int
+	// FuncEvals is the number of objective or residual evaluations.
+	FuncEvals int
+}
+
+// Options configures the iterative solvers. The zero value selects
+// sensible defaults via withDefaults.
+type Options struct {
+	// MaxIterations bounds the number of major iterations (default 2000).
+	MaxIterations int
+	// TolF is the function-value convergence tolerance (default 1e-12).
+	TolF float64
+	// TolX is the parameter convergence tolerance (default 1e-10).
+	TolX float64
+	// SimplexScale sets the initial Nelder–Mead simplex edge relative to
+	// each coordinate's magnitude (default 0.05).
+	SimplexScale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 2000
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-12
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-10
+	}
+	if o.SimplexScale <= 0 {
+		o.SimplexScale = 0.05
+	}
+	return o
+}
+
+// ErrBadInput is returned when a solver is invoked with an unusable
+// starting point or malformed configuration.
+var ErrBadInput = errors.New("optimize: bad input")
+
+// sanitize maps NaN objective values to +Inf so comparisons stay total.
+func sanitize(f float64) float64 {
+	if math.IsNaN(f) {
+		return math.Inf(1)
+	}
+	return f
+}

@@ -1,0 +1,109 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Powell minimizes obj starting from x0 using Powell's direction-set
+// method: successive line minimizations (Brent) along an evolving basis
+// of conjugate directions. Like Nelder–Mead it needs no derivatives, but
+// it exploits smoothness through its exact line searches, which makes it
+// a useful cross-check on curve-fitting problems — two different
+// derivative-free algorithms agreeing on a minimum is strong evidence it
+// is real.
+func Powell(obj Objective, x0 []float64, opts Options) (Result, error) {
+	if obj == nil || len(x0) == 0 {
+		return Result{}, fmt.Errorf("%w: nil objective or empty start", ErrBadInput)
+	}
+	opts = opts.withDefaults()
+	n := len(x0)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return sanitize(obj(x))
+	}
+
+	// Direction set starts as the coordinate basis, scaled to each
+	// coordinate's magnitude.
+	dirs := make([][]float64, n)
+	for i := range dirs {
+		dirs[i] = make([]float64, n)
+		dirs[i][i] = opts.SimplexScale * math.Max(1, math.Abs(x0[i]))
+	}
+
+	x := append([]float64(nil), x0...)
+	fx := eval(x)
+
+	// lineMin minimizes along x + t·dir for t in a bracketed window,
+	// updating x in place and returning the new value.
+	lineMin := func(dir []float64) float64 {
+		g := func(t float64) float64 {
+			trial := make([]float64, n)
+			for i := range trial {
+				trial[i] = x[i] + t*dir[i]
+			}
+			return eval(trial)
+		}
+		// Fixed symmetric window in step units: the direction vectors
+		// carry the scale.
+		tBest, fBest, err := BrentMin(g, -4, 4, opts.TolX)
+		if err != nil || fBest >= fx {
+			return fx
+		}
+		for i := range x {
+			x[i] += tBest * dir[i]
+		}
+		return fBest
+	}
+
+	iter := 0
+	for ; iter < opts.MaxIterations; iter++ {
+		fStart := fx
+		xStart := append([]float64(nil), x...)
+
+		// One pass of line minimizations; remember the biggest drop.
+		biggestDrop := 0.0
+		biggestIdx := 0
+		for i := 0; i < n; i++ {
+			fPrev := fx
+			fx = lineMin(dirs[i])
+			if drop := fPrev - fx; drop > biggestDrop {
+				biggestDrop, biggestIdx = drop, i
+			}
+		}
+
+		// Convergence on function decrease.
+		scale := math.Max(1, math.Abs(fx))
+		if fStart-fx <= opts.TolF*scale {
+			return Result{
+				X: x, F: fx, Status: Converged,
+				Iterations: iter + 1, FuncEvals: evals,
+			}, nil
+		}
+
+		// Powell's update: try the average direction of the pass; if the
+		// extrapolated point keeps improving, replace the direction of
+		// biggest decrease with it (maintains approximate conjugacy).
+		avg := make([]float64, n)
+		extrap := make([]float64, n)
+		for i := range avg {
+			avg[i] = x[i] - xStart[i]
+			extrap[i] = 2*x[i] - xStart[i]
+		}
+		fExtrap := eval(extrap)
+		if fExtrap < fStart {
+			t1 := fStart - fx - biggestDrop
+			t2 := fStart - fExtrap
+			if 2*(fStart-2*fx+fExtrap)*t1*t1 < t2*t2*biggestDrop {
+				fx = lineMin(avg)
+				dirs[biggestIdx] = avg
+			}
+		}
+	}
+	return Result{
+		X: x, F: fx, Status: MaxIterations,
+		Iterations: iter, FuncEvals: evals,
+	}, nil
+}

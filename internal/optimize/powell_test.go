@@ -1,0 +1,113 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPowellSphere(t *testing.T) {
+	r, err := Powell(sphere, []float64{3, -4, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.X {
+		if math.Abs(v) > 1e-4 {
+			t.Errorf("x[%d] = %g, want ~0 (F=%g, status %v)", i, v, r.F, r.Status)
+		}
+	}
+}
+
+func TestPowellQuadraticWithOffset(t *testing.T) {
+	obj := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + 3*(x[1]+1)*(x[1]+1) + 7
+	}
+	r, err := Powell(obj, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-4 || math.Abs(r.X[1]+1) > 1e-4 {
+		t.Errorf("X = %v, want (2, -1)", r.X)
+	}
+	if math.Abs(r.F-7) > 1e-7 {
+		t.Errorf("F = %g, want 7", r.F)
+	}
+}
+
+func TestPowellRosenbrock(t *testing.T) {
+	r, err := Powell(rosenbrock, []float64{-1.2, 1}, Options{MaxIterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-2 || math.Abs(r.X[1]-1) > 1e-2 {
+		t.Errorf("X = %v, want (1, 1); F = %g", r.X, r.F)
+	}
+}
+
+func TestPowellAgreesWithNelderMead(t *testing.T) {
+	// Two independent derivative-free methods must land on the same
+	// minimum of a smooth curve-fitting-style objective.
+	obj := func(x []float64) float64 {
+		var s float64
+		for i := 0; i < 20; i++ {
+			ti := float64(i)
+			want := 2*math.Exp(-0.3*ti) + 0.5
+			got := x[0]*math.Exp(-x[1]*ti) + x[2]
+			d := got - want
+			s += d * d
+		}
+		return s
+	}
+	start := []float64{1, 0.1, 0}
+	nm, err := NelderMead(obj, start, Options{MaxIterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := Powell(obj, start, Options{MaxIterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nm.F-pw.F) > 1e-6 {
+		t.Errorf("NM F=%g vs Powell F=%g", nm.F, pw.F)
+	}
+	for i := range nm.X {
+		if math.Abs(nm.X[i]-pw.X[i]) > 1e-2 {
+			t.Errorf("x[%d]: NM %g vs Powell %g", i, nm.X[i], pw.X[i])
+		}
+	}
+}
+
+func TestPowellHandlesNaNRegions(t *testing.T) {
+	obj := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 1) * (x[0] - 1)
+	}
+	r, err := Powell(obj, []float64{0.3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-4 {
+		t.Errorf("X = %v, want 1", r.X)
+	}
+}
+
+func TestPowellBadInput(t *testing.T) {
+	if _, err := Powell(nil, []float64{1}, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil objective: %v", err)
+	}
+	if _, err := Powell(sphere, nil, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty start: %v", err)
+	}
+}
+
+func TestPowellRespectsBudget(t *testing.T) {
+	r, err := Powell(rosenbrock, []float64{-1.2, 1}, Options{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iterations > 2 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}

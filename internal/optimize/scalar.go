@@ -1,0 +1,129 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScalarFunc is a one-dimensional objective.
+type ScalarFunc func(x float64) float64
+
+// GoldenSection minimizes f on [a, b] by golden-section search to the
+// given absolute x tolerance. f should be unimodal on [a, b]; on
+// multimodal functions it converges to some local minimum.
+func GoldenSection(f ScalarFunc, a, b, tol float64) (x, fx float64, err error) {
+	if f == nil || !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN(), math.NaN(), fmt.Errorf("%w: need f and a < b", ErrBadInput)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2 // 1/φ
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := sanitize(f(c)), sanitize(f(d))
+	for i := 0; i < 500 && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = sanitize(f(c))
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = sanitize(f(d))
+		}
+	}
+	if fc < fd {
+		return c, fc, nil
+	}
+	return d, fd, nil
+}
+
+// BrentMin minimizes f on [a, b] with Brent's parabolic-interpolation
+// method, which converges superlinearly on smooth unimodal functions while
+// retaining golden-section robustness.
+func BrentMin(f ScalarFunc, a, b, tol float64) (x, fx float64, err error) {
+	if f == nil || !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN(), math.NaN(), fmt.Errorf("%w: need f and a < b", ErrBadInput)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	const (
+		cgold = 0.3819660112501051
+		eps   = 1e-14
+	)
+	var d, e float64
+	xCur := a + cgold*(b-a)
+	w, v := xCur, xCur
+	fxv := sanitize(f(xCur))
+	fw, fv := fxv, fxv
+	for i := 0; i < 500; i++ {
+		xm := (a + b) / 2
+		tol1 := tol*math.Abs(xCur) + eps
+		tol2 := 2 * tol1
+		if math.Abs(xCur-xm) <= tol2-(b-a)/2 {
+			return xCur, fxv, nil
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through (v, fv), (w, fw), (x, fx).
+			r := (xCur - w) * (fxv - fv)
+			q := (xCur - v) * (fxv - fw)
+			p := (xCur-v)*q - (xCur-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(q*etemp/2) && p > q*(a-xCur) && p < q*(b-xCur) {
+				d = p / q
+				u := xCur + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-xCur)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if xCur >= xm {
+				e = a - xCur
+			} else {
+				e = b - xCur
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = xCur + d
+		} else {
+			u = xCur + math.Copysign(tol1, d)
+		}
+		fu := sanitize(f(u))
+		if fu <= fxv {
+			if u >= xCur {
+				a = xCur
+			} else {
+				b = xCur
+			}
+			v, w = w, xCur
+			fv, fw = fw, fxv
+			xCur, fxv = u, fu
+		} else {
+			if u < xCur {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == xCur {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == xCur || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return xCur, fxv, nil
+}

@@ -1,0 +1,170 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds describes per-parameter box constraints. An infinite bound on
+// either side leaves that side unconstrained. Bounds are enforced by a
+// smooth change of variables rather than by clipping, so unconstrained
+// solvers (Nelder–Mead, LM) can be used directly: the solver works in an
+// unbounded internal space and Decode maps internal points into the box.
+type Bounds struct {
+	Lo []float64
+	Hi []float64
+}
+
+// NewBounds constructs Bounds and validates that lo[i] < hi[i] wherever
+// both are finite.
+func NewBounds(lo, hi []float64) (Bounds, error) {
+	if len(lo) != len(hi) {
+		return Bounds{}, fmt.Errorf("%w: bounds length mismatch %d vs %d", ErrBadInput, len(lo), len(hi))
+	}
+	for i := range lo {
+		if math.IsNaN(lo[i]) || math.IsNaN(hi[i]) {
+			return Bounds{}, fmt.Errorf("%w: NaN bound at index %d", ErrBadInput, i)
+		}
+		if lo[i] >= hi[i] {
+			return Bounds{}, fmt.Errorf("%w: lo >= hi at index %d (%g >= %g)", ErrBadInput, i, lo[i], hi[i])
+		}
+	}
+	return Bounds{Lo: lo, Hi: hi}, nil
+}
+
+// Unbounded returns Bounds that constrain nothing, for n parameters.
+func Unbounded(n int) Bounds {
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo[i] = math.Inf(-1)
+		hi[i] = math.Inf(1)
+	}
+	return Bounds{Lo: lo, Hi: hi}
+}
+
+// Positive returns Bounds constraining all n parameters to (0, +Inf).
+func Positive(n int) Bounds {
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		hi[i] = math.Inf(1)
+	}
+	return Bounds{Lo: lo, Hi: hi}
+}
+
+// Len returns the number of parameters the bounds cover.
+func (b Bounds) Len() int { return len(b.Lo) }
+
+// Decode maps an unbounded internal vector into the box:
+//   - both bounds finite: logistic map onto (lo, hi)
+//   - only lo finite:     lo + e^z
+//   - only hi finite:     hi - e^z
+//   - neither finite:     identity
+func (b Bounds) Decode(z []float64) []float64 {
+	x := make([]float64, len(z))
+	for i, zi := range z {
+		lo, hi := b.Lo[i], b.Hi[i]
+		loFin, hiFin := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
+		switch {
+		case loFin && hiFin:
+			// Clamp the logistic away from 0 and 1 so that extreme
+			// internal values cannot saturate onto the boundary in
+			// floating point.
+			p := math.Min(math.Max(logistic(zi), 1e-12), 1-1e-12)
+			x[i] = lo + (hi-lo)*p
+		case loFin:
+			x[i] = lo + expFloor(zi, lo)
+		case hiFin:
+			x[i] = hi - expFloor(zi, hi)
+		default:
+			x[i] = zi
+		}
+	}
+	return x
+}
+
+// expFloor is exp(z) bounded below so that anchor ± exp(z) stays strictly
+// off the anchor even when exp(z) underflows relative to |anchor|.
+func expFloor(z, anchor float64) float64 {
+	e := math.Exp(z)
+	floor := 1e-12 * math.Max(1, math.Abs(anchor))
+	if e < floor {
+		return floor
+	}
+	return e
+}
+
+// Encode maps an interior point of the box to internal coordinates; it is
+// the inverse of Decode. Points on or outside the box are nudged inside
+// first so that starting points on a boundary remain usable.
+func (b Bounds) Encode(x []float64) []float64 {
+	z := make([]float64, len(x))
+	for i, xi := range x {
+		lo, hi := b.Lo[i], b.Hi[i]
+		loFin, hiFin := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
+		switch {
+		case loFin && hiFin:
+			width := hi - lo
+			p := (nudge(xi, lo, hi) - lo) / width
+			z[i] = math.Log(p / (1 - p))
+		case loFin:
+			d := xi - lo
+			if d <= 0 {
+				d = 1e-8 * math.Max(1, math.Abs(lo))
+			}
+			z[i] = math.Log(d)
+		case hiFin:
+			d := hi - xi
+			if d <= 0 {
+				d = 1e-8 * math.Max(1, math.Abs(hi))
+			}
+			z[i] = math.Log(d)
+		default:
+			z[i] = xi
+		}
+	}
+	return z
+}
+
+// Contains reports whether x lies strictly inside the box.
+func (b Bounds) Contains(x []float64) bool {
+	if len(x) != b.Len() {
+		return false
+	}
+	for i, xi := range x {
+		if xi <= b.Lo[i] && !math.IsInf(b.Lo[i], -1) {
+			return false
+		}
+		if xi >= b.Hi[i] && !math.IsInf(b.Hi[i], 1) {
+			return false
+		}
+		if !math.IsInf(b.Lo[i], -1) && xi < b.Lo[i] {
+			return false
+		}
+		if !math.IsInf(b.Hi[i], 1) && xi > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func logistic(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// nudge moves x strictly inside (lo, hi) by a relative margin.
+func nudge(x, lo, hi float64) float64 {
+	margin := 1e-10 * (hi - lo)
+	if x <= lo {
+		return lo + margin
+	}
+	if x >= hi {
+		return hi - margin
+	}
+	return x
+}

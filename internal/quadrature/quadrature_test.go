@@ -1,0 +1,152 @@
+package quadrature
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// integrators lists every rule under a common adapter so shared behaviours
+// can be tested uniformly.
+var integrators = []struct {
+	name string
+	call func(f Func, a, b float64) (float64, error)
+	tol  float64
+}{
+	{name: "trapezoid", call: func(f Func, a, b float64) (float64, error) { return Trapezoid(f, a, b, 20000) }, tol: 1e-6},
+	{name: "simpson", call: func(f Func, a, b float64) (float64, error) { return Simpson(f, a, b, 2000) }, tol: 1e-9},
+	{name: "romberg", call: func(f Func, a, b float64) (float64, error) { return Romberg(f, a, b, 1e-12, 25) }, tol: 1e-9},
+	{name: "gauss", call: func(f Func, a, b float64) (float64, error) { return GaussLegendre(f, a, b, 64) }, tol: 1e-10},
+	{name: "adaptive", call: func(f Func, a, b float64) (float64, error) { return Adaptive(f, a, b, 1e-12) }, tol: 1e-9},
+}
+
+func TestIntegratorsOnKnownIntegrals(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Func
+		a, b float64
+		want float64
+	}{
+		{name: "constant", f: func(float64) float64 { return 3 }, a: -1, b: 4, want: 15},
+		{name: "linear", f: func(x float64) float64 { return 2 * x }, a: 0, b: 5, want: 25},
+		{name: "quadratic", f: func(x float64) float64 { return x * x }, a: 0, b: 3, want: 9},
+		{name: "sine", f: math.Sin, a: 0, b: math.Pi, want: 2},
+		{name: "exp", f: math.Exp, a: 0, b: 1, want: math.E - 1},
+		{name: "reversed interval", f: func(x float64) float64 { return x }, a: 2, b: 0, want: -2},
+	}
+	for _, integ := range integrators {
+		for _, tc := range cases {
+			t.Run(integ.name+"/"+tc.name, func(t *testing.T) {
+				got, err := integ.call(tc.f, tc.a, tc.b)
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if math.Abs(got-tc.want) > integ.tol*math.Max(1, math.Abs(tc.want)) {
+					t.Errorf("= %.12g, want %.12g", got, tc.want)
+				}
+			})
+		}
+	}
+}
+
+func TestIntegratorsEmptyInterval(t *testing.T) {
+	for _, integ := range integrators {
+		got, err := integ.call(math.Exp, 2, 2)
+		if err != nil || got != 0 {
+			t.Errorf("%s over [2,2] = %g, %v; want 0, nil", integ.name, got, err)
+		}
+	}
+}
+
+func TestIntegratorsRejectBadIntervals(t *testing.T) {
+	for _, integ := range integrators {
+		for _, bad := range [][2]float64{{math.NaN(), 1}, {0, math.Inf(1)}} {
+			if _, err := integ.call(math.Exp, bad[0], bad[1]); !errors.Is(err, ErrBadInterval) {
+				t.Errorf("%s(%v): want ErrBadInterval, got %v", integ.name, bad, err)
+			}
+		}
+	}
+}
+
+func TestFixedRulesRejectTooFewNodes(t *testing.T) {
+	if _, err := Trapezoid(math.Exp, 0, 1, 0); !errors.Is(err, ErrTooFewNodes) {
+		t.Errorf("Trapezoid n=0: %v", err)
+	}
+	if _, err := Simpson(math.Exp, 0, 1, 1); !errors.Is(err, ErrTooFewNodes) {
+		t.Errorf("Simpson n=1: %v", err)
+	}
+	if _, err := GaussLegendre(math.Exp, 0, 1, 0); !errors.Is(err, ErrTooFewNodes) {
+		t.Errorf("GaussLegendre n=0: %v", err)
+	}
+}
+
+func TestSimpsonOddNRoundsUp(t *testing.T) {
+	got, err := Simpson(func(x float64) float64 { return x * x }, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-9) > 1e-9 {
+		t.Errorf("Simpson with odd n = %g, want 9", got)
+	}
+}
+
+func TestAdaptiveHandlesSharpPeak(t *testing.T) {
+	// A narrow Gaussian bump: naive fixed rules need many nodes; adaptive
+	// should nail it. ∫ exp(-(x-0.5)²/2σ²) over wide interval ≈ σ√(2π).
+	sigma := 0.001
+	f := func(x float64) float64 {
+		d := (x - 0.5) / sigma
+		return math.Exp(-d * d / 2)
+	}
+	want := sigma * math.Sqrt(2*math.Pi)
+	got, err := Adaptive(f, 0, 1, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("Adaptive sharp peak = %.12g, want %.12g", got, want)
+	}
+}
+
+func TestGaussExactForHighDegree(t *testing.T) {
+	// 5-point Gauss-Legendre is exact through degree 9 on one panel.
+	f := func(x float64) float64 { return math.Pow(x, 9) }
+	got, err := GaussLegendre(f, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-14 {
+		t.Errorf("GaussLegendre x⁹ = %.16g, want 0.1", got)
+	}
+}
+
+func TestAdditivityProperty(t *testing.T) {
+	// Property: ∫[a,c] = ∫[a,b] + ∫[b,c] for the adaptive integrator.
+	f := func(seedA, seedB, seedC uint32) bool {
+		a := float64(seedA%100) / 10
+		b := a + float64(seedB%100)/10
+		c := b + float64(seedC%100)/10
+		g := func(x float64) float64 { return math.Sin(x) + x*x/10 }
+		whole, err1 := Adaptive(g, a, c, 1e-12)
+		left, err2 := Adaptive(g, a, b, 1e-12)
+		right, err3 := Adaptive(g, b, c, 1e-12)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(whole-(left+right)) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRombergDefaultArguments(t *testing.T) {
+	got, err := Romberg(math.Sin, 0, math.Pi, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Romberg with defaults = %g, want 2", got)
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// HTMLReport assembles a standalone HTML document from a sequence of
+// sections: prose, tables, and plots (embedded as inline SVG). It backs
+// `resil report`, which renders the full paper reproduction as a single
+// shareable file.
+type HTMLReport struct {
+	title    string
+	sections []string
+}
+
+// NewHTMLReport creates a report with the given document title.
+func NewHTMLReport(title string) *HTMLReport {
+	return &HTMLReport{title: title}
+}
+
+// AddHeading appends a section heading.
+func (r *HTMLReport) AddHeading(text string) {
+	r.sections = append(r.sections, "<h2>"+html.EscapeString(text)+"</h2>")
+}
+
+// AddParagraph appends a prose paragraph.
+func (r *HTMLReport) AddParagraph(text string) {
+	r.sections = append(r.sections, "<p>"+html.EscapeString(text)+"</p>")
+}
+
+// AddTable appends a table rendered as an HTML <table>.
+func (r *HTMLReport) AddTable(t *Table) {
+	var b strings.Builder
+	b.WriteString("<table>\n<thead><tr>")
+	for _, h := range t.headers {
+		b.WriteString("<th>" + html.EscapeString(h) + "</th>")
+	}
+	b.WriteString("</tr></thead>\n<tbody>\n")
+	for _, row := range t.rows {
+		b.WriteString("<tr>")
+		for _, c := range row {
+			b.WriteString("<td>" + html.EscapeString(c) + "</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody>\n</table>")
+	r.sections = append(r.sections, b.String())
+}
+
+// AddPlot appends a plot as inline SVG.
+func (r *HTMLReport) AddPlot(p *Plot, width, height int) {
+	r.sections = append(r.sections, `<div class="figure">`+p.SVG(width, height)+"</div>")
+}
+
+// AddPre appends preformatted text (for ASCII artifacts).
+func (r *HTMLReport) AddPre(text string) {
+	r.sections = append(r.sections, "<pre>"+html.EscapeString(text)+"</pre>")
+}
+
+// String renders the complete document.
+func (r *HTMLReport) String() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(r.title))
+	b.WriteString(`<style>
+body { font-family: Georgia, serif; max-width: 920px; margin: 2rem auto; padding: 0 1rem; color: #222; }
+h1 { border-bottom: 2px solid #222; padding-bottom: 0.3rem; }
+h2 { margin-top: 2rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: 0.9rem; font-family: "SF Mono", Menlo, monospace; }
+th, td { border: 1px solid #999; padding: 0.25rem 0.6rem; text-align: right; }
+th { background: #eee; }
+td:first-child, th:first-child { text-align: left; }
+pre { background: #f6f6f6; padding: 0.8rem; overflow-x: auto; font-size: 0.78rem; }
+.figure { margin: 1.2rem 0; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(r.title))
+	for _, s := range r.sections {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}

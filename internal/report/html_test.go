@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReportStructure(t *testing.T) {
+	r := NewHTMLReport("Paper <Reproduction> & Results")
+	r.AddHeading("Table I")
+	r.AddParagraph("Both models fit V/U data; neither fits W/L.")
+	tbl := NewTable("model", "r2adj")
+	tbl.MustAddRow("quadratic", "0.97")
+	tbl.MustAddRow(`comp<eting> "risks"`, "-0.5")
+	r.AddTable(tbl)
+	r.AddPre("ascii | figure")
+	p := NewPlot("fig", 0, 0)
+	if err := p.AddSeries("s", 'o', []float64{0, 1}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	r.AddPlot(p, 400, 300)
+
+	out := r.String()
+	checks := []string{
+		"<!DOCTYPE html>",
+		"<title>Paper &lt;Reproduction&gt; &amp; Results</title>",
+		"<h1>Paper &lt;Reproduction&gt; &amp; Results</h1>",
+		"<h2>Table I</h2>",
+		"<p>Both models fit V/U data; neither fits W/L.</p>",
+		"<th>model</th>",
+		"<td>quadratic</td>",
+		"comp&lt;eting&gt; &#34;risks&#34;", // escaped cell
+		"<pre>ascii | figure</pre>",
+		`<svg xmlns="http://www.w3.org/2000/svg" width="400" height="300"`,
+		"</html>",
+	}
+	for _, want := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestHTMLReportEmpty(t *testing.T) {
+	out := NewHTMLReport("empty").String()
+	if !strings.Contains(out, "<h1>empty</h1>") || !strings.Contains(out, "</html>") {
+		t.Errorf("empty report malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,199 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot is an ASCII line chart used to regenerate the paper's figures in a
+// terminal. Multiple series share one set of axes; an optional shaded
+// band renders confidence intervals.
+type Plot struct {
+	title  string
+	width  int
+	height int
+	series []plotSeries
+	band   *plotBand
+	yLabel string
+	xLabel string
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+type plotBand struct {
+	xs, lo, hi []float64
+}
+
+// ErrBadSeries indicates mismatched or empty plot input.
+var ErrBadSeries = errors.New("report: bad plot series")
+
+// NewPlot creates an ASCII plot canvas. Width and height are in character
+// cells; zero selects 72×20.
+func NewPlot(title string, width, height int) *Plot {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	return &Plot{title: title, width: width, height: height}
+}
+
+// SetLabels sets the axis labels.
+func (p *Plot) SetLabels(x, y string) {
+	p.xLabel, p.yLabel = x, y
+}
+
+// AddSeries adds a named line rendered with the given marker character.
+func (p *Plot) AddSeries(name string, marker byte, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("%w: %d xs, %d ys", ErrBadSeries, len(xs), len(ys))
+	}
+	p.series = append(p.series, plotSeries{
+		name: name, marker: marker,
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	})
+	return nil
+}
+
+// SetBand attaches a shaded confidence band (rendered with '.').
+func (p *Plot) SetBand(xs, lo, hi []float64) error {
+	if len(xs) == 0 || len(xs) != len(lo) || len(xs) != len(hi) {
+		return fmt.Errorf("%w: band lengths %d/%d/%d", ErrBadSeries, len(xs), len(lo), len(hi))
+	}
+	p.band = &plotBand{
+		xs: append([]float64(nil), xs...),
+		lo: append([]float64(nil), lo...),
+		hi: append([]float64(nil), hi...),
+	}
+	return nil
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	if len(p.series) == 0 {
+		return p.title + "\n(no data)\n"
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	consider := func(x, y float64) {
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+		yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			consider(s.xs[i], s.ys[i])
+		}
+	}
+	if p.band != nil {
+		for i := range p.band.xs {
+			consider(p.band.xs[i], p.band.lo[i])
+			consider(p.band.xs[i], p.band.hi[i])
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad the y range slightly so extremes do not sit on the frame.
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(p.width-1)))
+		return clampInt(c, 0, p.width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(p.height-1)))
+		return clampInt(r, 0, p.height-1)
+	}
+
+	// Band first so series draw over it.
+	if p.band != nil {
+		for i := range p.band.xs {
+			c := col(p.band.xs[i])
+			rLo, rHi := row(p.band.lo[i]), row(p.band.hi[i])
+			if rLo < rHi {
+				rLo, rHi = rHi, rLo
+			}
+			for r := rHi; r <= rLo; r++ {
+				grid[r][c] = '.'
+			}
+		}
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			grid[row(s.ys[i])][col(s.xs[i])] = s.marker
+		}
+	}
+
+	var b strings.Builder
+	if p.title != "" {
+		b.WriteString(p.title + "\n")
+	}
+	yTopLabel := fmt.Sprintf("%.4g", yMax)
+	yBotLabel := fmt.Sprintf("%.4g", yMin)
+	labelWidth := maxInt(len(yTopLabel), len(yBotLabel))
+	for r := 0; r < p.height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelWidth, yTopLabel)
+		case p.height - 1:
+			fmt.Fprintf(&b, "%*s |", labelWidth, yBotLabel)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelWidth, "")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", labelWidth+1) + "+" + strings.Repeat("-", p.width) + "\n")
+	xLeft := fmt.Sprintf("%.4g", xMin)
+	xRight := fmt.Sprintf("%.4g", xMax)
+	gap := p.width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	b.WriteString(strings.Repeat(" ", labelWidth+2) + xLeft + strings.Repeat(" ", gap) + xRight + "\n")
+	if p.xLabel != "" || p.yLabel != "" {
+		fmt.Fprintf(&b, "x: %s    y: %s\n", p.xLabel, p.yLabel)
+	}
+	// Legend.
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", s.marker, s.name)
+	}
+	if p.band != nil {
+		b.WriteString("  . confidence band\n")
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable("name", "value")
+	if err := tbl.AddRow("alpha", "1.5"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustAddRow("beta-long-name", "2")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "beta-long-name") {
+		t.Errorf("row: %q", lines[3])
+	}
+	// All data rows align: the value column starts at the same offset.
+	if strings.Index(lines[2], "1.5") != strings.Index(lines[3], "2") {
+		t.Error("columns not aligned")
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableRowWidthMismatch(t *testing.T) {
+	tbl := NewTable("a", "b")
+	if err := tbl.AddRow("only-one"); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow should panic on mismatch")
+		}
+	}()
+	tbl.MustAddRow("x", "y", "z")
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.MustAddRow("1", "2")
+	md := tbl.Markdown()
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n"
+	if md != want {
+		t.Errorf("Markdown = %q, want %q", md, want)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.MustAddRow("1,5", `say "hi"`)
+	got := tbl.CSV()
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(0.00227675); got != "0.00227675" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Pct(0.9583333); got != "95.83%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestPlotRendersSeriesAndBand(t *testing.T) {
+	p := NewPlot("demo", 40, 10)
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 0.9, 0.8, 0.9, 1}
+	if err := p.AddSeries("data", 'o', xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	lo := []float64{0.95, 0.85, 0.75, 0.85, 0.95}
+	hi := []float64{1.05, 0.95, 0.85, 0.95, 1.05}
+	if err := p.SetBand(xs, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	p.SetLabels("months", "index")
+	out := p.String()
+	for _, want := range []string{"demo", "o data", ". confidence band", "x: months"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, ".") {
+		t.Error("plot grid missing markers")
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	p := NewPlot("", 0, 0)
+	if err := p.AddSeries("bad", 'x', []float64{1}, []float64{1, 2}); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("mismatch: %v", err)
+	}
+	if err := p.AddSeries("empty", 'x', nil, nil); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("empty: %v", err)
+	}
+	if err := p.SetBand([]float64{1}, []float64{1}, nil); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("band: %v", err)
+	}
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	p := NewPlot("flat", 20, 5)
+	if err := p.AddSeries("constant", '*', []float64{2, 2.0000001}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+	// Single point: both ranges degenerate.
+	q := NewPlot("point", 20, 5)
+	if err := q.AddSeries("pt", '#', []float64{3}, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if out := q.String(); !strings.Contains(out, "#") {
+		t.Errorf("point not rendered:\n%s", out)
+	}
+}

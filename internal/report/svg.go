@@ -1,0 +1,185 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// _svgPalette holds the line colors assigned to series in order.
+var _svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f",
+}
+
+// SVG renders the plot as a standalone SVG document of the given pixel
+// size (zero selects 760×480). The same series and confidence band added
+// for the ASCII rendering are drawn with axes, ticks, a legend, and a
+// shaded band, producing publication-style versions of the paper's
+// figures.
+func (p *Plot) SVG(width, height int) string {
+	if width <= 0 {
+		width = 760
+	}
+	if height <= 0 {
+		height = 480
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	if len(p.series) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif">no data</text>`+"\n",
+			width/2, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	const (
+		marginLeft   = 64.0
+		marginRight  = 16.0
+		marginTop    = 40.0
+		marginBottom = 56.0
+	)
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	xMin, xMax, yMin, yMax := p.dataRange()
+	toX := func(x float64) float64 {
+		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
+	}
+	toY := func(y float64) float64 {
+		return marginTop + (yMax-y)/(yMax-yMin)*plotH
+	}
+
+	// Title.
+	if p.title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="22" text-anchor="middle" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+			marginLeft+plotW/2, xmlEscape(p.title))
+	}
+
+	// Confidence band under everything else.
+	if p.band != nil && len(p.band.xs) > 1 {
+		var pts strings.Builder
+		for i := range p.band.xs {
+			fmt.Fprintf(&pts, "%.2f,%.2f ", toX(p.band.xs[i]), toY(p.band.hi[i]))
+		}
+		for i := len(p.band.xs) - 1; i >= 0; i-- {
+			fmt.Fprintf(&pts, "%.2f,%.2f ", toX(p.band.xs[i]), toY(p.band.lo[i]))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="#bbbbbb" fill-opacity="0.45" stroke="none"/>`+"\n",
+			strings.TrimSpace(pts.String()))
+	}
+
+	// Axes frame and ticks.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="black"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/ticks
+		px := toX(fx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px, marginTop+plotH, px, marginTop+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			px, marginTop+plotH+20, trimFloat(fx))
+		fy := yMin + (yMax-yMin)*float64(i)/ticks
+		py := toY(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			marginLeft-5, py, marginLeft, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft-8, py+4, trimFloat(fy))
+	}
+
+	// Axis labels.
+	if p.xLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginLeft+plotW/2, float64(height)-12, xmlEscape(p.xLabel))
+	}
+	if p.yLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, xmlEscape(p.yLabel))
+	}
+
+	// Series polylines.
+	for si, s := range p.series {
+		color := _svgPalette[si%len(_svgPalette)]
+		var pts strings.Builder
+		for i := range s.xs {
+			fmt.Fprintf(&pts, "%.2f,%.2f ", toX(s.xs[i]), toY(s.ys[i]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pts.String()), color)
+		// Point markers when the series is sparse enough to read them.
+		if len(s.xs) <= 100 {
+			for i := range s.xs {
+				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2" fill="%s"/>`+"\n",
+					toX(s.xs[i]), toY(s.ys[i]), color)
+			}
+		}
+	}
+
+	// Legend, top-right inside the frame.
+	legendX := marginLeft + plotW - 220
+	legendY := marginTop + 12.0
+	for si, s := range p.series {
+		color := _svgPalette[si%len(_svgPalette)]
+		y := legendY + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			legendX, y, legendX+22, y, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			legendX+28, y+4, xmlEscape(s.name))
+	}
+	if p.band != nil {
+		y := legendY + float64(len(p.series))*16
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="22" height="8" fill="#bbbbbb" fill-opacity="0.45"/>`+"\n",
+			legendX, y-4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">confidence band</text>`+"\n",
+			legendX+28, y+4)
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// dataRange computes padded plot ranges across all series and the band.
+func (p *Plot) dataRange() (xMin, xMax, yMin, yMax float64) {
+	xMin, xMax = math.Inf(1), math.Inf(-1)
+	yMin, yMax = math.Inf(1), math.Inf(-1)
+	consider := func(x, y float64) {
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+		yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			consider(s.xs[i], s.ys[i])
+		}
+	}
+	if p.band != nil {
+		for i := range p.band.xs {
+			consider(p.band.xs[i], p.band.lo[i])
+			consider(p.band.xs[i], p.band.hi[i])
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	pad := (yMax - yMin) * 0.05
+	return xMin, xMax, yMin - pad, yMax + pad
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}
+
+// trimFloat formats an axis tick without trailing noise.
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoPlot(t *testing.T) *Plot {
+	t.Helper()
+	p := NewPlot("Figure: demo <fit> & band", 0, 0)
+	p.SetLabels("months", "index")
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{1, 0.95, 0.9, 0.92, 0.97, 1.01}
+	if err := p.AddSeries("data", 'o', xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	fit := []float64{1, 0.96, 0.91, 0.91, 0.96, 1.0}
+	if err := p.AddSeries("fit", '*', xs, fit); err != nil {
+		t.Fatal(err)
+	}
+	lo := make([]float64, len(fit))
+	hi := make([]float64, len(fit))
+	for i := range fit {
+		lo[i], hi[i] = fit[i]-0.02, fit[i]+0.02
+	}
+	if err := p.SetBand(xs, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	out := demoPlot(t).SVG(0, 0)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	out := demoPlot(t).SVG(800, 500)
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="800" height="500"`,
+		"<polyline", // series lines
+		"<polygon",  // band
+		"<circle",   // point markers
+		"confidence band",
+		"demo &lt;fit&gt; &amp; band", // escaped title
+		"months",
+		"rotate(-90", // y label
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestSVGEmptyPlot(t *testing.T) {
+	p := NewPlot("empty", 0, 0)
+	out := p.SVG(0, 0)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot SVG: %s", out)
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Error("unterminated SVG")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	p := NewPlot("flat", 0, 0)
+	if err := p.AddSeries("const", '*', []float64{1, 2}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.SVG(0, 0)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("degenerate range produced NaN/Inf coordinates:\n%s", out)
+	}
+}
+
+func TestSVGLargeSeriesSkipsMarkers(t *testing.T) {
+	p := NewPlot("big", 0, 0)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i % 7)
+	}
+	if err := p.AddSeries("dense", '.', xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := p.SVG(0, 0)
+	if strings.Contains(out, "<circle") {
+		t.Error("dense series should not draw per-point markers")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c"'d'`); got != "a&lt;b&gt;&amp;&quot;c&quot;&apos;d&apos;" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Package report renders the reproduction's outputs: aligned text and
+// markdown tables for Tables I–IV, CSV export, and ASCII line plots with
+// confidence bands for Figures 1–6.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-oriented table with a header row.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// ErrShape indicates a row whose width disagrees with the header.
+var ErrShape = errors.New("report: row width does not match header")
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; its width must match the header.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.headers) {
+		return fmt.Errorf("%w: %d cells for %d columns", ErrShape, len(cells), len(t.headers))
+	}
+	t.rows = append(t.rows, cells)
+	return nil
+}
+
+// MustAddRow appends a row and panics on width mismatch; for use with
+// statically-known row shapes.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(t.headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the 8-decimal precision the paper's tables use.
+func F(v float64) string {
+	return fmt.Sprintf("%.8f", v)
+}
+
+// Pct formats a fraction as a percentage with two decimals, e.g. 0.9583
+// renders as "95.83%".
+func Pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", 100*v)
+}

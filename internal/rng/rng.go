@@ -1,0 +1,132 @@
+// Package rng provides a small deterministic random number generator for
+// the pieces of the library that need randomness with reproducibility
+// guarantees stronger than math/rand offers across Go versions: the
+// synthetic dataset generator and the residual bootstrap. The core
+// generator is SplitMix64, which passes BigCrush and has a trivially
+// portable implementation.
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// RNG is a deterministic SplitMix64 generator with Gaussian and sampling
+// helpers. It is not safe for concurrent use; create one per goroutine.
+type RNG struct {
+	state uint64
+	// spare caches the second Box–Muller variate.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded with the given value. A zero seed is
+// replaced with a fixed nonzero constant so the zero value is still
+// usable.
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudorandom bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform draw in (0, 1), never exactly 0, which
+// keeps log transforms finite.
+func (r *RNG) Float64Open() float64 {
+	return (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0,
+// mirroring math/rand.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Multiply-shift rejection-free mapping; bias is negligible for the
+	// small n used here (bootstrap indices), but use Lemire's method for
+	// exactness anyway.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		threshold := (-uint64(n)) % uint64(n)
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aHi * bLo
+	return aHi*bHi + w2 + (w1 >> 32), a * b
+}
+
+// Normal returns a standard normal draw via Box–Muller.
+func (r *RNG) Normal() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	u1, u2 := r.Float64Open(), r.Float64Open()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.spare = mag * math.Sin(2*math.Pi*u2)
+	r.hasSpare = true
+	return mag * math.Cos(2*math.Pi*u2)
+}
+
+// Exponential returns a draw from Exponential(rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// ErrEmpty is returned by sampling helpers given no data.
+var ErrEmpty = errors.New("rng: empty sample")
+
+// Resample fills dst with a bootstrap resample (with replacement) of src.
+// dst and src may be the same length or differ; each dst element is an
+// independent uniform draw from src.
+func (r *RNG) Resample(dst, src []float64) error {
+	if len(src) == 0 {
+		return ErrEmpty
+	}
+	for i := range dst {
+		dst[i] = src[r.Intn(len(src))]
+	}
+	return nil
+}
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func (r *RNG) Shuffle(xs []float64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Perturb returns x·(1 + scale·N(0,1)), the multiplicative jitter used
+// for bootstrap parameter restarts.
+func (r *RNG) Perturb(x, scale float64) float64 {
+	return x * (1 + scale*r.Normal())
+}

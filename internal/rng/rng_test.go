@@ -1,0 +1,189 @@
+package rng
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g", v)
+		}
+		if v := r.Float64Open(); v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open = %g", v)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Errorf("bucket %d: %d draws, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq, sumCube float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+		sumCube += x * x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := sumCube / n
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %g", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Errorf("third moment = %g", skew)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exponential(2) mean = %g, want 0.5", mean)
+	}
+}
+
+func TestResample(t *testing.T) {
+	r := New(19)
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 1000)
+	if err := r.Resample(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]int{}
+	for _, v := range dst {
+		seen[v]++
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("resample produced %g", v)
+		}
+	}
+	for _, v := range src {
+		if seen[v] == 0 {
+			t.Errorf("value %g never drawn in 1000 resamples", v)
+		}
+	}
+	if err := r.Resample(dst, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty src: %v", err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	f := func(seed uint32, raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		orig := append([]float64(nil), xs...)
+		New(uint64(seed)).Shuffle(xs)
+		counts := map[float64]int{}
+		for _, v := range orig {
+			counts[v]++
+		}
+		for _, v := range xs {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	r := New(23)
+	// Zero scale leaves x unchanged; small scale stays near x.
+	if got := r.Perturb(5, 0); got != 5 {
+		t.Errorf("Perturb scale 0 = %g", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Perturb(10, 0.01); math.Abs(got-10) > 1 {
+			t.Errorf("Perturb(10, 0.01) = %g, too far", got)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	// Cross-check against big-integer arithmetic on a few cases.
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d, %d) = (%d, %d), want (%d, %d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

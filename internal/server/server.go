@@ -1,0 +1,425 @@
+// Package server exposes the resilience-modeling pipeline over HTTP with
+// a JSON API, so non-Go systems (dashboards, notebooks, incident
+// tooling) can fit models and query recovery predictions. The server is
+// stateless: every request carries its own data, and all state lives in
+// the request scope, so the handler is safe under arbitrary concurrency.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness probe
+//	GET  /v1/models               available model names
+//	GET  /v1/datasets             built-in dataset catalog
+//	GET  /v1/datasets/{name}      one dataset's series
+//	POST /v1/fit                  fit a model: {model, times?, values, train_fraction?}
+//	POST /v1/predict              recovery prediction: {model, times?, values, level?}
+//	POST /v1/metrics              interval metrics: {model, times?, values}
+//	POST /v1/forecast             future-horizon forecast with bands
+//	POST /v1/intervention         restoration-scenario what-if analysis
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"resilience/internal/core"
+	"resilience/internal/dataset"
+	"resilience/internal/timeseries"
+)
+
+// maxBodyBytes bounds request bodies; resilience series are tiny, so a
+// small cap shuts down abuse cheaply.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the server's http.Handler with all routes registered.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("GET /v1/models", handleModels)
+	mux.HandleFunc("GET /v1/datasets", handleDatasets)
+	mux.HandleFunc("GET /v1/datasets/{name}", handleDataset)
+	mux.HandleFunc("POST /v1/fit", handleFit)
+	mux.HandleFunc("POST /v1/predict", handlePredict)
+	mux.HandleFunc("POST /v1/metrics", handleMetrics)
+	mux.HandleFunc("POST /v1/forecast", handleForecast)
+	mux.HandleFunc("POST /v1/intervention", handleIntervention)
+	return mux
+}
+
+// New returns an http.Server configured with production timeouts,
+// listening on addr.
+func New(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           Handler(),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second, // fits can take a few seconds
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header write can only be logged; the
+	// payloads here are small structs that always marshal.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// modelNames lists every model the API accepts.
+func modelNames() []string {
+	names := []string{"quadratic", "competing-risks", "exp-bathtub"}
+	for _, m := range core.StandardMixtures() {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
+func handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"models": modelNames()})
+}
+
+// datasetSummary is one catalog row.
+type datasetSummary struct {
+	Name        string `json:"name"`
+	Shape       string `json:"shape"`
+	Months      int    `json:"months"`
+	Description string `json:"description"`
+}
+
+func handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	recs, err := dataset.Recessions()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]datasetSummary, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, datasetSummary{
+			Name: r.Name, Shape: r.Shape, Months: r.Months, Description: r.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// seriesBody is the JSON form of a series.
+type seriesBody struct {
+	Times  []float64 `json:"times,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+func handleDataset(w http.ResponseWriter, r *http.Request) {
+	rec, err := dataset.ByName(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":   rec.Name,
+		"shape":  rec.Shape,
+		"series": seriesBody{Times: rec.Series.Times(), Values: rec.Series.Values()},
+	})
+}
+
+// modelRequest is the shared request body for fit/predict/metrics.
+type modelRequest struct {
+	Model string `json:"model"`
+	seriesBody
+	// TrainFraction controls the validation split (default 0.9).
+	TrainFraction float64 `json:"train_fraction,omitempty"`
+	// Level is the recovery target for /v1/predict (default 1.0).
+	Level float64 `json:"level,omitempty"`
+	// Steps is the forecast horizon length for /v1/forecast (default 6).
+	Steps int `json:"steps,omitempty"`
+	// Alpha is the forecast significance level (default 0.05).
+	Alpha float64 `json:"alpha,omitempty"`
+	// InterventionStart and InterventionAccel configure /v1/intervention.
+	InterventionStart float64 `json:"intervention_start,omitempty"`
+	InterventionAccel float64 `json:"intervention_accel,omitempty"`
+}
+
+// decode parses and validates the shared request body.
+func decode(r *http.Request) (*modelRequest, core.Model, *timeseries.Series, error) {
+	var req modelRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, nil, fmt.Errorf("decode request: %w", err)
+	}
+	m, err := lookupModel(req.Model)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var series *timeseries.Series
+	if len(req.Times) > 0 {
+		series, err = timeseries.NewSeries(req.Times, req.Values)
+	} else {
+		series, err = timeseries.FromValues(req.Values)
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("series: %w", err)
+	}
+	return &req, m, series, nil
+}
+
+// lookupModel resolves an API model name.
+func lookupModel(name string) (core.Model, error) {
+	switch strings.ToLower(name) {
+	case "quadratic":
+		return core.QuadraticModel{}, nil
+	case "competing-risks":
+		return core.CompetingRisksModel{}, nil
+	case "exp-bathtub":
+		return core.ExpBathtubModel{}, nil
+	case "":
+		return nil, errors.New("model name required")
+	}
+	for _, m := range core.StandardMixtures() {
+		if m.Name() == strings.ToLower(name) {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown model %q (have %v)", name, modelNames())
+}
+
+// fitResponse is the /v1/fit reply.
+type fitResponse struct {
+	Model      string             `json:"model"`
+	ParamNames []string           `json:"param_names"`
+	Params     []float64          `json:"params"`
+	GoF        map[string]float64 `json:"gof"`
+	EC         float64            `json:"empirical_coverage"`
+}
+
+func handleFit(w http.ResponseWriter, r *http.Request) {
+	req, m, series, err := decode(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := core.Validate(m, series, core.ValidateConfig{TrainFraction: req.TrainFraction})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fitResponse{
+		Model:      m.Name(),
+		ParamNames: m.ParamNames(),
+		Params:     v.Fit.Params,
+		GoF: map[string]float64{
+			"sse":   v.GoF.SSE,
+			"pmse":  v.GoF.PMSE,
+			"r2":    v.GoF.R2,
+			"r2adj": v.GoF.R2Adj,
+			"aic":   v.GoF.AIC,
+			"bic":   v.GoF.BIC,
+		},
+		EC: v.EC,
+	})
+}
+
+// predictResponse is the /v1/predict reply.
+type predictResponse struct {
+	Model            string  `json:"model"`
+	MinimumTime      float64 `json:"minimum_time"`
+	MinimumValue     float64 `json:"minimum_value"`
+	RecoveryLevel    float64 `json:"recovery_level"`
+	RecoveryTime     float64 `json:"recovery_time"`
+	RecoveryReached  bool    `json:"recovery_reached"`
+	RecoveryErrorMsg string  `json:"recovery_error,omitempty"`
+}
+
+func handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, m, series, err := decode(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fit, err := core.Fit(m, series, core.FitConfig{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	_, horizon := series.Span()
+	td, err := core.ModelMinimum(fit, horizon)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	level := req.Level
+	if level == 0 {
+		level = 1
+	}
+	resp := predictResponse{
+		Model:         m.Name(),
+		MinimumTime:   td,
+		MinimumValue:  fit.Eval(td),
+		RecoveryLevel: level,
+		RecoveryTime:  math.NaN(),
+	}
+	if tr, err := core.RecoveryTime(fit, level, horizon); err == nil {
+		resp.RecoveryTime = tr
+		resp.RecoveryReached = true
+	} else {
+		resp.RecoveryErrorMsg = err.Error()
+	}
+	// NaN does not survive JSON; encode unreached recovery as null via a
+	// pointer-free convention: omit by setting to -1.
+	if math.IsNaN(resp.RecoveryTime) {
+		resp.RecoveryTime = -1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metricsResponse is the /v1/metrics reply.
+type metricsResponse struct {
+	Model   string                 `json:"model"`
+	Metrics []metricComparisonBody `json:"metrics"`
+}
+
+type metricComparisonBody struct {
+	Name          string  `json:"name"`
+	Actual        float64 `json:"actual"`
+	Predicted     float64 `json:"predicted"`
+	RelativeError float64 `json:"relative_error"`
+}
+
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	req, m, series, err := decode(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := core.Validate(m, series, core.ValidateConfig{TrainFraction: req.TrainFraction})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rows, err := core.CompareMetrics(v, series, core.MetricsConfig{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := metricsResponse{Model: m.Name()}
+	for _, row := range rows {
+		out.Metrics = append(out.Metrics, metricComparisonBody{
+			Name:          row.Kind.String(),
+			Actual:        jsonSafe(row.Actual),
+			Predicted:     jsonSafe(row.Predicted),
+			RelativeError: jsonSafe(row.RelErr),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jsonSafe maps NaN/Inf (unrepresentable in JSON) to signed sentinel
+// values the client can detect.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -999999
+	}
+	return v
+}
+
+// forecastResponse is the /v1/forecast reply.
+type forecastResponse struct {
+	Model string    `json:"model"`
+	Times []float64 `json:"times"`
+	Mean  []float64 `json:"mean"`
+	Lower []float64 `json:"lower"`
+	Upper []float64 `json:"upper"`
+	Sigma float64   `json:"sigma"`
+}
+
+func handleForecast(w http.ResponseWriter, r *http.Request) {
+	req, m, series, err := decode(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fit, err := core.Fit(m, series, core.FitConfig{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	steps := req.Steps
+	if steps <= 0 {
+		steps = 6
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	fc, err := core.ForecastHorizon(fit, steps, alpha)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, forecastResponse{
+		Model: m.Name(),
+		Times: fc.Times, Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper,
+		Sigma: fc.Sigma,
+	})
+}
+
+// interventionResponse is the /v1/intervention reply.
+type interventionResponse struct {
+	Model              string  `json:"model"`
+	BaselineRecovery   float64 `json:"baseline_recovery"`
+	IntervenedRecovery float64 `json:"intervened_recovery"`
+	RecoverySaved      float64 `json:"recovery_saved"`
+	PreservedGain      float64 `json:"performance_preserved_gain"`
+}
+
+func handleIntervention(w http.ResponseWriter, r *http.Request) {
+	req, m, series, err := decode(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	iv := core.Intervention{Start: req.InterventionStart, Accel: req.InterventionAccel}
+	if iv.Accel == 0 {
+		iv.Accel = 2 // default scenario: double the recovery speed
+	}
+	fit, err := core.Fit(m, series, core.FitConfig{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	level := req.Level
+	if level == 0 {
+		level = 1
+	}
+	_, horizon := series.Span()
+	impact, err := core.EvaluateIntervention(fit, iv, level, horizon)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, interventionResponse{
+		Model:              m.Name(),
+		BaselineRecovery:   jsonSafe(impact.BaselineRecovery),
+		IntervenedRecovery: jsonSafe(impact.IntervenedRecovery),
+		RecoverySaved:      jsonSafe(impact.RecoverySaved),
+		PreservedGain: jsonSafe(impact.Intervened[core.PerformancePreserved] -
+			impact.Baseline[core.PerformancePreserved]),
+	})
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testSeries() []float64 {
+	vals := make([]float64, 36)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.03*math.Sin(math.Pi*math.Min(x/28, 1)) + 0.0008*math.Max(0, x-28)
+	}
+	return vals
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var parsed map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+			t.Fatalf("%s %s: response not JSON: %v\n%s", method, path, err, rec.Body.String())
+		}
+	}
+	return rec, parsed
+}
+
+func TestHealthz(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz: %d %v", rec.Code, body)
+	}
+}
+
+func TestModels(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodGet, "/v1/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	models, ok := body["models"].([]any)
+	if !ok || len(models) != 7 {
+		t.Errorf("models = %v", body["models"])
+	}
+}
+
+func TestDatasetsCatalog(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodGet, "/v1/datasets", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	ds, ok := body["datasets"].([]any)
+	if !ok || len(ds) != 7 {
+		t.Fatalf("datasets = %v", body["datasets"])
+	}
+	first, ok := ds[0].(map[string]any)
+	if !ok || first["name"] != "1974-76" {
+		t.Errorf("first dataset = %v", ds[0])
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodGet, "/v1/datasets/1990-93", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	series, ok := body["series"].(map[string]any)
+	if !ok {
+		t.Fatalf("series missing: %v", body)
+	}
+	values, ok := series["values"].([]any)
+	if !ok || len(values) != 48 {
+		t.Errorf("values: %d entries", len(values))
+	}
+	rec, _ = doJSON(t, Handler(), http.MethodGet, "/v1/datasets/nope", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown dataset: status %d", rec.Code)
+	}
+}
+
+func TestFitEndpoint(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "competing-risks",
+		"values": testSeries(),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["model"] != "competing-risks" {
+		t.Errorf("model = %v", body["model"])
+	}
+	params, ok := body["params"].([]any)
+	if !ok || len(params) != 3 {
+		t.Errorf("params = %v", body["params"])
+	}
+	gof, ok := body["gof"].(map[string]any)
+	if !ok {
+		t.Fatalf("gof missing")
+	}
+	if r2, ok := gof["r2adj"].(float64); !ok || r2 < 0.8 {
+		t.Errorf("r2adj = %v", gof["r2adj"])
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/predict", map[string]any{
+		"model":  "quadratic",
+		"values": testSeries(),
+		"level":  1.0,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if reached, ok := body["recovery_reached"].(bool); !ok || !reached {
+		t.Errorf("recovery_reached = %v (%v)", body["recovery_reached"], body)
+	}
+	tr, ok := body["recovery_time"].(float64)
+	if !ok || tr < 5 || tr > 60 {
+		t.Errorf("recovery_time = %v", body["recovery_time"])
+	}
+	td, ok := body["minimum_time"].(float64)
+	if !ok || td <= 0 || td >= tr {
+		t.Errorf("minimum_time = %v", body["minimum_time"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/metrics", map[string]any{
+		"model":  "weibull-exp",
+		"values": testSeries(),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	metrics, ok := body["metrics"].([]any)
+	if !ok || len(metrics) != 8 {
+		t.Fatalf("metrics = %v", body["metrics"])
+	}
+	row, ok := metrics[0].(map[string]any)
+	if !ok || row["name"] != "performance preserved" {
+		t.Errorf("first metric = %v", metrics[0])
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := Handler()
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown model", map[string]any{"model": "nope", "values": testSeries()}, http.StatusBadRequest},
+		{"missing model", map[string]any{"values": testSeries()}, http.StatusBadRequest},
+		{"empty values", map[string]any{"model": "quadratic", "values": []float64{}}, http.StatusBadRequest},
+		{"NaN-free but too short", map[string]any{"model": "quadratic", "values": []float64{1, 0.9, 1}}, http.StatusUnprocessableEntity},
+		{"mismatched times", map[string]any{"model": "quadratic", "times": []float64{0, 1}, "values": testSeries()}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"model": "quadratic", "values": testSeries(), "bogus": 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, body := doJSON(t, h, http.MethodPost, "/v1/fit", tc.body)
+			if rec.Code != tc.want {
+				t.Errorf("status %d, want %d (%v)", rec.Code, tc.want, body)
+			}
+			if _, ok := body["error"]; !ok {
+				t.Error("error body missing")
+			}
+		})
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/fit", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/v1/fit", nil)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/fit: status %d", rec.Code)
+	}
+}
+
+func TestOversizeBodyRejected(t *testing.T) {
+	big := fmt.Sprintf(`{"model":"quadratic","values":[%s1]}`,
+		strings.Repeat("1,", maxBodyBytes/2))
+	req := httptest.NewRequest(http.MethodPost, "/v1/fit", strings.NewReader(big))
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversize body: status %d", rec.Code)
+	}
+}
+
+func TestServerConfig(t *testing.T) {
+	srv := New(":0")
+	if srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Error("server missing timeouts")
+	}
+	if srv.Handler == nil {
+		t.Error("server missing handler")
+	}
+}
+
+func TestExplicitTimesAccepted(t *testing.T) {
+	vals := testSeries()
+	times := make([]float64, len(vals))
+	for i := range times {
+		times[i] = float64(i) * 0.5 // half-month sampling
+	}
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "competing-risks",
+		"times":  times,
+		"values": vals,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+}
+
+func TestForecastEndpoint(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/forecast", map[string]any{
+		"model":  "competing-risks",
+		"values": testSeries(),
+		"steps":  4,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	times, ok := body["times"].([]any)
+	if !ok || len(times) != 4 {
+		t.Fatalf("times = %v", body["times"])
+	}
+	// Forecast continues the sampling grid: first future time is 36.
+	if t0, ok := times[0].(float64); !ok || t0 != 36 {
+		t.Errorf("first forecast time = %v", times[0])
+	}
+	mean, _ := body["mean"].([]any)
+	lower, _ := body["lower"].([]any)
+	upper, _ := body["upper"].([]any)
+	if len(mean) != 4 || len(lower) != 4 || len(upper) != 4 {
+		t.Error("band lengths")
+	}
+	if lower[0].(float64) >= upper[0].(float64) {
+		t.Error("band inverted")
+	}
+}
+
+func TestInterventionEndpoint(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/intervention", map[string]any{
+		"model":              "competing-risks",
+		"values":             testSeries(),
+		"intervention_start": 5,
+		"intervention_accel": 2,
+		"level":              0.995,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	gain, ok := body["performance_preserved_gain"].(float64)
+	if !ok || gain < 0 {
+		t.Errorf("preserved gain = %v", body["performance_preserved_gain"])
+	}
+	rec, body = doJSON(t, Handler(), http.MethodPost, "/v1/intervention", map[string]any{
+		"model":              "quadratic",
+		"values":             testSeries(),
+		"intervention_start": -5,
+		"intervention_accel": 2,
+	})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad intervention: status %d (%v)", rec.Code, body)
+	}
+}

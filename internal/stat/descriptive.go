@@ -1,0 +1,152 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by descriptive statistics that require at least one
+// observation.
+var ErrEmpty = errors.New("stat: empty sample")
+
+// ErrTooFew is returned when a statistic needs more observations than were
+// supplied (e.g. a variance needs two).
+var ErrTooFew = errors.New("stat: too few observations")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return math.NaN(), ErrTooFew
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return math.NaN(), err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the p-quantile of xs using linear interpolation between
+// order statistics (type-7, the spreadsheet/NumPy default).
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN(), ErrBadProbability
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	if lo == len(sorted)-1 {
+		return sorted[lo], nil
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo]), nil
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// MinMax returns the smallest and largest elements of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN(), ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// SumSquares returns Σ(xᵢ - c)² for a fixed center c. With c equal to the
+// sample mean this is the SSY term of the adjusted R² (Eq. 11).
+func SumSquares(xs []float64, c float64) float64 {
+	var ss float64
+	for _, x := range xs {
+		d := x - c
+		ss += d * d
+	}
+	return ss
+}
+
+// ECDF is the empirical cumulative distribution function of a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the sample xs.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns the fraction of sample points <= x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of elements <= x, so search for the first > x.
+	n := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// KolmogorovSmirnov returns the KS statistic sup |ECDF(x) - F(x)| between
+// the sample ECDF and a reference distribution — a quick diagnostic for
+// whether fitted mixture components resemble their data.
+func KolmogorovSmirnov(e *ECDF, dist Distribution) float64 {
+	n := float64(len(e.sorted))
+	var d float64
+	for i, x := range e.sorted {
+		fx := dist.CDF(x)
+		upper := math.Abs(float64(i+1)/n - fx)
+		lower := math.Abs(fx - float64(i)/n)
+		d = math.Max(d, math.Max(upper, lower))
+	}
+	return d
+}

@@ -1,0 +1,177 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %g, %v; want 5", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || math.Abs(v-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %g, %v; want %g", v, err, 32.0/7)
+	}
+	s, err := StdDev(xs)
+	if err != nil || math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %g, %v", s, err)
+	}
+}
+
+func TestDescriptiveErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil): %v", err)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrTooFew) {
+		t.Errorf("Variance(1 elem): %v", err)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Quantile(nil): %v", err)
+	}
+	if _, err := Quantile([]float64{1, 2}, 1.5); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("Quantile(p>1): %v", err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MinMax(nil): %v", err)
+	}
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("NewECDF(nil): %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 15},
+		{1, 50},
+		{0.5, 35},
+		{0.25, 20},
+		{0.75, 40},
+		{0.1, 17}, // interpolated: 15 + 0.4*(20-15)
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if got, _ := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("single-element quantile = %g", got)
+	}
+	if got, _ := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Median = %g, want 2.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 4, 1, 5, -9})
+	if err != nil || min != -9 || max != 5 {
+		t.Errorf("MinMax = %g, %g, %v", min, max, err)
+	}
+}
+
+func TestSumSquares(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := SumSquares(xs, 2); got != 2 {
+		t.Errorf("SumSquares = %g, want 2", got)
+	}
+	if got := SumSquares(nil, 0); got != 0 {
+		t.Errorf("SumSquares(nil) = %g", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); got != tt.want {
+			t.Errorf("ECDF(%g) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFProperty(t *testing.T) {
+	// Property: ECDF is a nondecreasing step function in [0,1].
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true // skip NaN inputs
+			}
+		}
+		e, err := NewECDF(vals)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for x := -100.0; x <= 100; x += 7 {
+			c := e.At(x)
+			if c < prev || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	// Sample drawn exactly at uniform quantiles has a small KS distance to
+	// Uniform(0,1); a shifted distribution has a big one.
+	var sample []float64
+	for i := 1; i <= 100; i++ {
+		sample = append(sample, float64(i)/101)
+	}
+	e, err := NewECDF(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, _ := NewUniform(0, 1)
+	if d := KolmogorovSmirnov(e, uni); d > 0.02 {
+		t.Errorf("KS to matching uniform = %g, want small", d)
+	}
+	far, _ := NewUniform(10, 11)
+	if d := KolmogorovSmirnov(e, far); d < 0.99 {
+		t.Errorf("KS to distant uniform = %g, want ~1", d)
+	}
+}

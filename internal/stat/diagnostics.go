@@ -1,0 +1,156 @@
+package stat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/numeric"
+)
+
+// ErrTooFewResiduals is returned when a diagnostic needs more residuals
+// than were supplied.
+var ErrTooFewResiduals = errors.New("stat: too few residuals for diagnostic")
+
+// ChiSquareSF returns the survival function P(X > x) of a chi-square
+// distribution with k degrees of freedom, via the regularized upper
+// incomplete gamma Q(k/2, x/2).
+func ChiSquareSF(x float64, k int) (float64, error) {
+	if k <= 0 {
+		return math.NaN(), fmt.Errorf("stat: chi-square needs k > 0, got %d", k)
+	}
+	if x <= 0 {
+		return 1, nil
+	}
+	q, err := numeric.GammaRegQ(float64(k)/2, x/2)
+	if err != nil {
+		return math.NaN(), fmt.Errorf("stat: chi-square SF: %w", err)
+	}
+	return q, nil
+}
+
+// LjungBoxResult is the outcome of a Ljung–Box portmanteau test for
+// residual autocorrelation.
+type LjungBoxResult struct {
+	// Statistic is the Q statistic, asymptotically chi-square with Lags
+	// degrees of freedom under the null of no autocorrelation.
+	Statistic float64
+	// PValue is the right-tail p-value.
+	PValue float64
+	// Lags is the number of autocorrelation lags pooled.
+	Lags int
+}
+
+// LjungBox tests residuals for autocorrelation up to the given lag
+// count. The paper's confidence intervals (Eqs. 12–13) assume
+// uncorrelated residuals; a small p-value here warns that the bands are
+// optimistic.
+func LjungBox(residuals []float64, lags int) (LjungBoxResult, error) {
+	n := len(residuals)
+	if lags <= 0 {
+		lags = 10
+		if n/5 < lags {
+			lags = n / 5
+		}
+		if lags < 1 {
+			lags = 1
+		}
+	}
+	if n < lags+2 {
+		return LjungBoxResult{}, fmt.Errorf("%w: %d residuals for %d lags", ErrTooFewResiduals, n, lags)
+	}
+	mean, err := Mean(residuals)
+	if err != nil {
+		return LjungBoxResult{}, err
+	}
+	denom := SumSquares(residuals, mean)
+	if denom == 0 {
+		return LjungBoxResult{}, fmt.Errorf("%w: zero-variance residuals", ErrTooFewResiduals)
+	}
+	q := 0.0
+	for k := 1; k <= lags; k++ {
+		var num float64
+		for i := k; i < n; i++ {
+			num += (residuals[i] - mean) * (residuals[i-k] - mean)
+		}
+		rho := num / denom
+		q += rho * rho / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	p, err := ChiSquareSF(q, lags)
+	if err != nil {
+		return LjungBoxResult{}, err
+	}
+	return LjungBoxResult{Statistic: q, PValue: p, Lags: lags}, nil
+}
+
+// JarqueBeraResult is the outcome of a Jarque–Bera normality test.
+type JarqueBeraResult struct {
+	// Statistic is asymptotically chi-square with 2 degrees of freedom
+	// under normality.
+	Statistic float64
+	// PValue is the right-tail p-value.
+	PValue float64
+	// Skewness and Kurtosis are the sample moments behind the statistic.
+	Skewness float64
+	Kurtosis float64
+}
+
+// JarqueBera tests residuals for normality via their skewness and excess
+// kurtosis. The z critical values in Eq. (13) presume Gaussian
+// residuals; a small p-value here says the nominal 95% coverage may not
+// hold.
+func JarqueBera(residuals []float64) (JarqueBeraResult, error) {
+	n := len(residuals)
+	if n < 8 {
+		return JarqueBeraResult{}, fmt.Errorf("%w: %d residuals", ErrTooFewResiduals, n)
+	}
+	mean, err := Mean(residuals)
+	if err != nil {
+		return JarqueBeraResult{}, err
+	}
+	var m2, m3, m4 float64
+	for _, r := range residuals {
+		d := r - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	fn := float64(n)
+	m2 /= fn
+	m3 /= fn
+	m4 /= fn
+	if m2 == 0 {
+		return JarqueBeraResult{}, fmt.Errorf("%w: zero-variance residuals", ErrTooFewResiduals)
+	}
+	skew := m3 / math.Pow(m2, 1.5)
+	kurt := m4 / (m2 * m2)
+	jb := fn / 6 * (skew*skew + (kurt-3)*(kurt-3)/4)
+	p, err := ChiSquareSF(jb, 2)
+	if err != nil {
+		return JarqueBeraResult{}, err
+	}
+	return JarqueBeraResult{Statistic: jb, PValue: p, Skewness: skew, Kurtosis: kurt}, nil
+}
+
+// DurbinWatson returns the Durbin–Watson statistic for lag-1 serial
+// correlation: values near 2 indicate none, toward 0 positive
+// correlation, toward 4 negative correlation.
+func DurbinWatson(residuals []float64) (float64, error) {
+	n := len(residuals)
+	if n < 3 {
+		return math.NaN(), fmt.Errorf("%w: %d residuals", ErrTooFewResiduals, n)
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		den += residuals[i] * residuals[i]
+		if i > 0 {
+			d := residuals[i] - residuals[i-1]
+			num += d * d
+		}
+	}
+	if den == 0 {
+		return math.NaN(), fmt.Errorf("%w: zero-variance residuals", ErrTooFewResiduals)
+	}
+	return num / den, nil
+}

@@ -1,0 +1,179 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// whiteNoise produces deterministic pseudo-Gaussian residuals via a
+// fixed 12-uniform sum (Irwin–Hall) generator.
+func whiteNoise(n int, seed uint64) []float64 {
+	state := seed
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		var s float64
+		for j := 0; j < 12; j++ {
+			s += next()
+		}
+		out[i] = s - 6 // ~N(0,1)
+	}
+	return out
+}
+
+func TestChiSquareSF(t *testing.T) {
+	// Known values: P(X > k) for chi-square at its median-ish points.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{0, 1, 1},
+		{3.841, 1, 0.05}, // 95th percentile of chi2(1)
+		{5.991, 2, 0.05}, // 95th percentile of chi2(2)
+		{18.307, 10, 0.05},
+	}
+	for _, tc := range cases {
+		got, err := ChiSquareSF(tc.x, tc.k)
+		if err != nil {
+			t.Fatalf("ChiSquareSF(%g, %d): %v", tc.x, tc.k, err)
+		}
+		if math.Abs(got-tc.want) > 5e-4 {
+			t.Errorf("ChiSquareSF(%g, %d) = %g, want %g", tc.x, tc.k, got, tc.want)
+		}
+	}
+	if _, err := ChiSquareSF(1, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestLjungBoxWhiteNoisePasses(t *testing.T) {
+	res, err := LjungBox(whiteNoise(200, 7), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("white noise rejected: p = %g (Q = %g)", res.PValue, res.Statistic)
+	}
+	if res.Lags != 10 {
+		t.Errorf("lags = %d", res.Lags)
+	}
+}
+
+func TestLjungBoxDetectsAutocorrelation(t *testing.T) {
+	// Strong AR(1) residuals must be flagged.
+	noise := whiteNoise(200, 11)
+	ar := make([]float64, len(noise))
+	ar[0] = noise[0]
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.8*ar[i-1] + noise[i]
+	}
+	res, err := LjungBox(ar, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("AR(1) not detected: p = %g", res.PValue)
+	}
+}
+
+func TestLjungBoxDefaultsAndErrors(t *testing.T) {
+	// Default lag selection works on short series.
+	if _, err := LjungBox(whiteNoise(30, 3), 0); err != nil {
+		t.Errorf("default lags: %v", err)
+	}
+	if _, err := LjungBox([]float64{1, 2}, 5); !errors.Is(err, ErrTooFewResiduals) {
+		t.Errorf("too few: %v", err)
+	}
+	flat := make([]float64, 50)
+	if _, err := LjungBox(flat, 5); !errors.Is(err, ErrTooFewResiduals) {
+		t.Errorf("zero variance: %v", err)
+	}
+}
+
+func TestJarqueBeraNormalPasses(t *testing.T) {
+	res, err := JarqueBera(whiteNoise(500, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("normal sample rejected: p = %g (skew %g, kurt %g)",
+			res.PValue, res.Skewness, res.Kurtosis)
+	}
+}
+
+func TestJarqueBeraDetectsSkew(t *testing.T) {
+	// Exponential residuals are strongly skewed.
+	noise := whiteNoise(300, 17)
+	skewed := make([]float64, len(noise))
+	for i, v := range noise {
+		skewed[i] = math.Exp(v / 2)
+	}
+	res, err := JarqueBera(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-4 {
+		t.Errorf("skewed sample not detected: p = %g", res.PValue)
+	}
+	if res.Skewness <= 0 {
+		t.Errorf("skewness = %g, want positive", res.Skewness)
+	}
+}
+
+func TestJarqueBeraErrors(t *testing.T) {
+	if _, err := JarqueBera([]float64{1, 2, 3}); !errors.Is(err, ErrTooFewResiduals) {
+		t.Errorf("too few: %v", err)
+	}
+	flat := make([]float64, 20)
+	if _, err := JarqueBera(flat); !errors.Is(err, ErrTooFewResiduals) {
+		t.Errorf("zero variance: %v", err)
+	}
+}
+
+func TestDurbinWatson(t *testing.T) {
+	// White noise → near 2.
+	dw, err := DurbinWatson(whiteNoise(300, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw < 1.7 || dw > 2.3 {
+		t.Errorf("white-noise DW = %g, want near 2", dw)
+	}
+	// Strong positive autocorrelation → near 0.
+	noise := whiteNoise(300, 23)
+	ar := make([]float64, len(noise))
+	ar[0] = noise[0]
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.95*ar[i-1] + 0.1*noise[i]
+	}
+	dw, err = DurbinWatson(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw > 0.7 {
+		t.Errorf("AR DW = %g, want near 0", dw)
+	}
+	// Alternating residuals → near 4.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = 1 - 2*float64(i%2)
+	}
+	dw, err = DurbinWatson(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw < 3.5 {
+		t.Errorf("alternating DW = %g, want near 4", dw)
+	}
+	if _, err := DurbinWatson([]float64{1, 2}); !errors.Is(err, ErrTooFewResiduals) {
+		t.Errorf("too few: %v", err)
+	}
+	if _, err := DurbinWatson(make([]float64, 10)); !errors.Is(err, ErrTooFewResiduals) {
+		t.Errorf("zero variance: %v", err)
+	}
+}

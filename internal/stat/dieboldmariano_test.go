@@ -1,0 +1,95 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDieboldMarianoDetectsClearWinner(t *testing.T) {
+	// Forecaster 1 has tiny errors, forecaster 2 large alternating ones.
+	n := 40
+	e1 := make([]float64, n)
+	e2 := make([]float64, n)
+	for i := range e1 {
+		e1[i] = 0.01 * math.Sin(float64(i))
+		e2[i] = 0.5 + 0.1*math.Cos(float64(i))
+	}
+	res, err := DieboldMariano(e1, e2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic >= 0 {
+		t.Errorf("statistic = %g, want negative (first forecaster wins)", res.Statistic)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("p-value = %g, want significant", res.PValue)
+	}
+	if res.MeanLossDiff >= 0 {
+		t.Errorf("mean loss diff = %g", res.MeanLossDiff)
+	}
+	// Swapping the forecasters flips the sign.
+	swapped, err := DieboldMariano(e2, e1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(swapped.Statistic+res.Statistic) > 1e-12 {
+		t.Errorf("swap asymmetry: %g vs %g", swapped.Statistic, res.Statistic)
+	}
+}
+
+func TestDieboldMarianoEquivalentForecasters(t *testing.T) {
+	// Same loss magnitudes in different order: no significant difference.
+	n := 60
+	e1 := make([]float64, n)
+	e2 := make([]float64, n)
+	for i := range e1 {
+		e1[i] = 0.1 * math.Sin(float64(i)*1.7)
+		e2[i] = 0.1 * math.Sin(float64(i)*1.7+math.Pi/3)
+	}
+	res, err := DieboldMariano(e1, e2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.05 {
+		t.Errorf("p-value = %g for equivalent forecasters, want insignificant", res.PValue)
+	}
+}
+
+func TestDieboldMarianoMultiHorizon(t *testing.T) {
+	// With autocorrelated loss differentials, the h>1 variant widens the
+	// variance; the statistic should shrink in magnitude.
+	n := 50
+	e1 := make([]float64, n)
+	e2 := make([]float64, n)
+	for i := range e1 {
+		base := math.Sin(float64(i) / 6) // slow-moving differential
+		e1[i] = 0.1 * base
+		e2[i] = 0.3 * base
+	}
+	h1, err := DieboldMariano(e1, e2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := DieboldMariano(e1, e2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h4.Statistic) >= math.Abs(h1.Statistic) {
+		t.Errorf("h=4 statistic %g should shrink vs h=1 %g under positive autocorrelation",
+			h4.Statistic, h1.Statistic)
+	}
+}
+
+func TestDieboldMarianoValidation(t *testing.T) {
+	if _, err := DieboldMariano([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := DieboldMariano([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("too short: want error")
+	}
+	same := []float64{0.1, 0.2, 0.3, 0.1}
+	if _, err := DieboldMariano(same, same, 1); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("identical forecasts: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+// Package stat provides the probability distributions and descriptive
+// statistics the resilience models are built from: Exponential and Weibull
+// (the paper's mixture components, Eq. 23), plus Gamma, LogNormal, Normal,
+// and Uniform for extensions, along with empirical CDFs and the normal
+// critical values used for confidence intervals (Eq. 13).
+package stat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Distribution is a continuous univariate probability distribution. All of
+// the paper's mixture components satisfy this interface, so mixture models
+// accept any Distribution for their degradation and recovery processes.
+type Distribution interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// Quantile returns the smallest x with CDF(x) >= p for p in [0, 1].
+	Quantile(p float64) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// Variance returns the distribution variance.
+	Variance() float64
+	// NumParams returns the number of free parameters, used by model
+	// complexity penalties (adjusted R², AIC, BIC).
+	NumParams() int
+	// Name returns a short identifier such as "exp" or "weibull".
+	Name() string
+}
+
+// ErrBadParam is the sentinel wrapped by all distribution constructors
+// when a parameter is out of range.
+var ErrBadParam = errors.New("stat: invalid distribution parameter")
+
+// ErrBadProbability is returned by Quantile implementations when p lies
+// outside [0, 1].
+var ErrBadProbability = errors.New("stat: probability outside [0, 1]")
+
+func badParam(dist, param string, value float64) error {
+	return fmt.Errorf("%w: %s %s = %g", ErrBadParam, dist, param, value)
+}

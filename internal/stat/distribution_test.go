@@ -1,0 +1,246 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustExp(t *testing.T, rate float64) Exponential {
+	t.Helper()
+	d, err := NewExponential(rate)
+	if err != nil {
+		t.Fatalf("NewExponential(%g): %v", rate, err)
+	}
+	return d
+}
+
+func mustWeibull(t *testing.T, shape, scale float64) Weibull {
+	t.Helper()
+	d, err := NewWeibull(shape, scale)
+	if err != nil {
+		t.Fatalf("NewWeibull(%g, %g): %v", shape, scale, err)
+	}
+	return d
+}
+
+// allDistributions returns a representative of each distribution for
+// shared-invariant tests.
+func allDistributions(t *testing.T) []Distribution {
+	t.Helper()
+	exp := mustExp(t, 1.5)
+	wei := mustWeibull(t, 2.5, 3)
+	gam, err := NewGamma(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgn, err := NewLogNormal(0.5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrm, err := NewNormal(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewUniform(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Distribution{exp, wei, gam, lgn, nrm, uni}
+}
+
+func TestConstructorsRejectBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"exp zero rate", func() error { _, err := NewExponential(0); return err }},
+		{"exp negative rate", func() error { _, err := NewExponential(-1); return err }},
+		{"exp NaN rate", func() error { _, err := NewExponential(math.NaN()); return err }},
+		{"weibull zero shape", func() error { _, err := NewWeibull(0, 1); return err }},
+		{"weibull negative scale", func() error { _, err := NewWeibull(1, -1); return err }},
+		{"gamma zero shape", func() error { _, err := NewGamma(0, 1); return err }},
+		{"gamma inf rate", func() error { _, err := NewGamma(1, math.Inf(1)); return err }},
+		{"lognormal NaN mu", func() error { _, err := NewLogNormal(math.NaN(), 1); return err }},
+		{"lognormal zero sigma", func() error { _, err := NewLogNormal(0, 0); return err }},
+		{"normal zero sigma", func() error { _, err := NewNormal(0, 0); return err }},
+		{"normal inf mu", func() error { _, err := NewNormal(math.Inf(1), 1); return err }},
+		{"uniform a==b", func() error { _, err := NewUniform(2, 2); return err }},
+		{"uniform a>b", func() error { _, err := NewUniform(3, 2); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.err(); !errors.Is(err, ErrBadParam) {
+				t.Errorf("want ErrBadParam, got %v", err)
+			}
+		})
+	}
+}
+
+func TestCDFBoundsAndMonotonicity(t *testing.T) {
+	for _, d := range allDistributions(t) {
+		prev := -1.0
+		for x := -5.0; x <= 50; x += 0.25 {
+			c := d.CDF(x)
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Fatalf("%s: CDF(%g) = %g outside [0,1]", d.Name(), x, c)
+			}
+			if c < prev-1e-12 {
+				t.Fatalf("%s: CDF decreasing at %g: %g < %g", d.Name(), x, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestPDFNonNegative(t *testing.T) {
+	for _, d := range allDistributions(t) {
+		for x := -3.0; x <= 30; x += 0.17 {
+			if p := d.PDF(x); p < 0 || math.IsNaN(p) {
+				t.Fatalf("%s: PDF(%g) = %g negative or NaN", d.Name(), x, p)
+			}
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	for _, d := range allDistributions(t) {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := d.Quantile(p)
+			if got := d.CDF(x); math.Abs(got-p) > 1e-8 {
+				t.Errorf("%s: CDF(Quantile(%g)) = %g", d.Name(), p, got)
+			}
+		}
+		if !math.IsNaN(d.Quantile(-0.1)) || !math.IsNaN(d.Quantile(1.1)) {
+			t.Errorf("%s: out-of-range quantile should be NaN", d.Name())
+		}
+	}
+}
+
+func TestPDFIsDerivativeOfCDF(t *testing.T) {
+	// Property check via central differences at interior points.
+	for _, d := range allDistributions(t) {
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			x := d.Quantile(p)
+			const h = 1e-5
+			numeric := (d.CDF(x+h) - d.CDF(x-h)) / (2 * h)
+			if math.Abs(numeric-d.PDF(x)) > 1e-4*(1+d.PDF(x)) {
+				t.Errorf("%s at x=%g: dCDF=%g, PDF=%g", d.Name(), x, numeric, d.PDF(x))
+			}
+		}
+	}
+}
+
+func TestMomentsAgainstKnownValues(t *testing.T) {
+	exp := mustExp(t, 2)
+	if exp.Mean() != 0.5 || exp.Variance() != 0.25 {
+		t.Errorf("Exponential(2) moments: mean=%g var=%g", exp.Mean(), exp.Variance())
+	}
+	wei := mustWeibull(t, 1, 3) // shape 1 == Exponential(rate 1/3)
+	if math.Abs(wei.Mean()-3) > 1e-12 || math.Abs(wei.Variance()-9) > 1e-9 {
+		t.Errorf("Weibull(1,3) moments: mean=%g var=%g", wei.Mean(), wei.Variance())
+	}
+	gam, _ := NewGamma(3, 2)
+	if gam.Mean() != 1.5 || gam.Variance() != 0.75 {
+		t.Errorf("Gamma(3,2) moments: mean=%g var=%g", gam.Mean(), gam.Variance())
+	}
+	uni, _ := NewUniform(0, 12)
+	if uni.Mean() != 6 || uni.Variance() != 12 {
+		t.Errorf("Uniform(0,12) moments: mean=%g var=%g", uni.Mean(), uni.Variance())
+	}
+	nrm, _ := NewNormal(-1, 3)
+	if nrm.Mean() != -1 || nrm.Variance() != 9 {
+		t.Errorf("Normal(-1,3) moments: mean=%g var=%g", nrm.Mean(), nrm.Variance())
+	}
+	lgn, _ := NewLogNormal(0, 1)
+	if math.Abs(lgn.Mean()-math.Exp(0.5)) > 1e-12 {
+		t.Errorf("LogNormal(0,1) mean = %g", lgn.Mean())
+	}
+}
+
+func TestWeibullShapeOneMatchesExponential(t *testing.T) {
+	// Weibull(k=1, λ) must coincide with Exponential(rate=1/λ) everywhere.
+	f := func(scaleSeed, xSeed uint32) bool {
+		scale := 0.1 + float64(scaleSeed%1000)/100
+		x := float64(xSeed%5000) / 100
+		w, err1 := NewWeibull(1, scale)
+		e, err2 := NewExponential(1 / scale)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(w.CDF(x)-e.CDF(x)) < 1e-12 &&
+			math.Abs(w.PDF(x)-e.PDF(x)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaShapeOneMatchesExponential(t *testing.T) {
+	g, _ := NewGamma(1, 2)
+	e := mustExp(t, 2)
+	for x := 0.0; x < 10; x += 0.37 {
+		if math.Abs(g.CDF(x)-e.CDF(x)) > 1e-10 {
+			t.Fatalf("Gamma(1,2) vs Exp(2) CDF at %g: %g vs %g", x, g.CDF(x), e.CDF(x))
+		}
+	}
+}
+
+func TestZCritical(t *testing.T) {
+	// Published table values.
+	cases := []struct {
+		alpha, want float64
+	}{
+		{0.05, 1.959963984540054},
+		{0.01, 2.5758293035489004},
+		{0.10, 1.6448536269514722},
+	}
+	for _, tc := range cases {
+		if got := ZCritical(tc.alpha); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("ZCritical(%g) = %.12g, want %.12g", tc.alpha, got, tc.want)
+		}
+	}
+	if !math.IsNaN(ZCritical(0)) || !math.IsNaN(ZCritical(1)) {
+		t.Error("ZCritical outside (0,1) should be NaN")
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	exp := mustExp(t, 1)
+	if exp.Quantile(0) != 0 {
+		t.Errorf("Exp.Quantile(0) = %g", exp.Quantile(0))
+	}
+	if !math.IsInf(exp.Quantile(1), 1) {
+		t.Errorf("Exp.Quantile(1) = %g", exp.Quantile(1))
+	}
+	n := StdNormal()
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Error("Normal quantile at 0/1 should be ∓Inf")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if e := mustExp(t, 2.5); e.Rate() != 2.5 || e.NumParams() != 1 || e.Name() != "exp" {
+		t.Error("Exponential accessors")
+	}
+	if w := mustWeibull(t, 2, 3); w.Shape() != 2 || w.Scale() != 3 || w.NumParams() != 2 {
+		t.Error("Weibull accessors")
+	}
+	g, _ := NewGamma(2, 3)
+	if g.Shape() != 2 || g.Rate() != 3 {
+		t.Error("Gamma accessors")
+	}
+	l, _ := NewLogNormal(1, 2)
+	if l.Mu() != 1 || l.Sigma() != 2 {
+		t.Error("LogNormal accessors")
+	}
+	n, _ := NewNormal(1, 2)
+	if n.Mu() != 1 || n.Sigma() != 2 {
+		t.Error("Normal accessors")
+	}
+	u, _ := NewUniform(1, 2)
+	if a, b := u.Bounds(); a != 1 || b != 2 {
+		t.Error("Uniform accessors")
+	}
+}

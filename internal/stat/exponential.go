@@ -1,0 +1,62 @@
+package stat
+
+import "math"
+
+// Exponential is the exponential distribution with rate parameter λ > 0.
+// Its CDF is F(t) = 1 - e^{-λt}, the k = 1 special case of the Weibull
+// distribution in Eq. (23) of the paper.
+type Exponential struct {
+	rate float64
+}
+
+var _ Distribution = Exponential{}
+
+// NewExponential returns an exponential distribution with the given rate.
+func NewExponential(rate float64) (Exponential, error) {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return Exponential{}, badParam("exponential", "rate", rate)
+	}
+	return Exponential{rate: rate}, nil
+}
+
+// Rate returns the rate parameter λ.
+func (e Exponential) Rate() float64 { return e.rate }
+
+// CDF returns 1 - e^{-λx} for x >= 0 and 0 otherwise.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.rate * x)
+}
+
+// PDF returns λe^{-λx} for x >= 0 and 0 otherwise.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.rate * math.Exp(-e.rate*x)
+}
+
+// Quantile returns -ln(1-p)/λ. Out-of-range p yields NaN.
+func (e Exponential) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.rate
+}
+
+// Mean returns 1/λ.
+func (e Exponential) Mean() float64 { return 1 / e.rate }
+
+// Variance returns 1/λ².
+func (e Exponential) Variance() float64 { return 1 / (e.rate * e.rate) }
+
+// NumParams returns 1.
+func (e Exponential) NumParams() int { return 1 }
+
+// Name returns "exp".
+func (e Exponential) Name() string { return "exp" }

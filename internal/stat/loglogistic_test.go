@@ -1,0 +1,178 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLogLogisticBasics(t *testing.T) {
+	l, err := NewLogLogistic(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Shape() != 3 || l.Scale() != 5 || l.NumParams() != 2 || l.Name() != "loglogistic" {
+		t.Error("accessors")
+	}
+	// CDF at the scale parameter is exactly 0.5.
+	if got := l.CDF(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(scale) = %g, want 0.5", got)
+	}
+	if l.CDF(0) != 0 || l.CDF(-1) != 0 {
+		t.Error("CDF at/below 0")
+	}
+	// Hand check: F(10) = (10/5)³/(1+(10/5)³) = 8/9.
+	if got := l.CDF(10); math.Abs(got-8.0/9) > 1e-12 {
+		t.Errorf("CDF(10) = %g, want 8/9", got)
+	}
+}
+
+func TestLogLogisticInvalidParams(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, 0}, {1, -1}, {math.Inf(1), 1}} {
+		if _, err := NewLogLogistic(bad[0], bad[1]); !errors.Is(err, ErrBadParam) {
+			t.Errorf("NewLogLogistic(%v): %v", bad, err)
+		}
+	}
+}
+
+func TestLogLogisticQuantileInvertsCDF(t *testing.T) {
+	l, err := NewLogLogistic(2.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		x := l.Quantile(p)
+		if got := l.CDF(x); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+	if !math.IsNaN(l.Quantile(-0.1)) || !math.IsNaN(l.Quantile(1.1)) {
+		t.Error("out-of-range quantiles")
+	}
+	if l.Quantile(0) != 0 || !math.IsInf(l.Quantile(1), 1) {
+		t.Error("boundary quantiles")
+	}
+}
+
+func TestLogLogisticPDFIsDerivative(t *testing.T) {
+	l, err := NewLogLogistic(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 8} {
+		const h = 1e-6
+		numeric := (l.CDF(x+h) - l.CDF(x-h)) / (2 * h)
+		if math.Abs(numeric-l.PDF(x)) > 1e-5 {
+			t.Errorf("PDF(%g) = %g, dCDF = %g", x, l.PDF(x), numeric)
+		}
+	}
+}
+
+func TestLogLogisticMoments(t *testing.T) {
+	// β <= 1: infinite mean; β <= 2: infinite variance.
+	heavy, err := NewLogLogistic(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(heavy.Mean(), 1) || !math.IsInf(heavy.Variance(), 1) {
+		t.Error("heavy tail should have infinite moments")
+	}
+	l, err := NewLogLogistic(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: finite mean matches numeric integration of the survival
+	// function.
+	var sum float64
+	const steps = 200000
+	cutoff := l.Quantile(1 - 1e-10)
+	h := cutoff / steps
+	for i := 0; i < steps; i++ {
+		x := (float64(i) + 0.5) * h
+		sum += 1 - l.CDF(x)
+	}
+	sum *= h
+	if math.Abs(sum-l.Mean()) > 1e-3*l.Mean() {
+		t.Errorf("Mean = %g, numeric %g", l.Mean(), sum)
+	}
+	if v := l.Variance(); v <= 0 || math.IsInf(v, 0) {
+		t.Errorf("Variance = %g", v)
+	}
+}
+
+func TestGompertzBasics(t *testing.T) {
+	g, err := NewGompertz(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shape() != 0.5 || g.Rate() != 0.2 || g.NumParams() != 2 || g.Name() != "gompertz" {
+		t.Error("accessors")
+	}
+	if g.CDF(0) != 0 || g.CDF(-1) != 0 {
+		t.Error("CDF at/below 0")
+	}
+	// Hand check: F(5) = 1 − exp(−0.5(e^{1} − 1)).
+	want := 1 - math.Exp(-0.5*(math.E-1))
+	if got := g.CDF(5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(5) = %g, want %g", got, want)
+	}
+}
+
+func TestGompertzInvalidParams(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {1, math.Inf(1)}} {
+		if _, err := NewGompertz(bad[0], bad[1]); !errors.Is(err, ErrBadParam) {
+			t.Errorf("NewGompertz(%v): %v", bad, err)
+		}
+	}
+}
+
+func TestGompertzQuantileInvertsCDF(t *testing.T) {
+	g, err := NewGompertz(0.3, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x := g.Quantile(p)
+		if got := g.CDF(x); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+}
+
+func TestGompertzPDFIntegratesToOne(t *testing.T) {
+	g, err := NewGompertz(0.4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := g.Quantile(1 - 1e-12)
+	const steps = 100000
+	h := cutoff / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		sum += g.PDF((float64(i) + 0.5) * h)
+	}
+	sum *= h
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("∫PDF = %g", sum)
+	}
+}
+
+func TestGompertzMomentsFinite(t *testing.T) {
+	g, err := NewGompertz(0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := g.Mean()
+	if mean <= 0 || math.IsInf(mean, 0) || math.IsNaN(mean) {
+		t.Errorf("Mean = %g", mean)
+	}
+	// Cross-check against the median: for this parameterization the mean
+	// is near the median (mild skew).
+	median := g.Quantile(0.5)
+	if math.Abs(mean-median) > median {
+		t.Errorf("mean %g implausibly far from median %g", mean, median)
+	}
+	if v := g.Variance(); v <= 0 || math.IsInf(v, 0) {
+		t.Errorf("Variance = %g", v)
+	}
+}

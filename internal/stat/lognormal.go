@@ -1,0 +1,78 @@
+package stat
+
+import "math"
+
+// LogNormal is the log-normal distribution: ln X ~ N(μ, σ²). Like Gamma,
+// it extends the paper's mixture-component menu.
+type LogNormal struct {
+	mu    float64
+	sigma float64
+}
+
+var _ Distribution = LogNormal{}
+
+// NewLogNormal returns a log-normal distribution with log-mean mu and
+// log-standard-deviation sigma.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return LogNormal{}, badParam("lognormal", "mu", mu)
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return LogNormal{}, badParam("lognormal", "sigma", sigma)
+	}
+	return LogNormal{mu: mu, sigma: sigma}, nil
+}
+
+// Mu returns the log-mean parameter μ.
+func (l LogNormal) Mu() float64 { return l.mu }
+
+// Sigma returns the log-standard-deviation parameter σ.
+func (l LogNormal) Sigma() float64 { return l.sigma }
+
+// CDF returns Φ((ln x - μ)/σ) for x > 0 and 0 otherwise.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Erfc(-(math.Log(x)-l.mu)/(l.sigma*math.Sqrt2)) / 2
+}
+
+// PDF returns the log-normal density at x.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.mu) / l.sigma
+	return math.Exp(-z*z/2) / (x * l.sigma * math.Sqrt(2*math.Pi))
+}
+
+// Quantile returns exp(μ + σ√2·erf⁻¹(2p-1)). Out-of-range p yields NaN.
+func (l LogNormal) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	}
+	return math.Exp(l.mu + l.sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}
+
+// Mean returns exp(μ + σ²/2).
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.mu + l.sigma*l.sigma/2)
+}
+
+// Variance returns (e^{σ²} - 1)·e^{2μ+σ²}.
+func (l LogNormal) Variance() float64 {
+	s2 := l.sigma * l.sigma
+	return math.Expm1(s2) * math.Exp(2*l.mu+s2)
+}
+
+// NumParams returns 2.
+func (l LogNormal) NumParams() int { return 2 }
+
+// Name returns "lognormal".
+func (l LogNormal) Name() string { return "lognormal" }

@@ -1,0 +1,81 @@
+package stat
+
+import "math"
+
+// Normal is the Gaussian distribution with mean μ and standard deviation
+// σ > 0. It supplies the critical values z_{1-α/2} used by the paper's
+// confidence intervals (Eq. 13).
+type Normal struct {
+	mu    float64
+	sigma float64
+}
+
+var _ Distribution = Normal{}
+
+// NewNormal returns a normal distribution with mean mu and standard
+// deviation sigma.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return Normal{}, badParam("normal", "mu", mu)
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return Normal{}, badParam("normal", "sigma", sigma)
+	}
+	return Normal{mu: mu, sigma: sigma}, nil
+}
+
+// StdNormal is the standard normal distribution N(0, 1).
+func StdNormal() Normal { return Normal{mu: 0, sigma: 1} }
+
+// Mu returns the mean parameter μ.
+func (n Normal) Mu() float64 { return n.mu }
+
+// Sigma returns the standard deviation parameter σ.
+func (n Normal) Sigma() float64 { return n.sigma }
+
+// CDF returns Φ((x-μ)/σ).
+func (n Normal) CDF(x float64) float64 {
+	return math.Erfc(-(x-n.mu)/(n.sigma*math.Sqrt2)) / 2
+}
+
+// PDF returns the Gaussian density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.mu) / n.sigma
+	return math.Exp(-z*z/2) / (n.sigma * math.Sqrt(2*math.Pi))
+}
+
+// Quantile returns μ + σ√2·erf⁻¹(2p-1). Out-of-range p yields NaN.
+func (n Normal) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return math.Inf(1)
+	}
+	return n.mu + n.sigma*math.Sqrt2*math.Erfinv(2*p-1)
+}
+
+// Mean returns μ.
+func (n Normal) Mean() float64 { return n.mu }
+
+// Variance returns σ².
+func (n Normal) Variance() float64 { return n.sigma * n.sigma }
+
+// NumParams returns 2.
+func (n Normal) NumParams() int { return 2 }
+
+// Name returns "normal".
+func (n Normal) Name() string { return "normal" }
+
+// ZCritical returns the two-sided standard-normal critical value
+// z_{1-α/2} for significance level alpha in (0, 1), e.g. alpha = 0.05
+// yields ≈ 1.95996.
+func ZCritical(alpha float64) float64 {
+	if !(alpha > 0 && alpha < 1) {
+		return math.NaN()
+	}
+	return StdNormal().Quantile(1 - alpha/2)
+}

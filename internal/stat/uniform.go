@@ -1,0 +1,68 @@
+package stat
+
+import "math"
+
+// Uniform is the continuous uniform distribution on [a, b], a < b. It is
+// mainly used by tests and by the synthetic data generator.
+type Uniform struct {
+	a, b float64
+}
+
+var _ Distribution = Uniform{}
+
+// NewUniform returns a uniform distribution on [a, b].
+func NewUniform(a, b float64) (Uniform, error) {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return Uniform{}, badParam("uniform", "bounds", math.NaN())
+	}
+	if a >= b {
+		return Uniform{}, badParam("uniform", "a >= b; a", a)
+	}
+	return Uniform{a: a, b: b}, nil
+}
+
+// Bounds returns the interval endpoints (a, b).
+func (u Uniform) Bounds() (float64, float64) { return u.a, u.b }
+
+// CDF returns the uniform CDF at x.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.a:
+		return 0
+	case x >= u.b:
+		return 1
+	default:
+		return (x - u.a) / (u.b - u.a)
+	}
+}
+
+// PDF returns 1/(b-a) inside [a, b] and 0 outside.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.a || x > u.b {
+		return 0
+	}
+	return 1 / (u.b - u.a)
+}
+
+// Quantile returns a + p(b-a). Out-of-range p yields NaN.
+func (u Uniform) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	return u.a + p*(u.b-u.a)
+}
+
+// Mean returns (a+b)/2.
+func (u Uniform) Mean() float64 { return (u.a + u.b) / 2 }
+
+// Variance returns (b-a)²/12.
+func (u Uniform) Variance() float64 {
+	d := u.b - u.a
+	return d * d / 12
+}
+
+// NumParams returns 2.
+func (u Uniform) NumParams() int { return 2 }
+
+// Name returns "uniform".
+func (u Uniform) Name() string { return "uniform" }

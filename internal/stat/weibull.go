@@ -1,0 +1,87 @@
+package stat
+
+import "math"
+
+// Weibull is the two-parameter Weibull distribution with shape k > 0 and
+// scale λ > 0, whose CDF F(t) = 1 - e^{-(t/λ)^k} is Eq. (23) in the paper.
+// Setting k = 1 recovers the exponential distribution.
+type Weibull struct {
+	shape float64
+	scale float64
+}
+
+var _ Distribution = Weibull{}
+
+// NewWeibull returns a Weibull distribution with the given shape k and
+// scale λ.
+func NewWeibull(shape, scale float64) (Weibull, error) {
+	if !(shape > 0) || math.IsInf(shape, 0) {
+		return Weibull{}, badParam("weibull", "shape", shape)
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return Weibull{}, badParam("weibull", "scale", scale)
+	}
+	return Weibull{shape: shape, scale: scale}, nil
+}
+
+// Shape returns the shape parameter k.
+func (w Weibull) Shape() float64 { return w.shape }
+
+// Scale returns the scale parameter λ.
+func (w Weibull) Scale() float64 { return w.scale }
+
+// CDF returns 1 - e^{-(x/λ)^k} for x >= 0 and 0 otherwise.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.scale, w.shape))
+}
+
+// PDF returns the Weibull density at x.
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case w.shape < 1:
+			return math.Inf(1)
+		case w.shape == 1:
+			return 1 / w.scale
+		default:
+			return 0
+		}
+	}
+	z := x / w.scale
+	return w.shape / w.scale * math.Pow(z, w.shape-1) * math.Exp(-math.Pow(z, w.shape))
+}
+
+// Quantile returns λ(-ln(1-p))^{1/k}. Out-of-range p yields NaN.
+func (w Weibull) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return w.scale * math.Pow(-math.Log1p(-p), 1/w.shape)
+}
+
+// Mean returns λΓ(1 + 1/k).
+func (w Weibull) Mean() float64 {
+	return w.scale * math.Gamma(1+1/w.shape)
+}
+
+// Variance returns λ²[Γ(1+2/k) - Γ(1+1/k)²].
+func (w Weibull) Variance() float64 {
+	g1 := math.Gamma(1 + 1/w.shape)
+	g2 := math.Gamma(1 + 2/w.shape)
+	return w.scale * w.scale * (g2 - g1*g1)
+}
+
+// NumParams returns 2.
+func (w Weibull) NumParams() int { return 2 }
+
+// Name returns "weibull".
+func (w Weibull) Name() string { return "weibull" }

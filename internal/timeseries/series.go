@@ -1,0 +1,320 @@
+// Package timeseries provides the Series type that carries empirical
+// resilience data — (time, performance) pairs such as the monthly payroll
+// employment indexes in Fig. 2 of the paper — together with the
+// transformations the modeling pipeline needs: peak normalization,
+// train/test splitting, minimum location, interpolation, and smoothing.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is an ordered sequence of (time, value) observations. Times must
+// be strictly increasing and all fields finite; NewSeries enforces this.
+type Series struct {
+	times  []float64
+	values []float64
+}
+
+// Sentinel errors returned by Series constructors and methods.
+var (
+	// ErrEmpty indicates a series with no observations.
+	ErrEmpty = errors.New("timeseries: empty series")
+	// ErrLengthMismatch indicates times and values differ in length.
+	ErrLengthMismatch = errors.New("timeseries: times and values length mismatch")
+	// ErrNotIncreasing indicates times are not strictly increasing.
+	ErrNotIncreasing = errors.New("timeseries: times must be strictly increasing")
+	// ErrNotFinite indicates a NaN or infinite time or value.
+	ErrNotFinite = errors.New("timeseries: non-finite observation")
+	// ErrBadSplit indicates an invalid train/test split request.
+	ErrBadSplit = errors.New("timeseries: invalid split")
+	// ErrOutOfRange indicates a query time outside the observed span.
+	ErrOutOfRange = errors.New("timeseries: time outside observed range")
+)
+
+// NewSeries builds a Series from parallel time and value slices, copying
+// both so later caller mutations cannot corrupt the series.
+func NewSeries(times, values []float64) (*Series, error) {
+	if len(times) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(times) != len(values) {
+		return nil, fmt.Errorf("%w: %d times, %d values", ErrLengthMismatch, len(times), len(values))
+	}
+	for i := range times {
+		if math.IsNaN(times[i]) || math.IsInf(times[i], 0) ||
+			math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return nil, fmt.Errorf("%w: index %d", ErrNotFinite, i)
+		}
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("%w: t[%d]=%g <= t[%d]=%g", ErrNotIncreasing, i, times[i], i-1, times[i-1])
+		}
+	}
+	s := &Series{
+		times:  make([]float64, len(times)),
+		values: make([]float64, len(values)),
+	}
+	copy(s.times, times)
+	copy(s.values, values)
+	return s, nil
+}
+
+// FromValues builds a Series whose times are 0, 1, 2, … — the natural
+// representation for "months after employment peak" data.
+func FromValues(values []float64) (*Series, error) {
+	times := make([]float64, len(values))
+	for i := range times {
+		times[i] = float64(i)
+	}
+	return NewSeries(times, values)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.times) }
+
+// Time returns the i-th observation time.
+func (s *Series) Time(i int) float64 { return s.times[i] }
+
+// Value returns the i-th observation value.
+func (s *Series) Value(i int) float64 { return s.values[i] }
+
+// Times returns a copy of the observation times.
+func (s *Series) Times() []float64 {
+	return append([]float64(nil), s.times...)
+}
+
+// Values returns a copy of the observation values.
+func (s *Series) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// Span returns the first and last observation times.
+func (s *Series) Span() (start, end float64) {
+	return s.times[0], s.times[len(s.times)-1]
+}
+
+// Min returns the index, time, and value of the smallest observation; the
+// earliest index wins ties. This locates t_d, the time of minimum
+// performance in the paper's Fig. 1.
+func (s *Series) Min() (idx int, t, v float64) {
+	idx = 0
+	for i := 1; i < len(s.values); i++ {
+		if s.values[i] < s.values[idx] {
+			idx = i
+		}
+	}
+	return idx, s.times[idx], s.values[idx]
+}
+
+// Max returns the index, time, and value of the largest observation; the
+// earliest index wins ties.
+func (s *Series) Max() (idx int, t, v float64) {
+	idx = 0
+	for i := 1; i < len(s.values); i++ {
+		if s.values[i] > s.values[idx] {
+			idx = i
+		}
+	}
+	return idx, s.times[idx], s.values[idx]
+}
+
+// NormalizeToFirst returns a new Series with every value divided by the
+// first value, the normalization used in Fig. 2 (index relative to the
+// employment peak at t = 0). It fails if the first value is zero.
+func (s *Series) NormalizeToFirst() (*Series, error) {
+	base := s.values[0]
+	if base == 0 {
+		return nil, errors.New("timeseries: first value is zero, cannot normalize")
+	}
+	vals := make([]float64, len(s.values))
+	for i, v := range s.values {
+		vals[i] = v / base
+	}
+	return NewSeries(s.times, vals)
+}
+
+// Scale returns a new Series with every value multiplied by factor.
+func (s *Series) Scale(factor float64) (*Series, error) {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("%w: scale factor %g", ErrNotFinite, factor)
+	}
+	vals := make([]float64, len(s.values))
+	for i, v := range s.values {
+		vals[i] = v * factor
+	}
+	return NewSeries(s.times, vals)
+}
+
+// Slice returns the subseries with indexes in [lo, hi).
+func (s *Series) Slice(lo, hi int) (*Series, error) {
+	if lo < 0 || hi > s.Len() || lo >= hi {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d", ErrBadSplit, lo, hi, s.Len())
+	}
+	return NewSeries(s.times[lo:hi], s.values[lo:hi])
+}
+
+// SplitAt returns the first n observations as train and the remainder as
+// test. The paper fits on the first n−ℓ points and scores predictions on
+// the final ℓ (Eq. 10); SplitAt(n-ℓ) produces exactly that split.
+func (s *Series) SplitAt(n int) (train, test *Series, err error) {
+	if n <= 0 || n >= s.Len() {
+		return nil, nil, fmt.Errorf("%w: n=%d of %d", ErrBadSplit, n, s.Len())
+	}
+	train, err = s.Slice(0, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = s.Slice(n, s.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// SplitFraction splits so that the train set holds frac of the
+// observations (rounded to nearest, at least 1, at most Len-1). The
+// paper's mixture experiments use frac = 0.9.
+func (s *Series) SplitFraction(frac float64) (train, test *Series, err error) {
+	if !(frac > 0 && frac < 1) {
+		return nil, nil, fmt.Errorf("%w: fraction %g", ErrBadSplit, frac)
+	}
+	n := int(math.Round(frac * float64(s.Len())))
+	if n < 1 {
+		n = 1
+	}
+	if n >= s.Len() {
+		n = s.Len() - 1
+	}
+	return s.SplitAt(n)
+}
+
+// Interpolate returns the linearly interpolated value at time t, which
+// must lie within the observed span.
+func (s *Series) Interpolate(t float64) (float64, error) {
+	start, end := s.Span()
+	if t < start || t > end || math.IsNaN(t) {
+		return math.NaN(), fmt.Errorf("%w: t=%g not in [%g, %g]", ErrOutOfRange, t, start, end)
+	}
+	// Find the first index with time >= t.
+	i := sort.SearchFloat64s(s.times, t)
+	if i < s.Len() && s.times[i] == t {
+		return s.values[i], nil
+	}
+	lo, hi := i-1, i
+	frac := (t - s.times[lo]) / (s.times[hi] - s.times[lo])
+	return s.values[lo] + frac*(s.values[hi]-s.values[lo]), nil
+}
+
+// MovingAverage returns a new Series smoothed with a centered window of
+// the given odd width (window = 1 returns a copy). Endpoints use the
+// available portion of the window.
+func (s *Series) MovingAverage(window int) (*Series, error) {
+	if window < 1 || window%2 == 0 {
+		return nil, fmt.Errorf("%w: window %d must be odd and >= 1", ErrBadSplit, window)
+	}
+	half := window / 2
+	vals := make([]float64, s.Len())
+	for i := range vals {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		var sum float64
+		for j := lo; j < hi; j++ {
+			sum += s.values[j]
+		}
+		vals[i] = sum / float64(hi-lo)
+	}
+	return NewSeries(s.times, vals)
+}
+
+// Diff returns the first differences ΔP(tᵢ) = P(tᵢ) − P(tᵢ₋₁) as a Series
+// indexed at the later time of each pair. The paper's confidence intervals
+// (Eq. 13) are built around these changes in performance.
+func (s *Series) Diff() (*Series, error) {
+	if s.Len() < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 observations", ErrBadSplit)
+	}
+	times := make([]float64, s.Len()-1)
+	vals := make([]float64, s.Len()-1)
+	for i := 1; i < s.Len(); i++ {
+		times[i-1] = s.times[i]
+		vals[i-1] = s.values[i] - s.values[i-1]
+	}
+	return NewSeries(times, vals)
+}
+
+// Detrend removes the least-squares straight line through the series,
+// returning the detrended series plus the fitted intercept and slope.
+// Payroll series carry secular growth; removing it before shape
+// classification sharpens the letter-shape signal.
+func (s *Series) Detrend() (detrended *Series, intercept, slope float64, err error) {
+	if s.Len() < 2 {
+		return nil, 0, 0, fmt.Errorf("%w: need at least 2 observations to detrend", ErrBadSplit)
+	}
+	// Closed-form simple linear regression.
+	var sumT, sumV, sumTT, sumTV float64
+	n := float64(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		t, v := s.times[i], s.values[i]
+		sumT += t
+		sumV += v
+		sumTT += t * t
+		sumTV += t * v
+	}
+	denom := n*sumTT - sumT*sumT
+	if denom == 0 {
+		return nil, 0, 0, fmt.Errorf("%w: degenerate time axis", ErrBadSplit)
+	}
+	slope = (n*sumTV - sumT*sumV) / denom
+	intercept = (sumV - slope*sumT) / n
+	vals := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		vals[i] = s.values[i] - (intercept + slope*s.times[i])
+	}
+	out, err := NewSeries(s.times, vals)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return out, intercept, slope, nil
+}
+
+// Rebase returns a new Series whose time axis starts at zero, preserving
+// spacing — useful after slicing a disruption window out of a longer
+// history.
+func (s *Series) Rebase() (*Series, error) {
+	t0 := s.times[0]
+	times := make([]float64, s.Len())
+	for i := range times {
+		times[i] = s.times[i] - t0
+	}
+	return NewSeries(times, s.values)
+}
+
+// Resample returns the series linearly interpolated onto n equally
+// spaced times across its span. n must be at least 2.
+func (s *Series) Resample(n int) (*Series, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: resample needs n >= 2", ErrBadSplit)
+	}
+	start, end := s.Span()
+	times := make([]float64, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := start + (end-start)*float64(i)/float64(n-1)
+		v, err := s.Interpolate(t)
+		if err != nil {
+			return nil, err
+		}
+		times[i] = t
+		vals[i] = v
+	}
+	return NewSeries(times, vals)
+}

@@ -1,0 +1,355 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustSeries(t *testing.T, times, values []float64) *Series {
+	t.Helper()
+	s, err := NewSeries(times, values)
+	if err != nil {
+		t.Fatalf("NewSeries: %v", err)
+	}
+	return s
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		times   []float64
+		values  []float64
+		wantErr error
+	}{
+		{name: "empty", wantErr: ErrEmpty},
+		{name: "length mismatch", times: []float64{1, 2}, values: []float64{1}, wantErr: ErrLengthMismatch},
+		{name: "non-increasing", times: []float64{1, 1}, values: []float64{1, 2}, wantErr: ErrNotIncreasing},
+		{name: "decreasing", times: []float64{2, 1}, values: []float64{1, 2}, wantErr: ErrNotIncreasing},
+		{name: "NaN value", times: []float64{1, 2}, values: []float64{1, math.NaN()}, wantErr: ErrNotFinite},
+		{name: "Inf time", times: []float64{1, math.Inf(1)}, values: []float64{1, 2}, wantErr: ErrNotFinite},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSeries(tt.times, tt.values); !errors.Is(err, tt.wantErr) {
+				t.Errorf("want %v, got %v", tt.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestNewSeriesCopiesInput(t *testing.T) {
+	times := []float64{0, 1}
+	values := []float64{10, 20}
+	s := mustSeries(t, times, values)
+	times[0] = 99
+	values[0] = 99
+	if s.Time(0) != 0 || s.Value(0) != 10 {
+		t.Error("series aliased caller slices")
+	}
+	got := s.Values()
+	got[0] = 42
+	if s.Value(0) != 10 {
+		t.Error("Values() exposed internal storage")
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	s, err := FromValues([]float64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Time(2) != 2 || s.Value(2) != 7 {
+		t.Errorf("FromValues: %v %v", s.Times(), s.Values())
+	}
+	start, end := s.Span()
+	if start != 0 || end != 2 {
+		t.Errorf("Span = %g, %g", start, end)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := mustSeries(t, []float64{0, 1, 2, 3, 4}, []float64{1.0, 0.95, 0.9, 0.9, 1.02})
+	idx, tm, v := s.Min()
+	if idx != 2 || tm != 2 || v != 0.9 {
+		t.Errorf("Min = %d, %g, %g (earliest tie should win)", idx, tm, v)
+	}
+	idx, tm, v = s.Max()
+	if idx != 4 || tm != 4 || v != 1.02 {
+		t.Errorf("Max = %d, %g, %g", idx, tm, v)
+	}
+}
+
+func TestNormalizeToFirst(t *testing.T) {
+	s := mustSeries(t, []float64{0, 1, 2}, []float64{200, 190, 210})
+	n, err := s.NormalizeToFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.95, 1.05}
+	for i, w := range want {
+		if math.Abs(n.Value(i)-w) > 1e-12 {
+			t.Errorf("normalized[%d] = %g, want %g", i, n.Value(i), w)
+		}
+	}
+	zero := mustSeries(t, []float64{0, 1}, []float64{0, 1})
+	if _, err := zero.NormalizeToFirst(); err == nil {
+		t.Error("zero first value: want error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := mustSeries(t, []float64{0, 1}, []float64{2, 4})
+	sc, err := s.Scale(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Value(0) != 1 || sc.Value(1) != 2 {
+		t.Errorf("Scale: %v", sc.Values())
+	}
+	if _, err := s.Scale(math.NaN()); !errors.Is(err, ErrNotFinite) {
+		t.Errorf("NaN scale: %v", err)
+	}
+}
+
+func TestSliceAndSplit(t *testing.T) {
+	s := mustSeries(t, []float64{0, 1, 2, 3, 4}, []float64{10, 11, 12, 13, 14})
+	sub, err := s.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Value(0) != 11 || sub.Value(1) != 12 {
+		t.Errorf("Slice: %v", sub.Values())
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 6}, {3, 3}, {4, 2}} {
+		if _, err := s.Slice(bad[0], bad[1]); !errors.Is(err, ErrBadSplit) {
+			t.Errorf("Slice(%v): want ErrBadSplit, got %v", bad, err)
+		}
+	}
+
+	train, test, err := s.SplitAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 3 || test.Len() != 2 || test.Time(0) != 3 {
+		t.Errorf("SplitAt: train %d, test %d", train.Len(), test.Len())
+	}
+	if _, _, err := s.SplitAt(0); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("SplitAt(0): %v", err)
+	}
+	if _, _, err := s.SplitAt(5); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("SplitAt(len): %v", err)
+	}
+}
+
+func TestSplitFraction(t *testing.T) {
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s, err := FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := s.SplitFraction(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 43 || test.Len() != 5 {
+		t.Errorf("90%% of 48: train %d, test %d; want 43/5", train.Len(), test.Len())
+	}
+	// Tiny series still split into non-empty halves.
+	small := mustSeries(t, []float64{0, 1}, []float64{1, 2})
+	tr, te, err := small.SplitFraction(0.99)
+	if err != nil || tr.Len() != 1 || te.Len() != 1 {
+		t.Errorf("tiny split: %v, %d/%d", err, tr.Len(), te.Len())
+	}
+	if _, _, err := s.SplitFraction(0); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("frac 0: %v", err)
+	}
+	if _, _, err := s.SplitFraction(1); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("frac 1: %v", err)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	s := mustSeries(t, []float64{0, 2, 4}, []float64{10, 20, 10})
+	tests := []struct {
+		t, want float64
+	}{
+		{0, 10}, {2, 20}, {4, 10}, {1, 15}, {3, 15}, {0.5, 12.5},
+	}
+	for _, tt := range tests {
+		got, err := s.Interpolate(tt.t)
+		if err != nil {
+			t.Fatalf("Interpolate(%g): %v", tt.t, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Interpolate(%g) = %g, want %g", tt.t, got, tt.want)
+		}
+	}
+	if _, err := s.Interpolate(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("below range: %v", err)
+	}
+	if _, err := s.Interpolate(5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("above range: %v", err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := mustSeries(t, []float64{0, 1, 2, 3, 4}, []float64{0, 10, 20, 10, 0})
+	sm, err := s.MovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 10, 40.0 / 3, 10, 5}
+	for i, w := range want {
+		if math.Abs(sm.Value(i)-w) > 1e-12 {
+			t.Errorf("smoothed[%d] = %g, want %g", i, sm.Value(i), w)
+		}
+	}
+	copySeries, err := s.MovingAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if copySeries.Value(i) != s.Value(i) {
+			t.Error("window 1 should copy")
+		}
+	}
+	if _, err := s.MovingAverage(2); err == nil {
+		t.Error("even window: want error")
+	}
+	if _, err := s.MovingAverage(0); err == nil {
+		t.Error("zero window: want error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := mustSeries(t, []float64{0, 1, 2}, []float64{5, 7, 4})
+	d, err := s.Diff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Value(0) != 2 || d.Value(1) != -3 || d.Time(0) != 1 {
+		t.Errorf("Diff: times %v values %v", d.Times(), d.Values())
+	}
+	one := mustSeries(t, []float64{0}, []float64{1})
+	if _, err := one.Diff(); err == nil {
+		t.Error("Diff on 1 point: want error")
+	}
+}
+
+func TestSplitRoundTripProperty(t *testing.T) {
+	// Property: SplitAt(n) preserves every observation in order.
+	f := func(raw []float64, nRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		s, err := FromValues(vals)
+		if err != nil {
+			return false
+		}
+		n := 1 + int(nRaw)%(s.Len()-1)
+		train, test, err := s.SplitAt(n)
+		if err != nil {
+			return false
+		}
+		if train.Len()+test.Len() != s.Len() {
+			return false
+		}
+		for i := 0; i < train.Len(); i++ {
+			if train.Value(i) != s.Value(i) {
+				return false
+			}
+		}
+		for i := 0; i < test.Len(); i++ {
+			if test.Value(i) != s.Value(n+i) || test.Time(i) != s.Time(n+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetrend(t *testing.T) {
+	// Pure line detrends to zero.
+	line := mustSeries(t, []float64{0, 1, 2, 3}, []float64{2, 4, 6, 8})
+	d, intercept, slope, err := line.Detrend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(intercept-2) > 1e-12 || math.Abs(slope-2) > 1e-12 {
+		t.Errorf("fit = %g + %g t", intercept, slope)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if math.Abs(d.Value(i)) > 1e-12 {
+			t.Errorf("residual[%d] = %g", i, d.Value(i))
+		}
+	}
+	// Line plus dip: detrending preserves the dip shape.
+	vals := []float64{1, 1.02, 0.99, 1.01, 1.08, 1.10}
+	s := mustSeries(t, []float64{0, 1, 2, 3, 4, 5}, vals)
+	d2, _, _, err := s.Detrend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residuals sum to ~0 (property of least squares with intercept).
+	var sum float64
+	for i := 0; i < d2.Len(); i++ {
+		sum += d2.Value(i)
+	}
+	if math.Abs(sum) > 1e-10 {
+		t.Errorf("residual sum = %g", sum)
+	}
+	one := mustSeries(t, []float64{0}, []float64{1})
+	if _, _, _, err := one.Detrend(); err == nil {
+		t.Error("single point: want error")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	s := mustSeries(t, []float64{10, 11, 13}, []float64{1, 2, 3})
+	r, err := s.Rebase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time(0) != 0 || r.Time(2) != 3 {
+		t.Errorf("rebased times: %v", r.Times())
+	}
+	if r.Value(1) != 2 {
+		t.Error("values changed")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mustSeries(t, []float64{0, 2, 4}, []float64{0, 20, 0})
+	r, err := s.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := []float64{0, 1, 2, 3, 4}
+	wantVals := []float64{0, 10, 20, 10, 0}
+	for i := range wantTimes {
+		if r.Time(i) != wantTimes[i] || math.Abs(r.Value(i)-wantVals[i]) > 1e-12 {
+			t.Errorf("resampled[%d] = (%g, %g), want (%g, %g)",
+				i, r.Time(i), r.Value(i), wantTimes[i], wantVals[i])
+		}
+	}
+	if _, err := s.Resample(1); err == nil {
+		t.Error("n < 2: want error")
+	}
+}

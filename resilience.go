@@ -1,0 +1,387 @@
+// Package resilience predicts how systems degrade and recover from
+// disruptive events. It implements the models of Silva, Hermosillo
+// Hidalgo, Linkov & Fiondella, "Predictive Resilience Modeling" (2022):
+// bathtub-shaped hazard functions from reliability engineering and
+// mixture-distribution resilience curves, fit by least squares, validated
+// with SSE/PMSE/adjusted-R²/confidence-interval coverage, and summarized
+// with eight interval-based resilience metrics.
+//
+// # Quick start
+//
+//	data, _ := resilience.SeriesFromValues([]float64{1, 0.98, 0.96, 0.97, 0.99, 1.01, 1.02, 1.03})
+//	fit, _ := resilience.Fit(resilience.CompetingRisks(), data, resilience.FitConfig{})
+//	tr, _ := resilience.RecoveryTime(fit, 1.0, 0) // months until performance regains 1.0
+//
+// The facade re-exports the library's core types; the implementation
+// lives in internal/core and its substrate packages. See DESIGN.md for
+// the architecture and EXPERIMENTS.md for the paper reproduction.
+package resilience
+
+import (
+	"resilience/internal/core"
+	"resilience/internal/monitor"
+	"resilience/internal/stat"
+	"resilience/internal/timeseries"
+)
+
+// Core modeling types, re-exported from internal/core.
+type (
+	// Model is a parametric resilience-curve family P(t; θ).
+	Model = core.Model
+	// MixtureModel is the Eq. (7) mixture resilience model.
+	MixtureModel = core.MixtureModel
+	// CDFFamily is a mixture component family (Exponential, Weibull, …).
+	CDFFamily = core.CDFFamily
+	// Trend is a mixture transition function a(t).
+	Trend = core.Trend
+	// FitResult is a fitted model bound to its training data.
+	FitResult = core.FitResult
+	// FitConfig tunes the least-squares fitting driver.
+	FitConfig = core.FitConfig
+	// Validation is the fit-and-validate pipeline output.
+	Validation = core.Validation
+	// ValidateConfig tunes the validation pipeline.
+	ValidateConfig = core.ValidateConfig
+	// GoF bundles SSE, PMSE, R², adjusted R², AIC, and BIC.
+	GoF = core.GoF
+	// Band is a per-observation confidence band.
+	Band = core.Band
+	// Window fixes the time points metrics are computed over.
+	Window = core.Window
+	// MetricKind identifies one of the eight interval-based metrics.
+	MetricKind = core.MetricKind
+	// MetricSet maps MetricKind to computed values.
+	MetricSet = core.MetricSet
+	// MetricsConfig tunes metric integration.
+	MetricsConfig = core.MetricsConfig
+	// MetricComparison is an actual/predicted/relative-error row.
+	MetricComparison = core.MetricComparison
+	// CurveShape is the V/U/W/L/J letter classification.
+	CurveShape = core.CurveShape
+	// PiecewiseCurve is the Sec. II piecewise resilience curve.
+	PiecewiseCurve = core.PiecewiseCurve
+	// Series is an ordered (time, value) performance series.
+	Series = timeseries.Series
+)
+
+// Metric kinds, in the row order of the paper's Tables II and IV.
+const (
+	PerformancePreserved   = core.PerformancePreserved
+	PerformanceLost        = core.PerformanceLost
+	NormalizedAvgPreserved = core.NormalizedAvgPreserved
+	NormalizedAvgLost      = core.NormalizedAvgLost
+	PreservedFromMinimum   = core.PreservedFromMinimum
+	AvgPreserved           = core.AvgPreserved
+	AvgLost                = core.AvgLost
+	WeightedAvgPreserved   = core.WeightedAvgPreserved
+)
+
+// Integration modes for metric computation.
+const (
+	// DiscreteSum sums the curve over unit-spaced sample points, matching
+	// the paper's monthly tables.
+	DiscreteSum = core.DiscreteSum
+	// Continuous integrates with adaptive quadrature.
+	Continuous = core.Continuous
+)
+
+// Curve shapes.
+const (
+	ShapeV    = core.ShapeV
+	ShapeU    = core.ShapeU
+	ShapeW    = core.ShapeW
+	ShapeL    = core.ShapeL
+	ShapeJ    = core.ShapeJ
+	ShapeFlat = core.ShapeFlat
+)
+
+// Sentinel errors.
+var (
+	// ErrBadParams indicates invalid model parameters.
+	ErrBadParams = core.ErrBadParams
+	// ErrBadData indicates unusable input data.
+	ErrBadData = core.ErrBadData
+	// ErrNoRecovery indicates the curve never reaches the target level.
+	ErrNoRecovery = core.ErrNoRecovery
+)
+
+// Quadratic returns the bathtub-shaped quadratic hazard model
+// P(t) = α + βt + γt² (Eq. 1).
+func Quadratic() Model { return core.QuadraticModel{} }
+
+// CompetingRisks returns the competing-risks (Hjorth) bathtub model
+// P(t) = 2γt + α/(1+βt) (Eq. 4).
+func CompetingRisks() Model { return core.CompetingRisksModel{} }
+
+// NewMixture builds the paper's mixture model
+// P(t) = (1−F₁(t)) + a₂(t)·F₂(t) from a degradation CDF family, a
+// recovery CDF family, and a recovery transition trend.
+func NewMixture(f1, f2 CDFFamily, a2 Trend) (*MixtureModel, error) {
+	return core.NewMixture(f1, f2, a2)
+}
+
+// StandardMixtures returns the paper's four mixture combinations
+// (Exp-Exp, Wei-Exp, Exp-Wei, Wei-Wei) with a₂(t) = β·ln t.
+func StandardMixtures() []*MixtureModel { return core.StandardMixtures() }
+
+// Component families and trends for building custom mixtures.
+func Exp() CDFFamily          { return core.ExpFamily{} }
+func Weibull() CDFFamily      { return core.WeibullFamily{} }
+func GammaCDF() CDFFamily     { return core.GammaFamily{} }
+func LogNormalCDF() CDFFamily { return core.LogNormalFamily{} }
+func LogTrend() Trend         { return core.LogTrend{} }
+func LinearTrend() Trend      { return core.LinearTrend{} }
+func ConstTrend() Trend       { return core.ConstTrend{} }
+func ExpTrend() Trend         { return core.ExpTrend{} }
+
+// NewSeries builds a Series from parallel time and value slices.
+func NewSeries(times, values []float64) (*Series, error) {
+	return timeseries.NewSeries(times, values)
+}
+
+// SeriesFromValues builds a Series with times 0, 1, 2, … (e.g. months
+// after the performance peak).
+func SeriesFromValues(values []float64) (*Series, error) {
+	return timeseries.FromValues(values)
+}
+
+// Fit estimates a model's parameters from data by least squares (Eq. 8).
+func Fit(m Model, data *Series, cfg FitConfig) (*FitResult, error) {
+	return core.Fit(m, data, cfg)
+}
+
+// Validate runs the full pipeline: split, fit, score (SSE, PMSE, adjusted
+// R²), and measure confidence-interval coverage.
+func Validate(m Model, data *Series, cfg ValidateConfig) (*Validation, error) {
+	return core.Validate(m, data, cfg)
+}
+
+// ConfidenceBand builds the P̂ ± z·σ band of Eqs. (12)–(13).
+func ConfidenceBand(f *FitResult, data *Series, alpha float64) (*Band, error) {
+	return core.ConfidenceBand(f, data, alpha)
+}
+
+// EmpiricalCoverage reports the fraction of observations inside a band.
+func EmpiricalCoverage(b *Band, data *Series) (float64, error) {
+	return core.EmpiricalCoverage(b, data)
+}
+
+// RecoveryTime predicts when the fitted curve regains the given
+// performance level (Eqs. 2 and 5, or a numeric solve).
+func RecoveryTime(f *FitResult, level, searchHorizon float64) (float64, error) {
+	return core.RecoveryTime(f, level, searchHorizon)
+}
+
+// ModelMinimum predicts the time of minimum performance t_d.
+func ModelMinimum(f *FitResult, horizon float64) (float64, error) {
+	return core.ModelMinimum(f, horizon)
+}
+
+// AreaUnderCurve integrates the fitted curve (Eqs. 3 and 6 when closed
+// forms exist).
+func AreaUnderCurve(f *FitResult, t0, t1 float64) (float64, error) {
+	return core.AreaUnderCurve(f, t0, t1)
+}
+
+// PredictiveWindow builds the Sec. IV predictive metric window.
+func PredictiveWindow(data *Series, testStart int, fit *FitResult) (Window, error) {
+	return core.PredictiveWindow(data, testStart, fit)
+}
+
+// ActualMetrics computes the eight interval-based metrics from data.
+func ActualMetrics(data *Series, w Window, cfg MetricsConfig) (MetricSet, error) {
+	return core.ActualMetrics(data, w, cfg)
+}
+
+// PredictedMetrics computes the eight metrics from a fitted model.
+func PredictedMetrics(f *FitResult, w Window, cfg MetricsConfig) (MetricSet, error) {
+	return core.PredictedMetrics(f, w, cfg)
+}
+
+// CompareMetrics tabulates actual vs predicted metrics with relative
+// errors (Eq. 22) for a validation run.
+func CompareMetrics(v *Validation, data *Series, cfg MetricsConfig) ([]MetricComparison, error) {
+	return core.CompareMetrics(v, data, cfg)
+}
+
+// MetricKinds lists the eight metrics in table order.
+func MetricKinds() []MetricKind { return core.MetricKinds() }
+
+// ClassifyShape labels a normalized resilience series with its letter
+// shape (V, U, W, L, J, or flat).
+func ClassifyShape(values []float64) CurveShape { return core.ClassifyShape(values) }
+
+// NewPiecewise builds the Sec. II piecewise resilience curve around a
+// model section, scaling it for continuity at the hazard time.
+func NewPiecewise(th, tr, before float64, during func(float64) float64) (*PiecewiseCurve, error) {
+	return core.NewPiecewise(th, tr, before, during)
+}
+
+// Extension types beyond the paper's Sec. II menu (see DESIGN.md):
+// changepoint composites for W-shaped events, a four-parameter
+// exponential bathtub, residual-bootstrap intervals, model selection
+// with rolling-origin cross-validation, and point-based metrics.
+type (
+	// CompositeModel chains two single-dip models at a fitted
+	// changepoint, capturing W-shaped (double-dip) events.
+	CompositeModel = core.CompositeModel
+	// BootstrapConfig tunes the residual bootstrap.
+	BootstrapConfig = core.BootstrapConfig
+	// BootstrapResult holds percentile parameter intervals and a
+	// pointwise curve band.
+	BootstrapResult = core.BootstrapResult
+	// SelectConfig tunes model selection.
+	SelectConfig = core.SelectConfig
+	// SelectionResult ranks candidate models.
+	SelectionResult = core.SelectionResult
+	// SelectionCriterion picks the ranking score.
+	SelectionCriterion = core.SelectionCriterion
+	// ModelScore is one candidate's scorecard.
+	ModelScore = core.ModelScore
+	// PointMetrics are the point-based resilience measures
+	// (robustness, rapidity, times, resilience loss).
+	PointMetrics = core.PointMetrics
+)
+
+// Model-selection criteria.
+const (
+	ByPMSE = core.ByPMSE
+	ByAIC  = core.ByAIC
+	ByBIC  = core.ByBIC
+	ByCV   = core.ByCV
+)
+
+// ExpBathtub returns the four-parameter exponential bathtub extension
+// P(t) = α·e^{−βt} + γ·(e^{δt} − 1).
+func ExpBathtub() Model { return core.ExpBathtubModel{} }
+
+// NewComposite chains two single-dip models at a changepoint constrained
+// to (tauLo, tauHi), for W-shaped events.
+func NewComposite(first, second Model, tauLo, tauHi float64) (*CompositeModel, error) {
+	return core.NewComposite(first, second, tauLo, tauHi)
+}
+
+// Bootstrap runs a residual bootstrap around a fit, producing
+// distribution-free parameter intervals and a percentile curve band.
+func Bootstrap(f *FitResult, cfg BootstrapConfig) (*BootstrapResult, error) {
+	return core.Bootstrap(f, cfg)
+}
+
+// SelectModel fits and ranks candidate models on one dataset.
+func SelectModel(candidates []Model, data *Series, cfg SelectConfig) (*SelectionResult, error) {
+	return core.SelectModel(candidates, data, cfg)
+}
+
+// RollingOriginCV computes the expanding-window one-step-ahead mean
+// squared prediction error for a model on a dataset.
+func RollingOriginCV(m Model, data *Series, minTrain int, fitCfg FitConfig) (float64, error) {
+	return core.RollingOriginCV(m, data, minTrain, fitCfg)
+}
+
+// ComputePointMetrics evaluates robustness, rapidity, disruption times,
+// and the Bruneau resilience loss for an arbitrary curve.
+func ComputePointMetrics(curve func(float64) float64, w Window) (PointMetrics, error) {
+	return core.ComputePointMetrics(curve, w)
+}
+
+// FitPointMetrics evaluates the point-based metrics on a fitted curve.
+func FitPointMetrics(f *FitResult, th, horizon, nominal float64) (PointMetrics, error) {
+	return core.FitPointMetrics(f, th, horizon, nominal)
+}
+
+// Forecast is a set of future-time predictions with an uncertainty band.
+type Forecast = core.Forecast
+
+// ForecastAt predicts the fitted curve at the given future times with a
+// (1−alpha) band from the training-residual dispersion.
+func ForecastAt(f *FitResult, times []float64, alpha float64) (*Forecast, error) {
+	return core.ForecastAt(f, times, alpha)
+}
+
+// ForecastHorizon predicts the next `steps` points after the training
+// window, continuing its sampling interval.
+func ForecastHorizon(f *FitResult, steps int, alpha float64) (*Forecast, error) {
+	return core.ForecastHorizon(f, steps, alpha)
+}
+
+// Online monitoring (internal/monitor): track a live incident and emit
+// recovery predictions that sharpen as observations arrive — the
+// real-time use case the paper's introduction motivates.
+type (
+	// Tracker consumes performance observations one at a time and
+	// maintains disruption state.
+	Tracker = monitor.Tracker
+	// TrackerConfig tunes the tracker.
+	TrackerConfig = monitor.Config
+	// TrackerUpdate is the tracker state after one observation.
+	TrackerUpdate = monitor.Update
+	// Phase is the disruption lifecycle phase.
+	Phase = monitor.Phase
+)
+
+// Lifecycle phases.
+const (
+	PhaseNominal    = monitor.PhaseNominal
+	PhaseDegrading  = monitor.PhaseDegrading
+	PhaseRecovering = monitor.PhaseRecovering
+	PhaseRecovered  = monitor.PhaseRecovered
+)
+
+// NewTracker creates an online disruption tracker.
+func NewTracker(cfg TrackerConfig) *Tracker { return monitor.NewTracker(cfg) }
+
+// Additional mixture component families beyond the paper's menu.
+func LogLogisticCDF() CDFFamily { return core.LogLogisticFamily{} }
+func GompertzCDF() CDFFamily    { return core.GompertzFamily{} }
+
+// Scenario analysis and robust estimation extensions.
+type (
+	// Intervention models a restoration activity that accelerates (or
+	// slows) recovery from its start time onward.
+	Intervention = core.Intervention
+	// ScenarioImpact compares recovery and metrics with and without an
+	// intervention.
+	ScenarioImpact = core.ScenarioImpact
+	// RobustConfig tunes the Huber M-estimator.
+	RobustConfig = core.RobustConfig
+)
+
+// EvaluateIntervention quantifies a restoration activity applied to a
+// fitted curve: recovery-time savings and metric deltas.
+func EvaluateIntervention(f *FitResult, iv Intervention, level, horizon float64) (*ScenarioImpact, error) {
+	return core.EvaluateIntervention(f, iv, level, horizon)
+}
+
+// FitRobust estimates parameters with a Huber M-estimator, capping the
+// influence of aberrant observations that distort plain least squares.
+func FitRobust(m Model, data *Series, cfg RobustConfig) (*FitResult, error) {
+	return core.FitRobust(m, data, cfg)
+}
+
+// DMResult is a Diebold–Mariano equal-predictive-accuracy test outcome.
+type DMResult = stat.DMResult
+
+// ComparePredictive tests whether two fitted models differ significantly
+// in held-out predictive accuracy (negative statistic favors the first).
+func ComparePredictive(a, b *FitResult, test *Series) (DMResult, error) {
+	return core.ComparePredictive(a, b, test)
+}
+
+// ShapeK is the two-sector divergent-recovery classification.
+const ShapeK = core.ShapeK
+
+// ClassifyShapePair labels a pair of sector series, detecting the
+// K-shaped divergence that needs two curves to describe.
+func ClassifyShapePair(a, b []float64) CurveShape {
+	return core.ClassifyShapePair(a, b)
+}
+
+// ResidualDiagnostics bundles the Eq. 12–13 assumption checks
+// (Ljung–Box, Jarque–Bera, Durbin–Watson) with plain-language warnings.
+type ResidualDiagnostics = core.ResidualDiagnostics
+
+// DiagnoseResiduals checks whether a fit's residuals satisfy the
+// independence and normality assumptions behind the confidence bands.
+func DiagnoseResiduals(f *FitResult) (*ResidualDiagnostics, error) {
+	return core.DiagnoseResiduals(f)
+}

@@ -1,0 +1,148 @@
+package resilience_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"resilience"
+)
+
+// recessionLike builds a clean V-shaped performance series.
+func recessionLike(t *testing.T) *resilience.Series {
+	t.Helper()
+	vals := make([]float64, 48)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.03*math.Sin(math.Pi*math.Min(x/36, 1)) + 0.0006*math.Max(0, x-36)
+	}
+	s, err := resilience.SeriesFromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	data := recessionLike(t)
+	for _, m := range []resilience.Model{resilience.Quadratic(), resilience.CompetingRisks()} {
+		fit, err := resilience.Fit(m, data, resilience.FitConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		tr, err := resilience.RecoveryTime(fit, 1.0, 48)
+		if err != nil {
+			t.Fatalf("%s recovery: %v", m.Name(), err)
+		}
+		if tr < 10 || tr > 60 {
+			t.Errorf("%s: recovery time %g implausible", m.Name(), tr)
+		}
+		td, err := resilience.ModelMinimum(fit, 48)
+		if err != nil {
+			t.Fatalf("%s minimum: %v", m.Name(), err)
+		}
+		if td <= 0 || td >= tr {
+			t.Errorf("%s: minimum %g should precede recovery %g", m.Name(), td, tr)
+		}
+	}
+}
+
+func TestFacadeValidateAndMetrics(t *testing.T) {
+	data := recessionLike(t)
+	v, err := resilience.Validate(resilience.CompetingRisks(), data, resilience.ValidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GoF.R2Adj < 0.9 {
+		t.Errorf("R2Adj = %g", v.GoF.R2Adj)
+	}
+	rows, err := resilience.CompareMetrics(v, data, resilience.MetricsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(resilience.MetricKinds()) {
+		t.Errorf("%d rows", len(rows))
+	}
+}
+
+func TestFacadeMixtures(t *testing.T) {
+	if got := len(resilience.StandardMixtures()); got != 4 {
+		t.Fatalf("%d standard mixtures", got)
+	}
+	mix, err := resilience.NewMixture(resilience.Weibull(), resilience.Exp(), resilience.LogTrend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Name() != "weibull-exp" {
+		t.Errorf("name = %q", mix.Name())
+	}
+	custom, err := resilience.NewMixture(resilience.GammaCDF(), resilience.LogNormalCDF(), resilience.LinearTrend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := recessionLike(t)
+	if _, err := resilience.Fit(custom, data, resilience.FitConfig{Starts: 4}); err != nil {
+		t.Errorf("custom mixture fit: %v", err)
+	}
+}
+
+func TestFacadeErrorsAndShapes(t *testing.T) {
+	if _, err := resilience.Fit(nil, nil, resilience.FitConfig{}); !errors.Is(err, resilience.ErrBadData) {
+		t.Errorf("nil fit: %v", err)
+	}
+	flat := make([]float64, 20)
+	for i := range flat {
+		flat[i] = 1
+	}
+	if got := resilience.ClassifyShape(flat); got != resilience.ShapeFlat {
+		t.Errorf("flat shape = %v", got)
+	}
+	if _, err := resilience.NewSeries([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("decreasing times should error")
+	}
+}
+
+func TestFacadePiecewiseAndBand(t *testing.T) {
+	data := recessionLike(t)
+	fit, err := resilience.Fit(resilience.CompetingRisks(), data, resilience.FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := resilience.ConfidenceBand(fit, data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := resilience.EmpiricalCoverage(band, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec < 0.8 {
+		t.Errorf("EC = %g", ec)
+	}
+	pc, err := resilience.NewPiecewise(5, 40, 1, fit.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Eval(0) != 1 {
+		t.Errorf("piecewise pre-hazard = %g", pc.Eval(0))
+	}
+	auc, err := resilience.AreaUnderCurve(fit, 0, 47)
+	if err != nil || auc <= 0 {
+		t.Errorf("AUC = %g, %v", auc, err)
+	}
+	w, err := resilience.PredictiveWindow(data, 43, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := resilience.ActualMetrics(data, w, resilience.MetricsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := resilience.PredictedMetrics(fit, w, resilience.MetricsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actual) != 8 || len(predicted) != 8 {
+		t.Errorf("metric sets: %d actual, %d predicted", len(actual), len(predicted))
+	}
+}
