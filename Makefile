@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz cover report clean
+.PHONY: all build vet test test-short check chaos bench fuzz cover report clean
 
 all: build vet test
 
@@ -18,6 +18,17 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full correctness gate: static analysis plus the whole suite under the
+# race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Chaos suite only: concurrent hostile requests (malformed, oversized,
+# cancelled, panic- and NaN-injected) against a live server, under -race.
+chaos:
+	$(GO) test -race -run TestChaos -count=1 -v ./internal/server/
 
 # Regenerates every paper table and figure with cost measurement.
 bench:

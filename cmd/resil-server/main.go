@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	resil-server -addr :8080
+//	resil-server -addr :8080 -fit-timeout 30s
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to 10 seconds.
+// requests for up to 10 seconds. Fitting requests degrade rather than
+// fail: deadlines propagate into the optimizers, panics are contained,
+// and non-converging fits fall back to simpler model families unless
+// -no-fallback is set.
 package main
 
 import (
@@ -15,7 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,24 +29,43 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("resil-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	fitTimeout := fs.Duration("fit-timeout", 30*time.Second, "deadline for one fitting request, including retries and fallbacks")
+	noFallback := fs.Bool("no-fallback", false, "disable the model degradation chain; failed fits return errors")
+	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "resil-server %s\n", server.Version)
+		return nil
+	}
 
-	srv := server.New(*addr)
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := server.NewServer(*addr, server.Config{
+		FitTimeout:      *fitTimeout,
+		DisableFallback: *noFallback,
+		Logger:          logger,
+	})
 
 	// Serve until a termination signal arrives, then drain.
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("resil-server listening on %s", *addr)
+		logger.Info("listening", "addr", *addr, "fit_timeout", fitTimeout.String(), "fallback", !*noFallback)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -57,7 +79,7 @@ func run(args []string) error {
 		}
 		return nil
 	case sig := <-stop:
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

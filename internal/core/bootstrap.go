@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -67,6 +68,15 @@ type BootstrapResult struct {
 // synthetic series, and the model is refit to each. At least half the
 // replicates must converge or an error is returned.
 func Bootstrap(f *FitResult, cfg BootstrapConfig) (*BootstrapResult, error) {
+	return BootstrapCtx(context.Background(), f, cfg)
+}
+
+// BootstrapCtx is Bootstrap under a context, checked before every
+// replicate refit (and inside each refit's optimizer iterations).
+// Cancellation mid-bootstrap returns the context error: percentile
+// intervals from a truncated replicate set would be silently narrower
+// than requested.
+func BootstrapCtx(ctx context.Context, f *FitResult, cfg BootstrapConfig) (*BootstrapResult, error) {
 	if f == nil || f.Train == nil {
 		return nil, fmt.Errorf("%w: nil fit", ErrBadData)
 	}
@@ -95,6 +105,9 @@ func Bootstrap(f *FitResult, cfg BootstrapConfig) (*BootstrapResult, error) {
 
 	succeeded := 0
 	for rep := 0; rep < cfg.Replicates; rep++ {
+		if cErr := ctx.Err(); cErr != nil {
+			return nil, fmt.Errorf("core: bootstrap: %w", cErr)
+		}
 		if err := gen.Resample(resampled, residuals); err != nil {
 			return nil, fmt.Errorf("core: bootstrap resample: %w", err)
 		}
@@ -105,7 +118,7 @@ func Bootstrap(f *FitResult, cfg BootstrapConfig) (*BootstrapResult, error) {
 		if err != nil {
 			continue // non-finite synthetic values; skip the replicate
 		}
-		refit, err := Fit(f.Model, series, warmCfg)
+		refit, err := FitCtx(ctx, f.Model, series, warmCfg)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// FallbackPolicy configures the degradation chain wrapped around a fit:
+// when the requested model fails (non-convergence, singular Jacobian,
+// exhausted iteration budget, optimizer panic, too little data), the
+// chain retries the same model with escalating multistart budgets and
+// then falls back to progressively simpler model families, returning the
+// best available result annotated with machine-readable degradation
+// metadata instead of an error.
+type FallbackPolicy struct {
+	// RetryStarts are the escalating multistart budgets tried on the
+	// requested model after its first failure (default {24, 48}).
+	RetryStarts []int
+	// Fallbacks are the simpler models tried in order once retries are
+	// exhausted (default DefaultFallbacks()). Entries whose name matches
+	// the requested model are skipped.
+	Fallbacks []Model
+	// Disable turns the chain off: the first failure is returned as-is.
+	Disable bool
+}
+
+func (p FallbackPolicy) withDefaults() FallbackPolicy {
+	if len(p.RetryStarts) == 0 {
+		p.RetryStarts = []int{24, 48}
+	}
+	if len(p.Fallbacks) == 0 {
+		p.Fallbacks = DefaultFallbacks()
+	}
+	return p
+}
+
+// DefaultFallbacks returns the standard degradation chain, ordered from
+// most to least expressive: the Weibull–exponential mixture, the
+// exponential–exponential mixture, and finally the three-parameter
+// quadratic bathtub, which fits almost any V-shaped series.
+func DefaultFallbacks() []Model {
+	out := make([]Model, 0, 3)
+	for _, name := range []string{"weibull-exp", "exp-exp"} {
+		for _, m := range StandardMixtures() {
+			if m.Name() == name {
+				out = append(out, m)
+			}
+		}
+	}
+	return append(out, QuadraticModel{})
+}
+
+// FitAttempt records one link of the degradation chain.
+type FitAttempt struct {
+	// Model is the model family attempted.
+	Model string `json:"model"`
+	// Starts is the multistart budget used.
+	Starts int `json:"starts"`
+	// OK reports whether the attempt produced the returned result.
+	OK bool `json:"ok"`
+	// Err is the failure message for unsuccessful attempts.
+	Err string `json:"error,omitempty"`
+	// Panic marks attempts that failed because a recovered panic escaped
+	// the optimizer.
+	Panic bool `json:"panic,omitempty"`
+}
+
+// DegradeInfo is the machine-readable annotation attached to a chain
+// outcome. The HTTP layer surfaces it in fit responses and feeds the
+// monitor counters from it.
+type DegradeInfo struct {
+	// RequestedModel is what the caller asked for.
+	RequestedModel string `json:"requested_model"`
+	// UsedModel is the family that produced the returned result.
+	UsedModel string `json:"used_model"`
+	// Degraded is true when the first attempt did not produce the result
+	// (a retry or fallback was needed).
+	Degraded bool `json:"degraded"`
+	// FallbackUsed is true when the result comes from a different model
+	// family than requested.
+	FallbackUsed bool `json:"fallback_used"`
+	// Reason is the first failure that triggered degradation.
+	Reason string `json:"reason,omitempty"`
+	// PanicRecovered is true when any attempt failed via a recovered
+	// optimizer panic.
+	PanicRecovered bool `json:"panic_recovered,omitempty"`
+	// Attempts lists every link tried, in order.
+	Attempts []FitAttempt `json:"attempts,omitempty"`
+}
+
+// chainLink is one (model, budget) attempt in the resolved chain.
+type chainLink struct {
+	model  Model
+	starts int
+}
+
+// resolveChain expands a policy into the ordered attempt list for one
+// requested model. starts0 is the caller's configured budget (0 means
+// the FitConfig default).
+func resolveChain(requested Model, starts0 int, pol FallbackPolicy) []chainLink {
+	links := []chainLink{{model: requested, starts: starts0}}
+	if pol.Disable {
+		return links
+	}
+	for _, s := range pol.RetryStarts {
+		if s > 0 {
+			links = append(links, chainLink{model: requested, starts: s})
+		}
+	}
+	for _, fb := range pol.Fallbacks {
+		if fb == nil || fb.Name() == requested.Name() {
+			continue
+		}
+		links = append(links, chainLink{model: fb, starts: starts0})
+	}
+	return links
+}
+
+// runChain drives the degradation chain: try every link in order until
+// one succeeds, recording each attempt. Context errors abort the chain
+// immediately (there is no budget left to degrade into); every other
+// failure advances to the next link. ErrBadData failures on the
+// requested model skip its remaining retries, since more multistart
+// budget cannot conjure up more observations.
+func runChain[T any](ctx context.Context, requested Model, starts0 int, pol FallbackPolicy,
+	try func(context.Context, Model, int) (T, error)) (T, *DegradeInfo, error) {
+
+	var zero T
+	info := &DegradeInfo{RequestedModel: requested.Name()}
+	links := resolveChain(requested, starts0, pol)
+
+	var firstErr error
+	skipModel := ""
+	for i, link := range links {
+		if link.model.Name() == skipModel {
+			continue
+		}
+		if cErr := ctx.Err(); cErr != nil {
+			return zero, info, fmt.Errorf("core: fit %s: %w", requested.Name(), cErr)
+		}
+		out, err := try(ctx, link.model, link.starts)
+		att := FitAttempt{Model: link.model.Name(), Starts: link.starts}
+		if err == nil {
+			att.OK = true
+			info.Attempts = append(info.Attempts, att)
+			info.UsedModel = link.model.Name()
+			info.Degraded = i > 0
+			info.FallbackUsed = link.model.Name() != requested.Name()
+			if firstErr != nil {
+				info.Reason = firstErr.Error()
+			}
+			return out, info, nil
+		}
+		att.Err = err.Error()
+		att.Panic = errors.Is(err, optimize.ErrOptimizerPanic)
+		info.Attempts = append(info.Attempts, att)
+		if att.Panic {
+			info.PanicRecovered = true
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return zero, info, err
+		}
+		if errors.Is(err, ErrBadData) {
+			skipModel = link.model.Name()
+		}
+	}
+	if firstErr != nil {
+		info.Reason = firstErr.Error()
+	}
+	return zero, info, fmt.Errorf("core: fit %s: degradation chain exhausted (%d attempts): %w",
+		requested.Name(), len(info.Attempts), firstErr)
+}
+
+// FitWithFallback runs FitCtx through the degradation chain. On success
+// the DegradeInfo reports which link produced the result; on failure the
+// info still lists every attempt (for logging and counters) alongside
+// the error.
+func FitWithFallback(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig, pol FallbackPolicy) (*FitResult, *DegradeInfo, error) {
+	if m == nil {
+		return nil, nil, fmt.Errorf("%w: nil model", ErrBadData)
+	}
+	pol = pol.withDefaults()
+	return runChain(ctx, m, cfg.Starts, pol, func(ctx context.Context, link Model, starts int) (*FitResult, error) {
+		c := cfg
+		c.Starts = starts
+		return FitCtx(ctx, link, data, c)
+	})
+}
+
+// ValidateWithFallback runs the full validation pipeline (split, fit,
+// GoF, confidence band, coverage) through the degradation chain, so the
+// /v1/fit endpoint can return a usable scorecard from a simpler model
+// when the requested one will not converge.
+func ValidateWithFallback(ctx context.Context, m Model, data *timeseries.Series, cfg ValidateConfig, pol FallbackPolicy) (*Validation, *DegradeInfo, error) {
+	if m == nil {
+		return nil, nil, fmt.Errorf("%w: nil model", ErrBadData)
+	}
+	pol = pol.withDefaults()
+	return runChain(ctx, m, cfg.Fit.Starts, pol, func(ctx context.Context, link Model, starts int) (*Validation, error) {
+		c := cfg
+		c.Fit.Starts = starts
+		return ValidateCtx(ctx, link, data, c)
+	})
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"resilience/internal/faultinject"
+	"resilience/internal/optimize"
+	"resilience/internal/timeseries"
+)
+
+// vSeries samples a gentle V-shape every model family can fit.
+func vSeries(t *testing.T, n int) *timeseries.Series {
+	t.Helper()
+	return quadraticSeries(t, 1, -0.02, 0.0005, n)
+}
+
+func TestFitWithFallbackHappyPath(t *testing.T) {
+	data := vSeries(t, 40)
+	fit, info, err := FitWithFallback(context.Background(), QuadraticModel{}, data, FitConfig{}, FallbackPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit == nil || fit.Model.Name() != "quadratic" {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if info.Degraded || info.FallbackUsed {
+		t.Errorf("clean fit reported degradation: %+v", info)
+	}
+	if info.UsedModel != "quadratic" || info.RequestedModel != "quadratic" {
+		t.Errorf("info models = %q/%q", info.RequestedModel, info.UsedModel)
+	}
+	if len(info.Attempts) != 1 || !info.Attempts[0].OK {
+		t.Errorf("attempts = %+v", info.Attempts)
+	}
+}
+
+func TestFitWithFallbackForcedNonConvergence(t *testing.T) {
+	// Poison only the requested model's objective; the chain must retry,
+	// give up on competing-risks, and land on a fallback family.
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	data := vSeries(t, 40)
+	fit, info, err := FitWithFallback(context.Background(), CompetingRisksModel{}, data, FitConfig{}, FallbackPolicy{})
+	if err != nil {
+		t.Fatalf("chain failed outright: %v (info %+v)", err, info)
+	}
+	if !info.Degraded || !info.FallbackUsed {
+		t.Errorf("degradation not reported: %+v", info)
+	}
+	if info.UsedModel == "competing-risks" || fit.Model.Name() != info.UsedModel {
+		t.Errorf("used model %q (fit %q)", info.UsedModel, fit.Model.Name())
+	}
+	if info.Reason == "" {
+		t.Error("degradation reason missing")
+	}
+	// First attempt plus both escalating retries must be recorded failures.
+	fails := 0
+	for _, a := range info.Attempts {
+		if a.Model == "competing-risks" && !a.OK {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("%d failed competing-risks attempts, want 3 (%+v)", fails, info.Attempts)
+	}
+}
+
+func TestFitWithFallbackPanicRecovered(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.competing-risks", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	data := vSeries(t, 40)
+	fit, info, err := FitWithFallback(context.Background(), CompetingRisksModel{}, data, FitConfig{}, FallbackPolicy{})
+	if err != nil {
+		t.Fatalf("chain failed outright: %v", err)
+	}
+	if !info.PanicRecovered {
+		t.Errorf("panic not recorded: %+v", info)
+	}
+	if !info.FallbackUsed || fit.Model.Name() == "competing-risks" {
+		t.Errorf("fallback not taken: used %q", fit.Model.Name())
+	}
+}
+
+func TestFitWithFallbackDisabled(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.quadratic", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	data := vSeries(t, 40)
+	_, info, err := FitWithFallback(context.Background(), QuadraticModel{}, data, FitConfig{}, FallbackPolicy{Disable: true})
+	if err == nil {
+		t.Fatal("disabled chain still produced a result")
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+	if len(info.Attempts) != 1 {
+		t.Errorf("disabled chain ran %d attempts", len(info.Attempts))
+	}
+}
+
+func TestFitWithFallbackExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	data := vSeries(t, 40)
+	_, _, err := FitWithFallback(ctx, QuadraticModel{}, data, FitConfig{}, FallbackPolicy{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestFitWithFallbackCancellationAbortsChain(t *testing.T) {
+	// A deadline that expires mid-chain must abort instead of burning the
+	// remaining links; the NaN site keeps every attempt from succeeding.
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.quadratic", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Arm("core.fit.delay.quadratic", "delay:100ms"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	data := vSeries(t, 40)
+	start := time.Now()
+	_, info, err := FitWithFallback(ctx, QuadraticModel{}, data, FitConfig{}, FallbackPolicy{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("chain ran %v after the deadline", elapsed)
+	}
+	if len(info.Attempts) > 2 {
+		t.Errorf("chain kept going after cancellation: %+v", info.Attempts)
+	}
+}
+
+func TestFitWithFallbackBadDataSkipsRetries(t *testing.T) {
+	// Two points cannot fit a three-parameter model; retrying with more
+	// starts is pointless, so the chain must not re-attempt the same model.
+	s, err := timeseries.FromValues([]float64{1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := FitWithFallback(context.Background(), QuadraticModel{}, s, FitConfig{}, FallbackPolicy{})
+	if err == nil {
+		t.Fatal("fit of 2 points succeeded")
+	}
+	for _, a := range info.Attempts[1:] {
+		if a.Model == "quadratic" {
+			t.Errorf("quadratic retried after ErrBadData: %+v", info.Attempts)
+		}
+	}
+}
+
+func TestResolveChainSkipsRequestedInFallbacks(t *testing.T) {
+	links := resolveChain(QuadraticModel{}, 0, FallbackPolicy{}.withDefaults())
+	// 1 base + 2 retries + (weibull-exp, exp-exp) fallbacks; the quadratic
+	// fallback entry is skipped because it matches the requested model.
+	if len(links) != 5 {
+		t.Fatalf("chain has %d links", len(links))
+	}
+	for _, l := range links[3:] {
+		if l.model.Name() == "quadratic" {
+			t.Error("requested model duplicated in fallback tail")
+		}
+	}
+}
+
+func TestValidateWithFallbackForcedNonConvergence(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	data := vSeries(t, 40)
+	v, info, err := ValidateWithFallback(context.Background(), CompetingRisksModel{}, data, ValidateConfig{}, FallbackPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.FallbackUsed || v.Fit.Model.Name() != info.UsedModel {
+		t.Errorf("info %+v, fit model %q", info, v.Fit.Model.Name())
+	}
+	if v.GoF.R2Adj < 0.5 {
+		t.Errorf("fallback scorecard r2adj = %g", v.GoF.R2Adj)
+	}
+}
+
+func TestFitWithFallbackNilModel(t *testing.T) {
+	data := vSeries(t, 40)
+	_, _, err := FitWithFallback(context.Background(), nil, data, FitConfig{}, FallbackPolicy{})
+	if !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v, want ErrBadData", err)
+	}
+}
+
+// Optimizer panics surfaced through the chain keep their typed identity
+// when every link fails.
+func TestChainExhaustedKeepsPanicIdentity(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	for _, site := range []string{"core.fit.quadratic", "core.fit.weibull-exp", "core.fit.exp-exp"} {
+		if err := faultinject.Arm(site, "panic"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := vSeries(t, 40)
+	_, info, err := FitWithFallback(context.Background(), QuadraticModel{}, data, FitConfig{}, FallbackPolicy{})
+	if err == nil {
+		t.Fatal("all-panic chain succeeded")
+	}
+	if !errors.Is(err, optimize.ErrOptimizerPanic) {
+		t.Errorf("err = %v, want ErrOptimizerPanic", err)
+	}
+	if !info.PanicRecovered {
+		t.Errorf("info = %+v", info)
+	}
+}

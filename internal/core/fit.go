@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"resilience/internal/faultinject"
 	"resilience/internal/numeric"
 	"resilience/internal/optimize"
 	"resilience/internal/timeseries"
@@ -51,12 +53,35 @@ type FitResult struct {
 // (Eq. 8), minimizing Σᵢ (R(tᵢ) − P(tᵢ; θ))² with multistart Nelder–Mead
 // followed by Levenberg–Marquardt polish.
 func Fit(m Model, data *timeseries.Series, cfg FitConfig) (*FitResult, error) {
+	return FitCtx(context.Background(), m, data, cfg)
+}
+
+// FitCtx is Fit under a context: the deadline is threaded through the
+// multistart driver into every optimizer iteration, so an expired
+// context returns (wrapped) context.DeadlineExceeded before a single
+// objective evaluation and a cancellation mid-fit stops within one
+// optimizer iteration. Panics escaping model code are contained and
+// returned as errors matching optimize.ErrOptimizerPanic.
+func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig) (result *FitResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("fit %s: %w", nameOf(m), &optimize.PanicError{Site: "core.fit", Value: r})
+		}
+	}()
 	if m == nil {
 		return nil, fmt.Errorf("%w: nil model", ErrBadData)
 	}
 	if data == nil || data.Len() < m.NumParams()+1 {
 		return nil, fmt.Errorf("%w: need more observations than parameters (%d) to fit %s",
 			ErrBadData, m.NumParams(), nameOf(m))
+	}
+	if cErr := ctx.Err(); cErr != nil {
+		return nil, fmt.Errorf("fit %s: %w", nameOf(m), cErr)
+	}
+	if faultinject.Enabled() {
+		faultinject.Fire("core.fit." + m.Name())
+		faultinject.Sleep(ctx, "core.fit.delay."+m.Name())
 	}
 	cfg = cfg.withDefaults()
 
@@ -71,6 +96,9 @@ func Fit(m Model, data *timeseries.Series, cfg FitConfig) (*FitResult, error) {
 		for i, t := range times {
 			d := values[i] - m.Eval(params, t)
 			sse += d * d
+		}
+		if faultinject.Enabled() {
+			sse = faultinject.Float("core.fit.objective."+m.Name(), sse)
 		}
 		if math.IsNaN(sse) {
 			return math.Inf(1)
@@ -95,7 +123,7 @@ func Fit(m Model, data *timeseries.Series, cfg FitConfig) (*FitResult, error) {
 	if len(guess) != m.NumParams() {
 		guess = m.Guess(data)
 	}
-	res, err := optimize.MultiStart(objective, residual, guess, optimize.MultiStartConfig{
+	res, err := optimize.MultiStartCtx(ctx, objective, residual, guess, optimize.MultiStartConfig{
 		Starts: cfg.Starts,
 		Bounds: m.Bounds(),
 		Local:  cfg.Local,
@@ -106,6 +134,9 @@ func Fit(m Model, data *timeseries.Series, cfg FitConfig) (*FitResult, error) {
 	}
 	if err := m.Validate(res.X); err != nil {
 		return nil, fmt.Errorf("fit %s: optimizer left feasible region: %w", nameOf(m), err)
+	}
+	if math.IsNaN(res.F) || math.IsInf(res.F, 0) {
+		return nil, fmt.Errorf("fit %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)
 	}
 	return &FitResult{
 		Model:  m,
@@ -152,11 +183,26 @@ func nameOf(m Model) string {
 // No Levenberg–Marquardt polish is applied, since the objective need not
 // decompose into residuals.
 func fitWithObjective(m Model, data *timeseries.Series, cfg FitConfig, objective func([]float64) float64) (*FitResult, error) {
+	return fitWithObjectiveCtx(context.Background(), m, data, cfg, objective)
+}
+
+// fitWithObjectiveCtx is fitWithObjective under a context (see FitCtx
+// for the cancellation and panic-isolation contract).
+func fitWithObjectiveCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig, objective func([]float64) float64) (result *FitResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("fit %s: %w", nameOf(m), &optimize.PanicError{Site: "core.fit-objective", Value: r})
+		}
+	}()
 	if m == nil || objective == nil {
 		return nil, fmt.Errorf("%w: nil model or objective", ErrBadData)
 	}
 	if data == nil || data.Len() < m.NumParams()+1 {
 		return nil, fmt.Errorf("%w: need more observations than parameters", ErrBadData)
+	}
+	if cErr := ctx.Err(); cErr != nil {
+		return nil, fmt.Errorf("fit %s: %w", nameOf(m), cErr)
 	}
 	cfg = cfg.withDefaults()
 
@@ -174,7 +220,7 @@ func fitWithObjective(m Model, data *timeseries.Series, cfg FitConfig, objective
 	if len(guess) != m.NumParams() {
 		guess = m.Guess(data)
 	}
-	res, err := optimize.MultiStart(guarded, nil, guess, optimize.MultiStartConfig{
+	res, err := optimize.MultiStartCtx(ctx, guarded, nil, guess, optimize.MultiStartConfig{
 		Starts: cfg.Starts,
 		Bounds: m.Bounds(),
 		Local:  cfg.Local,
@@ -184,6 +230,9 @@ func fitWithObjective(m Model, data *timeseries.Series, cfg FitConfig, objective
 	}
 	if err := m.Validate(res.X); err != nil {
 		return nil, fmt.Errorf("fit %s: optimizer left feasible region: %w", nameOf(m), err)
+	}
+	if math.IsNaN(res.F) || math.IsInf(res.F, 0) {
+		return nil, fmt.Errorf("fit %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)
 	}
 	return &FitResult{
 		Model:  m,

@@ -83,6 +83,10 @@ var (
 	// ErrBadData indicates input data unusable for the requested
 	// operation.
 	ErrBadData = errors.New("core: invalid input data")
+	// ErrNoConvergence indicates the optimizer finished without finding a
+	// finite-objective parameter estimate; the degradation chain treats it
+	// as a retryable failure.
+	ErrNoConvergence = errors.New("core: fit did not converge")
 )
 
 // checkParams verifies the length of a parameter vector against a model.

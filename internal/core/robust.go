@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +41,14 @@ func (c RobustConfig) withDefaults() RobustConfig {
 // at the robust estimate, so goodness-of-fit comparisons against Fit
 // remain apples-to-apples.
 func FitRobust(m Model, data *timeseries.Series, cfg RobustConfig) (*FitResult, error) {
+	return FitRobustCtx(context.Background(), m, data, cfg)
+}
+
+// FitRobustCtx is FitRobust under a context. The initial least-squares
+// fit honors the context fully; if cancellation arrives during the IRLS
+// reweighting rounds the last completed estimate is returned (it is a
+// valid, if less polished, robust fit) rather than an error.
+func FitRobustCtx(ctx context.Context, m Model, data *timeseries.Series, cfg RobustConfig) (*FitResult, error) {
 	if m == nil {
 		return nil, fmt.Errorf("%w: nil model", ErrBadData)
 	}
@@ -49,7 +58,7 @@ func FitRobust(m Model, data *timeseries.Series, cfg RobustConfig) (*FitResult, 
 	cfg = cfg.withDefaults()
 
 	// Round 0: ordinary least squares for a starting point.
-	fit, err := Fit(m, data, cfg.Fit)
+	fit, err := FitCtx(ctx, m, data, cfg.Fit)
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +69,9 @@ func FitRobust(m Model, data *timeseries.Series, cfg RobustConfig) (*FitResult, 
 	prevParams := append([]float64(nil), fit.Params...)
 
 	for round := 0; round < cfg.MaxRounds; round++ {
+		if ctx.Err() != nil {
+			break // keep the last good estimate
+		}
 		residuals := fit.Residuals(data)
 		scale := madScale(residuals)
 		if scale <= 0 {
@@ -76,7 +88,7 @@ func FitRobust(m Model, data *timeseries.Series, cfg RobustConfig) (*FitResult, 
 
 		wcfg := cfg.Fit
 		wcfg.InitialParams = fit.Params
-		next, err := fitWeighted(m, times, values, weights, wcfg)
+		next, err := fitWeighted(ctx, m, times, values, weights, wcfg)
 		if err != nil {
 			break // keep the last good estimate
 		}
@@ -105,7 +117,7 @@ func FitRobust(m Model, data *timeseries.Series, cfg RobustConfig) (*FitResult, 
 // fitWeighted solves the weighted least-squares problem
 // min Σ wᵢ(R(tᵢ) − P(tᵢ))² with the standard fitting driver by folding
 // √wᵢ into the residuals.
-func fitWeighted(m Model, times, values, weights []float64, cfg FitConfig) (*FitResult, error) {
+func fitWeighted(ctx context.Context, m Model, times, values, weights []float64, cfg FitConfig) (*FitResult, error) {
 	// Scale values so the weighted problem reuses the unweighted driver:
 	// the driver minimizes Σ (yᵢ − P(tᵢ))²; we need Σ wᵢ(yᵢ − P(tᵢ))².
 	// Fit cannot express per-point weights directly, so run the optimizer
@@ -117,7 +129,7 @@ func fitWeighted(m Model, times, values, weights []float64, cfg FitConfig) (*Fit
 	// Weighted SSE objective via the shared driver: reuse Fit with a
 	// wrapper model whose Eval scales both prediction and data is not
 	// possible (data is fixed), so optimize directly.
-	return fitWithObjective(m, series, cfg, func(params []float64) float64 {
+	return fitWithObjectiveCtx(ctx, m, series, cfg, func(params []float64) float64 {
 		var sse float64
 		for i, t := range times {
 			d := values[i] - m.Eval(params, t)

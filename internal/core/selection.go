@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -83,6 +84,14 @@ func (r *SelectionResult) Best() ModelScore { return r.Scores[0] }
 // requested), and ranks them. Candidates that fail to fit are dropped;
 // an error is returned only if none survive.
 func SelectModel(candidates []Model, data *timeseries.Series, cfg SelectConfig) (*SelectionResult, error) {
+	return SelectModelCtx(context.Background(), candidates, data, cfg)
+}
+
+// SelectModelCtx is SelectModel under a context. Cancellation mid-sweep
+// stops scoring further candidates: if at least one candidate already
+// scored, the partial ranking is returned (degraded but usable);
+// otherwise the context error is returned.
+func SelectModelCtx(ctx context.Context, candidates []Model, data *timeseries.Series, cfg SelectConfig) (*SelectionResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("%w: no candidate models", ErrBadData)
 	}
@@ -97,7 +106,13 @@ func SelectModel(candidates []Model, data *timeseries.Series, cfg SelectConfig) 
 	var scores []ModelScore
 	var firstErr error
 	for _, m := range candidates {
-		v, err := Validate(m, data, cfg.Validate)
+		if cErr := ctx.Err(); cErr != nil {
+			if len(scores) > 0 {
+				break // partial ranking beats no ranking
+			}
+			return nil, fmt.Errorf("core: select: %w", cErr)
+		}
+		v, err := ValidateCtx(ctx, m, data, cfg.Validate)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%s: %w", m.Name(), err)
@@ -106,7 +121,7 @@ func SelectModel(candidates []Model, data *timeseries.Series, cfg SelectConfig) 
 		}
 		score := ModelScore{Model: m, Validation: v, CV: math.NaN()}
 		if needCV {
-			cv, err := RollingOriginCV(m, data, cfg.CVMinTrain, cfg.Validate.Fit)
+			cv, err := RollingOriginCVCtx(ctx, m, data, cfg.CVMinTrain, cfg.Validate.Fit)
 			if err == nil {
 				score.CV = cv
 			}
@@ -150,6 +165,13 @@ func SelectModel(candidates []Model, data *timeseries.Series, cfg SelectConfig) 
 // from the previous origin's parameters, which keeps the n−minTrain
 // refits affordable.
 func RollingOriginCV(m Model, data *timeseries.Series, minTrain int, fitCfg FitConfig) (float64, error) {
+	return RollingOriginCVCtx(context.Background(), m, data, minTrain, fitCfg)
+}
+
+// RollingOriginCVCtx is RollingOriginCV under a context. Cancellation
+// stops advancing the origin; the error ignores origins already scored
+// only when none succeeded.
+func RollingOriginCVCtx(ctx context.Context, m Model, data *timeseries.Series, minTrain int, fitCfg FitConfig) (float64, error) {
 	if m == nil || data == nil {
 		return math.NaN(), fmt.Errorf("%w: nil model or data", ErrBadData)
 	}
@@ -178,12 +200,15 @@ func RollingOriginCV(m Model, data *timeseries.Series, minTrain int, fitCfg FitC
 		warmed []float64
 	)
 	for k := minTrain; k < n; k++ {
+		if ctx.Err() != nil {
+			break // score whatever origins completed
+		}
 		train, err := data.Slice(0, k)
 		if err != nil {
 			return math.NaN(), err
 		}
 		cfg.InitialParams = warmed
-		fit, err := Fit(m, train, cfg)
+		fit, err := FitCtx(ctx, m, train, cfg)
 		if err != nil {
 			continue // origin skipped; CV averages the rest
 		}
@@ -194,6 +219,9 @@ func RollingOriginCV(m Model, data *timeseries.Series, minTrain int, fitCfg FitC
 		count++
 	}
 	if count == 0 {
+		if cErr := ctx.Err(); cErr != nil {
+			return math.NaN(), fmt.Errorf("core: rolling-origin cv: %w", cErr)
+		}
 		return math.NaN(), fmt.Errorf("%w: every CV origin failed to fit", ErrBadData)
 	}
 	return sum / float64(count), nil

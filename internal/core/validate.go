@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,6 +52,12 @@ func (c ValidateConfig) withDefaults() ValidateConfig {
 // compute SSE/PMSE/R²adj, build the confidence band over the whole
 // series, and measure its empirical coverage.
 func Validate(m Model, data *timeseries.Series, cfg ValidateConfig) (*Validation, error) {
+	return ValidateCtx(context.Background(), m, data, cfg)
+}
+
+// ValidateCtx is Validate under a context; the deadline flows into the
+// training fit's optimizer iterations (see FitCtx).
+func ValidateCtx(ctx context.Context, m Model, data *timeseries.Series, cfg ValidateConfig) (*Validation, error) {
 	if data == nil || data.Len() < 4 {
 		return nil, fmt.Errorf("%w: need at least 4 observations", ErrBadData)
 	}
@@ -60,7 +67,7 @@ func Validate(m Model, data *timeseries.Series, cfg ValidateConfig) (*Validation
 	if err != nil {
 		return nil, fmt.Errorf("core: validate split: %w", err)
 	}
-	fit, err := Fit(m, train, cfg.Fit)
+	fit, err := FitCtx(ctx, m, train, cfg.Fit)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,196 @@
+// Package faultinject provides environment-gated fault-injection probes
+// for chaos testing the fitting pipeline. Production code places cheap
+// named probes at interesting sites (optimizer iterations, fit entry
+// points, request decoding); when a site is armed — via the RESIL_FAULTS
+// environment variable or programmatically from tests — the probe fires
+// its configured fault: a panic, a delay, or NaN poisoning of a numeric
+// value.
+//
+// When nothing is armed every probe reduces to a single atomic load, so
+// the hooks are safe to leave in hot loops.
+//
+// The environment format is a semicolon-separated list of site=mode
+// entries, e.g.
+//
+//	RESIL_FAULTS="core.fit.weibull-exp=panic;server.decode=delay:50ms;core.fit.objective.quadratic=nan"
+//
+// Modes:
+//
+//	panic            panic at the site (exercises recover isolation)
+//	delay:<duration> sleep for the duration (or until the ctx is done)
+//	nan              replace the probed float with NaN (poisons objectives)
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable parsed at process start.
+const EnvVar = "RESIL_FAULTS"
+
+// Mode is the kind of fault a site injects.
+type Mode int
+
+// Fault modes.
+const (
+	// ModePanic makes Fire panic at the site.
+	ModePanic Mode = iota + 1
+	// ModeDelay makes Sleep block at the site.
+	ModeDelay
+	// ModeNaN makes Float return NaN at the site.
+	ModeNaN
+)
+
+type probe struct {
+	mode  Mode
+	delay time.Duration
+}
+
+var (
+	mu     sync.Mutex
+	probes = map[string]probe{}
+	// armedCount mirrors len(probes) so Enabled is one atomic load.
+	armedCount atomic.Int32
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := ArmSpec(spec); err != nil {
+			// A malformed spec must not take the process down; report and
+			// run with whatever parsed.
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
+
+// Enabled reports whether any site is armed. Probes in hot loops should
+// gate on it before building site names.
+func Enabled() bool { return armedCount.Load() > 0 }
+
+// Arm arms one site with a mode spec: "panic", "nan", or
+// "delay:<duration>".
+func Arm(site, mode string) error {
+	if site == "" {
+		return fmt.Errorf("faultinject: empty site")
+	}
+	var p probe
+	switch {
+	case mode == "panic":
+		p = probe{mode: ModePanic}
+	case mode == "nan":
+		p = probe{mode: ModeNaN}
+	case strings.HasPrefix(mode, "delay:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(mode, "delay:"))
+		if err != nil || d < 0 {
+			return fmt.Errorf("faultinject: bad delay %q for site %s", mode, site)
+		}
+		p = probe{mode: ModeDelay, delay: d}
+	default:
+		return fmt.Errorf("faultinject: unknown mode %q for site %s", mode, site)
+	}
+	mu.Lock()
+	probes[site] = p
+	armedCount.Store(int32(len(probes)))
+	mu.Unlock()
+	return nil
+}
+
+// ArmSpec arms every site in a semicolon-separated "site=mode" list (the
+// RESIL_FAULTS format). Entries are applied in order; the first malformed
+// entry stops parsing and is returned as an error.
+func ArmSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, mode, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("faultinject: malformed entry %q (want site=mode)", entry)
+		}
+		if err := Arm(strings.TrimSpace(site), strings.TrimSpace(mode)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disarm removes one site.
+func Disarm(site string) {
+	mu.Lock()
+	delete(probes, site)
+	armedCount.Store(int32(len(probes)))
+	mu.Unlock()
+}
+
+// Clear disarms every site.
+func Clear() {
+	mu.Lock()
+	probes = map[string]probe{}
+	armedCount.Store(0)
+	mu.Unlock()
+}
+
+// Sites returns the armed site names (unordered), for diagnostics.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(probes))
+	for s := range probes {
+		out = append(out, s)
+	}
+	return out
+}
+
+func lookup(site string) (probe, bool) {
+	mu.Lock()
+	p, ok := probes[site]
+	mu.Unlock()
+	return p, ok
+}
+
+// Fire panics when site is armed in panic mode; otherwise it is a no-op.
+func Fire(site string) {
+	if !Enabled() {
+		return
+	}
+	if p, ok := lookup(site); ok && p.mode == ModePanic {
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	}
+}
+
+// Sleep blocks for the armed delay (respecting ctx cancellation) when
+// site is armed in delay mode; otherwise it is a no-op.
+func Sleep(ctx context.Context, site string) {
+	if !Enabled() {
+		return
+	}
+	p, ok := lookup(site)
+	if !ok || p.mode != ModeDelay {
+		return
+	}
+	t := time.NewTimer(p.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Float returns NaN when site is armed in nan mode, v otherwise.
+func Float(site string, v float64) float64 {
+	if !Enabled() {
+		return v
+	}
+	if p, ok := lookup(site); ok && p.mode == ModeNaN {
+		return math.NaN()
+	}
+	return v
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestArmSpecParsesEntries(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	err := ArmSpec("a=panic; b=nan ;c=delay:50ms;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Error("Enabled() = false after arming")
+	}
+	sites := Sites()
+	if len(sites) != 3 {
+		t.Errorf("Sites() = %v, want 3 entries", sites)
+	}
+}
+
+func TestArmSpecRejectsMalformed(t *testing.T) {
+	t.Cleanup(Clear)
+	cases := []string{
+		"noequals",
+		"site=explode",
+		"site=delay:notaduration",
+		"site=delay:-5s",
+		"=panic",
+	}
+	for _, spec := range cases {
+		Clear()
+		if err := ArmSpec(spec); err == nil {
+			t.Errorf("ArmSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestFirePanicsOnlyWhenArmed(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	Fire("quiet.site") // must be a no-op
+
+	if err := Arm("loud.site", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	Fire("quiet.site") // still not armed
+
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		Fire("loud.site")
+	}()
+	if got == nil {
+		t.Fatal("armed Fire did not panic")
+	}
+	if msg, ok := got.(string); !ok || !strings.Contains(msg, "loud.site") {
+		t.Errorf("panic value %v does not name the site", got)
+	}
+}
+
+func TestFloatPoisons(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	if v := Float("obj", 3.5); v != 3.5 {
+		t.Errorf("disarmed Float = %g", v)
+	}
+	if err := Arm("obj", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	if v := Float("obj", 3.5); !math.IsNaN(v) {
+		t.Errorf("armed Float = %g, want NaN", v)
+	}
+	if v := Float("other", 3.5); v != 3.5 {
+		t.Errorf("unrelated site poisoned: %g", v)
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	if err := Arm("slow", "delay:5s"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	Sleep(ctx, "slow")
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("Sleep ignored context cancellation; blocked %v", elapsed)
+	}
+}
+
+func TestDisarmAndClear(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	if err := ArmSpec("x=panic;y=nan"); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("x")
+	Fire("x") // no longer armed; must not panic
+	if !Enabled() {
+		t.Error("Enabled() = false with one site still armed")
+	}
+	Clear()
+	if Enabled() {
+		t.Error("Enabled() = true after Clear")
+	}
+	if v := Float("y", 1); v != 1 {
+		t.Errorf("cleared site still poisons: %g", v)
+	}
+}

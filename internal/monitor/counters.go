@@ -1,0 +1,74 @@
+package monitor
+
+import "sync/atomic"
+
+// CounterSnapshot is a point-in-time copy of the process-wide resilience
+// counters. The HTTP server increments them as requests flow through the
+// fault-tolerant fitting pipeline and exposes this snapshot at
+// GET /v1/stats, so operators can see degradation happening — fallbacks
+// taken, requests cancelled, panics contained — without scraping logs.
+type CounterSnapshot struct {
+	// Requests counts HTTP requests served.
+	Requests uint64 `json:"requests"`
+	// RequestErrors counts requests answered with a 4xx/5xx envelope.
+	RequestErrors uint64 `json:"request_errors"`
+	// Fits counts fitting pipelines run (one per fit-family request).
+	Fits uint64 `json:"fits"`
+	// Fallbacks counts fits that needed the degradation chain (a retry
+	// or a simpler model) to produce a result.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Cancellations counts fits stopped by context cancellation or
+	// deadline expiry.
+	Cancellations uint64 `json:"cancellations"`
+	// PanicRecoveries counts panics contained by the optimizer and
+	// handler recover guards.
+	PanicRecoveries uint64 `json:"panic_recoveries"`
+}
+
+// counters is the process-wide atomic store behind CounterSnapshot.
+var counters struct {
+	requests, requestErrors, fits, fallbacks, cancellations, panicRecoveries atomic.Uint64
+}
+
+// CountRequest records one served request; isError marks 4xx/5xx
+// responses.
+func CountRequest(isError bool) {
+	counters.requests.Add(1)
+	if isError {
+		counters.requestErrors.Add(1)
+	}
+}
+
+// CountFit records one fitting pipeline run.
+func CountFit() { counters.fits.Add(1) }
+
+// CountFallback records one degraded fit (retry or fallback model used).
+func CountFallback() { counters.fallbacks.Add(1) }
+
+// CountCancellation records one fit stopped by cancellation or deadline.
+func CountCancellation() { counters.cancellations.Add(1) }
+
+// CountPanicRecovery records one contained panic.
+func CountPanicRecovery() { counters.panicRecoveries.Add(1) }
+
+// Counters returns a snapshot of the current counter values.
+func Counters() CounterSnapshot {
+	return CounterSnapshot{
+		Requests:        counters.requests.Load(),
+		RequestErrors:   counters.requestErrors.Load(),
+		Fits:            counters.fits.Load(),
+		Fallbacks:       counters.fallbacks.Load(),
+		Cancellations:   counters.cancellations.Load(),
+		PanicRecoveries: counters.panicRecoveries.Load(),
+	}
+}
+
+// ResetCounters zeroes every counter; intended for tests.
+func ResetCounters() {
+	counters.requests.Store(0)
+	counters.requestErrors.Store(0)
+	counters.fits.Store(0)
+	counters.fallbacks.Store(0)
+	counters.cancellations.Store(0)
+	counters.panicRecoveries.Store(0)
+}

@@ -1,0 +1,72 @@
+package monitor
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCountersRoundTrip(t *testing.T) {
+	ResetCounters()
+	t.Cleanup(ResetCounters)
+
+	CountRequest(false)
+	CountRequest(true)
+	CountRequest(true)
+	CountFit()
+	CountFallback()
+	CountCancellation()
+	CountPanicRecovery()
+	CountPanicRecovery()
+
+	got := Counters()
+	want := CounterSnapshot{
+		Requests: 3, RequestErrors: 2, Fits: 1,
+		Fallbacks: 1, Cancellations: 1, PanicRecoveries: 2,
+	}
+	if got != want {
+		t.Errorf("Counters() = %+v, want %+v", got, want)
+	}
+
+	ResetCounters()
+	if got := Counters(); got != (CounterSnapshot{}) {
+		t.Errorf("after reset: %+v", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	ResetCounters()
+	t.Cleanup(ResetCounters)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				CountRequest(j%2 == 0)
+				CountFit()
+			}
+		}()
+	}
+	wg.Wait()
+	got := Counters()
+	if got.Requests != 5000 || got.RequestErrors != 2500 || got.Fits != 5000 {
+		t.Errorf("racy counters: %+v", got)
+	}
+}
+
+func TestSnapshotJSONKeys(t *testing.T) {
+	b, err := json.Marshal(CounterSnapshot{Requests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"requests", "request_errors", "fits", "fallbacks", "cancellations", "panic_recoveries"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("snapshot JSON missing %q: %s", key, b)
+		}
+	}
+}

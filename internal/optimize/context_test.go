@@ -1,0 +1,179 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ctxSphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func unitBounds(n int) Bounds {
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i], hi[i] = -10, 10
+	}
+	b, _ := NewBounds(lo, hi)
+	return b
+}
+
+// An already-expired context must return before a single objective
+// evaluation, with an error unwrapping to context.DeadlineExceeded.
+func TestExpiredContextNoEvaluations(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	var evals atomic.Int64
+	counting := func(x []float64) float64 {
+		evals.Add(1)
+		return ctxSphere(x)
+	}
+	res := func(x []float64) ([]float64, error) {
+		evals.Add(1)
+		return x, nil
+	}
+	x0 := []float64{1, 1}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nelder-mead", func() error { _, err := NelderMeadCtx(ctx, counting, x0, Options{}); return err }},
+		{"powell", func() error { _, err := PowellCtx(ctx, counting, x0, Options{}); return err }},
+		{"least-squares", func() error { _, err := LeastSquaresCtx(ctx, res, x0, Options{}); return err }},
+		{"multistart", func() error {
+			_, err := MultiStartCtx(ctx, counting, nil, x0, MultiStartConfig{Bounds: unitBounds(2)})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evals.Store(0)
+			err := tc.run()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want DeadlineExceeded", err)
+			}
+			if n := evals.Load(); n != 0 {
+				t.Errorf("%d objective evaluations ran under an expired context", n)
+			}
+		})
+	}
+}
+
+// Cancellation mid-run must stop the solver within one iteration: with a
+// slow objective that cancels the context itself after a fixed number of
+// evaluations, only a bounded number of further evaluations may happen.
+func TestCancelMidRunStopsWithinOneIteration(t *testing.T) {
+	const cancelAfter = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var evals atomic.Int64
+	slow := func(x []float64) float64 {
+		if evals.Add(1) == cancelAfter {
+			cancel()
+		}
+		return ctxSphere(x)
+	}
+
+	_, err := NelderMeadCtx(ctx, slow, []float64{3, 3, 3, 3}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// One Nelder–Mead iteration costs at most n+2 evaluations plus a
+	// shrink (n more); anything beyond cancelAfter + 2·(n+2) means the
+	// cancellation was not honored within an iteration.
+	if n := evals.Load(); n > cancelAfter+12 {
+		t.Errorf("%d evaluations after cancellation at %d", n, cancelAfter)
+	}
+}
+
+// A cancelled multistart must return the context error, not silently
+// fall through to "every start failed".
+func TestMultiStartCancelPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	obj := func(x []float64) float64 {
+		if evals.Add(1) == 5 {
+			cancel()
+		}
+		return ctxSphere(x)
+	}
+	_, err := MultiStartCtx(ctx, obj, nil, []float64{1, 1}, MultiStartConfig{Bounds: unitBounds(2), Starts: 6})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+// Panics escaping the objective must surface as typed errors matching
+// ErrOptimizerPanic, never as process-level panics.
+func TestPanicIsolation(t *testing.T) {
+	bomb := func(x []float64) float64 { panic("objective exploded") }
+	bombRes := func(x []float64) ([]float64, error) { panic("residual exploded") }
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nelder-mead", func() error { _, err := NelderMeadCtx(ctx, bomb, []float64{1}, Options{}); return err }},
+		{"powell", func() error { _, err := PowellCtx(ctx, bomb, []float64{1}, Options{}); return err }},
+		{"least-squares", func() error { _, err := LeastSquaresCtx(ctx, bombRes, []float64{1}, Options{}); return err }},
+		{"multistart", func() error {
+			_, err := MultiStartCtx(ctx, bomb, nil, []float64{1, 1}, MultiStartConfig{Bounds: unitBounds(2)})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if !errors.Is(err, ErrOptimizerPanic) {
+				t.Fatalf("err = %v, want ErrOptimizerPanic", err)
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) || pe.Value == nil {
+				t.Errorf("error does not carry the panic value: %v", err)
+			}
+		})
+	}
+}
+
+// The context variants must agree with the background-context entry
+// points on a well-behaved problem.
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	x0 := []float64{2, -3}
+	plain, err1 := NelderMead(ctxSphere, x0, Options{})
+	ctxed, err2 := NelderMeadCtx(context.Background(), ctxSphere, x0, Options{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if math.Abs(plain.F-ctxed.F) > 1e-12 {
+		t.Errorf("F mismatch: %g vs %g", plain.F, ctxed.F)
+	}
+}
+
+// An all-infeasible region must stall quickly instead of spinning the
+// full iteration budget on +Inf values.
+func TestInfeasibleSimplexStallsFast(t *testing.T) {
+	inf := func(x []float64) float64 { return math.Inf(1) }
+	r, err := NelderMeadCtx(context.Background(), inf, []float64{1, 1}, Options{MaxIterations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Stalled {
+		t.Errorf("status = %v, want Stalled", r.Status)
+	}
+	if r.FuncEvals > 10 {
+		t.Errorf("%d evaluations on a hopeless simplex", r.FuncEvals)
+	}
+}

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,8 +18,22 @@ import (
 // the solver treats trial points that error as rejected steps, but returns
 // the error if the starting point itself is infeasible.
 func LeastSquares(res Residual, x0 []float64, opts Options) (Result, error) {
+	return LeastSquaresCtx(context.Background(), res, x0, opts)
+}
+
+// LeastSquaresCtx is LeastSquares under a context, checked before the
+// starting residual evaluation, once per major iteration, and inside the
+// damping search (which can otherwise spin through many rejected steps).
+// On cancellation the current iterate is returned with the wrapped
+// context error. Panics escaping the residual are contained and returned
+// as a *PanicError.
+func LeastSquaresCtx(ctx context.Context, res Residual, x0 []float64, opts Options) (_ Result, err error) {
+	defer recoverToError("levenberg-marquardt", &err)
 	if res == nil || len(x0) == 0 {
 		return Result{}, fmt.Errorf("%w: nil residual or empty start", ErrBadInput)
+	}
+	if cErr := cancelled(ctx); cErr != nil {
+		return Result{}, cErr
 	}
 	opts = opts.withDefaults()
 	n := len(x0)
@@ -51,6 +66,9 @@ func LeastSquares(res Residual, x0 []float64, opts Options) (Result, error) {
 
 	iter := 0
 	for ; iter < opts.MaxIterations; iter++ {
+		if cErr := cancelled(ctx); cErr != nil {
+			return Result{X: x, F: cost, Status: Stalled, Iterations: iter, FuncEvals: evals}, cErr
+		}
 		// Numerical Jacobian at the current point (forward differences;
 		// each column costs one residual evaluation).
 		if err := numeric.Jacobian(wrapResidual(res, &evals), x, r0, jac); err != nil {
@@ -68,6 +86,9 @@ func LeastSquares(res Residual, x0 []float64, opts Options) (Result, error) {
 
 		stepped := false
 		for lambda <= lambdaMax {
+			if cErr := cancelled(ctx); cErr != nil {
+				return Result{X: x, F: cost, Status: Stalled, Iterations: iter, FuncEvals: evals}, cErr
+			}
 			// Solve (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr.
 			a := make([][]float64, n)
 			for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -77,6 +78,18 @@ type MultiStartConfig struct {
 // is evaluated in the original (bounded) coordinates; the box is enforced
 // through the smooth Bounds transform.
 func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig) (Result, error) {
+	return MultiStartCtx(context.Background(), obj, res, x0, cfg)
+}
+
+// MultiStartCtx is MultiStart under a context. The context is consulted
+// before every local launch and threaded into each local solver, so
+// cancellation takes effect within one optimizer iteration no matter
+// which start is running. A start that panics is contained by the local
+// solver's recover guard and counts as a failed start; only if every
+// start fails is the first panic surfaced (as a *PanicError unwrapping
+// to ErrOptimizerPanic). On cancellation the best local solution found
+// before the cutoff is returned along with the wrapped context error.
+func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float64, cfg MultiStartConfig) (Result, error) {
 	if obj == nil {
 		return Result{}, fmt.Errorf("%w: nil objective", ErrBadInput)
 	}
@@ -85,6 +98,9 @@ func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig)
 	}
 	if cfg.Starts <= 0 {
 		cfg.Starts = 8
+	}
+	if cErr := cancelled(ctx); cErr != nil {
+		return Result{}, cErr
 	}
 
 	wrapped := func(z []float64) float64 {
@@ -100,19 +116,39 @@ func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig)
 	}
 
 	var (
-		best      Result
-		haveBest  bool
-		totalIter int
-		totalEval int
+		best       Result
+		haveBest   bool
+		totalIter  int
+		totalEval  int
+		firstPanic error
 	)
 	for _, start := range starts {
-		z0 := cfg.Bounds.Encode(start)
-		r, nmErr := NelderMead(wrapped, z0, cfg.Local)
-		if nmErr != nil {
-			continue
+		if cErr := cancelled(ctx); cErr != nil {
+			if haveBest {
+				best.Iterations = totalIter
+				best.FuncEvals = totalEval
+				return best, cErr
+			}
+			return Result{}, cErr
 		}
+		z0 := cfg.Bounds.Encode(start)
+		r, nmErr := NelderMeadCtx(ctx, wrapped, z0, cfg.Local)
 		totalIter += r.Iterations
 		totalEval += r.FuncEvals
+		if nmErr != nil {
+			if isCancellation(nmErr) {
+				if haveBest {
+					best.Iterations = totalIter
+					best.FuncEvals = totalEval
+					return best, nmErr
+				}
+				return Result{}, nmErr
+			}
+			if firstPanic == nil {
+				firstPanic = nmErr
+			}
+			continue
+		}
 		if !haveBest || r.F < best.F {
 			r.X = cfg.Bounds.Decode(r.X)
 			best = r
@@ -120,11 +156,14 @@ func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig)
 		}
 	}
 	if !haveBest {
+		if firstPanic != nil {
+			return Result{}, firstPanic
+		}
 		return Result{}, fmt.Errorf("%w: every start failed", ErrBadInput)
 	}
 
 	if cfg.Polish && res != nil {
-		if polished, lmErr := LeastSquares(res, best.X, cfg.Local); lmErr == nil {
+		if polished, lmErr := LeastSquaresCtx(ctx, res, best.X, cfg.Local); lmErr == nil {
 			f := sanitize(obj(polished.X))
 			totalIter += polished.Iterations
 			totalEval += polished.FuncEvals

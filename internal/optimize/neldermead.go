@@ -1,9 +1,12 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"resilience/internal/faultinject"
 )
 
 // NelderMead minimizes obj starting from x0 using the Nelder–Mead simplex
@@ -12,8 +15,23 @@ import (
 // makes it the workhorse for the non-smooth least-squares surfaces that
 // arise when resilience models are fit to short, noisy series.
 func NelderMead(obj Objective, x0 []float64, opts Options) (Result, error) {
+	return NelderMeadCtx(context.Background(), obj, x0, opts)
+}
+
+// NelderMeadCtx is NelderMead under a context: the context is checked
+// before the initial simplex is built and once per major iteration, so a
+// cancelled fit stops within one iteration and an already-expired context
+// performs no objective evaluations at all. On cancellation the best
+// vertex seen so far is returned together with the (wrapped) context
+// error. Panics escaping the objective are contained and returned as a
+// *PanicError.
+func NelderMeadCtx(ctx context.Context, obj Objective, x0 []float64, opts Options) (_ Result, err error) {
+	defer recoverToError("nelder-mead", &err)
 	if obj == nil || len(x0) == 0 {
 		return Result{}, fmt.Errorf("%w: nil objective or empty start", ErrBadInput)
+	}
+	if cErr := cancelled(ctx); cErr != nil {
+		return Result{}, cErr
 	}
 	opts = opts.withDefaults()
 	n := len(x0)
@@ -50,14 +68,40 @@ func NelderMead(obj Objective, x0 []float64, opts Options) (Result, error) {
 	xe := make([]float64, n)
 	xc := make([]float64, n)
 
+	// bestVertex picks the lowest vertex, for early-exit paths.
+	bestVertex := func() (x []float64, f float64) {
+		best := 0
+		for i := 1; i <= n; i++ {
+			if fvals[i] < fvals[best] {
+				best = i
+			}
+		}
+		return append([]float64(nil), simplex[best]...), fvals[best]
+	}
+
 	iter := 0
 	for ; iter < opts.MaxIterations; iter++ {
+		if cErr := cancelled(ctx); cErr != nil {
+			x, f := bestVertex()
+			return Result{X: x, F: f, Status: Stalled, Iterations: iter, FuncEvals: evals}, cErr
+		}
+		if faultinject.Enabled() {
+			faultinject.Fire("optimize.neldermead.iter")
+		}
 		// Order vertices by objective value.
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool { return fvals[order[a]] < fvals[order[b]] })
 		best, worst, secondWorst := order[0], order[n], order[n-1]
+
+		// A fully infeasible simplex (every vertex +Inf) gives the moves no
+		// gradient information; iterating the budget out on it just burns
+		// CPU. Bail immediately — the multistart driver will try elsewhere.
+		if math.IsInf(fvals[best], 1) {
+			x, f := bestVertex()
+			return Result{X: x, F: f, Status: Stalled, Iterations: iter, FuncEvals: evals}, nil
+		}
 
 		// Convergence: spread of function values and simplex size.
 		fSpread := math.Abs(fvals[worst] - fvals[best])
@@ -140,14 +184,9 @@ func NelderMead(obj Objective, x0 []float64, opts Options) (Result, error) {
 	}
 
 	// Budget exhausted: return the best vertex.
-	best := 0
-	for i := 1; i <= n; i++ {
-		if fvals[i] < fvals[best] {
-			best = i
-		}
-	}
+	x, f := bestVertex()
 	return Result{
-		X: append([]float64(nil), simplex[best]...), F: fvals[best],
+		X: x, F: f,
 		Status: MaxIterations, Iterations: iter, FuncEvals: evals,
 	}, nil
 }

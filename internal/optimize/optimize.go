@@ -9,7 +9,9 @@
 package optimize
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -99,6 +101,54 @@ func (o Options) withDefaults() Options {
 // ErrBadInput is returned when a solver is invoked with an unusable
 // starting point or malformed configuration.
 var ErrBadInput = errors.New("optimize: bad input")
+
+// ErrOptimizerPanic is the sentinel matched by errors.Is when a panic
+// escaped an objective, residual, or solver internals and was contained
+// by the entry-point recover guard. Callers get a typed error instead of
+// a torn-down goroutine, so one pathological model cannot crash a server
+// worker.
+var ErrOptimizerPanic = errors.New("optimize: optimizer panicked")
+
+// PanicError wraps a recovered panic value with the solver it escaped
+// from. It unwraps to ErrOptimizerPanic.
+type PanicError struct {
+	// Site names the solver or entry point that panicked.
+	Site string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error formats the panic site and value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("optimize: panic in %s: %v", e.Site, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrOptimizerPanic) true.
+func (e *PanicError) Unwrap() error { return ErrOptimizerPanic }
+
+// recoverToError converts an in-flight panic into a *PanicError assigned
+// to *err. Install with defer at every exported solver entry point.
+func recoverToError(site string, err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Site: site, Value: r}
+	}
+}
+
+// cancelled returns a wrapped context error when ctx is done, nil
+// otherwise. The wrap preserves errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded).
+func cancelled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("optimize: cancelled: %w", err)
+	}
+	return nil
+}
+
+// isCancellation reports whether err stems from context cancellation or
+// deadline expiry (possibly wrapped).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // sanitize maps NaN objective values to +Inf so comparisons stay total.
 func sanitize(f float64) float64 {

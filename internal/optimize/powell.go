@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -13,8 +14,21 @@ import (
 // derivative-free algorithms agreeing on a minimum is strong evidence it
 // is real.
 func Powell(obj Objective, x0 []float64, opts Options) (Result, error) {
+	return PowellCtx(context.Background(), obj, x0, opts)
+}
+
+// PowellCtx is Powell under a context, checked once per outer iteration
+// (one full pass of line minimizations). An already-expired context
+// returns before any objective evaluation; cancellation mid-run returns
+// the best point seen with the wrapped context error. Panics escaping
+// the objective are contained and returned as a *PanicError.
+func PowellCtx(ctx context.Context, obj Objective, x0 []float64, opts Options) (_ Result, err error) {
+	defer recoverToError("powell", &err)
 	if obj == nil || len(x0) == 0 {
 		return Result{}, fmt.Errorf("%w: nil objective or empty start", ErrBadInput)
+	}
+	if cErr := cancelled(ctx); cErr != nil {
+		return Result{}, cErr
 	}
 	opts = opts.withDefaults()
 	n := len(x0)
@@ -60,6 +74,15 @@ func Powell(obj Objective, x0 []float64, opts Options) (Result, error) {
 
 	iter := 0
 	for ; iter < opts.MaxIterations; iter++ {
+		if cErr := cancelled(ctx); cErr != nil {
+			return Result{X: x, F: fx, Status: Stalled, Iterations: iter, FuncEvals: evals}, cErr
+		}
+		// A start deep in infeasible territory (objective +Inf) gives the
+		// line searches nothing to bracket; stop instead of spinning the
+		// iteration budget.
+		if math.IsInf(fx, 1) {
+			return Result{X: x, F: fx, Status: Stalled, Iterations: iter, FuncEvals: evals}, nil
+		}
 		fStart := fx
 		xStart := append([]float64(nil), x...)
 

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilience/internal/faultinject"
+	"resilience/internal/monitor"
+)
+
+// TestChaos hammers a live server with a hostile request mix — valid
+// fits, malformed JSON, oversized bodies, cancelled-mid-flight clients,
+// injected panics, and NaN-poisoned objectives — all concurrently. The
+// process must never crash, every completed response must be a
+// well-formed JSON envelope, and the goroutine count must return to
+// baseline afterwards.
+func TestChaos(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	faultinject.Clear()
+	// Faults are keyed by model so each request category picks its poison:
+	//   exp-bathtub      → panic inside the fit (recover + fallback)
+	//   exp-weibull      → NaN-poisoned objective (non-convergence + fallback)
+	//   competing-risks  → injected delay (lets clients cancel mid-fit)
+	for site, mode := range map[string]string{
+		"core.fit.exp-bathtub":           "panic",
+		"core.fit.objective.exp-weibull": "nan",
+		"core.fit.delay.competing-risks": "delay:2s",
+	} {
+		if err := faultinject.Arm(site, mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+
+	srv := httptest.NewServer(NewHandler(Config{
+		FitTimeout: 10 * time.Second,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	validBody := func(model string) []byte {
+		b, _ := json.Marshal(map[string]any{"model": model, "values": testSeries()})
+		return b
+	}
+	oversize := []byte(fmt.Sprintf(`{"model":"quadratic","values":[%s1]}`,
+		strings.Repeat("1,", maxBodyBytes/2)))
+
+	type probe struct {
+		name      string
+		path      string
+		body      []byte
+		cancelIn  time.Duration // >0: client abandons the request
+		wantOneOf []int         // acceptable statuses for completed responses
+	}
+	probes := []probe{
+		{name: "valid", path: "/v1/fit", body: validBody("quadratic"), wantOneOf: []int{200}},
+		{name: "valid-predict", path: "/v1/predict", body: validBody("quadratic"), wantOneOf: []int{200}},
+		{name: "malformed", path: "/v1/fit", body: []byte("{definitely not json"), wantOneOf: []int{400}},
+		{name: "oversize", path: "/v1/fit", body: oversize, wantOneOf: []int{413}},
+		{name: "unknown-model", path: "/v1/fit", body: validBody("perceptron"), wantOneOf: []int{400}},
+		{name: "panic-injected", path: "/v1/fit", body: validBody("exp-bathtub"), wantOneOf: []int{200}},
+		{name: "nan-poisoned", path: "/v1/fit", body: validBody("exp-weibull"), wantOneOf: []int{200}},
+		{name: "cancelled", path: "/v1/fit", body: validBody("competing-risks"), cancelIn: 30 * time.Millisecond},
+	}
+
+	rounds := 16 // 16 rounds × 8 categories = 128 hostile requests
+	if testing.Short() {
+		rounds = 4
+	}
+
+	var (
+		mu       sync.Mutex
+		failures []string
+	)
+	report := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for round := 0; round < rounds; round++ {
+		for _, p := range probes {
+			wg.Add(1)
+			go func(p probe, seed int64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+
+				ctx := context.Background()
+				if p.cancelIn > 0 {
+					// Jitter the cancellation point so requests die at
+					// different pipeline stages.
+					jitter := time.Duration(rand.New(rand.NewSource(seed)).Int63n(int64(p.cancelIn)))
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, p.cancelIn+jitter)
+					defer cancel()
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+p.path, bytes.NewReader(p.body))
+				if err != nil {
+					report("%s: build request: %v", p.name, err)
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					if p.cancelIn > 0 {
+						return // abandoning the request is this probe's point
+					}
+					report("%s: transport error: %v", p.name, err)
+					return
+				}
+				defer resp.Body.Close()
+				raw, err := io.ReadAll(resp.Body)
+				if err != nil {
+					report("%s: read body: %v", p.name, err)
+					return
+				}
+				var envelope map[string]any
+				if err := json.Unmarshal(raw, &envelope); err != nil {
+					report("%s: status %d body not JSON: %v (%.80s)", p.name, resp.StatusCode, err, raw)
+					return
+				}
+				ok := false
+				for _, want := range p.wantOneOf {
+					ok = ok || resp.StatusCode == want
+				}
+				if !ok {
+					report("%s: status %d, want one of %v (%v)", p.name, resp.StatusCode, p.wantOneOf, envelope)
+					return
+				}
+				if resp.StatusCode >= 400 {
+					if _, has := envelope["error"]; !has {
+						report("%s: %d envelope missing error field", p.name, resp.StatusCode)
+					}
+				}
+			}(p, int64(round)*31+1)
+		}
+	}
+	wg.Wait()
+
+	for _, f := range failures {
+		t.Error(f)
+	}
+
+	// Every worker must wind down: the injected delays honor request
+	// contexts, so nothing should still be running. Idle keep-alive
+	// connections are torn down first so only real leaks remain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		client.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The faults must have been observed: panics contained, fallbacks
+	// taken, cancellations recorded — and the server is still alive.
+	c := monitor.Counters()
+	if c.PanicRecoveries == 0 || c.Fallbacks == 0 || c.Cancellations == 0 {
+		t.Errorf("chaos left no trace in the counters: %+v", c)
+	}
+	rec, body := doJSON(t, NewHandler(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}),
+		http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("server unhealthy after chaos: %d %v", rec.Code, body)
+	}
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/faultinject"
+	"resilience/internal/monitor"
+)
+
+// quietHandler builds a handler that logs to nowhere, for tests that do
+// not inspect the access log.
+func quietHandler(cfg Config) http.Handler {
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return NewHandler(cfg)
+}
+
+func TestReadyz(t *testing.T) {
+	rec, body := doJSON(t, quietHandler(Config{}), http.MethodGet, "/readyz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["status"] != "ready" {
+		t.Errorf("status = %v", body["status"])
+	}
+	if ms, ok := body["sanity_fit_ms"].(float64); !ok || ms < 0 {
+		t.Errorf("sanity_fit_ms = %v", body["sanity_fit_ms"])
+	}
+}
+
+func TestReadyzUnreadyWhenPipelineBroken(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.quadratic", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	rec, body := doJSON(t, quietHandler(Config{}), http.MethodGet, "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %v", rec.Code, body)
+	}
+	if body["status"] != "unready" {
+		t.Errorf("status = %v", body["status"])
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	rec, body := doJSON(t, quietHandler(Config{}), http.MethodGet, "/v1/version", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if v, ok := body["version"].(string); !ok || v == "" {
+		t.Errorf("version = %v", body["version"])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+	h := quietHandler(Config{})
+	doJSON(t, h, http.MethodGet, "/healthz", nil)
+	rec, body := doJSON(t, h, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	// The healthz request above must already be counted.
+	if n, ok := body["requests"].(float64); !ok || n < 1 {
+		t.Errorf("requests = %v", body["requests"])
+	}
+	for _, key := range []string{"fallbacks", "cancellations", "panic_recoveries", "fits", "request_errors"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("stats missing %q: %v", key, body)
+		}
+	}
+}
+
+// Forced non-convergence of the requested model must still answer 200,
+// name the fallback family, and bump the fallback counter.
+func TestFitFallsBackWhenPrimaryCannotConverge(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+
+	rec, body := doJSON(t, quietHandler(Config{}), http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "competing-risks",
+		"values": testSeries(),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if degraded, _ := body["degraded"].(bool); !degraded {
+		t.Errorf("degraded = %v", body["degraded"])
+	}
+	fb, _ := body["fallback_model"].(string)
+	if fb == "" || fb == "competing-risks" {
+		t.Errorf("fallback_model = %q", fb)
+	}
+	if body["model"] != fb {
+		t.Errorf("model = %v, want the fallback %q", body["model"], fb)
+	}
+	if reason, _ := body["degradation_reason"].(string); reason == "" {
+		t.Error("degradation_reason missing")
+	}
+	if c := monitor.Counters(); c.Fallbacks != 1 || c.Fits != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// With the chain disabled, the same forced failure must surface as a 422.
+func TestFitErrorWhenFallbackDisabled(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	rec, body := doJSON(t, quietHandler(Config{DisableFallback: true}), http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "competing-risks",
+		"values": testSeries(),
+	})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if _, ok := body["error"]; !ok {
+		t.Error("error envelope missing")
+	}
+}
+
+// A client that disconnects mid-fit must not leak the worker goroutine,
+// and the cancellation must be counted.
+func TestClientCancelledRequest(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.delay.competing-risks", "delay:5s"); err != nil {
+		t.Fatal(err)
+	}
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+
+	srv := httptest.NewServer(quietHandler(Config{}))
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	payload, _ := json.Marshal(map[string]any{
+		"model":  "competing-risks",
+		"values": testSeries(),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/fit", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded despite cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("client blocked %v after cancelling", elapsed)
+	}
+
+	// The server goroutine must wind down promptly (it was sleeping in the
+	// injected delay, which honors the request context).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Cancellation accounting is asynchronous with the client error; poll.
+	for time.Now().Before(deadline) {
+		if monitor.Counters().Cancellations >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("cancellation not counted: %+v", monitor.Counters())
+}
+
+// A panic anywhere in request handling must be contained by the
+// middleware and answered with a 500 envelope.
+func TestHandlerPanicContained(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("server.decode", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+
+	rec, body := doJSON(t, quietHandler(Config{}), http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "quadratic",
+		"values": testSeries(),
+	})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if _, ok := body["error"]; !ok {
+		t.Error("500 envelope missing error field")
+	}
+	if c := monitor.Counters(); c.PanicRecoveries < 1 {
+		t.Errorf("panic not counted: %+v", c)
+	}
+}
+
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("fallback envelope not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if _, ok := body["error"]; !ok {
+		t.Error("fallback envelope missing error field")
+	}
+}
+
+// validate() guards fields JSON cannot even express as NaN/Inf when they
+// arrive through other construction paths.
+func TestModelRequestValidate(t *testing.T) {
+	good := func() modelRequest {
+		return modelRequest{Model: "quadratic", seriesBody: seriesBody{Values: []float64{1, 2, 3}}}
+	}
+	cases := []struct {
+		name  string
+		mut   func(*modelRequest)
+		field string
+	}{
+		{"nan value", func(r *modelRequest) { r.Values[1] = math.NaN() }, "values"},
+		{"inf value", func(r *modelRequest) { r.Values[0] = math.Inf(1) }, "values"},
+		{"empty values", func(r *modelRequest) { r.Values = nil }, "values"},
+		{"nan time", func(r *modelRequest) { r.Times = []float64{0, math.NaN(), 2} }, "times"},
+		{"times length", func(r *modelRequest) { r.Times = []float64{0, 1} }, "times"},
+		{"train fraction high", func(r *modelRequest) { r.TrainFraction = 1.0 }, "train_fraction"},
+		{"train fraction negative", func(r *modelRequest) { r.TrainFraction = -0.1 }, "train_fraction"},
+		{"nan level", func(r *modelRequest) { r.Level = math.NaN() }, "level"},
+		{"negative level", func(r *modelRequest) { r.Level = -1 }, "level"},
+		{"steps negative", func(r *modelRequest) { r.Steps = -1 }, "steps"},
+		{"steps huge", func(r *modelRequest) { r.Steps = 1000000 }, "steps"},
+		{"alpha out of range", func(r *modelRequest) { r.Alpha = 1.5 }, "alpha"},
+		{"inf intervention start", func(r *modelRequest) { r.InterventionStart = math.Inf(-1) }, "intervention_start"},
+		{"negative accel", func(r *modelRequest) { r.InterventionAccel = -2 }, "intervention_accel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := good()
+			tc.mut(&req)
+			aerr := req.validate()
+			if aerr == nil {
+				t.Fatal("validate accepted a bad request")
+			}
+			if aerr.field != tc.field {
+				t.Errorf("field = %q, want %q (%v)", aerr.field, tc.field, aerr)
+			}
+			if aerr.status != http.StatusBadRequest {
+				t.Errorf("status = %d", aerr.status)
+			}
+		})
+	}
+	req := good()
+	if aerr := req.validate(); aerr != nil {
+		t.Errorf("validate rejected a good request: %v", aerr)
+	}
+}
+
+// Every request must produce exactly one structured log line carrying
+// method, path, status, duration, and the degradation outcome.
+func TestStructuredRequestLog(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h := NewHandler(Config{Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+
+	doJSON(t, h, http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "competing-risks",
+		"values": testSeries(),
+	})
+
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected one log line, got:\n%s", line)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, line)
+	}
+	if entry["method"] != "POST" || entry["path"] != "/v1/fit" {
+		t.Errorf("method/path = %v/%v", entry["method"], entry["path"])
+	}
+	if s, ok := entry["status"].(float64); !ok || s != 200 {
+		t.Errorf("status = %v", entry["status"])
+	}
+	if _, ok := entry["duration_ms"].(float64); !ok {
+		t.Errorf("duration_ms = %v", entry["duration_ms"])
+	}
+	if entry["outcome"] != "fallback" {
+		t.Errorf("outcome = %v", entry["outcome"])
+	}
+	if fb, _ := entry["fallback_model"].(string); fb == "" {
+		t.Errorf("fallback_model = %v", entry["fallback_model"])
+	}
+}
+
+// A fit deadline shorter than the injected delay must answer 504.
+func TestFitTimeoutAnswersGatewayTimeout(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.delay.quadratic", "delay:5s"); err != nil {
+		t.Fatal(err)
+	}
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+
+	h := quietHandler(Config{FitTimeout: 60 * time.Millisecond})
+	start := time.Now()
+	rec, body := doJSON(t, h, http.MethodPost, "/v1/fit", map[string]any{
+		"model":  "quadratic",
+		"values": testSeries(),
+	})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("handler held the request %v past its deadline", elapsed)
+	}
+	if c := monitor.Counters(); c.Cancellations != 1 {
+		t.Errorf("deadline not counted: %+v", c)
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"resilience/internal/monitor"
+)
+
+// reqMeta travels in the request context so handlers can annotate the
+// structured access log with the degradation outcome.
+type reqMeta struct {
+	outcome  string // "", "ok", "retried", "fallback", "error"
+	fallback string // fallback model name when outcome == "fallback"
+}
+
+type metaKey struct{}
+
+// metaFrom returns the request's log metadata holder, or nil when the
+// instrumentation middleware is not installed (e.g. a handler invoked
+// directly in a unit test).
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(metaKey{}).(*reqMeta)
+	return m
+}
+
+// statusWriter captures the response status for logging and lets the
+// panic-recovery middleware know whether the header was already
+// committed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps the route mux with the hardening middleware:
+//
+//   - panic isolation: a panic that escapes a handler (model code,
+//     encoder, anything) is contained, counted, and answered with a 500
+//     JSON envelope if the header is still open — the process never
+//     crashes and the connection is never torn down mid-body silently;
+//   - one structured log line per request: method, path, status,
+//     duration, and the degradation outcome set by the handler;
+//   - request counters feeding GET /v1/stats.
+func instrument(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		meta := &reqMeta{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				monitor.CountPanicRecovery()
+				meta.outcome = "panic"
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError, errorBody{
+						Error: "internal error: request handler panicked",
+					})
+				} else {
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			monitor.CountRequest(sw.status >= 400)
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+			}
+			if meta.outcome != "" {
+				attrs = append(attrs, "outcome", meta.outcome)
+			}
+			if meta.fallback != "" {
+				attrs = append(attrs, "fallback_model", meta.fallback)
+			}
+			logger.Info("request", attrs...)
+		}()
+
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -4,9 +4,19 @@
 // stateless: every request carries its own data, and all state lives in
 // the request scope, so the handler is safe under arbitrary concurrency.
 //
+// The server is built to degrade rather than fail: request deadlines are
+// threaded from the handler down into every optimizer iteration, panics
+// anywhere in the fitting pipeline are contained and answered with a
+// JSON error envelope, and fits that will not converge fall back through
+// progressively simpler model families (see core.FallbackPolicy),
+// annotating the response instead of erroring.
+//
 // Endpoints:
 //
 //	GET  /healthz                 liveness probe
+//	GET  /readyz                  readiness probe (runs a sanity fit)
+//	GET  /v1/version              build/version info
+//	GET  /v1/stats                fallback/cancellation/panic counters
 //	GET  /v1/models               available model names
 //	GET  /v1/datasets             built-in dataset catalog
 //	GET  /v1/datasets/{name}      one dataset's series
@@ -15,19 +25,28 @@
 //	POST /v1/metrics              interval metrics: {model, times?, values}
 //	POST /v1/forecast             future-horizon forecast with bands
 //	POST /v1/intervention         restoration-scenario what-if analysis
+//
+// Every error response is the JSON envelope {"error": "...", "field": "..."}
+// where field names the offending request field when one is known.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"resilience/internal/core"
 	"resilience/internal/dataset"
+	"resilience/internal/faultinject"
+	"resilience/internal/monitor"
+	"resilience/internal/optimize"
 	"resilience/internal/timeseries"
 )
 
@@ -35,27 +54,95 @@ import (
 // small cap shuts down abuse cheaply.
 const maxBodyBytes = 1 << 20
 
-// Handler returns the server's http.Handler with all routes registered.
-func Handler() http.Handler {
+// statusClientClosedRequest is the de-facto standard (nginx) status for
+// requests abandoned by the client; it only ever reaches logs and
+// counters, never the (gone) client.
+const statusClientClosedRequest = 499
+
+// Version is the server's version string, settable at link time with
+// -ldflags "-X resilience/internal/server.Version=v1.2.3".
+var Version = "dev"
+
+// Config tunes the HTTP handler. The zero value selects production
+// defaults.
+type Config struct {
+	// FitTimeout bounds each fitting request's total work, including
+	// every retry and fallback of the degradation chain (default 30s).
+	// The deadline propagates into individual optimizer iterations.
+	FitTimeout time.Duration
+	// DisableFallback turns the degradation chain off: a failed fit is
+	// answered with an error envelope instead of a simpler model.
+	DisableFallback bool
+	// Fallback overrides the degradation chain policy (nil-able fields
+	// fall back to core defaults).
+	Fallback core.FallbackPolicy
+	// Logger receives one structured line per request (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.FitTimeout <= 0 {
+		c.FitTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	c.Fallback.Disable = c.Fallback.Disable || c.DisableFallback
+	return c
+}
+
+// api carries per-handler configuration.
+type api struct {
+	cfg Config
+}
+
+func (a *api) policy() core.FallbackPolicy { return a.cfg.Fallback }
+
+// Handler returns the server's http.Handler with default configuration.
+func Handler() http.Handler { return NewHandler(Config{}) }
+
+// NewHandler returns the server's http.Handler with all routes
+// registered and the hardening middleware (panic recovery, structured
+// request logging, request counters) installed.
+func NewHandler(cfg Config) http.Handler {
+	a := &api{cfg: cfg.withDefaults()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("GET /readyz", a.handleReady)
+	mux.HandleFunc("GET /v1/version", handleVersion)
+	mux.HandleFunc("GET /v1/stats", handleStats)
 	mux.HandleFunc("GET /v1/models", handleModels)
 	mux.HandleFunc("GET /v1/datasets", handleDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}", handleDataset)
-	mux.HandleFunc("POST /v1/fit", handleFit)
-	mux.HandleFunc("POST /v1/predict", handlePredict)
-	mux.HandleFunc("POST /v1/metrics", handleMetrics)
-	mux.HandleFunc("POST /v1/forecast", handleForecast)
-	mux.HandleFunc("POST /v1/intervention", handleIntervention)
-	return mux
+	mux.HandleFunc("POST /v1/fit", a.withFitTimeout(a.handleFit))
+	mux.HandleFunc("POST /v1/predict", a.withFitTimeout(a.handlePredict))
+	mux.HandleFunc("POST /v1/metrics", a.withFitTimeout(a.handleMetrics))
+	mux.HandleFunc("POST /v1/forecast", a.withFitTimeout(a.handleForecast))
+	mux.HandleFunc("POST /v1/intervention", a.withFitTimeout(a.handleIntervention))
+	return instrument(a.cfg.Logger, mux)
+}
+
+// withFitTimeout imposes the configured fitting deadline on a handler's
+// request context; the deadline is honored down to single optimizer
+// iterations.
+func (a *api) withFitTimeout(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), a.cfg.FitTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
 }
 
 // New returns an http.Server configured with production timeouts,
 // listening on addr.
-func New(addr string) *http.Server {
+func New(addr string) *http.Server { return NewServer(addr, Config{}) }
+
+// NewServer is New with an explicit handler configuration.
+func NewServer(addr string, cfg Config) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           Handler(),
+		Handler:           NewHandler(cfg),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      60 * time.Second, // fits can take a few seconds
@@ -63,25 +150,105 @@ func New(addr string) *http.Server {
 	}
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Field names the offending
+// request field when one is known.
 type errorBody struct {
 	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
 }
 
+// writeJSON marshals v to a buffer before touching the ResponseWriter,
+// so a marshal failure still yields a complete 500 JSON envelope rather
+// than a truncated body after a committed 200 header.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		body, _ = json.Marshal(errorBody{Error: "encode response: " + err.Error()})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding errors past the header write can only be logged; the
-	// payloads here are small structs that always marshal.
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(append(body, '\n'))
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// apiError is a request-validation failure bound to an HTTP status and,
+// when known, the offending field.
+type apiError struct {
+	status int
+	field  string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func badField(field, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, field: field, err: fmt.Errorf(format, args...)}
+}
+
+func writeAPIErr(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, errorBody{Error: e.err.Error(), Field: e.field})
+}
+
 func handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readySeries is the canned V-shaped series the readiness probe fits.
+var readySeries = []float64{1, 0.97, 0.94, 0.92, 0.91, 0.915, 0.93, 0.95, 0.97, 0.99, 1.0, 1.005}
+
+// handleReady answers readiness: it runs a cheap sanity fit of the
+// quadratic bathtub on a canned series under a short deadline, proving
+// the whole pipeline — series construction, optimizer, parameter
+// validation — can still produce results.
+func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	series, err := timeseries.FromValues(readySeries)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	start := time.Now()
+	_, err = core.FitCtx(ctx, core.QuadraticModel{}, series, core.FitConfig{
+		Starts: 2,
+		Local:  optimize.Options{MaxIterations: 400},
+	})
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unready", "error": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ready",
+		"sanity_fit_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleVersion reports build information.
+func handleVersion(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]string{"version": Version}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["go"] = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				out["revision"] = s.Value
+			case "vcs.time":
+				out["build_time"] = s.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStats exposes the process-wide degradation counters.
+func handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, monitor.Counters())
 }
 
 // modelNames lists every model the API accepts.
@@ -156,17 +323,77 @@ type modelRequest struct {
 	InterventionAccel float64 `json:"intervention_accel,omitempty"`
 }
 
+// validate rejects out-of-range and non-finite request fields at the
+// JSON boundary with field-specific messages, before anything reaches
+// the fitters.
+func (req *modelRequest) validate() *apiError {
+	if len(req.Values) == 0 {
+		return badField("values", "values required")
+	}
+	for i, v := range req.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badField("values", "values[%d] is %g; every value must be finite", i, v)
+		}
+	}
+	if len(req.Times) > 0 {
+		if len(req.Times) != len(req.Values) {
+			return badField("times", "%d times for %d values; lengths must match", len(req.Times), len(req.Values))
+		}
+		for i, t := range req.Times {
+			if math.IsNaN(t) || math.IsInf(t, 0) {
+				return badField("times", "times[%d] is %g; every time must be finite", i, t)
+			}
+		}
+	}
+	if tf := req.TrainFraction; math.IsNaN(tf) || tf < 0 || tf >= 1 {
+		return badField("train_fraction", "train_fraction %g outside [0, 1); 0 selects the default 0.9", tf)
+	}
+	if lv := req.Level; math.IsNaN(lv) || math.IsInf(lv, 0) || lv < 0 {
+		return badField("level", "level %g must be finite and non-negative; 0 selects the default 1.0", lv)
+	}
+	if req.Steps < 0 || req.Steps > 10000 {
+		return badField("steps", "steps %d outside [0, 10000]; 0 selects the default 6", req.Steps)
+	}
+	if al := req.Alpha; math.IsNaN(al) || al < 0 || al >= 1 {
+		return badField("alpha", "alpha %g outside [0, 1); 0 selects the default 0.05", al)
+	}
+	if s := req.InterventionStart; math.IsNaN(s) || math.IsInf(s, 0) {
+		return badField("intervention_start", "intervention_start must be finite")
+	}
+	if ac := req.InterventionAccel; math.IsNaN(ac) || math.IsInf(ac, 0) || ac < 0 {
+		return badField("intervention_accel", "intervention_accel %g must be finite and non-negative", ac)
+	}
+	return nil
+}
+
 // decode parses and validates the shared request body.
-func decode(r *http.Request) (*modelRequest, core.Model, *timeseries.Series, error) {
+func decode(r *http.Request) (*modelRequest, core.Model, *timeseries.Series, *apiError) {
+	if faultinject.Enabled() {
+		faultinject.Fire("server.decode")
+		faultinject.Sleep(r.Context(), "server.decode.delay")
+	}
 	var req modelRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return nil, nil, nil, fmt.Errorf("decode request: %w", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, nil, nil, &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request body exceeds %d bytes", tooBig.Limit),
+			}
+		}
+		return nil, nil, nil, &apiError{
+			status: http.StatusBadRequest,
+			err:    fmt.Errorf("decode request: %w", err),
+		}
 	}
 	m, err := lookupModel(req.Model)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, &apiError{status: http.StatusBadRequest, field: "model", err: err}
+	}
+	if aerr := req.validate(); aerr != nil {
+		return nil, nil, nil, aerr
 	}
 	var series *timeseries.Series
 	if len(req.Times) > 0 {
@@ -175,7 +402,10 @@ func decode(r *http.Request) (*modelRequest, core.Model, *timeseries.Series, err
 		series, err = timeseries.FromValues(req.Values)
 	}
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("series: %w", err)
+		return nil, nil, nil, &apiError{
+			status: http.StatusBadRequest, field: "values",
+			err: fmt.Errorf("series: %w", err),
+		}
 	}
 	return &req, m, series, nil
 }
@@ -200,6 +430,76 @@ func lookupModel(name string) (core.Model, error) {
 	return nil, fmt.Errorf("unknown model %q (have %v)", name, modelNames())
 }
 
+// degradeBody annotates fit-family responses with the degradation-chain
+// outcome; Degraded is always present so clients can branch on it.
+type degradeBody struct {
+	Degraded          bool   `json:"degraded"`
+	RequestedModel    string `json:"requested_model,omitempty"`
+	FallbackModel     string `json:"fallback_model,omitempty"`
+	DegradationReason string `json:"degradation_reason,omitempty"`
+}
+
+func degradeFields(info *core.DegradeInfo) degradeBody {
+	if info == nil {
+		return degradeBody{}
+	}
+	db := degradeBody{Degraded: info.Degraded, RequestedModel: info.RequestedModel}
+	if info.FallbackUsed {
+		db.FallbackModel = info.UsedModel
+	}
+	if info.Degraded {
+		db.DegradationReason = info.Reason
+	}
+	return db
+}
+
+// recordFitOutcome updates the monitor counters and the per-request log
+// metadata from a degradation-chain outcome.
+func recordFitOutcome(r *http.Request, info *core.DegradeInfo, err error) {
+	monitor.CountFit()
+	if info != nil {
+		if info.Degraded && err == nil {
+			monitor.CountFallback()
+		}
+		if info.PanicRecovered {
+			monitor.CountPanicRecovery()
+		}
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		monitor.CountCancellation()
+	}
+	if meta := metaFrom(r.Context()); meta != nil {
+		switch {
+		case err != nil:
+			meta.outcome = "error"
+		case info != nil && info.FallbackUsed:
+			meta.outcome = "fallback"
+			meta.fallback = info.UsedModel
+		case info != nil && info.Degraded:
+			meta.outcome = "retried"
+		default:
+			meta.outcome = "ok"
+		}
+	}
+}
+
+// writeFitErr maps a fitting-pipeline error to its HTTP status: client
+// disconnects to 499, server-imposed deadlines to 504, contained panics
+// to 500, and everything else (bad data, non-convergence with fallback
+// disabled or exhausted) to 422.
+func writeFitErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeErr(w, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, optimize.ErrOptimizerPanic):
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
 // fitResponse is the /v1/fit reply.
 type fitResponse struct {
 	Model      string             `json:"model"`
@@ -207,22 +507,25 @@ type fitResponse struct {
 	Params     []float64          `json:"params"`
 	GoF        map[string]float64 `json:"gof"`
 	EC         float64            `json:"empirical_coverage"`
+	degradeBody
 }
 
-func handleFit(w http.ResponseWriter, r *http.Request) {
-	req, m, series, err := decode(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
+	req, m, series, aerr := decode(r)
+	if aerr != nil {
+		writeAPIErr(w, aerr)
 		return
 	}
-	v, err := core.Validate(m, series, core.ValidateConfig{TrainFraction: req.TrainFraction})
+	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
+		core.ValidateConfig{TrainFraction: req.TrainFraction}, a.policy())
+	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeFitErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, fitResponse{
-		Model:      m.Name(),
-		ParamNames: m.ParamNames(),
+		Model:      v.Fit.Model.Name(),
+		ParamNames: v.Fit.Model.ParamNames(),
 		Params:     v.Fit.Params,
 		GoF: map[string]float64{
 			"sse":   v.GoF.SSE,
@@ -232,7 +535,8 @@ func handleFit(w http.ResponseWriter, r *http.Request) {
 			"aic":   v.GoF.AIC,
 			"bic":   v.GoF.BIC,
 		},
-		EC: v.EC,
+		EC:          v.EC,
+		degradeBody: degradeFields(info),
 	})
 }
 
@@ -245,17 +549,19 @@ type predictResponse struct {
 	RecoveryTime     float64 `json:"recovery_time"`
 	RecoveryReached  bool    `json:"recovery_reached"`
 	RecoveryErrorMsg string  `json:"recovery_error,omitempty"`
+	degradeBody
 }
 
-func handlePredict(w http.ResponseWriter, r *http.Request) {
-	req, m, series, err := decode(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+func (a *api) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, m, series, aerr := decode(r)
+	if aerr != nil {
+		writeAPIErr(w, aerr)
 		return
 	}
-	fit, err := core.Fit(m, series, core.FitConfig{})
+	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
+	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeFitErr(w, err)
 		return
 	}
 	_, horizon := series.Span()
@@ -269,11 +575,12 @@ func handlePredict(w http.ResponseWriter, r *http.Request) {
 		level = 1
 	}
 	resp := predictResponse{
-		Model:         m.Name(),
+		Model:         fit.Model.Name(),
 		MinimumTime:   td,
 		MinimumValue:  fit.Eval(td),
 		RecoveryLevel: level,
 		RecoveryTime:  math.NaN(),
+		degradeBody:   degradeFields(info),
 	}
 	if tr, err := core.RecoveryTime(fit, level, horizon); err == nil {
 		resp.RecoveryTime = tr
@@ -293,6 +600,7 @@ func handlePredict(w http.ResponseWriter, r *http.Request) {
 type metricsResponse struct {
 	Model   string                 `json:"model"`
 	Metrics []metricComparisonBody `json:"metrics"`
+	degradeBody
 }
 
 type metricComparisonBody struct {
@@ -302,15 +610,17 @@ type metricComparisonBody struct {
 	RelativeError float64 `json:"relative_error"`
 }
 
-func handleMetrics(w http.ResponseWriter, r *http.Request) {
-	req, m, series, err := decode(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	req, m, series, aerr := decode(r)
+	if aerr != nil {
+		writeAPIErr(w, aerr)
 		return
 	}
-	v, err := core.Validate(m, series, core.ValidateConfig{TrainFraction: req.TrainFraction})
+	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
+		core.ValidateConfig{TrainFraction: req.TrainFraction}, a.policy())
+	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeFitErr(w, err)
 		return
 	}
 	rows, err := core.CompareMetrics(v, series, core.MetricsConfig{})
@@ -318,7 +628,7 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	out := metricsResponse{Model: m.Name()}
+	out := metricsResponse{Model: v.Fit.Model.Name(), degradeBody: degradeFields(info)}
 	for _, row := range rows {
 		out.Metrics = append(out.Metrics, metricComparisonBody{
 			Name:          row.Kind.String(),
@@ -347,17 +657,19 @@ type forecastResponse struct {
 	Lower []float64 `json:"lower"`
 	Upper []float64 `json:"upper"`
 	Sigma float64   `json:"sigma"`
+	degradeBody
 }
 
-func handleForecast(w http.ResponseWriter, r *http.Request) {
-	req, m, series, err := decode(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
+	req, m, series, aerr := decode(r)
+	if aerr != nil {
+		writeAPIErr(w, aerr)
 		return
 	}
-	fit, err := core.Fit(m, series, core.FitConfig{})
+	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
+	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeFitErr(w, err)
 		return
 	}
 	steps := req.Steps
@@ -374,9 +686,10 @@ func handleForecast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, forecastResponse{
-		Model: m.Name(),
+		Model: fit.Model.Name(),
 		Times: fc.Times, Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper,
-		Sigma: fc.Sigma,
+		Sigma:       fc.Sigma,
+		degradeBody: degradeFields(info),
 	})
 }
 
@@ -387,21 +700,23 @@ type interventionResponse struct {
 	IntervenedRecovery float64 `json:"intervened_recovery"`
 	RecoverySaved      float64 `json:"recovery_saved"`
 	PreservedGain      float64 `json:"performance_preserved_gain"`
+	degradeBody
 }
 
-func handleIntervention(w http.ResponseWriter, r *http.Request) {
-	req, m, series, err := decode(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+func (a *api) handleIntervention(w http.ResponseWriter, r *http.Request) {
+	req, m, series, aerr := decode(r)
+	if aerr != nil {
+		writeAPIErr(w, aerr)
 		return
 	}
 	iv := core.Intervention{Start: req.InterventionStart, Accel: req.InterventionAccel}
 	if iv.Accel == 0 {
 		iv.Accel = 2 // default scenario: double the recovery speed
 	}
-	fit, err := core.Fit(m, series, core.FitConfig{})
+	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
+	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeFitErr(w, err)
 		return
 	}
 	level := req.Level
@@ -415,11 +730,12 @@ func handleIntervention(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, interventionResponse{
-		Model:              m.Name(),
+		Model:              fit.Model.Name(),
 		BaselineRecovery:   jsonSafe(impact.BaselineRecovery),
 		IntervenedRecovery: jsonSafe(impact.IntervenedRecovery),
 		RecoverySaved:      jsonSafe(impact.RecoverySaved),
 		PreservedGain: jsonSafe(impact.Intervened[core.PerformancePreserved] -
 			impact.Baseline[core.PerformancePreserved]),
+		degradeBody: degradeFields(info),
 	})
 }

@@ -207,8 +207,15 @@ func TestOversizeBodyRejected(t *testing.T) {
 	req := httptest.NewRequest(http.MethodPost, "/v1/fit", strings.NewReader(big))
 	rec := httptest.NewRecorder()
 	Handler().ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("oversize body: status %d", rec.Code)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize body: status %d, want 413", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("413 body not JSON: %v", err)
+	}
+	if _, ok := body["error"]; !ok {
+		t.Error("413 envelope missing error field")
 	}
 }
 
