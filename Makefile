@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check chaos bench fuzz cover report clean
+.PHONY: all build vet test test-short check chaos bench bench-all fuzz cover report clean
 
 all: build vet test
 
@@ -30,8 +30,17 @@ check:
 chaos:
 	$(GO) test -race -run TestChaos -count=1 -v ./internal/server/
 
-# Regenerates every paper table and figure with cost measurement.
+# Reproducible fit-pipeline benchmark: runs BenchmarkFit across every
+# model family and writes ns/op, evals/op, and iters/op per family to
+# BENCH_fit.json, the machine-readable perf baseline future PRs diff
+# against. -benchtime=50x pins the iteration count so runs are
+# comparable; raw output still streams to the terminal.
 bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchtime=50x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchfmt -out BENCH_fit.json
+
+# Regenerates every paper table and figure with cost measurement.
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 # Ten-second fuzzing passes over the parsing surfaces.

@@ -1,0 +1,124 @@
+// Command benchfmt turns `go test -bench` text output into a structured
+// JSON benchmark record, so perf numbers live in a machine-readable file
+// (BENCH_fit.json) that future PRs can diff instead of eyeballing logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkFit -benchmem ./internal/core/ | benchfmt -out BENCH_fit.json
+//
+// It parses the standard benchmark result lines, including any custom
+// metrics reported with testing.B.ReportMetric (evals/op, iters/op), and
+// records the toolchain and host alongside, since ns/op is meaningless
+// without them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	// Name is the benchmark path with the GOMAXPROCS suffix stripped,
+	// e.g. "Fit/quadratic".
+	Name string `json:"name"`
+	// Runs is the iteration count the harness settled on.
+	Runs int64 `json:"runs"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other per-op measurement on the line, keyed by
+	// unit: B/op, allocs/op, and custom units like evals/op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the output document.
+type report struct {
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkFit/quadratic-8  100  123456 ns/op  12 evals/op".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// metricPair matches one "value unit" cell of a benchmark line.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+(\S+)`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchfmt", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output so piping through benchfmt hides nothing.
+		fmt.Fprintln(stderr, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		runs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: m[1], Runs: runs, Metrics: map[string]float64{}}
+		for _, cell := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(cell[1], 64)
+			if err != nil {
+				continue
+			}
+			if cell[2] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[cell[2]] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read input: %w", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("benchfmt: no benchmark lines found in input")
+	}
+
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err := os.Stdout.WriteString(b.String())
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "benchfmt: wrote %d results to %s\n", len(rep.Benchmarks), *out)
+	return nil
+}

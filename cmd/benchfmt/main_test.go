@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: resilience/internal/core
+BenchmarkFit/quadratic-8         	     100	  12345678 ns/op	        2100 evals/op	         840.5 iters/op	    4096 B/op	      12 allocs/op
+BenchmarkFit/competing-risks-8   	      50	  23456789 ns/op	        3200 evals/op	        1200 iters/op
+PASS
+ok  	resilience/internal/core	3.210s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_fit.json")
+	if err := run([]string{"-out", out}, strings.NewReader(sample), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, raw)
+	}
+	if rep.Go == "" || rep.GOOS == "" || rep.GOARCH == "" {
+		t.Errorf("missing toolchain fields: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "Fit/quadratic" || b0.Runs != 100 || b0.NsPerOp != 12345678 {
+		t.Errorf("first benchmark = %+v", b0)
+	}
+	for unit, want := range map[string]float64{
+		"evals/op": 2100, "iters/op": 840.5, "B/op": 4096, "allocs/op": 12,
+	} {
+		if got := b0.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %g, want %g", unit, got, want)
+		}
+	}
+	if rep.Benchmarks[1].Name != "Fit/competing-risks" {
+		t.Errorf("second benchmark = %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
+		t.Error("expected error for input without benchmark lines")
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	resil-server -addr :8080 -fit-timeout 30s
+//	resil-server -addr :8080 -fit-timeout 30s [-pprof]
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds. Fitting requests degrade rather than
@@ -41,6 +41,7 @@ func run(args []string, stdout *os.File) error {
 	fitTimeout := fs.Duration("fit-timeout", 30*time.Second, "deadline for one fitting request, including retries and fallbacks")
 	noFallback := fs.Bool("no-fallback", false, "disable the model degradation chain; failed fits return errors")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints at /debug/pprof/")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,12 +61,14 @@ func run(args []string, stdout *os.File) error {
 		FitTimeout:      *fitTimeout,
 		DisableFallback: *noFallback,
 		Logger:          logger,
+		EnablePprof:     *enablePprof,
 	})
 
 	// Serve until a termination signal arrives, then drain.
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr, "fit_timeout", fitTimeout.String(), "fallback", !*noFallback)
+		logger.Info("listening", "addr", *addr, "fit_timeout", fitTimeout.String(),
+			"fallback", !*noFallback, "pprof", *enablePprof)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+// benchSeries is a 36-point V-shaped recession curve, the same shape the
+// server benchmarks against — deterministic so BENCH_fit.json runs are
+// comparable across commits.
+func benchSeries(b *testing.B) *timeseries.Series {
+	b.Helper()
+	vals := make([]float64, 36)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.03*math.Sin(math.Pi*math.Min(x/28, 1)) + 0.0008*math.Max(0, x-28)
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFit measures the full fitting pipeline per model family:
+// multistart Nelder–Mead plus Levenberg–Marquardt polish on the canned
+// V-shaped series. Alongside ns/op it reports evals/op and iters/op (the
+// paper's per-fit cost accounting), which `make bench` collects into
+// BENCH_fit.json to seed the perf trajectory.
+func BenchmarkFit(b *testing.B) {
+	series := benchSeries(b)
+	models := []Model{QuadraticModel{}, CompetingRisksModel{}, ExpBathtubModel{}}
+	for _, m := range StandardMixtures() {
+		models = append(models, m)
+	}
+	for _, m := range models {
+		b.Run(m.Name(), func(b *testing.B) {
+			var evals, iters float64
+			for i := 0; i < b.N; i++ {
+				fit, err := Fit(m, series, FitConfig{})
+				if err != nil {
+					b.Fatalf("fit %s: %v", m.Name(), err)
+				}
+				evals += float64(fit.Evals)
+				iters += float64(fit.Iterations)
+			}
+			b.ReportMetric(evals/float64(b.N), "evals/op")
+			b.ReportMetric(iters/float64(b.N), "iters/op")
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"resilience/internal/optimize"
+	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
 
@@ -132,6 +133,7 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 	var zero T
 	info := &DegradeInfo{RequestedModel: requested.Name()}
 	links := resolveChain(requested, starts0, pol)
+	chain := telemetry.StartSpan(ctx, "chain."+requested.Name())
 
 	var firstErr error
 	skipModel := ""
@@ -140,9 +142,13 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 			continue
 		}
 		if cErr := ctx.Err(); cErr != nil {
+			chainCancellations.Inc()
+			chain.End(telemetry.Int("attempts", len(info.Attempts)))
 			return zero, info, fmt.Errorf("core: fit %s: %w", requested.Name(), cErr)
 		}
+		attempt := telemetry.StartSpan(ctx, "attempt."+link.model.Name())
 		out, err := try(ctx, link.model, link.starts)
+		attempt.End(telemetry.Int("link", i+1), telemetry.Int("starts", link.starts))
 		att := FitAttempt{Model: link.model.Name(), Starts: link.starts}
 		if err == nil {
 			att.OK = true
@@ -153,6 +159,8 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 			if firstErr != nil {
 				info.Reason = firstErr.Error()
 			}
+			chainDepth.Observe(float64(len(info.Attempts)))
+			chain.End(telemetry.Int("attempts", len(info.Attempts)))
 			return out, info, nil
 		}
 		att.Err = err.Error()
@@ -160,11 +168,14 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 		info.Attempts = append(info.Attempts, att)
 		if att.Panic {
 			info.PanicRecovered = true
+			chainPanics.Inc()
 		}
 		if firstErr == nil {
 			firstErr = err
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			chainCancellations.Inc()
+			chain.End(telemetry.Int("attempts", len(info.Attempts)))
 			return zero, info, err
 		}
 		if errors.Is(err, ErrBadData) {
@@ -174,6 +185,8 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 	if firstErr != nil {
 		info.Reason = firstErr.Error()
 	}
+	chainExhausted.Inc()
+	chain.End(telemetry.Int("attempts", len(info.Attempts)))
 	return zero, info, fmt.Errorf("core: fit %s: degradation chain exhausted (%d attempts): %w",
 		requested.Name(), len(info.Attempts), firstErr)
 }

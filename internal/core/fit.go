@@ -8,6 +8,7 @@ import (
 	"resilience/internal/faultinject"
 	"resilience/internal/numeric"
 	"resilience/internal/optimize"
+	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
 
@@ -47,6 +48,8 @@ type FitResult struct {
 	SSE float64
 	// Evals counts objective evaluations spent by the optimizer.
 	Evals int
+	// Iterations counts major optimizer iterations across all starts.
+	Iterations int
 }
 
 // Fit estimates the model's parameters from data by least squares
@@ -84,6 +87,25 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 		faultinject.Sleep(ctx, "core.fit.delay."+m.Name())
 	}
 	cfg = cfg.withDefaults()
+
+	// One span and one duration observation per fit, attempted or not;
+	// iteration/eval histograms record only completed fits (the numbers
+	// are meaningless for aborted ones). The deferred observer runs
+	// before the recover guard above, so even a panicking fit leaves a
+	// duration sample behind.
+	fm := fitMetricsFor(m.Name())
+	span := telemetry.StartSpan(ctx, "fit."+m.Name())
+	defer func() {
+		if result != nil {
+			d := span.End(telemetry.Int("iterations", result.Iterations),
+				telemetry.Int("evals", result.Evals))
+			fm.duration.Observe(d.Seconds())
+			fm.iterations.Observe(float64(result.Iterations))
+			fm.evals.Observe(float64(result.Evals))
+		} else {
+			fm.duration.Observe(span.End().Seconds())
+		}
+	}()
 
 	times := data.Times()
 	values := data.Values()
@@ -139,11 +161,12 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 		return nil, fmt.Errorf("fit %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)
 	}
 	return &FitResult{
-		Model:  m,
-		Params: res.X,
-		Train:  data,
-		SSE:    objective(res.X),
-		Evals:  res.FuncEvals,
+		Model:      m,
+		Params:     res.X,
+		Train:      data,
+		SSE:        objective(res.X),
+		Evals:      res.FuncEvals,
+		Iterations: res.Iterations,
 	}, nil
 }
 
@@ -235,10 +258,11 @@ func fitWithObjectiveCtx(ctx context.Context, m Model, data *timeseries.Series, 
 		return nil, fmt.Errorf("fit %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)
 	}
 	return &FitResult{
-		Model:  m,
-		Params: res.X,
-		Train:  data,
-		SSE:    guarded(res.X),
-		Evals:  res.FuncEvals,
+		Model:      m,
+		Params:     res.X,
+		Train:      data,
+		SSE:        guarded(res.X),
+		Evals:      res.FuncEvals,
+		Iterations: res.Iterations,
 	}, nil
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+
+	"resilience/internal/telemetry"
+)
+
+// Telemetry for the fitting pipeline. Histograms are labeled by model
+// family; handles are cached per family so the per-fit cost is the
+// observations themselves, not name formatting or registry lookups.
+
+func init() {
+	telemetry.RegisterFamily("resil_fit_duration_seconds", "histogram",
+		"Wall time of one model fit, by model family.")
+	telemetry.RegisterFamily("resil_fit_iterations", "histogram",
+		"Optimizer iterations spent per fit, by model family.")
+	telemetry.RegisterFamily("resil_fit_evals", "histogram",
+		"Objective/residual evaluations spent per fit, by model family.")
+	telemetry.RegisterFamily("resil_fallback_depth", "histogram",
+		"Degradation-chain links tried before a fit succeeded (1 = first try).")
+	telemetry.RegisterFamily("resil_chain_panics_total", "counter",
+		"Degradation-chain attempts that failed via a recovered optimizer panic.")
+	telemetry.RegisterFamily("resil_chain_cancellations_total", "counter",
+		"Degradation chains aborted by context cancellation or deadline.")
+	telemetry.RegisterFamily("resil_chain_exhausted_total", "counter",
+		"Degradation chains that ran out of links without a result.")
+}
+
+// fitMetrics bundles the per-family histograms.
+type fitMetrics struct {
+	duration   *telemetry.Histogram
+	iterations *telemetry.Histogram
+	evals      *telemetry.Histogram
+}
+
+var fitMetricsCache sync.Map // model name -> *fitMetrics
+
+// fitMetricsFor returns the cached histogram handles for one model
+// family.
+func fitMetricsFor(model string) *fitMetrics {
+	if m, ok := fitMetricsCache.Load(model); ok {
+		return m.(*fitMetrics)
+	}
+	labels := telemetry.Labels("model", model)
+	m := &fitMetrics{
+		duration:   telemetry.GetOrCreateHistogram("resil_fit_duration_seconds{"+labels+"}", telemetry.DurationBuckets()),
+		iterations: telemetry.GetOrCreateHistogram("resil_fit_iterations{"+labels+"}", telemetry.CountBuckets()),
+		evals:      telemetry.GetOrCreateHistogram("resil_fit_evals{"+labels+"}", telemetry.CountBuckets()),
+	}
+	actual, _ := fitMetricsCache.LoadOrStore(model, m)
+	return actual.(*fitMetrics)
+}
+
+// Chain-level series, resolved once.
+var (
+	chainDepth         = telemetry.GetOrCreateHistogram("resil_fallback_depth", telemetry.DepthBuckets())
+	chainPanics        = telemetry.GetOrCreateCounter("resil_chain_panics_total")
+	chainCancellations = telemetry.GetOrCreateCounter("resil_chain_cancellations_total")
+	chainExhausted     = telemetry.GetOrCreateCounter("resil_chain_exhausted_total")
+)

@@ -1,12 +1,17 @@
 package monitor
 
-import "sync/atomic"
+import "resilience/internal/telemetry"
 
 // CounterSnapshot is a point-in-time copy of the process-wide resilience
 // counters. The HTTP server increments them as requests flow through the
 // fault-tolerant fitting pipeline and exposes this snapshot at
 // GET /v1/stats, so operators can see degradation happening — fallbacks
 // taken, requests cancelled, panics contained — without scraping logs.
+//
+// The counters are backed by the telemetry registry, so the same series
+// are also available in Prometheus text format at GET /metrics (as
+// resil_requests_total, resil_fallbacks_total, and so on); this JSON
+// view exists for humans and pre-Prometheus tooling.
 type CounterSnapshot struct {
 	// Requests counts HTTP requests served.
 	Requests uint64 `json:"requests"`
@@ -25,50 +30,95 @@ type CounterSnapshot struct {
 	PanicRecoveries uint64 `json:"panic_recoveries"`
 }
 
-// counters is the process-wide atomic store behind CounterSnapshot.
-var counters struct {
-	requests, requestErrors, fits, fallbacks, cancellations, panicRecoveries atomic.Uint64
+// counters are the registry-backed series behind CounterSnapshot,
+// resolved once so every increment is a single atomic op.
+var counters = struct {
+	requests, requestErrors, fits, fallbacks, cancellations, panicRecoveries *telemetry.Counter
+}{
+	requests:        telemetry.GetOrCreateCounter("resil_requests_total"),
+	requestErrors:   telemetry.GetOrCreateCounter("resil_request_errors_total"),
+	fits:            telemetry.GetOrCreateCounter("resil_fits_total"),
+	fallbacks:       telemetry.GetOrCreateCounter("resil_fallbacks_total"),
+	cancellations:   telemetry.GetOrCreateCounter("resil_cancellations_total"),
+	panicRecoveries: telemetry.GetOrCreateCounter("resil_panic_recoveries_total"),
+}
+
+func init() {
+	telemetry.RegisterFamily("resil_requests_total", "counter", "HTTP requests served.")
+	telemetry.RegisterFamily("resil_request_errors_total", "counter", "Requests answered with a 4xx/5xx envelope.")
+	telemetry.RegisterFamily("resil_fits_total", "counter", "Fitting pipelines run.")
+	telemetry.RegisterFamily("resil_fallbacks_total", "counter", "Fits that needed the degradation chain.")
+	telemetry.RegisterFamily("resil_cancellations_total", "counter", "Fits stopped by cancellation or deadline.")
+	telemetry.RegisterFamily("resil_panic_recoveries_total", "counter", "Panics contained by recover guards.")
 }
 
 // CountRequest records one served request; isError marks 4xx/5xx
-// responses.
+// responses. The total is incremented before the error counter: paired
+// with loadSnapshot reading errors before totals, every error a snapshot
+// sees has its request already counted, so RequestErrors <= Requests
+// holds in every snapshot.
 func CountRequest(isError bool) {
-	counters.requests.Add(1)
+	counters.requests.Inc()
 	if isError {
-		counters.requestErrors.Add(1)
+		counters.requestErrors.Inc()
 	}
 }
 
 // CountFit records one fitting pipeline run.
-func CountFit() { counters.fits.Add(1) }
+func CountFit() { counters.fits.Inc() }
 
 // CountFallback records one degraded fit (retry or fallback model used).
-func CountFallback() { counters.fallbacks.Add(1) }
+func CountFallback() { counters.fallbacks.Inc() }
 
 // CountCancellation records one fit stopped by cancellation or deadline.
-func CountCancellation() { counters.cancellations.Add(1) }
+func CountCancellation() { counters.cancellations.Inc() }
 
 // CountPanicRecovery records one contained panic.
-func CountPanicRecovery() { counters.panicRecoveries.Add(1) }
+func CountPanicRecovery() { counters.panicRecoveries.Inc() }
 
-// Counters returns a snapshot of the current counter values.
+// loadSnapshot reads every counter at one call point, subordinate
+// counters strictly before their totals (errors before requests,
+// per-outcome fit counters before fits). Because writers increment
+// totals first, any subordinate event a snapshot includes has its total
+// already counted, so the cross-counter invariants (RequestErrors <=
+// Requests, Fallbacks <= Fits, Cancellations <= Fits) hold even
+// mid-traffic.
+func loadSnapshot() CounterSnapshot {
+	var s CounterSnapshot
+	s.Fallbacks = counters.fallbacks.Value()
+	s.Cancellations = counters.cancellations.Value()
+	s.PanicRecoveries = counters.panicRecoveries.Value()
+	s.Fits = counters.fits.Value()
+	s.RequestErrors = counters.requestErrors.Value()
+	s.Requests = counters.requests.Value()
+	return s
+}
+
+// Counters returns a consistent snapshot of the counter values: all six
+// series are read together and re-read until two consecutive passes
+// agree, so a scrape taken mid-traffic reflects one point in time rather
+// than six independent loads interleaved with writers. Under sustained
+// writes the loop is bounded; the final pass is returned as the best
+// available snapshot (each value still individually atomic, and the
+// increment ordering in CountRequest keeps RequestErrors <= Requests).
 func Counters() CounterSnapshot {
-	return CounterSnapshot{
-		Requests:        counters.requests.Load(),
-		RequestErrors:   counters.requestErrors.Load(),
-		Fits:            counters.fits.Load(),
-		Fallbacks:       counters.fallbacks.Load(),
-		Cancellations:   counters.cancellations.Load(),
-		PanicRecoveries: counters.panicRecoveries.Load(),
+	prev := loadSnapshot()
+	for i := 0; i < 8; i++ {
+		cur := loadSnapshot()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
 	}
+	return prev
 }
 
 // ResetCounters zeroes every counter; intended for tests.
 func ResetCounters() {
-	counters.requests.Store(0)
-	counters.requestErrors.Store(0)
-	counters.fits.Store(0)
-	counters.fallbacks.Store(0)
-	counters.cancellations.Store(0)
-	counters.panicRecoveries.Store(0)
+	counters.requests.Set(0)
+	counters.requestErrors.Set(0)
+	counters.fits.Set(0)
+	counters.fallbacks.Set(0)
+	counters.cancellations.Set(0)
+	counters.panicRecoveries.Set(0)
 }

@@ -55,6 +55,54 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 }
 
+// TestSnapshotInvariantsMidTraffic reads snapshots while writers are
+// mid-flight and asserts the documented cross-counter invariants hold in
+// every single read — the regression test for snapshots assembled from
+// independent loads racing the writers. Run under -race.
+func TestSnapshotInvariantsMidTraffic(t *testing.T) {
+	ResetCounters()
+	t.Cleanup(ResetCounters)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				CountRequest(i%3 == 0)
+				CountFit()
+				if i%4 == 0 {
+					CountFallback()
+				}
+				if i%5 == 0 {
+					CountCancellation()
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 5000; i++ {
+		s := Counters()
+		if s.RequestErrors > s.Requests {
+			t.Fatalf("snapshot %d: request_errors %d > requests %d", i, s.RequestErrors, s.Requests)
+		}
+		if s.Fallbacks > s.Fits {
+			t.Fatalf("snapshot %d: fallbacks %d > fits %d", i, s.Fallbacks, s.Fits)
+		}
+		if s.Cancellations > s.Fits {
+			t.Fatalf("snapshot %d: cancellations %d > fits %d", i, s.Cancellations, s.Fits)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestSnapshotJSONKeys(t *testing.T) {
 	b, err := json.Marshal(CounterSnapshot{Requests: 1})
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"resilience/internal/telemetry"
 )
 
 // Halton returns the n-th element (1-indexed) of the Halton low-discrepancy
@@ -122,6 +124,14 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 		totalEval  int
 		firstPanic error
 	)
+	// One span per multistart solve, carrying the aggregate iteration and
+	// evaluation counts. The cost without an active trace is a context
+	// lookup and two clock reads per solve — never per iteration.
+	span := telemetry.StartSpan(ctx, "optimize.multistart")
+	defer func() {
+		span.End(telemetry.Int("starts", cfg.Starts),
+			telemetry.Int("iterations", totalIter), telemetry.Int("evals", totalEval))
+	}()
 	for _, start := range starts {
 		if cErr := cancelled(ctx); cErr != nil {
 			if haveBest {

@@ -183,6 +183,51 @@ func TestChaos(t *testing.T) {
 	if c.PanicRecoveries == 0 || c.Fallbacks == 0 || c.Cancellations == 0 {
 		t.Errorf("chaos left no trace in the counters: %+v", c)
 	}
+
+	// The same evidence must be visible to Prometheus: scrape the live
+	// server and check the chaos-path series are non-zero.
+	scrape := func() map[string]float64 {
+		resp, err := client.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read /metrics: %v", err)
+		}
+		out := map[string]float64{}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			i := strings.LastIndexByte(line, ' ')
+			if i < 0 {
+				t.Errorf("malformed /metrics line %q", line)
+				continue
+			}
+			var v float64
+			if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err == nil {
+				out[line[:i]] = v
+			}
+		}
+		return out
+	}
+	series := scrape()
+	for _, name := range []string{
+		"resil_panic_recoveries_total",
+		"resil_cancellations_total",
+		"resil_fallbacks_total",
+		"resil_chain_panics_total",
+		"resil_chain_cancellations_total",
+		"resil_fallback_depth_count",
+		`resil_fit_duration_seconds_count{model="quadratic"}`,
+		`resil_http_requests_total{route="/v1/fit",status="200"}`,
+	} {
+		if v, ok := series[name]; !ok || v == 0 {
+			t.Errorf("chaos left no trace at /metrics: %s = %g (present %v)", name, v, ok)
+		}
+	}
 	rec, body := doJSON(t, NewHandler(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}),
 		http.MethodGet, "/healthz", nil)
 	if rec.Code != http.StatusOK || body["status"] != "ok" {

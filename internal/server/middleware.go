@@ -4,9 +4,11 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"resilience/internal/monitor"
+	"resilience/internal/telemetry"
 )
 
 // reqMeta travels in the request context so handlers can annotate the
@@ -51,21 +53,79 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps the route mux with the hardening middleware:
+func init() {
+	telemetry.RegisterFamily("resil_http_requests_total", "counter",
+		"HTTP requests by route and status.")
+	telemetry.RegisterFamily("resil_http_request_duration_seconds", "histogram",
+		"HTTP request latency by route.")
+}
+
+// routeLabel maps a request path onto a bounded route label so metric
+// cardinality cannot be driven by hostile paths. Parameterized routes
+// collapse to their pattern; anything unknown collapses to "other".
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/metrics",
+		"/v1/version", "/v1/stats", "/v1/models", "/v1/datasets",
+		"/v1/fit", "/v1/predict", "/v1/metrics", "/v1/forecast", "/v1/intervention":
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/datasets/") {
+		return "/v1/datasets/{name}"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// requestID returns the inbound X-Request-ID when it is short and
+// shell/log-safe, otherwise a freshly generated ID. Honoring the
+// caller's ID lets a gateway in front of the server join its own logs to
+// ours; sanitizing it keeps hostile values out of logs and headers.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 64 {
+		return telemetry.NewRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return telemetry.NewRequestID()
+		}
+	}
+	return id
+}
+
+// instrument wraps the route mux with the hardening and observability
+// middleware:
 //
+//   - request identity: every request gets an ID (inbound X-Request-ID
+//     honored when sane), returned in the X-Request-ID response header,
+//     stamped into every JSON error envelope, and attached to the
+//     context as a telemetry.Trace so the fit pipeline's spans land in
+//     the access log;
 //   - panic isolation: a panic that escapes a handler (model code,
 //     encoder, anything) is contained, counted, and answered with a 500
 //     JSON envelope if the header is still open — the process never
 //     crashes and the connection is never torn down mid-body silently;
 //   - one structured log line per request: method, path, status,
-//     duration, and the degradation outcome set by the handler;
-//   - request counters feeding GET /v1/stats.
+//     duration, request ID, degradation outcome, and recorded spans;
+//   - metrics: request counters feeding GET /v1/stats, plus the
+//     resil_http_requests_total and resil_http_request_duration_seconds
+//     series on GET /metrics.
 func instrument(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		meta := &reqMeta{}
+		trace := &telemetry.Trace{ID: requestID(r)}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+		ctx := context.WithValue(r.Context(), metaKey{}, meta)
+		ctx = telemetry.WithTrace(ctx, trace)
+		r = r.WithContext(ctx)
+		sw.Header().Set("X-Request-ID", trace.ID)
 
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -73,18 +133,23 @@ func instrument(logger *slog.Logger, next http.Handler) http.Handler {
 				meta.outcome = "panic"
 				if !sw.wrote {
 					writeJSON(sw, http.StatusInternalServerError, errorBody{
-						Error: "internal error: request handler panicked",
+						Error:     "internal error: request handler panicked",
+						RequestID: trace.ID,
 					})
 				} else {
 					sw.status = http.StatusInternalServerError
 				}
 			}
+			elapsed := time.Since(start)
 			monitor.CountRequest(sw.status >= 400)
+			route := routeLabel(r.URL.Path)
+			httpMetricsFor(route, sw.status).observe(elapsed.Seconds())
 			attrs := []any{
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", sw.status,
-				"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+				"duration_ms", float64(elapsed.Microseconds()) / 1000,
+				"request_id", trace.ID,
 			}
 			if meta.outcome != "" {
 				attrs = append(attrs, "outcome", meta.outcome)
@@ -92,9 +157,53 @@ func instrument(logger *slog.Logger, next http.Handler) http.Handler {
 			if meta.fallback != "" {
 				attrs = append(attrs, "fallback_model", meta.fallback)
 			}
+			if spans := trace.String(); spans != "" {
+				attrs = append(attrs, "spans", spans)
+			}
 			logger.Info("request", attrs...)
 		}()
 
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// httpMetrics pairs the counter and latency histogram for one
+// (route, status) cell.
+type httpMetrics struct {
+	requests *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func (m httpMetrics) observe(seconds float64) {
+	m.requests.Inc()
+	m.latency.Observe(seconds)
+}
+
+// httpMetricsFor resolves the metric handles for a route/status pair.
+// Both label dimensions are bounded (routeLabel caps routes; statuses
+// come from the handler's finite set), so cardinality stays small. The
+// latency histogram is labeled by route only — per-status latency
+// buckets would multiply series for little diagnostic value.
+func httpMetricsFor(route string, status int) httpMetrics {
+	return httpMetrics{
+		requests: telemetry.GetOrCreateCounter("resil_http_requests_total{" +
+			telemetry.Labels("route", route, "status", itoa3(status)) + "}"),
+		latency: telemetry.GetOrCreateHistogram("resil_http_request_duration_seconds{"+
+			telemetry.Labels("route", route)+"}", telemetry.DurationBuckets()),
+	}
+}
+
+// itoa3 formats the small positive ints HTTP statuses are without fmt.
+func itoa3(v int) string {
+	if v <= 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
 }

@@ -15,6 +15,8 @@
 //
 //	GET  /healthz                 liveness probe
 //	GET  /readyz                  readiness probe (runs a sanity fit)
+//	GET  /metrics                 Prometheus text-format exposition
+//	GET  /debug/pprof/*           profiling endpoints (only with Config.EnablePprof)
 //	GET  /v1/version              build/version info
 //	GET  /v1/stats                fallback/cancellation/panic counters
 //	GET  /v1/models               available model names
@@ -26,8 +28,14 @@
 //	POST /v1/forecast             future-horizon forecast with bands
 //	POST /v1/intervention         restoration-scenario what-if analysis
 //
-// Every error response is the JSON envelope {"error": "...", "field": "..."}
-// where field names the offending request field when one is known.
+// Every request carries an ID: inbound X-Request-ID is honored when
+// sane, one is generated otherwise, and the ID is echoed in the
+// X-Request-ID response header, the structured access log, and every
+// JSON error envelope, so a 500/499/504 joins to its log line and spans.
+//
+// Every error response is the JSON envelope
+// {"error": "...", "field": "...", "request_id": "..."} where field
+// names the offending request field when one is known.
 package server
 
 import (
@@ -38,6 +46,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -47,6 +56,7 @@ import (
 	"resilience/internal/faultinject"
 	"resilience/internal/monitor"
 	"resilience/internal/optimize"
+	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
 
@@ -79,6 +89,10 @@ type Config struct {
 	// Logger receives one structured line per request (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// EnablePprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/. Off by default: the profiles leak implementation
+	// detail and cost CPU, so they are opt-in (the -pprof server flag).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +124,7 @@ func NewHandler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /readyz", a.handleReady)
+	mux.Handle("GET /metrics", telemetry.Handler())
 	mux.HandleFunc("GET /v1/version", handleVersion)
 	mux.HandleFunc("GET /v1/stats", handleStats)
 	mux.HandleFunc("GET /v1/models", handleModels)
@@ -120,6 +135,13 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/metrics", a.withFitTimeout(a.handleMetrics))
 	mux.HandleFunc("POST /v1/forecast", a.withFitTimeout(a.handleForecast))
 	mux.HandleFunc("POST /v1/intervention", a.withFitTimeout(a.handleIntervention))
+	if a.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return instrument(a.cfg.Logger, mux)
 }
 
@@ -151,10 +173,12 @@ func NewServer(addr string, cfg Config) *http.Server {
 }
 
 // errorBody is the JSON error envelope. Field names the offending
-// request field when one is known.
+// request field when one is known; RequestID joins the envelope to the
+// request's log line, spans, and X-Request-ID header.
 type errorBody struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"`
+	Error     string `json:"error"`
+	Field     string `json:"field,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeJSON marshals v to a buffer before touching the ResponseWriter,
@@ -171,8 +195,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(append(body, '\n'))
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), RequestID: telemetry.RequestID(r.Context())})
 }
 
 // apiError is a request-validation failure bound to an HTTP status and,
@@ -189,8 +213,11 @@ func badField(field, format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, field: field, err: fmt.Errorf(format, args...)}
 }
 
-func writeAPIErr(w http.ResponseWriter, e *apiError) {
-	writeJSON(w, e.status, errorBody{Error: e.err.Error(), Field: e.field})
+func writeAPIErr(w http.ResponseWriter, r *http.Request, e *apiError) {
+	writeJSON(w, e.status, errorBody{
+		Error: e.err.Error(), Field: e.field,
+		RequestID: telemetry.RequestID(r.Context()),
+	})
 }
 
 func handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -209,7 +236,7 @@ func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	series, err := timeseries.FromValues(readySeries)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, r, http.StatusServiceUnavailable, err)
 		return
 	}
 	start := time.Now()
@@ -272,10 +299,10 @@ type datasetSummary struct {
 	Description string `json:"description"`
 }
 
-func handleDatasets(w http.ResponseWriter, _ *http.Request) {
+func handleDatasets(w http.ResponseWriter, r *http.Request) {
 	recs, err := dataset.Recessions()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	out := make([]datasetSummary, 0, len(recs))
@@ -296,7 +323,7 @@ type seriesBody struct {
 func handleDataset(w http.ResponseWriter, r *http.Request) {
 	rec, err := dataset.ByName(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -487,16 +514,16 @@ func recordFitOutcome(r *http.Request, info *core.DegradeInfo, err error) {
 // disconnects to 499, server-imposed deadlines to 504, contained panics
 // to 500, and everything else (bad data, non-convergence with fallback
 // disabled or exhausted) to 422.
-func writeFitErr(w http.ResponseWriter, err error) {
+func writeFitErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.Canceled):
-		writeErr(w, statusClientClosedRequest, err)
+		writeErr(w, r, statusClientClosedRequest, err)
 	case errors.Is(err, context.DeadlineExceeded):
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, r, http.StatusGatewayTimeout, err)
 	case errors.Is(err, optimize.ErrOptimizerPanic):
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 	default:
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, err)
 	}
 }
 
@@ -513,14 +540,14 @@ type fitResponse struct {
 func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
 	req, m, series, aerr := decode(r)
 	if aerr != nil {
-		writeAPIErr(w, aerr)
+		writeAPIErr(w, r, aerr)
 		return
 	}
 	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
 		core.ValidateConfig{TrainFraction: req.TrainFraction}, a.policy())
 	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeFitErr(w, err)
+		writeFitErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, fitResponse{
@@ -555,19 +582,19 @@ type predictResponse struct {
 func (a *api) handlePredict(w http.ResponseWriter, r *http.Request) {
 	req, m, series, aerr := decode(r)
 	if aerr != nil {
-		writeAPIErr(w, aerr)
+		writeAPIErr(w, r, aerr)
 		return
 	}
 	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
 	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeFitErr(w, err)
+		writeFitErr(w, r, err)
 		return
 	}
 	_, horizon := series.Span()
 	td, err := core.ModelMinimum(fit, horizon)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	level := req.Level
@@ -613,19 +640,19 @@ type metricComparisonBody struct {
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	req, m, series, aerr := decode(r)
 	if aerr != nil {
-		writeAPIErr(w, aerr)
+		writeAPIErr(w, r, aerr)
 		return
 	}
 	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
 		core.ValidateConfig{TrainFraction: req.TrainFraction}, a.policy())
 	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeFitErr(w, err)
+		writeFitErr(w, r, err)
 		return
 	}
 	rows, err := core.CompareMetrics(v, series, core.MetricsConfig{})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	out := metricsResponse{Model: v.Fit.Model.Name(), degradeBody: degradeFields(info)}
@@ -663,13 +690,13 @@ type forecastResponse struct {
 func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
 	req, m, series, aerr := decode(r)
 	if aerr != nil {
-		writeAPIErr(w, aerr)
+		writeAPIErr(w, r, aerr)
 		return
 	}
 	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
 	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeFitErr(w, err)
+		writeFitErr(w, r, err)
 		return
 	}
 	steps := req.Steps
@@ -682,7 +709,7 @@ func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
 	}
 	fc, err := core.ForecastHorizon(fit, steps, alpha)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, forecastResponse{
@@ -706,7 +733,7 @@ type interventionResponse struct {
 func (a *api) handleIntervention(w http.ResponseWriter, r *http.Request) {
 	req, m, series, aerr := decode(r)
 	if aerr != nil {
-		writeAPIErr(w, aerr)
+		writeAPIErr(w, r, aerr)
 		return
 	}
 	iv := core.Intervention{Start: req.InterventionStart, Accel: req.InterventionAccel}
@@ -716,7 +743,7 @@ func (a *api) handleIntervention(w http.ResponseWriter, r *http.Request) {
 	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
 	recordFitOutcome(r, info, err)
 	if err != nil {
-		writeFitErr(w, err)
+		writeFitErr(w, r, err)
 		return
 	}
 	level := req.Level
@@ -726,7 +753,7 @@ func (a *api) handleIntervention(w http.ResponseWriter, r *http.Request) {
 	_, horizon := series.Span()
 	impact, err := core.EvaluateIntervention(fit, iv, level, horizon)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, interventionResponse{

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"resilience/internal/monitor"
+)
+
+// TestRequestIDHeaderAndEnvelope checks the request-identity contract:
+// every response carries X-Request-ID, error envelopes embed the same ID
+// as request_id, and a sane inbound ID is round-tripped.
+func TestRequestIDHeaderAndEnvelope(t *testing.T) {
+	h := quietHandler(Config{})
+
+	// Error response: header and envelope must agree.
+	rec, body := doJSON(t, h, http.MethodPost, "/v1/fit", map[string]any{"model": "nope", "values": testSeries()})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+	id := rec.Header().Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("missing X-Request-ID header")
+	}
+	if got, _ := body["request_id"].(string); got != id {
+		t.Errorf("envelope request_id %q != header %q", got, id)
+	}
+
+	// Success response: header present, body clean of request_id noise.
+	rec, _ = doJSON(t, h, http.MethodGet, "/healthz", nil)
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("healthz missing X-Request-ID header")
+	}
+
+	// Sane inbound IDs are honored; hostile ones replaced.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-ID", "gateway-abc.123")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if got := rec2.Header().Get("X-Request-ID"); got != "gateway-abc.123" {
+		t.Errorf("sane inbound ID not honored: %q", got)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-ID", "evil\nid{with}junk")
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req)
+	if got := rec3.Header().Get("X-Request-ID"); got == "" || strings.ContainsAny(got, "\n{}") {
+		t.Errorf("hostile inbound ID not replaced: %q", got)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after real traffic and checks the
+// exposition contains the HTTP, fit, and stats-backed series in valid
+// text format.
+func TestMetricsExposition(t *testing.T) {
+	h := quietHandler(Config{})
+	if rec, _ := doJSON(t, h, http.MethodPost, "/v1/fit",
+		map[string]any{"model": "quadratic", "values": testSeries()}); rec.Code != http.StatusOK {
+		t.Fatalf("fit failed: %d", rec.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`resil_http_requests_total{route="/v1/fit",status="200"}`,
+		`resil_http_request_duration_seconds_bucket{route="/v1/fit",le="+Inf"}`,
+		`resil_fit_duration_seconds_bucket{model="quadratic",le="+Inf"}`,
+		`resil_fit_iterations_count{model="quadratic"}`,
+		`resil_fit_evals_count{model="quadratic"}`,
+		`resil_fallback_depth_bucket{le="1"}`,
+		"resil_requests_total",
+		"resil_fits_total",
+		"# TYPE resil_fit_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name value" with a parseable value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("malformed exposition line %q", line)
+			continue
+		}
+		var f float64
+		if err := json.Unmarshal([]byte(line[i+1:]), &f); err != nil && line[i+1:] != "+Inf" && line[i+1:] != "NaN" {
+			t.Errorf("unparseable value in line %q", line)
+		}
+	}
+}
+
+// TestStatsSnapshotConsistency hammers the handler with concurrent
+// traffic while reading /v1/stats, asserting the documented snapshot
+// invariants hold in every read — the regression test for the old
+// N-independent-loads race. Run under -race.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+	h := quietHandler(Config{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := map[string]any{"model": "quadratic", "values": testSeries()}
+			bad := map[string]any{"model": "nope", "values": testSeries()}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					doJSON(t, h, http.MethodPost, "/v1/fit", body)
+				} else {
+					doJSON(t, h, http.MethodPost, "/v1/fit", bad)
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 50; i++ {
+		rec, body := doJSON(t, h, http.MethodGet, "/v1/stats", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats status %d", rec.Code)
+		}
+		requests := body["requests"].(float64)
+		errors := body["request_errors"].(float64)
+		fits := body["fits"].(float64)
+		fallbacks := body["fallbacks"].(float64)
+		cancellations := body["cancellations"].(float64)
+		if errors > requests {
+			t.Errorf("snapshot %d: request_errors %v > requests %v", i, errors, requests)
+		}
+		if fallbacks > fits {
+			t.Errorf("snapshot %d: fallbacks %v > fits %v", i, fallbacks, fits)
+		}
+		if cancellations > fits {
+			t.Errorf("snapshot %d: cancellations %v > fits %v", i, cancellations, fits)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPprofGating checks the profiling endpoints exist only when opted
+// in.
+func TestPprofGating(t *testing.T) {
+	off := quietHandler(Config{})
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof reachable without -pprof: %d", rec.Code)
+	}
+
+	on := quietHandler(Config{EnablePprof: true})
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index with -pprof: %d %.80s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/symbol", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof symbol with -pprof: %d", rec.Code)
+	}
+}
+
+// TestLogLineCarriesSpans checks that the structured access log for a
+// fit request includes the request ID and the fit pipeline's spans.
+func TestLogLineCarriesSpans(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	h := NewHandler(Config{Logger: slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))})
+	rec, _ := doJSON(t, h, http.MethodPost, "/v1/fit",
+		map[string]any{"model": "quadratic", "values": testSeries()})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fit failed: %d", rec.Code)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	id := rec.Header().Get("X-Request-ID")
+	if !strings.Contains(out, "request_id="+id) {
+		t.Errorf("log line missing request_id %q:\n%s", id, out)
+	}
+	for _, want := range []string{"spans=", "chain.quadratic", "fit.quadratic", "optimize.multistart"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

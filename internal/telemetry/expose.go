@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each
+// preceded by its # HELP and # TYPE lines when registered, metrics
+// within a family sorted by full name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, name := range r.snapshotNames() {
+		fam := familyOf(name)
+		if fam != lastFamily {
+			r.mu.RLock()
+			meta, ok := r.families[fam]
+			r.mu.RUnlock()
+			if ok {
+				if meta.help != "" {
+					b.WriteString("# HELP ")
+					b.WriteString(fam)
+					b.WriteByte(' ')
+					b.WriteString(escapeHelp(meta.help))
+					b.WriteByte('\n')
+				}
+				typ := meta.typ
+				if typ == "" {
+					typ = "untyped"
+				}
+				b.WriteString("# TYPE ")
+				b.WriteString(fam)
+				b.WriteByte(' ')
+				b.WriteString(typ)
+				b.WriteByte('\n')
+			}
+			lastFamily = fam
+		}
+		r.mu.RLock()
+		m := r.metrics[name]
+		r.mu.RUnlock()
+		if m != nil {
+			m.writeExposition(&b, name)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// WritePrometheus renders the Default registry.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the Default registry in Prometheus text format.
+func Handler() http.Handler { return Default.Handler() }

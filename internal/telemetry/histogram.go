@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: each
+// bucket counts observations at or below its upper bound, plus an
+// implicit +Inf bucket, a running sum, and a total count. Observation is
+// lock-free: one atomic add for the bucket, one for the count, and a CAS
+// loop for the float sum.
+type Histogram struct {
+	// bounds are the finite bucket upper bounds, strictly increasing.
+	bounds []float64
+	// counts holds one non-cumulative counter per bound plus the +Inf
+	// overflow bucket at the end.
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram with the given finite bucket upper
+// bounds. Bounds must be strictly increasing, finite, and non-empty; the
+// +Inf bucket is implicit. It panics on a malformed bound list, which is
+// an instrumentation-site bug.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i, b := range own {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("telemetry: histogram bounds must be finite")
+		}
+		if i > 0 && b <= own[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: own,
+		counts: make([]atomic.Uint64, len(own)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped (they cannot
+// be bucketed or summed meaningfully).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// bucketIndex locates the first bucket whose upper bound is >= v, via
+// binary search; len(bounds) is the +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the finite upper bounds and the cumulative count at or
+// below each, plus the total (+Inf) count last — the exposition view.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	cumulative = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}
+
+// writeExposition renders the histogram as cumulative _bucket lines plus
+// _sum and _count, splicing the le label into the metric's label set.
+func (h *Histogram) writeExposition(b *strings.Builder, fullName string) {
+	fam := familyOf(fullName)
+	labels := ""
+	if len(fam) < len(fullName) {
+		labels = strings.TrimSuffix(strings.TrimPrefix(fullName[len(fam):], "{"), "}")
+	}
+	withLE := func(le string) string {
+		if labels == "" {
+			return fam + `_bucket{le="` + le + `"}`
+		}
+		return fam + "_bucket{" + labels + `,le="` + le + `"}`
+	}
+	suffixed := func(suffix string) string {
+		if labels == "" {
+			return fam + suffix
+		}
+		return fam + suffix + "{" + labels + "}"
+	}
+
+	bounds, cumulative := h.Buckets()
+	for i, bound := range bounds {
+		b.WriteString(withLE(formatFloat(bound)))
+		b.WriteByte(' ')
+		b.WriteString(uitoa(cumulative[i]))
+		b.WriteByte('\n')
+	}
+	b.WriteString(withLE("+Inf"))
+	b.WriteByte(' ')
+	b.WriteString(uitoa(cumulative[len(cumulative)-1]))
+	b.WriteByte('\n')
+	b.WriteString(suffixed("_sum"))
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(suffixed("_count"))
+	b.WriteByte(' ')
+	b.WriteString(uitoa(h.count.Load()))
+	b.WriteByte('\n')
+}
+
+func uitoa(v uint64) string {
+	// Small helper so exposition avoids fmt.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// DurationBuckets returns the standard latency bucket bounds in seconds,
+// spanning 0.5ms to 30s — wide enough for both HTTP handling and full
+// degradation chains.
+func DurationBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30}
+}
+
+// CountBuckets returns bucket bounds for iteration/evaluation counts,
+// roughly logarithmic from 10 to 100000.
+func CountBuckets() []float64 {
+	return []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+		10000, 25000, 50000, 100000}
+}
+
+// DepthBuckets returns small linear bucket bounds for chain/queue depths.
+func DepthBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 5, 6, 8}
+}
+
+// LinearBuckets returns n bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the at-or-below bucketing contract:
+// a value exactly on a bound lands in that bound's bucket (Prometheus
+// `le` semantics), values between bounds land in the next bucket up, and
+// values beyond the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2.5, 10})
+	cases := []struct {
+		v    float64
+		want int // index into counts: 0..2 finite buckets, 3 = +Inf
+	}{
+		{math.Inf(-1), 0},
+		{-5, 0},
+		{0, 0},
+		{1, 0},    // exactly on a bound: inclusive
+		{1.01, 1}, // just past: next bucket
+		{2.5, 1},
+		{2.500001, 2},
+		{10, 2},
+		{10.5, 3},
+		{math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	_, cum := h.Buckets()
+	// Cumulative counts: 4 values ≤1, +2 ≤2.5, +2 ≤10, +2 beyond.
+	want := []uint64{4, 6, 8, 10}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("count = %d, want 10", h.Count())
+	}
+}
+
+func TestHistogramSumAndNaN(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(math.NaN()) // dropped
+	if got := h.Sum(); got != 0.75 {
+		t.Errorf("sum = %g, want 0.75", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{1, math.Inf(1)},
+		{math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"duration": DurationBuckets(),
+		"count":    CountBuckets(),
+		"depth":    DepthBuckets(),
+		"linear":   LinearBuckets(1, 2, 5),
+		"expo":     ExponentialBuckets(1, 10, 4),
+	} {
+		if len(bounds) == 0 {
+			t.Errorf("%s: empty", name)
+			continue
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Errorf("%s: bounds not increasing at %d: %v", name, i, bounds)
+			}
+		}
+		NewHistogram(bounds) // must not panic
+	}
+	if got := LinearBuckets(1, 2, 3); got[2] != 5 {
+		t.Errorf("LinearBuckets end = %g, want 5", got[2])
+	}
+	if got := ExponentialBuckets(1, 10, 4); got[3] != 1000 {
+		t.Errorf("ExponentialBuckets end = %g, want 1000", got[3])
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersDuringScrape hammers one registry with concurrent
+// counter increments, gauge sets, histogram observations, and metric
+// creation while repeatedly scraping the exposition — the exact mix a
+// live /metrics endpoint sees. Run under -race; the assertions check
+// that nothing is lost and every scrape parses as complete lines.
+func TestConcurrentWritersDuringScrape(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFamily("hammer_total", "counter", "hammered")
+	r.RegisterFamily("hammer_seconds", "histogram", "hammered")
+
+	const (
+		writers   = 8
+		perWriter = 2000
+	)
+	c := r.GetOrCreateCounter("hammer_total")
+	h := r.GetOrCreateHistogram("hammer_seconds", []float64{0.25, 0.5, 1})
+	g := r.GetOrCreateGauge("hammer_gauge")
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(float64(i%4) / 4.0)
+				g.Add(1)
+				if i%200 == 0 {
+					// Metric creation races against scrapes too.
+					r.GetOrCreateCounter("hammer_total{writer=\"" + string(rune('a'+w)) + "\"}").Inc()
+				}
+			}
+		}(w)
+	}
+
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 200; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+			out := b.String()
+			if out != "" && !strings.HasSuffix(out, "\n") {
+				t.Errorf("scrape %d: truncated output", i)
+				return
+			}
+			for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				if !strings.Contains(line, " ") {
+					t.Errorf("scrape %d: malformed line %q", i, line)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-scrapeDone
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	// Histogram sum: each writer contributes perWriter/4 * (0+0.25+0.5+0.75).
+	wantSum := float64(writers) * float64(perWriter) / 4 * 1.5
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+	if got := g.Value(); got != float64(writers*perWriter) {
+		t.Errorf("gauge = %g, want %d", got, writers*perWriter)
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("final scrape: %v", err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package telemetry is the repo's dependency-free observability core: a
+// concurrency-safe metrics registry (atomic counters, gauges, and
+// fixed-bucket histograms) with Prometheus text-format exposition, plus
+// lightweight request tracing (request IDs and spans carried through
+// context.Context).
+//
+// Metrics are identified by their full exposition name, labels included:
+//
+//	c := telemetry.GetOrCreateCounter(`resil_fits_total{model="quadratic"}`)
+//	c.Inc()
+//
+// Families (the name before the label braces) carry optional HELP text
+// and a TYPE, registered once with RegisterFamily. Exposition groups
+// metrics by family, sorted, so output is deterministic and valid
+// Prometheus text format.
+//
+// Every metric operation on a resolved handle is lock-free: counters and
+// gauges are one atomic op, histogram observation is one atomic add per
+// bucket plus an atomic add for the count and a CAS loop for the float
+// sum. Resolving a handle (GetOrCreate*) takes a read lock on the name
+// table; hot paths should resolve once and hold the pointer.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is anything the registry can expose. writeExposition appends
+// one or more exposition lines for the metric under its full name.
+type metric interface {
+	writeExposition(b *strings.Builder, fullName string)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Set overwrites the count. Prometheus counters must not decrease in
+// production; Set exists so tests can reset process-global counters.
+func (c *Counter) Set(v uint64) { c.v.Store(v) }
+
+func (c *Counter) writeExposition(b *strings.Builder, fullName string) {
+	b.WriteString(fullName)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Gauge is a settable float value.
+type Gauge struct {
+	bits atomic.Uint64
+	// fn, when non-nil, is called at exposition time instead of reading
+	// the stored value (see GetOrCreateGaugeFunc).
+	fn func() float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (calling the callback for func gauges).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) writeExposition(b *strings.Builder, fullName string) {
+	b.WriteString(fullName)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(g.Value()))
+	b.WriteByte('\n')
+}
+
+// family holds exposition metadata for one metric family.
+type family struct {
+	typ  string // "counter", "gauge", "histogram", or "untyped"
+	help string
+}
+
+// Registry is a set of named metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	metrics  map[string]metric
+	families map[string]family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics:  map[string]metric{},
+		families: map[string]family{},
+	}
+}
+
+// Default is the process-wide registry used by the package-level
+// helpers and served by Handler.
+var Default = NewRegistry()
+
+// familyOf splits a full metric name into its family (the part before
+// the label braces).
+func familyOf(fullName string) string {
+	if i := strings.IndexByte(fullName, '{'); i >= 0 {
+		return fullName[:i]
+	}
+	return fullName
+}
+
+// validateName rejects names that would produce invalid exposition
+// output. It checks the family name shape and, when labels are present,
+// that the braces are balanced and terminal.
+func validateName(fullName string) error {
+	fam := familyOf(fullName)
+	if fam == "" {
+		return fmt.Errorf("telemetry: empty metric name %q", fullName)
+	}
+	for i, r := range fam {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q", fullName)
+		}
+	}
+	if len(fam) != len(fullName) {
+		rest := fullName[len(fam):]
+		if !strings.HasPrefix(rest, "{") || !strings.HasSuffix(rest, "}") {
+			return fmt.Errorf("telemetry: malformed labels in %q", fullName)
+		}
+	}
+	return nil
+}
+
+// RegisterFamily attaches TYPE and HELP metadata to a metric family.
+// Registering the same family again overwrites the metadata.
+func (r *Registry) RegisterFamily(name, typ, help string) {
+	r.mu.Lock()
+	r.families[name] = family{typ: typ, help: help}
+	r.mu.Unlock()
+}
+
+// getOrCreate returns the metric registered under fullName, creating it
+// with mk when absent. It panics if the existing metric has a different
+// concrete type or the name is invalid — both are programming errors at
+// instrumentation sites, not runtime conditions.
+func (r *Registry) getOrCreate(fullName string, mk func() metric) metric {
+	r.mu.RLock()
+	m, ok := r.metrics[fullName]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	if err := validateName(fullName); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[fullName]; ok {
+		return m
+	}
+	m = mk()
+	r.metrics[fullName] = m
+	return m
+}
+
+// GetOrCreateCounter returns the counter registered under fullName,
+// creating it when absent.
+func (r *Registry) GetOrCreateCounter(fullName string) *Counter {
+	m := r.getOrCreate(fullName, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", fullName, m))
+	}
+	return c
+}
+
+// GetOrCreateGauge returns the gauge registered under fullName, creating
+// it when absent.
+func (r *Registry) GetOrCreateGauge(fullName string) *Gauge {
+	m := r.getOrCreate(fullName, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", fullName, m))
+	}
+	return g
+}
+
+// GetOrCreateGaugeFunc registers a gauge whose value is computed by fn
+// at exposition time (e.g. runtime.NumGoroutine).
+func (r *Registry) GetOrCreateGaugeFunc(fullName string, fn func() float64) *Gauge {
+	m := r.getOrCreate(fullName, func() metric { return &Gauge{fn: fn} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", fullName, m))
+	}
+	return g
+}
+
+// GetOrCreateHistogram returns the histogram registered under fullName,
+// creating it with the given bucket upper bounds when absent (see
+// NewHistogram for the bounds contract).
+func (r *Registry) GetOrCreateHistogram(fullName string, bounds []float64) *Histogram {
+	m := r.getOrCreate(fullName, func() metric { return NewHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", fullName, m))
+	}
+	return h
+}
+
+// Package-level conveniences against the Default registry.
+
+// GetOrCreateCounter returns a counter from the Default registry.
+func GetOrCreateCounter(fullName string) *Counter { return Default.GetOrCreateCounter(fullName) }
+
+// GetOrCreateGauge returns a gauge from the Default registry.
+func GetOrCreateGauge(fullName string) *Gauge { return Default.GetOrCreateGauge(fullName) }
+
+// GetOrCreateGaugeFunc returns a callback gauge from the Default registry.
+func GetOrCreateGaugeFunc(fullName string, fn func() float64) *Gauge {
+	return Default.GetOrCreateGaugeFunc(fullName, fn)
+}
+
+// GetOrCreateHistogram returns a histogram from the Default registry.
+func GetOrCreateHistogram(fullName string, bounds []float64) *Histogram {
+	return Default.GetOrCreateHistogram(fullName, bounds)
+}
+
+// RegisterFamily attaches TYPE/HELP metadata in the Default registry.
+func RegisterFamily(name, typ, help string) { Default.RegisterFamily(name, typ, help) }
+
+// Labels formats label pairs into the canonical `k1="v1",k2="v2"` form
+// with values escaped, for building full metric names:
+//
+//	name := "resil_fit_duration_seconds{" + telemetry.Labels("model", m.Name()) + "}"
+//
+// It panics on an odd number of arguments (an instrumentation-site bug).
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("telemetry: Labels requires key/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float in exposition form, including the
+// Prometheus spellings of the non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// snapshotNames returns all registered metric names, sorted so that
+// metrics of one family are contiguous and ordering is deterministic.
+func (r *Registry) snapshotNames() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

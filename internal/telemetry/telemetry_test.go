@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden locks down the exact Prometheus text format the
+// registry emits: family metadata, sorted ordering, label handling,
+// counter/gauge/histogram rendering, and escaping.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFamily("app_requests_total", "counter", "Requests served.")
+	r.RegisterFamily("app_temperature", "gauge", "Current temperature.")
+	r.RegisterFamily("app_latency_seconds", "histogram", "Request latency.")
+
+	r.GetOrCreateCounter(`app_requests_total{route="/fit",status="200"}`).Add(3)
+	r.GetOrCreateCounter(`app_requests_total{route="/fit",status="500"}`).Inc()
+	r.GetOrCreateGauge("app_temperature").Set(21.5)
+	h := r.GetOrCreateHistogram(`app_latency_seconds{route="/fit"}`, []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99)
+	// An unregistered family must still expose, as untyped.
+	r.GetOrCreateCounter(`zz_unregistered`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{route="/fit",le="0.1"} 1
+app_latency_seconds_bucket{route="/fit",le="1"} 3
+app_latency_seconds_bucket{route="/fit",le="10"} 3
+app_latency_seconds_bucket{route="/fit",le="+Inf"} 4
+app_latency_seconds_sum{route="/fit"} 100.05
+app_latency_seconds_count{route="/fit"} 4
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/fit",status="200"} 3
+app_requests_total{route="/fit",status="500"} 1
+# HELP app_temperature Current temperature.
+# TYPE app_temperature gauge
+app_temperature 21.5
+zz_unregistered 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFamily("esc_total", "counter", "line one\nwith \\ backslash")
+	name := `esc_total{path="` + escapeLabel(`a"b\c`+"\n") + `"}`
+	r.GetOrCreateCounter(name).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# HELP esc_total line one\nwith \\ backslash`,
+		`esc_total{path="a\"b\\c\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGetOrCreateReusesAndChecksTypes(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.GetOrCreateCounter("x_total")
+	c2 := r.GetOrCreateCounter("x_total")
+	if c1 != c2 {
+		t.Error("GetOrCreateCounter returned distinct instances for one name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic registering x_total as a gauge")
+		}
+	}()
+	r.GetOrCreateGauge("x_total")
+}
+
+func TestValidateName(t *testing.T) {
+	for _, bad := range []string{"", "1abc", "a b", "a{unclosed", "a}b", "-x"} {
+		if err := validateName(bad); err == nil {
+			t.Errorf("validateName(%q) accepted an invalid name", bad)
+		}
+	}
+	for _, good := range []string{"a", "abc_def:x9", `a{k="v"}`, `a{k="v",k2="v2"}`} {
+		if err := validateName(good); err != nil {
+			t.Errorf("validateName(%q) = %v", good, err)
+		}
+	}
+}
+
+func TestGaugeFuncAndAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.GetOrCreateGauge("g")
+	g.Set(2)
+	g.Add(0.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge value = %g, want 2.5", got)
+	}
+	calls := 0
+	gf := r.GetOrCreateGaugeFunc("gf", func() float64 { calls++; return 7 })
+	if got := gf.Value(); got != 7 || calls != 1 {
+		t.Errorf("gauge func value = %g (calls %d)", got, calls)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels("model", "quadratic", "note", `a"b`)
+	want := `model="quadratic",note="a\"b"`
+	if got != want {
+		t.Errorf("Labels = %q, want %q", got, want)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter("served_total").Add(5)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 5") {
+		t.Errorf("body missing counter: %s", rec.Body.String())
+	}
+}

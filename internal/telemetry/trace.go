@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects the spans recorded while serving one request, keyed by
+// the request ID. The HTTP middleware creates one per request and logs
+// its spans alongside the access line; lower layers (fit driver,
+// degradation chain, optimizer) append to it through the context without
+// knowing who is listening. A nil *Trace is a valid no-op sink, so
+// library callers without tracing pay only a context lookup.
+type Trace struct {
+	// ID is the request ID the trace belongs to.
+	ID string
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// maxSpansPerTrace bounds memory per request; a pathological degradation
+// chain records a few dozen spans, so the cap is far above normal use.
+const maxSpansPerTrace = 128
+
+// Span is one timed region of work inside a request.
+type Span struct {
+	// Name identifies the region, e.g. "fit.quadratic" or "chain.attempt.exp-exp".
+	Name string
+	// Start is when the region began.
+	Start time.Time
+	// Duration is how long it ran.
+	Duration time.Duration
+	// Attrs carry small integer measurements (iterations, evals, depth).
+	Attrs []Attr
+}
+
+// Attr is one integer measurement attached to a span.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Int builds a span attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: int64(v)} }
+
+// add appends a finished span, dropping it silently once the cap is hit.
+func (t *Trace) add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) < maxSpansPerTrace {
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// String renders the trace compactly for structured logs:
+// "fit.quadratic=12.3ms{iters=840,evals=2100} chain=12.5ms".
+func (t *Trace) String() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		b.WriteString(formatFloat(float64(s.Duration.Microseconds()) / 1000))
+		b.WriteString("ms")
+		if len(s.Attrs) > 0 {
+			b.WriteByte('{')
+			for j, a := range s.Attrs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(a.Key)
+				b.WriteByte('=')
+				b.WriteString(strconv.FormatInt(a.Value, 10))
+			}
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when tracing is not
+// active (nil is a valid no-op sink for ActiveSpan and Trace methods).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// RequestID returns the context's request ID, or "" without a trace.
+func RequestID(ctx context.Context) string {
+	if t := TraceFrom(ctx); t != nil {
+		return t.ID
+	}
+	return ""
+}
+
+// ActiveSpan is an in-flight span. It is a small value type: starting a
+// span costs a context lookup and a clock read, and when no trace is
+// attached End only reads the clock.
+type ActiveSpan struct {
+	trace *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span named name against the context's trace (a
+// no-op sink when none is attached).
+func StartSpan(ctx context.Context, name string) ActiveSpan {
+	return ActiveSpan{trace: TraceFrom(ctx), name: name, start: time.Now()}
+}
+
+// End finishes the span, recording it on the trace with the given
+// attributes, and returns the measured duration so callers can feed
+// histograms without reading the clock twice.
+func (s ActiveSpan) End(attrs ...Attr) time.Duration {
+	d := time.Since(s.start)
+	if s.trace != nil {
+		s.trace.add(Span{Name: s.name, Start: s.start, Duration: d, Attrs: attrs})
+	}
+	return d
+}
+
+// reqSeq disambiguates fallback request IDs when the random source is
+// unavailable.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request ID. It prefers
+// crypto/rand and falls back to a process-unique sequence number, so it
+// never fails.
+func NewRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err == nil {
+		return hex.EncodeToString(buf[:])
+	}
+	return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+			t.Fatalf("request ID %q not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("request ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("RequestID without trace = %q", got)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Errorf("TraceFrom without trace = %v", got)
+	}
+	tr := &Trace{ID: "abc123"}
+	ctx := WithTrace(context.Background(), tr)
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("RequestID = %q, want abc123", got)
+	}
+
+	sp := StartSpan(ctx, "work")
+	time.Sleep(time.Millisecond)
+	d := sp.End(Int("iters", 42))
+	if d <= 0 {
+		t.Errorf("span duration %v not positive", d)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "work" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0] != (Attr{Key: "iters", Value: 42}) {
+		t.Errorf("attrs = %+v", spans[0].Attrs)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "work=") || !strings.Contains(s, "iters=42") {
+		t.Errorf("trace string %q missing span fields", s)
+	}
+}
+
+// TestSpanWithoutTrace checks the no-op sink: spans on a bare context
+// still measure durations and never panic.
+func TestSpanWithoutTrace(t *testing.T) {
+	sp := StartSpan(context.Background(), "orphan")
+	if d := sp.End(); d < 0 {
+		t.Errorf("duration %v", d)
+	}
+	var nilTrace *Trace
+	nilTrace.add(Span{Name: "x"}) // must not panic
+	if got := nilTrace.Spans(); got != nil {
+		t.Errorf("nil trace spans = %v", got)
+	}
+	if got := nilTrace.String(); got != "" {
+		t.Errorf("nil trace string = %q", got)
+	}
+}
+
+func TestTraceSpanCapAndConcurrency(t *testing.T) {
+	tr := &Trace{ID: "cap"}
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				StartSpan(ctx, "s").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != maxSpansPerTrace {
+		t.Errorf("spans retained = %d, want cap %d", got, maxSpansPerTrace)
+	}
+}
