@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check chaos bench bench-all fuzz cover report clean
+.PHONY: all build vet test test-short check chaos bench bench-compare bench-all fuzz cover report clean
 
 all: build vet test
 
@@ -38,6 +38,13 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchtime=50x -benchmem ./internal/core/ \
 		| $(GO) run ./cmd/benchfmt -out BENCH_fit.json
+
+# Runs the same benchmark and prints per-family ns/op and allocs/op
+# deltas against the committed BENCH_fit.json instead of overwriting it.
+# Use this before refreshing the baseline to see what a change did.
+bench-compare:
+	$(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchtime=50x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchfmt -baseline BENCH_fit.json
 
 # Regenerates every paper table and figure with cost measurement.
 bench-all:

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkFit -benchmem ./internal/core/ | benchfmt -out BENCH_fit.json
+//	go test -run '^$' -bench BenchmarkFit -benchmem ./internal/core/ | benchfmt -baseline BENCH_fit.json
 //
 // It parses the standard benchmark result lines, including any custom
 // metrics reported with testing.B.ReportMetric (evals/op, iters/op), and
 // records the toolchain and host alongside, since ns/op is meaningless
 // without them.
+//
+// With -baseline, instead of (or in addition to) writing JSON it loads a
+// previously written report and prints a per-benchmark comparison of
+// ns/op and allocs/op against the fresh run, flagging results that exist
+// on only one side. Wall-clock deltas are only meaningful on the same
+// machine class as the baseline (the report records CPU count for that
+// reason); allocs/op deltas are machine-independent.
 package main
 
 import (
@@ -18,11 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // result is one benchmark line.
@@ -41,9 +51,12 @@ type result struct {
 
 // report is the output document.
 type report struct {
-	Go         string   `json:"go"`
-	GOOS       string   `json:"goos"`
+	Go   string `json:"go"`
+	GOOS string `json:"goos"`
+	// GOARCH plus CPUs identify the machine class; ns/op comparisons
+	// across different classes are noise.
 	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
 }
 
@@ -54,20 +67,21 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+(\S+)`)
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchfmt", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
+	baseline := fs.String("baseline", "", "baseline JSON report to compare the fresh run against")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	rep := report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	rep := report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -106,6 +120,12 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 		return fmt.Errorf("benchfmt: no benchmark lines found in input")
 	}
 
+	if *baseline != "" {
+		if err := compare(stdout, *baseline, rep); err != nil {
+			return err
+		}
+	}
+
 	var b strings.Builder
 	enc := json.NewEncoder(&b)
 	enc.SetIndent("", "  ")
@@ -113,7 +133,12 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 		return err
 	}
 	if *out == "" {
-		_, err := os.Stdout.WriteString(b.String())
+		if *baseline != "" {
+			// Compare mode already used stdout for the table; don't
+			// interleave the JSON document with it.
+			return nil
+		}
+		_, err := io.WriteString(stdout, b.String())
 		return err
 	}
 	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
@@ -121,4 +146,93 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "benchfmt: wrote %d results to %s\n", len(rep.Benchmarks), *out)
 	return nil
+}
+
+// compare prints a per-benchmark delta table of the fresh run against the
+// baseline report stored at path.
+func compare(w io.Writer, path string, fresh report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	byName := make(map[string]result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+
+	fmt.Fprintf(w, "benchfmt: comparing against %s (baseline: %s %s/%s", path, base.Go, base.GOOS, base.GOARCH)
+	if base.CPUs > 0 {
+		fmt.Fprintf(w, ", %d CPUs", base.CPUs)
+	}
+	fmt.Fprintf(w, "; this run: %s %s/%s, %d CPUs)\n", fresh.Go, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
+	if base.GOARCH != fresh.GOARCH || (base.CPUs > 0 && base.CPUs != fresh.CPUs) {
+		fmt.Fprintln(w, "benchfmt: WARNING: machine class differs from baseline; ns/op deltas are not comparable (allocs/op still are)")
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op old\tns/op new\tdelta\tallocs/op old\tallocs/op new\tdelta")
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, f := range fresh.Benchmarks {
+		seen[f.Name] = true
+		b, ok := byName[f.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%s\tnew\n", f.Name, f.NsPerOp, fmtMetric(f.Metrics, "allocs/op"))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%s\n",
+			f.Name,
+			b.NsPerOp, f.NsPerOp, delta(b.NsPerOp, f.NsPerOp),
+			fmtMetric(b.Metrics, "allocs/op"), fmtMetric(f.Metrics, "allocs/op"),
+			metricDelta(b.Metrics, f.Metrics, "allocs/op"))
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tgone\t%s\t-\tgone\n", b.Name, b.NsPerOp, fmtMetric(b.Metrics, "allocs/op"))
+		}
+	}
+	return tw.Flush()
+}
+
+// delta formats the relative change from old to new, with the improvement
+// factor when it is at least 2x either way.
+func delta(old, new float64) string {
+	if old == 0 {
+		return "?"
+	}
+	pct := (new - old) / old * 100
+	s := fmt.Sprintf("%+.1f%%", pct)
+	switch {
+	case new > 0 && old/new >= 2:
+		s += fmt.Sprintf(" (%.1fx fewer)", old/new)
+	case old > 0 && new/old >= 2:
+		s += fmt.Sprintf(" (%.1fx more)", new/old)
+	}
+	return s
+}
+
+// fmtMetric renders one metric value, or "-" when the report lacks it
+// (e.g. a baseline captured without -benchmem).
+func fmtMetric(m map[string]float64, unit string) string {
+	v, ok := m[unit]
+	if !ok {
+		return "-"
+	}
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metricDelta formats the change in one metric between two reports.
+func metricDelta(old, new map[string]float64, unit string) string {
+	ov, ook := old[unit]
+	nv, nok := new[unit]
+	if !ook || !nok {
+		return "-"
+	}
+	return delta(ov, nv)
 }

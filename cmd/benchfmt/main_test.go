@@ -20,7 +20,7 @@ ok  	resilience/internal/core	3.210s
 
 func TestRunParsesBenchOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_fit.json")
-	if err := run([]string{"-out", out}, strings.NewReader(sample), io.Discard); err != nil {
+	if err := run([]string{"-out", out}, strings.NewReader(sample), io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -33,6 +33,9 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 	if rep.Go == "" || rep.GOOS == "" || rep.GOARCH == "" {
 		t.Errorf("missing toolchain fields: %+v", rep)
+	}
+	if rep.CPUs <= 0 {
+		t.Errorf("cpus = %d, want > 0", rep.CPUs)
 	}
 	if len(rep.Benchmarks) != 2 {
 		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
@@ -54,7 +57,81 @@ func TestRunParsesBenchOutput(t *testing.T) {
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {
-	if err := run(nil, strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), io.Discard, io.Discard); err == nil {
 		t.Error("expected error for input without benchmark lines")
+	}
+}
+
+// TestRunCompareMode feeds a fresh run through -baseline and checks the
+// delta table: improvements, regressions, and benchmarks present on only
+// one side.
+func TestRunCompareMode(t *testing.T) {
+	base := report{
+		Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		Benchmarks: []result{
+			{Name: "Fit/quadratic", Runs: 50, NsPerOp: 20000000,
+				Metrics: map[string]float64{"allocs/op": 11212}},
+			{Name: "Fit/removed", Runs: 50, NsPerOp: 1000,
+				Metrics: map[string]float64{"allocs/op": 7}},
+		},
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fit.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := `BenchmarkFit/quadratic-1   50   10000000 ns/op   228 allocs/op
+BenchmarkFit/added-1       50       5000 ns/op     3 allocs/op
+`
+	var out strings.Builder
+	if err := run([]string{"-baseline", path}, strings.NewReader(fresh), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Fit/quadratic", "-50.0%", "2.0x fewer", "49.2x fewer",
+		"Fit/added", "new", "Fit/removed", "gone",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunCompareFlagsMachineClassMismatch checks the warning when the
+// baseline was captured on different hardware.
+func TestRunCompareFlagsMachineClassMismatch(t *testing.T) {
+	base := report{
+		Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64", CPUs: 512,
+		Benchmarks: []result{{Name: "Fit/quadratic", Runs: 50, NsPerOp: 100}},
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fit.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	fresh := "BenchmarkFit/quadratic-1   50   100 ns/op\n"
+	if err := run([]string{"-baseline", path}, strings.NewReader(fresh), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "machine class differs") {
+		t.Errorf("expected machine-class warning, got:\n%s", out.String())
+	}
+}
+
+func TestRunCompareMissingBaseline(t *testing.T) {
+	fresh := "BenchmarkFit/quadratic-1   50   100 ns/op\n"
+	err := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(fresh), io.Discard, io.Discard)
+	if err == nil {
+		t.Error("expected error for missing baseline file")
 	}
 }

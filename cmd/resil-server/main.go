@@ -40,6 +40,7 @@ func run(args []string, stdout *os.File) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	fitTimeout := fs.Duration("fit-timeout", 30*time.Second, "deadline for one fitting request, including retries and fallbacks")
 	noFallback := fs.Bool("no-fallback", false, "disable the model degradation chain; failed fits return errors")
+	fitCacheSize := fs.Int("fit-cache-size", 256, "max entries in the server fit cache (LRU over series+model+config digests); 0 disables caching")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints at /debug/pprof/")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -62,13 +63,14 @@ func run(args []string, stdout *os.File) error {
 		DisableFallback: *noFallback,
 		Logger:          logger,
 		EnablePprof:     *enablePprof,
+		FitCacheSize:    *fitCacheSize,
 	})
 
 	// Serve until a termination signal arrives, then drain.
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "fit_timeout", fitTimeout.String(),
-			"fallback", !*noFallback, "pprof", *enablePprof)
+			"fallback", !*noFallback, "pprof", *enablePprof, "fit_cache_size", *fitCacheSize)
 		errc <- srv.ListenAndServe()
 	}()
 

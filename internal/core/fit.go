@@ -17,6 +17,11 @@ import (
 type FitConfig struct {
 	// Starts is the number of multistart launches (default 12).
 	Starts int
+	// Workers bounds how many multistart launches run concurrently.
+	// 0 selects min(Starts, GOMAXPROCS); 1 forces the sequential path.
+	// The winner is deterministic at any worker count (see
+	// optimize.MultiStartConfig.Workers).
+	Workers int
 	// SkipPolish disables the Levenberg–Marquardt refinement that runs
 	// after multistart Nelder–Mead by default.
 	SkipPolish bool
@@ -127,18 +132,23 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 		}
 		return sse
 	}
+	// The optimize.Residual contract allows reusing the output buffer
+	// between calls (the solvers copy what they retain), so one scratch
+	// slice serves every polish-phase evaluation. The polish runs on a
+	// single goroutine after the multistart workers have joined, so the
+	// shared scratch is never written concurrently.
+	rScratch := make([]float64, len(times))
 	residual := func(params []float64) ([]float64, error) {
 		if err := m.Validate(params); err != nil {
 			return nil, err
 		}
-		r := make([]float64, len(times))
 		for i, t := range times {
-			r[i] = m.Eval(params, t) - values[i]
+			rScratch[i] = m.Eval(params, t) - values[i]
 		}
-		if !numeric.AllFinite(r) {
+		if !numeric.AllFinite(rScratch) {
 			return nil, fmt.Errorf("%w: non-finite residual", ErrBadParams)
 		}
-		return r, nil
+		return rScratch, nil
 	}
 
 	guess := cfg.InitialParams
@@ -146,10 +156,11 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 		guess = m.Guess(data)
 	}
 	res, err := optimize.MultiStartCtx(ctx, objective, residual, guess, optimize.MultiStartConfig{
-		Starts: cfg.Starts,
-		Bounds: m.Bounds(),
-		Local:  cfg.Local,
-		Polish: !cfg.SkipPolish,
+		Starts:  cfg.Starts,
+		Bounds:  m.Bounds(),
+		Local:   cfg.Local,
+		Polish:  !cfg.SkipPolish,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fit %s: %w", nameOf(m), err)
@@ -161,10 +172,13 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 		return nil, fmt.Errorf("fit %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)
 	}
 	return &FitResult{
-		Model:      m,
-		Params:     res.X,
-		Train:      data,
-		SSE:        objective(res.X),
+		Model:  m,
+		Params: res.X,
+		Train:  data,
+		// res.F is exactly the Eq. (9) objective at res.X (the multistart
+		// driver re-evaluates it after polish), so recomputing it here
+		// would spend one full SSE pass per fit and skew the eval count.
+		SSE:        res.F,
 		Evals:      res.FuncEvals,
 		Iterations: res.Iterations,
 	}, nil
@@ -244,9 +258,10 @@ func fitWithObjectiveCtx(ctx context.Context, m Model, data *timeseries.Series, 
 		guess = m.Guess(data)
 	}
 	res, err := optimize.MultiStartCtx(ctx, guarded, nil, guess, optimize.MultiStartConfig{
-		Starts: cfg.Starts,
-		Bounds: m.Bounds(),
-		Local:  cfg.Local,
+		Starts:  cfg.Starts,
+		Bounds:  m.Bounds(),
+		Local:   cfg.Local,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fit %s: %w", nameOf(m), err)
@@ -258,10 +273,11 @@ func fitWithObjectiveCtx(ctx context.Context, m Model, data *timeseries.Series, 
 		return nil, fmt.Errorf("fit %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)
 	}
 	return &FitResult{
-		Model:      m,
-		Params:     res.X,
-		Train:      data,
-		SSE:        guarded(res.X),
+		Model:  m,
+		Params: res.X,
+		Train:  data,
+		// res.F equals the guarded objective at res.X; see FitCtx.
+		SSE:        res.F,
 		Evals:      res.FuncEvals,
 		Iterations: res.Iterations,
 	}, nil

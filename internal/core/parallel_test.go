@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"resilience/internal/timeseries"
+)
+
+// parallelTestSeries is a 36-point V-shaped curve every standard family
+// can fit, mirroring the benchmark series.
+func parallelTestSeries(t *testing.T) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, 36)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.03*math.Sin(math.Pi*math.Min(x/28, 1)) + 0.0008*math.Max(0, x-28)
+	}
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// standardFamilies is every model the API serves.
+func standardFamilies() []Model {
+	models := []Model{QuadraticModel{}, CompetingRisksModel{}, ExpBathtubModel{}}
+	for _, m := range StandardMixtures() {
+		models = append(models, m)
+	}
+	return models
+}
+
+// TestFitParallelDeterminism fits every standard model family with
+// Workers: 1 and Workers: 8 and asserts bit-identical Params, SSE, and
+// counters — the acceptance contract for the parallel multistart.
+func TestFitParallelDeterminism(t *testing.T) {
+	series := parallelTestSeries(t)
+	for _, m := range standardFamilies() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			seq, err := Fit(m, series, FitConfig{Workers: 1})
+			if err != nil {
+				t.Fatalf("sequential fit: %v", err)
+			}
+			par, err := Fit(m, series, FitConfig{Workers: 8})
+			if err != nil {
+				t.Fatalf("parallel fit: %v", err)
+			}
+			if seq.SSE != par.SSE {
+				t.Errorf("SSE: sequential %v, parallel %v (must be bit-identical)", seq.SSE, par.SSE)
+			}
+			if len(seq.Params) != len(par.Params) {
+				t.Fatalf("param count: %d vs %d", len(seq.Params), len(par.Params))
+			}
+			for i := range seq.Params {
+				if seq.Params[i] != par.Params[i] {
+					t.Errorf("Params[%d]: sequential %v, parallel %v (must be bit-identical)",
+						i, seq.Params[i], par.Params[i])
+				}
+			}
+			if seq.Evals != par.Evals || seq.Iterations != par.Iterations {
+				t.Errorf("counters: sequential (%d evals, %d iters), parallel (%d, %d)",
+					seq.Evals, seq.Iterations, par.Evals, par.Iterations)
+			}
+		})
+	}
+}
+
+// TestFitParallelCancellation hammers FitCtx with mid-flight
+// cancellations at Workers: 8; under -race this exercises the pool
+// teardown path through the whole fitting stack.
+func TestFitParallelCancellation(t *testing.T) {
+	series := parallelTestSeries(t)
+	mixtures := StandardMixtures()
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(),
+				time.Duration(1+round)*time.Millisecond)
+			defer cancel()
+			m := mixtures[round%len(mixtures)]
+			_, err := FitCtx(ctx, m, series, FitConfig{Workers: 8})
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Errorf("round %d (%s): unexpected error: %v", round, m.Name(), err)
+			}
+		}(round)
+	}
+	wg.Wait()
+}
+
+// TestFitSSEMatchesObjective guards the satellite fix that reuses the
+// optimizer's F for FitResult.SSE: the recorded SSE must equal Eq. (9)
+// recomputed from the returned parameters.
+func TestFitSSEMatchesObjective(t *testing.T) {
+	series := parallelTestSeries(t)
+	for _, m := range standardFamilies() {
+		fit, err := Fit(m, series, FitConfig{})
+		if err != nil {
+			t.Fatalf("fit %s: %v", m.Name(), err)
+		}
+		var sse float64
+		for i := 0; i < series.Len(); i++ {
+			d := series.Value(i) - fit.Eval(series.Time(i))
+			sse += d * d
+		}
+		if math.Abs(fit.SSE-sse) > 1e-12*math.Max(1, sse) {
+			t.Errorf("%s: recorded SSE %v, recomputed %v", m.Name(), fit.SSE, sse)
+		}
+	}
+}

@@ -27,6 +27,28 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		copy(m[i], a[i])
 		m[i][n] = b[i]
 	}
+	x := make([]float64, n)
+	if err := SolveAugmented(m, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveAugmented solves the n×n system encoded as the augmented matrix
+// m = [A | b] (n rows of length n+1) by Gaussian elimination with
+// partial pivoting, writing the solution into x. m is destroyed. It
+// exists so hot paths (the Levenberg–Marquardt damping search) can solve
+// into preallocated scratch without any per-solve allocation.
+func SolveAugmented(m [][]float64, x []float64) error {
+	n := len(x)
+	if len(m) != n {
+		return errors.New("numeric: SolveAugmented dimension mismatch")
+	}
+	for i := range m {
+		if len(m[i]) != n+1 {
+			return errors.New("numeric: SolveAugmented row is not augmented")
+		}
+	}
 	for col := 0; col < n; col++ {
 		// Partial pivot.
 		pivot := col
@@ -37,7 +59,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 			}
 		}
 		if maxAbs == 0 || math.IsNaN(maxAbs) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		m[col], m[pivot] = m[pivot], m[col]
 		inv := 1 / m[col][col]
@@ -52,7 +74,6 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		sum := m[i][n]
 		for j := i + 1; j < n; j++ {
@@ -60,10 +81,10 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		}
 		x[i] = sum / m[i][i]
 		if !IsFinite(x[i]) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 	}
-	return x, nil
+	return nil
 }
 
 // MatTMul computes Aᵀ·A for an m×n matrix A, returning an n×n matrix.
@@ -76,17 +97,28 @@ func MatTMul(a [][]float64) [][]float64 {
 	for i := range out {
 		out[i] = make([]float64, n)
 	}
+	MatTMulInto(out, a)
+	return out
+}
+
+// MatTMulInto computes Aᵀ·A into the preallocated n×n matrix dst.
+func MatTMulInto(dst [][]float64, a [][]float64) {
+	n := len(dst)
+	for i := range dst {
+		for j := 0; j < n; j++ {
+			dst[i][j] = 0
+		}
+	}
 	for _, row := range a {
 		for i := 0; i < n; i++ {
 			if row[i] == 0 {
 				continue
 			}
 			for j := 0; j < n; j++ {
-				out[i][j] += row[i] * row[j]
+				dst[i][j] += row[i] * row[j]
 			}
 		}
 	}
-	return out
 }
 
 // MatTVec computes Aᵀ·v for an m×n matrix A and length-m vector v,
@@ -95,14 +127,21 @@ func MatTVec(a [][]float64, v []float64) []float64 {
 	if len(a) == 0 {
 		return nil
 	}
-	n := len(a[0])
-	out := make([]float64, n)
+	out := make([]float64, len(a[0]))
+	MatTVecInto(out, a, v)
+	return out
+}
+
+// MatTVecInto computes Aᵀ·v into the preallocated length-n vector dst.
+func MatTVecInto(dst []float64, a [][]float64, v []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, row := range a {
-		for j := 0; j < n; j++ {
-			out[j] += row[j] * v[i]
+		for j := range dst {
+			dst[j] += row[j] * v[i]
 		}
 	}
-	return out
 }
 
 // Dot returns the dot product of two equal-length vectors.

@@ -40,21 +40,39 @@ func LeastSquaresCtx(ctx context.Context, res Residual, x0 []float64, opts Optio
 
 	evals := 0
 	x := append([]float64(nil), x0...)
-	r0, err := res(x)
+	rStart, err := res(x)
 	evals++
 	if err != nil {
 		return Result{}, fmt.Errorf("optimize: residual at start: %w", err)
 	}
-	if len(r0) == 0 {
+	if len(rStart) == 0 {
 		return Result{}, fmt.Errorf("%w: residual returned no components", ErrBadInput)
 	}
-	m := len(r0)
+	m := len(rStart)
+	// The Residual contract lets implementations reuse their output
+	// buffer between calls, so every residual the solver retains is
+	// copied into solver-owned storage immediately.
+	r0 := append([]float64(nil), rStart...)
 	cost := halfSq(r0)
 
 	jac := make([][]float64, m)
 	for i := range jac {
 		jac[i] = make([]float64, n)
 	}
+	// Scratch reused across iterations and damping attempts: the normal
+	// matrix JᵀJ, gradient Jᵀr, the augmented system [JᵀJ+λD | −Jᵀr],
+	// the solved step, the trial point, and its residual. Nothing inside
+	// the damping search allocates.
+	jtj := make([][]float64, n)
+	aug := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		jtj[i] = make([]float64, n)
+		aug[i] = make([]float64, n+1)
+	}
+	jtr := make([]float64, n)
+	delta := make([]float64, n)
+	trial := make([]float64, n)
+	rTrial := make([]float64, m)
 
 	lambda := 1e-3
 	const (
@@ -76,8 +94,8 @@ func LeastSquaresCtx(ctx context.Context, res Residual, x0 []float64, opts Optio
 				X: x, F: cost, Status: Stalled, Iterations: iter, FuncEvals: evals,
 			}, nil
 		}
-		jtj := numeric.MatTMul(jac)
-		jtr := numeric.MatTVec(jac, r0)
+		numeric.MatTMulInto(jtj, jac)
+		numeric.MatTVecInto(jtr, jac, r0)
 
 		gradNorm := numeric.Norm2(jtr)
 		if gradNorm <= opts.TolF*(1+cost) {
@@ -89,42 +107,37 @@ func LeastSquaresCtx(ctx context.Context, res Residual, x0 []float64, opts Optio
 			if cErr := cancelled(ctx); cErr != nil {
 				return Result{X: x, F: cost, Status: Stalled, Iterations: iter, FuncEvals: evals}, cErr
 			}
-			// Solve (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr.
-			a := make([][]float64, n)
+			// Solve (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr as the augmented system.
 			for i := 0; i < n; i++ {
-				a[i] = append([]float64(nil), jtj[i]...)
+				copy(aug[i][:n], jtj[i])
 				damping := jtj[i][i]
 				if damping <= 0 {
 					damping = 1
 				}
-				a[i][i] += lambda * damping
+				aug[i][i] += lambda * damping
+				aug[i][n] = -jtr[i]
 			}
-			negJtr := make([]float64, n)
-			for i := range jtr {
-				negJtr[i] = -jtr[i]
-			}
-			delta, solveErr := numeric.SolveLinear(a, negJtr)
-			if solveErr != nil {
+			if solveErr := numeric.SolveAugmented(aug, delta); solveErr != nil {
 				lambda *= lambdaUp
 				continue
 			}
-			trial := make([]float64, n)
 			for i := range x {
 				trial[i] = x[i] + delta[i]
 			}
-			rTrial, rErr := res(trial)
+			rt, rErr := res(trial)
 			evals++
-			if rErr != nil || len(rTrial) != m || !numeric.AllFinite(rTrial) {
+			if rErr != nil || len(rt) != m || !numeric.AllFinite(rt) {
 				lambda *= lambdaUp
 				continue
 			}
+			copy(rTrial, rt)
 			trialCost := halfSq(rTrial)
 			if trialCost < cost {
 				// Accept.
 				stepNorm := numeric.Norm2(delta)
 				improvement := cost - trialCost
-				x = trial
-				r0 = rTrial
+				copy(x, trial)
+				copy(r0, rTrial)
 				cost = trialCost
 				lambda = math.Max(lambda/lambdaDown, lambdaMin)
 				if stepNorm <= opts.TolX*(1+numeric.Norm2(x)) ||

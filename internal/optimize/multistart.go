@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"resilience/internal/telemetry"
 )
@@ -71,6 +74,16 @@ type MultiStartConfig struct {
 	// Polish enables a Levenberg–Marquardt refinement of the best
 	// Nelder–Mead solution when a Residual is available.
 	Polish bool
+	// Workers bounds how many local solves run concurrently. 0 selects
+	// min(Starts, GOMAXPROCS); 1 runs the starts sequentially on the
+	// calling goroutine with no pool overhead. Whatever the setting, the
+	// winner is chosen deterministically — best objective value, ties
+	// broken by lowest start index — so parallel and sequential runs of
+	// an uncancelled solve return bit-identical results. With Workers
+	// other than 1 the objective must be safe for concurrent calls; the
+	// model objectives used by the fitting pipeline are pure functions
+	// over read-only data and qualify.
+	Workers int
 }
 
 // MultiStart minimizes obj over the bounded box by launching Nelder–Mead
@@ -83,14 +96,28 @@ func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig)
 	return MultiStartCtx(context.Background(), obj, res, x0, cfg)
 }
 
-// MultiStartCtx is MultiStart under a context. The context is consulted
+// startOutcome records one local solve. Each worker writes only its own
+// claimed indices, so the slice needs no locking; the deterministic
+// winner scan reads it after all workers have joined.
+type startOutcome struct {
+	res Result
+	err error
+}
+
+// MultiStartCtx is MultiStart under a context. The starts are fanned
+// across a bounded worker pool (cfg.Workers); the context is consulted
 // before every local launch and threaded into each local solver, so
-// cancellation takes effect within one optimizer iteration no matter
-// which start is running. A start that panics is contained by the local
-// solver's recover guard and counts as a failed start; only if every
-// start fails is the first panic surfaced (as a *PanicError unwrapping
-// to ErrOptimizerPanic). On cancellation the best local solution found
-// before the cutoff is returned along with the wrapped context error.
+// cancellation stops every worker within one optimizer iteration no
+// matter which starts are running. A start that panics is contained by
+// the local solver's recover guard and fails only that start; only if
+// every start fails is the first panic (by start index) surfaced, as a
+// *PanicError unwrapping to ErrOptimizerPanic. On cancellation the best
+// local solution found before the cutoff is returned along with the
+// wrapped context error.
+//
+// The winner is selected after all starts settle: lowest objective
+// value, ties broken by lowest start index. Uncancelled runs therefore
+// return bit-identical results at any worker count.
 func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float64, cfg MultiStartConfig) (Result, error) {
 	if obj == nil {
 		return Result{}, fmt.Errorf("%w: nil objective", ErrBadInput)
@@ -105,10 +132,6 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 		return Result{}, cErr
 	}
 
-	wrapped := func(z []float64) float64 {
-		return obj(cfg.Bounds.Decode(z))
-	}
-
 	starts, err := StartPoints(cfg.Bounds, cfg.Starts)
 	if err != nil {
 		return Result{}, err
@@ -117,53 +140,105 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 		starts = append([][]float64{x0}, starts[:len(starts)-1]...)
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = min(len(starts), runtime.GOMAXPROCS(0))
+	}
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+
 	var (
-		best       Result
-		haveBest   bool
-		totalIter  int
-		totalEval  int
-		firstPanic error
+		totalIter int
+		totalEval int
 	)
 	// One span per multistart solve, carrying the aggregate iteration and
 	// evaluation counts. The cost without an active trace is a context
 	// lookup and two clock reads per solve — never per iteration.
 	span := telemetry.StartSpan(ctx, "optimize.multistart")
 	defer func() {
-		span.End(telemetry.Int("starts", cfg.Starts),
+		span.End(telemetry.Int("starts", cfg.Starts), telemetry.Int("workers", workers),
 			telemetry.Int("iterations", totalIter), telemetry.Int("evals", totalEval))
 	}()
-	for _, start := range starts {
-		if cErr := cancelled(ctx); cErr != nil {
-			if haveBest {
-				best.Iterations = totalIter
-				best.FuncEvals = totalEval
-				return best, cErr
-			}
-			return Result{}, cErr
+
+	// Each worker claims start indices from a shared atomic cursor and
+	// records outcomes into its claimed slots. The z0/decode scratch
+	// buffers are per-worker, so no allocation happens per objective
+	// evaluation and no state is shared between concurrent solves.
+	outcomes := make([]startOutcome, len(starts))
+	var cursor atomic.Int64
+	runWorker := func() {
+		n := cfg.Bounds.Len()
+		buf := make([]float64, n)
+		z0 := make([]float64, n)
+		wrapped := func(z []float64) float64 {
+			cfg.Bounds.DecodeInto(buf, z)
+			return obj(buf)
 		}
-		z0 := cfg.Bounds.Encode(start)
-		r, nmErr := NelderMeadCtx(ctx, wrapped, z0, cfg.Local)
-		totalIter += r.Iterations
-		totalEval += r.FuncEvals
-		if nmErr != nil {
-			if isCancellation(nmErr) {
-				if haveBest {
-					best.Iterations = totalIter
-					best.FuncEvals = totalEval
-					return best, nmErr
-				}
-				return Result{}, nmErr
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(starts) {
+				return
 			}
+			if cErr := cancelled(ctx); cErr != nil {
+				outcomes[i].err = cErr
+				continue
+			}
+			cfg.Bounds.EncodeInto(z0, starts[i])
+			outcomes[i].res, outcomes[i].err = NelderMeadCtx(ctx, wrapped, z0, cfg.Local)
+		}
+	}
+	if workers == 1 {
+		runWorker()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runWorker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic aggregation in start-index order.
+	var (
+		best       Result
+		haveBest   bool
+		firstPanic error
+		cancelErr  error
+	)
+	for i := range outcomes {
+		o := &outcomes[i]
+		totalIter += o.res.Iterations
+		totalEval += o.res.FuncEvals
+		switch {
+		case o.err == nil:
+			if !haveBest || o.res.F < best.F {
+				best = o.res
+				haveBest = true
+			}
+		case isCancellation(o.err):
+			if cancelErr == nil {
+				cancelErr = o.err
+			}
+		default:
 			if firstPanic == nil {
-				firstPanic = nmErr
+				firstPanic = o.err
 			}
-			continue
 		}
-		if !haveBest || r.F < best.F {
-			r.X = cfg.Bounds.Decode(r.X)
-			best = r
-			haveBest = true
+	}
+	if haveBest {
+		best.X = cfg.Bounds.Decode(best.X)
+	}
+	if cancelErr != nil {
+		if haveBest {
+			best.Iterations = totalIter
+			best.FuncEvals = totalEval
+			return best, cancelErr
 		}
+		return Result{}, cancelErr
 	}
 	if !haveBest {
 		if firstPanic != nil {

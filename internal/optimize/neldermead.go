@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"resilience/internal/faultinject"
 )
@@ -88,11 +87,21 @@ func NelderMeadCtx(ctx context.Context, obj Objective, x0 []float64, opts Option
 		if faultinject.Enabled() {
 			faultinject.Fire("optimize.neldermead.iter")
 		}
-		// Order vertices by objective value.
+		// Order vertices by objective value. Insertion sort on the tiny
+		// index slice: sort.Slice costs two heap allocations per call
+		// (closure + interface header), which at one sort per iteration
+		// dominated the optimizer's allocation profile.
 		for i := range order {
 			order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool { return fvals[order[a]] < fvals[order[b]] })
+		for i := 1; i <= n; i++ {
+			idx := order[i]
+			j := i - 1
+			for ; j >= 0 && fvals[order[j]] > fvals[idx]; j-- {
+				order[j+1] = order[j]
+			}
+			order[j+1] = idx
+		}
 		best, worst, secondWorst := order[0], order[n], order[n-1]
 
 		// A fully infeasible simplex (every vertex +Inf) gives the moves no

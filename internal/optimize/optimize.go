@@ -21,7 +21,9 @@ import (
 type Objective func(x []float64) float64
 
 // Residual is a vector-valued function whose squared norm is minimized by
-// least-squares solvers.
+// least-squares solvers. Implementations may reuse the returned slice
+// across calls (the solvers copy anything they retain), which lets hot
+// fitting paths evaluate residuals without a per-call allocation.
 type Residual func(x []float64) ([]float64, error)
 
 // Status describes how an optimization run terminated.

@@ -1,0 +1,160 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rastrigin2 is a classic multimodal surface: many local minima, global
+// minimum 0 at the origin. Pure function — safe for concurrent calls.
+func rastrigin2(x []float64) float64 {
+	s := 20.0
+	for _, xi := range x {
+		s += xi*xi - 10*math.Cos(2*math.Pi*xi)
+	}
+	return s
+}
+
+// TestMultiStartWorkersBitIdentical asserts the tentpole determinism
+// contract: the same solve at Workers 1, 2, and 8 returns bit-identical
+// X, F, and counters.
+func TestMultiStartWorkersBitIdentical(t *testing.T) {
+	b, err := NewBounds([]float64{-5.12, -5.12}, []float64{5.12, 5.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MultiStartConfig{Starts: 12, Bounds: b, Workers: 1}
+	ref, err := MultiStart(rastrigin2, nil, []float64{4, 4}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := MultiStart(rastrigin2, nil, []float64{4, 4}, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.F != ref.F {
+			t.Errorf("workers=%d: F = %v, want %v (bit-identical)", workers, got.F, ref.F)
+		}
+		for i := range ref.X {
+			if got.X[i] != ref.X[i] {
+				t.Errorf("workers=%d: X[%d] = %v, want %v (bit-identical)", workers, i, got.X[i], ref.X[i])
+			}
+		}
+		if got.Iterations != ref.Iterations || got.FuncEvals != ref.FuncEvals {
+			t.Errorf("workers=%d: counters (%d iters, %d evals), want (%d, %d)",
+				workers, got.Iterations, got.FuncEvals, ref.Iterations, ref.FuncEvals)
+		}
+		if got.Status != ref.Status {
+			t.Errorf("workers=%d: status %v, want %v", workers, got.Status, ref.Status)
+		}
+	}
+}
+
+// TestMultiStartParallelPanicFailsOnlyThatStart plants a panic in one
+// region of the search box; starts landing there must fail individually
+// while the others still produce the winner.
+func TestMultiStartParallelPanicFailsOnlyThatStart(t *testing.T) {
+	b, err := NewBounds([]float64{-10}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var panics atomic.Int64
+	obj := func(x []float64) float64 {
+		if x[0] > 5 {
+			panics.Add(1)
+			panic("poisoned region")
+		}
+		return (x[0] + 3) * (x[0] + 3)
+	}
+	r, err := MultiStart(obj, nil, nil, MultiStartConfig{Starts: 12, Bounds: b, Workers: 4})
+	if err != nil {
+		t.Fatalf("multistart with poisoned region: %v", err)
+	}
+	if panics.Load() == 0 {
+		t.Fatal("test never hit the poisoned region; widen it")
+	}
+	if math.Abs(r.X[0]+3) > 1e-3 {
+		t.Errorf("X = %v, want -3", r.X)
+	}
+}
+
+// TestMultiStartParallelAllPanic surfaces the first panic when every
+// start fails, at any worker count.
+func TestMultiStartParallelAllPanic(t *testing.T) {
+	b, err := NewBounds([]float64{-1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := func(x []float64) float64 { panic("always") }
+	for _, workers := range []int{1, 4} {
+		_, err := MultiStart(obj, nil, nil, MultiStartConfig{Starts: 6, Bounds: b, Workers: workers})
+		if !errors.Is(err, ErrOptimizerPanic) {
+			t.Errorf("workers=%d: err = %v, want ErrOptimizerPanic", workers, err)
+		}
+	}
+}
+
+// TestMultiStartParallelCancellationHammer cancels mid-parallel-solve
+// over and over; under -race this doubles as the data-race hammer for
+// the worker pool. Every outcome must be either a clean result or a
+// wrapped cancellation, never a hang or a torn counter.
+func TestMultiStartParallelCancellationHammer(t *testing.T) {
+	b, err := NewBounds([]float64{-5.12, -5.12, -5.12}, []float64{5.12, 5.12, 5.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := func(x []float64) float64 {
+		time.Sleep(20 * time.Microsecond) // keep workers mid-flight at cancel time
+		return rastrigin2(x)
+	}
+	const rounds = 30
+	var wg sync.WaitGroup
+	for round := 0; round < rounds; round++ {
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(),
+				time.Duration(50+round*37)*time.Microsecond)
+			defer cancel()
+			r, err := MultiStartCtx(ctx, slow, nil, nil, MultiStartConfig{
+				Starts: 8, Bounds: b, Workers: 4,
+				Local: Options{MaxIterations: 200},
+			})
+			if err == nil {
+				if r.FuncEvals <= 0 {
+					t.Errorf("round %d: clean result with no evals", round)
+				}
+				return
+			}
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Errorf("round %d: unexpected error: %v", round, err)
+			}
+		}(round)
+	}
+	wg.Wait()
+}
+
+// TestMultiStartWorkersCapped ensures a worker count beyond the start
+// count still solves correctly (pool is clamped to len(starts)).
+func TestMultiStartWorkersCapped(t *testing.T) {
+	b, err := NewBounds([]float64{-10}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := func(x []float64) float64 { return (x[0] - 1) * (x[0] - 1) }
+	r, err := MultiStart(obj, nil, nil, MultiStartConfig{Starts: 3, Bounds: b, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-4 {
+		t.Errorf("X = %v, want 1", r.X)
+	}
+}

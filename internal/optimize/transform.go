@@ -63,6 +63,15 @@ func (b Bounds) Len() int { return len(b.Lo) }
 //   - neither finite:     identity
 func (b Bounds) Decode(z []float64) []float64 {
 	x := make([]float64, len(z))
+	b.DecodeInto(x, z)
+	return x
+}
+
+// DecodeInto is Decode writing into a caller-provided destination, so the
+// optimizer hot path can map internal points into the box without a
+// per-evaluation allocation. dst and z must have the bounds' length; dst
+// may alias z.
+func (b Bounds) DecodeInto(dst, z []float64) {
 	for i, zi := range z {
 		lo, hi := b.Lo[i], b.Hi[i]
 		loFin, hiFin := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
@@ -72,16 +81,15 @@ func (b Bounds) Decode(z []float64) []float64 {
 			// internal values cannot saturate onto the boundary in
 			// floating point.
 			p := math.Min(math.Max(logistic(zi), 1e-12), 1-1e-12)
-			x[i] = lo + (hi-lo)*p
+			dst[i] = lo + (hi-lo)*p
 		case loFin:
-			x[i] = lo + expFloor(zi, lo)
+			dst[i] = lo + expFloor(zi, lo)
 		case hiFin:
-			x[i] = hi - expFloor(zi, hi)
+			dst[i] = hi - expFloor(zi, hi)
 		default:
-			x[i] = zi
+			dst[i] = zi
 		}
 	}
-	return x
 }
 
 // expFloor is exp(z) bounded below so that anchor ± exp(z) stays strictly
@@ -100,6 +108,13 @@ func expFloor(z, anchor float64) float64 {
 // first so that starting points on a boundary remain usable.
 func (b Bounds) Encode(x []float64) []float64 {
 	z := make([]float64, len(x))
+	b.EncodeInto(z, x)
+	return z
+}
+
+// EncodeInto is Encode writing into a caller-provided destination (see
+// DecodeInto). dst and x must have the bounds' length; dst may alias x.
+func (b Bounds) EncodeInto(dst, x []float64) {
 	for i, xi := range x {
 		lo, hi := b.Lo[i], b.Hi[i]
 		loFin, hiFin := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
@@ -107,24 +122,23 @@ func (b Bounds) Encode(x []float64) []float64 {
 		case loFin && hiFin:
 			width := hi - lo
 			p := (nudge(xi, lo, hi) - lo) / width
-			z[i] = math.Log(p / (1 - p))
+			dst[i] = math.Log(p / (1 - p))
 		case loFin:
 			d := xi - lo
 			if d <= 0 {
 				d = 1e-8 * math.Max(1, math.Abs(lo))
 			}
-			z[i] = math.Log(d)
+			dst[i] = math.Log(d)
 		case hiFin:
 			d := hi - xi
 			if d <= 0 {
 				d = 1e-8 * math.Max(1, math.Abs(hi))
 			}
-			z[i] = math.Log(d)
+			dst[i] = math.Log(d)
 		default:
-			z[i] = xi
+			dst[i] = xi
 		}
 	}
-	return z
 }
 
 // Contains reports whether x lies strictly inside the box.

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"resilience/internal/telemetry"
+	"resilience/internal/timeseries"
+)
+
+// The fit cache sits in front of the fitting pipeline on /v1/fit,
+// /v1/predict, /v1/metrics, and /v1/forecast. Fitting is pure: the same
+// series, model, and configuration always produce the same result (the
+// multistart driver is deterministic by construction), so a bounded LRU
+// keyed by a digest of the request's fitting inputs turns repeat traffic
+// — dashboards re-polling the same incident curve, notebooks re-running
+// a cell — from a ~100 ms optimizer run into a map lookup.
+
+func init() {
+	telemetry.RegisterFamily("resil_fit_cache_hits_total", "counter",
+		"Fit-pipeline requests answered from the server fit cache.")
+	telemetry.RegisterFamily("resil_fit_cache_misses_total", "counter",
+		"Fit-pipeline requests that ran the optimizer (cache miss or cache disabled entries stored).")
+	telemetry.RegisterFamily("resil_fit_cache_entries", "gauge",
+		"Entries currently resident in the server fit cache.")
+}
+
+var (
+	cacheHits   = telemetry.GetOrCreateCounter("resil_fit_cache_hits_total")
+	cacheMisses = telemetry.GetOrCreateCounter("resil_fit_cache_misses_total")
+)
+
+// cacheKey is the SHA-256 digest of one request's fitting inputs.
+type cacheKey [sha256.Size]byte
+
+// fitCacheKey canonicalizes the fitting inputs into a digest: the
+// operation kind (validate vs plain fit — their results have different
+// types), the model name, the full series (times and values as raw
+// float64 bits, length-prefixed so concatenations cannot collide), and
+// any extra fit-config scalars the operation depends on (e.g. the
+// validation train fraction).
+func fitCacheKey(op, model string, series *timeseries.Series, extra ...float64) cacheKey {
+	h := sha256.New()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeStr(op)
+	writeStr(model)
+	binary.LittleEndian.PutUint64(buf[:], uint64(series.Len()))
+	h.Write(buf[:])
+	for i := 0; i < series.Len(); i++ {
+		writeF(series.Time(i))
+		writeF(series.Value(i))
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(extra)))
+	h.Write(buf[:])
+	for _, v := range extra {
+		writeF(v)
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// fitCache is a bounded, mutex-guarded LRU. Values are stored as-is and
+// returned to concurrent readers, so everything cached must be treated
+// as immutable after insertion; the fit pipeline's results (FitResult,
+// Validation, DegradeInfo) are never mutated by handlers.
+type fitCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	byKey   map[cacheKey]*list.Element
+	entries *telemetry.Gauge
+}
+
+// cacheSlot is one LRU node.
+type cacheSlot struct {
+	key cacheKey
+	val any
+}
+
+// newFitCache returns a cache bounded to max entries, or nil (fully
+// disabled) when max <= 0. A nil *fitCache is safe to use: get always
+// misses and put is a no-op, so handlers need no branching.
+func newFitCache(max int) *fitCache {
+	if max <= 0 {
+		return nil
+	}
+	return &fitCache{
+		max:     max,
+		ll:      list.New(),
+		byKey:   make(map[cacheKey]*list.Element, max),
+		entries: telemetry.GetOrCreateGauge("resil_fit_cache_entries"),
+	}
+}
+
+// get returns the cached value for k and whether it was present,
+// updating recency and the hit/miss counters.
+func (c *fitCache) get(k cacheKey) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		cacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	cacheHits.Inc()
+	return el.Value.(*cacheSlot).val, true
+}
+
+// put inserts v under k, evicting the least recently used entry when the
+// cache is full. Re-inserting an existing key refreshes its value and
+// recency.
+func (c *fitCache) put(k cacheKey, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheSlot).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheSlot{key: k, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheSlot).key)
+	}
+	c.entries.Set(float64(c.ll.Len()))
+}
+
+// len reports the resident entry count.
+func (c *fitCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -11,6 +11,12 @@
 // progressively simpler model families (see core.FallbackPolicy),
 // annotating the response instead of erroring.
 //
+// Fitting requests can be served from a bounded LRU fit cache
+// (Config.FitCacheSize / the -fit-cache-size flag) keyed by a SHA-256
+// digest of the canonicalized series, model, and fit configuration;
+// cached responses carry "cached": true and hit/miss counts are exposed
+// on GET /metrics.
+//
 // Endpoints:
 //
 //	GET  /healthz                 liveness probe
@@ -93,6 +99,13 @@ type Config struct {
 	// /debug/pprof/. Off by default: the profiles leak implementation
 	// detail and cost CPU, so they are opt-in (the -pprof server flag).
 	EnablePprof bool
+	// FitCacheSize bounds the server fit cache (entries), an LRU keyed by
+	// a SHA-256 digest of the canonicalized series, model name, and fit
+	// configuration that fronts the optimizer on /v1/fit, /v1/predict,
+	// /v1/metrics, and /v1/forecast. 0 disables caching (the -fit-cache-size
+	// server flag sets it). Only successful outcomes are cached; errors
+	// and cancellations always re-run.
+	FitCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +121,8 @@ func (c Config) withDefaults() Config {
 
 // api carries per-handler configuration.
 type api struct {
-	cfg Config
+	cfg   Config
+	cache *fitCache // nil when caching is disabled
 }
 
 func (a *api) policy() core.FallbackPolicy { return a.cfg.Fallback }
@@ -121,6 +135,7 @@ func Handler() http.Handler { return NewHandler(Config{}) }
 // request logging, request counters) installed.
 func NewHandler(cfg Config) http.Handler {
 	a := &api{cfg: cfg.withDefaults()}
+	a.cache = newFitCache(a.cfg.FitCacheSize)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /readyz", a.handleReady)
@@ -458,9 +473,12 @@ func lookupModel(name string) (core.Model, error) {
 }
 
 // degradeBody annotates fit-family responses with the degradation-chain
-// outcome; Degraded is always present so clients can branch on it.
+// outcome; Degraded and Cached are always present so clients can branch
+// on them. Cached is true when the response was served from the server
+// fit cache instead of running the optimizer.
 type degradeBody struct {
 	Degraded          bool   `json:"degraded"`
+	Cached            bool   `json:"cached"`
 	RequestedModel    string `json:"requested_model,omitempty"`
 	FallbackModel     string `json:"fallback_model,omitempty"`
 	DegradationReason string `json:"degradation_reason,omitempty"`
@@ -478,6 +496,67 @@ func degradeFields(info *core.DegradeInfo) degradeBody {
 		db.DegradationReason = info.Reason
 	}
 	return db
+}
+
+// validateOutcome and fitOutcome are the units stored in the fit cache.
+// They carry the degradation annotation alongside the result so a cached
+// response reports the same degraded/fallback fields as the original.
+type validateOutcome struct {
+	v    *core.Validation
+	info *core.DegradeInfo
+}
+
+type fitOutcome struct {
+	fit  *core.FitResult
+	info *core.DegradeInfo
+}
+
+// markCached annotates the request's structured log line with the
+// cache-hit outcome; the monitor fit counters are deliberately left
+// untouched, so /v1/stats keeps counting actual optimizer work.
+func markCached(r *http.Request) {
+	if meta := metaFrom(r.Context()); meta != nil {
+		meta.outcome = "cached"
+	}
+}
+
+// cachedValidate runs the validation pipeline (ValidateWithFallback)
+// through the fit cache. The reported bool is true on a cache hit. Only
+// successful outcomes are stored: errors, cancellations, and timeouts
+// must re-run, not replay.
+func (a *api) cachedValidate(r *http.Request, m core.Model, series *timeseries.Series, trainFraction float64) (*core.Validation, *core.DegradeInfo, bool, error) {
+	key := fitCacheKey("validate", m.Name(), series, trainFraction)
+	if hit, ok := a.cache.get(key); ok {
+		o := hit.(*validateOutcome)
+		markCached(r)
+		return o.v, o.info, true, nil
+	}
+	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
+		core.ValidateConfig{TrainFraction: trainFraction}, a.policy())
+	recordFitOutcome(r, info, err)
+	if err == nil {
+		a.cache.put(key, &validateOutcome{v: v, info: info})
+	}
+	return v, info, false, err
+}
+
+// cachedFit is cachedValidate for the plain-fit pipeline
+// (FitWithFallback), shared by /v1/predict and /v1/forecast — the two
+// endpoints fit identically, so a predict can warm the cache for a
+// forecast of the same series and vice versa.
+func (a *api) cachedFit(r *http.Request, m core.Model, series *timeseries.Series) (*core.FitResult, *core.DegradeInfo, bool, error) {
+	key := fitCacheKey("fit", m.Name(), series)
+	if hit, ok := a.cache.get(key); ok {
+		o := hit.(*fitOutcome)
+		markCached(r)
+		return o.fit, o.info, true, nil
+	}
+	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
+	recordFitOutcome(r, info, err)
+	if err == nil {
+		a.cache.put(key, &fitOutcome{fit: fit, info: info})
+	}
+	return fit, info, false, err
 }
 
 // recordFitOutcome updates the monitor counters and the per-request log
@@ -543,13 +622,13 @@ func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
-		core.ValidateConfig{TrainFraction: req.TrainFraction}, a.policy())
-	recordFitOutcome(r, info, err)
+	v, info, cached, err := a.cachedValidate(r, m, series, req.TrainFraction)
 	if err != nil {
 		writeFitErr(w, r, err)
 		return
 	}
+	db := degradeFields(info)
+	db.Cached = cached
 	writeJSON(w, http.StatusOK, fitResponse{
 		Model:      v.Fit.Model.Name(),
 		ParamNames: v.Fit.Model.ParamNames(),
@@ -563,7 +642,7 @@ func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
 			"bic":   v.GoF.BIC,
 		},
 		EC:          v.EC,
-		degradeBody: degradeFields(info),
+		degradeBody: db,
 	})
 }
 
@@ -585,8 +664,7 @@ func (a *api) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
-	recordFitOutcome(r, info, err)
+	fit, info, cached, err := a.cachedFit(r, m, series)
 	if err != nil {
 		writeFitErr(w, r, err)
 		return
@@ -601,13 +679,15 @@ func (a *api) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if level == 0 {
 		level = 1
 	}
+	db := degradeFields(info)
+	db.Cached = cached
 	resp := predictResponse{
 		Model:         fit.Model.Name(),
 		MinimumTime:   td,
 		MinimumValue:  fit.Eval(td),
 		RecoveryLevel: level,
 		RecoveryTime:  math.NaN(),
-		degradeBody:   degradeFields(info),
+		degradeBody:   db,
 	}
 	if tr, err := core.RecoveryTime(fit, level, horizon); err == nil {
 		resp.RecoveryTime = tr
@@ -643,9 +723,7 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
-		core.ValidateConfig{TrainFraction: req.TrainFraction}, a.policy())
-	recordFitOutcome(r, info, err)
+	v, info, cached, err := a.cachedValidate(r, m, series, req.TrainFraction)
 	if err != nil {
 		writeFitErr(w, r, err)
 		return
@@ -655,7 +733,9 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
-	out := metricsResponse{Model: v.Fit.Model.Name(), degradeBody: degradeFields(info)}
+	db := degradeFields(info)
+	db.Cached = cached
+	out := metricsResponse{Model: v.Fit.Model.Name(), degradeBody: db}
 	for _, row := range rows {
 		out.Metrics = append(out.Metrics, metricComparisonBody{
 			Name:          row.Kind.String(),
@@ -693,8 +773,7 @@ func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
-	recordFitOutcome(r, info, err)
+	fit, info, cached, err := a.cachedFit(r, m, series)
 	if err != nil {
 		writeFitErr(w, r, err)
 		return
@@ -712,11 +791,13 @@ func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
+	db := degradeFields(info)
+	db.Cached = cached
 	writeJSON(w, http.StatusOK, forecastResponse{
 		Model: fit.Model.Name(),
 		Times: fc.Times, Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper,
 		Sigma:       fc.Sigma,
-		degradeBody: degradeFields(info),
+		degradeBody: db,
 	})
 }
 
