@@ -3,15 +3,31 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check chaos bench bench-compare bench-all fuzz cover report clean
+.PHONY: all build vet lint-dispatch test test-short check chaos bench bench-compare bench-all fuzz cover report clean
 
-all: build vet test
+all: build vet lint-dispatch test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The model registry (internal/registry) is the single definition site
+# for model construction and name dispatch. This gate fails if a core
+# model literal or a name switch reappears in any transport, example, or
+# internal layer — internal/core (the definitions and their own tests)
+# and internal/registry (the registration site) are the only exceptions.
+lint-dispatch:
+	@bad=$$(grep -rn --include='*.go' \
+		--exclude-dir=core --exclude-dir=registry \
+		-E 'QuadraticModel\{\}|CompetingRisksModel\{\}|ExpBathtubModel\{\}|StandardMixtures\(\)|case "quadratic"' \
+		cmd examples internal || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-dispatch: model literals outside internal/registry (use registry.Lookup):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "lint-dispatch: ok (model dispatch confined to internal/registry)"
 
 test:
 	$(GO) test ./...
@@ -23,6 +39,7 @@ test-short:
 # race detector.
 check:
 	$(GO) vet ./...
+	$(MAKE) lint-dispatch
 	$(GO) test -race ./...
 
 # Chaos suite only: concurrent hostile requests (malformed, oversized,

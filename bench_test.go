@@ -21,6 +21,7 @@ import (
 	"resilience/internal/experiment"
 	"resilience/internal/optimize"
 	"resilience/internal/quadrature"
+	"resilience/internal/registry"
 )
 
 // _logOnce ensures each artifact's rendered text is logged a single time
@@ -206,7 +207,7 @@ func BenchmarkAblationPolish(b *testing.B) {
 // agreement and measuring the cost gap.
 func BenchmarkAblationAUC(b *testing.B) {
 	params := []float64{1, 0.4, 0.002}
-	m := core.CompetingRisksModel{}
+	m := registry.MustLookup("competing-risks").Model.(core.AreaModel)
 	b.Run("closed-form", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := m.Area(params, 0, 47); err != nil {
@@ -238,7 +239,7 @@ func BenchmarkAblationAUC(b *testing.B) {
 // BenchmarkAblationRecovery compares the closed-form recovery times of
 // Eqs. (2)/(5) against Brent root finding on the same curve.
 func BenchmarkAblationRecovery(b *testing.B) {
-	m := core.CompetingRisksModel{}
+	m := registry.MustLookup("competing-risks").Model.(core.RecoveryModel)
 	params := []float64{1, 0.4, 0.002}
 	fit := &core.FitResult{Model: m, Params: params}
 	b.Run("closed-form", func(b *testing.B) {
@@ -359,7 +360,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := core.CompetingRisksModel{}
+	m := registry.MustLookup("competing-risks").Model
 	times := rec.Series.Times()
 	values := rec.Series.Values()
 	obj := func(params []float64) float64 {

@@ -10,14 +10,23 @@
 //	resil fit -model competing-risks -dataset 1990-93
 //	resil predict -model quadratic -dataset 2001-05 -level 1.0
 //	resil metrics -model weibull-exp -dataset 1990-93
+//	resil batch -datasets 1990-93,2020-21 -models quad,hjorth
 //	resil table 1|2|3|4                          reproduce a paper table
 //	resil figure 1|2|3|4|5|6                     reproduce a paper figure
 //	resil generate -shape V -months 48           emit a synthetic recession as CSV
+//
+// Model names resolve through the central registry (internal/registry),
+// so every canonical name and alias the HTTP API accepts works here too,
+// and the fit-family subcommands run the same transport-agnostic service
+// pipeline (internal/service) the server uses — including the
+// degradation chain, which annotates output instead of failing when a
+// requested model will not converge.
 //
 // Data for -dataset may also be a CSV file path with time,value rows.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -28,7 +37,9 @@ import (
 	"resilience/internal/dataset"
 	"resilience/internal/experiment"
 	"resilience/internal/monitor"
+	"resilience/internal/registry"
 	"resilience/internal/report"
+	"resilience/internal/service"
 	"resilience/internal/timeseries"
 )
 
@@ -55,6 +66,8 @@ func run(args []string) error {
 		return cmdPredict(args[1:])
 	case "metrics":
 		return cmdMetrics(args[1:])
+	case "batch":
+		return cmdBatch(args[1:])
 	case "table":
 		return cmdExperiment("table", args[1:])
 	case "figure":
@@ -83,7 +96,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `resil - predictive resilience modeling
+	fmt.Fprintf(os.Stderr, `resil - predictive resilience modeling
 
 subcommands:
   datasets            list built-in recession datasets
@@ -91,6 +104,7 @@ subcommands:
   fit                 fit a model (-model, -dataset)
   predict             predict recovery time (-model, -dataset, -level)
   metrics             interval-based resilience metrics (-model, -dataset)
+  batch               fit many dataset×model jobs concurrently (-datasets, -models)
   table N             reproduce paper table N (1-4)
   figure N            reproduce paper figure N (1-6)
   ext NAME            run an extension experiment (composite, selection)
@@ -101,36 +115,19 @@ subcommands:
   gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
   generate            emit a synthetic recession curve (-shape, -months)
 
-models: quadratic, competing-risks, exp-bathtub, exp-exp, weibull-exp,
-        exp-weibull, weibull-weibull
-`)
+models: %s
+        (aliases and any casing accepted; see internal/registry)
+`, strings.Join(registry.Names(), ", "))
 }
 
-// resolveModel maps a CLI name to a Model.
+// resolveModel maps a CLI name — canonical or alias, any casing — to a
+// Model through the central registry.
 func resolveModel(name string) (core.Model, error) {
-	switch strings.ToLower(name) {
-	case "quadratic", "quad":
-		return core.QuadraticModel{}, nil
-	case "competing-risks", "competing", "cr", "hjorth":
-		return core.CompetingRisksModel{}, nil
-	case "exp-bathtub":
-		return core.ExpBathtubModel{}, nil
+	e, err := registry.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
-	aliases := map[string]string{
-		"exp-exp": "exp-exp", "wei-exp": "weibull-exp", "weibull-exp": "weibull-exp",
-		"exp-wei": "exp-weibull", "exp-weibull": "exp-weibull",
-		"wei-wei": "weibull-weibull", "weibull-weibull": "weibull-weibull",
-	}
-	canonical, ok := aliases[strings.ToLower(name)]
-	if !ok {
-		return nil, fmt.Errorf("unknown model %q", name)
-	}
-	for _, m := range core.StandardMixtures() {
-		if m.Name() == canonical {
-			return m, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown model %q", name)
+	return e.Model, nil
 }
 
 // resolveSeries loads a named built-in dataset or a CSV file path.
@@ -198,22 +195,23 @@ func cmdFit(args []string) error {
 	if *dataName == "" {
 		return fmt.Errorf("fit: -dataset required")
 	}
-	m, err := resolveModel(*modelName)
-	if err != nil {
-		return err
-	}
 	data, label, err := resolveSeries(*dataName)
 	if err != nil {
 		return err
 	}
-	v, err := core.Validate(m, data, core.ValidateConfig{TrainFraction: *trainFrac, Alpha: *alpha})
+	out, err := service.New(service.Config{}).Fit(context.Background(), service.Request{
+		Model: *modelName, Series: data, TrainFraction: *trainFrac, CIAlpha: *alpha,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("model %s fit to %s (train %d / test %d)\n\n",
-		m.Name(), label, v.Train.Len(), v.Test.Len())
+	v := out.Validation
+	fmt.Printf("model %s fit to %s (train %d / test %d)\n",
+		v.Fit.Model.Name(), label, v.Train.Len(), v.Test.Len())
+	printDegrade(out.Degrade)
+	fmt.Println()
 	ptbl := report.NewTable("parameter", "estimate")
-	for i, pname := range m.ParamNames() {
+	for i, pname := range v.Fit.Model.ParamNames() {
 		ptbl.MustAddRow(pname, fmt.Sprintf("%.8g", v.Fit.Params[i]))
 	}
 	fmt.Print(ptbl.String())
@@ -245,31 +243,24 @@ func cmdPredict(args []string) error {
 	if *dataName == "" {
 		return fmt.Errorf("predict: -dataset required")
 	}
-	m, err := resolveModel(*modelName)
-	if err != nil {
-		return err
-	}
 	data, label, err := resolveSeries(*dataName)
 	if err != nil {
 		return err
 	}
-	fit, err := core.Fit(m, data, core.FitConfig{})
+	out, err := service.New(service.Config{}).Predict(context.Background(), service.Request{
+		Model: *modelName, Series: data, Level: *level,
+	})
 	if err != nil {
 		return err
 	}
-	_, horizon := data.Span()
-	td, err := core.ModelMinimum(fit, horizon)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("dataset %s, model %s\n", label, m.Name())
+	fmt.Printf("dataset %s, model %s\n", label, out.Fit.Model.Name())
+	printDegrade(out.Degrade)
 	fmt.Printf("predicted time of minimum performance: t = %.2f (level %.5f)\n",
-		td, fit.Eval(td))
-	tr, err := core.RecoveryTime(fit, *level, horizon)
-	if err != nil {
-		return fmt.Errorf("recovery to %.4f: %w", *level, err)
+		out.MinimumTime, out.MinimumValue)
+	if !out.RecoveryReached {
+		return fmt.Errorf("recovery to %.4f: %s", out.RecoveryLevel, out.RecoveryErr)
 	}
-	fmt.Printf("predicted recovery to %.4f: t = %.2f\n", *level, tr)
+	fmt.Printf("predicted recovery to %.4f: t = %.2f\n", out.RecoveryLevel, out.RecoveryTime)
 	return nil
 }
 
@@ -285,32 +276,115 @@ func cmdMetrics(args []string) error {
 	if *dataName == "" {
 		return fmt.Errorf("metrics: -dataset required")
 	}
-	m, err := resolveModel(*modelName)
-	if err != nil {
-		return err
-	}
 	data, label, err := resolveSeries(*dataName)
 	if err != nil {
 		return err
 	}
-	v, err := core.Validate(m, data, core.ValidateConfig{})
+	out, err := service.New(service.Config{}).Metrics(context.Background(), service.Request{
+		Model: *modelName, Series: data,
+		MetricsWeight: *alphaW, MetricsContinuous: *continuous,
+	})
 	if err != nil {
 		return err
 	}
-	cfg := core.MetricsConfig{Alpha: *alphaW}
-	if *continuous {
-		cfg.Mode = core.Continuous
-	}
-	rows, err := core.CompareMetrics(v, data, cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("interval-based resilience metrics: %s on %s\n\n", m.Name(), label)
+	fmt.Printf("interval-based resilience metrics: %s on %s\n", out.Validation.Fit.Model.Name(), label)
+	printDegrade(out.Degrade)
+	fmt.Println()
 	tbl := report.NewTable("metric", "actual", "predicted", "rel. error")
-	for _, r := range rows {
+	for _, r := range out.Rows {
 		tbl.MustAddRow(r.Kind.String(), report.F(r.Actual), report.F(r.Predicted), report.F(r.RelErr))
 	}
 	fmt.Print(tbl.String())
+	return nil
+}
+
+// printDegrade notes a degradation-chain outcome on CLI output, mirroring
+// the server's degraded/fallback_model response fields.
+func printDegrade(info *core.DegradeInfo) {
+	if info == nil || !info.Degraded {
+		return
+	}
+	if info.FallbackUsed {
+		fmt.Printf("note: requested model %s did not converge; fell back to %s (%s)\n",
+			info.RequestedModel, info.UsedModel, info.Reason)
+		return
+	}
+	fmt.Printf("note: fit degraded: %s\n", info.Reason)
+}
+
+// cmdBatch fits every dataset×model combination concurrently through the
+// shared service worker pool — the CLI twin of POST /v1/batch.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	dataNames := fs.String("datasets", "", "comma-separated dataset names or CSV paths")
+	modelNames := fs.String("models", strings.Join(registry.Names(), ","), "comma-separated model names (default: all)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = min(jobs, GOMAXPROCS))")
+	trainFrac := fs.Float64("train", 0.9, "training fraction for validation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataNames == "" {
+		return fmt.Errorf("batch: -datasets required")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("batch: -workers must be non-negative")
+	}
+
+	type jobMeta struct{ dataset, model string }
+	var jobs []service.Request
+	var metas []jobMeta
+	for _, dn := range strings.Split(*dataNames, ",") {
+		dn = strings.TrimSpace(dn)
+		if dn == "" {
+			continue
+		}
+		data, label, err := resolveSeries(dn)
+		if err != nil {
+			return err
+		}
+		for _, mn := range strings.Split(*modelNames, ",") {
+			mn = strings.TrimSpace(mn)
+			if mn == "" {
+				continue
+			}
+			jobs = append(jobs, service.Request{Model: mn, Series: data, TrainFraction: *trainFrac})
+			metas = append(metas, jobMeta{dataset: label, model: mn})
+		}
+	}
+
+	svc := service.New(service.Config{FitCacheSize: len(jobs)})
+	items, err := svc.Batch(context.Background(), jobs, *workers)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("batch: %d jobs on %d workers\n\n",
+		len(jobs), service.EffectiveWorkers(*workers, len(jobs)))
+	tbl := report.NewTable("dataset", "model", "fit", "PMSE", "r2adj", "status")
+	failed := 0
+	for i, item := range items {
+		meta := metas[i]
+		if item.Err != nil {
+			failed++
+			tbl.MustAddRow(meta.dataset, meta.model, "-", "-", "-", "error: "+item.Err.Error())
+			continue
+		}
+		v := item.Outcome.Validation
+		status := "ok"
+		if info := item.Outcome.Degrade; info != nil && info.Degraded {
+			if info.FallbackUsed {
+				status = "fallback"
+			} else {
+				status = "retried"
+			}
+		}
+		tbl.MustAddRow(meta.dataset, meta.model, v.Fit.Model.Name(),
+			report.F(v.GoF.PMSE), report.F(v.GoF.R2Adj), status)
+	}
+	fmt.Print(tbl.String())
+	if failed > 0 {
+		return fmt.Errorf("batch: %d/%d jobs failed", failed, len(jobs))
+	}
 	return nil
 }
 
@@ -409,15 +483,7 @@ func cmdSelect(args []string) error {
 	if err != nil {
 		return err
 	}
-	candidates := []core.Model{
-		core.QuadraticModel{},
-		core.CompetingRisksModel{},
-		core.ExpBathtubModel{},
-	}
-	for _, m := range core.StandardMixtures() {
-		candidates = append(candidates, m)
-	}
-	sel, err := core.SelectModel(candidates, data, core.SelectConfig{Criterion: crit})
+	sel, err := core.SelectModel(registry.Models(), data, core.SelectConfig{Criterion: crit})
 	if err != nil {
 		return err
 	}

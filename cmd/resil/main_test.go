@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"resilience/internal/registry"
 )
 
 func TestResolveModel(t *testing.T) {
@@ -36,6 +38,25 @@ func TestResolveModel(t *testing.T) {
 	}
 	if _, err := resolveModel("nope"); err == nil {
 		t.Error("unknown model: want error")
+	}
+}
+
+// Every registry name and alias must resolve through the CLI, in any
+// casing — the CLI and the HTTP API accept the same vocabulary.
+func TestResolveModelCoversRegistry(t *testing.T) {
+	for _, e := range registry.All() {
+		for _, name := range append([]string{e.Name}, e.Aliases...) {
+			for _, variant := range []string{name, strings.ToUpper(name)} {
+				m, err := resolveModel(variant)
+				if err != nil {
+					t.Errorf("resolveModel(%q): %v", variant, err)
+					continue
+				}
+				if m.Name() != e.Name {
+					t.Errorf("resolveModel(%q) = %s, want %s", variant, m.Name(), e.Name)
+				}
+			}
+		}
 	}
 }
 
@@ -90,6 +111,7 @@ func TestRunSubcommands(t *testing.T) {
 		{"fit", "-model", "quadratic", "-dataset", "1990-93"},
 		{"predict", "-model", "competing-risks", "-dataset", "1990-93"},
 		{"metrics", "-model", "wei-exp", "-dataset", "1990-93"},
+		{"batch", "-datasets", "1990-93,2020-21", "-models", "quad,hjorth", "-workers", "2"},
 		{"generate", "-shape", "W", "-months", "36"},
 		{"figure", "1", "-svg", figPath},
 		{"report", "-o", filepath.Join(filepath.Dir(figPath), "report.html")},
@@ -124,6 +146,9 @@ func TestRunErrors(t *testing.T) {
 		{"bootstrap"}, // missing -dataset
 		{"ext"},       // missing name
 		{"fit", "-model", "bogus", "-dataset", "1990-93"},
+		{"batch"}, // missing -datasets
+		{"batch", "-datasets", "1990-93", "-models", "bogus"},
+		{"batch", "-datasets", "1990-93", "-workers", "-2"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -33,11 +33,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Compare all four standard mixtures plus a custom Gamma-LogNormal
-	// variant; pick the best by PMSE on a held-out tail.
+	// Compare all four standard mixtures (enumerated from the model
+	// catalog) plus a custom Gamma-LogNormal variant; pick the best by
+	// PMSE on a held-out tail.
 	models := []resilience.Model{}
-	for _, m := range resilience.StandardMixtures() {
-		models = append(models, m)
+	for _, info := range resilience.ModelsByFamily(resilience.FamilyMixture) {
+		models = append(models, info.Model)
 	}
 	custom, err := resilience.NewMixture(resilience.GammaCDF(), resilience.LogNormalCDF(), resilience.LogTrend())
 	if err != nil {

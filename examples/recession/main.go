@@ -29,8 +29,8 @@ func main() {
 		resilience.Quadratic(),
 		resilience.CompetingRisks(),
 	}
-	for _, m := range resilience.StandardMixtures() {
-		models = append(models, m)
+	for _, info := range resilience.ModelsByFamily(resilience.FamilyMixture) {
+		models = append(models, info.Model)
 	}
 
 	fmt.Println("model               SSE         PMSE        r2adj     EC")

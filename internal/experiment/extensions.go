@@ -6,6 +6,7 @@ import (
 
 	"resilience/internal/core"
 	"resilience/internal/dataset"
+	"resilience/internal/registry"
 	"resilience/internal/report"
 )
 
@@ -30,18 +31,18 @@ func ExtensionComposite() (*Result, error) {
 	}
 	// The changepoint must sit between the two documented dips
 	// (recovery of dip 1 by month ~13, dip 2 onset month ~16).
-	compositeCR, err := core.NewComposite(core.CompetingRisksModel{}, core.CompetingRisksModel{}, 8, 22)
+	compositeCR, err := core.NewComposite(crModel, crModel, 8, 22)
 	if err != nil {
 		return nil, err
 	}
-	compositeQuad, err := core.NewComposite(core.QuadraticModel{}, core.QuadraticModel{}, 8, 22)
+	compositeQuad, err := core.NewComposite(quadModel, quadModel, 8, 22)
 	if err != nil {
 		return nil, err
 	}
 	models := []core.Model{
-		core.QuadraticModel{},
-		core.CompetingRisksModel{},
-		core.ExpBathtubModel{},
+		quadModel,
+		crModel,
+		expBModel,
 		compositeQuad,
 		compositeCR,
 	}
@@ -87,15 +88,10 @@ func ExtensionSelection(datasetName string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	candidates := []core.Model{
-		core.QuadraticModel{},
-		core.CompetingRisksModel{},
-		core.ExpBathtubModel{},
-	}
-	for _, m := range core.StandardMixtures() {
-		candidates = append(candidates, m)
-	}
-	sel, err := core.SelectModel(candidates, rec.Series, core.SelectConfig{
+	// The registry's registration order is exactly the paper menu: both
+	// bathtub hazards, the exponential-bathtub extension, then the four
+	// standard mixtures.
+	sel, err := core.SelectModel(registry.Models(), rec.Series, core.SelectConfig{
 		Criterion:  core.ByPMSE,
 		AlwaysCV:   true,
 		CVMinTrain: rec.Series.Len() * 3 / 4,

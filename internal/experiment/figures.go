@@ -24,7 +24,7 @@ type FigureFit struct {
 // recovery to degraded, nominal, or improved steady state at t_r.
 func Figure1() (*Result, error) {
 	// A competing-risks section provides the bathtub dip.
-	m := core.CompetingRisksModel{}
+	m := crModel
 	params := []float64{1, 0.6, 0.004}
 	during := func(t float64) float64 { return m.Eval(params, t) }
 
@@ -146,12 +146,12 @@ func trainSplit(s *timeseries.Series) int {
 
 // Figure3 reproduces Fig. 3: quadratic fit and 95% CI on 2001-05.
 func Figure3() (*Result, error) {
-	return fitFigure("fig3", "2001-05", []core.Model{core.QuadraticModel{}})
+	return fitFigure("fig3", "2001-05", []core.Model{quadModel})
 }
 
 // Figure4 reproduces Fig. 4: competing-risks fit and 95% CI on 1990-93.
 func Figure4() (*Result, error) {
-	return fitFigure("fig4", "1990-93", []core.Model{core.CompetingRisksModel{}})
+	return fitFigure("fig4", "1990-93", []core.Model{crModel})
 }
 
 // Figure5 reproduces Fig. 5: Weibull-Exponential mixture fit on 1990-93.

@@ -1,0 +1,20 @@
+package experiment
+
+import (
+	"resilience/internal/core"
+	"resilience/internal/registry"
+)
+
+// The experiment pipelines resolve the paper's models through the
+// registry — the single definition site — rather than constructing
+// core literals. The registry guarantees these names exist, so the
+// lookups cannot fail.
+var (
+	quadModel = registry.MustLookup("quadratic").Model
+	crModel   = registry.MustLookup("competing-risks").Model
+	expBModel = registry.MustLookup("exp-bathtub").Model
+)
+
+// standardMixtures is the registry's typed view of the paper's four
+// mixture combinations, in Table III column order.
+func standardMixtures() []*core.MixtureModel { return registry.Mixtures() }

@@ -33,11 +33,11 @@ func Table1() (*Result, error) {
 	var rows []Table1Row
 	tbl := report.NewTable("U.S. Recession", "n", "Measure", "Quadratic", "Competing Risks")
 	for _, rec := range recs {
-		quad, err := core.Validate(core.QuadraticModel{}, rec.Series, core.ValidateConfig{})
+		quad, err := core.Validate(quadModel, rec.Series, core.ValidateConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s quadratic: %w", rec.Name, err)
 		}
-		comp, err := core.Validate(core.CompetingRisksModel{}, rec.Series, core.ValidateConfig{})
+		comp, err := core.Validate(crModel, rec.Series, core.ValidateConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s competing: %w", rec.Name, err)
 		}
@@ -95,11 +95,11 @@ func Table2() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	quad, err := core.Validate(core.QuadraticModel{}, rec.Series, core.ValidateConfig{})
+	quad, err := core.Validate(quadModel, rec.Series, core.ValidateConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("table2 quadratic: %w", err)
 	}
-	comp, err := core.Validate(core.CompetingRisksModel{}, rec.Series, core.ValidateConfig{})
+	comp, err := core.Validate(crModel, rec.Series, core.ValidateConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("table2 competing: %w", err)
 	}
@@ -136,7 +136,7 @@ type Table3Row struct {
 // Wei-Exp, Exp-Wei, Wei-Wei) with a₂(t) = β·ln t validated on all seven
 // recessions.
 func Table3() (*Result, error) {
-	return mixtureValidation("table3", core.StandardMixtures())
+	return mixtureValidation("table3", standardMixtures())
 }
 
 // mixtureValidation runs the Table III pipeline for an arbitrary mixture
@@ -199,7 +199,7 @@ func Table4() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mixtures := core.StandardMixtures()
+	mixtures := standardMixtures()
 	headers := []string{"Metric", "Data"}
 	comparisons := make([][]core.MetricComparison, len(mixtures))
 	for i, m := range mixtures {

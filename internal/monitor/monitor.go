@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"resilience/internal/core"
+	"resilience/internal/registry"
 	"resilience/internal/timeseries"
 )
 
@@ -83,7 +84,7 @@ func (c Config) withDefaults() Config {
 		c.MinFitPoints = 6
 	}
 	if c.Model == nil {
-		c.Model = core.CompetingRisksModel{}
+		c.Model = registry.MustLookup("competing-risks").Model
 	}
 	if c.Fit.Starts <= 0 {
 		c.Fit.Starts = 4

@@ -5,7 +5,7 @@ import (
 	"math"
 	"testing"
 
-	"resilience/internal/core"
+	"resilience/internal/registry"
 	"resilience/internal/timeseries"
 )
 
@@ -180,7 +180,7 @@ func TestObserveSeries(t *testing.T) {
 }
 
 func TestTrackerWithCustomModel(t *testing.T) {
-	tr := NewTracker(Config{Model: core.QuadraticModel{}})
+	tr := NewTracker(Config{Model: registry.MustLookup("quadratic").Model})
 	vals := vCurve(2, 30, 0.05)
 	var sawFit bool
 	for i, v := range vals {

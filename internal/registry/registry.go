@@ -1,0 +1,276 @@
+// Package registry is the single definition site for the model families
+// the system serves. Every family — the two bathtub hazards, the
+// four-parameter exponential bathtub extension, and the paper's four
+// mixture combinations — is registered exactly once, with its canonical
+// name, accepted aliases, parameter metadata, capability flags, and its
+// position in the default degradation chain. Every other layer (the
+// HTTP server, the CLIs, the experiment harness, the public facade)
+// resolves models through Lookup instead of keeping its own dispatch
+// switch, so adding a model family is a one-file change: register it
+// here and it becomes fit-able over HTTP, from the command line, in
+// batch jobs, and in the selection/experiment pipelines.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"resilience/internal/core"
+)
+
+// Model families.
+const (
+	// FamilyBathtub groups the bathtub-shaped hazard models of Sec. II-A
+	// (quadratic, competing-risks) and the exponential-bathtub extension.
+	FamilyBathtub = "bathtub"
+	// FamilyMixture groups the Sec. II-B mixture-distribution models.
+	FamilyMixture = "mixture"
+)
+
+// Capabilities flags which closed-form shortcuts a model family
+// implements; absent capabilities fall back to numeric routines
+// (quadrature, root finding, grid search) in core.
+type Capabilities struct {
+	// ClosedFormArea: ∫P(t)dt has a closed form (core.AreaModel).
+	ClosedFormArea bool `json:"closed_form_area"`
+	// ClosedFormRecovery: the recovery time solves in closed form
+	// (core.RecoveryModel).
+	ClosedFormRecovery bool `json:"closed_form_recovery"`
+	// ClosedFormMinimum: the time of minimum performance solves in closed
+	// form (core.MinimumModel).
+	ClosedFormMinimum bool `json:"closed_form_minimum"`
+}
+
+// Entry is one registered model family.
+type Entry struct {
+	// Name is the canonical identifier, equal to Model.Name().
+	Name string
+	// Aliases are alternative spellings accepted by Lookup; they never
+	// appear in responses or cache keys.
+	Aliases []string
+	// Family is FamilyBathtub or FamilyMixture.
+	Family string
+	// Description is a one-line summary for catalogs (/v1/models, CLI).
+	Description string
+	// Model is the shared, stateless model value. Core models are safe
+	// for concurrent use, so one value serves every fit.
+	Model core.Model
+	// ParamNames mirrors Model.ParamNames() for metadata consumers that
+	// must not construct models.
+	ParamNames []string
+	// Caps flags the closed-form capabilities, derived from the interfaces
+	// the model implements.
+	Caps Capabilities
+	// FallbackRank orders the default degradation chain: rank 1 is tried
+	// first when a requested model will not converge; 0 means the family
+	// is not part of the chain.
+	FallbackRank int
+}
+
+// entries holds registrations in registration order; index maps every
+// lowercased canonical name and alias to its position. Both are written
+// only during package init and read-only afterwards, so no locking is
+// needed.
+var (
+	entries []Entry
+	index   = make(map[string]int)
+)
+
+// Register adds a model family to the registry. The canonical name is
+// taken from m.Model.Name(); names and aliases are case-insensitive and
+// must be unique across the registry. Register is intended to run from
+// package init (this file's); it is exported so future families
+// (neural-network predictors, extended-exponential damage models) can
+// live in their own file and self-register.
+func Register(e Entry) error {
+	if e.Model == nil {
+		return fmt.Errorf("registry: entry %q has a nil model", e.Name)
+	}
+	if e.Name != e.Model.Name() {
+		return fmt.Errorf("registry: entry name %q differs from model name %q", e.Name, e.Model.Name())
+	}
+	if e.Family != FamilyBathtub && e.Family != FamilyMixture {
+		return fmt.Errorf("registry: entry %q has unknown family %q", e.Name, e.Family)
+	}
+	for _, key := range append([]string{e.Name}, e.Aliases...) {
+		k := strings.ToLower(strings.TrimSpace(key))
+		if k == "" {
+			return fmt.Errorf("registry: entry %q has an empty name or alias", e.Name)
+		}
+		if prev, dup := index[k]; dup {
+			return fmt.Errorf("registry: name %q already registered by %q", key, entries[prev].Name)
+		}
+	}
+	e.ParamNames = e.Model.ParamNames()
+	e.Caps = capabilitiesOf(e.Model)
+	entries = append(entries, e)
+	at := len(entries) - 1
+	index[strings.ToLower(e.Name)] = at
+	for _, a := range e.Aliases {
+		index[strings.ToLower(strings.TrimSpace(a))] = at
+	}
+	return nil
+}
+
+// capabilitiesOf derives the capability flags from the optional
+// interfaces the model implements.
+func capabilitiesOf(m core.Model) Capabilities {
+	var c Capabilities
+	_, c.ClosedFormArea = m.(core.AreaModel)
+	_, c.ClosedFormRecovery = m.(core.RecoveryModel)
+	_, c.ClosedFormMinimum = m.(core.MinimumModel)
+	return c
+}
+
+func mustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err) // static registrations cannot fail
+	}
+}
+
+func init() {
+	mustRegister(Entry{
+		Name:        "quadratic",
+		Aliases:     []string{"quad"},
+		Family:      FamilyBathtub,
+		Description: "Quadratic bathtub hazard P(t) = α + βt + γt² (Eq. 1).",
+		Model:       core.QuadraticModel{},
+		// Last resort of the degradation chain: three parameters fit almost
+		// any V-shaped series.
+		FallbackRank: 3,
+	})
+	mustRegister(Entry{
+		Name:        "competing-risks",
+		Aliases:     []string{"competing", "cr", "hjorth"},
+		Family:      FamilyBathtub,
+		Description: "Competing-risks (Hjorth) bathtub hazard P(t) = 2γt + α/(1+βt) (Eq. 4).",
+		Model:       core.CompetingRisksModel{},
+	})
+	mustRegister(Entry{
+		Name:        "exp-bathtub",
+		Aliases:     []string{"expbathtub", "exponential-bathtub"},
+		Family:      FamilyBathtub,
+		Description: "Four-parameter exponential bathtub P(t) = α·e^{−βt} + γ·(e^{δt} − 1) (extension).",
+		Model:       core.ExpBathtubModel{},
+	})
+	// The paper's four mixture combinations with a₂(t) = β·ln t, in the
+	// column order of Table III. Ranks 1 and 2 head the degradation chain
+	// (most expressive first); see core.DefaultFallbacks.
+	mixtures := map[string]struct {
+		aliases []string
+		rank    int
+		desc    string
+	}{
+		"exp-exp":         {nil, 2, "Mixture: exponential degradation, exponential recovery (Eq. 7)."},
+		"weibull-exp":     {[]string{"wei-exp"}, 1, "Mixture: Weibull degradation, exponential recovery (Eq. 7)."},
+		"exp-weibull":     {[]string{"exp-wei"}, 0, "Mixture: exponential degradation, Weibull recovery (Eq. 7)."},
+		"weibull-weibull": {[]string{"wei-wei"}, 0, "Mixture: Weibull degradation, Weibull recovery (Eq. 7)."},
+	}
+	for _, m := range core.StandardMixtures() {
+		meta, ok := mixtures[m.Name()]
+		if !ok {
+			panic("registry: unexpected standard mixture " + m.Name())
+		}
+		mustRegister(Entry{
+			Name:         m.Name(),
+			Aliases:      meta.aliases,
+			Family:       FamilyMixture,
+			Description:  meta.desc,
+			Model:        m,
+			FallbackRank: meta.rank,
+		})
+	}
+}
+
+// Lookup resolves a canonical name or alias, case-insensitively, to its
+// registry entry.
+func Lookup(name string) (Entry, error) {
+	k := strings.ToLower(strings.TrimSpace(name))
+	if k == "" {
+		return Entry{}, fmt.Errorf("registry: model name required (have %v)", Names())
+	}
+	at, ok := index[k]
+	if !ok {
+		return Entry{}, fmt.Errorf("registry: unknown model %q (have %v)", name, Names())
+	}
+	return entries[at], nil
+}
+
+// MustLookup is Lookup for statically known names; it panics on a miss.
+func MustLookup(name string) Entry {
+	e, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Names returns the canonical model names in registration order — the
+// stable public order used by catalogs and selection candidates.
+func Names() []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// All returns every registry entry in registration order.
+func All() []Entry {
+	return append([]Entry(nil), entries...)
+}
+
+// Models returns every registered model in registration order, for
+// callers (selection, examples) that fit the whole menu.
+func Models() []core.Model {
+	out := make([]core.Model, len(entries))
+	for i, e := range entries {
+		out[i] = e.Model
+	}
+	return out
+}
+
+// Mixtures returns the registered mixture models in registration order —
+// the Table III column order — typed for callers (the experiment tables,
+// mixture-specific benches) that need the concrete mixture API.
+func Mixtures() []*core.MixtureModel {
+	var out []*core.MixtureModel
+	for _, e := range entries {
+		if m, ok := e.Model.(*core.MixtureModel); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ByFamily returns the entries of one family in registration order.
+func ByFamily(family string) []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.Family == family {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FallbackChain returns the default degradation chain — every entry with
+// a FallbackRank, ordered by rank — as models ready for
+// core.FallbackPolicy.Fallbacks. It mirrors core.DefaultFallbacks (a
+// registry test enforces the agreement); service layers use this form so
+// the chain, like everything else, resolves through the registry.
+func FallbackChain() []core.Model {
+	ranked := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.FallbackRank > 0 {
+			ranked = append(ranked, e)
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].FallbackRank < ranked[j].FallbackRank })
+	out := make([]core.Model, len(ranked))
+	for i, e := range ranked {
+		out[i] = e.Model
+	}
+	return out
+}

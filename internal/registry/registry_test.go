@@ -1,0 +1,148 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"resilience/internal/core"
+)
+
+func TestNamesCoverPaperMenu(t *testing.T) {
+	want := []string{
+		"quadratic", "competing-risks", "exp-bathtub",
+		"exp-exp", "weibull-exp", "exp-weibull", "weibull-weibull",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+// Every canonical name and alias must resolve — with any casing and
+// surrounding whitespace — to the same entry, and the entry's model must
+// report the canonical name.
+func TestLookupNamesAliasesAndCasing(t *testing.T) {
+	for _, e := range All() {
+		for _, key := range append([]string{e.Name}, e.Aliases...) {
+			mixed := strings.ToUpper(key[:1]) + key[1:]
+			for _, variant := range []string{key, strings.ToUpper(key), " " + mixed + " "} {
+				got, err := Lookup(variant)
+				if err != nil {
+					t.Errorf("Lookup(%q): %v", variant, err)
+					continue
+				}
+				if got.Name != e.Name {
+					t.Errorf("Lookup(%q) = %q, want %q", variant, got.Name, e.Name)
+				}
+				if got.Model.Name() != e.Name {
+					t.Errorf("Lookup(%q).Model.Name() = %q, want %q", variant, got.Model.Name(), e.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupRejectsUnknownAndEmpty(t *testing.T) {
+	if _, err := Lookup("gompertz-gamma"); err == nil {
+		t.Error("Lookup accepted an unregistered model")
+	} else if !strings.Contains(err.Error(), "quadratic") {
+		t.Errorf("unknown-model error does not list options: %v", err)
+	}
+	if _, err := Lookup(""); err == nil {
+		t.Error("Lookup accepted an empty name")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndMismatches(t *testing.T) {
+	if err := Register(Entry{Name: "quadratic", Family: FamilyBathtub, Model: core.QuadraticModel{}}); err == nil {
+		t.Error("Register accepted a duplicate canonical name")
+	}
+	if err := Register(Entry{Name: "not-quadratic", Family: FamilyBathtub, Model: core.QuadraticModel{}}); err == nil {
+		t.Error("Register accepted a name differing from Model.Name()")
+	}
+	if err := Register(Entry{Name: "nil-model", Family: FamilyBathtub}); err == nil {
+		t.Error("Register accepted a nil model")
+	}
+}
+
+func TestByFamilyPartitionsRegistry(t *testing.T) {
+	bathtub, mixture := ByFamily(FamilyBathtub), ByFamily(FamilyMixture)
+	if len(bathtub) != 3 {
+		t.Errorf("bathtub entries = %d, want 3", len(bathtub))
+	}
+	if len(mixture) != 4 {
+		t.Errorf("mixture entries = %d, want 4", len(mixture))
+	}
+	if len(bathtub)+len(mixture) != len(All()) {
+		t.Errorf("families do not partition the registry: %d + %d != %d",
+			len(bathtub), len(mixture), len(All()))
+	}
+}
+
+func TestCapabilitiesMatchModelInterfaces(t *testing.T) {
+	want := map[string]Capabilities{
+		"quadratic":       {ClosedFormArea: true, ClosedFormRecovery: true, ClosedFormMinimum: true},
+		"competing-risks": {ClosedFormArea: true, ClosedFormRecovery: true, ClosedFormMinimum: true},
+		"exp-bathtub":     {ClosedFormArea: true, ClosedFormMinimum: true},
+		"exp-exp":         {},
+		"weibull-exp":     {},
+		"exp-weibull":     {},
+		"weibull-weibull": {},
+	}
+	for name, caps := range want {
+		e := MustLookup(name)
+		if e.Caps != caps {
+			t.Errorf("%s capabilities = %+v, want %+v", name, e.Caps, caps)
+		}
+	}
+}
+
+func TestParamNamesMirrorModels(t *testing.T) {
+	for _, e := range All() {
+		names := e.Model.ParamNames()
+		if len(e.ParamNames) != len(names) {
+			t.Fatalf("%s: ParamNames length %d, model reports %d", e.Name, len(e.ParamNames), len(names))
+		}
+		for i := range names {
+			if e.ParamNames[i] != names[i] {
+				t.Errorf("%s param[%d] = %q, want %q", e.Name, i, e.ParamNames[i], names[i])
+			}
+		}
+	}
+}
+
+// The registry's fallback ranks and core's built-in default chain are
+// two spellings of the same policy; they must stay identical.
+func TestFallbackChainMatchesCoreDefaults(t *testing.T) {
+	chain := FallbackChain()
+	defaults := core.DefaultFallbacks()
+	if len(chain) != len(defaults) {
+		t.Fatalf("FallbackChain has %d links, core.DefaultFallbacks has %d", len(chain), len(defaults))
+	}
+	for i := range chain {
+		if chain[i].Name() != defaults[i].Name() {
+			t.Errorf("chain[%d] = %q, core default = %q", i, chain[i].Name(), defaults[i].Name())
+		}
+	}
+	// Ranks must be unique and contiguous from 1.
+	seen := map[int]string{}
+	for _, e := range All() {
+		if e.FallbackRank == 0 {
+			continue
+		}
+		if prev, dup := seen[e.FallbackRank]; dup {
+			t.Errorf("fallback rank %d shared by %q and %q", e.FallbackRank, prev, e.Name)
+		}
+		seen[e.FallbackRank] = e.Name
+	}
+	for r := 1; r <= len(chain); r++ {
+		if _, ok := seen[r]; !ok {
+			t.Errorf("fallback rank %d unassigned", r)
+		}
+	}
+}

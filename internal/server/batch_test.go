@@ -1,0 +1,190 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"resilience/internal/registry"
+)
+
+// TestBatchMatchesSequentialFits is the /v1/batch acceptance criterion:
+// N jobs fit concurrently must be bit-identical to N sequential /v1/fit
+// calls (meaningful under -race). Caching is disabled on both handlers
+// so every job genuinely runs the optimizer.
+func TestBatchMatchesSequentialFits(t *testing.T) {
+	models := []string{"quadratic", "competing-risks", "weibull-exp", "exp-exp"}
+	jobs := make([]map[string]any, 0, 8)
+	for i := 0; i < 8; i++ {
+		vals := testSeries()
+		for j := range vals {
+			vals[j] += 0.001 * float64(i)
+		}
+		jobs = append(jobs, map[string]any{"model": models[i%len(models)], "values": vals})
+	}
+
+	seq := Handler()
+	want := make([]map[string]any, len(jobs))
+	for i, job := range jobs {
+		rec, body := doJSON(t, seq, http.MethodPost, "/v1/fit", job)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("sequential fit %d: %d %v", i, rec.Code, body)
+		}
+		want[i] = body
+	}
+
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/batch", map[string]any{
+		"jobs":    jobs,
+		"workers": 4,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %v", rec.Code, body)
+	}
+	if failed, _ := body["failed"].(float64); failed != 0 {
+		t.Fatalf("batch failed jobs: %v", body)
+	}
+	results, ok := body["results"].([]any)
+	if !ok || len(results) != len(jobs) {
+		t.Fatalf("results = %v", body["results"])
+	}
+	for i, raw := range results {
+		item, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("result %d not an object: %v", i, raw)
+		}
+		if idx, _ := item["index"].(float64); int(idx) != i {
+			t.Errorf("result %d carries index %v", i, item["index"])
+		}
+		// Bit-identical: the JSON-decoded params, gof, and model fields
+		// must match the sequential fit exactly.
+		for _, key := range []string{"model", "params", "gof", "empirical_coverage", "degraded"} {
+			if got, wantV := jsonStr(t, item[key]), jsonStr(t, want[i][key]); got != wantV {
+				t.Errorf("job %d %s = %s, sequential fit %s", i, key, got, wantV)
+			}
+		}
+	}
+}
+
+// Per-job failures surface inline with the offending field; good jobs in
+// the same request still succeed.
+func TestBatchPerJobErrors(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodPost, "/v1/batch", map[string]any{
+		"jobs": []map[string]any{
+			{"model": "quadratic", "values": testSeries()},
+			{"model": "no-such-model", "values": testSeries()},
+			{"model": "quadratic", "values": []float64{}},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %v", rec.Code, body)
+	}
+	if failed, _ := body["failed"].(float64); failed != 2 {
+		t.Errorf("failed = %v, want 2", body["failed"])
+	}
+	results := body["results"].([]any)
+	good := results[0].(map[string]any)
+	if good["model"] != "quadratic" || good["error"] != nil {
+		t.Errorf("good job = %v", good)
+	}
+	badModel := results[1].(map[string]any)
+	if badModel["field"] != "model" || badModel["error"] == nil {
+		t.Errorf("unknown-model job = %v", badModel)
+	}
+	badValues := results[2].(map[string]any)
+	if badValues["field"] != "values" {
+		t.Errorf("empty-values job = %v", badValues)
+	}
+}
+
+func TestBatchRejectsBadEnvelope(t *testing.T) {
+	h := Handler()
+	rec, body := doJSON(t, h, http.MethodPost, "/v1/batch", map[string]any{"jobs": []any{}})
+	if rec.Code != http.StatusBadRequest || body["field"] != "jobs" {
+		t.Errorf("empty jobs: %d %v", rec.Code, body)
+	}
+	rec, body = doJSON(t, h, http.MethodPost, "/v1/batch", map[string]any{
+		"jobs":    []map[string]any{{"model": "quadratic", "values": testSeries()}},
+		"workers": -1,
+	})
+	if rec.Code != http.StatusBadRequest || body["field"] != "workers" {
+		t.Errorf("negative workers: %d %v", rec.Code, body)
+	}
+}
+
+// Aliases and arbitrary casing must be accepted by every fit-family
+// endpoint, resolving to canonical names in responses.
+func TestAliasesAcceptedOverHTTP(t *testing.T) {
+	h := Handler()
+	cases := map[string]string{
+		"hjorth":  "competing-risks",
+		"CR":      "competing-risks",
+		"wei-wei": "weibull-weibull",
+		"Wei-Exp": "weibull-exp",
+		"QUAD":    "quadratic",
+	}
+	for alias, canonical := range cases {
+		rec, body := doJSON(t, h, http.MethodPost, "/v1/fit", map[string]any{
+			"model":  alias,
+			"values": testSeries(),
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("fit %q: %d %v", alias, rec.Code, body)
+		}
+		// The fitted model is the canonical family unless degradation chose
+		// a fallback; either way the alias spelling never leaks out.
+		if got, _ := body["model"].(string); got != canonical {
+			if degraded, _ := body["degraded"].(bool); !degraded {
+				t.Errorf("fit %q reported model %q, want %q", alias, got, canonical)
+			}
+		}
+	}
+}
+
+// GET /v1/models keeps the legacy bare name list and adds registry
+// metadata under "details".
+func TestModelsCatalogEnriched(t *testing.T) {
+	rec, body := doJSON(t, Handler(), http.MethodGet, "/v1/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	details, ok := body["details"].([]any)
+	if !ok || len(details) != len(registry.All()) {
+		t.Fatalf("details = %v", body["details"])
+	}
+	byName := map[string]map[string]any{}
+	for _, raw := range details {
+		d := raw.(map[string]any)
+		byName[d["name"].(string)] = d
+	}
+	cr, ok := byName["competing-risks"]
+	if !ok {
+		t.Fatal("competing-risks missing from details")
+	}
+	if cr["family"] != "bathtub" {
+		t.Errorf("competing-risks family = %v", cr["family"])
+	}
+	aliases, _ := cr["aliases"].([]any)
+	foundHjorth := false
+	for _, a := range aliases {
+		if a == "hjorth" {
+			foundHjorth = true
+		}
+	}
+	if !foundHjorth {
+		t.Errorf("competing-risks aliases = %v, want to include hjorth", cr["aliases"])
+	}
+	caps, ok := cr["capabilities"].(map[string]any)
+	if !ok || caps["closed_form_area"] != true {
+		t.Errorf("competing-risks capabilities = %v", cr["capabilities"])
+	}
+	params, _ := cr["param_names"].([]any)
+	if len(params) != 3 {
+		t.Errorf("competing-risks param_names = %v", cr["param_names"])
+	}
+	we, ok := byName["weibull-exp"]
+	if !ok {
+		t.Fatal("weibull-exp missing from details")
+	}
+	if we["family"] != "mixture" || we["fallback_rank"] != float64(1) {
+		t.Errorf("weibull-exp detail = %v", we)
+	}
+}

@@ -3,11 +3,11 @@ package server
 import (
 	"encoding/json"
 	"net/http"
-	"sync"
 	"testing"
-
-	"resilience/internal/timeseries"
 )
+
+// The fit cache itself lives in internal/service (see its tests); these
+// tests drive the cache through the full HTTP path.
 
 // jsonStr renders a decoded JSON fragment back to canonical text so two
 // response fields can be compared structurally.
@@ -18,85 +18,6 @@ func jsonStr(t *testing.T, v any) string {
 		t.Fatal(err)
 	}
 	return string(b)
-}
-
-func mustSeries(t *testing.T, vals []float64) *timeseries.Series {
-	t.Helper()
-	s, err := timeseries.FromValues(vals)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
-
-func TestFitCacheLRUMechanics(t *testing.T) {
-	c := newFitCache(2)
-	s1 := mustSeries(t, []float64{1, 0.9, 0.95, 1})
-	s2 := mustSeries(t, []float64{1, 0.8, 0.85, 1})
-	s3 := mustSeries(t, []float64{1, 0.7, 0.75, 1})
-	k1 := fitCacheKey("fit", "quadratic", s1)
-	k2 := fitCacheKey("fit", "quadratic", s2)
-	k3 := fitCacheKey("fit", "quadratic", s3)
-
-	if _, ok := c.get(k1); ok {
-		t.Fatal("empty cache reported a hit")
-	}
-	c.put(k1, "one")
-	c.put(k2, "two")
-	if v, ok := c.get(k1); !ok || v != "one" {
-		t.Fatalf("get k1 = %v, %v", v, ok)
-	}
-	// k1 is now most recent; inserting k3 must evict k2.
-	c.put(k3, "three")
-	if _, ok := c.get(k2); ok {
-		t.Error("k2 survived eviction; LRU order not honored")
-	}
-	if _, ok := c.get(k1); !ok {
-		t.Error("k1 evicted despite being most recently used")
-	}
-	if c.len() != 2 {
-		t.Errorf("len = %d, want 2", c.len())
-	}
-	// Refreshing an existing key must not grow the cache.
-	c.put(k1, "one-again")
-	if c.len() != 2 {
-		t.Errorf("len after refresh = %d, want 2", c.len())
-	}
-	if v, _ := c.get(k1); v != "one-again" {
-		t.Errorf("refreshed value = %v", v)
-	}
-}
-
-func TestFitCacheKeyDiscriminates(t *testing.T) {
-	s := mustSeries(t, []float64{1, 0.9, 0.95, 1})
-	sOther := mustSeries(t, []float64{1, 0.9, 0.95, 1.0000001})
-	base := fitCacheKey("fit", "quadratic", s)
-	for name, other := range map[string]cacheKey{
-		"different op":       fitCacheKey("validate", "quadratic", s),
-		"different model":    fitCacheKey("fit", "exp-exp", s),
-		"different series":   fitCacheKey("fit", "quadratic", sOther),
-		"extra config value": fitCacheKey("fit", "quadratic", s, 0.9),
-	} {
-		if other == base {
-			t.Errorf("%s produced a colliding key", name)
-		}
-	}
-	if again := fitCacheKey("fit", "quadratic", s); again != base {
-		t.Error("identical inputs produced different keys")
-	}
-}
-
-func TestFitCacheNilDisabled(t *testing.T) {
-	var c *fitCache // what handlers hold when FitCacheSize is 0
-	s := mustSeries(t, []float64{1, 0.9, 0.95, 1})
-	k := fitCacheKey("fit", "quadratic", s)
-	c.put(k, "x")
-	if _, ok := c.get(k); ok {
-		t.Error("disabled cache returned a hit")
-	}
-	if c.len() != 0 {
-		t.Error("disabled cache reports entries")
-	}
 }
 
 // TestFitEndpointCaching drives the full HTTP path: the first request
@@ -139,6 +60,35 @@ func TestFitEndpointCaching(t *testing.T) {
 	}
 }
 
+// TestFitCacheSharedAcrossAliases verifies the satellite fix: the cache
+// key is built from the canonical registry name, so "Quadratic",
+// "quadratic", and the "quad" alias share one cache entry over HTTP.
+func TestFitCacheSharedAcrossAliases(t *testing.T) {
+	h := NewHandler(Config{FitCacheSize: 8})
+
+	rec, resp := doJSON(t, h, http.MethodPost, "/v1/fit",
+		map[string]any{"model": "Quadratic", "values": testSeries()})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first fit: %d %v", rec.Code, resp)
+	}
+	if resp["cached"] != false {
+		t.Errorf("first fit cached = %v, want false", resp["cached"])
+	}
+	for _, spelling := range []string{"quadratic", "QUAD", " quad "} {
+		rec, resp := doJSON(t, h, http.MethodPost, "/v1/fit",
+			map[string]any{"model": spelling, "values": testSeries()})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%q fit: %d %v", spelling, rec.Code, resp)
+		}
+		if resp["cached"] != true {
+			t.Errorf("%q missed the cache warmed by \"Quadratic\"", spelling)
+		}
+		if resp["model"] != "quadratic" {
+			t.Errorf("%q reported model %v, want canonical \"quadratic\"", spelling, resp["model"])
+		}
+	}
+}
+
 // TestPredictForecastShareFitCache verifies the shared plain-fit entry:
 // a predict warms the cache for a forecast of the same series.
 func TestPredictForecastShareFitCache(t *testing.T) {
@@ -172,36 +122,5 @@ func TestFitCachingDisabledByDefault(t *testing.T) {
 		if resp["cached"] != false {
 			t.Errorf("fit %d cached = %v with caching disabled", i, resp["cached"])
 		}
-	}
-}
-
-// TestFitCacheConcurrentHammer exercises the LRU under concurrent mixed
-// get/put from many goroutines; meaningful under -race.
-func TestFitCacheConcurrentHammer(t *testing.T) {
-	c := newFitCache(16)
-	series := make([]*timeseries.Series, 32)
-	for i := range series {
-		series[i] = mustSeries(t, []float64{1, 0.9, 0.95, 1 + float64(i)/100})
-	}
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				k := fitCacheKey("fit", "quadratic", series[(g*7+i)%len(series)])
-				if v, ok := c.get(k); ok {
-					if _, isInt := v.(int); !isInt {
-						t.Errorf("unexpected cached value %v", v)
-					}
-				} else {
-					c.put(k, i)
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	if c.len() > 16 {
-		t.Errorf("cache grew past its bound: %d", c.len())
 	}
 }

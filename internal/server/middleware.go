@@ -67,7 +67,7 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/version", "/v1/stats", "/v1/models", "/v1/datasets",
-		"/v1/fit", "/v1/predict", "/v1/metrics", "/v1/forecast", "/v1/intervention":
+		"/v1/fit", "/v1/predict", "/v1/metrics", "/v1/forecast", "/v1/intervention", "/v1/batch":
 		return path
 	}
 	if strings.HasPrefix(path, "/v1/datasets/") {

@@ -1,10 +1,15 @@
 // Package server exposes the resilience-modeling pipeline over HTTP with
 // a JSON API, so non-Go systems (dashboards, notebooks, incident
 // tooling) can fit models and query recovery predictions. The server is
-// stateless: every request carries its own data, and all state lives in
-// the request scope, so the handler is safe under arbitrary concurrency.
+// a thin transport: it decodes JSON, hands the request to the shared
+// fitting service (internal/service) — which owns model resolution
+// through the central registry, input validation, the fit cache, and the
+// degradation chain — and maps the service's typed errors onto HTTP
+// statuses. The server is stateless apart from the bounded fit cache:
+// every request carries its own data, so the handler is safe under
+// arbitrary concurrency.
 //
-// The server is built to degrade rather than fail: request deadlines are
+// The pipeline degrades rather than fails: request deadlines are
 // threaded from the handler down into every optimizer iteration, panics
 // anywhere in the fitting pipeline are contained and answered with a
 // JSON error envelope, and fits that will not converge fall back through
@@ -13,9 +18,9 @@
 //
 // Fitting requests can be served from a bounded LRU fit cache
 // (Config.FitCacheSize / the -fit-cache-size flag) keyed by a SHA-256
-// digest of the canonicalized series, model, and fit configuration;
-// cached responses carry "cached": true and hit/miss counts are exposed
-// on GET /metrics.
+// digest of the canonicalized series, canonical model name, and fit
+// configuration; cached responses carry "cached": true and hit/miss
+// counts are exposed on GET /metrics.
 //
 // Endpoints:
 //
@@ -25,7 +30,7 @@
 //	GET  /debug/pprof/*           profiling endpoints (only with Config.EnablePprof)
 //	GET  /v1/version              build/version info
 //	GET  /v1/stats                fallback/cancellation/panic counters
-//	GET  /v1/models               available model names
+//	GET  /v1/models               model catalog with registry metadata
 //	GET  /v1/datasets             built-in dataset catalog
 //	GET  /v1/datasets/{name}      one dataset's series
 //	POST /v1/fit                  fit a model: {model, times?, values, train_fraction?}
@@ -33,6 +38,7 @@
 //	POST /v1/metrics              interval metrics: {model, times?, values}
 //	POST /v1/forecast             future-horizon forecast with bands
 //	POST /v1/intervention         restoration-scenario what-if analysis
+//	POST /v1/batch                fit many series×model jobs: {jobs: [...], workers?}
 //
 // Every request carries an ID: inbound X-Request-ID is honored when
 // sane, one is generated otherwise, and the ID is echoed in the
@@ -54,7 +60,6 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
-	"strings"
 	"time"
 
 	"resilience/internal/core"
@@ -62,13 +67,19 @@ import (
 	"resilience/internal/faultinject"
 	"resilience/internal/monitor"
 	"resilience/internal/optimize"
+	"resilience/internal/registry"
+	"resilience/internal/service"
 	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
 
-// maxBodyBytes bounds request bodies; resilience series are tiny, so a
-// small cap shuts down abuse cheaply.
+// maxBodyBytes bounds single-job request bodies; resilience series are
+// tiny, so a small cap shuts down abuse cheaply.
 const maxBodyBytes = 1 << 20
+
+// maxBatchBodyBytes bounds /v1/batch bodies, which legitimately carry up
+// to service.MaxBatchJobs series per request.
+const maxBatchBodyBytes = 8 << 20
 
 // statusClientClosedRequest is the de-facto standard (nginx) status for
 // requests abandoned by the client; it only ever reaches logs and
@@ -90,7 +101,7 @@ type Config struct {
 	// answered with an error envelope instead of a simpler model.
 	DisableFallback bool
 	// Fallback overrides the degradation chain policy (nil-able fields
-	// fall back to core defaults).
+	// fall back to the registry-derived defaults).
 	Fallback core.FallbackPolicy
 	// Logger receives one structured line per request (default
 	// slog.Default()).
@@ -99,12 +110,9 @@ type Config struct {
 	// /debug/pprof/. Off by default: the profiles leak implementation
 	// detail and cost CPU, so they are opt-in (the -pprof server flag).
 	EnablePprof bool
-	// FitCacheSize bounds the server fit cache (entries), an LRU keyed by
-	// a SHA-256 digest of the canonicalized series, model name, and fit
-	// configuration that fronts the optimizer on /v1/fit, /v1/predict,
-	// /v1/metrics, and /v1/forecast. 0 disables caching (the -fit-cache-size
-	// server flag sets it). Only successful outcomes are cached; errors
-	// and cancellations always re-run.
+	// FitCacheSize bounds the service fit cache (entries); see
+	// service.Config.FitCacheSize. 0 disables caching (the
+	// -fit-cache-size server flag sets it).
 	FitCacheSize int
 }
 
@@ -119,13 +127,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// api carries per-handler configuration.
+// api carries per-handler configuration and the shared fitting service.
 type api struct {
-	cfg   Config
-	cache *fitCache // nil when caching is disabled
+	cfg Config
+	svc *service.Service
 }
-
-func (a *api) policy() core.FallbackPolicy { return a.cfg.Fallback }
 
 // Handler returns the server's http.Handler with default configuration.
 func Handler() http.Handler { return NewHandler(Config{}) }
@@ -135,7 +141,10 @@ func Handler() http.Handler { return NewHandler(Config{}) }
 // request logging, request counters) installed.
 func NewHandler(cfg Config) http.Handler {
 	a := &api{cfg: cfg.withDefaults()}
-	a.cache = newFitCache(a.cfg.FitCacheSize)
+	a.svc = service.New(service.Config{
+		Fallback:     a.cfg.Fallback,
+		FitCacheSize: a.cfg.FitCacheSize,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /readyz", a.handleReady)
@@ -150,6 +159,7 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/metrics", a.withFitTimeout(a.handleMetrics))
 	mux.HandleFunc("POST /v1/forecast", a.withFitTimeout(a.handleForecast))
 	mux.HandleFunc("POST /v1/intervention", a.withFitTimeout(a.handleIntervention))
+	mux.HandleFunc("POST /v1/batch", a.withFitTimeout(a.handleBatch))
 	if a.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -255,7 +265,7 @@ func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	_, err = core.FitCtx(ctx, core.QuadraticModel{}, series, core.FitConfig{
+	_, err = core.FitCtx(ctx, registry.MustLookup("quadratic").Model, series, core.FitConfig{
 		Starts: 2,
 		Local:  optimize.Options{MaxIterations: 400},
 	})
@@ -293,17 +303,35 @@ func handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, monitor.Counters())
 }
 
-// modelNames lists every model the API accepts.
-func modelNames() []string {
-	names := []string{"quadratic", "competing-risks", "exp-bathtub"}
-	for _, m := range core.StandardMixtures() {
-		names = append(names, m.Name())
-	}
-	return names
+// modelDetail is one /v1/models catalog row, mirroring the registry
+// entry's metadata.
+type modelDetail struct {
+	Name         string                `json:"name"`
+	Aliases      []string              `json:"aliases,omitempty"`
+	Family       string                `json:"family"`
+	Description  string                `json:"description,omitempty"`
+	ParamNames   []string              `json:"param_names"`
+	Capabilities registry.Capabilities `json:"capabilities"`
+	FallbackRank int                   `json:"fallback_rank,omitempty"`
 }
 
+// handleModels serves the model catalog: the legacy bare "models" name
+// list (kept for compatibility) plus per-model registry metadata under
+// "details".
 func handleModels(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"models": modelNames()})
+	all := registry.All()
+	details := make([]modelDetail, 0, len(all))
+	for _, e := range all {
+		details = append(details, modelDetail{
+			Name: e.Name, Aliases: e.Aliases, Family: e.Family,
+			Description: e.Description, ParamNames: e.ParamNames,
+			Capabilities: e.Caps, FallbackRank: e.FallbackRank,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":  registry.Names(),
+		"details": details,
+	})
 }
 
 // datasetSummary is one catalog row.
@@ -365,116 +393,74 @@ type modelRequest struct {
 	InterventionAccel float64 `json:"intervention_accel,omitempty"`
 }
 
+// toService maps the wire body onto the transport-agnostic request.
+func (req *modelRequest) toService() service.Request {
+	return service.Request{
+		Model:             req.Model,
+		Times:             req.Times,
+		Values:            req.Values,
+		TrainFraction:     req.TrainFraction,
+		Level:             req.Level,
+		Steps:             req.Steps,
+		Alpha:             req.Alpha,
+		InterventionStart: req.InterventionStart,
+		InterventionAccel: req.InterventionAccel,
+	}
+}
+
 // validate rejects out-of-range and non-finite request fields at the
 // JSON boundary with field-specific messages, before anything reaches
-// the fitters.
+// the fitters. The rules live in the service layer (service.Request
+// .Validate) so every transport rejects identically.
 func (req *modelRequest) validate() *apiError {
-	if len(req.Values) == 0 {
-		return badField("values", "values required")
+	sreq := req.toService()
+	if ierr := sreq.Validate(); ierr != nil {
+		return &apiError{status: http.StatusBadRequest, field: ierr.Field, err: ierr}
 	}
-	for i, v := range req.Values {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return badField("values", "values[%d] is %g; every value must be finite", i, v)
-		}
+	return nil
+}
+
+// decodeBody parses a JSON request body into dst with the shared
+// hardening: fault injection, a byte cap answered with 413, and unknown
+// fields rejected.
+func decodeBody(r *http.Request, limit int64, dst any) *apiError {
+	if faultinject.Enabled() {
+		faultinject.Fire("server.decode")
+		faultinject.Sleep(r.Context(), "server.decode.delay")
 	}
-	if len(req.Times) > 0 {
-		if len(req.Times) != len(req.Values) {
-			return badField("times", "%d times for %d values; lengths must match", len(req.Times), len(req.Values))
-		}
-		for i, t := range req.Times {
-			if math.IsNaN(t) || math.IsInf(t, 0) {
-				return badField("times", "times[%d] is %g; every time must be finite", i, t)
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request body exceeds %d bytes", tooBig.Limit),
 			}
 		}
-	}
-	if tf := req.TrainFraction; math.IsNaN(tf) || tf < 0 || tf >= 1 {
-		return badField("train_fraction", "train_fraction %g outside [0, 1); 0 selects the default 0.9", tf)
-	}
-	if lv := req.Level; math.IsNaN(lv) || math.IsInf(lv, 0) || lv < 0 {
-		return badField("level", "level %g must be finite and non-negative; 0 selects the default 1.0", lv)
-	}
-	if req.Steps < 0 || req.Steps > 10000 {
-		return badField("steps", "steps %d outside [0, 10000]; 0 selects the default 6", req.Steps)
-	}
-	if al := req.Alpha; math.IsNaN(al) || al < 0 || al >= 1 {
-		return badField("alpha", "alpha %g outside [0, 1); 0 selects the default 0.05", al)
-	}
-	if s := req.InterventionStart; math.IsNaN(s) || math.IsInf(s, 0) {
-		return badField("intervention_start", "intervention_start must be finite")
-	}
-	if ac := req.InterventionAccel; math.IsNaN(ac) || math.IsInf(ac, 0) || ac < 0 {
-		return badField("intervention_accel", "intervention_accel %g must be finite and non-negative", ac)
+		return &apiError{
+			status: http.StatusBadRequest,
+			err:    fmt.Errorf("decode request: %w", err),
+		}
 	}
 	return nil
 }
 
 // decode parses and validates the shared request body.
-func decode(r *http.Request) (*modelRequest, core.Model, *timeseries.Series, *apiError) {
-	if faultinject.Enabled() {
-		faultinject.Fire("server.decode")
-		faultinject.Sleep(r.Context(), "server.decode.delay")
-	}
+func decode(r *http.Request) (*modelRequest, *apiError) {
 	var req modelRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return nil, nil, nil, &apiError{
-				status: http.StatusRequestEntityTooLarge,
-				err:    fmt.Errorf("request body exceeds %d bytes", tooBig.Limit),
-			}
-		}
-		return nil, nil, nil, &apiError{
-			status: http.StatusBadRequest,
-			err:    fmt.Errorf("decode request: %w", err),
-		}
-	}
-	m, err := lookupModel(req.Model)
-	if err != nil {
-		return nil, nil, nil, &apiError{status: http.StatusBadRequest, field: "model", err: err}
+	if aerr := decodeBody(r, maxBodyBytes, &req); aerr != nil {
+		return nil, aerr
 	}
 	if aerr := req.validate(); aerr != nil {
-		return nil, nil, nil, aerr
+		return nil, aerr
 	}
-	var series *timeseries.Series
-	if len(req.Times) > 0 {
-		series, err = timeseries.NewSeries(req.Times, req.Values)
-	} else {
-		series, err = timeseries.FromValues(req.Values)
-	}
-	if err != nil {
-		return nil, nil, nil, &apiError{
-			status: http.StatusBadRequest, field: "values",
-			err: fmt.Errorf("series: %w", err),
-		}
-	}
-	return &req, m, series, nil
-}
-
-// lookupModel resolves an API model name.
-func lookupModel(name string) (core.Model, error) {
-	switch strings.ToLower(name) {
-	case "quadratic":
-		return core.QuadraticModel{}, nil
-	case "competing-risks":
-		return core.CompetingRisksModel{}, nil
-	case "exp-bathtub":
-		return core.ExpBathtubModel{}, nil
-	case "":
-		return nil, errors.New("model name required")
-	}
-	for _, m := range core.StandardMixtures() {
-		if m.Name() == strings.ToLower(name) {
-			return m, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown model %q (have %v)", name, modelNames())
+	return &req, nil
 }
 
 // degradeBody annotates fit-family responses with the degradation-chain
 // outcome; Degraded and Cached are always present so clients can branch
-// on them. Cached is true when the response was served from the server
+// on them. Cached is true when the response was served from the service
 // fit cache instead of running the optimizer.
 type degradeBody struct {
 	Degraded          bool   `json:"degraded"`
@@ -498,103 +484,41 @@ func degradeFields(info *core.DegradeInfo) degradeBody {
 	return db
 }
 
-// validateOutcome and fitOutcome are the units stored in the fit cache.
-// They carry the degradation annotation alongside the result so a cached
-// response reports the same degraded/fallback fields as the original.
-type validateOutcome struct {
-	v    *core.Validation
-	info *core.DegradeInfo
-}
-
-type fitOutcome struct {
-	fit  *core.FitResult
-	info *core.DegradeInfo
-}
-
-// markCached annotates the request's structured log line with the
-// cache-hit outcome; the monitor fit counters are deliberately left
-// untouched, so /v1/stats keeps counting actual optimizer work.
-func markCached(r *http.Request) {
-	if meta := metaFrom(r.Context()); meta != nil {
-		meta.outcome = "cached"
+// annotateOutcome stamps the request's structured log line with the fit
+// outcome: cache hits as "cached", degradation-chain results as
+// "fallback"/"retried", and failures as "error". The monitor counters
+// are maintained by the service layer, which only counts actual
+// optimizer work.
+func annotateOutcome(r *http.Request, info *core.DegradeInfo, cached bool, err error) {
+	meta := metaFrom(r.Context())
+	if meta == nil {
+		return
 	}
-}
-
-// cachedValidate runs the validation pipeline (ValidateWithFallback)
-// through the fit cache. The reported bool is true on a cache hit. Only
-// successful outcomes are stored: errors, cancellations, and timeouts
-// must re-run, not replay.
-func (a *api) cachedValidate(r *http.Request, m core.Model, series *timeseries.Series, trainFraction float64) (*core.Validation, *core.DegradeInfo, bool, error) {
-	key := fitCacheKey("validate", m.Name(), series, trainFraction)
-	if hit, ok := a.cache.get(key); ok {
-		o := hit.(*validateOutcome)
-		markCached(r)
-		return o.v, o.info, true, nil
-	}
-	v, info, err := core.ValidateWithFallback(r.Context(), m, series,
-		core.ValidateConfig{TrainFraction: trainFraction}, a.policy())
-	recordFitOutcome(r, info, err)
-	if err == nil {
-		a.cache.put(key, &validateOutcome{v: v, info: info})
-	}
-	return v, info, false, err
-}
-
-// cachedFit is cachedValidate for the plain-fit pipeline
-// (FitWithFallback), shared by /v1/predict and /v1/forecast — the two
-// endpoints fit identically, so a predict can warm the cache for a
-// forecast of the same series and vice versa.
-func (a *api) cachedFit(r *http.Request, m core.Model, series *timeseries.Series) (*core.FitResult, *core.DegradeInfo, bool, error) {
-	key := fitCacheKey("fit", m.Name(), series)
-	if hit, ok := a.cache.get(key); ok {
-		o := hit.(*fitOutcome)
-		markCached(r)
-		return o.fit, o.info, true, nil
-	}
-	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
-	recordFitOutcome(r, info, err)
-	if err == nil {
-		a.cache.put(key, &fitOutcome{fit: fit, info: info})
-	}
-	return fit, info, false, err
-}
-
-// recordFitOutcome updates the monitor counters and the per-request log
-// metadata from a degradation-chain outcome.
-func recordFitOutcome(r *http.Request, info *core.DegradeInfo, err error) {
-	monitor.CountFit()
-	if info != nil {
-		if info.Degraded && err == nil {
-			monitor.CountFallback()
-		}
-		if info.PanicRecovered {
-			monitor.CountPanicRecovery()
-		}
-	}
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		monitor.CountCancellation()
-	}
-	if meta := metaFrom(r.Context()); meta != nil {
-		switch {
-		case err != nil:
-			meta.outcome = "error"
-		case info != nil && info.FallbackUsed:
-			meta.outcome = "fallback"
-			meta.fallback = info.UsedModel
-		case info != nil && info.Degraded:
-			meta.outcome = "retried"
-		default:
-			meta.outcome = "ok"
-		}
-	}
-}
-
-// writeFitErr maps a fitting-pipeline error to its HTTP status: client
-// disconnects to 499, server-imposed deadlines to 504, contained panics
-// to 500, and everything else (bad data, non-convergence with fallback
-// disabled or exhausted) to 422.
-func writeFitErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
+	case err != nil:
+		meta.outcome = "error"
+	case cached:
+		meta.outcome = "cached"
+	case info != nil && info.FallbackUsed:
+		meta.outcome = "fallback"
+		meta.fallback = info.UsedModel
+	case info != nil && info.Degraded:
+		meta.outcome = "retried"
+	default:
+		meta.outcome = "ok"
+	}
+}
+
+// writeFitErr maps a fitting-pipeline error to its HTTP status: input
+// validation to 400 with the offending field, client disconnects to 499,
+// server-imposed deadlines to 504, contained panics to 500, and
+// everything else (bad data, non-convergence with fallback disabled or
+// exhausted) to 422.
+func writeFitErr(w http.ResponseWriter, r *http.Request, err error) {
+	var ierr *service.InputError
+	switch {
+	case errors.As(err, &ierr):
+		writeAPIErr(w, r, &apiError{status: http.StatusBadRequest, field: ierr.Field, err: ierr})
 	case errors.Is(err, context.Canceled):
 		writeErr(w, r, statusClientClosedRequest, err)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -606,7 +530,7 @@ func writeFitErr(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
-// fitResponse is the /v1/fit reply.
+// fitResponse is the /v1/fit reply (and each successful /v1/batch item).
 type fitResponse struct {
 	Model      string             `json:"model"`
 	ParamNames []string           `json:"param_names"`
@@ -616,20 +540,12 @@ type fitResponse struct {
 	degradeBody
 }
 
-func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
-	req, m, series, aerr := decode(r)
-	if aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	v, info, cached, err := a.cachedValidate(r, m, series, req.TrainFraction)
-	if err != nil {
-		writeFitErr(w, r, err)
-		return
-	}
-	db := degradeFields(info)
-	db.Cached = cached
-	writeJSON(w, http.StatusOK, fitResponse{
+// buildFitResponse renders a service fit outcome into the wire reply.
+func buildFitResponse(out *service.FitOutcome) fitResponse {
+	v := out.Validation
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	return fitResponse{
 		Model:      v.Fit.Model.Name(),
 		ParamNames: v.Fit.Model.ParamNames(),
 		Params:     v.Fit.Params,
@@ -643,7 +559,23 @@ func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
 		},
 		EC:          v.EC,
 		degradeBody: db,
-	})
+	}
+}
+
+func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
+	req, aerr := decode(r)
+	if aerr != nil {
+		writeAPIErr(w, r, aerr)
+		return
+	}
+	out, err := a.svc.Fit(r.Context(), req.toService())
+	if err != nil {
+		annotateOutcome(r, nil, false, err)
+		writeFitErr(w, r, err)
+		return
+	}
+	annotateOutcome(r, out.Degrade, out.Cached, nil)
+	writeJSON(w, http.StatusOK, buildFitResponse(out))
 }
 
 // predictResponse is the /v1/predict reply.
@@ -659,44 +591,32 @@ type predictResponse struct {
 }
 
 func (a *api) handlePredict(w http.ResponseWriter, r *http.Request) {
-	req, m, series, aerr := decode(r)
+	req, aerr := decode(r)
 	if aerr != nil {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	fit, info, cached, err := a.cachedFit(r, m, series)
+	out, err := a.svc.Predict(r.Context(), req.toService())
 	if err != nil {
+		annotateOutcome(r, nil, false, err)
 		writeFitErr(w, r, err)
 		return
 	}
-	_, horizon := series.Span()
-	td, err := core.ModelMinimum(fit, horizon)
-	if err != nil {
-		writeErr(w, r, http.StatusUnprocessableEntity, err)
-		return
-	}
-	level := req.Level
-	if level == 0 {
-		level = 1
-	}
-	db := degradeFields(info)
-	db.Cached = cached
+	annotateOutcome(r, out.Degrade, out.Cached, nil)
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
 	resp := predictResponse{
-		Model:         fit.Model.Name(),
-		MinimumTime:   td,
-		MinimumValue:  fit.Eval(td),
-		RecoveryLevel: level,
-		RecoveryTime:  math.NaN(),
-		degradeBody:   db,
+		Model:            out.Fit.Model.Name(),
+		MinimumTime:      out.MinimumTime,
+		MinimumValue:     out.MinimumValue,
+		RecoveryLevel:    out.RecoveryLevel,
+		RecoveryTime:     out.RecoveryTime,
+		RecoveryReached:  out.RecoveryReached,
+		RecoveryErrorMsg: out.RecoveryErr,
+		degradeBody:      db,
 	}
-	if tr, err := core.RecoveryTime(fit, level, horizon); err == nil {
-		resp.RecoveryTime = tr
-		resp.RecoveryReached = true
-	} else {
-		resp.RecoveryErrorMsg = err.Error()
-	}
-	// NaN does not survive JSON; encode unreached recovery as null via a
-	// pointer-free convention: omit by setting to -1.
+	// NaN does not survive JSON; encode unreached recovery as the -1
+	// sentinel.
 	if math.IsNaN(resp.RecoveryTime) {
 		resp.RecoveryTime = -1
 	}
@@ -718,33 +638,30 @@ type metricComparisonBody struct {
 }
 
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	req, m, series, aerr := decode(r)
+	req, aerr := decode(r)
 	if aerr != nil {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	v, info, cached, err := a.cachedValidate(r, m, series, req.TrainFraction)
+	out, err := a.svc.Metrics(r.Context(), req.toService())
 	if err != nil {
+		annotateOutcome(r, nil, false, err)
 		writeFitErr(w, r, err)
 		return
 	}
-	rows, err := core.CompareMetrics(v, series, core.MetricsConfig{})
-	if err != nil {
-		writeErr(w, r, http.StatusUnprocessableEntity, err)
-		return
-	}
-	db := degradeFields(info)
-	db.Cached = cached
-	out := metricsResponse{Model: v.Fit.Model.Name(), degradeBody: db}
-	for _, row := range rows {
-		out.Metrics = append(out.Metrics, metricComparisonBody{
+	annotateOutcome(r, out.Degrade, out.Cached, nil)
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	resp := metricsResponse{Model: out.Validation.Fit.Model.Name(), degradeBody: db}
+	for _, row := range out.Rows {
+		resp.Metrics = append(resp.Metrics, metricComparisonBody{
 			Name:          row.Kind.String(),
 			Actual:        jsonSafe(row.Actual),
 			Predicted:     jsonSafe(row.Predicted),
 			RelativeError: jsonSafe(row.RelErr),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // jsonSafe maps NaN/Inf (unrepresentable in JSON) to signed sentinel
@@ -768,33 +685,23 @@ type forecastResponse struct {
 }
 
 func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
-	req, m, series, aerr := decode(r)
+	req, aerr := decode(r)
 	if aerr != nil {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	fit, info, cached, err := a.cachedFit(r, m, series)
+	out, err := a.svc.Forecast(r.Context(), req.toService())
 	if err != nil {
+		annotateOutcome(r, nil, false, err)
 		writeFitErr(w, r, err)
 		return
 	}
-	steps := req.Steps
-	if steps <= 0 {
-		steps = 6
-	}
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = 0.05
-	}
-	fc, err := core.ForecastHorizon(fit, steps, alpha)
-	if err != nil {
-		writeErr(w, r, http.StatusUnprocessableEntity, err)
-		return
-	}
-	db := degradeFields(info)
-	db.Cached = cached
+	annotateOutcome(r, out.Degrade, out.Cached, nil)
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	fc := out.Forecast
 	writeJSON(w, http.StatusOK, forecastResponse{
-		Model: fit.Model.Name(),
+		Model: out.Fit.Model.Name(),
 		Times: fc.Times, Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper,
 		Sigma:       fc.Sigma,
 		degradeBody: db,
@@ -812,38 +719,120 @@ type interventionResponse struct {
 }
 
 func (a *api) handleIntervention(w http.ResponseWriter, r *http.Request) {
-	req, m, series, aerr := decode(r)
+	req, aerr := decode(r)
 	if aerr != nil {
 		writeAPIErr(w, r, aerr)
 		return
 	}
-	iv := core.Intervention{Start: req.InterventionStart, Accel: req.InterventionAccel}
-	if iv.Accel == 0 {
-		iv.Accel = 2 // default scenario: double the recovery speed
-	}
-	fit, info, err := core.FitWithFallback(r.Context(), m, series, core.FitConfig{}, a.policy())
-	recordFitOutcome(r, info, err)
+	out, err := a.svc.Intervention(r.Context(), req.toService())
 	if err != nil {
+		annotateOutcome(r, nil, false, err)
 		writeFitErr(w, r, err)
 		return
 	}
-	level := req.Level
-	if level == 0 {
-		level = 1
-	}
-	_, horizon := series.Span()
-	impact, err := core.EvaluateIntervention(fit, iv, level, horizon)
-	if err != nil {
-		writeErr(w, r, http.StatusUnprocessableEntity, err)
-		return
-	}
+	annotateOutcome(r, out.Degrade, out.Cached, nil)
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	impact := out.Impact
 	writeJSON(w, http.StatusOK, interventionResponse{
-		Model:              fit.Model.Name(),
+		Model:              out.Fit.Model.Name(),
 		BaselineRecovery:   jsonSafe(impact.BaselineRecovery),
 		IntervenedRecovery: jsonSafe(impact.IntervenedRecovery),
 		RecoverySaved:      jsonSafe(impact.RecoverySaved),
 		PreservedGain: jsonSafe(impact.Intervened[core.PerformancePreserved] -
 			impact.Baseline[core.PerformancePreserved]),
-		degradeBody: degradeFields(info),
+		degradeBody: db,
 	})
+}
+
+// batchJobBody is one /v1/batch job: a model plus its series.
+type batchJobBody struct {
+	Model string `json:"model"`
+	seriesBody
+	TrainFraction float64 `json:"train_fraction,omitempty"`
+}
+
+// batchRequestBody is the /v1/batch request envelope.
+type batchRequestBody struct {
+	Jobs []batchJobBody `json:"jobs"`
+	// Workers bounds batch concurrency; 0 selects
+	// min(len(jobs), GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// batchItemBody is one per-job result: the fit reply fields on success,
+// an error (and the offending field when known) on failure. Index is the
+// job's position in the request.
+type batchItemBody struct {
+	Index int `json:"index"`
+	*fitResponse
+	Error string `json:"error,omitempty"`
+	Field string `json:"field,omitempty"`
+}
+
+// batchResponse is the /v1/batch reply envelope.
+type batchResponse struct {
+	Jobs    int             `json:"jobs"`
+	Failed  int             `json:"failed"`
+	Workers int             `json:"workers"`
+	Results []batchItemBody `json:"results"`
+}
+
+// handleBatch fits many series×model jobs in one request through the
+// service's bounded worker pool. Job failures (unknown model, bad input,
+// non-convergence) are reported per-item; the request as a whole only
+// fails on a malformed envelope, an over-limit job count, or
+// cancellation. Results are deterministic: a parallel batch is
+// bit-identical to the same jobs run sequentially through /v1/fit.
+func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq batchRequestBody
+	if aerr := decodeBody(r, maxBatchBodyBytes, &breq); aerr != nil {
+		writeAPIErr(w, r, aerr)
+		return
+	}
+	if breq.Workers < 0 {
+		writeAPIErr(w, r, badField("workers", "workers %d must be non-negative; 0 selects min(jobs, GOMAXPROCS)", breq.Workers))
+		return
+	}
+	jobs := make([]service.Request, len(breq.Jobs))
+	for i, j := range breq.Jobs {
+		jobs[i] = service.Request{
+			Model: j.Model, Times: j.Times, Values: j.Values,
+			TrainFraction: j.TrainFraction,
+		}
+	}
+	items, err := a.svc.Batch(r.Context(), jobs, breq.Workers)
+	if err != nil {
+		annotateOutcome(r, nil, false, err)
+		writeFitErr(w, r, err)
+		return
+	}
+	resp := batchResponse{
+		Jobs:    len(items),
+		Workers: service.EffectiveWorkers(breq.Workers, len(jobs)),
+		Results: make([]batchItemBody, len(items)),
+	}
+	for i, item := range items {
+		body := batchItemBody{Index: item.Index}
+		if item.Err != nil {
+			resp.Failed++
+			body.Error = item.Err.Error()
+			var ierr *service.InputError
+			if errors.As(item.Err, &ierr) {
+				body.Field = ierr.Field
+			}
+		} else {
+			fr := buildFitResponse(item.Outcome)
+			body.fitResponse = &fr
+		}
+		resp.Results[i] = body
+	}
+	if meta := metaFrom(r.Context()); meta != nil {
+		if resp.Failed > 0 {
+			meta.outcome = "error"
+		} else {
+			meta.outcome = "ok"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

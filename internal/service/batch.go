@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"resilience/internal/telemetry"
+)
+
+// MaxBatchJobs bounds one batch request. Each job is a full optimizer
+// run (~10–100 ms), so the cap keeps a single request from monopolizing
+// the process; callers with more work split it across requests.
+const MaxBatchJobs = 256
+
+func init() {
+	telemetry.RegisterFamily("resil_batch_requests_total", "counter",
+		"Batch requests executed by the fitting service.")
+	telemetry.RegisterFamily("resil_batch_jobs_total", "counter",
+		"Individual jobs executed inside batch requests.")
+}
+
+// BatchItem is one job's result: exactly one of Outcome or Err is set.
+// Index is the job's position in the request, so consumers can correlate
+// out-of-order completions (the results slice is already request-ordered;
+// the index is for wire formats that carry items individually).
+type BatchItem struct {
+	Index   int
+	Outcome *FitOutcome
+	Err     error
+}
+
+// EffectiveWorkers resolves a requested worker count against a job
+// count: non-positive (auto) or oversized requests clamp to
+// min(jobs, GOMAXPROCS). Exported so transports can report the pool
+// size actually used.
+func EffectiveWorkers(workers, jobs int) int {
+	if workers <= 0 || workers > jobs {
+		workers = jobs
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Batch fits every job through the full Fit pipeline (registry
+// resolution, validation, cache, degradation chain) on a bounded worker
+// pool and returns results in request order. workers <= 0 selects
+// min(len(jobs), GOMAXPROCS).
+//
+// Job errors (unknown model, bad input, non-convergence) are reported
+// per-item, never as a call error; Batch itself errors only on an
+// over-limit job count or when ctx is done before all jobs complete —
+// cancellation also aborts jobs still in flight, since the context
+// reaches every optimizer iteration.
+//
+// Determinism: each job claims its slot through an atomic cursor and
+// writes only results[slot], and each individual fit is deterministic
+// (multistart winner = best F, ties to the lowest start index), so a
+// parallel batch is bit-identical to running the jobs sequentially.
+func (s *Service) Batch(ctx context.Context, jobs []Request, workers int) ([]BatchItem, error) {
+	if len(jobs) == 0 {
+		return nil, &InputError{Field: "jobs", Err: fmt.Errorf("jobs required")}
+	}
+	if len(jobs) > MaxBatchJobs {
+		return nil, &InputError{Field: "jobs", Err: fmt.Errorf("%d jobs exceeds limit %d", len(jobs), MaxBatchJobs)}
+	}
+	workers = EffectiveWorkers(workers, len(jobs))
+	telemetry.GetOrCreateCounter("resil_batch_requests_total").Inc()
+	telemetry.GetOrCreateCounter("resil_batch_jobs_total").Add(uint64(len(jobs)))
+
+	results := make([]BatchItem, len(jobs))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				out, err := s.Fit(ctx, jobs[i])
+				results[i] = BatchItem{Index: i, Outcome: out, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

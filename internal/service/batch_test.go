@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// batchValues derives a distinct V-shaped series per job index so batch
+// tests exercise genuinely different fits.
+func batchValues(i int) []float64 {
+	vals := make([]float64, 30)
+	depth := 0.02 + 0.002*float64(i%7)
+	for j := range vals {
+		x := float64(j)
+		vals[j] = 1 - depth*math.Sin(math.Pi*math.Min(x/24, 1)) + 0.0006*math.Max(0, x-24)
+	}
+	return vals
+}
+
+// A parallel batch must be bit-identical to the same jobs run
+// sequentially through Fit — the acceptance criterion for /v1/batch.
+// Caching is disabled so every job genuinely runs the optimizer.
+func TestBatchParallelMatchesSequential(t *testing.T) {
+	models := []string{"quadratic", "competing-risks", "weibull-exp", "exp-exp"}
+	var jobs []Request
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, Request{Model: models[i%len(models)], Values: batchValues(i)})
+	}
+
+	seq := New(Config{})
+	want := make([]*FitOutcome, len(jobs))
+	for i, job := range jobs {
+		out, err := seq.Fit(context.Background(), job)
+		if err != nil {
+			t.Fatalf("sequential job %d: %v", i, err)
+		}
+		want[i] = out
+	}
+
+	par := New(Config{})
+	items, err := par.Batch(context.Background(), jobs, 8)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(items) != len(jobs) {
+		t.Fatalf("batch returned %d items for %d jobs", len(items), len(jobs))
+	}
+	for i, item := range items {
+		if item.Err != nil {
+			t.Fatalf("batch job %d: %v", i, item.Err)
+		}
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+		got, exp := item.Outcome.Validation.Fit, want[i].Validation.Fit
+		if got.Model.Name() != exp.Model.Name() {
+			t.Errorf("job %d model %q, sequential %q", i, got.Model.Name(), exp.Model.Name())
+		}
+		for p := range exp.Params {
+			if math.Float64bits(got.Params[p]) != math.Float64bits(exp.Params[p]) {
+				t.Errorf("job %d param %d = %v, sequential %v (not bit-identical)",
+					i, p, got.Params[p], exp.Params[p])
+			}
+		}
+		if math.Float64bits(got.SSE) != math.Float64bits(exp.SSE) {
+			t.Errorf("job %d SSE %v, sequential %v", i, got.SSE, exp.SSE)
+		}
+	}
+}
+
+// Job failures are reported per-item and never abort the batch.
+func TestBatchReportsPerJobErrors(t *testing.T) {
+	svc := New(Config{})
+	jobs := []Request{
+		{Model: "quadratic", Values: batchValues(0)},
+		{Model: "no-such-model", Values: batchValues(1)},
+		{Model: "quadratic"}, // missing values
+		{Model: "quad", Values: batchValues(3)},
+	}
+	items, err := svc.Batch(context.Background(), jobs, 2)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if items[0].Err != nil || items[3].Err != nil {
+		t.Errorf("good jobs failed: %v, %v", items[0].Err, items[3].Err)
+	}
+	var ierr *InputError
+	if !errors.As(items[1].Err, &ierr) || ierr.Field != "model" {
+		t.Errorf("unknown-model job: err = %v", items[1].Err)
+	}
+	if !errors.As(items[2].Err, &ierr) || ierr.Field != "values" {
+		t.Errorf("missing-values job: err = %v", items[2].Err)
+	}
+}
+
+func TestBatchRejectsEmptyAndOversized(t *testing.T) {
+	svc := New(Config{})
+	var ierr *InputError
+	if _, err := svc.Batch(context.Background(), nil, 0); !errors.As(err, &ierr) || ierr.Field != "jobs" {
+		t.Errorf("empty batch: err = %v", err)
+	}
+	big := make([]Request, MaxBatchJobs+1)
+	for i := range big {
+		big[i] = Request{Model: "quadratic", Values: batchValues(i)}
+	}
+	if _, err := svc.Batch(context.Background(), big, 0); !errors.As(err, &ierr) || ierr.Field != "jobs" {
+		t.Errorf("oversized batch: err = %v", err)
+	}
+}
+
+func TestBatchHonorsCancellation(t *testing.T) {
+	svc := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Request{{Model: "quadratic", Values: batchValues(0)}}
+	if _, err := svc.Batch(ctx, jobs, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		workers, jobs, wantMax int
+	}{
+		{0, 4, 4}, {2, 4, 2}, {100, 4, 4}, {0, 1, 1}, {-3, 2, 2},
+	}
+	for _, tc := range cases {
+		got := EffectiveWorkers(tc.workers, tc.jobs)
+		if got < 1 || got > tc.wantMax {
+			t.Errorf("EffectiveWorkers(%d, %d) = %d, want in [1, %d]",
+				tc.workers, tc.jobs, got, tc.wantMax)
+		}
+	}
+	if EffectiveWorkers(1, 1) != 1 {
+		t.Error("EffectiveWorkers(1, 1) != 1")
+	}
+}

@@ -1,4 +1,4 @@
-package server
+package service
 
 import (
 	"container/list"
@@ -11,9 +11,9 @@ import (
 	"resilience/internal/timeseries"
 )
 
-// The fit cache sits in front of the fitting pipeline on /v1/fit,
-// /v1/predict, /v1/metrics, and /v1/forecast. Fitting is pure: the same
-// series, model, and configuration always produce the same result (the
+// The fit cache sits in front of the fitting pipeline on Fit, Predict,
+// Metrics, Forecast, and Intervention. Fitting is pure: the same series,
+// model, and configuration always produce the same result (the
 // multistart driver is deterministic by construction), so a bounded LRU
 // keyed by a digest of the request's fitting inputs turns repeat traffic
 // — dashboards re-polling the same incident curve, notebooks re-running
@@ -21,11 +21,11 @@ import (
 
 func init() {
 	telemetry.RegisterFamily("resil_fit_cache_hits_total", "counter",
-		"Fit-pipeline requests answered from the server fit cache.")
+		"Fit-pipeline requests answered from the service fit cache.")
 	telemetry.RegisterFamily("resil_fit_cache_misses_total", "counter",
 		"Fit-pipeline requests that ran the optimizer (cache miss or cache disabled entries stored).")
 	telemetry.RegisterFamily("resil_fit_cache_entries", "gauge",
-		"Entries currently resident in the server fit cache.")
+		"Entries currently resident in the service fit cache.")
 }
 
 var (
@@ -38,10 +38,11 @@ type cacheKey [sha256.Size]byte
 
 // fitCacheKey canonicalizes the fitting inputs into a digest: the
 // operation kind (validate vs plain fit — their results have different
-// types), the model name, the full series (times and values as raw
-// float64 bits, length-prefixed so concatenations cannot collide), and
-// any extra fit-config scalars the operation depends on (e.g. the
-// validation train fraction).
+// types), the *canonical registry* model name (so "Quadratic",
+// "quadratic", and the "quad" alias all share one entry), the full
+// series (times and values as raw float64 bits, length-prefixed so
+// concatenations cannot collide), and any extra fit-config scalars the
+// operation depends on (e.g. the validation train fraction).
 func fitCacheKey(op, model string, series *timeseries.Series, extra ...float64) cacheKey {
 	h := sha256.New()
 	var buf [8]byte
@@ -75,7 +76,7 @@ func fitCacheKey(op, model string, series *timeseries.Series, extra ...float64) 
 // fitCache is a bounded, mutex-guarded LRU. Values are stored as-is and
 // returned to concurrent readers, so everything cached must be treated
 // as immutable after insertion; the fit pipeline's results (FitResult,
-// Validation, DegradeInfo) are never mutated by handlers.
+// Validation, DegradeInfo) are never mutated by consumers.
 type fitCache struct {
 	mu      sync.Mutex
 	max     int
@@ -92,7 +93,7 @@ type cacheSlot struct {
 
 // newFitCache returns a cache bounded to max entries, or nil (fully
 // disabled) when max <= 0. A nil *fitCache is safe to use: get always
-// misses and put is a no-op, so handlers need no branching.
+// misses and put is a no-op, so callers need no branching.
 func newFitCache(max int) *fitCache {
 	if max <= 0 {
 		return nil

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"resilience/internal/timeseries"
+)
+
+func mustSeries(t *testing.T, vals []float64) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFitCacheLRUMechanics(t *testing.T) {
+	c := newFitCache(2)
+	s1 := mustSeries(t, []float64{1, 0.9, 0.95, 1})
+	s2 := mustSeries(t, []float64{1, 0.8, 0.85, 1})
+	s3 := mustSeries(t, []float64{1, 0.7, 0.75, 1})
+	k1 := fitCacheKey("fit", "quadratic", s1)
+	k2 := fitCacheKey("fit", "quadratic", s2)
+	k3 := fitCacheKey("fit", "quadratic", s3)
+
+	if _, ok := c.get(k1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(k1, "one")
+	c.put(k2, "two")
+	if v, ok := c.get(k1); !ok || v != "one" {
+		t.Fatalf("get k1 = %v, %v", v, ok)
+	}
+	// k1 is now most recent; inserting k3 must evict k2.
+	c.put(k3, "three")
+	if _, ok := c.get(k2); ok {
+		t.Error("k2 survived eviction; LRU order not honored")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Error("k1 evicted despite being most recently used")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.put(k1, "one-again")
+	if c.len() != 2 {
+		t.Errorf("len after refresh = %d, want 2", c.len())
+	}
+	if v, _ := c.get(k1); v != "one-again" {
+		t.Errorf("refreshed value = %v", v)
+	}
+}
+
+func TestFitCacheKeyDiscriminates(t *testing.T) {
+	s := mustSeries(t, []float64{1, 0.9, 0.95, 1})
+	sOther := mustSeries(t, []float64{1, 0.9, 0.95, 1.0000001})
+	base := fitCacheKey("fit", "quadratic", s)
+	for name, other := range map[string]cacheKey{
+		"different op":       fitCacheKey("validate", "quadratic", s),
+		"different model":    fitCacheKey("fit", "exp-exp", s),
+		"different series":   fitCacheKey("fit", "quadratic", sOther),
+		"extra config value": fitCacheKey("fit", "quadratic", s, 0.9),
+	} {
+		if other == base {
+			t.Errorf("%s produced a colliding key", name)
+		}
+	}
+	if again := fitCacheKey("fit", "quadratic", s); again != base {
+		t.Error("identical inputs produced different keys")
+	}
+}
+
+func TestFitCacheNilDisabled(t *testing.T) {
+	var c *fitCache // what a Service holds when FitCacheSize is 0
+	s := mustSeries(t, []float64{1, 0.9, 0.95, 1})
+	k := fitCacheKey("fit", "quadratic", s)
+	c.put(k, "x")
+	if _, ok := c.get(k); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache reports entries")
+	}
+}
+
+// TestFitCacheConcurrentHammer exercises the LRU under concurrent mixed
+// get/put from many goroutines; meaningful under -race.
+func TestFitCacheConcurrentHammer(t *testing.T) {
+	c := newFitCache(16)
+	series := make([]*timeseries.Series, 32)
+	for i := range series {
+		series[i] = mustSeries(t, []float64{1, 0.9, 0.95, 1 + float64(i)/100})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fitCacheKey("fit", "quadratic", series[(g*7+i)%len(series)])
+				if v, ok := c.get(k); ok {
+					if _, isInt := v.(int); !isInt {
+						t.Errorf("unexpected cached value %v", v)
+					}
+				} else {
+					c.put(k, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 16 {
+		t.Errorf("cache grew past its bound: %d", c.len())
+	}
+}

@@ -1,0 +1,452 @@
+// Package service is the transport-agnostic fitting pipeline shared by
+// the HTTP server, the resil CLI, and the experiment harness. It owns
+// everything between a decoded request and a computed result: input
+// validation with field-level errors, model resolution through the
+// central registry (canonical names, aliases), fit-cache lookups keyed
+// by canonical inputs, the degradation chain, and the monitor counters —
+// so every transport fits, predicts, forecasts, and batches with
+// identical semantics instead of each keeping its own copy of the
+// pipeline.
+//
+// The transports stay thin: the server decodes JSON and maps the
+// service's typed errors onto HTTP statuses; the CLI parses flags and
+// renders tables. Neither resolves model names, orders fallbacks, or
+// touches the cache directly.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/core"
+	"resilience/internal/monitor"
+	"resilience/internal/registry"
+	"resilience/internal/timeseries"
+)
+
+// Config tunes a Service. The zero value selects production defaults:
+// degradation chain enabled with the registry's fallback order, caching
+// disabled.
+type Config struct {
+	// Fallback overrides the degradation chain policy. When its Fallbacks
+	// are empty they are filled from registry.FallbackChain(), so the
+	// chain — like every other model reference — resolves through the
+	// registry.
+	Fallback core.FallbackPolicy
+	// DisableFallback turns the degradation chain off: a failed fit is
+	// returned as an error instead of a simpler model's result.
+	DisableFallback bool
+	// FitCacheSize bounds the fit cache (entries); 0 disables caching.
+	// Only successful outcomes are cached; errors and cancellations
+	// always re-run.
+	FitCacheSize int
+}
+
+// Service executes the fitting pipeline. It is safe for concurrent use:
+// the cache is internally locked and everything else is request-scoped.
+type Service struct {
+	policy core.FallbackPolicy
+	cache  *fitCache
+}
+
+// New builds a Service from cfg.
+func New(cfg Config) *Service {
+	pol := cfg.Fallback
+	pol.Disable = pol.Disable || cfg.DisableFallback
+	if len(pol.Fallbacks) == 0 {
+		pol.Fallbacks = registry.FallbackChain()
+	}
+	return &Service{policy: pol, cache: newFitCache(cfg.FitCacheSize)}
+}
+
+// InputError is a request-validation failure: the input named by Field
+// is missing, malformed, or out of range. Transports map it to their
+// bad-request shape (HTTP 400 with the field in the envelope, a CLI
+// usage error, a per-job batch error).
+type InputError struct {
+	// Field names the offending request field, in the JSON wire spelling.
+	Field string
+	// Err is the human-readable failure.
+	Err error
+}
+
+func (e *InputError) Error() string { return e.Err.Error() }
+func (e *InputError) Unwrap() error { return e.Err }
+
+func badInput(field, format string, args ...any) *InputError {
+	return &InputError{Field: field, Err: fmt.Errorf(format, args...)}
+}
+
+// Request is the transport-agnostic fit-family request. Exactly one
+// series source is used: a prebuilt Series (trusted callers — datasets,
+// experiments) or raw Times/Values (wire callers), which are validated
+// and assembled by the pipeline.
+type Request struct {
+	// Model is the requested model family, by canonical name or alias.
+	Model string
+	// Series is a prebuilt input series; when non-nil it is used as-is
+	// and Times/Values are ignored.
+	Series *timeseries.Series
+	// Times and Values are the raw series; Times may be empty for
+	// implicit 0, 1, 2, … sampling.
+	Times  []float64
+	Values []float64
+	// TrainFraction controls the validation split (0 selects the default
+	// 0.9).
+	TrainFraction float64
+	// CIAlpha is the confidence-interval significance level for
+	// validation scorecards (0 selects the default 0.05).
+	CIAlpha float64
+	// Level is the recovery target for Predict and Intervention (0
+	// selects the default 1.0).
+	Level float64
+	// Steps is the forecast horizon length (0 selects the default 6).
+	Steps int
+	// Alpha is the forecast significance level (0 selects the default
+	// 0.05).
+	Alpha float64
+	// InterventionStart and InterventionAccel configure Intervention.
+	InterventionStart float64
+	InterventionAccel float64
+	// MetricsWeight is the Eq. 21 resilience-loss weight for Metrics
+	// (0 selects the default 0.5).
+	MetricsWeight float64
+	// MetricsContinuous selects continuous integration for Metrics
+	// instead of the paper's discrete sums.
+	MetricsContinuous bool
+}
+
+// Validate rejects out-of-range and non-finite request fields with
+// field-specific errors before anything reaches the fitters. The model
+// name is checked separately, by registry resolution.
+func (r *Request) Validate() *InputError {
+	if r.Series == nil {
+		if len(r.Values) == 0 {
+			return badInput("values", "values required")
+		}
+		for i, v := range r.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return badInput("values", "values[%d] is %g; every value must be finite", i, v)
+			}
+		}
+		if len(r.Times) > 0 {
+			if len(r.Times) != len(r.Values) {
+				return badInput("times", "%d times for %d values; lengths must match", len(r.Times), len(r.Values))
+			}
+			for i, t := range r.Times {
+				if math.IsNaN(t) || math.IsInf(t, 0) {
+					return badInput("times", "times[%d] is %g; every time must be finite", i, t)
+				}
+			}
+		}
+	}
+	if tf := r.TrainFraction; math.IsNaN(tf) || tf < 0 || tf >= 1 {
+		return badInput("train_fraction", "train_fraction %g outside [0, 1); 0 selects the default 0.9", tf)
+	}
+	if al := r.CIAlpha; math.IsNaN(al) || al < 0 || al >= 1 {
+		return badInput("ci_alpha", "ci_alpha %g outside [0, 1); 0 selects the default 0.05", al)
+	}
+	if lv := r.Level; math.IsNaN(lv) || math.IsInf(lv, 0) || lv < 0 {
+		return badInput("level", "level %g must be finite and non-negative; 0 selects the default 1.0", lv)
+	}
+	if r.Steps < 0 || r.Steps > 10000 {
+		return badInput("steps", "steps %d outside [0, 10000]; 0 selects the default 6", r.Steps)
+	}
+	if al := r.Alpha; math.IsNaN(al) || al < 0 || al >= 1 {
+		return badInput("alpha", "alpha %g outside [0, 1); 0 selects the default 0.05", al)
+	}
+	if s := r.InterventionStart; math.IsNaN(s) || math.IsInf(s, 0) {
+		return badInput("intervention_start", "intervention_start must be finite")
+	}
+	if ac := r.InterventionAccel; math.IsNaN(ac) || math.IsInf(ac, 0) || ac < 0 {
+		return badInput("intervention_accel", "intervention_accel %g must be finite and non-negative", ac)
+	}
+	if wt := r.MetricsWeight; math.IsNaN(wt) || wt < 0 || wt >= 1 {
+		return badInput("metrics_weight", "metrics_weight %g outside [0, 1); 0 selects the default 0.5", wt)
+	}
+	return nil
+}
+
+// prepare resolves the model through the registry and assembles the
+// validated series — the shared front half of every pipeline method.
+func (r *Request) prepare() (registry.Entry, *timeseries.Series, error) {
+	entry, err := registry.Lookup(r.Model)
+	if err != nil {
+		return registry.Entry{}, nil, &InputError{Field: "model", Err: err}
+	}
+	if ierr := r.Validate(); ierr != nil {
+		return registry.Entry{}, nil, ierr
+	}
+	if r.Series != nil {
+		return entry, r.Series, nil
+	}
+	var series *timeseries.Series
+	if len(r.Times) > 0 {
+		series, err = timeseries.NewSeries(r.Times, r.Values)
+	} else {
+		series, err = timeseries.FromValues(r.Values)
+	}
+	if err != nil {
+		return registry.Entry{}, nil, &InputError{Field: "values", Err: fmt.Errorf("series: %w", err)}
+	}
+	return entry, series, nil
+}
+
+// FitOutcome is a completed validation-pipeline run: the scorecard, the
+// degradation annotation, and whether the result came from the cache.
+type FitOutcome struct {
+	// Model is the resolved registry entry for the *requested* family;
+	// the fitted family after degradation is Validation.Fit.Model.
+	Model registry.Entry
+	// Validation is the split/fit/score/coverage scorecard.
+	Validation *core.Validation
+	// Degrade annotates the degradation-chain outcome (nil only when the
+	// chain never ran).
+	Degrade *core.DegradeInfo
+	// Cached is true when the result was served from the fit cache
+	// instead of running the optimizer.
+	Cached bool
+}
+
+// Fit runs the full validation pipeline (split, fit with degradation
+// chain, GoF, confidence band, coverage) for the requested model.
+func (s *Service) Fit(ctx context.Context, req Request) (*FitOutcome, error) {
+	entry, series, err := req.prepare()
+	if err != nil {
+		return nil, err
+	}
+	v, info, cached, err := s.cachedValidate(ctx, entry, series, req.TrainFraction, req.CIAlpha)
+	if err != nil {
+		return nil, err
+	}
+	return &FitOutcome{Model: entry, Validation: v, Degrade: info, Cached: cached}, nil
+}
+
+// PredictOutcome is a recovery prediction from a plain fit.
+type PredictOutcome struct {
+	Model   registry.Entry
+	Fit     *core.FitResult
+	Degrade *core.DegradeInfo
+	Cached  bool
+	// MinimumTime and MinimumValue locate the fitted curve's performance
+	// minimum t_d.
+	MinimumTime  float64
+	MinimumValue float64
+	// RecoveryLevel is the target level (defaulted); RecoveryTime is when
+	// the curve regains it, NaN when it never does (RecoveryErr explains).
+	RecoveryLevel   float64
+	RecoveryTime    float64
+	RecoveryReached bool
+	RecoveryErr     string
+}
+
+// Predict fits the model and predicts the time of minimum performance
+// and the recovery time to the requested level.
+func (s *Service) Predict(ctx context.Context, req Request) (*PredictOutcome, error) {
+	entry, series, err := req.prepare()
+	if err != nil {
+		return nil, err
+	}
+	fit, info, cached, err := s.cachedFit(ctx, entry, series)
+	if err != nil {
+		return nil, err
+	}
+	_, horizon := series.Span()
+	td, err := core.ModelMinimum(fit, horizon)
+	if err != nil {
+		return nil, err
+	}
+	level := req.Level
+	if level == 0 {
+		level = 1
+	}
+	out := &PredictOutcome{
+		Model: entry, Fit: fit, Degrade: info, Cached: cached,
+		MinimumTime: td, MinimumValue: fit.Eval(td),
+		RecoveryLevel: level, RecoveryTime: math.NaN(),
+	}
+	if tr, err := core.RecoveryTime(fit, level, horizon); err == nil {
+		out.RecoveryTime = tr
+		out.RecoveryReached = true
+	} else {
+		out.RecoveryErr = err.Error()
+	}
+	return out, nil
+}
+
+// MetricsOutcome is the interval-based resilience-metrics comparison.
+type MetricsOutcome struct {
+	Model      registry.Entry
+	Validation *core.Validation
+	Degrade    *core.DegradeInfo
+	Cached     bool
+	Rows       []core.MetricComparison
+}
+
+// Metrics runs the validation pipeline and compares the eight
+// interval-based metrics (actual vs predicted).
+func (s *Service) Metrics(ctx context.Context, req Request) (*MetricsOutcome, error) {
+	entry, series, err := req.prepare()
+	if err != nil {
+		return nil, err
+	}
+	v, info, cached, err := s.cachedValidate(ctx, entry, series, req.TrainFraction, req.CIAlpha)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := core.MetricsConfig{Alpha: req.MetricsWeight}
+	if req.MetricsContinuous {
+		mcfg.Mode = core.Continuous
+	}
+	rows, err := core.CompareMetrics(v, series, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MetricsOutcome{Model: entry, Validation: v, Degrade: info, Cached: cached, Rows: rows}, nil
+}
+
+// ForecastOutcome is a future-horizon forecast with uncertainty bands.
+type ForecastOutcome struct {
+	Model    registry.Entry
+	Fit      *core.FitResult
+	Degrade  *core.DegradeInfo
+	Cached   bool
+	Forecast *core.Forecast
+}
+
+// Forecast fits the model and forecasts the requested horizon.
+func (s *Service) Forecast(ctx context.Context, req Request) (*ForecastOutcome, error) {
+	entry, series, err := req.prepare()
+	if err != nil {
+		return nil, err
+	}
+	fit, info, cached, err := s.cachedFit(ctx, entry, series)
+	if err != nil {
+		return nil, err
+	}
+	steps := req.Steps
+	if steps <= 0 {
+		steps = 6
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	fc, err := core.ForecastHorizon(fit, steps, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &ForecastOutcome{Model: entry, Fit: fit, Degrade: info, Cached: cached, Forecast: fc}, nil
+}
+
+// InterventionOutcome is a restoration-scenario what-if analysis.
+type InterventionOutcome struct {
+	Model   registry.Entry
+	Fit     *core.FitResult
+	Degrade *core.DegradeInfo
+	Cached  bool
+	Impact  *core.ScenarioImpact
+}
+
+// Intervention fits the model and evaluates the configured restoration
+// scenario against the baseline curve.
+func (s *Service) Intervention(ctx context.Context, req Request) (*InterventionOutcome, error) {
+	entry, series, err := req.prepare()
+	if err != nil {
+		return nil, err
+	}
+	iv := core.Intervention{Start: req.InterventionStart, Accel: req.InterventionAccel}
+	if iv.Accel == 0 {
+		iv.Accel = 2 // default scenario: double the recovery speed
+	}
+	fit, info, cached, err := s.cachedFit(ctx, entry, series)
+	if err != nil {
+		return nil, err
+	}
+	level := req.Level
+	if level == 0 {
+		level = 1
+	}
+	_, horizon := series.Span()
+	impact, err := core.EvaluateIntervention(fit, iv, level, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return &InterventionOutcome{Model: entry, Fit: fit, Degrade: info, Cached: cached, Impact: impact}, nil
+}
+
+// validateOutcome and fitOutcome are the units stored in the fit cache.
+// They carry the degradation annotation alongside the result so a cached
+// response reports the same degraded/fallback fields as the original.
+type validateOutcome struct {
+	v    *core.Validation
+	info *core.DegradeInfo
+}
+
+type fitOutcome struct {
+	fit  *core.FitResult
+	info *core.DegradeInfo
+}
+
+// cachedValidate runs the validation pipeline (ValidateWithFallback)
+// through the fit cache. The reported bool is true on a cache hit. Only
+// successful outcomes are stored: errors, cancellations, and timeouts
+// must re-run, not replay. The cache key is built from the canonical
+// registry name, so "Quadratic", "quadratic", and "quad" share one
+// entry.
+func (s *Service) cachedValidate(ctx context.Context, entry registry.Entry, series *timeseries.Series, trainFraction, ciAlpha float64) (*core.Validation, *core.DegradeInfo, bool, error) {
+	key := fitCacheKey("validate", entry.Name, series, trainFraction, ciAlpha)
+	if hit, ok := s.cache.get(key); ok {
+		o := hit.(*validateOutcome)
+		return o.v, o.info, true, nil
+	}
+	v, info, err := core.ValidateWithFallback(ctx, entry.Model, series,
+		core.ValidateConfig{TrainFraction: trainFraction, Alpha: ciAlpha}, s.policy)
+	countFitOutcome(info, err)
+	if err == nil {
+		s.cache.put(key, &validateOutcome{v: v, info: info})
+	}
+	return v, info, false, err
+}
+
+// cachedFit is cachedValidate for the plain-fit pipeline
+// (FitWithFallback), shared by Predict, Forecast, and Intervention — the
+// endpoints fit identically, so a predict can warm the cache for a
+// forecast of the same series and vice versa.
+func (s *Service) cachedFit(ctx context.Context, entry registry.Entry, series *timeseries.Series) (*core.FitResult, *core.DegradeInfo, bool, error) {
+	key := fitCacheKey("fit", entry.Name, series)
+	if hit, ok := s.cache.get(key); ok {
+		o := hit.(*fitOutcome)
+		return o.fit, o.info, true, nil
+	}
+	fit, info, err := core.FitWithFallback(ctx, entry.Model, series, core.FitConfig{}, s.policy)
+	countFitOutcome(info, err)
+	if err == nil {
+		s.cache.put(key, &fitOutcome{fit: fit, info: info})
+	}
+	return fit, info, false, err
+}
+
+// countFitOutcome updates the process-wide monitor counters from a
+// degradation-chain outcome. Cache hits are deliberately not counted:
+// the counters track actual optimizer work.
+func countFitOutcome(info *core.DegradeInfo, err error) {
+	monitor.CountFit()
+	if info != nil {
+		if info.Degraded && err == nil {
+			monitor.CountFallback()
+		}
+		if info.PanicRecovered {
+			monitor.CountPanicRecovery()
+		}
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		monitor.CountCancellation()
+	}
+}
+
+// CacheLen reports the resident fit-cache entry count (0 when caching is
+// disabled).
+func (s *Service) CacheLen() int { return s.cache.len() }

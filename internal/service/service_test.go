@@ -1,0 +1,182 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"resilience/internal/monitor"
+	"resilience/internal/registry"
+)
+
+// testValues is a smooth V-shaped recovery curve every model family can
+// fit: dip to a minimum around t=14 then recover past the baseline.
+func testValues() []float64 {
+	vals := make([]float64, 36)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 1 - 0.03*math.Sin(math.Pi*math.Min(x/28, 1)) + 0.0008*math.Max(0, x-28)
+	}
+	return vals
+}
+
+// Every registered canonical name and alias must round-trip through the
+// full Fit pipeline, resolving to its canonical entry.
+func TestFitRoundTripsEveryNameAndAlias(t *testing.T) {
+	svc := New(Config{FitCacheSize: 32})
+	for _, e := range registry.All() {
+		for _, name := range append([]string{e.Name}, e.Aliases...) {
+			out, err := svc.Fit(context.Background(), Request{Model: name, Values: testValues()})
+			if err != nil {
+				t.Fatalf("Fit(%q): %v", name, err)
+			}
+			if out.Model.Name != e.Name {
+				t.Errorf("Fit(%q) resolved %q, want %q", name, out.Model.Name, e.Name)
+			}
+			if out.Validation == nil || out.Validation.Fit == nil {
+				t.Fatalf("Fit(%q) returned no validation", name)
+			}
+		}
+	}
+}
+
+// The cache key is built from the canonical registry name, so different
+// spellings and aliases of one model share a single cache entry.
+func TestFitCacheKeyCanonicalAcrossSpellings(t *testing.T) {
+	svc := New(Config{FitCacheSize: 8})
+	first, err := svc.Fit(context.Background(), Request{Model: "Quadratic", Values: testValues()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first fit reported cached")
+	}
+	for _, spelling := range []string{"quadratic", "QUADRATIC", "quad", " Quad "} {
+		out, err := svc.Fit(context.Background(), Request{Model: spelling, Values: testValues()})
+		if err != nil {
+			t.Fatalf("Fit(%q): %v", spelling, err)
+		}
+		if !out.Cached {
+			t.Errorf("Fit(%q) missed the cache warmed by \"Quadratic\"", spelling)
+		}
+		for i, p := range out.Validation.Fit.Params {
+			if p != first.Validation.Fit.Params[i] {
+				t.Errorf("Fit(%q) params differ from cached fit", spelling)
+				break
+			}
+		}
+	}
+	if n := svc.CacheLen(); n != 1 {
+		t.Errorf("cache holds %d entries after 5 spellings of one request, want 1", n)
+	}
+}
+
+func TestFitRejectsUnknownModelAndBadInput(t *testing.T) {
+	svc := New(Config{})
+	cases := []struct {
+		name  string
+		req   Request
+		field string
+	}{
+		{"unknown model", Request{Model: "gompertz", Values: testValues()}, "model"},
+		{"empty model", Request{Values: testValues()}, "model"},
+		{"no values", Request{Model: "quadratic"}, "values"},
+		{"nan value", Request{Model: "quadratic", Values: []float64{1, math.NaN(), 1}}, "values"},
+		{"mismatched times", Request{Model: "quadratic", Times: []float64{0, 1}, Values: []float64{1, 0.9, 1}}, "times"},
+		{"bad train fraction", Request{Model: "quadratic", Values: testValues(), TrainFraction: 1}, "train_fraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := svc.Fit(context.Background(), tc.req)
+			var ierr *InputError
+			if !errors.As(err, &ierr) {
+				t.Fatalf("err = %v, want *InputError", err)
+			}
+			if ierr.Field != tc.field {
+				t.Errorf("field = %q, want %q (%v)", ierr.Field, tc.field, ierr)
+			}
+		})
+	}
+}
+
+// Predict, Metrics, Forecast, and Intervention share the pipeline; one
+// smoke pass each through an alias proves the wiring.
+func TestPipelineMethodsResolveAliases(t *testing.T) {
+	svc := New(Config{FitCacheSize: 8})
+	ctx := context.Background()
+	vals := testValues()
+
+	pred, err := svc.Predict(ctx, Request{Model: "quad", Values: vals})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if pred.MinimumTime <= 0 || !pred.RecoveryReached {
+		t.Errorf("predict: minimum %v, reached %v", pred.MinimumTime, pred.RecoveryReached)
+	}
+
+	met, err := svc.Metrics(ctx, Request{Model: "hjorth", Values: vals})
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if len(met.Rows) != 8 {
+		t.Errorf("metrics rows = %d, want 8", len(met.Rows))
+	}
+	if met.Model.Name != "competing-risks" {
+		t.Errorf("hjorth resolved to %q", met.Model.Name)
+	}
+
+	fc, err := svc.Forecast(ctx, Request{Model: "quad", Values: vals, Steps: 4})
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	if len(fc.Forecast.Times) != 4 {
+		t.Errorf("forecast times = %d, want 4", len(fc.Forecast.Times))
+	}
+	// Forecast shares the plain-fit cache entry warmed by Predict.
+	if !fc.Cached {
+		t.Error("forecast missed the fit-cache entry warmed by predict")
+	}
+
+	iv, err := svc.Intervention(ctx, Request{
+		Model: "quad", Values: vals,
+		InterventionStart: 5, InterventionAccel: 2, Level: 0.995,
+	})
+	if err != nil {
+		t.Fatalf("Intervention: %v", err)
+	}
+	if iv.Impact == nil {
+		t.Error("intervention returned no impact")
+	}
+	if !iv.Cached {
+		t.Error("intervention missed the shared fit-cache entry")
+	}
+}
+
+// The service owns the monitor fit counters: one optimizer run per miss,
+// nothing counted on cache hits.
+func TestMonitorCountersTrackOptimizerWorkOnly(t *testing.T) {
+	monitor.ResetCounters()
+	t.Cleanup(monitor.ResetCounters)
+	svc := New(Config{FitCacheSize: 8})
+	ctx := context.Background()
+	if _, err := svc.Fit(ctx, Request{Model: "quadratic", Values: testValues()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Fit(ctx, Request{Model: "quad", Values: testValues()}); err != nil {
+		t.Fatal(err)
+	}
+	if c := monitor.Counters(); c.Fits != 1 {
+		t.Errorf("fits = %d, want 1 (cache hit must not count)", c.Fits)
+	}
+}
+
+func TestFitHonorsCancellation(t *testing.T) {
+	svc := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := svc.Fit(ctx, Request{Model: "weibull-weibull", Values: testValues()})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -20,6 +20,7 @@ package resilience
 import (
 	"resilience/internal/core"
 	"resilience/internal/monitor"
+	"resilience/internal/registry"
 	"resilience/internal/stat"
 	"resilience/internal/timeseries"
 )
@@ -105,13 +106,47 @@ var (
 	ErrNoRecovery = core.ErrNoRecovery
 )
 
+// The model registry (internal/registry) is the single definition site
+// for the model families the library serves; the facade re-exports its
+// catalog so external callers can enumerate, look up, and introspect
+// models by name exactly as the HTTP API and CLI do.
+type (
+	// ModelInfo is one registered model family: canonical name, accepted
+	// aliases, family, parameter metadata, capability flags, and its
+	// position in the default degradation chain.
+	ModelInfo = registry.Entry
+	// ModelCapabilities flags which closed-form shortcuts a family
+	// implements.
+	ModelCapabilities = registry.Capabilities
+)
+
+// Model families.
+const (
+	// FamilyBathtub groups the bathtub-shaped hazard models.
+	FamilyBathtub = registry.FamilyBathtub
+	// FamilyMixture groups the mixture-distribution models.
+	FamilyMixture = registry.FamilyMixture
+)
+
+// RegisteredModels returns the full model catalog in its stable public
+// order.
+func RegisteredModels() []ModelInfo { return registry.All() }
+
+// LookupModel resolves a canonical model name or alias (such as "quad",
+// "hjorth", or "wei-exp"), case-insensitively, to its catalog entry.
+func LookupModel(name string) (ModelInfo, error) { return registry.Lookup(name) }
+
+// ModelsByFamily returns the catalog entries of one family
+// (FamilyBathtub or FamilyMixture) in catalog order.
+func ModelsByFamily(family string) []ModelInfo { return registry.ByFamily(family) }
+
 // Quadratic returns the bathtub-shaped quadratic hazard model
 // P(t) = α + βt + γt² (Eq. 1).
-func Quadratic() Model { return core.QuadraticModel{} }
+func Quadratic() Model { return registry.MustLookup("quadratic").Model }
 
 // CompetingRisks returns the competing-risks (Hjorth) bathtub model
 // P(t) = 2γt + α/(1+βt) (Eq. 4).
-func CompetingRisks() Model { return core.CompetingRisksModel{} }
+func CompetingRisks() Model { return registry.MustLookup("competing-risks").Model }
 
 // NewMixture builds the paper's mixture model
 // P(t) = (1−F₁(t)) + a₂(t)·F₂(t) from a degradation CDF family, a
@@ -121,8 +156,9 @@ func NewMixture(f1, f2 CDFFamily, a2 Trend) (*MixtureModel, error) {
 }
 
 // StandardMixtures returns the paper's four mixture combinations
-// (Exp-Exp, Wei-Exp, Exp-Wei, Wei-Wei) with a₂(t) = β·ln t.
-func StandardMixtures() []*MixtureModel { return core.StandardMixtures() }
+// (Exp-Exp, Wei-Exp, Exp-Wei, Wei-Wei) with a₂(t) = β·ln t, as
+// registered in the model catalog.
+func StandardMixtures() []*MixtureModel { return registry.Mixtures() }
 
 // Component families and trends for building custom mixtures.
 func Exp() CDFFamily          { return core.ExpFamily{} }
@@ -253,7 +289,7 @@ const (
 
 // ExpBathtub returns the four-parameter exponential bathtub extension
 // P(t) = α·e^{−βt} + γ·(e^{δt} − 1).
-func ExpBathtub() Model { return core.ExpBathtubModel{} }
+func ExpBathtub() Model { return registry.MustLookup("exp-bathtub").Model }
 
 // NewComposite chains two single-dip models at a changepoint constrained
 // to (tauLo, tauHi), for W-shaped events.
