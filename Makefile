@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint-dispatch test test-short check chaos bench bench-compare bench-all fuzz cover report clean
+.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos bench bench-compare bench-all fuzz cover report clean
 
 all: build vet lint-dispatch test
 
@@ -21,7 +21,7 @@ vet:
 lint-dispatch:
 	@bad=$$(grep -rn --include='*.go' \
 		--exclude-dir=core --exclude-dir=registry \
-		-E 'QuadraticModel\{\}|CompetingRisksModel\{\}|ExpBathtubModel\{\}|StandardMixtures\(\)|case "quadratic"' \
+		-E 'QuadraticModel\{\}|CompetingRisksModel\{\}|ExpBathtubModel\{\}|StandardMixtures\(\)|DefaultFallbacks\(\)|case "quadratic"' \
 		cmd examples internal || true); \
 	if [ -n "$$bad" ]; then \
 		echo "lint-dispatch: model literals outside internal/registry (use registry.Lookup):"; \
@@ -41,11 +41,19 @@ check:
 	$(GO) vet ./...
 	$(MAKE) lint-dispatch
 	$(GO) test -race ./...
+	$(MAKE) stream-chaos
 
 # Chaos suite only: concurrent hostile requests (malformed, oversized,
 # cancelled, panic- and NaN-injected) against a live server, under -race.
 chaos:
 	$(GO) test -race -run TestChaos -count=1 -v ./internal/server/
+
+# Streaming-session chaos: faults injected into session refits (panics,
+# NaN-poisoned objectives, stalled SSE consumers) must surface as
+# degradation annotations in snapshots — never as dead sessions — with
+# the -race detector watching the session table and event fan-out.
+stream-chaos:
+	$(GO) test -race -run 'TestStreamChaos|TestStreamHammerRace|TestSessionSSE' -count=1 -v ./internal/stream/ ./internal/server/
 
 # Reproducible fit-pipeline benchmark: runs BenchmarkFit across every
 # model family and writes ns/op, evals/op, and iters/op per family to

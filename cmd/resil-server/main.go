@@ -41,6 +41,8 @@ func run(args []string, stdout *os.File) error {
 	fitTimeout := fs.Duration("fit-timeout", 30*time.Second, "deadline for one fitting request, including retries and fallbacks")
 	noFallback := fs.Bool("no-fallback", false, "disable the model degradation chain; failed fits return errors")
 	fitCacheSize := fs.Int("fit-cache-size", 256, "max entries in the server fit cache (LRU over series+model+config digests); 0 disables caching")
+	maxSessions := fs.Int("max-sessions", 64, "max open streaming sessions; at the cap the least recently active is evicted")
+	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "idle streaming sessions older than this are evicted")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints at /debug/pprof/")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -58,13 +60,23 @@ func run(args []string, stdout *os.File) error {
 	}
 	logger := slog.New(handler)
 
-	srv := server.NewServer(*addr, server.Config{
+	app := server.NewApp(server.Config{
 		FitTimeout:      *fitTimeout,
 		DisableFallback: *noFallback,
 		Logger:          logger,
 		EnablePprof:     *enablePprof,
 		FitCacheSize:    *fitCacheSize,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
 	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           app.Handler,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second, // fits can take a few seconds; SSE clears its own deadline
+		IdleTimeout:       120 * time.Second,
+	}
 
 	// Serve until a termination signal arrives, then drain.
 	errc := make(chan error, 1)
@@ -87,6 +99,13 @@ func run(args []string, stdout *os.File) error {
 		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Streaming sessions first: stop accepting observations, abort
+		// in-flight refits, and end every SSE feed with a terminal event —
+		// otherwise open feeds would hold their connections and stall the
+		// listener drain below.
+		if err := app.StreamShutdown(ctx); err != nil {
+			logger.Warn("stream shutdown", "err", err)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}

@@ -14,6 +14,8 @@
 //	resil table 1|2|3|4                          reproduce a paper table
 //	resil figure 1|2|3|4|5|6                     reproduce a paper figure
 //	resil generate -shape V -months 48           emit a synthetic recession as CSV
+//	resil watch -dataset 2020-21                 replay a series through the online tracker
+//	resil stream -dataset 2020-21 -interval 1s   replay against a running server's /v1/sessions
 //
 // Model names resolve through the central registry (internal/registry),
 // so every canonical name and alias the HTTP API accepts works here too,
@@ -36,10 +38,10 @@ import (
 	"resilience/internal/core"
 	"resilience/internal/dataset"
 	"resilience/internal/experiment"
-	"resilience/internal/monitor"
 	"resilience/internal/registry"
 	"resilience/internal/report"
 	"resilience/internal/service"
+	"resilience/internal/stream"
 	"resilience/internal/timeseries"
 )
 
@@ -80,6 +82,8 @@ func run(args []string) error {
 		return cmdBootstrap(args[1:])
 	case "watch":
 		return cmdWatch(args[1:])
+	case "stream":
+		return cmdStream(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "gallery":
@@ -111,6 +115,7 @@ subcommands:
   select              rank all models on a dataset (-dataset, -criterion)
   bootstrap           residual-bootstrap intervals (-model, -dataset)
   watch               replay a series through the online tracker (-dataset)
+  stream              replay a series against a running server's /v1/sessions (-server, -dataset, -interval)
   report              render all tables+figures into one HTML file (-o)
   gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
   generate            emit a synthetic recession curve (-shape, -months)
@@ -590,9 +595,12 @@ func cmdReport(args []string) error {
 	return nil
 }
 
-// cmdWatch replays a series through the online disruption tracker,
+// cmdWatch replays a series through the online streaming subsystem —
+// the same session manager the HTTP server exposes at /v1/sessions —
 // printing the evolving phase and recovery prediction after each
-// observation — the emergency-management workflow the paper motivates.
+// observation, the emergency-management workflow the paper motivates.
+// Refits run the degradation chain, so a model that will not converge
+// on the partial window is annotated, not fatal.
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
@@ -604,35 +612,64 @@ func cmdWatch(args []string) error {
 	if *dataName == "" {
 		return fmt.Errorf("watch: -dataset required")
 	}
-	m, err := resolveModel(*modelName)
-	if err != nil {
-		return err
-	}
 	data, label, err := resolveSeries(*dataName)
 	if err != nil {
 		return err
 	}
-	tracker := monitor.NewTracker(monitor.Config{Model: m, RecoverySlack: *slack})
-	fmt.Printf("watching %s with %s refits\n\n", label, m.Name())
-	tbl := report.NewTable("t", "value", "phase", "pred. minimum", "pred. recovery")
+	svc := service.New(service.Config{})
+	mgr := stream.NewManager(stream.Config{Fallback: svc.Policy()})
+	snap, err := mgr.Create(*modelName, stream.MonitorConfig{RecoverySlack: *slack})
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer mgr.Close(snap.ID)
+	fmt.Printf("watching %s with %s refits (session %s)\n\n", label, snap.Model, snap.ID)
+	tbl := report.NewTable("t", "value", "phase", "fit", "pred. minimum", "pred. recovery")
 	for i := 0; i < data.Len(); i++ {
-		up, err := tracker.Observe(data.Time(i), data.Value(i))
+		ups, _, err := mgr.Observe(context.Background(), snap.ID,
+			[]float64{data.Time(i)}, []float64{data.Value(i)})
 		if err != nil {
 			return err
 		}
-		minCol, recCol := "-", "-"
-		if !math.IsNaN(up.PredictedMinimumTime) {
-			minCol = fmt.Sprintf("%.3f @ %.1f", up.PredictedMinimumValue, up.PredictedMinimumTime)
+		for _, up := range ups {
+			tbl.MustAddRow(fmt.Sprintf("%.0f", up.Time), fmt.Sprintf("%.4f", up.Value),
+				up.Phase, watchFitCol(up), watchMinCol(up), watchRecCol(up))
 		}
-		if !math.IsNaN(up.PredictedRecoveryTime) {
-			recCol = fmt.Sprintf("%.1f", up.PredictedRecoveryTime)
-		}
-		tbl.MustAddRow(fmt.Sprintf("%.0f", up.Time), fmt.Sprintf("%.4f", up.Value),
-			up.Phase.String(), minCol, recCol)
+	}
+	final, err := mgr.Snapshot(snap.ID)
+	if err != nil {
+		return err
 	}
 	fmt.Print(tbl.String())
-	fmt.Printf("\nfinal phase: %s\n", tracker.Phase())
+	fmt.Printf("\nfinal phase: %s\n", final.Phase)
 	return nil
+}
+
+func watchFitCol(up stream.Update) string {
+	switch {
+	case up.FitErr != "":
+		return "error"
+	case up.FitModel == "":
+		return "-"
+	case up.FallbackModel != "":
+		return up.FitModel + " (fallback)"
+	default:
+		return up.FitModel
+	}
+}
+
+func watchMinCol(up stream.Update) string {
+	if up.PredictedMinimumTime == nil || up.PredictedMinimumValue == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f @ %.1f", *up.PredictedMinimumValue, *up.PredictedMinimumTime)
+}
+
+func watchRecCol(up stream.Update) string {
+	if up.PredictedRecoveryTime == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", *up.PredictedRecoveryTime)
 }
 
 // cmdGallery prints the canonical letter-shape gallery with each curve's

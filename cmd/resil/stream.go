@@ -1,0 +1,227 @@
+package main
+
+// resil stream: a client for the server's streaming-session API. It
+// opens a session on a running resil-server, subscribes to the
+// Server-Sent Events feed, and replays a dataset (or CSV) point by
+// point — with optional -interval pacing to mimic live arrival —
+// printing each pushed update as the disruption unfolds. This is both
+// the scripted end-to-end exercise of the streaming subsystem and a
+// reference SSE consumer.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"resilience/internal/stream"
+)
+
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running resil-server")
+	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
+	modelName := fs.String("model", "competing-risks", "model the session refits on each update")
+	interval := fs.Duration("interval", 0, "pause between observations (0 replays as fast as the server accepts)")
+	keep := fs.Bool("keep", false, "leave the session open instead of deleting it when the replay ends")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataName == "" {
+		return fmt.Errorf("stream: -dataset required")
+	}
+	data, label, err := resolveSeries(*dataName)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*serverURL, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	snap, err := createSession(client, base, *modelName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session %s on %s (model %s), replaying %s, %d points\n\n",
+		snap.ID, base, snap.Model, label, data.Len())
+
+	// Subscribe before the first observation so no event is missed; the
+	// feed goroutine prints every pushed event and exits on the terminal
+	// "closed" event or connection loss. The initial snapshot event
+	// signals the subscription is live, gating the replay.
+	events := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() { events <- followEvents(base, snap.ID, ready) }()
+	select {
+	case <-ready:
+	case err := <-events:
+		return err
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("stream: event feed never delivered the initial snapshot")
+	}
+
+	for i := 0; i < data.Len(); i++ {
+		if err := observePoint(client, base, snap.ID, data.Time(i), data.Value(i)); err != nil {
+			return err
+		}
+		if *interval > 0 && i < data.Len()-1 {
+			time.Sleep(*interval)
+		}
+	}
+
+	if *keep {
+		fmt.Printf("\nsession %s left open\n", snap.ID)
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+snap.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("stream: close session: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// The delete pushes the terminal event; wait for the feed to drain so
+	// every update has been printed before we return.
+	select {
+	case err := <-events:
+		return err
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("stream: event feed did not terminate after close")
+	}
+}
+
+func createSession(client *http.Client, base, model string) (*stream.Snapshot, error) {
+	body, _ := json.Marshal(map[string]any{"model": model})
+	resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("stream: create session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, apiErrorf(resp, "create session")
+	}
+	var snap stream.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("stream: decode session: %w", err)
+	}
+	return &snap, nil
+}
+
+func observePoint(client *http.Client, base, id string, t, v float64) error {
+	body, _ := json.Marshal(map[string]any{"time": t, "value": v})
+	resp, err := client.Post(base+"/v1/sessions/"+id+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("stream: observe t=%g: %w", t, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorf(resp, fmt.Sprintf("observe t=%g", t))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// apiErrorf folds a non-2xx response's JSON error envelope into an error.
+func apiErrorf(resp *http.Response, what string) error {
+	var envelope struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+		msg = envelope.Error
+		if envelope.Field != "" {
+			msg += " (field " + envelope.Field + ")"
+		}
+	}
+	return fmt.Errorf("stream: %s: %s: %s", what, resp.Status, msg)
+}
+
+// followEvents consumes the session's SSE feed, printing one line per
+// update until the terminal "closed" event arrives. ready is closed
+// once the initial snapshot event arrives, i.e. the subscription is
+// attached and no later update can be missed.
+func followEvents(base, id string, ready chan<- struct{}) error {
+	// No client timeout: the feed is open-ended by design.
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/events")
+	if err != nil {
+		return fmt.Errorf("stream: subscribe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorf(resp, "subscribe")
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var event, payload string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			payload = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "snapshot" && ready != nil {
+				close(ready)
+				ready = nil
+			}
+			done, err := printEvent(event, payload)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			event, payload = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: event feed: %w", err)
+	}
+	return fmt.Errorf("stream: event feed ended without a terminal event")
+}
+
+// printEvent renders one SSE event; done reports the terminal event.
+func printEvent(event, payload string) (done bool, err error) {
+	switch event {
+	case "snapshot":
+		return false, nil // attach-time state; the replay prints updates only
+	case "update":
+		var ev stream.Event
+		if err := json.Unmarshal([]byte(payload), &ev); err != nil || ev.Update == nil {
+			return false, fmt.Errorf("stream: bad update event %q: %v", payload, err)
+		}
+		up := ev.Update
+		line := fmt.Sprintf("#%-3d t=%-5.1f v=%.4f  %-10s", up.Seq, up.Time, up.Value, up.Phase)
+		if up.FitModel != "" {
+			line += "  fit=" + up.FitModel
+			if up.FallbackModel != "" {
+				line += " (fallback)"
+			}
+			if up.PredictedRecoveryTime != nil {
+				line += fmt.Sprintf("  recovery@%.1f", *up.PredictedRecoveryTime)
+			}
+		}
+		if up.FitErr != "" {
+			line += "  fit_error=" + up.FitErr
+		}
+		fmt.Println(line)
+		return false, nil
+	case "closed":
+		var ev stream.Event
+		_ = json.Unmarshal([]byte(payload), &ev)
+		fmt.Printf("\nsession closed (%s)\n", ev.Reason)
+		return true, nil
+	default:
+		return false, nil
+	}
+}

@@ -60,8 +60,12 @@ func RecoveryTime(f *FitResult, level, searchHorizon float64) (float64, error) {
 		return td, nil
 	}
 	// March outward from the minimum until the curve crosses the level.
+	// The step scales with the full horizon, not the span left after the
+	// minimum: when td sits at (or near) searchHorizon the latter
+	// collapses to the 1e-6 floor and the march over [td, 4·horizon]
+	// becomes hundreds of millions of model evaluations.
 	lo := td
-	step := math.Max((searchHorizon-td)/64, 1e-6)
+	step := math.Max(searchHorizon/64, 1e-6)
 	for hi := td + step; hi <= searchHorizon*4; hi += step {
 		if g(hi) >= 0 {
 			root, err := numeric.BrentRoot(g, lo, hi, 1e-10)

@@ -8,6 +8,7 @@
 package monitor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,13 @@ type Config struct {
 	// HorizonFactor bounds the numeric recovery search as a multiple of
 	// the observed span (default 6).
 	HorizonFactor float64
+	// Fallback, when non-nil, routes every refit through the degradation
+	// chain (core.FitWithFallback): optimizer panics are contained,
+	// non-converging fits retry with escalating budgets and then fall back
+	// to simpler families, and the outcome is annotated on the Update's
+	// Degrade field. When nil, a failed refit simply leaves Update.Fit nil
+	// (the pre-chain behavior), with the failure recorded in FitErr.
+	Fallback *core.FallbackPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +122,12 @@ type Update struct {
 	// regain the baseline; NaN without a fit or if the model never
 	// recovers within the search horizon.
 	PredictedRecoveryTime float64
+	// Degrade annotates the degradation-chain outcome of this update's
+	// refit (nil when no refit ran or Config.Fallback is nil).
+	Degrade *core.DegradeInfo
+	// FitErr records why this update's refit produced no fit ("" when the
+	// refit succeeded or no refit was due).
+	FitErr string
 }
 
 // Tracker consumes observations and maintains disruption state. It is
@@ -140,12 +154,34 @@ func NewTracker(cfg Config) *Tracker {
 // Phase returns the current lifecycle phase.
 func (tr *Tracker) Phase() Phase { return tr.phase }
 
-// History returns all updates so far (shared slice; do not modify).
-func (tr *Tracker) History() []Update { return tr.history }
+// History returns a copy of all updates so far. The copy is the
+// caller's: mutating it cannot alias or corrupt tracker state, so
+// histories can be handed across goroutines (each Update's Fit still
+// shares the fitted params with the tracker's warm-start copy point —
+// see refit — but the tracker never reads those back).
+func (tr *Tracker) History() []Update {
+	out := make([]Update, len(tr.history))
+	copy(out, tr.history)
+	return out
+}
+
+// HistoryLen reports how many updates have been recorded, without
+// copying the history.
+func (tr *Tracker) HistoryLen() int { return len(tr.history) }
 
 // Observe ingests one (time, value) observation and returns the updated
 // state.
 func (tr *Tracker) Observe(t, v float64) (Update, error) {
+	return tr.ObserveCtx(context.Background(), t, v)
+}
+
+// ObserveCtx is Observe under a context: a refit triggered by this
+// observation honors the context's cancellation and deadline down to
+// individual optimizer iterations, so closing a streaming session can
+// abort an in-flight refit. A cancelled refit does not reject the
+// observation — the point is already ingested and the phase machine has
+// advanced — it is reported in the update's FitErr instead.
+func (tr *Tracker) ObserveCtx(ctx context.Context, t, v float64) (Update, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
 		return Update{}, fmt.Errorf("%w: non-finite (%g, %g)", ErrBadObservation, t, v)
 	}
@@ -175,7 +211,7 @@ func (tr *Tracker) Observe(t, v float64) (Update, error) {
 	// Refit once enough of the disruption is visible.
 	if tr.onsetIdx >= 0 && tr.phase != PhaseNominal {
 		if post := len(tr.times) - tr.onsetIdx; post >= tr.cfg.MinFitPoints {
-			tr.refit(&up)
+			tr.refit(ctx, &up)
 		}
 	}
 
@@ -246,8 +282,11 @@ func (tr *Tracker) pastMinimum() bool {
 
 // refit fits the configured model to the post-onset window (re-zeroed so
 // the model clock starts at the onset) and fills the update's
-// predictions.
-func (tr *Tracker) refit(up *Update) {
+// predictions. The context aborts the fit mid-iteration; with a
+// Fallback policy configured the fit runs the full degradation chain
+// (panic containment, retries, simpler families) and the outcome lands
+// on up.Degrade.
+func (tr *Tracker) refit(ctx context.Context, up *Update) {
 	onsetT := tr.times[tr.onsetIdx]
 	times := make([]float64, 0, len(tr.times)-tr.onsetIdx)
 	vals := make([]float64, 0, len(tr.times)-tr.onsetIdx)
@@ -257,15 +296,27 @@ func (tr *Tracker) refit(up *Update) {
 	}
 	window, err := timeseries.NewSeries(times, vals)
 	if err != nil {
+		up.FitErr = err.Error()
 		return
 	}
 	cfg := tr.cfg.Fit
 	cfg.InitialParams = tr.warmParams
-	fit, err := core.Fit(tr.cfg.Model, window, cfg)
+	var fit *core.FitResult
+	if tr.cfg.Fallback != nil {
+		fit, up.Degrade, err = core.FitWithFallback(ctx, tr.cfg.Model, window, cfg, *tr.cfg.Fallback)
+	} else {
+		fit, err = core.FitCtx(ctx, tr.cfg.Model, window, cfg)
+	}
 	if err != nil {
+		up.FitErr = err.Error()
 		return
 	}
-	tr.warmParams = fit.Params
+	// Warm-start the next refit from a private copy: fit.Params is shared
+	// with the caller through up.Fit, and a caller mutating its result
+	// must not corrupt the optimizer's starting point. Warm params only
+	// transfer within one family; FitCtx falls back to the model's own
+	// guess when the lengths disagree (e.g. after a fallback-family fit).
+	tr.warmParams = append([]float64(nil), fit.Params...)
 	up.Fit = fit
 
 	span := times[len(times)-1]

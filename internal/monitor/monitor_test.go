@@ -1,10 +1,13 @@
 package monitor
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
 
+	"resilience/internal/core"
+	"resilience/internal/faultinject"
 	"resilience/internal/registry"
 	"resilience/internal/timeseries"
 )
@@ -251,5 +254,85 @@ func TestPredictionsSharpenWithData(t *testing.T) {
 	}
 	if lastErr > 4 {
 		t.Errorf("final prediction err %.1f months, want <= 4", lastErr)
+	}
+}
+
+func TestHistoryReturnsCopy(t *testing.T) {
+	tr := NewTracker(Config{MinFitPoints: 100})
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Observe(float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := tr.History()
+	if len(h) != 5 || tr.HistoryLen() != 5 {
+		t.Fatalf("history len %d / %d, want 5", len(h), tr.HistoryLen())
+	}
+	// Mutating the returned slice must not touch tracker state.
+	h[0].Value = -99
+	h = append(h[:0], Update{})
+	if got := tr.History()[0].Value; got != 1 {
+		t.Errorf("tracker history mutated through History(): value = %g", got)
+	}
+}
+
+func TestObserveCtxCancelAbortsRefit(t *testing.T) {
+	tr := NewTracker(Config{})
+	vals := vCurve(2, 30, 0.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every refit sees an already-dead context
+	for i, v := range vals {
+		up, err := tr.ObserveCtx(ctx, float64(i), v)
+		if err != nil {
+			t.Fatal(err) // cancellation must not reject the observation
+		}
+		if up.Fit != nil {
+			t.Fatalf("step %d: fit produced under a cancelled context", i)
+		}
+		if up.Phase == PhaseRecovering && up.FitErr == "" {
+			t.Fatalf("step %d: aborted refit left no FitErr", i)
+		}
+	}
+	if tr.Phase() != PhaseRecovered {
+		t.Errorf("phase machine stalled at %v under cancellation", tr.Phase())
+	}
+}
+
+func TestTrackerFallbackAnnotatesDegrade(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	// Poison the competing-risks objective so the requested model can
+	// never converge; the chain must fall back and say so.
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(Config{
+		MinFitPoints: 12, // few refits: each one walks the whole poisoned chain
+		Fit:          core.FitConfig{Starts: 2},
+		Fallback: &core.FallbackPolicy{
+			RetryStarts: []int{1},
+			Fallbacks:   registry.FallbackChain(),
+		},
+	})
+	vals := vCurve(2, 18, 0.05)
+	var sawFallback bool
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Fit != nil {
+			if up.Degrade == nil {
+				t.Fatalf("step %d: chain fit without Degrade annotation", i)
+			}
+			if up.Degrade.FallbackUsed {
+				sawFallback = true
+				if up.Fit.Model.Name() == "competing-risks" {
+					t.Fatalf("step %d: fallback flagged but requested model used", i)
+				}
+			}
+		}
+	}
+	if !sawFallback {
+		t.Error("poisoned objective never triggered a fallback fit")
 	}
 }

@@ -53,6 +53,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush and per-connection deadline control through this wrapper —
+// the SSE feed depends on both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func init() {
 	telemetry.RegisterFamily("resil_http_requests_total", "counter",
 		"HTTP requests by route and status.")
@@ -67,11 +72,22 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/version", "/v1/stats", "/v1/models", "/v1/datasets",
-		"/v1/fit", "/v1/predict", "/v1/metrics", "/v1/forecast", "/v1/intervention", "/v1/batch":
+		"/v1/fit", "/v1/predict", "/v1/metrics", "/v1/forecast", "/v1/intervention", "/v1/batch",
+		"/v1/sessions":
 		return path
 	}
 	if strings.HasPrefix(path, "/v1/datasets/") {
 		return "/v1/datasets/{name}"
+	}
+	if strings.HasPrefix(path, "/v1/sessions/") {
+		switch {
+		case strings.HasSuffix(path, "/observe"):
+			return "/v1/sessions/{id}/observe"
+		case strings.HasSuffix(path, "/events"):
+			return "/v1/sessions/{id}/events"
+		default:
+			return "/v1/sessions/{id}"
+		}
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"

@@ -39,6 +39,12 @@
 //	POST /v1/forecast             future-horizon forecast with bands
 //	POST /v1/intervention         restoration-scenario what-if analysis
 //	POST /v1/batch                fit many series×model jobs: {jobs: [...], workers?}
+//	POST /v1/sessions             open a streaming session: {model?, config?}
+//	GET  /v1/sessions             list open sessions
+//	GET  /v1/sessions/{id}        one session's snapshot
+//	DELETE /v1/sessions/{id}      close a session
+//	POST /v1/sessions/{id}/observe  ingest points: {values, times?} or {value, time?}
+//	GET  /v1/sessions/{id}/events   live Server-Sent Events feed, one event per update
 //
 // Every request carries an ID: inbound X-Request-ID is honored when
 // sane, one is generated otherwise, and the ID is echoed in the
@@ -69,6 +75,7 @@ import (
 	"resilience/internal/optimize"
 	"resilience/internal/registry"
 	"resilience/internal/service"
+	"resilience/internal/stream"
 	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
@@ -114,6 +121,13 @@ type Config struct {
 	// service.Config.FitCacheSize. 0 disables caching (the
 	// -fit-cache-size server flag sets it).
 	FitCacheSize int
+	// MaxSessions caps the streaming-session table; at the cap the least
+	// recently active session is evicted (default 64, the -max-sessions
+	// server flag sets it).
+	MaxSessions int
+	// SessionTTL retires streaming sessions idle longer than this
+	// (default 15m, the -session-ttl server flag sets it).
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -127,10 +141,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// api carries per-handler configuration and the shared fitting service.
+// api carries per-handler configuration, the shared fitting service,
+// and the streaming-session manager.
 type api struct {
-	cfg Config
-	svc *service.Service
+	cfg     Config
+	svc     *service.Service
+	streams *stream.Manager
+}
+
+// App bundles the HTTP handler with the stateful subsystems that need
+// their own shutdown sequencing. Transports that only route requests can
+// keep using NewHandler; process entry points should build an App so
+// they can drain the streaming subsystem (Streams.Shutdown) before the
+// HTTP listener.
+type App struct {
+	Handler http.Handler
+	// Streams is the streaming-session manager behind /v1/sessions.
+	Streams *stream.Manager
 }
 
 // Handler returns the server's http.Handler with default configuration.
@@ -139,11 +166,22 @@ func Handler() http.Handler { return NewHandler(Config{}) }
 // NewHandler returns the server's http.Handler with all routes
 // registered and the hardening middleware (panic recovery, structured
 // request logging, request counters) installed.
-func NewHandler(cfg Config) http.Handler {
+func NewHandler(cfg Config) http.Handler { return NewApp(cfg).Handler }
+
+// NewApp builds the handler plus the stateful subsystems it serves.
+func NewApp(cfg Config) *App {
 	a := &api{cfg: cfg.withDefaults()}
 	a.svc = service.New(service.Config{
 		Fallback:     a.cfg.Fallback,
 		FitCacheSize: a.cfg.FitCacheSize,
+	})
+	// Session refits run the same degradation chain as one-shot fits: the
+	// manager takes the service's resolved policy, so a -no-fallback
+	// server degrades (or doesn't) identically on both paths.
+	a.streams = stream.NewManager(stream.Config{
+		MaxSessions: a.cfg.MaxSessions,
+		SessionTTL:  a.cfg.SessionTTL,
+		Fallback:    a.svc.Policy(),
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
@@ -160,6 +198,12 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/forecast", a.withFitTimeout(a.handleForecast))
 	mux.HandleFunc("POST /v1/intervention", a.withFitTimeout(a.handleIntervention))
 	mux.HandleFunc("POST /v1/batch", a.withFitTimeout(a.handleBatch))
+	mux.HandleFunc("POST /v1/sessions", a.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", a.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", a.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", a.handleSessionDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", a.withFitTimeout(a.handleSessionObserve))
+	mux.HandleFunc("GET /v1/sessions/{id}/events", a.handleSessionEvents)
 	if a.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -167,7 +211,7 @@ func NewHandler(cfg Config) http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return instrument(a.cfg.Logger, mux)
+	return &App{Handler: instrument(a.cfg.Logger, mux), Streams: a.streams}
 }
 
 // withFitTimeout imposes the configured fitting deadline on a handler's

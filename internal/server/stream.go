@@ -1,0 +1,206 @@
+package server
+
+// Streaming-session endpoints: the HTTP face of internal/stream. A
+// session wraps a monitor.Tracker server-side so observations can arrive
+// one at a time and every update answers with the tracker's phase,
+// warm-started fit, and recovery predictions. GET .../events upgrades to
+// a Server-Sent Events feed pushing one event per update, so dashboards
+// watch a disruption unfold without polling.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"resilience/internal/service"
+	"resilience/internal/stream"
+	"resilience/internal/telemetry"
+)
+
+// createSessionBody is the POST /v1/sessions request.
+type createSessionBody struct {
+	// Model is a registry name or alias ("" selects competing-risks).
+	Model string `json:"model"`
+	// Config tunes the session's monitor; zero values select defaults.
+	Config stream.MonitorConfig `json:"config"`
+}
+
+// observeBody is the POST /v1/sessions/{id}/observe request. Times may
+// be omitted to auto-number observations 0, 1, 2, ...
+type observeBody struct {
+	Times  []float64 `json:"times,omitempty"`
+	Values []float64 `json:"values"`
+	// Time and Value are the single-point convenience spelling; mutually
+	// exclusive with Values.
+	Time  *float64 `json:"time,omitempty"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+// observeResponse is the observe reply: one update per accepted point
+// plus the session state after the chunk.
+type observeResponse struct {
+	Updates []stream.Update `json:"updates"`
+	Session stream.Snapshot `json:"session"`
+}
+
+// writeStreamErr maps stream-subsystem errors onto HTTP statuses:
+// unknown sessions to 404, a draining manager to 503, input validation
+// to 400 with the offending field, and everything else through the
+// fitting-pipeline mapping.
+func writeStreamErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, stream.ErrNotFound):
+		writeErr(w, r, http.StatusNotFound, err)
+	case errors.Is(err, stream.ErrShutdown):
+		writeErr(w, r, http.StatusServiceUnavailable, err)
+	default:
+		writeFitErr(w, r, err)
+	}
+}
+
+func (a *api) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var body createSessionBody
+	if aerr := decodeBody(r, maxBodyBytes, &body); aerr != nil {
+		writeAPIErr(w, r, aerr)
+		return
+	}
+	if body.Model == "" {
+		body.Model = "competing-risks"
+	}
+	snap, err := a.streams.Create(body.Model, body.Config)
+	if err != nil {
+		writeStreamErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snap)
+}
+
+func (a *api) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	snaps := a.streams.List()
+	if snaps == nil {
+		snaps = []stream.Snapshot{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": snaps})
+}
+
+func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := a.streams.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeStreamErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := a.streams.Close(r.PathValue("id")); err != nil {
+		writeStreamErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+func (a *api) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+	var body observeBody
+	if aerr := decodeBody(r, maxBodyBytes, &body); aerr != nil {
+		writeAPIErr(w, r, aerr)
+		return
+	}
+	times, values := body.Times, body.Values
+	if body.Value != nil {
+		if len(values) > 0 {
+			writeAPIErr(w, r, badField("value", "value and values are mutually exclusive"))
+			return
+		}
+		values = []float64{*body.Value}
+		if body.Time != nil {
+			times = []float64{*body.Time}
+		}
+	}
+	updates, snap, err := a.streams.Observe(r.Context(), r.PathValue("id"), times, values)
+	if err != nil {
+		var ierr *service.InputError
+		if errors.As(err, &ierr) && len(updates) > 0 {
+			// Points before the offending one were ingested; report both the
+			// partial progress and the rejection in one envelope.
+			writeJSON(w, http.StatusBadRequest, struct {
+				observeResponse
+				errorBody
+			}{
+				observeResponse{Updates: updates, Session: snap},
+				errorBody{Error: ierr.Error(), Field: ierr.Field, RequestID: telemetry.RequestID(r.Context())},
+			})
+			return
+		}
+		writeStreamErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, observeResponse{Updates: updates, Session: snap})
+}
+
+// handleSessionEvents serves the session's live feed as Server-Sent
+// Events: a "snapshot" event with the state at attach time, then one
+// "update" event per observation and a terminal "closed" event when the
+// session ends. The feed lasts until the client disconnects, the
+// session closes, or the subscriber falls too far behind and is dropped.
+func (a *api) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sub, snap, err := a.streams.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeStreamErr(w, r, err)
+		return
+	}
+	defer sub.Close()
+
+	// The server's WriteTimeout is sized for request/response bodies; a
+	// feed outlives it by design, so clear the connection deadline.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	if !writeSSE(w, rc, "snapshot", snap) {
+		return
+	}
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				return // session ended (terminal event already sent) or we were dropped
+			}
+			if !writeSSE(w, rc, string(ev.Type), ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event and flushes it to the client,
+// reporting whether the connection is still usable.
+func writeSSE(w http.ResponseWriter, rc *http.ResponseController, event string, v any) bool {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(errorBody{Error: "encode event: " + err.Error()})
+		event = "error"
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return false
+	}
+	return rc.Flush() == nil
+}
+
+// StreamShutdown drains the streaming subsystem: no new sessions or
+// observations, every SSE feed receives a terminal event and closes,
+// and in-flight refits are aborted. Call it before http.Server.Shutdown
+// so event feeds (which otherwise hold their connections open) end and
+// the listener can drain.
+func (a *App) StreamShutdown(ctx context.Context) error {
+	return a.Streams.Shutdown(ctx)
+}

@@ -61,6 +61,12 @@ func New(cfg Config) *Service {
 	return &Service{policy: pol, cache: newFitCache(cfg.FitCacheSize)}
 }
 
+// Policy returns the resolved degradation-chain policy, so stateful
+// subsystems built on the service (the stream session manager) apply
+// the same retry/fallback behavior to their refits that one-shot fits
+// get.
+func (s *Service) Policy() core.FallbackPolicy { return s.policy }
+
 // InputError is a request-validation failure: the input named by Field
 // is missing, malformed, or out of range. Transports map it to their
 // bad-request shape (HTTP 400 with the field in the envelope, a CLI

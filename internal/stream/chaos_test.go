@@ -1,0 +1,106 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"resilience/internal/faultinject"
+)
+
+// TestStreamChaosPanicFallback injects an optimizer panic into every
+// refit of the requested model and asserts the session survives it: the
+// degradation chain contains the panic, falls back to a simpler family,
+// and the resulting updates — and the session snapshot — carry the
+// annotation instead of an error.
+func TestStreamChaosPanicFallback(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.competing-risks", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{})
+	snap, err := m.Create("competing-risks", MonitorConfig{MinFitPoints: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := vCurve(2, 16, 0.05)
+	var sawFallback bool
+	for i, v := range vals {
+		ups, _, err := m.Observe(context.Background(), snap.ID,
+			[]float64{float64(i)}, []float64{v})
+		if err != nil {
+			t.Fatalf("observe %d under panic injection: %v", i, err)
+		}
+		for _, up := range ups {
+			if up.FitModel == "" {
+				continue
+			}
+			if up.FitModel == "competing-risks" {
+				t.Fatalf("step %d: panicking model reported as fit", i)
+			}
+			if !up.Degraded || !up.PanicRecovered || up.FallbackModel == "" {
+				t.Fatalf("step %d: fallback fit missing annotation: %+v", i, up)
+			}
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatal("panic injection never produced an annotated fallback fit")
+	}
+	final, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatalf("session did not survive panic injection: %v", err)
+	}
+	if final.Phase != "recovered" {
+		t.Errorf("phase machine stalled at %s under panic injection", final.Phase)
+	}
+	if final.Last == nil || !final.Last.PanicRecovered {
+		t.Errorf("snapshot lost the degradation annotation: %+v", final.Last)
+	}
+}
+
+// TestStreamChaosExhaustedChain poisons every fit's objective with NaN
+// and disables fallback: refits fail, the failures are recorded on the
+// updates and counted, and the session keeps ingesting and tracking
+// phases regardless.
+func TestStreamChaosExhaustedChain(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.objective.competing-risks", "nan"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{DisableFallback: true})
+	snap, err := m.Create("competing-risks", MonitorConfig{MinFitPoints: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := metrics.refitErrors.Value()
+	vals := vCurve(2, 16, 0.05)
+	var sawErr bool
+	for i, v := range vals {
+		ups, _, err := m.Observe(context.Background(), snap.ID,
+			[]float64{float64(i)}, []float64{v})
+		if err != nil {
+			t.Fatalf("observe %d under NaN injection: %v", i, err)
+		}
+		for _, up := range ups {
+			if up.FitModel != "" {
+				t.Fatalf("step %d: fit produced from a NaN-poisoned objective", i)
+			}
+			if up.FitErr != "" {
+				sawErr = true
+			}
+		}
+	}
+	if !sawErr {
+		t.Fatal("poisoned refits never surfaced a FitErr")
+	}
+	if metrics.refitErrors.Value() == before {
+		t.Error("refit errors not counted")
+	}
+	final, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Phase != "recovered" {
+		t.Errorf("phase machine stalled at %s with refits failing", final.Phase)
+	}
+}

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"resilience/internal/telemetry"
+)
+
+// TestStreamHammerRace drives the manager the way production would
+// under load, with the race detector watching: many goroutines create,
+// observe, snapshot, subscribe to, and close sessions concurrently
+// while the table churns through LRU and TTL evictions and other
+// goroutines scrape the telemetry exposition. The invariants checked
+// are modest — no error but the expected eviction races, table within
+// its cap, clean shutdown — because the real assertion is -race
+// finding nothing.
+func TestStreamHammerRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test skipped in -short mode")
+	}
+	m := NewManager(Config{
+		MaxSessions:      8,
+		SessionTTL:       60 * time.Millisecond,
+		SubscriberBuffer: 4,
+	})
+	models := []string{"competing-risks", "quadratic", "weibull-exp"}
+	vals := vCurve(1, 6, 0.05)
+
+	const workers = 6
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Most sessions only exercise the table/broadcast machinery
+				// (fitting disabled); every fourth runs real refits of the
+				// cheapest family so the optimizer path is in the mix without
+				// dominating the clock.
+				mc := MonitorConfig{MinFitPoints: 1000}
+				model := models[(w+i)%len(models)]
+				if i%4 == 0 {
+					mc.MinFitPoints = 4
+					model = "quadratic"
+				}
+				snap, err := m.Create(model, mc)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d create: %w", w, err)
+					return
+				}
+				sub, _, err := m.Subscribe(snap.ID)
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					errs <- fmt.Errorf("worker %d subscribe: %w", w, err)
+					return
+				}
+				for j := range vals {
+					_, _, err := m.Observe(context.Background(), snap.ID,
+						[]float64{float64(j)}, []float64{vals[j]})
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						// ErrNotFound is a legitimate race: another worker's
+						// create evicted this session mid-replay.
+						errs <- fmt.Errorf("worker %d observe: %w", w, err)
+						return
+					}
+				}
+				if sub != nil {
+					// Drain whatever arrived before detaching; the slow-consumer
+					// policy may already have dropped us, which close tolerates.
+					for done := false; !done; {
+						select {
+						case _, open := <-sub.Events():
+							done = !open
+						default:
+							done = true
+						}
+					}
+					sub.Close()
+				}
+				if _, err := m.Snapshot(snap.ID); err != nil && !errors.Is(err, ErrNotFound) {
+					errs <- fmt.Errorf("worker %d snapshot: %w", w, err)
+					return
+				}
+				if i%3 == 0 {
+					if err := m.Close(snap.ID); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- fmt.Errorf("worker %d close: %w", w, err)
+						return
+					}
+				}
+				if got := m.Len(); got > 8 {
+					errs <- fmt.Errorf("worker %d: table grew past cap: %d", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Concurrent scrapers: the metrics path reads every handle the
+	// observers are writing.
+	scrapeCtx, stopScrape := context.WithCancel(context.Background())
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			h := telemetry.Handler()
+			for scrapeCtx.Err() == nil {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				m.List()
+				time.Sleep(time.Millisecond) // scrape hard, but not a spin loop
+			}
+		}()
+	}
+
+	wg.Wait()
+	stopScrape()
+	scrapeWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after hammer: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("sessions survived shutdown: %d", m.Len())
+	}
+}

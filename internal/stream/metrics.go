@@ -1,0 +1,54 @@
+package stream
+
+import "resilience/internal/telemetry"
+
+// metrics are the stream subsystem's telemetry handles, resolved once so
+// every hot-path touch is a single atomic op. All series live in the
+// process-wide registry and are scraped at GET /metrics alongside the
+// fit-pipeline series.
+var metrics = struct {
+	sessions      *telemetry.Gauge
+	created       *telemetry.Counter
+	observations  *telemetry.Counter
+	refitDuration *telemetry.Histogram
+	refitErrors   *telemetry.Counter
+	evictedLRU    *telemetry.Counter
+	evictedTTL    *telemetry.Counter
+	closed        *telemetry.Counter
+	subscribers   *telemetry.Gauge
+	droppedSubs   *telemetry.Counter
+	events        *telemetry.Counter
+}{
+	sessions:      telemetry.GetOrCreateGauge("resil_stream_sessions"),
+	created:       telemetry.GetOrCreateCounter("resil_stream_sessions_created_total"),
+	observations:  telemetry.GetOrCreateCounter("resil_stream_observations_total"),
+	refitDuration: telemetry.GetOrCreateHistogram("resil_stream_refit_duration_seconds", telemetry.DurationBuckets()),
+	refitErrors:   telemetry.GetOrCreateCounter("resil_stream_refit_errors_total"),
+	evictedLRU:    telemetry.GetOrCreateCounter(`resil_stream_evictions_total{reason="lru"}`),
+	evictedTTL:    telemetry.GetOrCreateCounter(`resil_stream_evictions_total{reason="ttl"}`),
+	closed:        telemetry.GetOrCreateCounter(`resil_stream_evictions_total{reason="closed"}`),
+	subscribers:   telemetry.GetOrCreateGauge("resil_stream_subscribers"),
+	droppedSubs:   telemetry.GetOrCreateCounter("resil_stream_dropped_subscribers_total"),
+	events:        telemetry.GetOrCreateCounter("resil_stream_events_total"),
+}
+
+func init() {
+	telemetry.RegisterFamily("resil_stream_sessions", "gauge",
+		"Open streaming sessions.")
+	telemetry.RegisterFamily("resil_stream_sessions_created_total", "counter",
+		"Streaming sessions created.")
+	telemetry.RegisterFamily("resil_stream_observations_total", "counter",
+		"Observations ingested across all streaming sessions.")
+	telemetry.RegisterFamily("resil_stream_refit_duration_seconds", "histogram",
+		"Wall time of per-observation warm-started refits.")
+	telemetry.RegisterFamily("resil_stream_refit_errors_total", "counter",
+		"Session refits that produced no fit (chain exhausted or cancelled).")
+	telemetry.RegisterFamily("resil_stream_evictions_total", "counter",
+		"Sessions removed from the table, by reason (lru, ttl, closed).")
+	telemetry.RegisterFamily("resil_stream_subscribers", "gauge",
+		"Live event subscribers across all sessions.")
+	telemetry.RegisterFamily("resil_stream_dropped_subscribers_total", "counter",
+		"Subscribers disconnected for not keeping up with the event feed.")
+	telemetry.RegisterFamily("resil_stream_events_total", "counter",
+		"Events delivered to subscribers.")
+}

@@ -1,0 +1,782 @@
+// Package stream is the online resilience-monitoring subsystem: a
+// concurrency-safe session manager that wraps monitor.Tracker so
+// observations can arrive one at a time — over HTTP, from the CLI, or
+// from any future transport — with a warm-started refit, phase
+// detection, and recovery predictions after every update.
+//
+// A session is created with a model (resolved through the central
+// registry, aliases included) and a monitor configuration. Clients then
+// Observe points individually or in small chunks and read back the
+// tracker's state as a Snapshot; Subscribe attaches a live event feed
+// that receives one Event per observation plus a terminal event when the
+// session ends, which the HTTP layer forwards as Server-Sent Events.
+//
+// The manager enforces a bounded session table: a configurable cap with
+// least-recently-active eviction when full, a TTL sweep that retires
+// idle sessions (amortized onto table accesses — no background
+// goroutine), and explicit Close. Every refit runs under the session's
+// context through the degradation chain, so optimizer panics are
+// contained to the session, non-converging fits fall back to simpler
+// families with the outcome annotated on the update, and closing or
+// evicting a session aborts its in-flight refit mid-iteration.
+//
+// Slow event subscribers are dropped, not waited for: a subscriber whose
+// buffer is full when an event arrives is disconnected (its channel
+// closed, a drop counter incremented) so one stalled dashboard cannot
+// stall ingestion or other subscribers.
+package stream
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/core"
+	"resilience/internal/monitor"
+	"resilience/internal/registry"
+	"resilience/internal/service"
+)
+
+// Sentinel errors, mapped by transports onto their status vocabulary
+// (HTTP 404 and 503 respectively).
+var (
+	// ErrNotFound reports an unknown — or already closed/evicted —
+	// session ID.
+	ErrNotFound = errors.New("stream: session not found")
+	// ErrShutdown reports that the manager is draining and accepts no new
+	// work.
+	ErrShutdown = errors.New("stream: manager shut down")
+)
+
+// Config tunes a Manager. The zero value selects production defaults.
+type Config struct {
+	// MaxSessions caps the session table; creating a session beyond the
+	// cap evicts the least recently active one (default 64).
+	MaxSessions int
+	// SessionTTL retires sessions idle longer than this; expiry is
+	// enforced amortized, on table accesses (default 15m).
+	SessionTTL time.Duration
+	// MaxChunk bounds how many points one Observe call may carry
+	// (default 256).
+	MaxChunk int
+	// SubscriberBuffer is each event subscriber's channel capacity; a
+	// subscriber that falls this far behind is dropped (default 32).
+	SubscriberBuffer int
+	// Fallback is the degradation-chain policy applied to session refits;
+	// empty Fallbacks are filled from the registry, exactly as in
+	// service.Config.
+	Fallback core.FallbackPolicy
+	// DisableFallback turns the chain's retries and model fallbacks off.
+	// Panic containment and cancellation still apply.
+	DisableFallback bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxChunk <= 0 {
+		c.MaxChunk = 256
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 32
+	}
+	c.Fallback.Disable = c.Fallback.Disable || c.DisableFallback
+	if len(c.Fallback.Fallbacks) == 0 {
+		c.Fallback.Fallbacks = registry.FallbackChain()
+	}
+	return c
+}
+
+// MonitorConfig is the wire-friendly subset of monitor.Config a client
+// may set when creating a session. Zero values select the tracker's
+// defaults.
+type MonitorConfig struct {
+	// Baseline is the nominal performance level (default: the first
+	// observation).
+	Baseline float64 `json:"baseline,omitempty"`
+	// OnsetDrop is the fractional drop below baseline that declares a
+	// disruption (default 0.005).
+	OnsetDrop float64 `json:"onset_drop,omitempty"`
+	// RecoverySlack is how close to baseline performance must return to
+	// declare recovery (default 0.001).
+	RecoverySlack float64 `json:"recovery_slack,omitempty"`
+	// MinFitPoints is the minimum number of post-onset observations
+	// before refitting starts (default 6).
+	MinFitPoints int `json:"min_fit_points,omitempty"`
+	// HorizonFactor bounds the recovery search as a multiple of the
+	// observed span (default 6).
+	HorizonFactor float64 `json:"horizon_factor,omitempty"`
+}
+
+// validate rejects non-finite and out-of-range monitor settings with
+// field-level errors, in the service layer's InputError shape so every
+// transport rejects identically.
+func (c MonitorConfig) validate() *service.InputError {
+	bad := func(field, format string, args ...any) *service.InputError {
+		return &service.InputError{Field: field, Err: fmt.Errorf(format, args...)}
+	}
+	if b := c.Baseline; math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+		return bad("baseline", "baseline %g must be finite and non-negative", b)
+	}
+	if d := c.OnsetDrop; math.IsNaN(d) || d < 0 || d >= 1 {
+		return bad("onset_drop", "onset_drop %g outside [0, 1); 0 selects the default 0.005", d)
+	}
+	if s := c.RecoverySlack; math.IsNaN(s) || s < 0 || s >= 1 {
+		return bad("recovery_slack", "recovery_slack %g outside [0, 1); 0 selects the default 0.001", s)
+	}
+	if p := c.MinFitPoints; p < 0 || p > 100000 {
+		return bad("min_fit_points", "min_fit_points %d outside [0, 100000]; 0 selects the default 6", p)
+	}
+	if h := c.HorizonFactor; math.IsNaN(h) || math.IsInf(h, 0) || h < 0 || h > 1000 {
+		return bad("horizon_factor", "horizon_factor %g outside [0, 1000]; 0 selects the default 6", h)
+	}
+	return nil
+}
+
+// Update is one observation's outcome in wire form: the echoed point,
+// the phase machine's verdict, the warm-started fit (when one ran), and
+// the degradation-chain annotation. Optional numerics are pointers so
+// "not predictable yet" serializes as an absent field rather than a NaN
+// that would break JSON encoding.
+type Update struct {
+	// Seq numbers observations within a session, from 1.
+	Seq uint64 `json:"seq"`
+	// Time and Value echo the observation.
+	Time  float64 `json:"time"`
+	Value float64 `json:"value"`
+	// Phase is the lifecycle phase after this observation.
+	Phase string `json:"phase"`
+	// OnsetTime is when the disruption was detected; absent while nominal.
+	OnsetTime *float64 `json:"onset_time,omitempty"`
+	// FitModel is the family that produced this update's fit — after any
+	// fallback — with its parameters; absent until enough post-onset
+	// points have arrived or when the refit failed.
+	FitModel   string    `json:"fit_model,omitempty"`
+	ParamNames []string  `json:"param_names,omitempty"`
+	Params     []float64 `json:"params,omitempty"`
+	SSE        float64   `json:"sse,omitempty"`
+	// Predicted* locate the fitted curve's minimum and recovery; absent
+	// without a fit or when the curve never recovers inside the horizon.
+	PredictedMinimumTime  *float64 `json:"predicted_minimum_time,omitempty"`
+	PredictedMinimumValue *float64 `json:"predicted_minimum_value,omitempty"`
+	PredictedRecoveryTime *float64 `json:"predicted_recovery_time,omitempty"`
+	// Degraded and friends mirror the fit-family endpoints' degradation
+	// annotation for this update's refit.
+	Degraded          bool   `json:"degraded,omitempty"`
+	FallbackModel     string `json:"fallback_model,omitempty"`
+	DegradationReason string `json:"degradation_reason,omitempty"`
+	PanicRecovered    bool   `json:"panic_recovered,omitempty"`
+	// FitErr records why a due refit produced no fit (chain exhausted,
+	// cancelled mid-iteration).
+	FitErr string `json:"fit_error,omitempty"`
+}
+
+// Snapshot is a session's externally visible state.
+type Snapshot struct {
+	ID           string        `json:"id"`
+	Model        string        `json:"model"`
+	Phase        string        `json:"phase"`
+	Observations uint64        `json:"observations"`
+	CreatedAt    time.Time     `json:"created_at"`
+	LastActive   time.Time     `json:"last_active"`
+	Subscribers  int           `json:"subscribers"`
+	Config       MonitorConfig `json:"config"`
+	// Last is the most recent update, nil before the first observation.
+	Last *Update `json:"last,omitempty"`
+}
+
+// EventType discriminates feed events.
+type EventType string
+
+// Feed event types.
+const (
+	// EventUpdate carries one observation's Update.
+	EventUpdate EventType = "update"
+	// EventClosed is the terminal event: the session was closed, evicted,
+	// or the manager shut down. Reason says which.
+	EventClosed EventType = "closed"
+)
+
+// Event is one element of a session's live feed.
+type Event struct {
+	Type    EventType `json:"type"`
+	Session string    `json:"session"`
+	// Seq is the update's sequence number (0 for terminal events).
+	Seq uint64 `json:"seq,omitempty"`
+	// Update is present on EventUpdate.
+	Update *Update `json:"update,omitempty"`
+	// Reason is present on EventClosed: "closed", "evicted:lru",
+	// "evicted:ttl", or "shutdown".
+	Reason string `json:"reason,omitempty"`
+}
+
+// Subscriber is one attached event-feed consumer. Events arrive on
+// Events(); the channel closes when the session ends (after a terminal
+// EventClosed) or when the subscriber is dropped for falling behind.
+type Subscriber struct {
+	ch      chan Event
+	sess    *session
+	dropped atomic.Bool
+	once    sync.Once
+}
+
+// Events returns the feed channel.
+func (sub *Subscriber) Events() <-chan Event { return sub.ch }
+
+// Dropped reports whether the subscriber was disconnected for not
+// keeping up (as opposed to the session ending).
+func (sub *Subscriber) Dropped() bool { return sub.dropped.Load() }
+
+// Close detaches the subscriber. Safe to call more than once and after
+// the session ended.
+func (sub *Subscriber) Close() {
+	sub.sess.unsubscribe(sub)
+}
+
+// session is one tracked disruption. The manager's mutex guards table
+// membership, LRU position, and lastActive; the session's own mutex
+// serializes tracker access; subMu guards the subscriber set and the
+// closed flag so no event is ever sent on a closed channel.
+type session struct {
+	id    string
+	entry registry.Entry
+	mcfg  MonitorConfig
+
+	// ctx is the session's lifetime; cancel aborts any in-flight refit
+	// when the session is closed or evicted.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	tracker *monitor.Tracker
+	seq     uint64
+	last    *Update
+
+	subMu  sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+
+	createdAt  time.Time
+	lastActive atomic.Int64 // unix nanos
+
+	elem *list.Element // LRU position; guarded by Manager.mu
+}
+
+// Manager owns the bounded session table. It is safe for concurrent use
+// by any number of transports.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	lru      *list.List // front = most recently active
+	closed   bool
+
+	// inflight tracks running Observe calls so Shutdown can drain them.
+	inflight sync.WaitGroup
+}
+
+// NewManager builds a Manager from cfg.
+func NewManager(cfg Config) *Manager {
+	return &Manager{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*session),
+		lru:      list.New(),
+	}
+}
+
+// Len reports the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// newID returns a fresh session identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; ids only need process
+		// uniqueness, which the collision loop in Create still enforces.
+		return fmt.Sprintf("s-%x", time.Now().UnixNano())
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+// Create opens a session for the named model (canonical name or alias)
+// with the given monitor settings and returns its initial snapshot. At
+// the cap, the least recently active session is evicted first.
+func (m *Manager) Create(modelName string, mc MonitorConfig) (Snapshot, error) {
+	entry, err := registry.Lookup(modelName)
+	if err != nil {
+		return Snapshot{}, &service.InputError{Field: "model", Err: err}
+	}
+	if ierr := mc.validate(); ierr != nil {
+		return Snapshot{}, ierr
+	}
+
+	pol := m.cfg.Fallback
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &session{
+		id:    newID(),
+		entry: entry,
+		mcfg:  mc,
+		ctx:   ctx,
+		cancel: cancel,
+		tracker: monitor.NewTracker(monitor.Config{
+			Baseline:      mc.Baseline,
+			OnsetDrop:     mc.OnsetDrop,
+			RecoverySlack: mc.RecoverySlack,
+			MinFitPoints:  mc.MinFitPoints,
+			HorizonFactor: mc.HorizonFactor,
+			Model:         entry.Model,
+			Fallback:      &pol,
+		}),
+		subs:      make(map[*Subscriber]struct{}),
+		createdAt: time.Now(),
+	}
+	s.lastActive.Store(s.createdAt.UnixNano())
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return Snapshot{}, ErrShutdown
+	}
+	victims := m.sweepLocked(time.Now())
+	for len(m.sessions) >= m.cfg.MaxSessions {
+		oldest := m.lru.Back()
+		if oldest == nil {
+			break
+		}
+		v := oldest.Value.(*session)
+		m.detachLocked(v)
+		metrics.evictedLRU.Inc()
+		victims = append(victims, victim{s: v, reason: "evicted:lru"})
+	}
+	for {
+		if _, dup := m.sessions[s.id]; !dup {
+			break
+		}
+		s.id = newID()
+	}
+	m.sessions[s.id] = s
+	s.elem = m.lru.PushFront(s)
+	metrics.sessions.Set(float64(len(m.sessions)))
+	m.mu.Unlock()
+
+	finishAll(victims)
+	metrics.created.Inc()
+	return s.snapshot(), nil
+}
+
+// victim pairs a detached session with its eviction reason so the
+// terminal event can be delivered outside the table lock.
+type victim struct {
+	s      *session
+	reason string
+}
+
+func finishAll(victims []victim) {
+	for _, v := range victims {
+		v.s.finish(v.reason)
+	}
+}
+
+// sweepLocked detaches every session idle past the TTL. Caller holds
+// m.mu and must finish() the returned victims after unlocking.
+func (m *Manager) sweepLocked(now time.Time) []victim {
+	var victims []victim
+	cutoff := now.Add(-m.cfg.SessionTTL).UnixNano()
+	for e := m.lru.Back(); e != nil; {
+		s := e.Value.(*session)
+		if s.lastActive.Load() > cutoff {
+			break // LRU order: everything further forward is younger
+		}
+		prev := e.Prev()
+		m.detachLocked(s)
+		metrics.evictedTTL.Inc()
+		victims = append(victims, victim{s: s, reason: "evicted:ttl"})
+		e = prev
+	}
+	if victims != nil {
+		metrics.sessions.Set(float64(len(m.sessions)))
+	}
+	return victims
+}
+
+// detachLocked removes s from the table and LRU list. Caller holds m.mu.
+func (m *Manager) detachLocked(s *session) {
+	delete(m.sessions, s.id)
+	if s.elem != nil {
+		m.lru.Remove(s.elem)
+		s.elem = nil
+	}
+}
+
+// finish ends a detached session: the context is cancelled (aborting any
+// in-flight refit mid-iteration), a terminal event is delivered, and
+// every subscriber channel is closed.
+func (s *session) finish(reason string) {
+	s.cancel()
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	term := Event{Type: EventClosed, Session: s.id, Reason: reason}
+	for sub := range s.subs {
+		select {
+		case sub.ch <- term:
+			metrics.events.Inc()
+		default: // too slow even for the terminal event; just close
+		}
+		close(sub.ch)
+		metrics.subscribers.Add(-1)
+	}
+	s.subs = nil
+}
+
+// lookup returns the session for id, TTL-sweeping first so an expired
+// session cannot be resurrected by the very request that should have
+// found it gone. touch marks the session active and refreshes its LRU
+// position.
+func (m *Manager) lookup(id string, touch bool) (*session, []victim, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, nil, ErrShutdown
+	}
+	victims := m.sweepLocked(time.Now())
+	s, ok := m.sessions[id]
+	if ok && touch {
+		s.lastActive.Store(time.Now().UnixNano())
+		m.lru.MoveToFront(s.elem)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, victims, ErrNotFound
+	}
+	return s, victims, nil
+}
+
+// Observe ingests one or more (time, value) points into a session and
+// returns the per-point updates plus the resulting snapshot. A nil
+// times slice auto-numbers the points from the session's observation
+// count (0, 1, 2, ...), so clients streaming evenly spaced samples need
+// not track indices. Refits run under both the caller's context and the
+// session's lifetime: a client disconnect or a session close/eviction
+// aborts the optimizer mid-iteration. A validation failure on point k
+// returns the k updates that preceded it alongside the error.
+func (m *Manager) Observe(ctx context.Context, id string, times, values []float64) ([]Update, Snapshot, error) {
+	if len(values) == 0 {
+		return nil, Snapshot{}, &service.InputError{Field: "values", Err: errors.New("values required")}
+	}
+	if times != nil && len(times) != len(values) {
+		return nil, Snapshot{}, &service.InputError{
+			Field: "times",
+			Err:   fmt.Errorf("%d times for %d values; lengths must match", len(times), len(values)),
+		}
+	}
+	if len(values) > m.cfg.MaxChunk {
+		return nil, Snapshot{}, &service.InputError{
+			Field: "values",
+			Err:   fmt.Errorf("%d points exceeds the per-call chunk limit %d", len(values), m.cfg.MaxChunk),
+		}
+	}
+
+	s, victims, err := m.lookup(id, true)
+	finishAll(victims)
+	if err != nil {
+		return nil, Snapshot{}, err
+	}
+	m.inflight.Add(1)
+	defer m.inflight.Done()
+
+	// Refits must stop when either the caller goes away or the session is
+	// closed/evicted; merge the two cancellation sources.
+	octx, ocancel := context.WithCancel(ctx)
+	defer ocancel()
+	stop := context.AfterFunc(s.ctx, ocancel)
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if times == nil {
+		times = make([]float64, len(values))
+		for i := range times {
+			times[i] = float64(s.seq) + float64(i)
+		}
+	}
+	updates := make([]Update, 0, len(values))
+	for i := range values {
+		start := time.Now()
+		mup, err := s.tracker.ObserveCtx(octx, times[i], values[i])
+		if err != nil {
+			return updates, s.snapshotLocked(), &service.InputError{Field: "times", Err: err}
+		}
+		metrics.observations.Inc()
+		s.seq++
+		up := toUpdate(s.seq, mup)
+		if up.FitModel != "" || up.FitErr != "" { // a refit actually ran
+			metrics.refitDuration.Observe(time.Since(start).Seconds())
+			countRefit(octx, mup)
+		}
+		s.last = &up
+		updates = append(updates, up)
+		s.broadcast(Event{Type: EventUpdate, Session: s.id, Seq: up.Seq, Update: &up})
+	}
+	return updates, s.snapshotLocked(), nil
+}
+
+// countRefit feeds the process-wide fit counters (GET /v1/stats) from a
+// session refit outcome, mirroring what the service layer counts for
+// one-shot fits.
+func countRefit(ctx context.Context, mup monitor.Update) {
+	monitor.CountFit()
+	if d := mup.Degrade; d != nil {
+		if d.Degraded && mup.Fit != nil {
+			monitor.CountFallback()
+		}
+		if d.PanicRecovered {
+			monitor.CountPanicRecovery()
+		}
+	}
+	if mup.FitErr != "" {
+		metrics.refitErrors.Inc()
+		if ctx.Err() != nil {
+			monitor.CountCancellation()
+		}
+	}
+}
+
+// Snapshot returns a session's current state without refreshing its TTL
+// (reads do not keep a session alive).
+func (m *Manager) Snapshot(id string) (Snapshot, error) {
+	s, victims, err := m.lookup(id, false)
+	finishAll(victims)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return s.snapshot(), nil
+}
+
+// List returns a snapshot of every open session, most recently active
+// first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	victims := m.sweepLocked(time.Now())
+	ordered := make([]*session, 0, len(m.sessions))
+	for e := m.lru.Front(); e != nil; e = e.Next() {
+		ordered = append(ordered, e.Value.(*session))
+	}
+	m.mu.Unlock()
+	finishAll(victims)
+	out := make([]Snapshot, len(ordered))
+	for i, s := range ordered {
+		out[i] = s.snapshot()
+	}
+	return out
+}
+
+// Subscribe attaches a live event feed to a session and returns the
+// subscriber together with the snapshot at attach time, so a consumer
+// can render current state and then apply updates without a gap.
+func (m *Manager) Subscribe(id string) (*Subscriber, Snapshot, error) {
+	s, victims, err := m.lookup(id, false)
+	finishAll(victims)
+	if err != nil {
+		return nil, Snapshot{}, err
+	}
+	sub := &Subscriber{ch: make(chan Event, m.cfg.SubscriberBuffer), sess: s}
+	s.subMu.Lock()
+	if s.closed {
+		s.subMu.Unlock()
+		return nil, Snapshot{}, ErrNotFound
+	}
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	metrics.subscribers.Add(1)
+	return sub, s.snapshot(), nil
+}
+
+// Close ends a session explicitly: subscribers receive a terminal event
+// and any in-flight refit is aborted.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrShutdown
+	}
+	s, ok := m.sessions[id]
+	if ok {
+		m.detachLocked(s)
+		metrics.closed.Inc()
+		metrics.sessions.Set(float64(len(m.sessions)))
+	}
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	s.finish("closed")
+	return nil
+}
+
+// Shutdown drains the subsystem for process exit: no new sessions,
+// observations, or subscriptions are accepted; every session's context
+// is cancelled so in-flight refits abort mid-iteration; every feed
+// receives a terminal "shutdown" event and closes; and Shutdown blocks
+// until running Observe calls return or ctx expires.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	victims := make([]victim, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		victims = append(victims, victim{s: s, reason: "shutdown"})
+	}
+	m.sessions = make(map[string]*session)
+	m.lru.Init()
+	metrics.sessions.Set(0)
+	m.mu.Unlock()
+
+	finishAll(victims)
+	done := make(chan struct{})
+	go func() {
+		m.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("stream: shutdown drain: %w", ctx.Err())
+	}
+}
+
+// broadcast delivers an event to every live subscriber, dropping the
+// ones that cannot keep up. Caller holds s.mu; subMu orders broadcasts
+// against subscriber close so no send hits a closed channel.
+func (s *session) broadcast(ev Event) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.closed {
+		return
+	}
+	for sub := range s.subs {
+		select {
+		case sub.ch <- ev:
+			metrics.events.Inc()
+		default:
+			// Full buffer: disconnect the laggard instead of blocking
+			// ingestion for everyone.
+			delete(s.subs, sub)
+			sub.dropped.Store(true)
+			close(sub.ch)
+			metrics.droppedSubs.Inc()
+			metrics.subscribers.Add(-1)
+		}
+	}
+}
+
+// unsubscribe detaches sub if still attached.
+func (s *session) unsubscribe(sub *Subscriber) {
+	sub.once.Do(func() {
+		s.subMu.Lock()
+		defer s.subMu.Unlock()
+		if s.closed {
+			return // finish() already closed the channel
+		}
+		if _, ok := s.subs[sub]; ok {
+			delete(s.subs, sub)
+			close(sub.ch)
+			metrics.subscribers.Add(-1)
+		}
+	})
+}
+
+func (s *session) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked assembles the snapshot; caller holds s.mu.
+func (s *session) snapshotLocked() Snapshot {
+	s.subMu.Lock()
+	nsubs := len(s.subs)
+	s.subMu.Unlock()
+	snap := Snapshot{
+		ID:           s.id,
+		Model:        s.entry.Name,
+		Phase:        s.tracker.Phase().String(),
+		Observations: s.seq,
+		CreatedAt:    s.createdAt,
+		LastActive:   time.Unix(0, s.lastActive.Load()),
+		Subscribers:  nsubs,
+		Config:       s.mcfg,
+	}
+	if s.last != nil {
+		up := *s.last
+		snap.Last = &up
+	}
+	return snap
+}
+
+// toUpdate converts a tracker update into wire form, copying every
+// retained slice so consumers on other goroutines can hold the result
+// indefinitely.
+func toUpdate(seq uint64, mup monitor.Update) Update {
+	up := Update{
+		Seq:                   seq,
+		Time:                  mup.Time,
+		Value:                 mup.Value,
+		Phase:                 mup.Phase.String(),
+		OnsetTime:             optFloat(mup.OnsetTime),
+		PredictedMinimumTime:  optFloat(mup.PredictedMinimumTime),
+		PredictedMinimumValue: optFloat(mup.PredictedMinimumValue),
+		PredictedRecoveryTime: optFloat(mup.PredictedRecoveryTime),
+		FitErr:                mup.FitErr,
+	}
+	if mup.Fit != nil {
+		up.FitModel = mup.Fit.Model.Name()
+		up.ParamNames = mup.Fit.Model.ParamNames()
+		up.Params = append([]float64(nil), mup.Fit.Params...)
+		up.SSE = mup.Fit.SSE
+	}
+	if d := mup.Degrade; d != nil {
+		up.Degraded = d.Degraded
+		up.PanicRecovered = d.PanicRecovered
+		if d.FallbackUsed {
+			up.FallbackModel = d.UsedModel
+		}
+		if d.Degraded {
+			up.DegradationReason = d.Reason
+		}
+	}
+	return up
+}
+
+// optFloat maps NaN (JSON-unrepresentable) to an absent field.
+func optFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	out := v
+	return &out
+}

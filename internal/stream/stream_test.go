@@ -1,0 +1,445 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/faultinject"
+	"resilience/internal/service"
+)
+
+// vCurve produces a clean V-shaped incident: flat at 1.0 for lead steps,
+// then a dip to 1-depth with recovery past baseline by the end.
+func vCurve(lead, n int, depth float64) []float64 {
+	out := make([]float64, lead+n)
+	for i := 0; i < lead; i++ {
+		out[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		u := float64(i) / float64(n-1)
+		out[lead+i] = 1 - depth*math.Sin(math.Pi*math.Min(u/0.75, 1)) + 0.02*math.Max(0, (u-0.75)/0.25)
+	}
+	return out
+}
+
+func observeAll(t *testing.T, m *Manager, id string, vals []float64) []Update {
+	t.Helper()
+	var all []Update
+	for i, v := range vals {
+		ups, _, err := m.Observe(context.Background(), id, []float64{float64(i)}, []float64{v})
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		all = append(all, ups...)
+	}
+	return all
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := NewManager(Config{})
+	snap, err := m.Create("cr", MonitorConfig{}) // registry alias for competing-risks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model != "competing-risks" {
+		t.Fatalf("alias not resolved: model = %q", snap.Model)
+	}
+	if snap.Phase != "nominal" || snap.Observations != 0 || snap.Last != nil {
+		t.Fatalf("fresh snapshot wrong: %+v", snap)
+	}
+
+	ups := observeAll(t, m, snap.ID, vCurve(3, 30, 0.05))
+	for i, up := range ups {
+		if up.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at index %d", up.Seq, i)
+		}
+	}
+	phases := map[string]bool{}
+	var sawFit bool
+	for _, up := range ups {
+		phases[up.Phase] = true
+		if up.FitModel != "" {
+			sawFit = true
+			if len(up.Params) == 0 || len(up.ParamNames) != len(up.Params) {
+				t.Fatalf("fit without params: %+v", up)
+			}
+		}
+	}
+	for _, want := range []string{"nominal", "degrading", "recovering", "recovered"} {
+		if !phases[want] {
+			t.Errorf("never saw phase %q", want)
+		}
+	}
+	if !sawFit {
+		t.Error("no update carried a fit")
+	}
+
+	final, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Phase != "recovered" || final.Observations != uint64(len(ups)) {
+		t.Fatalf("final snapshot: %+v", final)
+	}
+	if final.Last == nil || final.Last.Seq != uint64(len(ups)) {
+		t.Fatalf("snapshot.Last stale: %+v", final.Last)
+	}
+
+	if err := m.Close(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("snapshot after close: %v", err)
+	}
+	if err := m.Close(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m := NewManager(Config{})
+	var ie *service.InputError
+	if _, err := m.Create("no-such-model", MonitorConfig{}); !errors.As(err, &ie) || ie.Field != "model" {
+		t.Fatalf("unknown model: %v", err)
+	}
+	bad := []MonitorConfig{
+		{Baseline: math.NaN()},
+		{Baseline: -1},
+		{OnsetDrop: 1.5},
+		{RecoverySlack: -0.1},
+		{MinFitPoints: -1},
+		{HorizonFactor: math.Inf(1)},
+	}
+	for i, mc := range bad {
+		if _, err := m.Create("competing-risks", mc); !errors.As(err, &ie) {
+			t.Errorf("bad config %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m := NewManager(Config{MaxChunk: 4})
+	snap, err := m.Create("competing-risks", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var ie *service.InputError
+	if _, _, err := m.Observe(ctx, snap.ID, nil, nil); !errors.As(err, &ie) {
+		t.Fatalf("empty chunk: %v", err)
+	}
+	if _, _, err := m.Observe(ctx, snap.ID, []float64{1}, []float64{1, 2}); !errors.As(err, &ie) || ie.Field != "times" {
+		t.Fatalf("length mismatch: %v", err)
+	}
+	if _, _, err := m.Observe(ctx, snap.ID, []float64{0, 1, 2, 3, 4}, []float64{1, 1, 1, 1, 1}); !errors.As(err, &ie) {
+		t.Fatalf("oversized chunk: %v", err)
+	}
+	if _, _, err := m.Observe(ctx, "s-nope", []float64{0}, []float64{1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown session: %v", err)
+	}
+	// A bad point mid-chunk keeps the points before it and reports the rest.
+	ups, _, err := m.Observe(ctx, snap.ID, []float64{0, 1, 0.5}, []float64{1, 1, 1})
+	if !errors.As(err, &ie) {
+		t.Fatalf("backwards time accepted: %v", err)
+	}
+	if len(ups) != 2 {
+		t.Fatalf("partial chunk kept %d updates, want 2", len(ups))
+	}
+	snap2, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Observations != 2 {
+		t.Fatalf("observations after partial chunk = %d, want 2", snap2.Observations)
+	}
+}
+
+func TestLRUEvictionAtCap(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2})
+	before := metrics.evictedLRU.Value()
+	a, _ := m.Create("competing-risks", MonitorConfig{})
+	sub, _, err := m.Subscribe(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Create("quadratic", MonitorConfig{})
+	// Touch a so b becomes the least recently active.
+	if _, _, err := m.Observe(context.Background(), a.ID, []float64{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.Create("weibull-exp", MonitorConfig{})
+	if m.Len() != 2 {
+		t.Fatalf("table len %d, want 2", m.Len())
+	}
+	if _, err := m.Snapshot(b.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU victim still present: %v", err)
+	}
+	if _, err := m.Snapshot(a.ID); err != nil {
+		t.Fatalf("recently active session evicted: %v", err)
+	}
+	if _, err := m.Snapshot(c.ID); err != nil {
+		t.Fatalf("new session missing: %v", err)
+	}
+	if got := metrics.evictedLRU.Value() - before; got != 1 {
+		t.Errorf("lru eviction counter moved by %d, want 1", got)
+	}
+	// a outlived the eviction; its subscriber feed is still open.
+	m.Close(a.ID)
+	ev, ok := lastEvent(t, sub)
+	if !ok || ev.Type != EventClosed || ev.Reason != "closed" {
+		t.Fatalf("terminal event = %+v (ok=%v)", ev, ok)
+	}
+}
+
+// lastEvent drains sub until the channel closes and returns the final
+// event received.
+func lastEvent(t *testing.T, sub *Subscriber) (Event, bool) {
+	t.Helper()
+	var last Event
+	var any bool
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				return last, any
+			}
+			last, any = ev, true
+		case <-time.After(5 * time.Second):
+			t.Fatal("subscriber channel never closed")
+		}
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	m := NewManager(Config{SessionTTL: 20 * time.Millisecond})
+	before := metrics.evictedTTL.Value()
+	a, _ := m.Create("competing-risks", MonitorConfig{})
+	sub, _, err := m.Subscribe(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	// The sweep rides the next table access; the very request that finds
+	// the session must see it expired.
+	if _, err := m.Snapshot(a.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired session served: %v", err)
+	}
+	if got := metrics.evictedTTL.Value() - before; got != 1 {
+		t.Errorf("ttl eviction counter moved by %d, want 1", got)
+	}
+	ev, ok := lastEvent(t, sub)
+	if !ok || ev.Type != EventClosed || ev.Reason != "evicted:ttl" {
+		t.Fatalf("terminal event = %+v (ok=%v)", ev, ok)
+	}
+}
+
+func TestSubscribeStreamsEveryUpdate(t *testing.T) {
+	m := NewManager(Config{})
+	snap, _ := m.Create("competing-risks", MonitorConfig{})
+	sub, at, err := m.Subscribe(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.ID != snap.ID {
+		t.Fatalf("subscribe snapshot for %q", at.ID)
+	}
+	vals := vCurve(2, 12, 0.05)
+	times := make([]float64, len(vals))
+	for i := range times {
+		times[i] = float64(i)
+	}
+	if _, _, err := m.Observe(context.Background(), snap.ID, times, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= len(vals); i++ {
+		select {
+		case ev := <-sub.Events():
+			if ev.Type != EventUpdate || ev.Seq != uint64(i) || ev.Update == nil {
+				t.Fatalf("event %d = %+v", i, ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("missing event %d", i)
+		}
+	}
+	sub.Close()
+	if _, open := <-sub.Events(); open {
+		t.Fatal("channel still open after Close")
+	}
+	if sub.Dropped() {
+		t.Fatal("explicit close marked as drop")
+	}
+}
+
+func TestSlowSubscriberDropped(t *testing.T) {
+	m := NewManager(Config{SubscriberBuffer: 2})
+	snap, _ := m.Create("competing-risks", MonitorConfig{MinFitPoints: 1000})
+	slow, _, err := m.Subscribe(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _, err := m.Subscribe(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := metrics.droppedSubs.Value()
+	// The fast subscriber drains after every observation; the slow one
+	// never reads, so its buffer (2) fills and the third event drops it.
+	for i := 0; i < 6; i++ {
+		if _, _, err := m.Observe(context.Background(), snap.ID, []float64{float64(i)}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case ev := <-fast.Events():
+			if ev.Type != EventUpdate || ev.Seq != uint64(i+1) {
+				t.Fatalf("fast event %d = %+v", i, ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("fast subscriber missing event %d", i)
+		}
+	}
+	if !slow.Dropped() {
+		t.Fatal("stalled subscriber not dropped")
+	}
+	// Buffered events may remain on the slow channel; drain to the close.
+	for range slow.Events() {
+	}
+	if got := metrics.droppedSubs.Value() - before; got != 1 {
+		t.Errorf("dropped counter moved by %d, want 1", got)
+	}
+	m.Close(snap.ID)
+	if ev, ok := lastEvent(t, fast); !ok || ev.Type != EventClosed {
+		t.Errorf("fast subscriber terminal event = %+v (ok=%v)", ev, ok)
+	}
+}
+
+func TestCloseAbortsInflightRefit(t *testing.T) {
+	t.Cleanup(faultinject.Clear)
+	if err := faultinject.Arm("core.fit.delay.competing-risks", "delay:30s"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{DisableFallback: true})
+	snap, _ := m.Create("competing-risks", MonitorConfig{MinFitPoints: 3})
+	vals := vCurve(2, 10, 0.05)
+
+	type result struct {
+		ups []Update
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		var all []Update
+		for i, v := range vals {
+			ups, _, err := m.Observe(context.Background(), snap.ID, []float64{float64(i)}, []float64{v})
+			all = append(all, ups...)
+			if err != nil {
+				res <- result{all, err}
+				return
+			}
+		}
+		res <- result{all, nil}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // let an observe reach the armed delay
+	start := time.Now()
+	if err := m.Close(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-res:
+		// The in-flight observe finishes (aborted refit annotated), and the
+		// next one hits ErrNotFound; either way it must not ride out the 30s
+		// delay.
+		if took := time.Since(start); took > 5*time.Second {
+			t.Fatalf("observe loop outlived close by %v", took)
+		}
+		if r.err != nil && !errors.Is(r.err, ErrNotFound) {
+			t.Fatalf("observe loop error: %v", r.err)
+		}
+		var aborted bool
+		for _, up := range r.ups {
+			if strings.Contains(up.FitErr, "cancel") {
+				aborted = true
+			}
+		}
+		if !aborted {
+			t.Error("no update recorded the aborted refit")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("observe loop hung past session close")
+	}
+}
+
+func TestObserveHonorsCallerContext(t *testing.T) {
+	m := NewManager(Config{})
+	snap, _ := m.Create("competing-risks", MonitorConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	vals := vCurve(2, 20, 0.05)
+	var sawAbort bool
+	for i, v := range vals {
+		ups, _, err := m.Observe(ctx, snap.ID, []float64{float64(i)}, []float64{v})
+		if err != nil {
+			t.Fatal(err) // cancellation aborts refits, not ingestion
+		}
+		for _, up := range ups {
+			if up.FitModel != "" {
+				t.Fatalf("step %d: fit produced under cancelled context", i)
+			}
+			if up.FitErr != "" {
+				sawAbort = true
+			}
+		}
+	}
+	if !sawAbort {
+		t.Error("cancelled context never surfaced a FitErr")
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	m := NewManager(Config{})
+	a, _ := m.Create("competing-risks", MonitorConfig{})
+	sub, _, err := m.Subscribe(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := lastEvent(t, sub)
+	if !ok || ev.Type != EventClosed || ev.Reason != "shutdown" {
+		t.Fatalf("terminal event = %+v (ok=%v)", ev, ok)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("sessions survived shutdown: %d", m.Len())
+	}
+	if _, err := m.Create("competing-risks", MonitorConfig{}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("create after shutdown: %v", err)
+	}
+	if _, _, err := m.Observe(context.Background(), a.ID, []float64{0}, []float64{1}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("observe after shutdown: %v", err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestListOrdersByRecency(t *testing.T) {
+	m := NewManager(Config{})
+	a, _ := m.Create("competing-risks", MonitorConfig{})
+	b, _ := m.Create("quadratic", MonitorConfig{})
+	if _, _, err := m.Observe(context.Background(), a.ID, []float64{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.List()
+	if len(got) != 2 || got[0].ID != a.ID || got[1].ID != b.ID {
+		ids := make([]string, len(got))
+		for i, s := range got {
+			ids[i] = s.ID
+		}
+		t.Fatalf("list order %v, want [%s %s]", ids, a.ID, b.ID)
+	}
+}
