@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos bench bench-compare bench-all fuzz cover report clean
+.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke bench bench-compare bench-all fuzz cover report clean
 
 all: build vet lint-dispatch test
 
@@ -54,6 +54,21 @@ chaos:
 # the -race detector watching the session table and event fan-out.
 stream-chaos:
 	$(GO) test -race -run 'TestStreamChaos|TestStreamHammerRace|TestSessionSSE' -count=1 -v ./internal/stream/ ./internal/server/
+
+# Crash-recovery gate, two layers: the in-process kill -9 chaos test
+# (child process SIGKILLed mid-stream, recovered state compared
+# bit-for-bit against an uninterrupted reference), then a black-box
+# smoke of the real binary — kill -9, torn WAL tail, restart, session
+# resumes over HTTP.
+crash-smoke:
+	$(GO) test -race -run TestCrashRecoveryKill9 -count=1 -v ./internal/durable/
+	bash scripts/crash_recovery_smoke.sh
+
+# Smoke-scale SLO gate: mixed fit/batch/stream load against a durable
+# server; fails on blown p99 or error-rate budgets. Thresholds via
+# LOADGEN_SLO_P99 / LOADGEN_SLO_ERROR_RATE.
+loadgen-smoke:
+	bash scripts/loadgen_smoke.sh
 
 # Reproducible fit-pipeline benchmark: runs BenchmarkFit across every
 # model family and writes ns/op, evals/op, and iters/op per family to

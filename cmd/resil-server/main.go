@@ -5,12 +5,22 @@
 // Usage:
 //
 //	resil-server -addr :8080 -fit-timeout 30s [-pprof]
+//	resil-server -data-dir /var/lib/resil -wal-sync always
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds. Fitting requests degrade rather than
 // fail: deadlines propagate into the optimizers, panics are contained,
 // and non-converging fits fall back to simpler model families unless
 // -no-fallback is set.
+//
+// With -data-dir set, streaming sessions are durable: every lifecycle
+// transition is written to a write-ahead log (fsync policy per
+// -wal-sync) with periodic per-session snapshots (-snapshot-every), and
+// a restart — graceful or kill -9 — replays them so sessions resume with
+// identical history and a warm-started fit. While replay runs, /readyz
+// answers 503 with phase "replaying". On graceful shutdown the stream
+// subsystem drains first, then the WAL is flushed and closed, then the
+// listener closes.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"resilience/internal/durable"
 	"resilience/internal/server"
 )
 
@@ -43,6 +54,9 @@ func run(args []string, stdout *os.File) error {
 	fitCacheSize := fs.Int("fit-cache-size", 256, "max entries in the server fit cache (LRU over series+model+config digests); 0 disables caching")
 	maxSessions := fs.Int("max-sessions", 64, "max open streaming sessions; at the cap the least recently active is evicted")
 	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "idle streaming sessions older than this are evicted")
+	dataDir := fs.String("data-dir", "", "directory for the session WAL and snapshots; empty keeps sessions in memory only")
+	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always (per record), interval (batched), or none (OS writeback)")
+	snapshotEvery := fs.Int("snapshot-every", 64, "write a per-session snapshot after this many observations, bounding restart replay; negative disables")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints at /debug/pprof/")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -60,7 +74,22 @@ func run(args []string, stdout *os.File) error {
 	}
 	logger := slog.New(handler)
 
-	app := server.NewApp(server.Config{
+	// Durability is opt-in: with -data-dir the session store opens before
+	// the app so every lifecycle transition lands in the WAL from the
+	// first request on.
+	var wlog *durable.Log
+	if *dataDir != "" {
+		pol, err := durable.ParseSyncPolicy(*walSync)
+		if err != nil {
+			return err
+		}
+		wlog, err = durable.Open(*dataDir, durable.Options{Sync: pol, Logger: logger})
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := server.Config{
 		FitTimeout:      *fitTimeout,
 		DisableFallback: *noFallback,
 		Logger:          logger,
@@ -68,7 +97,12 @@ func run(args []string, stdout *os.File) error {
 		FitCacheSize:    *fitCacheSize,
 		MaxSessions:     *maxSessions,
 		SessionTTL:      *sessionTTL,
-	})
+		SnapshotEvery:   *snapshotEvery,
+	}
+	if wlog != nil {
+		cfg.SessionStore = wlog
+	}
+	app := server.NewApp(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           app.Handler,
@@ -82,12 +116,66 @@ func run(args []string, stdout *os.File) error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "fit_timeout", fitTimeout.String(),
-			"fallback", !*noFallback, "pprof", *enablePprof, "fit_cache_size", *fitCacheSize)
+			"fallback", !*noFallback, "pprof", *enablePprof, "fit_cache_size", *fitCacheSize,
+			"data_dir", *dataDir)
 		errc <- srv.ListenAndServe()
 	}()
 
+	// Recovery runs beside the listener: the port opens immediately, but
+	// /readyz reports phase "replaying" until the WAL has been replayed
+	// and every surviving session restored. A torn WAL tail is dropped
+	// and counted inside Recover — only environmental failures (an
+	// unreadable disk) surface here and abort the boot.
+	recovc := make(chan error, 1)
+	if wlog != nil {
+		go func() {
+			states, st, err := wlog.Recover()
+			if err != nil {
+				recovc <- fmt.Errorf("recover sessions: %w", err)
+				return
+			}
+			restored, dropped, err := app.Streams.Restore(states)
+			if err != nil {
+				recovc <- fmt.Errorf("restore sessions: %w", err)
+				return
+			}
+			logger.Info("sessions recovered",
+				"restored", restored, "dropped", dropped,
+				"wal_records", st.RecordsReplayed, "torn_dropped", st.TornDropped,
+				"duration", st.Duration)
+			app.MarkReady()
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	shutdown := func(cause string) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Streaming sessions first: stop accepting observations, abort
+		// in-flight refits, end every SSE feed with a terminal event, and
+		// write each session's final snapshot — otherwise open feeds would
+		// hold their connections and stall the listener drain below.
+		if err := app.StreamShutdown(ctx); err != nil {
+			logger.Warn("stream shutdown", "err", err)
+		}
+		// WAL flush/close second: after the stream drain (so the final
+		// snapshots are in), before the listener closes.
+		if wlog != nil {
+			if err := wlog.Close(); err != nil {
+				logger.Warn("wal close", "err", err)
+			}
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown (%s): %w", cause, err)
+		}
+		// Collect the listener goroutine's exit so it never outlives main.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	}
 
 	select {
 	case err := <-errc:
@@ -95,24 +183,14 @@ func run(args []string, stdout *os.File) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 		return nil
+	case err := <-recovc:
+		logger.Error("session recovery failed; shutting down", "err", err)
+		if serr := shutdown("recovery failure"); serr != nil {
+			logger.Warn("shutdown after recovery failure", "err", serr)
+		}
+		return err
 	case sig := <-stop:
 		logger.Info("draining", "signal", sig.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		// Streaming sessions first: stop accepting observations, abort
-		// in-flight refits, and end every SSE feed with a terminal event —
-		// otherwise open feeds would hold their connections and stall the
-		// listener drain below.
-		if err := app.StreamShutdown(ctx); err != nil {
-			logger.Warn("stream shutdown", "err", err)
-		}
-		if err := srv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
-		}
-		// Collect the listener goroutine's exit so it never outlives main.
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return fmt.Errorf("serve: %w", err)
-		}
-		return nil
+		return shutdown("signal " + sig.String())
 	}
 }

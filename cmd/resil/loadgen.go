@@ -1,0 +1,378 @@
+package main
+
+// resil loadgen: a mixed-traffic load harness for a running resil-server
+// with an SLO gate, so CI (and operators before a rollout) can prove the
+// service meets its latency and error budgets under concurrent fit,
+// batch, and streaming-session traffic — not just that it answers one
+// curl. Latencies are recorded into a private telemetry registry (the
+// same histogram implementation the server exports) and summarized as
+// p50/p99 per operation class; -slo-p99 and -slo-error-rate turn the
+// summary into a pass/fail exit code.
+//
+// The request mix is weighted round-robin over three operation classes:
+//
+//	fit     POST /v1/fit on one of a small deterministic series pool
+//	        (repeats hit the server's fit cache; variants miss)
+//	batch   POST /v1/batch with a few jobs per request
+//	stream  create a session, observe a few chunks, delete it
+//
+// The series pool is deterministic, so runs are comparable across
+// machines and commits.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/telemetry"
+)
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running resil-server")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 4, "concurrent workers")
+	mix := fs.String("mix", "fit=2,stream=1,batch=1", "weighted operation mix, e.g. fit=2,stream=1,batch=1")
+	sloP99 := fs.Duration("slo-p99", 0, "fail when overall p99 request latency exceeds this (0 disables the gate)")
+	sloErrRate := fs.Float64("slo-error-rate", -1, "fail when the request error rate exceeds this fraction (negative disables the gate)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("loadgen: -concurrency must be at least 1")
+	}
+	schedule, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+
+	base := strings.TrimRight(*serverURL, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitReady(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	g := newLoadgen(client, base)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				op := schedule[next.Add(1)%uint64(len(schedule))]
+				g.runOp(op)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := g.report(elapsed)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printLoadReport(rep)
+	}
+
+	// The SLO gate: breaches are process failures so `make loadgen-smoke`
+	// and CI fail loudly.
+	var breaches []string
+	if *sloP99 > 0 && rep.Overall.P99Ms > float64(sloP99.Milliseconds()) {
+		breaches = append(breaches, fmt.Sprintf("p99 %.1fms > SLO %dms",
+			rep.Overall.P99Ms, sloP99.Milliseconds()))
+	}
+	if *sloErrRate >= 0 && rep.ErrorRate > *sloErrRate {
+		breaches = append(breaches, fmt.Sprintf("error rate %.4f > SLO %.4f",
+			rep.ErrorRate, *sloErrRate))
+	}
+	if len(breaches) > 0 {
+		return fmt.Errorf("loadgen: SLO breach: %s", strings.Join(breaches, "; "))
+	}
+	return nil
+}
+
+// parseMix expands "fit=2,stream=1" into a round-robin schedule.
+func parseMix(mix string) ([]string, error) {
+	known := map[string]bool{"fit": true, "batch": true, "stream": true}
+	var schedule []string
+	for _, entry := range strings.Split(mix, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(entry, "=")
+		weight := 1
+		if ok {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("loadgen: bad weight in mix entry %q", entry)
+			}
+			weight = w
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("loadgen: unknown operation %q in mix (want fit, batch, stream)", name)
+		}
+		for i := 0; i < weight; i++ {
+			schedule = append(schedule, name)
+		}
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("loadgen: mix %q selects no operations", mix)
+	}
+	return schedule, nil
+}
+
+// waitReady polls /readyz until the server reports ready (it may still
+// be replaying its WAL) or the timeout expires.
+func waitReady(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("readyz: status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: server at %s never became ready: %w", base, lastErr)
+}
+
+// loadgen drives one run: shared client, series pool, and a private
+// metrics registry (latency histograms + op/error counters per class).
+type loadgen struct {
+	client *http.Client
+	base   string
+	pool   [][]float64
+	poolIx atomic.Uint64
+
+	reg     *telemetry.Registry
+	overall *telemetry.Histogram
+}
+
+func newLoadgen(client *http.Client, base string) *loadgen {
+	reg := telemetry.NewRegistry()
+	return &loadgen{
+		client:  client,
+		base:    base,
+		pool:    loadSeriesPool(),
+		reg:     reg,
+		overall: reg.GetOrCreateHistogram("loadgen_latency_seconds", telemetry.DurationBuckets()),
+	}
+}
+
+// loadSeriesPool builds 16 deterministic V-shaped series of varying
+// length, depth, and jitter. Repeating a pool entry verbatim exercises
+// the server's fit cache; distinct entries exercise real optimizer work.
+func loadSeriesPool() [][]float64 {
+	pool := make([][]float64, 16)
+	for k := range pool {
+		lead := 3
+		n := 18 + (k%4)*6
+		depth := 0.04 + 0.012*float64(k%5)
+		vals := make([]float64, n)
+		half := float64(n-lead) / 2
+		for i := range vals {
+			if i < lead {
+				vals[i] = 1.0
+				continue
+			}
+			x := float64(i-lead) - half
+			v := 1.0 - depth*(1.0-(x/half)*(x/half))
+			// Small deterministic jitter so variants don't canonicalize to
+			// the same cache digest.
+			vals[i] = v + 0.002*math.Sin(1.7*float64(k)+0.9*float64(i))
+		}
+		pool[k] = vals
+	}
+	return pool
+}
+
+func (g *loadgen) nextSeries() []float64 {
+	return g.pool[g.poolIx.Add(1)%uint64(len(g.pool))]
+}
+
+// histFor returns the latency histogram for one operation class.
+func (g *loadgen) histFor(op string) *telemetry.Histogram {
+	return g.reg.GetOrCreateHistogram(
+		`loadgen_latency_seconds{op="`+op+`"}`, telemetry.DurationBuckets())
+}
+
+// observeReq times one HTTP request for operation class op, recording
+// latency and outcome. Any transport error or non-2xx status counts as
+// an error. The response body (when any) is returned for ops that need
+// it.
+func (g *loadgen) observeReq(op string, fn func() (*http.Response, error)) []byte {
+	start := time.Now()
+	resp, err := fn()
+	var body []byte
+	ok := err == nil
+	if resp != nil {
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ok = ok && resp.StatusCode >= 200 && resp.StatusCode < 300
+	}
+	sec := time.Since(start).Seconds()
+	g.overall.Observe(sec)
+	g.histFor(op).Observe(sec)
+	g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + op + `"}`).Inc()
+	if !ok {
+		g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + op + `"}`).Inc()
+		return nil
+	}
+	return body
+}
+
+func (g *loadgen) postJSON(op, path string, payload any) []byte {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil
+	}
+	return g.observeReq(op, func() (*http.Response, error) {
+		return g.client.Post(g.base+path, "application/json", bytes.NewReader(raw))
+	})
+}
+
+// runOp performs one logical operation of the given class.
+func (g *loadgen) runOp(op string) {
+	switch op {
+	case "fit":
+		g.postJSON("fit", "/v1/fit", map[string]any{
+			"model": "quadratic", "values": g.nextSeries(),
+		})
+	case "batch":
+		jobs := make([]map[string]any, 3)
+		for i := range jobs {
+			jobs[i] = map[string]any{"model": "quadratic", "values": g.nextSeries()}
+		}
+		g.postJSON("batch", "/v1/batch", map[string]any{"jobs": jobs})
+	case "stream":
+		body := g.postJSON("stream", "/v1/sessions", map[string]any{"model": "quadratic"})
+		if body == nil {
+			return
+		}
+		var snap struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil || snap.ID == "" {
+			return
+		}
+		series := g.nextSeries()
+		for off := 0; off < len(series); off += 8 {
+			end := min(off+8, len(series))
+			g.postJSON("stream", "/v1/sessions/"+snap.ID+"/observe",
+				map[string]any{"values": series[off:end]})
+		}
+		g.observeReq("stream", func() (*http.Response, error) {
+			req, err := http.NewRequest(http.MethodDelete, g.base+"/v1/sessions/"+snap.ID, nil)
+			if err != nil {
+				return nil, err
+			}
+			return g.client.Do(req)
+		})
+	}
+}
+
+// opStats is one operation class's summary.
+type opStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// loadReport is the run summary (also the -json output shape).
+type loadReport struct {
+	DurationSeconds float64            `json:"duration_seconds"`
+	Requests        uint64             `json:"requests"`
+	Errors          uint64             `json:"errors"`
+	ErrorRate       float64            `json:"error_rate"`
+	Throughput      float64            `json:"requests_per_second"`
+	Overall         opStats            `json:"overall"`
+	PerOp           map[string]opStats `json:"per_op"`
+}
+
+func quantileMs(h *telemetry.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v * 1000
+}
+
+func (g *loadgen) report(elapsed time.Duration) loadReport {
+	rep := loadReport{
+		DurationSeconds: elapsed.Seconds(),
+		PerOp:           map[string]opStats{},
+	}
+	for _, op := range []string{"fit", "batch", "stream"} {
+		h := g.histFor(op)
+		if h.Count() == 0 {
+			continue
+		}
+		st := opStats{
+			Requests: g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + op + `"}`).Value(),
+			Errors:   g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + op + `"}`).Value(),
+			P50Ms:    quantileMs(h, 0.5),
+			P99Ms:    quantileMs(h, 0.99),
+		}
+		rep.PerOp[op] = st
+		rep.Requests += st.Requests
+		rep.Errors += st.Errors
+	}
+	rep.Overall = opStats{
+		Requests: rep.Requests,
+		Errors:   rep.Errors,
+		P50Ms:    quantileMs(g.overall, 0.5),
+		P99Ms:    quantileMs(g.overall, 0.99),
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep
+}
+
+func printLoadReport(rep loadReport) {
+	fmt.Printf("loadgen: %.1fs, %d requests (%.1f req/s), %d errors (rate %.4f)\n",
+		rep.DurationSeconds, rep.Requests, rep.Throughput, rep.Errors, rep.ErrorRate)
+	fmt.Printf("%-8s %10s %8s %10s %10s\n", "op", "requests", "errors", "p50(ms)", "p99(ms)")
+	ops := make([]string, 0, len(rep.PerOp))
+	for op := range rep.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := rep.PerOp[op]
+		fmt.Printf("%-8s %10d %8d %10.1f %10.1f\n", op, st.Requests, st.Errors, st.P50Ms, st.P99Ms)
+	}
+	fmt.Printf("%-8s %10d %8d %10.1f %10.1f\n", "overall",
+		rep.Overall.Requests, rep.Overall.Errors, rep.Overall.P50Ms, rep.Overall.P99Ms)
+}

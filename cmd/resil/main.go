@@ -84,6 +84,8 @@ func run(args []string) error {
 		return cmdWatch(args[1:])
 	case "stream":
 		return cmdStream(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "gallery":
@@ -116,6 +118,7 @@ subcommands:
   bootstrap           residual-bootstrap intervals (-model, -dataset)
   watch               replay a series through the online tracker (-dataset)
   stream              replay a series against a running server's /v1/sessions (-server, -dataset, -interval)
+  loadgen             mixed fit/batch/stream load against a server, with SLO gates (-server, -duration, -slo-p99)
   report              render all tables+figures into one HTML file (-o)
   gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
   generate            emit a synthetic recession curve (-shape, -months)

@@ -1,0 +1,242 @@
+package durable
+
+// Crash-recovery chaos: a child process streams observations through a
+// durable Manager and is SIGKILLed mid-stream — no shutdown hooks, no
+// final snapshot, exactly what a crash looks like. The parent then
+// recovers the directory in-process and proves the contract from
+// ISSUE 6: every acknowledged observation is back, the phase machine is
+// where the crashed process left it, the next refit warm-starts from the
+// persisted parameters bit-identically, and a torn WAL tail is dropped
+// and counted, never fatal.
+//
+// The child is this same test binary re-executed with DURABLE_CRASH_CHILD
+// set; TestMain diverts into childMain before the test framework starts.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/stream"
+)
+
+const (
+	crashChildEnv = "DURABLE_CRASH_CHILD"
+	crashDirEnv   = "DURABLE_CRASH_DIR"
+	// crashSeriesN is the full series length the child tries to stream;
+	// the parent kills it long before the end.
+	crashSeriesN = 40
+	// crashKillAfter is how many acknowledged observations the parent
+	// waits for before sending SIGKILL.
+	crashKillAfter = 23
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		childMain()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// childMain is the process that gets killed: open the store, create one
+// durable session, and stream the dip series one point at a time,
+// acknowledging each durably-written observation on stdout.
+func childMain() {
+	dir := os.Getenv(crashDirEnv)
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child: open:", err)
+		os.Exit(1)
+	}
+	states, _, err := l.Recover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child: recover:", err)
+		os.Exit(1)
+	}
+	m := stream.NewManager(stream.Config{Store: l, SnapshotEvery: 5})
+	if _, _, err := m.Restore(states); err != nil {
+		fmt.Fprintln(os.Stderr, "child: restore:", err)
+		os.Exit(1)
+	}
+	snap, err := m.Create("quadratic", stream.MonitorConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child: create:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ID %s\n", snap.ID)
+
+	times, values := dipSeries(5, crashSeriesN, 0.05)
+	for i := range times {
+		if _, _, err := m.Observe(context.Background(), snap.ID,
+			times[i:i+1], values[i:i+1]); err != nil {
+			fmt.Fprintf(os.Stderr, "child: observe %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		// The Observe above returned, so with SyncAlways the observation
+		// (and any refit) is on disk. Only now is it acknowledged.
+		fmt.Printf("OBS %d\n", i+1)
+	}
+	select {} // wait for the kill
+}
+
+func TestCrashRecoveryKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test")
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Watch the child's acknowledgement stream until enough observations
+	// are durably down, then kill -9 — mid-stream, no warning.
+	var sessID string
+	acked := 0
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "ID "):
+			sessID = strings.TrimPrefix(line, "ID ")
+		case strings.HasPrefix(line, "OBS "):
+			n, _ := strconv.Atoi(strings.TrimPrefix(line, "OBS "))
+			acked = n
+		}
+		if acked >= crashKillAfter {
+			break
+		}
+	}
+	if sessID == "" || acked < crashKillAfter {
+		t.Fatalf("child died early: session %q, %d acks (scan err %v)", sessID, acked, sc.Err())
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait() // expected: signal: killed
+
+	// Simulate the worst-case crash signature on top: a torn final record
+	// (the kill landing mid-append). Recovery must drop and count it.
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write([]byte{0x42, 0x00, 0x00, 0x00, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	// Recover in-process, exactly as the restarted server would.
+	l, states, st := openLog(t, dir, Options{Sync: SyncAlways})
+	defer l.Close()
+	if st.TornDropped != 1 {
+		t.Errorf("torn tail drops = %d, want 1 (and never a boot failure)", st.TornDropped)
+	}
+	if len(states) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(states))
+	}
+	ps := states[0]
+	if ps.ID != sessID {
+		t.Fatalf("recovered session %q, want %q", ps.ID, sessID)
+	}
+	got := int(ps.Seq)
+	if got < acked || got > crashSeriesN {
+		t.Fatalf("recovered %d observations; child had %d acknowledged (max %d)",
+			got, acked, crashSeriesN)
+	}
+
+	// Identical history: the recovered prefix must match the series the
+	// child streamed, bit for bit.
+	times, values := dipSeries(5, crashSeriesN, 0.05)
+	if len(ps.Times) != got || len(ps.Values) != got {
+		t.Fatalf("history skewed: seq %d, %d times, %d values", got, len(ps.Times), len(ps.Values))
+	}
+	for i := 0; i < got; i++ {
+		if ps.Times[i] != times[i] || ps.Values[i] != values[i] {
+			t.Fatalf("observation %d = (%v, %v), want (%v, %v)",
+				i, ps.Times[i], ps.Values[i], times[i], values[i])
+		}
+	}
+
+	// Resume the recovered session next to an uninterrupted reference
+	// manager fed the same prefix: the phase machine and the warm-started
+	// fits must be indistinguishable from a process that never died.
+	recovered := stream.NewManager(stream.Config{})
+	if _, _, err := recovered.Restore(states); err != nil {
+		t.Fatal(err)
+	}
+	reference := stream.NewManager(stream.Config{})
+	refSnap, err := reference.Create("quadratic", stream.MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reference.Observe(context.Background(), refSnap.ID, times[:got], values[:got]); err != nil {
+		t.Fatal(err)
+	}
+	compareSessions(t, "at recovery", recovered, sessID, reference, refSnap.ID)
+
+	// Both keep observing the rest of the series.
+	if got < crashSeriesN {
+		if _, _, err := recovered.Observe(context.Background(), sessID, times[got:], values[got:]); err != nil {
+			t.Fatalf("recovered session refused to resume: %v", err)
+		}
+		if _, _, err := reference.Observe(context.Background(), refSnap.ID, times[got:], values[got:]); err != nil {
+			t.Fatal(err)
+		}
+		compareSessions(t, "after resuming", recovered, sessID, reference, refSnap.ID)
+	}
+}
+
+// compareSessions asserts two sessions are in the same externally
+// visible state: phase, history, and fit parameters (bit-identical).
+func compareSessions(t *testing.T, when string, am *stream.Manager, aid string, bm *stream.Manager, bid string) {
+	t.Helper()
+	a, err := am.Snapshot(aid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bm.Snapshot(bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Phase != b.Phase {
+		t.Errorf("%s: phase %s, reference %s", when, a.Phase, b.Phase)
+	}
+	if a.Observations != b.Observations || a.HistoryLen != b.HistoryLen {
+		t.Errorf("%s: history %d/%d, reference %d/%d",
+			when, a.Observations, a.HistoryLen, b.Observations, b.HistoryLen)
+	}
+	if (a.LastFit == nil) != (b.LastFit == nil) {
+		t.Fatalf("%s: fit presence %v vs %v", when, a.LastFit != nil, b.LastFit != nil)
+	}
+	if a.LastFit == nil {
+		return
+	}
+	if a.LastFit.Model != b.LastFit.Model || a.LastFit.Seq != b.LastFit.Seq {
+		t.Errorf("%s: fit %s@%d, reference %s@%d",
+			when, a.LastFit.Model, a.LastFit.Seq, b.LastFit.Model, b.LastFit.Seq)
+	}
+	for i := range b.LastFit.Params {
+		if a.LastFit.Params[i] != b.LastFit.Params[i] {
+			t.Errorf("%s: param %d = %v, reference %v (want bit-identical)",
+				when, i, a.LastFit.Params[i], b.LastFit.Params[i])
+		}
+	}
+}

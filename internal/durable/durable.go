@@ -1,0 +1,438 @@
+// Package durable persists streaming sessions across process crashes.
+//
+// A Log owns one data directory holding a write-ahead log (wal.log) of
+// session lifecycle records plus one JSON snapshot file per session
+// (snap-<id>.json). The Log implements stream.Store, so wiring it into
+// stream.Config makes every created session, accepted observation, refit
+// outcome, and terminal transition durable; periodic snapshots supersede
+// a session's earlier WAL records so boot-time replay stays bounded no
+// matter how long the process ran.
+//
+// Recovery (Recover) is crash-first: it loads the snapshots, replays the
+// WAL tail on top of them, truncates a torn final record (the normal
+// signature of a crash mid-write — counted, logged, never fatal), and
+// compacts the directory down to one fresh snapshot per live session and
+// an empty WAL. The recovered states feed stream.Manager.Restore, which
+// resurrects each session with its exact history, phase, and warm-start
+// fit.
+//
+// Durability is tunable per deployment through the fsync policy:
+// SyncAlways fsyncs after every append (power-loss safe, slowest),
+// SyncInterval batches fsyncs on a timer (bounded loss window), SyncNone
+// leaves syncing to the OS (crash-of-process safe — the buffered writer
+// is flushed to the kernel on every append regardless, so a SIGKILL
+// loses nothing; only a machine-level failure can).
+package durable
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"resilience/internal/faultinject"
+	"resilience/internal/stream"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs after every appended record.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (Options.SyncInterval) when records
+	// were appended since the last sync.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS writes back on its own
+	// schedule. Appends still reach the kernel immediately.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -wal-sync flag vocabulary onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("durable: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tunes a Log. The zero value fsyncs every append.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the timer period under SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// CompactThreshold is how many superseded WAL records accumulate
+	// before the Log tries to truncate (default 4096; negative disables
+	// inline compaction — recovery still compacts at boot).
+	CompactThreshold int
+	// Logger receives recovery and damage reports (default slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.CompactThreshold == 0 {
+		o.CompactThreshold = 4096
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// walName is the WAL file inside the data directory.
+const walName = "wal.log"
+
+// Log is a durable session store: a WAL plus per-session snapshots in
+// one directory. It is safe for concurrent use. Appends arriving before
+// Recover completes are buffered and land after the recovered tail, so
+// the server may open its listener while replay runs.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	err  error // first unrecoverable write error; sticky
+	done bool  // Close ran
+
+	recovered bool
+	pending   []pendingOp // ops buffered until Recover completes
+
+	// walRecs counts records in the WAL; unsnapped counts, per session,
+	// the WAL records a snapshot has not yet superseded. Their difference
+	// is garbage, and when every live record is snapshot-covered the WAL
+	// can truncate to nothing.
+	walRecs   int
+	unsnapped map[string]int
+
+	dirty  bool          // records appended since the last fsync
+	stopCh chan struct{} // stops the SyncInterval flusher
+	wg     sync.WaitGroup
+}
+
+// pendingOp is one Store call buffered during the replay window.
+type pendingOp struct {
+	frame []byte                   // WAL append (nil for snapshots)
+	id    string                   // session the frame belongs to
+	snap  *stream.PersistedSession // snapshot write
+}
+
+// Open creates (or reopens) the data directory and its WAL. The returned
+// Log buffers Store calls until Recover is called; call Close on
+// shutdown after draining the stream manager.
+func Open(dir string, opts Options) (*Log, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: data directory required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create data dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	l := &Log{
+		dir:       dir,
+		opts:      opts.withDefaults(),
+		f:         f,
+		w:         bufio.NewWriter(f),
+		unsnapped: make(map[string]int),
+		stopCh:    make(chan struct{}),
+	}
+	if l.opts.Sync == SyncInterval {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// syncLoop batches fsyncs under the SyncInterval policy.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.done {
+				l.fsyncLocked()
+			}
+			l.mu.Unlock()
+		case <-l.stopCh:
+			return
+		}
+	}
+}
+
+// fsyncLocked flushes the buffered writer and syncs the WAL; caller
+// holds l.mu. Failures become the Log's sticky error.
+func (l *Log) fsyncLocked() {
+	if err := l.w.Flush(); err != nil {
+		l.setErrLocked(err)
+		return
+	}
+	faultinject.Sleep(context.Background(), "wal-fsync-slow")
+	if err := l.f.Sync(); err != nil {
+		l.setErrLocked(err)
+		return
+	}
+	l.dirty = false
+	metrics.fsyncs.Inc()
+}
+
+// setErrLocked records the first unrecoverable write error. Later
+// appends keep failing fast with it; the stream manager counts those
+// failures and keeps serving from memory.
+func (l *Log) setErrLocked(err error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("durable: wal write: %w", err)
+		l.opts.Logger.Error("durable: WAL degraded; sessions no longer crash-safe", "err", err)
+	}
+}
+
+// append writes one framed record, honoring the replay buffer and the
+// fsync policy. The bufio flush happens on EVERY append regardless of
+// policy, so a record acknowledged here survives a SIGKILL — the sync
+// policy only governs the machine-failure window.
+func (l *Log) append(id string, typ byte, v any) error {
+	if err := faultinject.Error("wal-write-err"); err != nil {
+		return err
+	}
+	frame, err := encodeRecord(typ, v)
+	if err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return fmt.Errorf("durable: log closed")
+	}
+	if !l.recovered {
+		l.pending = append(l.pending, pendingOp{frame: frame, id: id})
+		return nil
+	}
+	return l.appendLocked(id, frame)
+}
+
+// appendLocked writes one already-framed record; caller holds l.mu.
+func (l *Log) appendLocked(id string, frame []byte) error {
+	if l.err != nil {
+		return l.err
+	}
+	if faultinject.Torn("wal-torn-tail") {
+		// Simulate a crash mid-write: half the frame reaches the disk and
+		// the process is gone before the rest does. The record was NOT
+		// durably written, so this append still reports success to the
+		// caller exactly as a real pre-crash append would have.
+		_, _ = l.w.Write(frame[:frameHeaderLen+(len(frame)-frameHeaderLen)/2])
+		_ = l.w.Flush()
+		return nil
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		l.setErrLocked(err)
+		return l.err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.setErrLocked(err)
+		return l.err
+	}
+	l.walRecs++
+	l.unsnapped[id]++
+	metrics.written.Inc()
+	metrics.walRecords.Set(float64(l.walRecs))
+	if l.opts.Sync == SyncAlways {
+		l.fsyncLocked()
+	} else {
+		l.dirty = true
+	}
+	return l.err
+}
+
+// Close flushes and fsyncs the WAL and releases the directory. Call
+// after stream.Manager.Shutdown has drained (so the final session
+// snapshots are already written) and before the process exits.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.done {
+		l.mu.Unlock()
+		return nil
+	}
+	l.done = true
+	close(l.stopCh)
+	l.fsyncLocked()
+	err := l.err
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+// --- stream.Store implementation ---------------------------------------
+
+// SessionCreated appends a creation record.
+func (l *Log) SessionCreated(id, model string, cfg stream.MonitorConfig, at time.Time) error {
+	return l.append(id, recCreated, createdRec{ID: id, Model: model, Config: cfg, At: at})
+}
+
+// PointObserved appends one observation record.
+func (l *Log) PointObserved(id string, seq uint64, t, v float64) error {
+	return l.append(id, recObs, obsRec{ID: id, Seq: seq, T: t, V: v})
+}
+
+// FitUpdated appends a refit record carrying the warm-start state.
+func (l *Log) FitUpdated(id string, fit *stream.FitSummary) error {
+	return l.append(id, recFit, fitRec{ID: id, Fit: fit})
+}
+
+// SessionClosed appends a terminal record and removes the session's
+// snapshot file; recovery will never resurrect the ID.
+func (l *Log) SessionClosed(id, reason string) error {
+	err := l.append(id, recClosed, closedRec{ID: id, Reason: reason})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.recovered {
+		return err
+	}
+	// The closed record itself is garbage the moment it is durable, as is
+	// everything else the session ever logged.
+	delete(l.unsnapped, id)
+	l.removeSnapshotLocked(id)
+	l.maybeCompactLocked()
+	return err
+}
+
+// SessionSnapshot writes the session's whole state to its snapshot file
+// (atomically, via rename), superseding its WAL records.
+func (l *Log) SessionSnapshot(ps *stream.PersistedSession) error {
+	if err := faultinject.Error("wal-write-err"); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return fmt.Errorf("durable: log closed")
+	}
+	if !l.recovered {
+		l.pending = append(l.pending, pendingOp{id: ps.ID, snap: ps})
+		return nil
+	}
+	return l.writeSnapshotLocked(ps)
+}
+
+// writeSnapshotLocked persists one snapshot file and retires the
+// session's WAL records; caller holds l.mu.
+func (l *Log) writeSnapshotLocked(ps *stream.PersistedSession) error {
+	if err := writeSnapshotFile(l.dir, ps); err != nil {
+		return err
+	}
+	metrics.snapshots.Inc()
+	l.unsnapped[ps.ID] = 0
+	l.maybeCompactLocked()
+	return nil
+}
+
+// maybeCompactLocked truncates the WAL when enough garbage accumulated
+// and every surviving record is covered by a snapshot; caller holds
+// l.mu. Quiet moments (graceful shutdown's final snapshots, single-
+// session traffic) trigger it naturally; busy overlapping sessions defer
+// to the unconditional compaction at next boot.
+func (l *Log) maybeCompactLocked() {
+	if l.opts.CompactThreshold < 0 || l.err != nil {
+		return
+	}
+	needed := 0
+	for _, n := range l.unsnapped {
+		needed += n
+	}
+	if needed > 0 || l.walRecs < l.opts.CompactThreshold {
+		return
+	}
+	if err := l.truncateWALLocked(); err != nil {
+		l.setErrLocked(err)
+		return
+	}
+	metrics.compactions.Inc()
+}
+
+// truncateWALLocked empties the WAL file; caller holds l.mu.
+func (l *Log) truncateWALLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.walRecs = 0
+	l.unsnapped = make(map[string]int)
+	l.dirty = false
+	metrics.walRecords.Set(0)
+	return nil
+}
+
+// snapPath names a session's snapshot file.
+func snapPath(dir, id string) string {
+	return filepath.Join(dir, "snap-"+sanitizeID(id)+".json")
+}
+
+// sanitizeID keeps snapshot filenames safe even if a session ID ever
+// carried path metacharacters (today's IDs are hex, but the store should
+// not trust that).
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, id)
+}
+
+// removeSnapshotLocked deletes a session's snapshot file if present.
+func (l *Log) removeSnapshotLocked(id string) {
+	if err := os.Remove(snapPath(l.dir, id)); err != nil && !os.IsNotExist(err) {
+		l.opts.Logger.Warn("durable: remove snapshot", "session", id, "err", err)
+	}
+}

@@ -1,0 +1,384 @@
+package durable
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resilience/internal/faultinject"
+	"resilience/internal/stream"
+)
+
+// openLog opens a Log in dir and completes recovery, returning the
+// recovered states.
+func openLog(t *testing.T, dir string, opts Options) (*Log, []stream.PersistedSession, Stats) {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, st, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, states, st
+}
+
+// dipSeries builds lead nominal points followed by a symmetric quadratic
+// dip of the given depth — enough to walk a tracker through onset,
+// fitting, and recovery.
+func dipSeries(lead, n int, depth float64) (times, values []float64) {
+	half := float64(n-lead) / 2
+	for i := 0; i < n; i++ {
+		times = append(times, float64(i))
+		if i < lead {
+			values = append(values, 1.0)
+			continue
+		}
+		x := float64(i-lead) - half
+		values = append(values, 1.0-depth*(1.0-(x/half)*(x/half)))
+	}
+	return times, values
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := map[string]SyncPolicy{
+		"always": SyncAlways, "": SyncAlways, "Interval": SyncInterval, "none": SyncNone,
+	}
+	for in, want := range cases {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, states, _ := openLog(t, dir, Options{Sync: SyncNone})
+	if len(states) != 0 {
+		t.Fatalf("fresh dir recovered %d sessions", len(states))
+	}
+	at := time.Now().Round(0)
+	if err := l.SessionCreated("s-a", "quadratic", stream.MonitorConfig{MinFitPoints: 8}, at); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.PointObserved("s-a", uint64(i), float64(i-1), 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fit := &stream.FitSummary{Seq: 3, Model: "quadratic", Params: []float64{1, 2, 3}, SSE: 0.5}
+	if err := l.FitUpdated("s-a", fit); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, states, st := openLog(t, dir, Options{})
+	defer l2.Close()
+	if st.RecordsReplayed != 5 {
+		t.Errorf("replayed %d records, want 5", st.RecordsReplayed)
+	}
+	if len(states) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(states))
+	}
+	ps := states[0]
+	if ps.ID != "s-a" || ps.Model != "quadratic" || ps.Config.MinFitPoints != 8 {
+		t.Errorf("identity/config lost: %+v", ps)
+	}
+	if !ps.CreatedAt.Equal(at) {
+		t.Errorf("created_at = %v, want %v", ps.CreatedAt, at)
+	}
+	if ps.Seq != 3 || len(ps.Times) != 3 || ps.Times[2] != 2 {
+		t.Errorf("history lost: seq %d times %v", ps.Seq, ps.Times)
+	}
+	if ps.LastFit == nil || ps.LastFit.Seq != 3 || ps.LastFit.Params[1] != 2 {
+		t.Errorf("fit lost: %+v", ps.LastFit)
+	}
+}
+
+func TestSnapshotSupersedesWALRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	at := time.Now()
+	check(t, l.SessionCreated("s-b", "quadratic", stream.MonitorConfig{}, at))
+	for i := 1; i <= 3; i++ {
+		check(t, l.PointObserved("s-b", uint64(i), float64(i-1), 1.0))
+	}
+	check(t, l.SessionSnapshot(&stream.PersistedSession{
+		ID: "s-b", Model: "quadratic", CreatedAt: at, LastActive: at,
+		Seq: 3, Times: []float64{0, 1, 2}, Values: []float64{1, 1, 1},
+	}))
+	// Two more observations after the snapshot; replay must apply exactly
+	// these on top of the snapshot base, not double-apply 1..3.
+	check(t, l.PointObserved("s-b", 4, 3, 0.9))
+	check(t, l.PointObserved("s-b", 5, 4, 0.8))
+	check(t, l.Close())
+
+	l2, states, _ := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(states) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(states))
+	}
+	ps := states[0]
+	if ps.Seq != 5 || len(ps.Times) != 5 {
+		t.Fatalf("seq %d, %d points; want 5, 5", ps.Seq, len(ps.Times))
+	}
+	if ps.Values[4] != 0.8 {
+		t.Errorf("post-snapshot tail wrong: %v", ps.Values)
+	}
+}
+
+func TestClosedSessionIsNotRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	at := time.Now()
+	check(t, l.SessionCreated("s-c", "quadratic", stream.MonitorConfig{}, at))
+	check(t, l.SessionSnapshot(&stream.PersistedSession{
+		ID: "s-c", Model: "quadratic", CreatedAt: at, LastActive: at,
+		Seq: 1, Times: []float64{0}, Values: []float64{1},
+	}))
+	check(t, l.SessionClosed("s-c", "closed"))
+	if _, err := os.Stat(snapPath(dir, "s-c")); !os.IsNotExist(err) {
+		t.Error("snapshot file survived SessionClosed")
+	}
+	check(t, l.Close())
+
+	l2, states, _ := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(states) != 0 {
+		t.Fatalf("closed session resurrected: %+v", states)
+	}
+}
+
+func TestClosedThenRecreatedIDIsNewIncarnation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	t1 := time.Now().Add(-time.Minute).Round(0)
+	t2 := time.Now().Round(0)
+	check(t, l.SessionCreated("s-d", "quadratic", stream.MonitorConfig{}, t1))
+	check(t, l.PointObserved("s-d", 1, 0, 0.5))
+	check(t, l.SessionClosed("s-d", "evicted:lru"))
+	check(t, l.SessionCreated("s-d", "quadratic", stream.MonitorConfig{}, t2))
+	check(t, l.PointObserved("s-d", 1, 0, 0.9))
+	check(t, l.Close())
+
+	l2, states, _ := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(states) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(states))
+	}
+	ps := states[0]
+	if !ps.CreatedAt.Equal(t2) {
+		t.Errorf("recovered the dead incarnation: created %v, want %v", ps.CreatedAt, t2)
+	}
+	if len(ps.Values) != 1 || ps.Values[0] != 0.9 {
+		t.Errorf("stale incarnation state leaked: %v", ps.Values)
+	}
+}
+
+func TestTornTailIsTruncatedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	at := time.Now()
+	check(t, l.SessionCreated("s-e", "quadratic", stream.MonitorConfig{}, at))
+	check(t, l.PointObserved("s-e", 1, 0, 1.0))
+	check(t, l.PointObserved("s-e", 2, 1, 0.9))
+	// The next append crashes mid-write: half a frame reaches the file.
+	if err := faultinject.Arm("wal-torn-tail", "tear"); err != nil {
+		t.Fatal(err)
+	}
+	err := l.PointObserved("s-e", 3, 2, 0.8)
+	faultinject.Disarm("wal-torn-tail")
+	if err != nil {
+		t.Fatalf("torn write surfaced an error: %v", err)
+	}
+	check(t, l.Close())
+
+	l2, states, st := openLog(t, dir, Options{})
+	defer l2.Close()
+	if st.TornDropped != 1 {
+		t.Errorf("torn drops = %d, want 1", st.TornDropped)
+	}
+	if len(states) != 1 || states[0].Seq != 2 {
+		t.Fatalf("want the 2 acknowledged observations back, got %+v", states)
+	}
+	// Compaction ran: the WAL is empty again, the state lives in its
+	// snapshot, and a third boot sees no damage.
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Errorf("WAL not compacted after recovery: %v, %v", fi, err)
+	}
+	check(t, l2.Close())
+	l3, states3, st3 := openLog(t, dir, Options{})
+	defer l3.Close()
+	if st3.TornDropped != 0 || len(states3) != 1 || states3[0].Seq != 2 {
+		t.Errorf("second recovery diverged: %+v, %+v", st3, states3)
+	}
+}
+
+func TestTrailingGarbageIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	check(t, l.SessionCreated("s-f", "quadratic", stream.MonitorConfig{}, time.Now()))
+	check(t, l.PointObserved("s-f", 1, 0, 1.0))
+	check(t, l.Close())
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, states, st := openLog(t, dir, Options{})
+	defer l2.Close()
+	if st.TornDropped != 1 || len(states) != 1 || states[0].Seq != 1 {
+		t.Errorf("garbage tail handled wrong: %+v, %+v", st, states)
+	}
+}
+
+func TestWriteErrFaultSurfacesToCaller(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	defer l.Close()
+	if err := faultinject.Arm("wal-write-err", "err"); err != nil {
+		t.Fatal(err)
+	}
+	errObs := l.PointObserved("s-g", 1, 0, 1.0)
+	errSnap := l.SessionSnapshot(&stream.PersistedSession{ID: "s-g", Model: "quadratic"})
+	faultinject.Clear()
+	if errObs == nil || errSnap == nil {
+		t.Errorf("armed wal-write-err not surfaced: obs %v, snap %v", errObs, errSnap)
+	}
+	// The injected error is transient, not sticky: appends work again.
+	if err := l.PointObserved("s-g", 1, 0, 1.0); err != nil {
+		t.Errorf("append after disarm: %v", err)
+	}
+}
+
+func TestAppendsBeforeRecoverAreBuffered(t *testing.T) {
+	dir := t.TempDir()
+	// Seed a prior run's state.
+	l, _, _ := openLog(t, dir, Options{Sync: SyncNone})
+	at := time.Now()
+	check(t, l.SessionCreated("s-old", "quadratic", stream.MonitorConfig{}, at))
+	check(t, l.PointObserved("s-old", 1, 0, 1.0))
+	check(t, l.Close())
+
+	// Reopen; the listener is "up" before Recover, and a new session
+	// arrives during the replay window.
+	l2, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, l2.SessionCreated("s-new", "quadratic", stream.MonitorConfig{}, time.Now()))
+	check(t, l2.PointObserved("s-new", 1, 0, 0.7))
+	states, _, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].ID != "s-old" {
+		t.Fatalf("replay window writes leaked into recovery: %+v", states)
+	}
+	check(t, l2.Close())
+
+	// The buffered appends landed after compaction: the next boot sees
+	// both sessions.
+	l3, states3, _ := openLog(t, dir, Options{})
+	defer l3.Close()
+	ids := map[string]uint64{}
+	for _, ps := range states3 {
+		ids[ps.ID] = ps.Seq
+	}
+	if ids["s-old"] != 1 || ids["s-new"] != 1 {
+		t.Errorf("lost sessions across the replay window: %v", ids)
+	}
+}
+
+func TestGracefulRestartThroughManager(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	l, states, _ := openLog(t, dir, Options{Sync: SyncNone})
+	if len(states) != 0 {
+		t.Fatal("fresh dir not empty")
+	}
+	m := stream.NewManager(stream.Config{Store: l, SnapshotEvery: 7})
+	if _, _, err := m.Restore(states); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Create("quadratic", stream.MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, values := dipSeries(5, 30, 0.05)
+	ups, _, err := m.Observe(ctx, snap.ID, times, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown order mirrors the server: drain the manager (which writes
+	// final snapshots), then flush and close the log.
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	check(t, l.Close())
+
+	l2, states2, _ := openLog(t, dir, Options{})
+	defer l2.Close()
+	m2 := stream.NewManager(stream.Config{Store: l2})
+	restored, dropped, err := m2.Restore(states2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 || dropped != 0 {
+		t.Fatalf("Restore = (%d, %d), want (1, 0)", restored, dropped)
+	}
+	got, err := m2.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != want.Phase || got.Observations != want.Observations || got.HistoryLen != want.HistoryLen {
+		t.Errorf("recovered %s/%d/%d, want %s/%d/%d",
+			got.Phase, got.Observations, got.HistoryLen,
+			want.Phase, want.Observations, want.HistoryLen)
+	}
+	if want.LastFit != nil {
+		if got.LastFit == nil || got.LastFit.Seq != want.LastFit.Seq {
+			t.Fatalf("fit state lost: %+v vs %+v", got.LastFit, want.LastFit)
+		}
+		for i, p := range want.LastFit.Params {
+			if got.LastFit.Params[i] != p {
+				t.Errorf("param %d = %g, want %g (must be bit-identical)", i, got.LastFit.Params[i], p)
+			}
+		}
+	}
+	if len(ups) != 30 {
+		t.Fatalf("sanity: %d updates", len(ups))
+	}
+	// And the restored session keeps going.
+	more, _, err := m2.Observe(ctx, snap.ID, []float64{30}, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more[0].Seq != 31 {
+		t.Errorf("post-restart seq = %d, want 31", more[0].Seq)
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

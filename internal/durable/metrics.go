@@ -1,0 +1,50 @@
+package durable
+
+import "resilience/internal/telemetry"
+
+// metrics are the durability telemetry handles, resolved once. The
+// family answers the operational questions a WAL raises: how much is
+// being written and synced, how expensive was the last boot replay, and
+// whether crashes are leaving (and recovery is absorbing) torn tails.
+var metrics = struct {
+	written            *telemetry.Counter
+	replayed           *telemetry.Counter
+	fsyncs             *telemetry.Counter
+	tornDrops          *telemetry.Counter
+	compactions        *telemetry.Counter
+	snapshots          *telemetry.Counter
+	snapshotLoadErrors *telemetry.Counter
+	replayDuration     *telemetry.Gauge
+	walRecords         *telemetry.Gauge
+}{
+	written:            telemetry.GetOrCreateCounter("resil_durable_records_written_total"),
+	replayed:           telemetry.GetOrCreateCounter("resil_durable_records_replayed_total"),
+	fsyncs:             telemetry.GetOrCreateCounter("resil_durable_fsyncs_total"),
+	tornDrops:          telemetry.GetOrCreateCounter("resil_durable_torn_tail_drops_total"),
+	compactions:        telemetry.GetOrCreateCounter("resil_durable_compactions_total"),
+	snapshots:          telemetry.GetOrCreateCounter("resil_durable_snapshots_written_total"),
+	snapshotLoadErrors: telemetry.GetOrCreateCounter("resil_durable_snapshot_load_errors_total"),
+	replayDuration:     telemetry.GetOrCreateGauge("resil_durable_replay_duration_seconds"),
+	walRecords:         telemetry.GetOrCreateGauge("resil_durable_wal_records"),
+}
+
+func init() {
+	telemetry.RegisterFamily("resil_durable_records_written_total", "counter",
+		"WAL records appended and acknowledged.")
+	telemetry.RegisterFamily("resil_durable_records_replayed_total", "counter",
+		"WAL records replayed during boot recovery.")
+	telemetry.RegisterFamily("resil_durable_fsyncs_total", "counter",
+		"fsync calls issued against the WAL.")
+	telemetry.RegisterFamily("resil_durable_torn_tail_drops_total", "counter",
+		"Damaged WAL tail records truncated during recovery (expected after a crash mid-write).")
+	telemetry.RegisterFamily("resil_durable_compactions_total", "counter",
+		"WAL truncations after snapshot coverage (including the one at every boot).")
+	telemetry.RegisterFamily("resil_durable_snapshots_written_total", "counter",
+		"Per-session snapshot files written.")
+	telemetry.RegisterFamily("resil_durable_snapshot_load_errors_total", "counter",
+		"Snapshot files skipped as unreadable during recovery.")
+	telemetry.RegisterFamily("resil_durable_replay_duration_seconds", "gauge",
+		"Wall time of the most recent boot recovery pass.")
+	telemetry.RegisterFamily("resil_durable_wal_records", "gauge",
+		"Records currently in the WAL (resets on compaction).")
+}

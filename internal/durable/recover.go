@@ -1,0 +1,333 @@
+package durable
+
+// Boot-time recovery: snapshots first, then the WAL tail on top, then
+// compaction. The result is exactly what the crashed process had
+// acknowledged — every record whose append returned success is either in
+// a snapshot or in the replayed tail.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"resilience/internal/stream"
+)
+
+// Stats summarizes one recovery pass.
+type Stats struct {
+	// Sessions is how many live sessions were reconstructed.
+	Sessions int
+	// SnapshotsLoaded counts snapshot files read successfully;
+	// SnapshotsDropped counts malformed ones skipped.
+	SnapshotsLoaded  int
+	SnapshotsDropped int
+	// RecordsReplayed counts WAL records applied on top of snapshots.
+	RecordsReplayed int
+	// TornDropped counts damaged tail records truncated away (0 or 1 per
+	// boot in practice: a crash tears at most the record being written).
+	TornDropped int
+	// Duration is the wall time of the pass.
+	Duration time.Duration
+}
+
+// sessState accumulates one session's recovered state during replay.
+type sessState struct {
+	ps     stream.PersistedSession
+	closed bool
+}
+
+// Recover loads the data directory — snapshots, then the WAL — and
+// returns the sessions that should be resurrected, ordered by last
+// activity (oldest first, the order stream.Manager.Restore expects).
+//
+// Damage tolerance is asymmetric by design: a torn or corrupt WAL tail
+// is truncated at the last good record and counted (a crash mid-append
+// is the expected failure, not an error), and a malformed snapshot file
+// is skipped the same way. Only environmental failures — an unreadable
+// directory, a failing disk — return an error.
+//
+// After the scan the directory is compacted: every live session gets a
+// fresh snapshot, dead sessions' snapshot files are removed, and the WAL
+// is truncated to empty, so replay cost does not accumulate across
+// restarts. Store calls buffered while recovery ran are appended last.
+// Recover must be called exactly once, before the Log's first fsync
+// deadline matters and before Manager.Restore.
+func (l *Log) Recover() ([]stream.PersistedSession, Stats, error) {
+	start := time.Now()
+	var st Stats
+
+	states := make(map[string]*sessState)
+	if err := l.loadSnapshots(states, &st); err != nil {
+		return nil, st, err
+	}
+	if err := l.replayWAL(states, &st); err != nil {
+		return nil, st, err
+	}
+
+	live := make([]stream.PersistedSession, 0, len(states))
+	for _, s := range states {
+		if s.closed {
+			continue
+		}
+		live = append(live, s.ps)
+	}
+	sort.Slice(live, func(i, j int) bool {
+		return live[i].LastActive.Before(live[j].LastActive)
+	})
+	st.Sessions = len(live)
+
+	if err := l.compactAfterRecovery(states, live); err != nil {
+		return nil, st, err
+	}
+
+	st.Duration = time.Since(start)
+	metrics.replayDuration.Set(st.Duration.Seconds())
+	metrics.replayed.Add(uint64(st.RecordsReplayed))
+	metrics.tornDrops.Add(uint64(st.TornDropped))
+	l.opts.Logger.Info("durable: recovery complete",
+		"sessions", st.Sessions,
+		"snapshots", st.SnapshotsLoaded,
+		"wal_records", st.RecordsReplayed,
+		"torn_dropped", st.TornDropped,
+		"duration", st.Duration)
+	return live, st, nil
+}
+
+// loadSnapshots reads every snap-*.json into states.
+func (l *Log) loadSnapshots(states map[string]*sessState, st *Stats) error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("durable: read data dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		ps, err := readSnapshotFile(filepath.Join(l.dir, name))
+		if err != nil {
+			// A half-written snapshot (crash between create and rename never
+			// leaves one, but disks bit-rot) costs that session's snapshot
+			// base, not the boot. Its WAL records may still recover it.
+			l.opts.Logger.Warn("durable: dropping unreadable snapshot", "file", name, "err", err)
+			st.SnapshotsDropped++
+			metrics.snapshotLoadErrors.Inc()
+			continue
+		}
+		st.SnapshotsLoaded++
+		states[ps.ID] = &sessState{ps: *ps}
+	}
+	return nil
+}
+
+// replayWAL scans the WAL, applying each record on top of the snapshot
+// bases, and truncates the file at the first damaged frame.
+func (l *Log) replayWAL(states map[string]*sessState, st *Stats) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: seek wal: %w", err)
+	}
+	r := bufio.NewReader(l.f)
+	var offset int64 // end of the last good record
+	for {
+		typ, body, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, errTorn) {
+			// The tail from offset on is damaged — the crash tore the record
+			// being appended. Cut it off and carry on; the record was never
+			// acknowledged as durable.
+			st.TornDropped++
+			l.opts.Logger.Warn("durable: truncating torn WAL tail", "offset", offset)
+			if terr := l.f.Truncate(offset); terr != nil {
+				return fmt.Errorf("durable: truncate torn tail: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("durable: scan wal: %w", err)
+		}
+		offset += int64(frameHeaderLen + 1 + len(body))
+		l.applyRecord(states, typ, body, st)
+		st.RecordsReplayed++
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("durable: seek wal end: %w", err)
+	}
+	return nil
+}
+
+// applyRecord folds one WAL record into the recovered states. Records
+// that fail to decode or reference impossible state are skipped with a
+// log line — one bad record must not cost the boot.
+func (l *Log) applyRecord(states map[string]*sessState, typ byte, body []byte, st *Stats) {
+	skip := func(what string, err error) {
+		l.opts.Logger.Warn("durable: skipping unusable WAL record", "type", what, "err", err)
+	}
+	switch typ {
+	case recCreated:
+		var rec createdRec
+		if err := json.Unmarshal(body, &rec); err != nil {
+			skip("created", err)
+			return
+		}
+		if prev, ok := states[rec.ID]; ok && !prev.closed && prev.ps.CreatedAt.Equal(rec.At) {
+			// The same incarnation this state already describes (its creation
+			// record outlived a snapshot); nothing to do.
+			return
+		}
+		// First sight of the ID, or a new incarnation after close/eviction:
+		// start fresh. A snapshot of the old incarnation is superseded.
+		states[rec.ID] = &sessState{ps: stream.PersistedSession{
+			ID:         rec.ID,
+			Model:      rec.Model,
+			Config:     rec.Config,
+			CreatedAt:  rec.At,
+			LastActive: rec.At,
+		}}
+	case recObs:
+		var rec obsRec
+		if err := json.Unmarshal(body, &rec); err != nil {
+			skip("observation", err)
+			return
+		}
+		s, ok := states[rec.ID]
+		if !ok || s.closed {
+			return // observation for an unknown or already-terminal session
+		}
+		if rec.Seq <= s.ps.Seq {
+			return // superseded by the snapshot base
+		}
+		s.ps.Seq = rec.Seq
+		s.ps.Times = append(s.ps.Times, rec.T)
+		s.ps.Values = append(s.ps.Values, rec.V)
+		// Observation records carry no wall clock; a session with WAL
+		// activity past its snapshot was live right up to the crash, so
+		// recovery time is the closest honest LastActive (and keeps the TTL
+		// from retiring a session that died mid-stream).
+		s.ps.LastActive = time.Now()
+	case recFit:
+		var rec fitRec
+		if err := json.Unmarshal(body, &rec); err != nil {
+			skip("fit", err)
+			return
+		}
+		if s, ok := states[rec.ID]; ok && !s.closed && rec.Fit != nil {
+			if s.ps.LastFit == nil || rec.Fit.Seq >= s.ps.LastFit.Seq {
+				s.ps.LastFit = rec.Fit
+			}
+		}
+	case recClosed:
+		var rec closedRec
+		if err := json.Unmarshal(body, &rec); err != nil {
+			skip("closed", err)
+			return
+		}
+		if s, ok := states[rec.ID]; ok {
+			s.closed = true
+		}
+	default:
+		skip(fmt.Sprintf("unknown(%d)", typ), nil)
+	}
+}
+
+// compactAfterRecovery rewrites the directory to its minimal form —
+// one fresh snapshot per live session, no stale snapshot files, an empty
+// WAL — then drains the Store calls buffered during replay and opens the
+// Log for normal appends.
+func (l *Log) compactAfterRecovery(states map[string]*sessState, live []stream.PersistedSession) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	for i := range live {
+		if err := writeSnapshotFile(l.dir, &live[i]); err != nil {
+			return err
+		}
+		metrics.snapshots.Inc()
+	}
+	for id, s := range states {
+		if s.closed {
+			l.removeSnapshotLocked(id)
+		}
+	}
+	if err := l.truncateWALLocked(); err != nil {
+		return fmt.Errorf("durable: compact wal: %w", err)
+	}
+	metrics.compactions.Inc()
+
+	l.recovered = true
+	pending := l.pending
+	l.pending = nil
+	for _, op := range pending {
+		if op.snap != nil {
+			if err := l.writeSnapshotLocked(op.snap); err != nil {
+				l.opts.Logger.Warn("durable: buffered snapshot failed", "session", op.id, "err", err)
+			}
+			continue
+		}
+		if err := l.appendLocked(op.id, op.frame); err != nil {
+			l.opts.Logger.Warn("durable: buffered append failed", "session", op.id, "err", err)
+		}
+	}
+	return nil
+}
+
+// writeSnapshotFile persists one session snapshot atomically: temp file,
+// fsync, rename.
+func writeSnapshotFile(dir string, ps *stream.PersistedSession) error {
+	data, err := json.Marshal(ps)
+	if err != nil {
+		return fmt.Errorf("durable: encode snapshot %s: %w", ps.ID, err)
+	}
+	path := snapPath(dir, ps.ID)
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("durable: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: write snapshot %s: %w", ps.ID, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: sync snapshot %s: %w", ps.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: close snapshot %s: %w", ps.ID, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("durable: publish snapshot %s: %w", ps.ID, err)
+	}
+	return nil
+}
+
+// readSnapshotFile loads one snapshot, validating the invariants replay
+// depends on.
+func readSnapshotFile(path string) (*stream.PersistedSession, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ps stream.PersistedSession
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, err
+	}
+	if ps.ID == "" || ps.Model == "" {
+		return nil, fmt.Errorf("snapshot missing identity")
+	}
+	if len(ps.Times) != len(ps.Values) {
+		return nil, fmt.Errorf("snapshot history skewed: %d times, %d values", len(ps.Times), len(ps.Values))
+	}
+	return &ps, nil
+}

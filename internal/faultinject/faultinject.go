@@ -9,8 +9,8 @@
 // When nothing is armed every probe reduces to a single atomic load, so
 // the hooks are safe to leave in hot loops.
 //
-// The environment format is a semicolon-separated list of site=mode
-// entries, e.g.
+// The environment format is a semicolon- (or comma-) separated list of
+// site=mode entries, e.g.
 //
 //	RESIL_FAULTS="core.fit.weibull-exp=panic;server.decode=delay:50ms;core.fit.objective.quadratic=nan"
 //
@@ -19,6 +19,16 @@
 //	panic            panic at the site (exercises recover isolation)
 //	delay:<duration> sleep for the duration (or until the ctx is done)
 //	nan              replace the probed float with NaN (poisons objectives)
+//	err              make Error return an injected error at the site
+//	tear             make Torn report true at the site (torn WAL writes)
+//
+// A handful of well-known fault points carry a default mode so they can
+// be armed by bare name, without the =mode suffix:
+//
+//	RESIL_FAULTS="wal-write-err,wal-torn-tail,wal-fsync-slow"
+//
+// arms the durable-WAL sites: append errors, a torn (half-written) tail
+// record, and slow fsyncs respectively.
 package faultinject
 
 import (
@@ -46,7 +56,21 @@ const (
 	ModeDelay
 	// ModeNaN makes Float return NaN at the site.
 	ModeNaN
+	// ModeErr makes Error return an injected error at the site.
+	ModeErr
+	// ModeTear makes Torn report true at the site, so durable-log writers
+	// can simulate a crash mid-record (a torn tail).
+	ModeTear
 )
+
+// namedDefaults maps well-known fault points to a default mode, so a
+// RESIL_FAULTS entry can be a bare site name. These cover the durable
+// WAL's error paths, which otherwise need real disk failures to reach.
+var namedDefaults = map[string]string{
+	"wal-write-err":  "err",
+	"wal-torn-tail":  "tear",
+	"wal-fsync-slow": "delay:50ms",
+}
 
 type probe struct {
 	mode  Mode
@@ -86,6 +110,10 @@ func Arm(site, mode string) error {
 		p = probe{mode: ModePanic}
 	case mode == "nan":
 		p = probe{mode: ModeNaN}
+	case mode == "err":
+		p = probe{mode: ModeErr}
+	case mode == "tear":
+		p = probe{mode: ModeTear}
 	case strings.HasPrefix(mode, "delay:"):
 		d, err := time.ParseDuration(strings.TrimPrefix(mode, "delay:"))
 		if err != nil || d < 0 {
@@ -102,18 +130,25 @@ func Arm(site, mode string) error {
 	return nil
 }
 
-// ArmSpec arms every site in a semicolon-separated "site=mode" list (the
-// RESIL_FAULTS format). Entries are applied in order; the first malformed
-// entry stops parsing and is returned as an error.
+// ArmSpec arms every site in a semicolon- or comma-separated "site=mode"
+// list (the RESIL_FAULTS format). An entry without "=mode" must be one
+// of the well-known named fault points, which arm with their default
+// mode. Entries are applied in order; the first malformed entry stops
+// parsing and is returned as an error.
 func ArmSpec(spec string) error {
-	for _, entry := range strings.Split(spec, ";") {
+	split := func(r rune) bool { return r == ';' || r == ',' }
+	for _, entry := range strings.FieldsFunc(spec, split) {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
 			continue
 		}
 		site, mode, ok := strings.Cut(entry, "=")
 		if !ok {
-			return fmt.Errorf("faultinject: malformed entry %q (want site=mode)", entry)
+			def, known := namedDefaults[entry]
+			if !known {
+				return fmt.Errorf("faultinject: malformed entry %q (want site=mode, or a named fault point)", entry)
+			}
+			site, mode = entry, def
 		}
 		if err := Arm(strings.TrimSpace(site), strings.TrimSpace(mode)); err != nil {
 			return err
@@ -182,6 +217,30 @@ func Sleep(ctx context.Context, site string) {
 	case <-t.C:
 	case <-ctx.Done():
 	}
+}
+
+// Error returns an injected error when site is armed in err mode, nil
+// otherwise. Write paths that can fail for real (disk errors) gate on it
+// so their error handling is testable without a failing disk.
+func Error(site string) error {
+	if !Enabled() {
+		return nil
+	}
+	if p, ok := lookup(site); ok && p.mode == ModeErr {
+		return fmt.Errorf("faultinject: injected error at %s", site)
+	}
+	return nil
+}
+
+// Torn reports whether site is armed in tear mode. Durable-log writers
+// consult it to truncate a record mid-write, simulating a crash that
+// leaves a torn tail for recovery to drop.
+func Torn(site string) bool {
+	if !Enabled() {
+		return false
+	}
+	p, ok := lookup(site)
+	return ok && p.mode == ModeTear
 }
 
 // Float returns NaN when site is armed in nan mode, v otherwise.

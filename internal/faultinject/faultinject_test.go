@@ -41,6 +41,50 @@ func TestArmSpecRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestArmSpecNamedFaultPoints(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	// The issue-documented spelling: bare names, comma-separated.
+	if err := ArmSpec("wal-write-err,wal-torn-tail,wal-fsync-slow"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Error("wal-write-err"); err == nil {
+		t.Error("wal-write-err armed but Error returned nil")
+	}
+	if !Torn("wal-torn-tail") {
+		t.Error("wal-torn-tail armed but Torn reported false")
+	}
+	start := time.Now()
+	Sleep(context.Background(), "wal-fsync-slow")
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("wal-fsync-slow slept only %v, want the 50ms default", elapsed)
+	}
+}
+
+func TestErrorAndTornOnlyWhenArmed(t *testing.T) {
+	t.Cleanup(Clear)
+	Clear()
+	if err := Error("wal-write-err"); err != nil {
+		t.Errorf("disarmed Error = %v", err)
+	}
+	if Torn("wal-torn-tail") {
+		t.Error("disarmed Torn = true")
+	}
+	if err := ArmSpec("wal-write-err=err;wal-torn-tail=tear"); err != nil {
+		t.Fatal(err)
+	}
+	err := Error("wal-write-err")
+	if err == nil || !strings.Contains(err.Error(), "wal-write-err") {
+		t.Errorf("armed Error = %v, want error naming the site", err)
+	}
+	if !Torn("wal-torn-tail") {
+		t.Error("armed Torn = false")
+	}
+	if err := Error("other"); err != nil {
+		t.Errorf("unrelated site errors: %v", err)
+	}
+}
+
 func TestFirePanicsOnlyWhenArmed(t *testing.T) {
 	t.Cleanup(Clear)
 	Clear()

@@ -182,6 +182,21 @@ func (tr *Tracker) Observe(t, v float64) (Update, error) {
 // observation — the point is already ingested and the phase machine has
 // advanced — it is reported in the update's FitErr instead.
 func (tr *Tracker) ObserveCtx(ctx context.Context, t, v float64) (Update, error) {
+	return tr.ingest(ctx, t, v, true)
+}
+
+// Replay re-ingests a previously observed point: the observation is
+// validated and appended, the phase machine advances, but no refit runs
+// — crash recovery replays a session's whole history this way in
+// microseconds and then restores the last persisted fit state with
+// SetWarmParams, instead of re-paying every optimizer call.
+func (tr *Tracker) Replay(t, v float64) (Update, error) {
+	return tr.ingest(context.Background(), t, v, false)
+}
+
+// ingest is the shared observation path; refit selects whether a due
+// model refit actually runs (live observation) or is skipped (replay).
+func (tr *Tracker) ingest(ctx context.Context, t, v float64, refit bool) (Update, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
 		return Update{}, fmt.Errorf("%w: non-finite (%g, %g)", ErrBadObservation, t, v)
 	}
@@ -209,7 +224,7 @@ func (tr *Tracker) ObserveCtx(ctx context.Context, t, v float64) (Update, error)
 	}
 
 	// Refit once enough of the disruption is visible.
-	if tr.onsetIdx >= 0 && tr.phase != PhaseNominal {
+	if refit && tr.onsetIdx >= 0 && tr.phase != PhaseNominal {
 		if post := len(tr.times) - tr.onsetIdx; post >= tr.cfg.MinFitPoints {
 			tr.refit(ctx, &up)
 		}
@@ -217,6 +232,32 @@ func (tr *Tracker) ObserveCtx(ctx context.Context, t, v float64) (Update, error)
 
 	tr.history = append(tr.history, up)
 	return up, nil
+}
+
+// Observations returns copies of every ingested (time, value) pair, the
+// raw material a persistence layer snapshots and replays.
+func (tr *Tracker) Observations() (times, values []float64) {
+	return append([]float64(nil), tr.times...), append([]float64(nil), tr.values...)
+}
+
+// WarmParams returns a copy of the parameters the next refit would
+// warm-start from (nil before the first successful fit).
+func (tr *Tracker) WarmParams() []float64 {
+	if tr.warmParams == nil {
+		return nil
+	}
+	return append([]float64(nil), tr.warmParams...)
+}
+
+// SetWarmParams seeds the next refit's starting point, restoring the
+// warm-start state a recovered session had before a crash. The slice is
+// copied; nil clears the warm start.
+func (tr *Tracker) SetWarmParams(p []float64) {
+	if p == nil {
+		tr.warmParams = nil
+		return
+	}
+	tr.warmParams = append([]float64(nil), p...)
 }
 
 // advancePhase runs the threshold state machine.

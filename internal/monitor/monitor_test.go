@@ -336,3 +336,130 @@ func TestTrackerFallbackAnnotatesDegrade(t *testing.T) {
 		t.Error("poisoned objective never triggered a fallback fit")
 	}
 }
+
+func TestReplayMatchesObservePhases(t *testing.T) {
+	vals := vCurve(5, 40, 0.05)
+
+	live := NewTracker(Config{})
+	replay := NewTracker(Config{})
+	for i, v := range vals {
+		lu, err := live.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := replay.Replay(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ru.Phase != lu.Phase {
+			t.Fatalf("point %d: replay phase %v, live phase %v", i, ru.Phase, lu.Phase)
+		}
+		if ru.Fit != nil {
+			t.Fatalf("point %d: replay ran a refit", i)
+		}
+		if !eqNaN(ru.OnsetTime, lu.OnsetTime) {
+			t.Fatalf("point %d: replay onset %g, live onset %g", i, ru.OnsetTime, lu.OnsetTime)
+		}
+	}
+	if replay.Phase() != live.Phase() {
+		t.Errorf("final phase: replay %v, live %v", replay.Phase(), live.Phase())
+	}
+	if replay.HistoryLen() != live.HistoryLen() {
+		t.Errorf("history length: replay %d, live %d", replay.HistoryLen(), live.HistoryLen())
+	}
+	rt, rv := replay.Observations()
+	lt, lv := live.Observations()
+	for i := range rt {
+		if rt[i] != lt[i] || rv[i] != lv[i] {
+			t.Fatalf("observation %d differs: (%g,%g) vs (%g,%g)", i, rt[i], rv[i], lt[i], lv[i])
+		}
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestReplayValidatesLikeObserve(t *testing.T) {
+	tr := NewTracker(Config{})
+	if _, err := tr.Replay(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Replay(0, 1); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("non-increasing replay time accepted: %v", err)
+	}
+	if _, err := tr.Replay(1, math.NaN()); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("NaN replay value accepted: %v", err)
+	}
+}
+
+func TestWarmParamsRoundTrip(t *testing.T) {
+	tr := NewTracker(Config{})
+	if got := tr.WarmParams(); got != nil {
+		t.Fatalf("fresh tracker warm params = %v", got)
+	}
+	seed := []float64{1, 2, 3}
+	tr.SetWarmParams(seed)
+	seed[0] = 99 // caller's slice must not alias the tracker's copy
+	got := tr.WarmParams()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("WarmParams = %v, want [1 2 3]", got)
+	}
+	got[1] = 98 // returned copy must not alias either
+	if again := tr.WarmParams(); again[1] != 2 {
+		t.Errorf("returned warm params alias tracker state: %v", again)
+	}
+	tr.SetWarmParams(nil)
+	if got := tr.WarmParams(); got != nil {
+		t.Errorf("cleared warm params = %v", got)
+	}
+}
+
+// TestReplayThenObserveResumesFitting proves the recovery contract: a
+// tracker rebuilt by replay + SetWarmParams continues refitting on the
+// next live observation exactly where the crashed tracker left off.
+func TestReplayThenObserveResumesFitting(t *testing.T) {
+	vals := vCurve(5, 40, 0.05)
+	cut := 30 // crash point: mid-recovery, fits already running
+
+	live := NewTracker(Config{})
+	for i := 0; i < cut; i++ {
+		if _, err := live.Observe(float64(i), vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := live.WarmParams()
+	if warm == nil {
+		t.Fatal("live tracker has no warm params at the cut point; pick a later cut")
+	}
+
+	recovered := NewTracker(Config{})
+	for i := 0; i < cut; i++ {
+		if _, err := recovered.Replay(float64(i), vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered.SetWarmParams(warm)
+
+	for i := cut; i < len(vals); i++ {
+		lu, err := live.Observe(float64(i), vals[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := recovered.Observe(float64(i), vals[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ru.Fit == nil) != (lu.Fit == nil) {
+			t.Fatalf("point %d: recovered fit presence %v, live %v", i, ru.Fit != nil, lu.Fit != nil)
+		}
+		if ru.Fit != nil {
+			for j := range ru.Fit.Params {
+				if ru.Fit.Params[j] != lu.Fit.Params[j] {
+					t.Fatalf("point %d param %d: recovered %g, live %g",
+						i, j, ru.Fit.Params[j], lu.Fit.Params[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+// Durability integration at the HTTP layer: the replaying readiness
+// phase, and a full create → observe → graceful restart → resume round
+// trip through a real durable.Log.
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"resilience/internal/durable"
+	"resilience/internal/stream"
+)
+
+func TestReadyzGatesOnReplay(t *testing.T) {
+	wlog, err := durable.Open(t.TempDir(), durable.Options{Sync: durable.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog.Close()
+	app := NewApp(Config{SessionStore: wlog})
+	ts := httptest.NewServer(app.Handler)
+	defer ts.Close()
+
+	// Durable app, recovery not finished: alive but unready, with the
+	// phase naming why.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, http.StatusOK, nil)
+	var body map[string]string
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, http.StatusServiceUnavailable, &body)
+	if body["status"] != "unready" || body["phase"] != "replaying" {
+		t.Fatalf("replaying readyz body = %v", body)
+	}
+
+	if _, _, err := wlog.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	app.MarkReady()
+	var ready map[string]any
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, http.StatusOK, &ready)
+	if ready["status"] != "ready" || ready["phase"] != "ready" {
+		t.Fatalf("post-recovery readyz body = %v", ready)
+	}
+}
+
+func TestMemoryOnlyAppIsReadyImmediately(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Config{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, http.StatusOK, nil)
+}
+
+// startDurableApp boots an app against dir the way resil-server does:
+// open, recover, restore, mark ready.
+func startDurableApp(t *testing.T, dir string) (*durable.Log, *App, *httptest.Server) {
+	t.Helper()
+	wlog, err := durable.Open(dir, durable.Options{Sync: durable.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := NewApp(Config{SessionStore: wlog, SnapshotEvery: 4})
+	states, _, err := wlog.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app.Streams.Restore(states); err != nil {
+		t.Fatal(err)
+	}
+	app.MarkReady()
+	return wlog, app, httptest.NewServer(app.Handler)
+}
+
+func TestDurableSessionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	wlog, app, ts := startDurableApp(t, dir)
+
+	snap := createTestSession(t, ts.URL, "quadratic", stream.MonitorConfig{})
+	values := []float64{1, 1, 1, 0.97, 0.95, 0.93, 0.92, 0.93, 0.95, 0.97, 0.99, 1.0}
+	var obsBody struct {
+		Session stream.Snapshot `json:"session"`
+		Updates []stream.Update `json:"updates"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/sessions/"+snap.ID+"/observe", map[string]any{"values": values})
+	decodeInto(t, resp, http.StatusOK, &obsBody)
+	want := obsBody.Session
+
+	// Graceful restart in the entry point's order: drain streams (writes
+	// final snapshots), close the WAL, close the listener.
+	if err := app.StreamShutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	wlog2, _, ts2 := startDurableApp(t, dir)
+	defer func() { ts2.Close(); wlog2.Close() }()
+
+	var got stream.Snapshot
+	resp, err := http.Get(ts2.URL + "/v1/sessions/" + snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, http.StatusOK, &got)
+	if got.Phase != want.Phase || got.Observations != want.Observations || got.HistoryLen != want.HistoryLen {
+		t.Errorf("recovered %s/%d/%d, want %s/%d/%d",
+			got.Phase, got.Observations, got.HistoryLen,
+			want.Phase, want.Observations, want.HistoryLen)
+	}
+	if want.LastFit != nil {
+		if got.LastFit == nil || got.LastFit.Seq != want.LastFit.Seq {
+			t.Fatalf("fit lost across restart: %+v vs %+v", got.LastFit, want.LastFit)
+		}
+		for i, p := range want.LastFit.Params {
+			if got.LastFit.Params[i] != p {
+				t.Errorf("warm param %d = %g, want %g", i, got.LastFit.Params[i], p)
+			}
+		}
+	}
+
+	// The recovered session keeps observing over HTTP.
+	resp = postJSON(t, ts2.URL+"/v1/sessions/"+snap.ID+"/observe", map[string]any{"values": []float64{1.0}})
+	decodeInto(t, resp, http.StatusOK, &obsBody)
+	if n := obsBody.Updates[0].Seq; n != want.Observations+1 {
+		t.Errorf("post-restart seq = %d, want %d", n, want.Observations+1)
+	}
+
+	// The SSE feed's opening snapshot event carries the recovery-relevant
+	// state: history length and the last fit, so a reconnecting client
+	// can resync without replaying its own data.
+	sseResp, err := http.Get(ts2.URL + "/v1/sessions/" + snap.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sc := bufio.NewScanner(sseResp.Body)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			break
+		}
+	}
+	if event != "snapshot" {
+		t.Fatalf("first SSE event = %q, want snapshot", event)
+	}
+	if !strings.Contains(data, `"history_len":13`) {
+		t.Errorf("snapshot event missing history_len: %s", data)
+	}
+	if want.LastFit != nil && !strings.Contains(data, `"last_fit"`) {
+		t.Errorf("snapshot event missing last_fit: %s", data)
+	}
+}

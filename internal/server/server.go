@@ -66,6 +66,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"resilience/internal/core"
@@ -128,6 +129,15 @@ type Config struct {
 	// SessionTTL retires streaming sessions idle longer than this
 	// (default 15m, the -session-ttl server flag sets it).
 	SessionTTL time.Duration
+	// SessionStore persists streaming sessions across restarts (see
+	// internal/durable; the -data-dir server flag builds one). When set,
+	// the app boots in the "replaying" readiness phase — /readyz answers
+	// 503 — until the entry point finishes recovery and calls MarkReady.
+	// Nil keeps sessions in memory only.
+	SessionStore stream.Store
+	// SnapshotEvery is the per-session snapshot cadence in observations
+	// (see stream.Config.SnapshotEvery; the -snapshot-every flag sets it).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +157,9 @@ type api struct {
 	cfg     Config
 	svc     *service.Service
 	streams *stream.Manager
+	// replaying is true while boot-time session recovery runs; /readyz
+	// answers 503 with phase "replaying" until MarkReady clears it.
+	replaying atomic.Bool
 }
 
 // App bundles the HTTP handler with the stateful subsystems that need
@@ -158,7 +171,14 @@ type App struct {
 	Handler http.Handler
 	// Streams is the streaming-session manager behind /v1/sessions.
 	Streams *stream.Manager
+	a       *api
 }
+
+// MarkReady ends the boot "replaying" readiness phase: /readyz starts
+// answering 200. Entry points call it after the durable store has been
+// recovered and its sessions restored into Streams; apps built without a
+// SessionStore are ready from the start and need not call it.
+func (app *App) MarkReady() { app.a.replaying.Store(false) }
 
 // Handler returns the server's http.Handler with default configuration.
 func Handler() http.Handler { return NewHandler(Config{}) }
@@ -179,10 +199,15 @@ func NewApp(cfg Config) *App {
 	// manager takes the service's resolved policy, so a -no-fallback
 	// server degrades (or doesn't) identically on both paths.
 	a.streams = stream.NewManager(stream.Config{
-		MaxSessions: a.cfg.MaxSessions,
-		SessionTTL:  a.cfg.SessionTTL,
-		Fallback:    a.svc.Policy(),
+		MaxSessions:   a.cfg.MaxSessions,
+		SessionTTL:    a.cfg.SessionTTL,
+		Fallback:      a.svc.Policy(),
+		Store:         a.cfg.SessionStore,
+		SnapshotEvery: a.cfg.SnapshotEvery,
 	})
+	// A durable app starts unready: the listener may open while recovery
+	// replays the WAL, and /readyz keeps traffic away until MarkReady.
+	a.replaying.Store(a.cfg.SessionStore != nil)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /readyz", a.handleReady)
@@ -211,7 +236,7 @@ func NewApp(cfg Config) *App {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return &App{Handler: instrument(a.cfg.Logger, mux), Streams: a.streams}
+	return &App{Handler: instrument(a.cfg.Logger, mux), Streams: a.streams, a: a}
 }
 
 // withFitTimeout imposes the configured fitting deadline on a handler's
@@ -301,6 +326,16 @@ var readySeries = []float64{1, 0.97, 0.94, 0.92, 0.91, 0.915, 0.93, 0.95, 0.97, 
 // the whole pipeline — series construction, optimizer, parameter
 // validation — can still produce results.
 func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
+	// During boot recovery the process is alive but must not take
+	// traffic: sessions are still being replayed into the manager and a
+	// client could observe (or create) a session that recovery is about
+	// to restore. Phase tells orchestration why readiness is withheld.
+	if a.replaying.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unready", "phase": "replaying",
+		})
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 	defer cancel()
 	series, err := timeseries.FromValues(readySeries)
@@ -321,6 +356,7 @@ func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ready",
+		"phase":         "ready",
 		"sanity_fit_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
 }

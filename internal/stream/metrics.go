@@ -18,6 +18,8 @@ var metrics = struct {
 	subscribers   *telemetry.Gauge
 	droppedSubs   *telemetry.Counter
 	events        *telemetry.Counter
+	restored      *telemetry.Counter
+	persistErrors *telemetry.Counter
 }{
 	sessions:      telemetry.GetOrCreateGauge("resil_stream_sessions"),
 	created:       telemetry.GetOrCreateCounter("resil_stream_sessions_created_total"),
@@ -30,6 +32,8 @@ var metrics = struct {
 	subscribers:   telemetry.GetOrCreateGauge("resil_stream_subscribers"),
 	droppedSubs:   telemetry.GetOrCreateCounter("resil_stream_dropped_subscribers_total"),
 	events:        telemetry.GetOrCreateCounter("resil_stream_events_total"),
+	restored:      telemetry.GetOrCreateCounter("resil_stream_sessions_restored_total"),
+	persistErrors: telemetry.GetOrCreateCounter("resil_stream_persist_errors_total"),
 }
 
 func init() {
@@ -51,4 +55,8 @@ func init() {
 		"Subscribers disconnected for not keeping up with the event feed.")
 	telemetry.RegisterFamily("resil_stream_events_total", "counter",
 		"Events delivered to subscribers.")
+	telemetry.RegisterFamily("resil_stream_sessions_restored_total", "counter",
+		"Sessions resurrected from the durable store at boot.")
+	telemetry.RegisterFamily("resil_stream_persist_errors_total", "counter",
+		"Session store writes that failed (ingestion continued; durability degraded).")
 }

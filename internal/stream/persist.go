@@ -1,0 +1,316 @@
+package stream
+
+// Session persistence: the Manager can write every lifecycle transition
+// through a Store so sessions survive a process crash. The interface is
+// deliberately narrow — one call per WAL record type plus a periodic
+// whole-session snapshot — and the Manager treats it availability-first:
+// a failing store is counted and served around, never allowed to take
+// ingestion down (the data is still in memory; durability degrades, the
+// service does not).
+//
+// Recovery is the inverse path: a boot-time Restore call takes the
+// states a store reconstructed (snapshot + WAL replay, see
+// internal/durable) and resurrects each session — observations re-fed
+// through the tracker's phase machine without refitting, warm-start
+// parameters and the last fit restored verbatim — so a recovered session
+// resumes observing exactly where the crashed one stopped.
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"resilience/internal/core"
+	"resilience/internal/monitor"
+	"resilience/internal/registry"
+)
+
+// Store persists session lifecycle transitions. Implementations must be
+// safe for concurrent use; calls arrive from request goroutines holding
+// per-session locks, so they should return quickly (buffer writes,
+// batch fsyncs). A nil Store on Config keeps the manager memory-only.
+type Store interface {
+	// SessionCreated records a new session and its configuration.
+	SessionCreated(id, model string, cfg MonitorConfig, at time.Time) error
+	// PointObserved records one accepted observation (seq numbers from 1).
+	PointObserved(id string, seq uint64, t, v float64) error
+	// FitUpdated records a refit outcome: the fit that will warm-start
+	// the next one, with its predictions.
+	FitUpdated(id string, fit *FitSummary) error
+	// SessionClosed records a terminal transition ("closed",
+	// "evicted:lru", "evicted:ttl"); the session must not be resurrected
+	// by recovery. Graceful shutdown intentionally does NOT emit this —
+	// sessions survive a restart.
+	SessionClosed(id, reason string) error
+	// SessionSnapshot records the session's whole state, superseding its
+	// earlier WAL records so replay time stays bounded.
+	SessionSnapshot(ps *PersistedSession) error
+}
+
+// FitSummary is the compact, wire- and disk-friendly record of one
+// refit: enough to warm-start the next fit after recovery and to let an
+// SSE client that reconnects after a restart resync without replaying
+// its own data.
+type FitSummary struct {
+	// Seq is the observation that produced this fit.
+	Seq        uint64    `json:"seq"`
+	Model      string    `json:"model"`
+	ParamNames []string  `json:"param_names,omitempty"`
+	Params     []float64 `json:"params,omitempty"`
+	SSE        float64   `json:"sse,omitempty"`
+	// Degraded and FallbackModel mirror the update's degradation
+	// annotation.
+	Degraded      bool   `json:"degraded,omitempty"`
+	FallbackModel string `json:"fallback_model,omitempty"`
+	// Predicted* echo the update's predictions at fit time.
+	PredictedMinimumTime  *float64 `json:"predicted_minimum_time,omitempty"`
+	PredictedMinimumValue *float64 `json:"predicted_minimum_value,omitempty"`
+	PredictedRecoveryTime *float64 `json:"predicted_recovery_time,omitempty"`
+}
+
+// clone returns an independent copy (slices included) safe to hand to
+// other goroutines.
+func (f *FitSummary) clone() *FitSummary {
+	if f == nil {
+		return nil
+	}
+	out := *f
+	out.ParamNames = append([]string(nil), f.ParamNames...)
+	out.Params = append([]float64(nil), f.Params...)
+	out.PredictedMinimumTime = copyFloatPtr(f.PredictedMinimumTime)
+	out.PredictedMinimumValue = copyFloatPtr(f.PredictedMinimumValue)
+	out.PredictedRecoveryTime = copyFloatPtr(f.PredictedRecoveryTime)
+	return &out
+}
+
+func copyFloatPtr(p *float64) *float64 {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+// fitSummaryOf extracts the persistent fit state from one update.
+func fitSummaryOf(up *Update) *FitSummary {
+	return &FitSummary{
+		Seq:                   up.Seq,
+		Model:                 up.FitModel,
+		ParamNames:            append([]string(nil), up.ParamNames...),
+		Params:                append([]float64(nil), up.Params...),
+		SSE:                   up.SSE,
+		Degraded:              up.Degraded,
+		FallbackModel:         up.FallbackModel,
+		PredictedMinimumTime:  copyFloatPtr(up.PredictedMinimumTime),
+		PredictedMinimumValue: copyFloatPtr(up.PredictedMinimumValue),
+		PredictedRecoveryTime: copyFloatPtr(up.PredictedRecoveryTime),
+	}
+}
+
+// PersistedSession is everything needed to resurrect one session: the
+// identity and configuration from its creation record, every accepted
+// observation, and the last fit state. Stores assemble it during
+// recovery (snapshot base + WAL tail) and the Manager both emits it
+// (SessionSnapshot) and consumes it (Restore).
+type PersistedSession struct {
+	ID         string        `json:"id"`
+	Model      string        `json:"model"`
+	Config     MonitorConfig `json:"config"`
+	CreatedAt  time.Time     `json:"created_at"`
+	LastActive time.Time     `json:"last_active"`
+	// Seq is the session's observation count; always equal to len(Times).
+	Seq    uint64    `json:"seq"`
+	Times  []float64 `json:"times"`
+	Values []float64 `json:"values"`
+	// LastFit is the most recent refit outcome (nil before the first fit);
+	// its params warm-start the first post-recovery refit.
+	LastFit *FitSummary `json:"last_fit,omitempty"`
+}
+
+// persistedLocked assembles the session's durable state; caller holds
+// s.mu.
+func (s *session) persistedLocked() *PersistedSession {
+	times, values := s.tracker.Observations()
+	return &PersistedSession{
+		ID:         s.id,
+		Model:      s.entry.Name,
+		Config:     s.mcfg,
+		CreatedAt:  s.createdAt,
+		LastActive: time.Unix(0, s.lastActive.Load()),
+		Seq:        s.seq,
+		Times:      times,
+		Values:     values,
+		LastFit:    s.lastFit.clone(),
+	}
+}
+
+// persistSnapshotLocked writes a session snapshot through the store and
+// resets the cadence counter; caller holds s.mu.
+func (m *Manager) persistSnapshotLocked(s *session) {
+	s.sinceSnap = 0
+	if err := m.cfg.Store.SessionSnapshot(s.persistedLocked()); err != nil {
+		metrics.persistErrors.Inc()
+	}
+}
+
+// persistClosed records a terminal transition, counting (not
+// propagating) store failures.
+func (m *Manager) persistClosed(id, reason string) {
+	if m.cfg.Store == nil {
+		return
+	}
+	if err := m.cfg.Store.SessionClosed(id, reason); err != nil {
+		metrics.persistErrors.Inc()
+	}
+}
+
+// Restore resurrects recovered sessions into the table, called once at
+// boot between NewManager and serving traffic. Per state it rebuilds the
+// tracker by replaying every observation through the phase machine (no
+// refits — microseconds, not optimizer calls), restores the warm-start
+// fit, and re-inserts the session with its original ID, creation time,
+// and LRU position (states are ordered by last activity).
+//
+// The TTL is respected: a state idle past SessionTTL is not resurrected
+// — it gets a terminal "evicted:ttl" store record so the next recovery
+// drops it too. States above the MaxSessions cap evict least recently
+// active first, exactly like live traffic. A state that no longer
+// resolves (unknown model after a version change, corrupt observation
+// order) is dropped and counted, never fatal.
+//
+// It returns how many sessions were restored and how many states were
+// dropped (expired, over cap, or unresolvable).
+func (m *Manager) Restore(states []PersistedSession) (restored, dropped int, err error) {
+	ordered := make([]*PersistedSession, 0, len(states))
+	for i := range states {
+		ordered = append(ordered, &states[i])
+	}
+	// Oldest first, so inserting at the LRU front leaves the most
+	// recently active session in front, as live traffic would have.
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].LastActive.Before(ordered[j].LastActive)
+	})
+
+	now := time.Now()
+	cutoff := now.Add(-m.cfg.SessionTTL)
+	var victims []victim
+	for _, ps := range ordered {
+		if !ps.LastActive.After(cutoff) {
+			metrics.evictedTTL.Inc()
+			m.persistClosed(ps.ID, "evicted:ttl")
+			dropped++
+			continue
+		}
+		s, rerr := m.rebuild(ps)
+		if rerr != nil {
+			m.persistClosed(ps.ID, "closed")
+			dropped++
+			continue
+		}
+
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			s.cancel()
+			return restored, dropped, ErrShutdown
+		}
+		if _, dup := m.sessions[s.id]; dup {
+			// A live session (created while recovery ran) owns the ID; the
+			// stale state loses.
+			m.mu.Unlock()
+			s.cancel()
+			dropped++
+			continue
+		}
+		for len(m.sessions) >= m.cfg.MaxSessions {
+			oldest := m.lru.Back()
+			if oldest == nil {
+				break
+			}
+			v := oldest.Value.(*session)
+			m.detachLocked(v)
+			metrics.evictedLRU.Inc()
+			victims = append(victims, victim{s: v, reason: "evicted:lru"})
+		}
+		m.sessions[s.id] = s
+		s.elem = m.lru.PushFront(s)
+		metrics.sessions.Set(float64(len(m.sessions)))
+		m.mu.Unlock()
+		metrics.restored.Inc()
+		restored++
+	}
+	m.finishAll(victims)
+	return restored, dropped, nil
+}
+
+// rebuild reconstructs one session from its persisted state.
+func (m *Manager) rebuild(ps *PersistedSession) (*session, error) {
+	entry, err := registry.Lookup(ps.Model)
+	if err != nil {
+		return nil, err
+	}
+	if ierr := ps.Config.validate(); ierr != nil {
+		return nil, ierr
+	}
+	pol := m.cfg.Fallback
+	s := newSession(ps.ID, entry, ps.Config, &pol)
+	s.createdAt = ps.CreatedAt
+	s.lastActive.Store(ps.LastActive.UnixNano())
+
+	var last Update
+	for i := range ps.Times {
+		mup, err := s.tracker.Replay(ps.Times[i], ps.Values[i])
+		if err != nil {
+			s.cancel()
+			return nil, err
+		}
+		last = toUpdate(uint64(i+1), mup)
+	}
+	s.seq = uint64(len(ps.Times))
+	if fs := ps.LastFit.clone(); fs != nil {
+		s.lastFit = fs
+		s.tracker.SetWarmParams(fs.Params)
+		// The replayed updates carry no fit (replay skips refits); merge
+		// the persisted fit back onto the final update when it was the one
+		// that produced it, so the recovered snapshot matches pre-crash.
+		if fs.Seq == s.seq {
+			last.FitModel = fs.Model
+			last.ParamNames = fs.ParamNames
+			last.Params = fs.Params
+			last.SSE = fs.SSE
+			last.Degraded = fs.Degraded
+			last.FallbackModel = fs.FallbackModel
+			last.PredictedMinimumTime = fs.PredictedMinimumTime
+			last.PredictedMinimumValue = fs.PredictedMinimumValue
+			last.PredictedRecoveryTime = fs.PredictedRecoveryTime
+		}
+	}
+	if s.seq > 0 {
+		s.last = &last
+	}
+	return s, nil
+}
+
+// newSession builds a session and its tracker; shared by Create and
+// rebuild so live and recovered sessions are configured identically.
+func newSession(id string, entry registry.Entry, mc MonitorConfig, pol *core.FallbackPolicy) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &session{
+		id:     id,
+		entry:  entry,
+		mcfg:   mc,
+		ctx:    ctx,
+		cancel: cancel,
+		tracker: monitor.NewTracker(monitor.Config{
+			Baseline:      mc.Baseline,
+			OnsetDrop:     mc.OnsetDrop,
+			RecoverySlack: mc.RecoverySlack,
+			MinFitPoints:  mc.MinFitPoints,
+			HorizonFactor: mc.HorizonFactor,
+			Model:         entry.Model,
+			Fallback:      pol,
+		}),
+		subs:      make(map[*Subscriber]struct{}),
+		createdAt: time.Now(),
+	}
+}

@@ -1,0 +1,397 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeStore records every persistence call; failAll makes each call
+// return an error so availability-first handling is testable.
+type fakeStore struct {
+	mu        sync.Mutex
+	created   []string
+	observed  map[string]int
+	fits      map[string]int
+	closed    map[string]string // id -> last terminal reason
+	snapshots []*PersistedSession
+	failAll   bool
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{
+		observed: map[string]int{},
+		fits:     map[string]int{},
+		closed:   map[string]string{},
+	}
+}
+
+func (f *fakeStore) err() error {
+	if f.failAll {
+		return errors.New("fakeStore: injected failure")
+	}
+	return nil
+}
+
+func (f *fakeStore) SessionCreated(id, model string, cfg MonitorConfig, at time.Time) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.created = append(f.created, id)
+	return f.err()
+}
+
+func (f *fakeStore) PointObserved(id string, seq uint64, t, v float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.observed[id]++
+	return f.err()
+}
+
+func (f *fakeStore) FitUpdated(id string, fit *FitSummary) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fits[id]++
+	return f.err()
+}
+
+func (f *fakeStore) SessionClosed(id, reason string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed[id] = reason
+	return f.err()
+}
+
+func (f *fakeStore) SessionSnapshot(ps *PersistedSession) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.snapshots = append(f.snapshots, ps)
+	return f.err()
+}
+
+func (f *fakeStore) closedReason(id string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed[id]
+}
+
+func TestPersistenceRecordsLifecycle(t *testing.T) {
+	st := newFakeStore()
+	m := NewManager(Config{Store: st, SnapshotEvery: 10})
+	snap, err := m.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := vCurve(4, 28, 0.05)
+	observeAll(t, m, snap.ID, vals)
+	if err := m.Close(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.created) != 1 || st.created[0] != snap.ID {
+		t.Errorf("created records = %v, want [%s]", st.created, snap.ID)
+	}
+	if st.observed[snap.ID] != len(vals) {
+		t.Errorf("observed records = %d, want %d", st.observed[snap.ID], len(vals))
+	}
+	if st.fits[snap.ID] == 0 {
+		t.Error("no fit records despite refits running")
+	}
+	if st.closed[snap.ID] != "closed" {
+		t.Errorf("closed reason = %q, want closed", st.closed[snap.ID])
+	}
+	// 32 points with SnapshotEvery=10 → at least 3 snapshots.
+	if len(st.snapshots) < 3 {
+		t.Errorf("snapshots = %d, want >= 3", len(st.snapshots))
+	}
+	last := st.snapshots[len(st.snapshots)-1]
+	if last.Seq != uint64(len(last.Times)) {
+		t.Errorf("snapshot seq %d != len(times) %d", last.Seq, len(last.Times))
+	}
+}
+
+func TestStoreFailuresDoNotBlockIngestion(t *testing.T) {
+	st := newFakeStore()
+	st.failAll = true
+	before := metrics.persistErrors.Value()
+	m := NewManager(Config{Store: st, SnapshotEvery: 4})
+	snap, err := m.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatalf("Create with failing store: %v", err)
+	}
+	updates := observeAll(t, m, snap.ID, vCurve(4, 20, 0.05))
+	if len(updates) != 24 {
+		t.Fatalf("ingested %d updates, want 24", len(updates))
+	}
+	got, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observations != 24 {
+		t.Errorf("observations = %d, want 24", got.Observations)
+	}
+	if metrics.persistErrors.Value() <= before {
+		t.Error("persist errors not counted")
+	}
+}
+
+func TestSnapshotCarriesHistoryAndLastFit(t *testing.T) {
+	m := NewManager(Config{})
+	snap, err := m.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := vCurve(4, 28, 0.05)
+	observeAll(t, m, snap.ID, vals)
+	got, err := m.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HistoryLen != len(vals) {
+		t.Errorf("HistoryLen = %d, want %d", got.HistoryLen, len(vals))
+	}
+	if got.LastFit == nil {
+		t.Fatal("LastFit missing after refits ran")
+	}
+	if got.LastFit.Model == "" || len(got.LastFit.Params) == 0 {
+		t.Errorf("LastFit incomplete: %+v", got.LastFit)
+	}
+	if got.LastFit.Seq == 0 || got.LastFit.Seq > got.Observations {
+		t.Errorf("LastFit.Seq = %d outside (0, %d]", got.LastFit.Seq, got.Observations)
+	}
+}
+
+// restoreRoundTrip drives a manager, captures its last snapshot via the
+// store, and restores it into a fresh manager.
+func restoreRoundTrip(t *testing.T, vals []float64) (orig Snapshot, recovered Snapshot, m2 *Manager) {
+	t.Helper()
+	st := newFakeStore()
+	m1 := NewManager(Config{Store: st, SnapshotEvery: 1}) // snapshot after every point
+	snap, err := m1.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, m1, snap.ID, vals)
+	orig, err = m1.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st.mu.Lock()
+	ps := *st.snapshots[len(st.snapshots)-1]
+	st.mu.Unlock()
+
+	m2 = NewManager(Config{})
+	restored, dropped, err := m2.Restore([]PersistedSession{ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 || dropped != 0 {
+		t.Fatalf("Restore = (%d restored, %d dropped), want (1, 0)", restored, dropped)
+	}
+	recovered, err = m2.Snapshot(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, recovered, m2
+}
+
+func TestRestoreRoundTripMatchesOriginal(t *testing.T) {
+	vals := vCurve(4, 28, 0.05)
+	orig, rec, m2 := restoreRoundTrip(t, vals)
+
+	if rec.ID != orig.ID || rec.Model != orig.Model {
+		t.Errorf("identity mismatch: %s/%s vs %s/%s", rec.ID, rec.Model, orig.ID, orig.Model)
+	}
+	if rec.Phase != orig.Phase {
+		t.Errorf("phase = %s, want %s", rec.Phase, orig.Phase)
+	}
+	if rec.Observations != orig.Observations || rec.HistoryLen != orig.HistoryLen {
+		t.Errorf("history: %d obs/%d hist, want %d/%d",
+			rec.Observations, rec.HistoryLen, orig.Observations, orig.HistoryLen)
+	}
+	if !rec.CreatedAt.Equal(orig.CreatedAt) {
+		t.Errorf("created_at = %v, want %v", rec.CreatedAt, orig.CreatedAt)
+	}
+	if orig.LastFit == nil || rec.LastFit == nil {
+		t.Fatalf("missing LastFit: orig %v, recovered %v", orig.LastFit, rec.LastFit)
+	}
+	if rec.LastFit.Model != orig.LastFit.Model || rec.LastFit.Seq != orig.LastFit.Seq {
+		t.Errorf("LastFit = %+v, want %+v", rec.LastFit, orig.LastFit)
+	}
+	for i := range orig.LastFit.Params {
+		if rec.LastFit.Params[i] != orig.LastFit.Params[i] {
+			t.Errorf("warm param %d = %g, want %g", i, rec.LastFit.Params[i], orig.LastFit.Params[i])
+		}
+	}
+	if orig.Last != nil {
+		if rec.Last == nil || rec.Last.Seq != orig.Last.Seq || rec.Last.Phase != orig.Last.Phase {
+			t.Errorf("last update = %+v, want %+v", rec.Last, orig.Last)
+		}
+	}
+
+	// The recovered session keeps observing: monotonic time enforcement
+	// must pick up where the history ended, and refits must resume warm.
+	lastT := vals[0] // times are 0..n-1 in observeAll
+	_ = lastT
+	if _, _, err := m2.Observe(t.Context(), rec.ID, []float64{5}, []float64{1.0}); err == nil {
+		t.Error("non-monotonic post-restore observation accepted")
+	}
+	ups, _, err := m2.Observe(t.Context(), rec.ID, []float64{float64(len(vals))}, []float64{1.01})
+	if err != nil {
+		t.Fatalf("post-restore observe: %v", err)
+	}
+	if ups[0].Seq != orig.Observations+1 {
+		t.Errorf("post-restore seq = %d, want %d", ups[0].Seq, orig.Observations+1)
+	}
+}
+
+func TestRestoreSkipsExpiredSessions(t *testing.T) {
+	st := newFakeStore()
+	m := NewManager(Config{Store: st, SessionTTL: time.Minute})
+	stale := PersistedSession{
+		ID: "s-stale", Model: "quadratic",
+		CreatedAt:  time.Now().Add(-2 * time.Hour),
+		LastActive: time.Now().Add(-time.Hour),
+		Times:      []float64{0, 1}, Values: []float64{1, 1}, Seq: 2,
+	}
+	fresh := PersistedSession{
+		ID: "s-fresh", Model: "quadratic",
+		CreatedAt:  time.Now().Add(-time.Minute),
+		LastActive: time.Now(),
+		Times:      []float64{0, 1}, Values: []float64{1, 1}, Seq: 2,
+	}
+	restored, dropped, err := m.Restore([]PersistedSession{stale, fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 || dropped != 1 {
+		t.Fatalf("Restore = (%d, %d), want (1, 1)", restored, dropped)
+	}
+	if _, err := m.Snapshot("s-stale"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired session resurrected: %v", err)
+	}
+	if _, err := m.Snapshot("s-fresh"); err != nil {
+		t.Errorf("fresh session not restored: %v", err)
+	}
+	// The drop is terminal in the store too, so the NEXT recovery won't
+	// see the stale state either.
+	if got := st.closedReason("s-stale"); got != "evicted:ttl" {
+		t.Errorf("stale session closed reason = %q, want evicted:ttl", got)
+	}
+}
+
+func TestRestoreRespectsSessionCap(t *testing.T) {
+	st := newFakeStore()
+	m := NewManager(Config{Store: st, MaxSessions: 2})
+	now := time.Now()
+	states := make([]PersistedSession, 3)
+	for i := range states {
+		states[i] = PersistedSession{
+			ID: "s-cap-" + string(rune('a'+i)), Model: "quadratic",
+			CreatedAt:  now.Add(-time.Duration(10-i) * time.Minute),
+			LastActive: now.Add(-time.Duration(3-i) * time.Minute),
+			Times:      []float64{0}, Values: []float64{1}, Seq: 1,
+		}
+	}
+	restored, _, err := m.Restore(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("restored table size %d, want cap 2", m.Len())
+	}
+	_ = restored
+	// Least recently active state (index 0) must be the one evicted.
+	if _, err := m.Snapshot("s-cap-a"); !errors.Is(err, ErrNotFound) {
+		t.Error("least-recently-active state survived past the cap")
+	}
+	if got := st.closedReason("s-cap-a"); got != "evicted:lru" {
+		t.Errorf("over-cap closed reason = %q, want evicted:lru", got)
+	}
+}
+
+func TestRestoreDropsUnresolvableStates(t *testing.T) {
+	m := NewManager(Config{})
+	bad := PersistedSession{
+		ID: "s-bad", Model: "no-such-model",
+		CreatedAt: time.Now(), LastActive: time.Now(),
+		Times: []float64{0}, Values: []float64{1}, Seq: 1,
+	}
+	disordered := PersistedSession{
+		ID: "s-disorder", Model: "quadratic",
+		CreatedAt: time.Now(), LastActive: time.Now(),
+		Times: []float64{1, 1}, Values: []float64{1, 1}, Seq: 2,
+	}
+	restored, dropped, err := m.Restore([]PersistedSession{bad, disordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 || dropped != 2 {
+		t.Errorf("Restore = (%d, %d), want (0, 2)", restored, dropped)
+	}
+}
+
+// TestEvictionWritesTerminalRecords covers the LRU/TTL ↔ persistence
+// interplay: every eviction path must leave a terminal store record so
+// recovery cannot resurrect the session.
+func TestEvictionWritesTerminalRecords(t *testing.T) {
+	st := newFakeStore()
+	m := NewManager(Config{Store: st, MaxSessions: 2})
+	a, err := m.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = m.Create("quadratic", MonitorConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// Third create evicts a (least recently active).
+	if _, err = m.Create("quadratic", MonitorConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.closedReason(a.ID); got != "evicted:lru" {
+		t.Errorf("LRU eviction closed reason = %q, want evicted:lru", got)
+	}
+
+	// TTL path.
+	st2 := newFakeStore()
+	m2 := NewManager(Config{Store: st2, SessionTTL: 10 * time.Millisecond})
+	b, err := m2.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	m2.List() // sweep
+	if got := st2.closedReason(b.ID); got != "evicted:ttl" {
+		t.Errorf("TTL eviction closed reason = %q, want evicted:ttl", got)
+	}
+}
+
+// TestShutdownSnapshotsWithoutClosedRecords pins the restart contract:
+// graceful shutdown persists final snapshots but no terminal records, so
+// sessions survive the restart.
+func TestShutdownSnapshotsWithoutClosedRecords(t *testing.T) {
+	st := newFakeStore()
+	m := NewManager(Config{Store: st, SnapshotEvery: -1}) // no cadence snapshots
+	snap, err := m.Create("quadratic", MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, m, snap.ID, vCurve(2, 6, 0.05))
+	if err := m.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if got := st.closed[snap.ID]; got != "" {
+		t.Errorf("shutdown wrote terminal record %q; sessions must survive restart", got)
+	}
+	if len(st.snapshots) != 1 {
+		t.Fatalf("shutdown snapshots = %d, want 1", len(st.snapshots))
+	}
+	if got := st.snapshots[0]; got.ID != snap.ID || got.Seq != 8 {
+		t.Errorf("final snapshot = %s seq %d, want %s seq 8", got.ID, got.Seq, snap.ID)
+	}
+}

@@ -76,6 +76,15 @@ type Config struct {
 	// DisableFallback turns the chain's retries and model fallbacks off.
 	// Panic containment and cancellation still apply.
 	DisableFallback bool
+	// Store, when non-nil, persists every session lifecycle transition so
+	// sessions survive a process crash (see internal/durable). Store
+	// failures are counted and served around — durability degrades,
+	// ingestion does not stop. Nil keeps the manager memory-only.
+	Store Store
+	// SnapshotEvery writes a whole-session snapshot through the Store
+	// after this many observations since the last one, bounding replay
+	// time (default 64; negative disables snapshots).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SubscriberBuffer <= 0 {
 		c.SubscriberBuffer = 32
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
 	}
 	c.Fallback.Disable = c.Fallback.Disable || c.DisableFallback
 	if len(c.Fallback.Fallbacks) == 0 {
@@ -182,7 +194,11 @@ type Update struct {
 	FitErr string `json:"fit_error,omitempty"`
 }
 
-// Snapshot is a session's externally visible state.
+// Snapshot is a session's externally visible state. It opens every SSE
+// feed, so it carries enough for a client reconnecting after a server
+// restart to resync without replaying its own data: the history length
+// says how many observations the server retained, and LastFit summarizes
+// the current fit even when the latest update didn't refit.
 type Snapshot struct {
 	ID           string        `json:"id"`
 	Model        string        `json:"model"`
@@ -192,6 +208,12 @@ type Snapshot struct {
 	LastActive   time.Time     `json:"last_active"`
 	Subscribers  int           `json:"subscribers"`
 	Config       MonitorConfig `json:"config"`
+	// HistoryLen is how many updates the server-side tracker holds —
+	// after crash recovery it equals Observations, proving nothing was
+	// lost.
+	HistoryLen int `json:"history_len"`
+	// LastFit is the most recent refit outcome, nil before the first fit.
+	LastFit *FitSummary `json:"last_fit,omitempty"`
 	// Last is the most recent update, nil before the first observation.
 	Last *Update `json:"last,omitempty"`
 }
@@ -262,6 +284,12 @@ type session struct {
 	tracker *monitor.Tracker
 	seq     uint64
 	last    *Update
+	// lastFit is the most recent refit outcome, kept beyond the last
+	// update so snapshots (and reconnecting SSE clients) can show the
+	// current fit even when later observations didn't refit. sinceSnap
+	// counts observations since the last persisted snapshot.
+	lastFit   *FitSummary
+	sinceSnap int
 
 	subMu  sync.Mutex
 	subs   map[*Subscriber]struct{}
@@ -327,31 +355,13 @@ func (m *Manager) Create(modelName string, mc MonitorConfig) (Snapshot, error) {
 	}
 
 	pol := m.cfg.Fallback
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &session{
-		id:    newID(),
-		entry: entry,
-		mcfg:  mc,
-		ctx:   ctx,
-		cancel: cancel,
-		tracker: monitor.NewTracker(monitor.Config{
-			Baseline:      mc.Baseline,
-			OnsetDrop:     mc.OnsetDrop,
-			RecoverySlack: mc.RecoverySlack,
-			MinFitPoints:  mc.MinFitPoints,
-			HorizonFactor: mc.HorizonFactor,
-			Model:         entry.Model,
-			Fallback:      &pol,
-		}),
-		subs:      make(map[*Subscriber]struct{}),
-		createdAt: time.Now(),
-	}
+	s := newSession(newID(), entry, mc, &pol)
 	s.lastActive.Store(s.createdAt.UnixNano())
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		cancel()
+		s.cancel()
 		return Snapshot{}, ErrShutdown
 	}
 	victims := m.sweepLocked(time.Now())
@@ -376,8 +386,13 @@ func (m *Manager) Create(modelName string, mc MonitorConfig) (Snapshot, error) {
 	metrics.sessions.Set(float64(len(m.sessions)))
 	m.mu.Unlock()
 
-	finishAll(victims)
+	m.finishAll(victims)
 	metrics.created.Inc()
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.SessionCreated(s.id, s.entry.Name, mc, s.createdAt); err != nil {
+			metrics.persistErrors.Inc()
+		}
+	}
 	return s.snapshot(), nil
 }
 
@@ -388,8 +403,15 @@ type victim struct {
 	reason string
 }
 
-func finishAll(victims []victim) {
+// finishAll ends detached sessions and records the terminal transition
+// in the store. Graceful shutdown is the exception: those sessions are
+// meant to survive the restart, so no closed record is written (their
+// state is snapshotted by Shutdown instead).
+func (m *Manager) finishAll(victims []victim) {
 	for _, v := range victims {
+		if v.reason != "shutdown" {
+			m.persistClosed(v.s.id, v.reason)
+		}
 		v.s.finish(v.reason)
 	}
 }
@@ -498,7 +520,7 @@ func (m *Manager) Observe(ctx context.Context, id string, times, values []float6
 	}
 
 	s, victims, err := m.lookup(id, true)
-	finishAll(victims)
+	m.finishAll(victims)
 	if err != nil {
 		return nil, Snapshot{}, err
 	}
@@ -534,9 +556,26 @@ func (m *Manager) Observe(ctx context.Context, id string, times, values []float6
 			metrics.refitDuration.Observe(time.Since(start).Seconds())
 			countRefit(octx, mup)
 		}
+		if up.FitModel != "" {
+			s.lastFit = fitSummaryOf(&up)
+		}
 		s.last = &up
+		s.sinceSnap++
+		if st := m.cfg.Store; st != nil {
+			if err := st.PointObserved(s.id, s.seq, times[i], values[i]); err != nil {
+				metrics.persistErrors.Inc()
+			}
+			if up.FitModel != "" {
+				if err := st.FitUpdated(s.id, s.lastFit.clone()); err != nil {
+					metrics.persistErrors.Inc()
+				}
+			}
+		}
 		updates = append(updates, up)
 		s.broadcast(Event{Type: EventUpdate, Session: s.id, Seq: up.Seq, Update: &up})
+	}
+	if m.cfg.Store != nil && m.cfg.SnapshotEvery > 0 && s.sinceSnap >= m.cfg.SnapshotEvery {
+		m.persistSnapshotLocked(s)
 	}
 	return updates, s.snapshotLocked(), nil
 }
@@ -566,7 +605,7 @@ func countRefit(ctx context.Context, mup monitor.Update) {
 // (reads do not keep a session alive).
 func (m *Manager) Snapshot(id string) (Snapshot, error) {
 	s, victims, err := m.lookup(id, false)
-	finishAll(victims)
+	m.finishAll(victims)
 	if err != nil {
 		return Snapshot{}, err
 	}
@@ -583,7 +622,7 @@ func (m *Manager) List() []Snapshot {
 		ordered = append(ordered, e.Value.(*session))
 	}
 	m.mu.Unlock()
-	finishAll(victims)
+	m.finishAll(victims)
 	out := make([]Snapshot, len(ordered))
 	for i, s := range ordered {
 		out[i] = s.snapshot()
@@ -596,7 +635,7 @@ func (m *Manager) List() []Snapshot {
 // can render current state and then apply updates without a gap.
 func (m *Manager) Subscribe(id string) (*Subscriber, Snapshot, error) {
 	s, victims, err := m.lookup(id, false)
-	finishAll(victims)
+	m.finishAll(victims)
 	if err != nil {
 		return nil, Snapshot{}, err
 	}
@@ -630,6 +669,7 @@ func (m *Manager) Close(id string) error {
 	if !ok {
 		return ErrNotFound
 	}
+	m.persistClosed(s.id, "closed")
 	s.finish("closed")
 	return nil
 }
@@ -655,7 +695,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	metrics.sessions.Set(0)
 	m.mu.Unlock()
 
-	finishAll(victims)
+	m.finishAll(victims)
 	done := make(chan struct{})
 	go func() {
 		m.inflight.Wait()
@@ -663,10 +703,25 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("stream: shutdown drain: %w", ctx.Err())
 	}
+	// Sessions survive a graceful restart: once in-flight observes have
+	// drained (no one holds s.mu anymore), write one final snapshot per
+	// session so the next boot replays from here. The process entry point
+	// then flushes and closes the store — after this drain, before the
+	// listener closes.
+	if m.cfg.Store != nil {
+		for _, v := range victims {
+			v.s.mu.Lock()
+			ps := v.s.persistedLocked()
+			v.s.mu.Unlock()
+			if err := m.cfg.Store.SessionSnapshot(ps); err != nil {
+				metrics.persistErrors.Inc()
+			}
+		}
+	}
+	return nil
 }
 
 // broadcast delivers an event to every live subscriber, dropping the
@@ -730,6 +785,8 @@ func (s *session) snapshotLocked() Snapshot {
 		LastActive:   time.Unix(0, s.lastActive.Load()),
 		Subscribers:  nsubs,
 		Config:       s.mcfg,
+		HistoryLen:   s.tracker.HistoryLen(),
+		LastFit:      s.lastFit.clone(),
 	}
 	if s.last != nil {
 		up := *s.last

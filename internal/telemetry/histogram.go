@@ -97,6 +97,36 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
 	return bounds, cumulative
 }
 
+// Quantile estimates the q-quantile (e.g. 0.5, 0.99) from the bucket
+// counts by linear interpolation inside the owning bucket — the same
+// estimate Prometheus's histogram_quantile computes. It returns NaN on
+// an empty histogram; ranks landing in the +Inf overflow bucket report
+// the largest finite bound (the estimate cannot exceed instrumentation
+// range). q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	q = math.Min(math.Max(q, 0), 1)
+	bounds, cumulative := h.Buckets()
+	total := cumulative[len(cumulative)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var prevCount uint64
+	lower := 0.0
+	for i, bound := range bounds {
+		c := cumulative[i]
+		if float64(c) >= rank {
+			inBucket := float64(c - prevCount)
+			if inBucket == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-float64(prevCount))/inBucket
+		}
+		prevCount, lower = c, bound
+	}
+	return bounds[len(bounds)-1]
+}
+
 // writeExposition renders the histogram as cumulative _bucket lines plus
 // _sum and _count, splicing the le label into the metric's label set.
 func (h *Histogram) writeExposition(b *strings.Builder, fullName string) {

@@ -107,3 +107,49 @@ func TestBucketHelpers(t *testing.T) {
 		t.Errorf("ExponentialBuckets end = %g, want 1000", got[3])
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %g, want NaN", q)
+	}
+
+	// 100 observations uniform over (0, 1]: every quantile interpolates
+	// inside the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); q != 0.5 {
+		t.Errorf("p50 over one bucket = %g, want 0.5 (midpoint interpolation)", q)
+	}
+
+	h2 := NewHistogram([]float64{1, 2, 4, 8})
+	// 90 in (0,1], 10 in (4,8]: p50 inside first bucket, p99 in the fourth.
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(5)
+	}
+	if q := h2.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("p50 = %g, want inside (0, 1]", q)
+	}
+	if q := h2.Quantile(0.99); q <= 4 || q > 8 {
+		t.Errorf("p99 = %g, want inside (4, 8]", q)
+	}
+	if q := h2.Quantile(0); q < 0 || q > 1 {
+		t.Errorf("p0 = %g, want inside first occupied bucket", q)
+	}
+
+	// Overflow: everything beyond the last bound reports the last bound.
+	h3 := NewHistogram([]float64{1})
+	h3.Observe(50)
+	if q := h3.Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %g, want last finite bound 1", q)
+	}
+
+	// Clamping.
+	if q := h2.Quantile(1.7); q != h2.Quantile(1) {
+		t.Errorf("q>1 not clamped: %g vs %g", q, h2.Quantile(1))
+	}
+}

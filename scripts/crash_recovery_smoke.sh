@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Black-box crash-recovery smoke test against the real resil-server
+# binary: create a durable session, stream observations, kill -9 the
+# server mid-flight, corrupt the WAL tail the way a crash landing
+# mid-append would, restart, and assert the session comes back with its
+# full history and keeps accepting observations. Complements the
+# in-process chaos test (internal/durable TestCrashRecoveryKill9) by
+# exercising the actual entry point: flag parsing, boot-time recovery,
+# the /readyz replaying phase, and graceful-degradation logging.
+#
+# Requires only the Go toolchain and curl. Exits non-zero on any
+# violated assertion.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${RESIL_SMOKE_PORT:-18123}"
+BASE="http://localhost:${PORT}"
+WORK="${RESIL_SMOKE_DIR:-$(mktemp -d)}"
+DATA="$WORK/data"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "crash_recovery_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  fail "server never became ready (see $WORK/server.log)"
+}
+
+echo "==> building resil-server"
+go build -o "$WORK/resil-server" ./cmd/resil-server
+
+echo "==> boot 1: durable server with per-record fsync"
+"$WORK/resil-server" -addr ":$PORT" -data-dir "$DATA" -wal-sync always \
+  >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+wait_ready
+
+echo "==> create a session and stream 12 observations"
+SID=$(curl -fsS -X POST "$BASE/v1/sessions" \
+  -H 'Content-Type: application/json' -d '{"model":"quadratic"}' \
+  | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$SID" ] || fail "no session id in create response"
+curl -fsS -X POST "$BASE/v1/sessions/$SID/observe" \
+  -H 'Content-Type: application/json' \
+  -d '{"values":[1,1,1,0.97,0.95,0.93,0.92,0.93,0.95,0.97,0.99,1.0]}' \
+  >/dev/null
+
+echo "==> kill -9 (no shutdown hooks, no final snapshot)"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "==> tear the WAL tail (crash mid-append)"
+printf '\x42\x00\x00\x00\xff' >> "$DATA/wal.log"
+
+echo "==> boot 2: recovery replay"
+"$WORK/resil-server" -addr ":$PORT" -data-dir "$DATA" -wal-sync always \
+  >"$WORK/server2.log" 2>&1 &
+SERVER_PID=$!
+wait_ready
+
+SNAP=$(curl -fsS "$BASE/v1/sessions/$SID") \
+  || fail "session $SID did not survive the crash"
+echo "$SNAP" | grep -q '"observations":12' \
+  || fail "history lost: $SNAP"
+
+echo "==> recovered session keeps observing"
+SEQ=$(curl -fsS -X POST "$BASE/v1/sessions/$SID/observe" \
+  -H 'Content-Type: application/json' -d '{"values":[1.0]}' \
+  | grep -o '"seq":[0-9]*' | head -1 | cut -d: -f2)
+[ "$SEQ" = "13" ] || fail "post-recovery observation got seq ${SEQ:-none}, want 13"
+
+grep -q 'torn' "$WORK/server2.log" \
+  || fail "recovery log never mentioned the torn tail"
+grep -q 'sessions recovered' "$WORK/server2.log" \
+  || fail "recovery log missing 'sessions recovered'"
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "crash_recovery_smoke: OK (session $SID survived kill -9 with a torn WAL tail)"

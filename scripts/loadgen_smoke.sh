@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke-scale SLO gate: run the mixed fit/batch/stream load generator
+# against a durable resil-server for a few seconds and fail if the
+# error-rate or p99 budget is blown. Thresholds are generous — shared CI
+# runners are noisy — so a failure here means something is actually
+# wrong (a lock held across a fit, WAL stalls on the request path, a
+# handler returning 500s under concurrency), not that the machine was
+# slow.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${RESIL_SMOKE_PORT:-18124}"
+BASE="http://localhost:${PORT}"
+WORK="${RESIL_SMOKE_DIR:-$(mktemp -d)}"
+DURATION="${LOADGEN_DURATION:-5s}"
+CONCURRENCY="${LOADGEN_CONCURRENCY:-4}"
+SLO_P99="${LOADGEN_SLO_P99:-2s}"
+SLO_ERROR_RATE="${LOADGEN_SLO_ERROR_RATE:-0.01}"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> building resil-server and resil"
+go build -o "$WORK/resil-server" ./cmd/resil-server
+go build -o "$WORK/resil" ./cmd/resil
+
+# Durable, interval-fsync: the WAL write path is on the request path, so
+# the SLO gate covers durability overhead too.
+echo "==> starting durable server on :$PORT"
+"$WORK/resil-server" -addr ":$PORT" -data-dir "$WORK/data" -wal-sync interval \
+  >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "==> loadgen: $DURATION at concurrency $CONCURRENCY (p99 <= $SLO_P99, errors <= $SLO_ERROR_RATE)"
+"$WORK/resil" loadgen -server "$BASE" \
+  -duration "$DURATION" -concurrency "$CONCURRENCY" \
+  -slo-p99 "$SLO_P99" -slo-error-rate "$SLO_ERROR_RATE"
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "loadgen_smoke: OK"
