@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke bench bench-compare bench-all fuzz cover report clean
+.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke obs-smoke bench bench-compare bench-all fuzz cover report clean
 
 all: build vet lint-dispatch test
 
@@ -69,6 +69,14 @@ crash-smoke:
 # LOADGEN_SLO_P99 / LOADGEN_SLO_ERROR_RATE.
 loadgen-smoke:
 	bash scripts/loadgen_smoke.sh
+
+# Observability gate: live server + loadgen, then assert the tracing
+# and metrics surface end to end — /debug/traces non-empty with
+# resolvable span trees, /metrics passes scripts/metrics_lint.sh
+# (naming conventions + exemplar syntax) with at least one exemplar,
+# /v1/stats reports the SLO window, and resil top renders.
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Reproducible fit-pipeline benchmark: runs BenchmarkFit across every
 # model family and writes ns/op, evals/op, and iters/op per family to

@@ -57,6 +57,8 @@ func run(args []string, stdout *os.File) error {
 	dataDir := fs.String("data-dir", "", "directory for the session WAL and snapshots; empty keeps sessions in memory only")
 	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always (per record), interval (batched), or none (OS writeback)")
 	snapshotEvery := fs.Int("snapshot-every", 64, "write a per-session snapshot after this many observations, bounding restart replay; negative disables")
+	sloP99 := fs.Float64("slo-p99", 0, "p99 latency target in seconds; enables burn-rate/error-budget gauges over a rolling window (0 disables)")
+	sloErrRate := fs.Float64("slo-error-rate", 0, "tolerated fraction of 5xx responses, e.g. 0.001; enables the error-budget gauges (0 disables)")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints at /debug/pprof/")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -98,6 +100,8 @@ func run(args []string, stdout *os.File) error {
 		MaxSessions:     *maxSessions,
 		SessionTTL:      *sessionTTL,
 		SnapshotEvery:   *snapshotEvery,
+		SLOP99:          *sloP99,
+		SLOErrorRate:    *sloErrRate,
 	}
 	if wlog != nil {
 		cfg.SessionStore = wlog

@@ -173,7 +173,23 @@ type loadgen struct {
 
 	reg     *telemetry.Registry
 	overall *telemetry.Histogram
+
+	// slowest holds the slowest requests seen so far (smallest first),
+	// each tagged with the server-side trace ID from the Traceparent
+	// response header — the handle for `GET /debug/traces/{id}`.
+	slowMu  sync.Mutex
+	slowest []slowRequest
 }
+
+// slowRequest is one slow-request record in the -json report.
+type slowRequest struct {
+	Op        string  `json:"op"`
+	LatencyMs float64 `json:"latency_ms"`
+	TraceID   string  `json:"trace_id,omitempty"`
+}
+
+// maxSlowest bounds the slow-request list kept (and reported).
+const maxSlowest = 5
 
 func newLoadgen(client *http.Client, base string) *loadgen {
 	reg := telemetry.NewRegistry()
@@ -183,6 +199,21 @@ func newLoadgen(client *http.Client, base string) *loadgen {
 		pool:    loadSeriesPool(),
 		reg:     reg,
 		overall: reg.GetOrCreateHistogram("loadgen_latency_seconds", telemetry.DurationBuckets()),
+	}
+}
+
+// noteSlow records a completed request into the bounded slowest list.
+func (g *loadgen) noteSlow(op string, sec float64, traceID string) {
+	g.slowMu.Lock()
+	defer g.slowMu.Unlock()
+	ms := sec * 1000
+	if len(g.slowest) == maxSlowest && ms <= g.slowest[0].LatencyMs {
+		return
+	}
+	g.slowest = append(g.slowest, slowRequest{Op: op, LatencyMs: ms, TraceID: traceID})
+	sort.Slice(g.slowest, func(i, j int) bool { return g.slowest[i].LatencyMs < g.slowest[j].LatencyMs })
+	if len(g.slowest) > maxSlowest {
+		g.slowest = g.slowest[len(g.slowest)-maxSlowest:]
 	}
 }
 
@@ -231,13 +262,18 @@ func (g *loadgen) observeReq(op string, fn func() (*http.Response, error)) []byt
 	start := time.Now()
 	resp, err := fn()
 	var body []byte
+	var traceID string
 	ok := err == nil
 	if resp != nil {
 		body, _ = io.ReadAll(resp.Body)
 		resp.Body.Close()
 		ok = ok && resp.StatusCode >= 200 && resp.StatusCode < 300
+		if tid, _, tok := telemetry.ParseTraceparent(resp.Header.Get("Traceparent")); tok {
+			traceID = tid
+		}
 	}
 	sec := time.Since(start).Seconds()
+	g.noteSlow(op, sec, traceID)
 	g.overall.Observe(sec)
 	g.histFor(op).Observe(sec)
 	g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + op + `"}`).Inc()
@@ -304,6 +340,30 @@ type opStats struct {
 	Errors   uint64  `json:"errors"`
 	P50Ms    float64 `json:"p50_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+	// Buckets is the class's full latency distribution (cumulative counts
+	// per upper bound, +Inf last), so a -json consumer can recompute any
+	// quantile or diff distributions across runs.
+	Buckets []bucketCount `json:"buckets,omitempty"`
+}
+
+// bucketCount is one cumulative histogram bucket in the -json report.
+type bucketCount struct {
+	LEMs       float64 `json:"le_ms"` // upper bound; -1 encodes +Inf
+	Cumulative uint64  `json:"cumulative"`
+}
+
+// bucketCounts renders a histogram's cumulative buckets for the report.
+func bucketCounts(h *telemetry.Histogram) []bucketCount {
+	bounds, cumulative := h.Buckets()
+	out := make([]bucketCount, 0, len(cumulative))
+	for i, c := range cumulative {
+		le := -1.0
+		if i < len(bounds) {
+			le = bounds[i] * 1000
+		}
+		out = append(out, bucketCount{LEMs: le, Cumulative: c})
+	}
+	return out
 }
 
 // loadReport is the run summary (also the -json output shape).
@@ -315,6 +375,10 @@ type loadReport struct {
 	Throughput      float64            `json:"requests_per_second"`
 	Overall         opStats            `json:"overall"`
 	PerOp           map[string]opStats `json:"per_op"`
+	// Slowest lists the slowest individual requests with the server's
+	// trace IDs (from the Traceparent response header), slowest first —
+	// paste one into GET /debug/traces/{id} to see where the time went.
+	Slowest []slowRequest `json:"slowest_requests,omitempty"`
 }
 
 func quantileMs(h *telemetry.Histogram, q float64) float64 {
@@ -340,6 +404,7 @@ func (g *loadgen) report(elapsed time.Duration) loadReport {
 			Errors:   g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + op + `"}`).Value(),
 			P50Ms:    quantileMs(h, 0.5),
 			P99Ms:    quantileMs(h, 0.99),
+			Buckets:  bucketCounts(h),
 		}
 		rep.PerOp[op] = st
 		rep.Requests += st.Requests
@@ -357,6 +422,11 @@ func (g *loadgen) report(elapsed time.Duration) loadReport {
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
 	}
+	g.slowMu.Lock()
+	for i := len(g.slowest) - 1; i >= 0; i-- { // slowest first
+		rep.Slowest = append(rep.Slowest, g.slowest[i])
+	}
+	g.slowMu.Unlock()
 	return rep
 }
 

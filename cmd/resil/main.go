@@ -16,6 +16,7 @@
 //	resil generate -shape V -months 48           emit a synthetic recession as CSV
 //	resil watch -dataset 2020-21                 replay a series through the online tracker
 //	resil stream -dataset 2020-21 -interval 1s   replay against a running server's /v1/sessions
+//	resil top -server http://localhost:8080      live view: rates, latencies, SLO budget, slow traces
 //
 // Model names resolve through the central registry (internal/registry),
 // so every canonical name and alias the HTTP API accepts works here too,
@@ -86,6 +87,8 @@ func run(args []string) error {
 		return cmdStream(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "gallery":
@@ -119,6 +122,7 @@ subcommands:
   watch               replay a series through the online tracker (-dataset)
   stream              replay a series against a running server's /v1/sessions (-server, -dataset, -interval)
   loadgen             mixed fit/batch/stream load against a server, with SLO gates (-server, -duration, -slo-p99)
+  top                 live terminal view of a running server: rates, latencies, SLO budget, slowest traces (-server, -interval)
   report              render all tables+figures into one HTML file (-o)
   gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
   generate            emit a synthetic recession curve (-shape, -months)

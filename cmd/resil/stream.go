@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"resilience/internal/stream"
+	"resilience/internal/telemetry"
 )
 
 func cmdStream(args []string) error {
@@ -116,7 +117,17 @@ func createSession(client *http.Client, base, model string) (*stream.Snapshot, e
 
 func observePoint(client *http.Client, base, id string, t, v float64) error {
 	body, _ := json.Marshal(map[string]any{"time": t, "value": v})
-	resp, err := client.Post(base+"/v1/sessions/"+id+"/observe", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+id+"/observe", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("stream: observe t=%g: %w", t, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Propagate a client-minted trace context: the server adopts the
+	// trace ID, so each observation's server-side span tree (observe →
+	// refit → WAL append → SSE publish) is queryable afterwards at
+	// GET /debug/traces/{id} under an ID the client chose.
+	req.Header.Set("Traceparent", telemetry.FormatTraceparent(telemetry.NewTraceID(), telemetry.NewSpanID()))
+	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("stream: observe t=%g: %w", t, err)
 	}

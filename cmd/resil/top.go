@@ -1,0 +1,258 @@
+package main
+
+// resil top: a live terminal view of a running resil-server, in the
+// spirit of top(1). It polls GET /v1/stats and GET /debug/traces on an
+// interval and renders request rates, per-route latency quantiles, the
+// SLO error budget, streaming-session and WAL health, and the slowest
+// retained traces — the operator's one-screen answer to "how is the
+// server doing right now", with trace IDs to paste into
+// GET /debug/traces/{id} when the answer is "badly".
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// topStats mirrors the subset of the /v1/stats reply the view renders.
+type topStats struct {
+	Requests      uint64 `json:"requests"`
+	RequestErrors uint64 `json:"request_errors"`
+	Fits          uint64 `json:"fits"`
+	Fallbacks     uint64 `json:"fallbacks"`
+	Routes        []struct {
+		Route    string  `json:"route"`
+		Requests uint64  `json:"requests"`
+		P50Ms    float64 `json:"p50_ms"`
+		P99Ms    float64 `json:"p99_ms"`
+	} `json:"routes"`
+	Stream struct {
+		Sessions           float64 `json:"sessions"`
+		Observations       uint64  `json:"observations"`
+		Subscribers        float64 `json:"subscribers"`
+		DroppedSubscribers uint64  `json:"dropped_subscribers"`
+		RefitP99Ms         float64 `json:"refit_p99_ms"`
+	} `json:"stream"`
+	Durable struct {
+		RecordsWritten uint64  `json:"records_written"`
+		WALRecords     float64 `json:"wal_records"`
+		WALDirBytes    float64 `json:"wal_dir_bytes"`
+		FsyncP99Ms     float64 `json:"fsync_p99_ms"`
+	} `json:"durable"`
+	SLO struct {
+		Enabled         bool    `json:"enabled"`
+		Requests        uint64  `json:"requests"`
+		ErrorRate       float64 `json:"error_rate"`
+		P99Seconds      float64 `json:"p99_seconds"`
+		BurnRate        float64 `json:"burn_rate"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	} `json:"slo"`
+	Runtime struct {
+		Goroutines     int     `json:"goroutines"`
+		HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+		GCRuns         uint32  `json:"gc_runs"`
+		UptimeSeconds  float64 `json:"uptime_seconds"`
+	} `json:"runtime"`
+	Traces struct {
+		Retained int `json:"retained"`
+	} `json:"traces"`
+}
+
+// topTrace is one row of the /debug/traces listing.
+type topTrace struct {
+	TraceID    string  `json:"trace_id"`
+	Route      string  `json:"route"`
+	Status     int     `json:"status"`
+	Error      bool    `json:"error"`
+	DurationMS float64 `json:"duration_ms"`
+	SpanCount  int     `json:"span_count"`
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running resil-server")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	iterations := fs.Int("iterations", 0, "stop after this many refreshes (0 runs until interrupted)")
+	once := fs.Bool("once", false, "render one frame and exit (same as -iterations 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("top: -interval must be positive")
+	}
+	limit := *iterations
+	if *once {
+		limit = 1
+	}
+
+	base := strings.TrimRight(*serverURL, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var prev *topStats
+	var prevAt time.Time
+	for i := 0; limit <= 0 || i < limit; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		now := time.Now()
+		st, err := fetchTopStats(client, base)
+		if err != nil {
+			return fmt.Errorf("top: %w", err)
+		}
+		traces, terr := fetchTopTraces(client, base)
+
+		var frame strings.Builder
+		renderTop(&frame, base, st, prev, now.Sub(prevAt), traces, terr)
+		if limit != 1 {
+			// Full-screen refresh: clear and home, like top(1). A single
+			// frame (-once) prints plainly so it composes with pipes.
+			fmt.Print("\033[2J\033[H")
+		}
+		os.Stdout.WriteString(frame.String())
+		prev, prevAt = st, now
+	}
+	return nil
+}
+
+func fetchTopStats(client *http.Client, base string) (*topStats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var st topStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decode stats: %w", err)
+	}
+	return &st, nil
+}
+
+func fetchTopTraces(client *http.Client, base string) ([]topTrace, error) {
+	resp, err := client.Get(base + "/debug/traces?limit=50")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("traces: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Traces []topTrace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decode traces: %w", err)
+	}
+	return body.Traces, nil
+}
+
+// renderTop writes one frame. prev and elapsed (the stats from the
+// previous frame and the time since) turn monotonic counters into
+// rates; both are zero on the first frame.
+func renderTop(b *strings.Builder, base string, st, prev *topStats, elapsed time.Duration, traces []topTrace, terr error) {
+	rate := func(cur, old uint64) string {
+		if prev == nil || elapsed <= 0 || cur < old {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f/s", float64(cur-old)/elapsed.Seconds())
+	}
+
+	fmt.Fprintf(b, "resil top — %s — up %s — %s\n\n",
+		base, formatUptime(st.Runtime.UptimeSeconds), time.Now().Format("15:04:05"))
+
+	var reqRate, fitRate string
+	if prev != nil {
+		reqRate, fitRate = rate(st.Requests, prev.Requests), rate(st.Fits, prev.Fits)
+	} else {
+		reqRate, fitRate = "-", "-"
+	}
+	fmt.Fprintf(b, "requests %d (%s)  errors %d  fits %d (%s)  fallbacks %d\n",
+		st.Requests, reqRate, st.RequestErrors, st.Fits, fitRate, st.Fallbacks)
+	fmt.Fprintf(b, "runtime  goroutines %d  heap %s  gc %d  traces retained %d\n",
+		st.Runtime.Goroutines, formatBytes(float64(st.Runtime.HeapAllocBytes)),
+		st.Runtime.GCRuns, st.Traces.Retained)
+
+	if st.SLO.Enabled {
+		fmt.Fprintf(b, "slo      burn %.2fx  budget %.0f%%  window p99 %.1fms  err rate %.4f  (%d reqs in window)\n",
+			st.SLO.BurnRate, st.SLO.BudgetRemaining*100,
+			st.SLO.P99Seconds*1000, st.SLO.ErrorRate, st.SLO.Requests)
+	}
+	fmt.Fprintf(b, "stream   sessions %.0f  observations %d  subscribers %.0f (dropped %d)  refit p99 %.1fms\n",
+		st.Stream.Sessions, st.Stream.Observations,
+		st.Stream.Subscribers, st.Stream.DroppedSubscribers, st.Stream.RefitP99Ms)
+	if st.Durable.RecordsWritten > 0 || st.Durable.WALRecords > 0 {
+		fmt.Fprintf(b, "durable  wal records %.0f  dir %s  written %d  fsync p99 %.2fms\n",
+			st.Durable.WALRecords, formatBytes(st.Durable.WALDirBytes),
+			st.Durable.RecordsWritten, st.Durable.FsyncP99Ms)
+	}
+
+	if len(st.Routes) > 0 {
+		fmt.Fprintf(b, "\n%-28s %10s %10s %10s\n", "route", "requests", "p50(ms)", "p99(ms)")
+		routes := append([]struct {
+			Route    string  `json:"route"`
+			Requests uint64  `json:"requests"`
+			P50Ms    float64 `json:"p50_ms"`
+			P99Ms    float64 `json:"p99_ms"`
+		}(nil), st.Routes...)
+		sort.Slice(routes, func(i, j int) bool { return routes[i].Requests > routes[j].Requests })
+		for i, r := range routes {
+			if i == 10 {
+				break
+			}
+			fmt.Fprintf(b, "%-28s %10d %10.1f %10.1f\n", r.Route, r.Requests, r.P50Ms, r.P99Ms)
+		}
+	}
+
+	switch {
+	case terr != nil:
+		fmt.Fprintf(b, "\ntraces unavailable: %v\n", terr)
+	case len(traces) > 0:
+		sort.Slice(traces, func(i, j int) bool { return traces[i].DurationMS > traces[j].DurationMS })
+		fmt.Fprintf(b, "\nslowest traces (GET /debug/traces/{id} for the span tree)\n")
+		fmt.Fprintf(b, "%-34s %-24s %6s %6s %10s\n", "trace_id", "route", "status", "spans", "ms")
+		for i, tr := range traces {
+			if i == 8 {
+				break
+			}
+			status := fmt.Sprintf("%d", tr.Status)
+			if tr.Error {
+				status += "!"
+			}
+			fmt.Fprintf(b, "%-34s %-24s %6s %6d %10.1f\n",
+				tr.TraceID, tr.Route, status, tr.SpanCount, tr.DurationMS)
+		}
+	}
+}
+
+func formatUptime(sec float64) string {
+	d := time.Duration(sec * float64(time.Second)).Round(time.Second)
+	if d >= time.Hour {
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+	if d >= time.Minute {
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}
+
+func formatBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", v)
+}

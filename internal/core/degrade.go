@@ -133,7 +133,7 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 	var zero T
 	info := &DegradeInfo{RequestedModel: requested.Name()}
 	links := resolveChain(requested, starts0, pol)
-	chain := telemetry.StartSpan(ctx, "chain."+requested.Name())
+	ctx, chain := telemetry.StartSpanCtx(ctx, "chain."+requested.Name())
 
 	var firstErr error
 	skipModel := ""
@@ -146,9 +146,9 @@ func runChain[T any](ctx context.Context, requested Model, starts0 int, pol Fall
 			chain.End(telemetry.Int("attempts", len(info.Attempts)))
 			return zero, info, fmt.Errorf("core: fit %s: %w", requested.Name(), cErr)
 		}
-		attempt := telemetry.StartSpan(ctx, "attempt."+link.model.Name())
-		out, err := try(ctx, link.model, link.starts)
-		attempt.End(telemetry.Int("link", i+1), telemetry.Int("starts", link.starts))
+		actx, attempt := telemetry.StartSpanCtx(ctx, "attempt."+link.model.Name())
+		out, err := try(actx, link.model, link.starts)
+		attempt.EndErr(err, telemetry.Int("link", i+1), telemetry.Int("starts", link.starts))
 		att := FitAttempt{Model: link.model.Name(), Starts: link.starts}
 		if err == nil {
 			att.OK = true

@@ -99,16 +99,17 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 	// before the recover guard above, so even a panicking fit leaves a
 	// duration sample behind.
 	fm := fitMetricsFor(m.Name())
-	span := telemetry.StartSpan(ctx, "fit."+m.Name())
+	traceID := telemetry.TraceID(ctx)
+	ctx, span := telemetry.StartSpanCtx(ctx, "fit."+m.Name())
 	defer func() {
 		if result != nil {
 			d := span.End(telemetry.Int("iterations", result.Iterations),
 				telemetry.Int("evals", result.Evals))
-			fm.duration.Observe(d.Seconds())
+			fm.duration.ObserveWithExemplar(d.Seconds(), traceID)
 			fm.iterations.Observe(float64(result.Iterations))
 			fm.evals.Observe(float64(result.Evals))
 		} else {
-			fm.duration.Observe(span.End().Seconds())
+			fm.duration.ObserveWithExemplar(span.EndStatus("no result").Seconds(), traceID)
 		}
 	}()
 

@@ -168,6 +168,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		unsnapped: make(map[string]int),
 		stopCh:    make(chan struct{}),
 	}
+	currentDir.Store(dir)
 	if l.opts.Sync == SyncInterval {
 		l.wg.Add(1)
 		go l.syncLoop()
@@ -204,6 +205,7 @@ func (l *Log) fsyncLocked() {
 		l.setErrLocked(err)
 		return
 	}
+	start := time.Now()
 	faultinject.Sleep(context.Background(), "wal-fsync-slow")
 	if err := l.f.Sync(); err != nil {
 		l.setErrLocked(err)
@@ -211,6 +213,7 @@ func (l *Log) fsyncLocked() {
 	}
 	l.dirty = false
 	metrics.fsyncs.Inc()
+	metrics.fsyncDuration.Observe(time.Since(start).Seconds())
 }
 
 // setErrLocked records the first unrecoverable write error. Later

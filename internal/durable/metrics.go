@@ -1,6 +1,12 @@
 package durable
 
-import "resilience/internal/telemetry"
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"resilience/internal/telemetry"
+)
 
 // metrics are the durability telemetry handles, resolved once. The
 // family answers the operational questions a WAL raises: how much is
@@ -16,6 +22,7 @@ var metrics = struct {
 	snapshotLoadErrors *telemetry.Counter
 	replayDuration     *telemetry.Gauge
 	walRecords         *telemetry.Gauge
+	fsyncDuration      *telemetry.Histogram
 }{
 	written:            telemetry.GetOrCreateCounter("resil_durable_records_written_total"),
 	replayed:           telemetry.GetOrCreateCounter("resil_durable_records_replayed_total"),
@@ -26,6 +33,69 @@ var metrics = struct {
 	snapshotLoadErrors: telemetry.GetOrCreateCounter("resil_durable_snapshot_load_errors_total"),
 	replayDuration:     telemetry.GetOrCreateGauge("resil_durable_replay_duration_seconds"),
 	walRecords:         telemetry.GetOrCreateGauge("resil_durable_wal_records"),
+	fsyncDuration:      telemetry.GetOrCreateHistogram("resil_durable_fsync_duration_seconds", telemetry.DurationBuckets()),
+}
+
+// currentDir names the most recently opened Log's directory for the WAL
+// dir-size gauge; a package-level atomic (rather than a closure over one
+// Log) so the scrape-time callback follows reopens.
+var currentDir atomic.Value // string
+
+// walDirBytes sums the on-disk size of the WAL directory (WAL file plus
+// snapshots), the disk-pressure number operators actually watch.
+func walDirBytes() float64 {
+	dir, _ := currentDir.Load().(string)
+	if dir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := os.Stat(filepath.Join(dir, e.Name())); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return float64(total)
+}
+
+// StatsSnapshot is the JSON view of the durability counters, embedded
+// in the server's GET /v1/stats reply so recovery health is visible
+// outside /metrics.
+type StatsSnapshot struct {
+	RecordsWritten     uint64  `json:"records_written"`
+	RecordsReplayed    uint64  `json:"records_replayed"`
+	Fsyncs             uint64  `json:"fsyncs"`
+	TornTailDrops      uint64  `json:"torn_tail_drops"`
+	Compactions        uint64  `json:"compactions"`
+	SnapshotsWritten   uint64  `json:"snapshots_written"`
+	SnapshotLoadErrors uint64  `json:"snapshot_load_errors"`
+	ReplaySeconds      float64 `json:"replay_duration_seconds"`
+	WALRecords         float64 `json:"wal_records"`
+	WALDirBytes        float64 `json:"wal_dir_bytes"`
+	FsyncP99Ms         float64 `json:"fsync_p99_ms"`
+}
+
+// SnapshotStats snapshots the process-wide durability counters.
+func SnapshotStats() StatsSnapshot {
+	s := StatsSnapshot{
+		RecordsWritten:     metrics.written.Value(),
+		RecordsReplayed:    metrics.replayed.Value(),
+		Fsyncs:             metrics.fsyncs.Value(),
+		TornTailDrops:      metrics.tornDrops.Value(),
+		Compactions:        metrics.compactions.Value(),
+		SnapshotsWritten:   metrics.snapshots.Value(),
+		SnapshotLoadErrors: metrics.snapshotLoadErrors.Value(),
+		ReplaySeconds:      metrics.replayDuration.Value(),
+		WALRecords:         metrics.walRecords.Value(),
+		WALDirBytes:        walDirBytes(),
+	}
+	if metrics.fsyncDuration.Count() > 0 {
+		s.FsyncP99Ms = metrics.fsyncDuration.Quantile(0.99) * 1000
+	}
+	return s
 }
 
 func init() {
@@ -47,4 +117,9 @@ func init() {
 		"Wall time of the most recent boot recovery pass.")
 	telemetry.RegisterFamily("resil_durable_wal_records", "gauge",
 		"Records currently in the WAL (resets on compaction).")
+	telemetry.RegisterFamily("resil_durable_fsync_duration_seconds", "histogram",
+		"Wall time of WAL fsync calls.")
+	telemetry.RegisterFamily("resil_durable_wal_dir_bytes", "gauge",
+		"On-disk bytes in the WAL directory (WAL plus snapshots).")
+	telemetry.GetOrCreateGaugeFunc("resil_durable_wal_dir_bytes", walDirBytes)
 }

@@ -7,6 +7,7 @@ package durable
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"resilience/internal/stream"
+	"resilience/internal/telemetry"
 )
 
 // Stats summarizes one recovery pass.
@@ -63,11 +65,24 @@ func (l *Log) Recover() ([]stream.PersistedSession, Stats, error) {
 	start := time.Now()
 	var st Stats
 
+	// Recovery runs before any request exists, so it mints its own trace
+	// and records it into the trace store: the boot replay is exactly the
+	// kind of rare, potentially slow work an operator later asks "what
+	// took so long?" about.
+	trace := &telemetry.Trace{ID: telemetry.NewRequestID(), TraceID: telemetry.NewTraceID()}
+	ctx, root := telemetry.StartSpanCtx(telemetry.WithTrace(context.Background(), trace), "boot.replay")
+
 	states := make(map[string]*sessState)
-	if err := l.loadSnapshots(states, &st); err != nil {
+	snapSpan := telemetry.StartSpan(ctx, "boot.snapshots")
+	err := l.loadSnapshots(states, &st)
+	snapSpan.EndErr(err, telemetry.Int("loaded", st.SnapshotsLoaded), telemetry.Int("dropped", st.SnapshotsDropped))
+	if err != nil {
 		return nil, st, err
 	}
-	if err := l.replayWAL(states, &st); err != nil {
+	walSpan := telemetry.StartSpan(ctx, "boot.wal_replay")
+	err = l.replayWAL(states, &st)
+	walSpan.EndErr(err, telemetry.Int("records", st.RecordsReplayed), telemetry.Int("torn_dropped", st.TornDropped))
+	if err != nil {
 		return nil, st, err
 	}
 
@@ -83,11 +98,21 @@ func (l *Log) Recover() ([]stream.PersistedSession, Stats, error) {
 	})
 	st.Sessions = len(live)
 
-	if err := l.compactAfterRecovery(states, live); err != nil {
+	if err := l.compactAfterRecovery(ctx, states, live); err != nil {
 		return nil, st, err
 	}
 
 	st.Duration = time.Since(start)
+	root.End(telemetry.Int("sessions", st.Sessions), telemetry.Int("wal_records", st.RecordsReplayed))
+	telemetry.DefaultTraceStore.Record(&telemetry.TraceRecord{
+		TraceID:   trace.TraceID,
+		RequestID: trace.ID,
+		Route:     "boot.replay",
+		Method:    "BOOT",
+		Start:     start,
+		Duration:  st.Duration,
+		Spans:     trace.Spans(),
+	})
 	metrics.replayDuration.Set(st.Duration.Seconds())
 	metrics.replayed.Add(uint64(st.RecordsReplayed))
 	metrics.tornDrops.Add(uint64(st.TornDropped))
@@ -96,7 +121,8 @@ func (l *Log) Recover() ([]stream.PersistedSession, Stats, error) {
 		"snapshots", st.SnapshotsLoaded,
 		"wal_records", st.RecordsReplayed,
 		"torn_dropped", st.TornDropped,
-		"duration", st.Duration)
+		"duration", st.Duration,
+		"trace_id", trace.TraceID)
 	return live, st, nil
 }
 
@@ -245,12 +271,21 @@ func (l *Log) applyRecord(states map[string]*sessState, typ byte, body []byte, s
 // one fresh snapshot per live session, no stale snapshot files, an empty
 // WAL — then drains the Store calls buffered during replay and opens the
 // Log for normal appends.
-func (l *Log) compactAfterRecovery(states map[string]*sessState, live []stream.PersistedSession) error {
+func (l *Log) compactAfterRecovery(ctx context.Context, states map[string]*sessState, live []stream.PersistedSession) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
+	ctx, compact := telemetry.StartSpanCtx(ctx, "boot.compact")
+	defer func() {
+		compact.End(telemetry.Int("sessions", len(live)))
+	}()
 	for i := range live {
-		if err := writeSnapshotFile(l.dir, &live[i]); err != nil {
+		// One span per resurrected session, so a slow boot is attributable
+		// to the specific session whose snapshot rewrite dominated.
+		s := telemetry.StartSpan(ctx, "boot.session")
+		err := writeSnapshotFile(l.dir, &live[i])
+		s.EndErr(err, telemetry.Str("session", live[i].ID), telemetry.Int("points", len(live[i].Times)))
+		if err != nil {
 			return err
 		}
 		metrics.snapshots.Inc()

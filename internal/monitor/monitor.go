@@ -15,6 +15,7 @@ import (
 
 	"resilience/internal/core"
 	"resilience/internal/registry"
+	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
 
@@ -328,6 +329,10 @@ func (tr *Tracker) pastMinimum() bool {
 // (panic containment, retries, simpler families) and the outcome lands
 // on up.Degrade.
 func (tr *Tracker) refit(ctx context.Context, up *Update) {
+	ctx, refitSpan := telemetry.StartSpanCtx(ctx, "monitor.refit")
+	defer func() {
+		refitSpan.EndStatus(up.FitErr, telemetry.Int("window", len(tr.times)-tr.onsetIdx))
+	}()
 	onsetT := tr.times[tr.onsetIdx]
 	times := make([]float64, 0, len(tr.times)-tr.onsetIdx)
 	vals := make([]float64, 0, len(tr.times)-tr.onsetIdx)

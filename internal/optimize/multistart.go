@@ -155,7 +155,7 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 	// One span per multistart solve, carrying the aggregate iteration and
 	// evaluation counts. The cost without an active trace is a context
 	// lookup and two clock reads per solve — never per iteration.
-	span := telemetry.StartSpan(ctx, "optimize.multistart")
+	ctx, span := telemetry.StartSpanCtx(ctx, "optimize.multistart")
 	defer func() {
 		span.End(telemetry.Int("starts", cfg.Starts), telemetry.Int("workers", workers),
 			telemetry.Int("iterations", totalIter), telemetry.Int("evals", totalEval))

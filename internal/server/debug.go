@@ -1,0 +1,146 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"resilience/internal/telemetry"
+)
+
+// traceListItem is one GET /debug/traces row: the record summary plus
+// the span count, without the tree (the detail endpoint serves that).
+type traceListItem struct {
+	*telemetry.TraceRecord
+	SpanCount int `json:"span_count"`
+}
+
+// handleTraceList serves GET /debug/traces: recent retained traces,
+// newest first, filterable with ?route=, ?min_ms=, ?errors=true, and
+// ?limit=.
+func handleTraceList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := telemetry.TraceFilter{Route: q.Get("route")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeAPIErr(w, r, badField("min_ms", "min_ms %q must be a non-negative number", v))
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("errors"); v == "true" || v == "1" {
+		f.ErrorsOnly = true
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeAPIErr(w, r, badField("limit", "limit %q must be a positive integer", v))
+			return
+		}
+		f.Limit = n
+	}
+	recs := telemetry.DefaultTraceStore.List(f)
+	items := make([]traceListItem, len(recs))
+	for i, rec := range recs {
+		items[i] = traceListItem{TraceRecord: rec, SpanCount: len(rec.Spans)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(items),
+		"traces": items,
+	})
+}
+
+// spanNode is one node of the span tree served by /debug/traces/{id}.
+type spanNode struct {
+	Name       string         `json:"name"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Status     string         `json:"status,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*spanNode    `json:"children,omitempty"`
+}
+
+// buildSpanTree links a flat completion-ordered span list into a tree
+// via SpanID/ParentID. Spans whose parent was dropped (or came from a
+// remote caller) surface as extra roots rather than disappearing.
+func buildSpanTree(spans []telemetry.Span) []*spanNode {
+	nodes := make([]*spanNode, len(spans))
+	byID := make(map[string]*spanNode, len(spans))
+	for i, s := range spans {
+		n := &spanNode{
+			Name:       s.Name,
+			SpanID:     s.SpanID,
+			ParentID:   s.ParentID,
+			Start:      s.Start,
+			DurationMS: float64(s.Duration.Microseconds()) / 1000,
+			Status:     s.Status,
+		}
+		for _, a := range s.Attrs {
+			if n.Attrs == nil {
+				n.Attrs = make(map[string]any, len(s.Attrs))
+			}
+			if a.SVal != "" {
+				n.Attrs[a.Key] = a.SVal
+			} else {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[i] = n
+		if s.SpanID != "" {
+			byID[s.SpanID] = n
+		}
+	}
+	var roots []*spanNode
+	for _, n := range nodes {
+		if parent, ok := byID[n.ParentID]; ok && parent != n {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortSpanNodes(roots)
+	return roots
+}
+
+func sortSpanNodes(nodes []*spanNode) {
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Start.Before(nodes[j].Start) })
+	for _, n := range nodes {
+		sortSpanNodes(n.Children)
+	}
+}
+
+// handleTraceGet serves GET /debug/traces/{id}: the full record for one
+// trace ID with its spans linked into a tree.
+func handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := telemetry.DefaultTraceStore.Get(id)
+	if !ok {
+		writeAPIErr(w, r, &apiError{
+			status: http.StatusNotFound, field: "id",
+			err: errTraceNotFound(id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id":    rec.TraceID,
+		"request_id":  rec.RequestID,
+		"route":       rec.Route,
+		"method":      rec.Method,
+		"status":      rec.Status,
+		"error":       rec.Error,
+		"start":       rec.Start,
+		"duration_ms": rec.DurationMS,
+		"span_count":  len(rec.Spans),
+		"spans":       buildSpanTree(rec.Spans),
+	})
+}
+
+type errTraceNotFound string
+
+func (e errTraceNotFound) Error() string {
+	return "trace " + string(e) + " not retained (evicted, sampled out, or never seen)"
+}

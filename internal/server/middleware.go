@@ -89,6 +89,12 @@ func routeLabel(path string) string {
 			return "/v1/sessions/{id}"
 		}
 	}
+	if path == "/debug/traces" {
+		return "/debug/traces"
+	}
+	if strings.HasPrefix(path, "/debug/traces/") {
+		return "/debug/traces/{id}"
+	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"
 	}
@@ -128,20 +134,40 @@ func requestID(r *http.Request) string {
 //     JSON envelope if the header is still open — the process never
 //     crashes and the connection is never torn down mid-body silently;
 //   - one structured log line per request: method, path, status,
-//     duration, request ID, degradation outcome, and recorded spans;
-//   - metrics: request counters feeding GET /v1/stats, plus the
+//     duration, request ID, trace ID, degradation outcome, and recorded
+//     spans;
+//   - distributed tracing: an inbound W3C traceparent header is adopted
+//     (the request joins the caller's trace), otherwise a fresh trace ID
+//     is minted; the response carries a traceparent naming this server's
+//     root span, and the completed trace is retained in the process
+//     trace store for GET /debug/traces;
+//   - metrics: request counters feeding GET /v1/stats, the
 //     resil_http_requests_total and resil_http_request_duration_seconds
-//     series on GET /metrics.
-func instrument(logger *slog.Logger, next http.Handler) http.Handler {
+//     series on GET /metrics (latency buckets carry trace-ID exemplars),
+//     and the rolling-window SLO tracker behind the burn-rate gauges.
+func instrument(logger *slog.Logger, slo *sloTracker, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		meta := &reqMeta{}
 		trace := &telemetry.Trace{ID: requestID(r)}
+		parentSpanID := ""
+		if tid, psid, ok := telemetry.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			trace.TraceID = tid
+			parentSpanID = psid
+		} else {
+			trace.TraceID = telemetry.NewTraceID()
+		}
+		route := routeLabel(r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		ctx := context.WithValue(r.Context(), metaKey{}, meta)
 		ctx = telemetry.WithTrace(ctx, trace)
+		if parentSpanID != "" {
+			ctx = telemetry.WithParentSpanID(ctx, parentSpanID)
+		}
+		ctx, root := telemetry.StartSpanCtx(ctx, "http."+route)
 		r = r.WithContext(ctx)
 		sw.Header().Set("X-Request-ID", trace.ID)
+		sw.Header().Set("Traceparent", telemetry.FormatTraceparent(trace.TraceID, root.SpanID()))
 
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -156,16 +182,32 @@ func instrument(logger *slog.Logger, next http.Handler) http.Handler {
 					sw.status = http.StatusInternalServerError
 				}
 			}
-			elapsed := time.Since(start)
+			status := ""
+			if sw.status >= 500 {
+				status = "HTTP " + itoa3(sw.status)
+			}
+			elapsed := root.EndStatus(status, telemetry.Int("status", sw.status))
 			monitor.CountRequest(sw.status >= 400)
-			route := routeLabel(r.URL.Path)
-			httpMetricsFor(route, sw.status).observe(elapsed.Seconds())
+			httpMetricsFor(route, sw.status).observe(elapsed.Seconds(), trace.TraceID)
+			slo.observe(sw.status, elapsed.Seconds())
+			telemetry.DefaultTraceStore.Record(&telemetry.TraceRecord{
+				TraceID:   trace.TraceID,
+				RequestID: trace.ID,
+				Route:     route,
+				Method:    r.Method,
+				Status:    sw.status,
+				Error:     sw.status >= 500,
+				Start:     start,
+				Duration:  elapsed,
+				Spans:     trace.Spans(),
+			})
 			attrs := []any{
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", sw.status,
 				"duration_ms", float64(elapsed.Microseconds()) / 1000,
 				"request_id", trace.ID,
+				"trace_id", trace.TraceID,
 			}
 			if meta.outcome != "" {
 				attrs = append(attrs, "outcome", meta.outcome)
@@ -190,9 +232,9 @@ type httpMetrics struct {
 	latency  *telemetry.Histogram
 }
 
-func (m httpMetrics) observe(seconds float64) {
+func (m httpMetrics) observe(seconds float64, traceID string) {
 	m.requests.Inc()
-	m.latency.Observe(seconds)
+	m.latency.ObserveWithExemplar(seconds, traceID)
 }
 
 // httpMetricsFor resolves the metric handles for a route/status pair.

@@ -25,11 +25,13 @@
 // Endpoints:
 //
 //	GET  /healthz                 liveness probe
-//	GET  /readyz                  readiness probe (runs a sanity fit)
-//	GET  /metrics                 Prometheus text-format exposition
+//	GET  /readyz                  readiness probe (runs a sanity fit; SLO detail when targets set)
+//	GET  /metrics                 Prometheus text-format exposition (with trace-ID exemplars)
+//	GET  /debug/traces            recent traces, filterable (route, min_ms, errors, limit)
+//	GET  /debug/traces/{id}       one trace's full span tree
 //	GET  /debug/pprof/*           profiling endpoints (only with Config.EnablePprof)
 //	GET  /v1/version              build/version info
-//	GET  /v1/stats                fallback/cancellation/panic counters
+//	GET  /v1/stats                counters, per-route latency, stream/durable/runtime/SLO detail
 //	GET  /v1/models               model catalog with registry metadata
 //	GET  /v1/datasets             built-in dataset catalog
 //	GET  /v1/datasets/{name}      one dataset's series
@@ -71,6 +73,7 @@ import (
 
 	"resilience/internal/core"
 	"resilience/internal/dataset"
+	"resilience/internal/durable"
 	"resilience/internal/faultinject"
 	"resilience/internal/monitor"
 	"resilience/internal/optimize"
@@ -138,6 +141,14 @@ type Config struct {
 	// SnapshotEvery is the per-session snapshot cadence in observations
 	// (see stream.Config.SnapshotEvery; the -snapshot-every flag sets it).
 	SnapshotEvery int
+	// SLOP99 is the p99 latency target in seconds (the -slo-p99 server
+	// flag). When set, the server tracks its own tail latency over a
+	// rolling window and exposes burn-rate/error-budget gauges on
+	// /metrics, /v1/stats, and /readyz. 0 disables the latency SLO.
+	SLOP99 float64
+	// SLOErrorRate is the tolerated 5xx fraction (the -slo-error-rate
+	// server flag). 0 disables the error-rate SLO.
+	SLOErrorRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +168,7 @@ type api struct {
 	cfg     Config
 	svc     *service.Service
 	streams *stream.Manager
+	slo     *sloTracker
 	// replaying is true while boot-time session recovery runs; /readyz
 	// answers 503 with phase "replaying" until MarkReady clears it.
 	replaying atomic.Bool
@@ -204,16 +216,27 @@ func NewApp(cfg Config) *App {
 		Fallback:      a.svc.Policy(),
 		Store:         a.cfg.SessionStore,
 		SnapshotEvery: a.cfg.SnapshotEvery,
+		Logger:        a.cfg.Logger,
 	})
 	// A durable app starts unready: the listener may open while recovery
 	// replays the WAL, and /readyz keeps traffic away until MarkReady.
 	a.replaying.Store(a.cfg.SessionStore != nil)
+	// The SLO tracker always runs (the stats view shows window counts);
+	// targets only arm the burn-rate math. The process-wide gauges follow
+	// the most recently built App — in the one-App production process the
+	// two are the same thing.
+	a.slo = newSLOTracker(a.cfg.SLOP99, a.cfg.SLOErrorRate)
+	currentSLO.Store(a.slo)
+	registerSLOGauges()
+	telemetry.RegisterRuntimeMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /readyz", a.handleReady)
 	mux.Handle("GET /metrics", telemetry.Handler())
+	mux.HandleFunc("GET /debug/traces", handleTraceList)
+	mux.HandleFunc("GET /debug/traces/{id}", handleTraceGet)
 	mux.HandleFunc("GET /v1/version", handleVersion)
-	mux.HandleFunc("GET /v1/stats", handleStats)
+	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	mux.HandleFunc("GET /v1/models", handleModels)
 	mux.HandleFunc("GET /v1/datasets", handleDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}", handleDataset)
@@ -236,7 +259,7 @@ func NewApp(cfg Config) *App {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return &App{Handler: instrument(a.cfg.Logger, mux), Streams: a.streams, a: a}
+	return &App{Handler: instrument(a.cfg.Logger, a.slo, mux), Streams: a.streams, a: a}
 }
 
 // withFitTimeout imposes the configured fitting deadline on a handler's
@@ -354,11 +377,18 @@ func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":        "ready",
 		"phase":         "ready",
 		"sanity_fit_ms": float64(time.Since(start).Microseconds()) / 1000,
-	})
+	}
+	// With SLO targets armed, readiness detail carries the budget view so
+	// orchestration (and humans hitting /readyz) see burn without a
+	// second request.
+	if slo := a.slo.snapshot(); slo.Enabled {
+		out["slo"] = slo
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleVersion reports build information.
@@ -378,9 +408,76 @@ func handleVersion(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleStats exposes the process-wide degradation counters.
-func handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, monitor.Counters())
+// routeStats is one per-route latency row in the stats reply, computed
+// from the resil_http_request_duration_seconds histograms.
+type routeStats struct {
+	Route    string  `json:"route"`
+	Requests uint64  `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// statsResponse is the GET /v1/stats reply. The monitor counters stay
+// embedded at the top level (requests, fits, fallbacks, ...) for
+// compatibility with existing consumers; the subsystem detail hangs off
+// named sections.
+type statsResponse struct {
+	monitor.CounterSnapshot
+	Routes    []routeStats                           `json:"routes"`
+	Stream    stream.StatsSnapshot                   `json:"stream"`
+	Durable   durable.StatsSnapshot                  `json:"durable"`
+	SLO       sloSnapshot                            `json:"slo"`
+	Runtime   telemetry.RuntimeSnapshot              `json:"runtime"`
+	Traces    traceStoreStats                        `json:"traces"`
+	Exemplars map[string][]telemetry.LabeledExemplar `json:"exemplars,omitempty"`
+}
+
+// traceStoreStats summarizes the process trace store for the stats view.
+type traceStoreStats struct {
+	Retained int `json:"retained"`
+}
+
+// exemplarFamilies are the histogram families whose exemplars the stats
+// view reports in JSON (the same exemplars /metrics renders as
+// OpenMetrics suffixes).
+var exemplarFamilies = []string{
+	"resil_http_request_duration_seconds",
+	"resil_fit_duration_seconds",
+	"resil_stream_refit_duration_seconds",
+}
+
+// handleStats exposes the process-wide counters plus per-route latency,
+// stream/durable/runtime health, the SLO budget, and current exemplars.
+func (a *api) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		CounterSnapshot: monitor.Counters(),
+		Stream:          stream.Stats(),
+		Durable:         durable.SnapshotStats(),
+		SLO:             a.slo.snapshot(),
+		Runtime:         telemetry.SnapshotRuntime(),
+		Traces:          traceStoreStats{Retained: telemetry.DefaultTraceStore.Len()},
+	}
+	telemetry.EachHistogram("resil_http_request_duration_seconds", func(name string, h *telemetry.Histogram) {
+		n := h.Count()
+		if n == 0 {
+			return
+		}
+		resp.Routes = append(resp.Routes, routeStats{
+			Route:    telemetry.LabelValue(name, "route"),
+			Requests: n,
+			P50Ms:    h.Quantile(0.5) * 1000,
+			P99Ms:    h.Quantile(0.99) * 1000,
+		})
+	})
+	for _, fam := range exemplarFamilies {
+		if ex := telemetry.ExemplarsInFamily(fam); len(ex) > 0 {
+			if resp.Exemplars == nil {
+				resp.Exemplars = map[string][]telemetry.LabeledExemplar{}
+			}
+			resp.Exemplars[fam] = ex
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // modelDetail is one /v1/models catalog row, mirroring the registry

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/telemetry"
+)
+
+// sloWindow is the rolling window burn rates are computed over, split
+// into sloCells cells so old traffic ages out smoothly instead of the
+// whole window resetting at once.
+const (
+	sloWindow = 5 * time.Minute
+	sloCells  = 30
+)
+
+// sloCell accumulates one window cell's worth of traffic.
+type sloCell struct {
+	start    time.Time
+	requests uint64
+	errors   uint64   // status >= 500
+	slow     uint64   // latency above the p99 target
+	latency  []uint64 // per-bucket counts over sloBounds, +Inf last
+}
+
+// sloTracker measures the server's own SLO compliance over a rolling
+// window: error rate against -slo-error-rate and tail latency against
+// -slo-p99. Both targets are optional; with neither set the tracker
+// still maintains window counts (the stats view shows them) but burn
+// rate and budget are reported as disabled.
+type sloTracker struct {
+	p99Target float64 // seconds; 0 disables the latency SLO
+	errTarget float64 // fraction of requests; 0 disables the error SLO
+
+	bounds []float64
+	mu     sync.Mutex
+	cells  [sloCells]sloCell
+}
+
+func newSLOTracker(p99Target, errTarget float64) *sloTracker {
+	t := &sloTracker{
+		p99Target: p99Target,
+		errTarget: errTarget,
+		bounds:    telemetry.DurationBuckets(),
+	}
+	return t
+}
+
+// observe records one finished request. Called from the instrumentation
+// middleware for every request, so it is one short critical section.
+func (t *sloTracker) observe(status int, seconds float64) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	c := t.cellFor(now)
+	c.requests++
+	if status >= 500 {
+		c.errors++
+	}
+	if t.p99Target > 0 && seconds > t.p99Target {
+		c.slow++
+	}
+	c.latency[bucketFor(t.bounds, seconds)]++
+	t.mu.Unlock()
+}
+
+// cellFor rotates to (resetting if stale) and returns the cell owning
+// now. Callers hold t.mu.
+func (t *sloTracker) cellFor(now time.Time) *sloCell {
+	cellDur := sloWindow / sloCells
+	idx := int(now.UnixNano()/int64(cellDur)) % sloCells
+	c := &t.cells[idx]
+	cellStart := now.Truncate(cellDur)
+	if !c.start.Equal(cellStart) {
+		*c = sloCell{start: cellStart, latency: make([]uint64, len(t.bounds)+1)}
+	}
+	return c
+}
+
+// bucketFor mirrors Histogram.bucketIndex for the tracker's local
+// latency counts.
+func bucketFor(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// sloSnapshot is the JSON view of the tracker, served on /v1/stats and
+// (when targets are set) in /readyz detail.
+type sloSnapshot struct {
+	Enabled          bool    `json:"enabled"`
+	P99TargetSeconds float64 `json:"p99_target_seconds,omitempty"`
+	ErrorRateTarget  float64 `json:"error_rate_target,omitempty"`
+	WindowSeconds    float64 `json:"window_seconds"`
+	Requests         uint64  `json:"requests"`
+	Errors           uint64  `json:"errors"`
+	ErrorRate        float64 `json:"error_rate"`
+	P99Seconds       float64 `json:"p99_seconds"`
+	SlowFraction     float64 `json:"slow_fraction"`
+	// BurnRate is how fast the error budget is being consumed: 1.0
+	// means exactly on target, >1 means the budget will be exhausted
+	// before the window ends. It is the max of the error-rate burn
+	// (error_rate / target) and the latency burn (slow_fraction / 0.01,
+	// since a p99 target budgets 1% of requests above the bar).
+	BurnRate float64 `json:"burn_rate"`
+	// BudgetRemaining is the unburned fraction of the window's error
+	// budget, clamped to [0, 1].
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// snapshot computes the rolling-window view at now.
+func (t *sloTracker) snapshot() sloSnapshot {
+	if t == nil {
+		return sloSnapshot{WindowSeconds: sloWindow.Seconds()}
+	}
+	now := time.Now()
+	lat := make([]uint64, len(t.bounds)+1)
+	var requests, errors, slow uint64
+
+	t.mu.Lock()
+	for i := range t.cells {
+		c := &t.cells[i]
+		if c.start.IsZero() || now.Sub(c.start) > sloWindow {
+			continue
+		}
+		requests += c.requests
+		errors += c.errors
+		slow += c.slow
+		for j, n := range c.latency {
+			lat[j] += n
+		}
+	}
+	t.mu.Unlock()
+
+	s := sloSnapshot{
+		Enabled:          t.p99Target > 0 || t.errTarget > 0,
+		P99TargetSeconds: t.p99Target,
+		ErrorRateTarget:  t.errTarget,
+		WindowSeconds:    sloWindow.Seconds(),
+		Requests:         requests,
+		Errors:           errors,
+	}
+	if requests == 0 {
+		s.BudgetRemaining = 1
+		return s
+	}
+	s.ErrorRate = float64(errors) / float64(requests)
+	s.SlowFraction = float64(slow) / float64(requests)
+	s.P99Seconds = quantileFromCounts(t.bounds, lat, 0.99)
+
+	burn := 0.0
+	if t.errTarget > 0 {
+		burn = s.ErrorRate / t.errTarget
+	}
+	if t.p99Target > 0 {
+		// A p99 target grants a 1% slow-request budget.
+		if b := s.SlowFraction / 0.01; b > burn {
+			burn = b
+		}
+	}
+	s.BurnRate = burn
+	s.BudgetRemaining = 1 - burn
+	if s.BudgetRemaining < 0 {
+		s.BudgetRemaining = 0
+	}
+	return s
+}
+
+// quantileFromCounts is Histogram.Quantile over a plain bucket-count
+// slice (non-cumulative, +Inf last).
+func quantileFromCounts(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i, bound := range bounds {
+		cum += counts[i]
+		if float64(cum) >= rank {
+			inBucket := float64(counts[i])
+			if inBucket == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-float64(cum)+inBucket)/inBucket
+		}
+		lower = bound
+	}
+	return bounds[len(bounds)-1]
+}
+
+// currentSLO points the process-wide SLO gauges at the most recently
+// built App's tracker. Gauge callbacks registered on the Default
+// registry outlive any one App (tests build many), so they read through
+// this pointer instead of closing over a tracker.
+var currentSLO atomic.Pointer[sloTracker]
+
+var sloGaugesOnce sync.Once
+
+func registerSLOGauges() {
+	sloGaugesOnce.Do(func() {
+		telemetry.RegisterFamily("resil_slo_burn_rate", "gauge",
+			"Error-budget burn rate over the rolling window (1.0 = on target).")
+		telemetry.RegisterFamily("resil_slo_error_budget_remaining", "gauge",
+			"Unburned fraction of the rolling-window error budget.")
+		telemetry.RegisterFamily("resil_slo_window_p99_seconds", "gauge",
+			"p99 request latency over the rolling SLO window.")
+		telemetry.RegisterFamily("resil_slo_window_error_rate", "gauge",
+			"5xx rate over the rolling SLO window.")
+		telemetry.GetOrCreateGaugeFunc("resil_slo_burn_rate", func() float64 {
+			return currentSLO.Load().snapshot().BurnRate
+		})
+		telemetry.GetOrCreateGaugeFunc("resil_slo_error_budget_remaining", func() float64 {
+			return currentSLO.Load().snapshot().BudgetRemaining
+		})
+		telemetry.GetOrCreateGaugeFunc("resil_slo_window_p99_seconds", func() float64 {
+			return currentSLO.Load().snapshot().P99Seconds
+		})
+		telemetry.GetOrCreateGaugeFunc("resil_slo_window_error_rate", func() float64 {
+			return currentSLO.Load().snapshot().ErrorRate
+		})
+	})
+}

@@ -147,7 +147,8 @@ func (a *api) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 // session ends. The feed lasts until the client disconnects, the
 // session closes, or the subscriber falls too far behind and is dropped.
 func (a *api) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
-	sub, snap, err := a.streams.Subscribe(r.PathValue("id"))
+	reqID := telemetry.RequestID(r.Context())
+	sub, snap, err := a.streams.Subscribe(r.PathValue("id"), reqID)
 	if err != nil {
 		writeStreamErr(w, r, err)
 		return
@@ -164,7 +165,14 @@ func (a *api) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
 	w.WriteHeader(http.StatusOK)
-	if !writeSSE(w, rc, "snapshot", snap) {
+	// The snapshot event carries the feed's request ID so a client (or a
+	// log reader) can correlate this connection with server-side drop
+	// logs and traces.
+	opening := struct {
+		stream.Snapshot
+		RequestID string `json:"request_id"`
+	}{snap, reqID}
+	if !writeSSE(w, rc, "snapshot", opening) {
 		return
 	}
 	for {

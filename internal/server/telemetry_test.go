@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"resilience/internal/monitor"
+	"resilience/internal/telemetry"
 )
 
 // TestRequestIDHeaderAndEnvelope checks the request-identity contract:
@@ -222,4 +224,84 @@ func (lw lockedWriter) Write(p []byte) (int, error) {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
 	return lw.w.Write(p)
+}
+
+// TestTraceparentRoundTrip pins the W3C trace-context contract end to
+// end over HTTP: an inbound traceparent is adopted (the request joins
+// the caller's trace), the response carries a traceparent naming the
+// same trace with this server's root span, and the completed trace is
+// queryable by that ID — first from the process trace store, then over
+// GET /debug/traces/{id} with the span tree intact. Requests without a
+// traceparent mint a fresh, well-formed one.
+func TestTraceparentRoundTrip(t *testing.T) {
+	h := quietHandler(Config{})
+
+	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const callerSpan = "00f067aa0ba902b7"
+	payload, err := json.Marshal(map[string]any{"model": "quadratic", "values": testSeries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/fit", bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", "00-"+callerTrace+"-"+callerSpan+"-01")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fit status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Response header: same trace, this server's span, not the caller's.
+	gotTrace, gotSpan, ok := telemetry.ParseTraceparent(rec.Header().Get("Traceparent"))
+	if !ok {
+		t.Fatalf("unparseable response traceparent %q", rec.Header().Get("Traceparent"))
+	}
+	if gotTrace != callerTrace {
+		t.Errorf("response trace ID %s, want caller's %s", gotTrace, callerTrace)
+	}
+	if gotSpan == callerSpan || gotSpan == "" {
+		t.Errorf("response span ID %q should be a fresh server span", gotSpan)
+	}
+
+	// The trace is retained under the caller's ID with real spans.
+	stored, found := telemetry.DefaultTraceStore.Get(callerTrace)
+	if !found {
+		t.Fatal("trace not retained in the store under the caller's trace ID")
+	}
+	if len(stored.Spans) == 0 {
+		t.Fatal("retained trace has no spans")
+	}
+
+	// And resolvable over the debug API with the span tree attached.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/debug/traces/"+callerTrace, nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces/{id}: status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	var detail struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rec2.Body.Bytes(), &detail); err != nil {
+		t.Fatalf("decode trace detail: %v", err)
+	}
+	if detail.TraceID != callerTrace || len(detail.Spans) == 0 {
+		t.Fatalf("trace detail = %+v, want trace %s with spans", detail, callerTrace)
+	}
+	if root := detail.Spans[0]; root.Name != "http./v1/fit" || len(root.Children) == 0 {
+		t.Errorf("root span %q with %d children, want http./v1/fit with fit spans under it",
+			root.Name, len(root.Children))
+	}
+
+	// No inbound traceparent: a fresh well-formed one is minted.
+	rec3, _ := doJSON(t, h, http.MethodGet, "/healthz", nil)
+	freshTrace, _, ok := telemetry.ParseTraceparent(rec3.Header().Get("Traceparent"))
+	if !ok || freshTrace == callerTrace {
+		t.Errorf("minted traceparent %q invalid or reused", rec3.Header().Get("Traceparent"))
+	}
 }

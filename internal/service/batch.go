@@ -87,7 +87,12 @@ func (s *Service) Batch(ctx context.Context, jobs []Request, workers int) ([]Bat
 				if i >= len(jobs) || ctx.Err() != nil {
 					return
 				}
-				out, err := s.Fit(ctx, jobs[i])
+				// One span per job, pickup to done, so a slow batch is
+				// attributable to the specific job (and worker queueing
+				// shows as gaps between sibling spans).
+				jctx, job := telemetry.StartSpanCtx(ctx, "batch.job")
+				out, err := s.Fit(jctx, jobs[i])
+				job.EndErr(err, telemetry.Int("index", i), telemetry.Str("model", jobs[i].Model))
 				results[i] = BatchItem{Index: i, Outcome: out, Err: err}
 			}
 		}()

@@ -23,6 +23,7 @@ import (
 	"resilience/internal/core"
 	"resilience/internal/monitor"
 	"resilience/internal/registry"
+	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
 )
 
@@ -403,11 +404,14 @@ type fitOutcome struct {
 // registry name, so "Quadratic", "quadratic", and "quad" share one
 // entry.
 func (s *Service) cachedValidate(ctx context.Context, entry registry.Entry, series *timeseries.Series, trainFraction, ciAlpha float64) (*core.Validation, *core.DegradeInfo, bool, error) {
+	lookup := telemetry.StartSpan(ctx, "cache.lookup")
 	key := fitCacheKey("validate", entry.Name, series, trainFraction, ciAlpha)
 	if hit, ok := s.cache.get(key); ok {
+		lookup.End(telemetry.Str("outcome", "hit"), telemetry.Str("model", entry.Name))
 		o := hit.(*validateOutcome)
 		return o.v, o.info, true, nil
 	}
+	lookup.End(telemetry.Str("outcome", "miss"), telemetry.Str("model", entry.Name))
 	v, info, err := core.ValidateWithFallback(ctx, entry.Model, series,
 		core.ValidateConfig{TrainFraction: trainFraction, Alpha: ciAlpha}, s.policy)
 	countFitOutcome(info, err)
@@ -422,11 +426,14 @@ func (s *Service) cachedValidate(ctx context.Context, entry registry.Entry, seri
 // endpoints fit identically, so a predict can warm the cache for a
 // forecast of the same series and vice versa.
 func (s *Service) cachedFit(ctx context.Context, entry registry.Entry, series *timeseries.Series) (*core.FitResult, *core.DegradeInfo, bool, error) {
+	lookup := telemetry.StartSpan(ctx, "cache.lookup")
 	key := fitCacheKey("fit", entry.Name, series)
 	if hit, ok := s.cache.get(key); ok {
+		lookup.End(telemetry.Str("outcome", "hit"), telemetry.Str("model", entry.Name))
 		o := hit.(*fitOutcome)
 		return o.fit, o.info, true, nil
 	}
+	lookup.End(telemetry.Str("outcome", "miss"), telemetry.Str("model", entry.Name))
 	fit, info, err := core.FitWithFallback(ctx, entry.Model, series, core.FitConfig{}, s.policy)
 	countFitOutcome(info, err)
 	if err == nil {

@@ -56,7 +56,7 @@ func TestStreamHammerRace(t *testing.T) {
 					errs <- fmt.Errorf("worker %d create: %w", w, err)
 					return
 				}
-				sub, _, err := m.Subscribe(snap.ID)
+				sub, _, err := m.Subscribe(snap.ID, "")
 				if err != nil && !errors.Is(err, ErrNotFound) {
 					errs <- fmt.Errorf("worker %d subscribe: %w", w, err)
 					return

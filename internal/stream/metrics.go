@@ -36,6 +36,48 @@ var metrics = struct {
 	persistErrors: telemetry.GetOrCreateCounter("resil_stream_persist_errors_total"),
 }
 
+// StatsSnapshot is the JSON view of the stream counters, embedded in
+// the server's GET /v1/stats reply.
+type StatsSnapshot struct {
+	Sessions           float64 `json:"sessions"`
+	SessionsCreated    uint64  `json:"sessions_created"`
+	Observations       uint64  `json:"observations"`
+	RefitErrors        uint64  `json:"refit_errors"`
+	EvictionsLRU       uint64  `json:"evictions_lru"`
+	EvictionsTTL       uint64  `json:"evictions_ttl"`
+	Closed             uint64  `json:"closed"`
+	Subscribers        float64 `json:"subscribers"`
+	DroppedSubscribers uint64  `json:"dropped_subscribers"`
+	Events             uint64  `json:"events"`
+	Restored           uint64  `json:"restored"`
+	PersistErrors      uint64  `json:"persist_errors"`
+	RefitP50Ms         float64 `json:"refit_p50_ms"`
+	RefitP99Ms         float64 `json:"refit_p99_ms"`
+}
+
+// Stats snapshots the process-wide stream counters.
+func Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Sessions:           metrics.sessions.Value(),
+		SessionsCreated:    metrics.created.Value(),
+		Observations:       metrics.observations.Value(),
+		RefitErrors:        metrics.refitErrors.Value(),
+		EvictionsLRU:       metrics.evictedLRU.Value(),
+		EvictionsTTL:       metrics.evictedTTL.Value(),
+		Closed:             metrics.closed.Value(),
+		Subscribers:        metrics.subscribers.Value(),
+		DroppedSubscribers: metrics.droppedSubs.Value(),
+		Events:             metrics.events.Value(),
+		Restored:           metrics.restored.Value(),
+		PersistErrors:      metrics.persistErrors.Value(),
+	}
+	if metrics.refitDuration.Count() > 0 {
+		s.RefitP50Ms = metrics.refitDuration.Quantile(0.5) * 1000
+		s.RefitP99Ms = metrics.refitDuration.Quantile(0.99) * 1000
+	}
+	return s
+}
+
 func init() {
 	telemetry.RegisterFamily("resil_stream_sessions", "gauge",
 		"Open streaming sessions.")

@@ -254,6 +254,7 @@ func (m *Manager) rebuild(ps *PersistedSession) (*session, error) {
 	}
 	pol := m.cfg.Fallback
 	s := newSession(ps.ID, entry, ps.Config, &pol)
+	s.logger = m.cfg.Logger
 	s.createdAt = ps.CreatedAt
 	s.lastActive.Store(ps.LastActive.UnixNano())
 

@@ -33,6 +33,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ import (
 	"resilience/internal/monitor"
 	"resilience/internal/registry"
 	"resilience/internal/service"
+	"resilience/internal/telemetry"
 )
 
 // Sentinel errors, mapped by transports onto their status vocabulary
@@ -85,6 +87,10 @@ type Config struct {
 	// after this many observations since the last one, bounding replay
 	// time (default 64; negative disables snapshots).
 	SnapshotEvery int
+	// Logger, when non-nil, receives operational events the metrics alone
+	// cannot attribute — today, subscriber drops tagged with the request
+	// ID that opened the feed.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -247,8 +253,12 @@ type Event struct {
 // Events(); the channel closes when the session ends (after a terminal
 // EventClosed) or when the subscriber is dropped for falling behind.
 type Subscriber struct {
-	ch      chan Event
-	sess    *session
+	ch   chan Event
+	sess *session
+	// reqID is the request ID of the HTTP request (or other transport
+	// call) that opened this feed, so a drop can be attributed to the
+	// specific client in logs.
+	reqID   string
 	dropped atomic.Bool
 	once    sync.Once
 }
@@ -259,6 +269,10 @@ func (sub *Subscriber) Events() <-chan Event { return sub.ch }
 // Dropped reports whether the subscriber was disconnected for not
 // keeping up (as opposed to the session ending).
 func (sub *Subscriber) Dropped() bool { return sub.dropped.Load() }
+
+// RequestID returns the request ID recorded when the feed was opened
+// (empty when the transport supplied none).
+func (sub *Subscriber) RequestID() string { return sub.reqID }
 
 // Close detaches the subscriber. Safe to call more than once and after
 // the session ended.
@@ -294,6 +308,9 @@ type session struct {
 	subMu  sync.Mutex
 	subs   map[*Subscriber]struct{}
 	closed bool
+	// logger is the manager's Config.Logger (may be nil); kept on the
+	// session so broadcast can attribute drops without a manager pointer.
+	logger *slog.Logger
 
 	createdAt  time.Time
 	lastActive atomic.Int64 // unix nanos
@@ -356,6 +373,7 @@ func (m *Manager) Create(modelName string, mc MonitorConfig) (Snapshot, error) {
 
 	pol := m.cfg.Fallback
 	s := newSession(newID(), entry, mc, &pol)
+	s.logger = m.cfg.Logger
 	s.lastActive.Store(s.createdAt.UnixNano())
 
 	m.mu.Lock()
@@ -544,17 +562,23 @@ func (m *Manager) Observe(ctx context.Context, id string, times, values []float6
 	}
 	updates := make([]Update, 0, len(values))
 	for i := range values {
+		// One span per accepted point, parenting the refit, WAL, and
+		// publish spans below — so a trace of one observation shows the
+		// whole observe → refit → persist → publish path.
+		pctx, obsSpan := telemetry.StartSpanCtx(octx, "stream.observe")
 		start := time.Now()
-		mup, err := s.tracker.ObserveCtx(octx, times[i], values[i])
+		mup, err := s.tracker.ObserveCtx(pctx, times[i], values[i])
 		if err != nil {
+			obsSpan.EndErr(err, telemetry.Int("seq", int(s.seq)+1))
 			return updates, s.snapshotLocked(), &service.InputError{Field: "times", Err: err}
 		}
 		metrics.observations.Inc()
 		s.seq++
 		up := toUpdate(s.seq, mup)
-		if up.FitModel != "" || up.FitErr != "" { // a refit actually ran
-			metrics.refitDuration.Observe(time.Since(start).Seconds())
-			countRefit(octx, mup)
+		refit := up.FitModel != "" || up.FitErr != "" // a refit actually ran
+		if refit {
+			metrics.refitDuration.ObserveWithExemplar(time.Since(start).Seconds(), telemetry.TraceID(pctx))
+			countRefit(pctx, mup)
 		}
 		if up.FitModel != "" {
 			s.lastFit = fitSummaryOf(&up)
@@ -562,22 +586,42 @@ func (m *Manager) Observe(ctx context.Context, id string, times, values []float6
 		s.last = &up
 		s.sinceSnap++
 		if st := m.cfg.Store; st != nil {
-			if err := st.PointObserved(s.id, s.seq, times[i], values[i]); err != nil {
+			wal := telemetry.StartSpan(pctx, "wal.append")
+			err := st.PointObserved(s.id, s.seq, times[i], values[i])
+			wal.EndErr(err, telemetry.Int("seq", int(s.seq)))
+			if err != nil {
 				metrics.persistErrors.Inc()
 			}
 			if up.FitModel != "" {
-				if err := st.FitUpdated(s.id, s.lastFit.clone()); err != nil {
+				fitSpan := telemetry.StartSpan(pctx, "wal.fit")
+				err := st.FitUpdated(s.id, s.lastFit.clone())
+				fitSpan.EndErr(err, telemetry.Str("model", up.FitModel))
+				if err != nil {
 					metrics.persistErrors.Inc()
 				}
 			}
 		}
 		updates = append(updates, up)
-		s.broadcast(Event{Type: EventUpdate, Session: s.id, Seq: up.Seq, Update: &up})
+		pub := telemetry.StartSpan(pctx, "sse.publish")
+		delivered, droppedSubs := s.broadcast(Event{Type: EventUpdate, Session: s.id, Seq: up.Seq, Update: &up})
+		pub.End(telemetry.Int("delivered", delivered), telemetry.Int("dropped", droppedSubs))
+		obsSpan.EndStatus(up.FitErr, telemetry.Int("seq", int(s.seq)),
+			telemetry.Str("phase", up.Phase), telemetry.Str("refit", boolWord(refit)))
 	}
 	if m.cfg.Store != nil && m.cfg.SnapshotEvery > 0 && s.sinceSnap >= m.cfg.SnapshotEvery {
+		snap := telemetry.StartSpan(octx, "stream.snapshot")
 		m.persistSnapshotLocked(s)
+		snap.End(telemetry.Int("seq", int(s.seq)))
 	}
 	return updates, s.snapshotLocked(), nil
+}
+
+// boolWord renders a bool as a span-attribute string.
+func boolWord(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
 }
 
 // countRefit feeds the process-wide fit counters (GET /v1/stats) from a
@@ -633,13 +677,16 @@ func (m *Manager) List() []Snapshot {
 // Subscribe attaches a live event feed to a session and returns the
 // subscriber together with the snapshot at attach time, so a consumer
 // can render current state and then apply updates without a gap.
-func (m *Manager) Subscribe(id string) (*Subscriber, Snapshot, error) {
+// requestID tags the subscriber with the transport request that opened
+// it, so a later drop log names the client that fell behind; empty is
+// fine.
+func (m *Manager) Subscribe(id, requestID string) (*Subscriber, Snapshot, error) {
 	s, victims, err := m.lookup(id, false)
 	m.finishAll(victims)
 	if err != nil {
 		return nil, Snapshot{}, err
 	}
-	sub := &Subscriber{ch: make(chan Event, m.cfg.SubscriberBuffer), sess: s}
+	sub := &Subscriber{ch: make(chan Event, m.cfg.SubscriberBuffer), sess: s, reqID: requestID}
 	s.subMu.Lock()
 	if s.closed {
 		s.subMu.Unlock()
@@ -725,18 +772,20 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 }
 
 // broadcast delivers an event to every live subscriber, dropping the
-// ones that cannot keep up. Caller holds s.mu; subMu orders broadcasts
-// against subscriber close so no send hits a closed channel.
-func (s *session) broadcast(ev Event) {
+// ones that cannot keep up, and reports how many of each. Caller holds
+// s.mu; subMu orders broadcasts against subscriber close so no send
+// hits a closed channel.
+func (s *session) broadcast(ev Event) (delivered, droppedSubs int) {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
 	if s.closed {
-		return
+		return 0, 0
 	}
 	for sub := range s.subs {
 		select {
 		case sub.ch <- ev:
 			metrics.events.Inc()
+			delivered++
 		default:
 			// Full buffer: disconnect the laggard instead of blocking
 			// ingestion for everyone.
@@ -745,8 +794,14 @@ func (s *session) broadcast(ev Event) {
 			close(sub.ch)
 			metrics.droppedSubs.Inc()
 			metrics.subscribers.Add(-1)
+			droppedSubs++
+			if s.logger != nil {
+				s.logger.Warn("subscriber dropped: buffer full",
+					"session", s.id, "request_id", sub.reqID, "seq", ev.Seq)
+			}
 		}
 	}
+	return delivered, droppedSubs
 }
 
 // unsubscribe detaches sub if still attached.

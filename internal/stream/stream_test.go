@@ -162,7 +162,7 @@ func TestLRUEvictionAtCap(t *testing.T) {
 	m := NewManager(Config{MaxSessions: 2})
 	before := metrics.evictedLRU.Value()
 	a, _ := m.Create("competing-risks", MonitorConfig{})
-	sub, _, err := m.Subscribe(a.ID)
+	sub, _, err := m.Subscribe(a.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestTTLEviction(t *testing.T) {
 	m := NewManager(Config{SessionTTL: 20 * time.Millisecond})
 	before := metrics.evictedTTL.Value()
 	a, _ := m.Create("competing-risks", MonitorConfig{})
-	sub, _, err := m.Subscribe(a.ID)
+	sub, _, err := m.Subscribe(a.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestTTLEviction(t *testing.T) {
 func TestSubscribeStreamsEveryUpdate(t *testing.T) {
 	m := NewManager(Config{})
 	snap, _ := m.Create("competing-risks", MonitorConfig{})
-	sub, at, err := m.Subscribe(snap.ID)
+	sub, at, err := m.Subscribe(snap.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,11 +277,11 @@ func TestSubscribeStreamsEveryUpdate(t *testing.T) {
 func TestSlowSubscriberDropped(t *testing.T) {
 	m := NewManager(Config{SubscriberBuffer: 2})
 	snap, _ := m.Create("competing-risks", MonitorConfig{MinFitPoints: 1000})
-	slow, _, err := m.Subscribe(snap.ID)
+	slow, _, err := m.Subscribe(snap.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, _, err := m.Subscribe(snap.ID)
+	fast, _, err := m.Subscribe(snap.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestObserveHonorsCallerContext(t *testing.T) {
 func TestShutdown(t *testing.T) {
 	m := NewManager(Config{})
 	a, _ := m.Create("competing-risks", MonitorConfig{})
-	sub, _, err := m.Subscribe(a.ID)
+	sub, _, err := m.Subscribe(a.ID, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,10 @@ package telemetry
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-bucket histogram in the Prometheus style: each
@@ -19,6 +21,25 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
+	// exemplars holds the most recent traced observation per bucket
+	// (same layout as counts), swapped in with one atomic store.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one concrete observation to the trace that produced
+// it, so a histogram bucket ("p99 is slow") can be followed to a full
+// span tree ("because fsync took 80ms on that request").
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
+}
+
+// BucketExemplar is an exemplar tagged with its bucket's upper bound,
+// the JSON view served on /v1/stats.
+type BucketExemplar struct {
+	LE float64 `json:"le"`
+	Exemplar
 }
 
 // NewHistogram builds a histogram with the given finite bucket upper
@@ -40,8 +61,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: own,
-		counts: make([]atomic.Uint64, len(own)+1),
+		bounds:    own,
+		counts:    make([]atomic.Uint64, len(own)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(own)+1),
 	}
 }
 
@@ -60,6 +82,47 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's exemplar (latest wins). The exemplar
+// store is one atomic pointer swap, so hot paths pay almost nothing
+// beyond Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := h.bucketIndex(v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// Exemplars returns the buckets that currently hold an exemplar, in
+// bound order (+Inf last).
+func (h *Histogram) Exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out = append(out, BucketExemplar{LE: le, Exemplar: *e})
+	}
+	return out
 }
 
 // bucketIndex locates the first bucket whose upper bound is >= v, via
@@ -153,11 +216,13 @@ func (h *Histogram) writeExposition(b *strings.Builder, fullName string) {
 		b.WriteString(withLE(formatFloat(bound)))
 		b.WriteByte(' ')
 		b.WriteString(uitoa(cumulative[i]))
+		h.writeExemplar(b, i)
 		b.WriteByte('\n')
 	}
 	b.WriteString(withLE("+Inf"))
 	b.WriteByte(' ')
 	b.WriteString(uitoa(cumulative[len(cumulative)-1]))
+	h.writeExemplar(b, len(bounds))
 	b.WriteByte('\n')
 	b.WriteString(suffixed("_sum"))
 	b.WriteByte(' ')
@@ -167,6 +232,23 @@ func (h *Histogram) writeExposition(b *strings.Builder, fullName string) {
 	b.WriteByte(' ')
 	b.WriteString(uitoa(h.count.Load()))
 	b.WriteByte('\n')
+}
+
+// writeExemplar appends the OpenMetrics exemplar suffix for bucket i
+// when one is set: ` # {trace_id="..."} value timestamp`. Plain
+// Prometheus text parsers that read "name value" still work because the
+// suffix follows the value.
+func (h *Histogram) writeExemplar(b *strings.Builder, i int) {
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return
+	}
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(escapeLabel(e.TraceID))
+	b.WriteString(`"} `)
+	b.WriteString(formatFloat(e.Value))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(float64(e.Time.UnixMilli())/1000, 'f', 3, 64))
 }
 
 func uitoa(v uint64) string {

@@ -153,3 +153,70 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("q>1 not clamped: %g vs %g", q, h2.Quantile(1))
 	}
 }
+
+// TestHistogramExemplars pins the exemplar contract: a traced
+// observation becomes its bucket's exemplar with the exact value and
+// trace ID, the latest traced observation in a bucket wins, untraced
+// observations never disturb exemplars, and counts/sums stay identical
+// to plain Observe. This is what makes the " # {trace_id=...}" suffix
+// on /metrics trustworthy — a mis-bucketed exemplar would send an
+// operator chasing the wrong trace.
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+
+	h.ObserveWithExemplar(0.05, "trace-slowish")
+	h.ObserveWithExemplar(0.005, "trace-fast")
+	h.Observe(0.06) // untraced: counted, but no exemplar
+	h.ObserveWithExemplar(5, "trace-overflow")
+
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(ex), ex)
+	}
+	// Bound order: 0.01 bucket, 0.1 bucket, +Inf bucket.
+	checks := []struct {
+		le    float64
+		value float64
+		id    string
+	}{
+		{0.01, 0.005, "trace-fast"},
+		{0.1, 0.05, "trace-slowish"},
+		{math.Inf(1), 5, "trace-overflow"},
+	}
+	for i, c := range checks {
+		if ex[i].LE != c.le || ex[i].Value != c.value || ex[i].TraceID != c.id {
+			t.Errorf("exemplar[%d] = {le:%v value:%v id:%q}, want {%v %v %q}",
+				i, ex[i].LE, ex[i].Value, ex[i].TraceID, c.le, c.value, c.id)
+		}
+		if ex[i].Time.IsZero() {
+			t.Errorf("exemplar[%d] has zero timestamp", i)
+		}
+	}
+
+	// Latest traced observation in a bucket replaces the previous one.
+	h.ObserveWithExemplar(0.07, "trace-newer")
+	for _, e := range h.Exemplars() {
+		if e.LE == 0.1 && e.TraceID != "trace-newer" {
+			t.Errorf("bucket 0.1 exemplar = %q, want trace-newer (latest wins)", e.TraceID)
+		}
+	}
+	// An empty trace ID counts the value but records no exemplar.
+	h.ObserveWithExemplar(0.08, "")
+	for _, e := range h.Exemplars() {
+		if e.LE == 0.1 && e.TraceID != "trace-newer" {
+			t.Errorf("empty trace ID overwrote exemplar: %q", e.TraceID)
+		}
+	}
+
+	if h.Count() != 6 {
+		t.Errorf("count %d, want 6", h.Count())
+	}
+	wantSum := 0.05 + 0.005 + 0.06 + 5 + 0.07 + 0.08
+	if math.Abs(h.Sum()-wantSum) > 1e-12 {
+		t.Errorf("sum %v, want %v", h.Sum(), wantSum)
+	}
+	_, cumulative := h.Buckets()
+	if cumulative[len(cumulative)-1] != 6 {
+		t.Errorf("+Inf cumulative %d, want 6", cumulative[len(cumulative)-1])
+	}
+}

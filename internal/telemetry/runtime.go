@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// memCache caches one runtime.ReadMemStats sample per second so a
+// scrape touching several runtime gauges stops the world once, not once
+// per gauge.
+var memCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func memStats() runtime.MemStats {
+	memCache.mu.Lock()
+	defer memCache.mu.Unlock()
+	if memCache.at.IsZero() || time.Since(memCache.at) > time.Second {
+		runtime.ReadMemStats(&memCache.ms)
+		memCache.at = time.Now()
+	}
+	return memCache.ms
+}
+
+var runtimeOnce sync.Once
+
+// RegisterRuntimeMetrics installs process runtime gauges (goroutines,
+// heap, GC pause, GOMAXPROCS, uptime) on the Default registry. Values
+// are sampled at scrape time via gauge callbacks; repeated calls are
+// no-ops.
+func RegisterRuntimeMetrics() {
+	runtimeOnce.Do(func() {
+		RegisterFamily("resil_runtime_goroutines", "gauge",
+			"Live goroutines at scrape time.")
+		RegisterFamily("resil_runtime_heap_alloc_bytes", "gauge",
+			"Heap bytes in use at scrape time.")
+		RegisterFamily("resil_runtime_heap_sys_bytes", "gauge",
+			"Heap bytes obtained from the OS.")
+		RegisterFamily("resil_runtime_gc_runs_total", "counter",
+			"Completed garbage collection cycles.")
+		RegisterFamily("resil_runtime_gc_pause_seconds_total", "counter",
+			"Cumulative stop-the-world GC pause time.")
+		RegisterFamily("resil_runtime_gomaxprocs", "gauge",
+			"GOMAXPROCS at scrape time.")
+		RegisterFamily("resil_process_uptime_seconds", "gauge",
+			"Seconds since process start.")
+
+		GetOrCreateGaugeFunc("resil_runtime_goroutines", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+		GetOrCreateGaugeFunc("resil_runtime_heap_alloc_bytes", func() float64 {
+			return float64(memStats().HeapAlloc)
+		})
+		GetOrCreateGaugeFunc("resil_runtime_heap_sys_bytes", func() float64 {
+			return float64(memStats().HeapSys)
+		})
+		GetOrCreateGaugeFunc("resil_runtime_gc_runs_total", func() float64 {
+			return float64(memStats().NumGC)
+		})
+		GetOrCreateGaugeFunc("resil_runtime_gc_pause_seconds_total", func() float64 {
+			return float64(memStats().PauseTotalNs) / 1e9
+		})
+		GetOrCreateGaugeFunc("resil_runtime_gomaxprocs", func() float64 {
+			return float64(runtime.GOMAXPROCS(0))
+		})
+		GetOrCreateGaugeFunc("resil_process_uptime_seconds", func() float64 {
+			return time.Since(processStart).Seconds()
+		})
+	})
+}
+
+// RuntimeSnapshot is the JSON view of the runtime gauges for /v1/stats.
+type RuntimeSnapshot struct {
+	Goroutines       int     `json:"goroutines"`
+	HeapAllocBytes   uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes     uint64  `json:"heap_sys_bytes"`
+	GCRuns           uint32  `json:"gc_runs"`
+	GCPauseTotalSecs float64 `json:"gc_pause_total_seconds"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+}
+
+// SnapshotRuntime samples the runtime gauges for the JSON stats view.
+func SnapshotRuntime() RuntimeSnapshot {
+	ms := memStats()
+	return RuntimeSnapshot{
+		Goroutines:       runtime.NumGoroutine(),
+		HeapAllocBytes:   ms.HeapAlloc,
+		HeapSysBytes:     ms.HeapSys,
+		GCRuns:           ms.NumGC,
+		GCPauseTotalSecs: float64(ms.PauseTotalNs) / 1e9,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		UptimeSeconds:    time.Since(processStart).Seconds(),
+	}
+}

@@ -303,6 +303,67 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// EachHistogram visits every histogram registered under the family, in
+// name order. The JSON stats view uses it to compute per-route
+// quantiles without the registry leaking its metric table.
+func (r *Registry) EachHistogram(family string, fn func(fullName string, h *Histogram)) {
+	for _, name := range r.snapshotNames() {
+		if familyOf(name) != family {
+			continue
+		}
+		r.mu.RLock()
+		m := r.metrics[name]
+		r.mu.RUnlock()
+		if h, ok := m.(*Histogram); ok {
+			fn(name, h)
+		}
+	}
+}
+
+// EachHistogram visits the Default registry's histograms of a family.
+func EachHistogram(family string, fn func(fullName string, h *Histogram)) {
+	Default.EachHistogram(family, fn)
+}
+
+// LabeledExemplar ties a bucket exemplar to the metric that holds it.
+type LabeledExemplar struct {
+	Metric string `json:"metric"`
+	BucketExemplar
+}
+
+// ExemplarsInFamily returns every exemplar currently held by the
+// family's histograms, in metric-name order — the JSON twin of the
+// OpenMetrics exemplar suffixes on /metrics.
+func (r *Registry) ExemplarsInFamily(family string) []LabeledExemplar {
+	var out []LabeledExemplar
+	r.EachHistogram(family, func(name string, h *Histogram) {
+		for _, e := range h.Exemplars() {
+			out = append(out, LabeledExemplar{Metric: name, BucketExemplar: e})
+		}
+	})
+	return out
+}
+
+// ExemplarsInFamily returns the Default registry's exemplars of a family.
+func ExemplarsInFamily(family string) []LabeledExemplar {
+	return Default.ExemplarsInFamily(family)
+}
+
+// LabelValue extracts one label's value from a full exposition name
+// ("" when absent); a convenience for consumers walking EachHistogram.
+func LabelValue(fullName, key string) string {
+	i := strings.Index(fullName, key+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := fullName[i+len(key)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
 // snapshotNames returns all registered metric names, sorted so that
 // metrics of one family are contiguous and ordering is deterministic.
 func (r *Registry) snapshotNames() []string {

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"strconv"
@@ -18,38 +19,61 @@ import (
 // degradation chain, optimizer) append to it through the context without
 // knowing who is listening. A nil *Trace is a valid no-op sink, so
 // library callers without tracing pay only a context lookup.
+//
+// Since the trace store was added, a Trace also carries a W3C-shaped
+// 32-hex TraceID (propagated via the traceparent header) and its spans
+// form a tree through SpanID/ParentID, so a completed trace can be
+// retained and queried rather than only flattened into one log line.
 type Trace struct {
 	// ID is the request ID the trace belongs to.
 	ID string
+	// TraceID is the 32-hex W3C trace ID, either adopted from an inbound
+	// traceparent header or freshly generated. Empty for legacy callers
+	// that only want span logging.
+	TraceID string
 
 	mu    sync.Mutex
 	spans []Span
 }
 
-// maxSpansPerTrace bounds memory per request; a pathological degradation
-// chain records a few dozen spans, so the cap is far above normal use.
-const maxSpansPerTrace = 128
+// maxSpansPerTrace bounds memory per request. A 256-point stream
+// observe chunk records a handful of spans per point, so the cap sits
+// above one full chunk without letting a pathological loop grow a trace
+// without bound.
+const maxSpansPerTrace = 2048
 
 // Span is one timed region of work inside a request.
 type Span struct {
 	// Name identifies the region, e.g. "fit.quadratic" or "chain.attempt.exp-exp".
 	Name string
+	// SpanID is the 16-hex span identifier; ParentID is the SpanID of
+	// the enclosing span ("" for a root span).
+	SpanID   string
+	ParentID string
 	// Start is when the region began.
 	Start time.Time
 	// Duration is how long it ran.
 	Duration time.Duration
-	// Attrs carry small integer measurements (iterations, evals, depth).
+	// Status is "" for success, otherwise a short error description.
+	Status string
+	// Attrs carry small measurements (iterations, evals, depth) and
+	// string annotations (session ID, cache outcome).
 	Attrs []Attr
 }
 
-// Attr is one integer measurement attached to a span.
+// Attr is one measurement attached to a span: integer-valued when SVal
+// is empty, string-valued otherwise.
 type Attr struct {
 	Key   string
 	Value int64
+	SVal  string
 }
 
-// Int builds a span attribute.
+// Int builds an integer span attribute.
 func Int(key string, v int) Attr { return Attr{Key: key, Value: int64(v)} }
+
+// Str builds a string span attribute.
+func Str(key, v string) Attr { return Attr{Key: key, SVal: v} }
 
 // add appends a finished span, dropping it silently once the cap is hit.
 func (t *Trace) add(s Span) {
@@ -99,7 +123,11 @@ func (t *Trace) String() string {
 				}
 				b.WriteString(a.Key)
 				b.WriteByte('=')
-				b.WriteString(strconv.FormatInt(a.Value, 10))
+				if a.SVal != "" {
+					b.WriteString(a.SVal)
+				} else {
+					b.WriteString(strconv.FormatInt(a.Value, 10))
+				}
 			}
 			b.WriteByte('}')
 		}
@@ -108,6 +136,10 @@ func (t *Trace) String() string {
 }
 
 type traceKey struct{}
+
+// spanIDKey carries the SpanID of the innermost open span, so spans
+// started from a child context nest under it.
+type spanIDKey struct{}
 
 // WithTrace returns a context carrying the trace.
 func WithTrace(ctx context.Context, t *Trace) context.Context {
@@ -129,28 +161,103 @@ func RequestID(ctx context.Context) string {
 	return ""
 }
 
+// TraceID returns the context's W3C trace ID, or "" without a trace.
+func TraceID(ctx context.Context) string {
+	if t := TraceFrom(ctx); t != nil {
+		return t.TraceID
+	}
+	return ""
+}
+
+// SpanIDFrom returns the SpanID of the innermost open span in ctx, or ""
+// when no span context is active.
+func SpanIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(spanIDKey{}).(string)
+	return id
+}
+
+// WithParentSpanID seeds ctx with a parent span ID, used by transport
+// edges to parent their root span under a remote caller's span (the
+// span ID carried in an inbound traceparent header).
+func WithParentSpanID(ctx context.Context, spanID string) context.Context {
+	return context.WithValue(ctx, spanIDKey{}, spanID)
+}
+
 // ActiveSpan is an in-flight span. It is a small value type: starting a
 // span costs a context lookup and a clock read, and when no trace is
 // attached End only reads the clock.
 type ActiveSpan struct {
-	trace *Trace
-	name  string
-	start time.Time
+	trace    *Trace
+	name     string
+	spanID   string
+	parentID string
+	start    time.Time
 }
 
 // StartSpan begins a span named name against the context's trace (a
-// no-op sink when none is attached).
+// no-op sink when none is attached). The span's parent is the innermost
+// span already open in ctx; use StartSpanCtx when work below this span
+// should nest under it.
 func StartSpan(ctx context.Context, name string) ActiveSpan {
-	return ActiveSpan{trace: TraceFrom(ctx), name: name, start: time.Now()}
+	t := TraceFrom(ctx)
+	s := ActiveSpan{trace: t, name: name, start: time.Now()}
+	if t != nil {
+		s.spanID = NewSpanID()
+		s.parentID = SpanIDFrom(ctx)
+	}
+	return s
 }
 
-// End finishes the span, recording it on the trace with the given
-// attributes, and returns the measured duration so callers can feed
-// histograms without reading the clock twice.
+// StartSpanCtx begins a span and returns a child context under which
+// further spans nest as children of this one. When ctx carries no trace
+// the returned context is ctx unchanged.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, ActiveSpan) {
+	s := StartSpan(ctx, name)
+	if s.trace == nil {
+		return ctx, s
+	}
+	return context.WithValue(ctx, spanIDKey{}, s.spanID), s
+}
+
+// SpanID returns the span's 16-hex identifier ("" on a no-op span).
+func (s ActiveSpan) SpanID() string { return s.spanID }
+
+// End finishes the span with OK status, recording it on the trace with
+// the given attributes, and returns the measured duration so callers can
+// feed histograms without reading the clock twice.
 func (s ActiveSpan) End(attrs ...Attr) time.Duration {
+	return s.finish("", attrs)
+}
+
+// EndErr finishes the span, marking it failed when err is non-nil.
+func (s ActiveSpan) EndErr(err error, attrs ...Attr) time.Duration {
+	status := ""
+	if err != nil {
+		status = err.Error()
+		if len(status) > 160 {
+			status = status[:160]
+		}
+	}
+	return s.finish(status, attrs)
+}
+
+// EndStatus finishes the span with an explicit status string.
+func (s ActiveSpan) EndStatus(status string, attrs ...Attr) time.Duration {
+	return s.finish(status, attrs)
+}
+
+func (s ActiveSpan) finish(status string, attrs []Attr) time.Duration {
 	d := time.Since(s.start)
 	if s.trace != nil {
-		s.trace.add(Span{Name: s.name, Start: s.start, Duration: d, Attrs: attrs})
+		s.trace.add(Span{
+			Name:     s.name,
+			SpanID:   s.spanID,
+			ParentID: s.parentID,
+			Start:    s.start,
+			Duration: d,
+			Status:   status,
+			Attrs:    attrs,
+		})
 	}
 	return d
 }
@@ -168,4 +275,106 @@ func NewRequestID() string {
 		return hex.EncodeToString(buf[:])
 	}
 	return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+}
+
+// idSeed mixes crypto-random entropy into the cheap per-span ID
+// generator below; spans can be minted thousands of times per second, so
+// they avoid a syscall-backed rand read each.
+var idSeed = func() uint64 {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err == nil {
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	return uint64(time.Now().UnixNano())
+}()
+
+var idSeq atomic.Uint64
+
+// nextID returns a process-unique non-zero 64-bit ID (splitmix64 over a
+// random-seeded counter).
+func nextID() uint64 {
+	for {
+		z := idSeed + idSeq.Add(1)*0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+// NewSpanID returns a fresh 16-hex, non-zero span ID.
+func NewSpanID() string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], nextID())
+	return hex.EncodeToString(buf[:])
+}
+
+// NewTraceID returns a fresh 32-hex, non-zero W3C trace ID.
+func NewTraceID() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil || allZero(buf[:]) {
+		binary.BigEndian.PutUint64(buf[:8], nextID())
+		binary.BigEndian.PutUint64(buf[8:], nextID())
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTraceparent renders a W3C traceparent header (version 00,
+// sampled flag set) for the given trace and span IDs.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent validates and splits a W3C traceparent header value,
+// returning the trace ID and parent span ID. It accepts any version
+// except the reserved ff, requires lowercase hex, and rejects all-zero
+// IDs, per the spec.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	// version(2) - traceID(32) - spanID(16) - flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	ver, tid, sid, rest := h[:2], h[3:35], h[36:52], h[53:]
+	if !isLowerHex(ver) || ver == "ff" {
+		return "", "", false
+	}
+	if len(rest) < 2 || !isLowerHex(rest[:2]) {
+		return "", "", false
+	}
+	// Future versions may append fields after the flags; version 00 must
+	// be exactly four fields.
+	if ver == "00" && len(h) != 55 {
+		return "", "", false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return "", "", false
+	}
+	if !isLowerHex(tid) || !isLowerHex(sid) {
+		return "", "", false
+	}
+	if tid == strings.Repeat("0", 32) || sid == strings.Repeat("0", 16) {
+		return "", "", false
+	}
+	return tid, sid, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
 }

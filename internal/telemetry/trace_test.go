@@ -80,7 +80,7 @@ func TestTraceSpanCapAndConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < 100; i++ {
+			for i := 0; i < maxSpansPerTrace/4; i++ {
 				StartSpan(ctx, "s").End()
 			}
 		}()

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceRecord is one completed trace retained for querying: identity,
+// the request-level summary the list view filters on, and the full span
+// tree. Records are immutable once handed to a TraceStore, so readers
+// can share them without copying.
+type TraceRecord struct {
+	TraceID   string        `json:"trace_id"`
+	RequestID string        `json:"request_id"`
+	Route     string        `json:"route"`
+	Method    string        `json:"method"`
+	Status    int           `json:"status"`
+	Error     bool          `json:"error"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"-"`
+	// DurationMS mirrors Duration for the JSON views.
+	DurationMS float64 `json:"duration_ms"`
+	Spans      []Span  `json:"-"`
+}
+
+// TraceFilter selects traces from a store's List view.
+type TraceFilter struct {
+	// Route, when non-empty, keeps only traces for that route label.
+	Route string
+	// MinDuration keeps only traces at least this long.
+	MinDuration time.Duration
+	// ErrorsOnly keeps only traces whose Error flag is set.
+	ErrorsOnly bool
+	// Limit caps the result length (0 means the store default).
+	Limit int
+}
+
+// TraceStoreConfig sizes a TraceStore.
+type TraceStoreConfig struct {
+	// Capacity is the reservoir size for ordinary traces.
+	Capacity int
+	// KeepCapacity is the always-keep ring size for slow/error traces.
+	KeepCapacity int
+	// SlowThreshold routes traces at or above this duration into the
+	// always-keep ring regardless of sampling.
+	SlowThreshold time.Duration
+}
+
+// DefaultTraceStoreConfig returns the sizing used by the process-wide
+// store: 256 sampled + 64 always-kept traces and a 250ms slow bar.
+func DefaultTraceStoreConfig() TraceStoreConfig {
+	return TraceStoreConfig{Capacity: 256, KeepCapacity: 64, SlowThreshold: 250 * time.Millisecond}
+}
+
+// TraceStore retains completed traces in bounded memory with two tiers:
+// an always-keep ring for traces that are slow or ended in error (the
+// ones worth debugging, never sampled away — oldest evicted only by ring
+// wrap), and a reservoir-sampled buffer for everything else, so the
+// store also holds a uniform sample of ordinary traffic for baseline
+// comparison. All methods are safe for concurrent use.
+type TraceStore struct {
+	cfg TraceStoreConfig
+
+	mu sync.Mutex
+	// keep is the always-keep ring; keepPos is the next overwrite slot.
+	keep    []*TraceRecord
+	keepPos int
+	// sample is the reservoir; seen counts ordinary traces offered to it
+	// (Algorithm R: once full, trace n replaces a random slot with
+	// probability cap/n).
+	sample []*TraceRecord
+	seen   uint64
+	// byID indexes both tiers for O(1) Get; entries die with their slot.
+	byID map[string]*TraceRecord
+	rng  uint64
+}
+
+// NewTraceStore builds a store; zero/negative config fields fall back to
+// the defaults.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
+	def := DefaultTraceStoreConfig()
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = def.Capacity
+	}
+	if cfg.KeepCapacity <= 0 {
+		cfg.KeepCapacity = def.KeepCapacity
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = def.SlowThreshold
+	}
+	return &TraceStore{
+		cfg:  cfg,
+		byID: make(map[string]*TraceRecord, cfg.Capacity+cfg.KeepCapacity),
+		rng:  nextID(),
+	}
+}
+
+// DefaultTraceStore is the process-wide trace store the HTTP middleware
+// records into and the /debug/traces endpoints read from.
+var DefaultTraceStore = NewTraceStore(DefaultTraceStoreConfig())
+
+// Record retains a completed trace. Records without a TraceID are
+// dropped (nothing could ever look them up).
+func (s *TraceStore) Record(rec *TraceRecord) {
+	if rec == nil || rec.TraceID == "" {
+		return
+	}
+	rec.DurationMS = float64(rec.Duration.Microseconds()) / 1000
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Error || rec.Duration >= s.cfg.SlowThreshold {
+		if len(s.keep) < s.cfg.KeepCapacity {
+			s.keep = append(s.keep, rec)
+			s.byID[rec.TraceID] = rec
+			return
+		}
+		s.replace(&s.keep[s.keepPos], rec)
+		s.keepPos = (s.keepPos + 1) % s.cfg.KeepCapacity
+		return
+	}
+	s.seen++
+	if len(s.sample) < s.cfg.Capacity {
+		s.sample = append(s.sample, rec)
+		s.byID[rec.TraceID] = rec
+		return
+	}
+	// Reservoir: keep each ordinary trace with probability cap/seen.
+	if j := s.randN(s.seen); j < uint64(s.cfg.Capacity) {
+		s.replace(&s.sample[j], rec)
+	}
+}
+
+// replace swaps the record in a slot, keeping the ID index consistent.
+func (s *TraceStore) replace(slot **TraceRecord, rec *TraceRecord) {
+	if old := *slot; old != nil {
+		delete(s.byID, old.TraceID)
+	}
+	*slot = rec
+	s.byID[rec.TraceID] = rec
+}
+
+// randN returns a pseudo-random value in [0, n) from a cheap xorshift
+// source (sampling quality, not security, is what matters here).
+func (s *TraceStore) randN(n uint64) uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x % n
+}
+
+// Get returns the retained trace with the given trace ID.
+func (s *TraceStore) Get(traceID string) (*TraceRecord, bool) {
+	s.mu.Lock()
+	rec, ok := s.byID[traceID]
+	s.mu.Unlock()
+	return rec, ok
+}
+
+// List returns retained traces matching the filter, newest first.
+func (s *TraceStore) List(f TraceFilter) []*TraceRecord {
+	limit := f.Limit
+	if limit <= 0 || limit > s.cfg.Capacity+s.cfg.KeepCapacity {
+		limit = 50
+	}
+	s.mu.Lock()
+	out := make([]*TraceRecord, 0, len(s.keep)+len(s.sample))
+	for _, tier := range [][]*TraceRecord{s.keep, s.sample} {
+		for _, rec := range tier {
+			if rec == nil {
+				continue
+			}
+			if f.Route != "" && rec.Route != f.Route {
+				continue
+			}
+			if rec.Duration < f.MinDuration {
+				continue
+			}
+			if f.ErrorsOnly && !rec.Error {
+				continue
+			}
+			out = append(out, rec)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Len returns the number of retained traces across both tiers.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	n := len(s.keep) + len(s.sample)
+	s.mu.Unlock()
+	return n
+}
+
+// Reset drops all retained traces (for tests).
+func (s *TraceStore) Reset() {
+	s.mu.Lock()
+	s.keep, s.sample, s.keepPos, s.seen = nil, nil, 0, 0
+	s.byID = make(map[string]*TraceRecord, s.cfg.Capacity+s.cfg.KeepCapacity)
+	s.mu.Unlock()
+}

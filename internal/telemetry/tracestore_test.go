@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(id string, d time.Duration, route string, isErr bool) *TraceRecord {
+	return &TraceRecord{
+		TraceID:  id,
+		Route:    route,
+		Start:    time.Unix(0, 0).Add(d), // distinct, ordered starts
+		Duration: d,
+		Error:    isErr,
+	}
+}
+
+// TestTraceStoreTiers checks the two-tier retention contract: slow and
+// error traces land in the always-keep ring (evicted only by ring wrap,
+// never by sampling), ordinary traces are reservoir-sampled into
+// bounded memory, and the ID index tracks both tiers through eviction.
+func TestTraceStoreTiers(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Capacity: 8, KeepCapacity: 4, SlowThreshold: 100 * time.Millisecond})
+
+	// Fill the keep ring with error traces, then wrap it once: the first
+	// records must be evicted (and unindexed), the newest retained.
+	for i := 0; i < 6; i++ {
+		s.Record(rec(fmt.Sprintf("err-%d", i), time.Millisecond, "/a", true))
+	}
+	if _, ok := s.Get("err-0"); ok {
+		t.Error("err-0 should have been evicted by ring wrap")
+	}
+	if _, ok := s.Get("err-5"); !ok {
+		t.Error("err-5 should be retained in the keep ring")
+	}
+
+	// A slow-but-successful trace also always lands in the keep ring.
+	s.Record(rec("slow-1", 200*time.Millisecond, "/b", false))
+	if _, ok := s.Get("slow-1"); !ok {
+		t.Error("slow trace not retained")
+	}
+
+	// Ordinary traces are sampled: the store never exceeds Capacity of
+	// them, no matter how many are offered.
+	for i := 0; i < 100; i++ {
+		s.Record(rec(fmt.Sprintf("ord-%d", i), time.Millisecond, "/c", false))
+	}
+	if n := s.Len(); n > 8+4 {
+		t.Errorf("store holds %d traces, want <= capacity+keep = 12", n)
+	}
+
+	// Every retained trace must still resolve through Get — the ID index
+	// may not leak evicted entries or drop live ones.
+	for _, r := range s.List(TraceFilter{Limit: 12}) {
+		got, ok := s.Get(r.TraceID)
+		if !ok || got != r {
+			t.Errorf("listed trace %s not resolvable via Get", r.TraceID)
+		}
+	}
+}
+
+// TestTraceStoreListFilters exercises route, min-duration, errors-only,
+// and limit filtering plus newest-first ordering.
+func TestTraceStoreListFilters(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Capacity: 32, KeepCapacity: 8, SlowThreshold: time.Second})
+	s.Record(rec("a1", 10*time.Millisecond, "/a", false))
+	s.Record(rec("a2", 90*time.Millisecond, "/a", true))
+	s.Record(rec("b1", 50*time.Millisecond, "/b", false))
+
+	if got := s.List(TraceFilter{Route: "/a"}); len(got) != 2 {
+		t.Errorf("route filter: got %d traces, want 2", len(got))
+	}
+	if got := s.List(TraceFilter{MinDuration: 40 * time.Millisecond}); len(got) != 2 {
+		t.Errorf("min-duration filter: got %d, want 2", len(got))
+	}
+	if got := s.List(TraceFilter{ErrorsOnly: true}); len(got) != 1 || got[0].TraceID != "a2" {
+		t.Errorf("errors-only filter: got %v", got)
+	}
+	got := s.List(TraceFilter{Limit: 2})
+	if len(got) != 2 {
+		t.Fatalf("limit: got %d, want 2", len(got))
+	}
+	// Newest first: starts are ordered by duration in rec().
+	if got[0].TraceID != "a2" || got[1].TraceID != "b1" {
+		t.Errorf("ordering: got %s, %s; want a2, b1", got[0].TraceID, got[1].TraceID)
+	}
+}
+
+// TestTraceStoreHammer drives Record, Get, List, and Len concurrently
+// so `go test -race` can watch the ring, reservoir, and ID index. The
+// assertions are deliberately weak (no torn records, Len bounded) —
+// the race detector is the real check here.
+func TestTraceStoreHammer(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Capacity: 16, KeepCapacity: 8, SlowThreshold: 50 * time.Millisecond})
+	const writers, readers, perWriter = 4, 4, 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				d := time.Duration(i%100) * time.Millisecond // mixes tiers
+				s.Record(rec(fmt.Sprintf("w%d-%d", w, i), d, "/hammer", i%7 == 0))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range s.List(TraceFilter{Limit: 10}) {
+					if tr.TraceID == "" {
+						t.Error("listed trace with empty ID")
+						return
+					}
+				}
+				s.Get(fmt.Sprintf("w%d-%d", r%writers, i%perWriter))
+				if n := s.Len(); n > 16+8 {
+					t.Errorf("Len %d exceeds capacity", n)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writers finish first; readers keep hammering until told to stop.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if n := s.Len(); n == 0 {
+		t.Error("store empty after hammer")
+	}
+}

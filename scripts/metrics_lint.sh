@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Lint a Prometheus/OpenMetrics exposition (from a file argument or
+# stdin) against this repo's conventions. This is the contract that
+# keeps dashboards from silently rotting: every family is resil_-
+# prefixed and documented, counters are _total, and exemplars — the
+# " # {trace_id=...}" suffixes that make histogram buckets clickable —
+# are syntactically valid and only where OpenMetrics allows them
+# (bucket lines). Fails with a line-numbered complaint on the first
+# category of violation found.
+set -euo pipefail
+
+INPUT="${1:-/dev/stdin}"
+EXPO="$(mktemp)"
+trap 'rm -f "$EXPO"' EXIT
+cat "$INPUT" > "$EXPO"
+
+if ! [ -s "$EXPO" ]; then
+  echo "metrics_lint: empty exposition" >&2
+  exit 1
+fi
+
+fail=0
+complain() {
+  echo "metrics_lint: $*" >&2
+  fail=1
+}
+
+# --- Structural pass: every line is a comment, blank, or a sample ----
+# Sample grammar (one line):
+#   name{labels} value [timestamp] [# {trace_id="32hex"} value timestamp]
+# We keep the regex permissive about label contents (values may hold
+# almost anything between quotes) and strict about the exemplar tail.
+NAME='[a-zA-Z_:][a-zA-Z0-9_:]*'
+# Label values are quoted and may themselves contain braces (route
+# patterns like "/v1/sessions/{id}"), so the body is a sequence of
+# quoted strings and non-brace filler rather than a naive [^}]*.
+LABELS='(\{([^"{}]|"[^"]*")*\})?'
+NUM='-?[0-9.eE+-]+|NaN|[+-]?Inf'
+EXEMPLAR='( # \{trace_id="[0-9a-f]{32}"\} ('"$NUM"')( [0-9.]+)?)?'
+SAMPLE="^${NAME}${LABELS} (${NUM})( [0-9]+)?${EXEMPLAR}\$"
+
+bad=$(grep -vE "^#|^$" "$EXPO" | grep -nEv "$SAMPLE" || true)
+if [ -n "$bad" ]; then
+  complain "unparseable sample lines:"$'\n'"$bad"
+fi
+
+# --- Naming pass: families are resil_-prefixed, counters are _total --
+# Family names come from TYPE comments, which also gives us the
+# per-family kind for the checks below.
+TYPES=$(grep -E '^# TYPE ' "$EXPO" | awk '{print $3, $4}')
+if [ -z "$TYPES" ]; then
+  complain "no # TYPE comments found"
+fi
+
+while read -r family kind; do
+  [ -n "$family" ] || continue
+  case "$family" in
+    resil_*) ;;
+    *) complain "family $family missing resil_ prefix" ;;
+  esac
+  if ! grep -qE "^# HELP $family " "$EXPO"; then
+    complain "family $family has # TYPE but no # HELP"
+  fi
+  case "$kind" in
+    counter)
+      case "$family" in
+        *_total) ;;
+        *) complain "counter $family must end in _total" ;;
+      esac
+      ;;
+    histogram)
+      grep -qE "^${family}_bucket\{" "$EXPO" || complain "histogram $family has no _bucket samples"
+      grep -qE "^${family}_sum" "$EXPO"     || complain "histogram $family has no _sum sample"
+      grep -qE "^${family}_count" "$EXPO"   || complain "histogram $family has no _count sample"
+      grep -qE "^${family}_bucket\{[^}]*le=\"\+Inf\"" "$EXPO" || complain "histogram $family missing +Inf bucket"
+      ;;
+    gauge) ;;
+    *) complain "family $family has unknown type $kind" ;;
+  esac
+done <<< "$TYPES"
+
+# Every sample must belong to a declared family (histogram samples match
+# via their _bucket/_sum/_count suffixes).
+while read -r name; do
+  base="$name"
+  case "$name" in
+    *_bucket) base="${name%_bucket}" ;;
+    *_sum)    base="${name%_sum}" ;;
+    *_count)  base="${name%_count}" ;;
+  esac
+  if ! grep -qE "^# TYPE ($name|$base) " "$EXPO"; then
+    complain "sample $name has no # TYPE declaration"
+  fi
+done < <(grep -vE "^#|^$" "$EXPO" | sed -E 's/[{ ].*//' | sort -u)
+
+# --- Exemplar pass: only on bucket lines ----------------------------
+bad=$(grep -nE ' # \{' "$EXPO" | grep -vE '^[0-9]+:[a-zA-Z_:][a-zA-Z0-9_:]*_bucket\{' || true)
+if [ -n "$bad" ]; then
+  complain "exemplars outside histogram bucket lines:"$'\n'"$bad"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
+samples=$(grep -cvE "^#|^$" "$EXPO")
+exemplars=$(grep -cE ' # \{trace_id=' "$EXPO" || true)
+echo "metrics_lint: ok ($samples samples, $exemplars exemplars)"

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Observability smoke: boot a durable server with an SLO configured,
+# push mixed traffic through it, and assert the tracing/metrics surface
+# actually works end to end — traces are retained and queryable with
+# intact span trees, /metrics parses under scripts/metrics_lint.sh
+# including at least one histogram exemplar, and /v1/stats reports the
+# SLO window. This is the black-box counterpart to the unit tests in
+# internal/telemetry and internal/server: it would catch a middleware
+# ordering bug or a dead trace store that every in-process test misses.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${RESIL_OBS_PORT:-18125}"
+BASE="http://localhost:${PORT}"
+WORK="${RESIL_OBS_DIR:-$(mktemp -d)}"
+DURATION="${LOADGEN_DURATION:-5s}"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> building resil-server and resil"
+go build -o "$WORK/resil-server" ./cmd/resil-server
+go build -o "$WORK/resil" ./cmd/resil
+
+echo "==> starting durable server on :$PORT with -slo-p99 2 -slo-error-rate 0.01"
+"$WORK/resil-server" -addr ":$PORT" -data-dir "$WORK/data" -wal-sync interval \
+  -slo-p99 2 -slo-error-rate 0.01 \
+  >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+  if curl -sf "$BASE/readyz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "$BASE/readyz" >/dev/null || { echo "obs_smoke: server never became ready" >&2; cat "$WORK/server.log" >&2; exit 1; }
+
+echo "==> loadgen: $DURATION of mixed traffic"
+"$WORK/resil" loadgen -server "$BASE" -duration "$DURATION" -concurrency 4 \
+  -json >"$WORK/loadgen.json"
+
+echo "==> asserting /debug/traces is non-empty and span trees resolve"
+count=$(curl -sf "$BASE/debug/traces?limit=5" | python3 -c 'import json,sys; print(json.load(sys.stdin)["count"])')
+if [ "$count" -lt 1 ]; then
+  echo "obs_smoke: /debug/traces returned no traces after loadgen" >&2
+  exit 1
+fi
+tid=$(curl -sf "$BASE/debug/traces?limit=1" | python3 -c 'import json,sys; print(json.load(sys.stdin)["traces"][0]["trace_id"])')
+spans=$(curl -sf "$BASE/debug/traces/$tid" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["spans"]))')
+if [ "$spans" -lt 1 ]; then
+  echo "obs_smoke: trace $tid has no spans" >&2
+  exit 1
+fi
+echo "    $count traces retained; trace $tid has $spans root span(s)"
+
+echo "==> asserting loadgen -json carried server trace IDs for its slowest requests"
+python3 - "$WORK/loadgen.json" <<'EOF'
+import json, re, sys
+rep = json.load(open(sys.argv[1]))
+slow = rep.get("slowest_requests") or []
+if not slow:
+    sys.exit("obs_smoke: loadgen report has no slowest_requests")
+for s in slow:
+    if not re.fullmatch(r"[0-9a-f]{32}", s.get("trace_id", "")):
+        sys.exit(f"obs_smoke: bad trace_id in slowest_requests: {s!r}")
+buckets = [op for op in rep["per_op"].values() if op.get("buckets")]
+if not buckets:
+    sys.exit("obs_smoke: loadgen report has no per-op histogram buckets")
+print(f"    {len(slow)} slowest requests with trace IDs; buckets on {len(buckets)} ops")
+EOF
+
+echo "==> linting /metrics (conventions + exemplar syntax)"
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
+bash scripts/metrics_lint.sh "$WORK/metrics.txt"
+
+if ! grep -qE ' # \{trace_id="[0-9a-f]{32}"\}' "$WORK/metrics.txt"; then
+  echo "obs_smoke: /metrics has no histogram exemplars after loadgen" >&2
+  exit 1
+fi
+
+echo "==> asserting /v1/stats reports the SLO window and exemplars"
+curl -sf "$BASE/v1/stats" >"$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+slo = st["slo"]
+assert slo["enabled"], "slo not enabled despite -slo-p99"
+assert slo["requests"] > 0, "slo window saw no requests"
+assert st["traces"]["retained"] > 0, "stats reports no retained traces"
+assert any(st["exemplars"].values()), "stats reports no exemplars"
+assert "durable" in st, "stats missing durable family"
+print("    slo window: %d reqs, p99 %.1fms, budget %.2f"
+      % (slo["requests"], slo["p99_seconds"] * 1000, slo["budget_remaining"]))
+EOF
+
+echo "==> resil top -once renders against the live server"
+"$WORK/resil" top -once -server "$BASE" >/dev/null
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "obs_smoke: OK"
