@@ -79,20 +79,28 @@ obs-smoke:
 	bash scripts/obs_smoke.sh
 
 # Reproducible fit-pipeline benchmark: runs BenchmarkFit across every
-# model family and writes ns/op, evals/op, and iters/op per family to
+# model family plus BenchmarkStreamRefit (the warm-polish streaming hot
+# path) and writes ns/op, evals/op, and iters/op per benchmark to
 # BENCH_fit.json, the machine-readable perf baseline future PRs diff
 # against. -benchtime=50x pins the iteration count so runs are
 # comparable; raw output still streams to the terminal.
+BENCH_RE = ^BenchmarkFit$$|^BenchmarkStreamRefit$$
+BENCH_PKGS = ./internal/core/ ./internal/monitor/
+
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchtime=50x -benchmem ./internal/core/ \
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchtime=50x -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchfmt -out BENCH_fit.json
 
-# Runs the same benchmark and prints per-family ns/op and allocs/op
-# deltas against the committed BENCH_fit.json instead of overwriting it.
-# Use this before refreshing the baseline to see what a change did.
+# Runs the same benchmarks and prints per-benchmark ns/op, evals/op, and
+# allocs/op deltas against the committed BENCH_fit.json instead of
+# overwriting it, writing the table to BENCH_compare.txt as well. Fails
+# if any benchmark's evals/op — the machine-independent optimizer-cost
+# metric — regressed more than 10% against the baseline; this is the CI
+# perf gate. Use it before refreshing the baseline to see what a change
+# did.
 bench-compare:
-	$(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchtime=50x -benchmem ./internal/core/ \
-		| $(GO) run ./cmd/benchfmt -baseline BENCH_fit.json
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchtime=50x -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchfmt -baseline BENCH_fit.json -gate-evals 10 -compare-out BENCH_compare.txt
 
 # Regenerates every paper table and figure with cost measurement.
 bench-all:

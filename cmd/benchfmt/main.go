@@ -14,15 +14,20 @@
 //
 // With -baseline, instead of (or in addition to) writing JSON it loads a
 // previously written report and prints a per-benchmark comparison of
-// ns/op and allocs/op against the fresh run, flagging results that exist
-// on only one side. Wall-clock deltas are only meaningful on the same
-// machine class as the baseline (the report records CPU count for that
-// reason); allocs/op deltas are machine-independent.
+// ns/op, evals/op, and allocs/op against the fresh run, flagging results
+// that exist on only one side. Wall-clock deltas are only meaningful on
+// the same machine class as the baseline (the report records CPU count
+// for that reason); evals/op and allocs/op deltas are
+// machine-independent. -compare-out writes the same comparison to a
+// file (BENCH_compare.txt in the Makefile), and -gate-evals N makes the
+// exit status fail when any matched benchmark's evals/op regressed more
+// than N percent — the CI perf gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -77,6 +82,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchfmt", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
 	baseline := fs.String("baseline", "", "baseline JSON report to compare the fresh run against")
+	compareOut := fs.String("compare-out", "", "also write the -baseline comparison to this file")
+	gateEvals := fs.Float64("gate-evals", 0, "fail if any benchmark's evals/op regresses more than this percentage against the baseline (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,8 +128,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *baseline != "" {
-		if err := compare(stdout, *baseline, rep); err != nil {
+		var buf strings.Builder
+		gateErr := compare(&buf, *baseline, rep, *gateEvals)
+		if gateErr != nil && !errors.Is(gateErr, errGate) {
+			return gateErr
+		}
+		if _, err := io.WriteString(stdout, buf.String()); err != nil {
 			return err
+		}
+		if *compareOut != "" {
+			if err := os.WriteFile(*compareOut, []byte(buf.String()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "benchfmt: wrote comparison to %s\n", *compareOut)
+		}
+		if gateErr != nil {
+			return gateErr
 		}
 	}
 
@@ -148,9 +169,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// errGate marks a comparison that completed but tripped the -gate-evals
+// regression threshold; the table is still written before it propagates.
+var errGate = errors.New("benchfmt: evals/op regression gate tripped")
+
 // compare prints a per-benchmark delta table of the fresh run against the
-// baseline report stored at path.
-func compare(w io.Writer, path string, fresh report) error {
+// baseline report stored at path. With gatePct > 0 it returns errGate
+// (after writing the full table) if any matched benchmark's evals/op —
+// the machine-independent optimizer-cost metric — regressed by more than
+// gatePct percent.
+func compare(w io.Writer, path string, fresh report, gatePct float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -170,31 +198,119 @@ func compare(w io.Writer, path string, fresh report) error {
 	}
 	fmt.Fprintf(w, "; this run: %s %s/%s, %d CPUs)\n", fresh.Go, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
 	if base.GOARCH != fresh.GOARCH || (base.CPUs > 0 && base.CPUs != fresh.CPUs) {
-		fmt.Fprintln(w, "benchfmt: WARNING: machine class differs from baseline; ns/op deltas are not comparable (allocs/op still are)")
+		fmt.Fprintln(w, "benchfmt: WARNING: machine class differs from baseline; ns/op deltas are not comparable (evals/op and allocs/op still are)")
 	}
 
+	var regressions []string
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tns/op old\tns/op new\tdelta\tallocs/op old\tallocs/op new\tdelta")
+	fmt.Fprintln(tw, "benchmark\tns/op old\tns/op new\tdelta\tevals/op old\tevals/op new\tdelta\tallocs/op old\tallocs/op new\tdelta")
 	seen := make(map[string]bool, len(fresh.Benchmarks))
 	for _, f := range fresh.Benchmarks {
 		seen[f.Name] = true
 		b, ok := byName[f.Name]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%s\tnew\n", f.Name, f.NsPerOp, fmtMetric(f.Metrics, "allocs/op"))
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%s\tnew\t-\t%s\tnew\n",
+				f.Name, f.NsPerOp, fmtMetric(f.Metrics, "evals/op"), fmtMetric(f.Metrics, "allocs/op"))
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			f.Name,
 			b.NsPerOp, f.NsPerOp, delta(b.NsPerOp, f.NsPerOp),
+			fmtMetric(b.Metrics, "evals/op"), fmtMetric(f.Metrics, "evals/op"),
+			metricDelta(b.Metrics, f.Metrics, "evals/op"),
 			fmtMetric(b.Metrics, "allocs/op"), fmtMetric(f.Metrics, "allocs/op"),
 			metricDelta(b.Metrics, f.Metrics, "allocs/op"))
+		if gatePct > 0 {
+			ov, ook := b.Metrics["evals/op"]
+			nv, nok := f.Metrics["evals/op"]
+			if ook && nok && ov > 0 && (nv-ov)/ov*100 > gatePct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: evals/op %s -> %s (%+.1f%%, gate %.0f%%)",
+						f.Name, fmtFloat(ov), fmtFloat(nv), (nv-ov)/ov*100, gatePct))
+			}
+		}
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(tw, "%s\t%.0f\t-\tgone\t%s\t-\tgone\n", b.Name, b.NsPerOp, fmtMetric(b.Metrics, "allocs/op"))
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tgone\t%s\t-\tgone\t%s\t-\tgone\n",
+				b.Name, b.NsPerOp, fmtMetric(b.Metrics, "evals/op"), fmtMetric(b.Metrics, "allocs/op"))
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	streamSummary(w, base, fresh)
+
+	if len(regressions) > 0 {
+		fmt.Fprintln(w)
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%w: %d benchmark(s) regressed", errGate, len(regressions))
+	}
+	return nil
+}
+
+// streamSummary documents the streaming hot path. Before warm-started
+// polishes existed, every per-point refit of a streaming session cost a
+// full multistart fit — exactly what the baseline's Fit/<model> entry
+// records — so the honest per-point reduction is warm polish now vs
+// baseline full fit, with the same-run full-chain cost alongside for
+// scale. Printed only when the fresh run contains StreamRefit results.
+func streamSummary(w io.Writer, base, fresh report) {
+	freshByName := make(map[string]result, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		freshByName[r.Name] = r
+	}
+	baseByName := make(map[string]result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	var lines []string
+	for _, f := range fresh.Benchmarks {
+		model, ok := strings.CutPrefix(f.Name, "StreamRefit/")
+		if !ok {
+			continue
+		}
+		model, ok = strings.CutSuffix(model, "/warm")
+		if !ok {
+			continue
+		}
+		warm, wok := f.Metrics["evals/op"]
+		if !wok || warm <= 0 {
+			continue
+		}
+		line := fmt.Sprintf("  %s: %s evals/op warm", model, fmtFloat(warm))
+		if full, ok := freshByName["StreamRefit/"+model+"/full"].Metrics["evals/op"]; ok && full > 0 {
+			line += fmt.Sprintf(" vs %s full chain (%.1fx fewer)", fmtFloat(full), full/warm)
+		}
+		// Prefer the baseline's own streaming numbers once it has them; a
+		// pre-streaming baseline still records what each per-point refit
+		// used to cost as its full-fit entry.
+		if old, ok := baseByName["StreamRefit/"+model+"/warm"].Metrics["evals/op"]; ok && old > 0 {
+			line += fmt.Sprintf(" vs %s baseline warm (%.1fx fewer)", fmtFloat(old), old/warm)
+		} else if old, ok := baseByName["Fit/"+model].Metrics["evals/op"]; ok && old > 0 {
+			line += fmt.Sprintf(" vs %s baseline per-point full fit (%.1fx fewer)", fmtFloat(old), old/warm)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "streaming per-point refit (evals/op):")
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// fmtFloat renders a metric value compactly.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
 }
 
 // delta formats the relative change from old to new, with the improvement

@@ -38,6 +38,10 @@ type topStats struct {
 		Subscribers        float64 `json:"subscribers"`
 		DroppedSubscribers uint64  `json:"dropped_subscribers"`
 		RefitP99Ms         float64 `json:"refit_p99_ms"`
+		RefitsWarm         uint64  `json:"refits_warm"`
+		RefitsFull         uint64  `json:"refits_full"`
+		RefitEvalsP50      float64 `json:"refit_evals_p50"`
+		RefitEvalsP99      float64 `json:"refit_evals_p99"`
 	} `json:"stream"`
 	Durable struct {
 		RecordsWritten uint64  `json:"records_written"`
@@ -190,6 +194,16 @@ func renderTop(b *strings.Builder, base string, st, prev *topStats, elapsed time
 	fmt.Fprintf(b, "stream   sessions %.0f  observations %d  subscribers %.0f (dropped %d)  refit p99 %.1fms\n",
 		st.Stream.Sessions, st.Stream.Observations,
 		st.Stream.Subscribers, st.Stream.DroppedSubscribers, st.Stream.RefitP99Ms)
+	if warm, full := st.Stream.RefitsWarm, st.Stream.RefitsFull; warm+full > 0 {
+		// The warm share is the streaming hot path's health: near 100%
+		// means almost every per-point refit rode the cheap warm-started
+		// polish; a falling share means curves are shifting faster than
+		// the previous optimum can describe and refits are escalating to
+		// the full multistart chain.
+		fmt.Fprintf(b, "refits   warm %d (%.0f%%)  full %d  evals p50 %.0f  p99 %.0f\n",
+			warm, float64(warm)/float64(warm+full)*100, full,
+			st.Stream.RefitEvalsP50, st.Stream.RefitEvalsP99)
+	}
 	if st.Durable.RecordsWritten > 0 || st.Durable.WALRecords > 0 {
 		fmt.Fprintf(b, "durable  wal records %.0f  dir %s  written %d  fsync p99 %.2fms\n",
 			st.Durable.WALRecords, formatBytes(st.Durable.WALDirBytes),

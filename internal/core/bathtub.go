@@ -23,6 +23,7 @@ var (
 	_ AreaModel     = QuadraticModel{}
 	_ RecoveryModel = QuadraticModel{}
 	_ MinimumModel  = QuadraticModel{}
+	_ JacobianModel = QuadraticModel{}
 )
 
 // Name returns "quadratic".
@@ -92,6 +93,17 @@ func (QuadraticModel) Eval(params []float64, t float64) float64 {
 	return params[0] + params[1]*t + params[2]*t*t
 }
 
+// HasAnalyticJacobian reports true: the gradient is exact.
+func (QuadraticModel) HasAnalyticJacobian() bool { return true }
+
+// EvalGrad fills ∂P/∂(α, β, γ) = (1, t, t²): the model is linear in its
+// parameters, so one LM iteration solves it exactly.
+func (QuadraticModel) EvalGrad(_ []float64, t float64, grad []float64) {
+	grad[0] = 1
+	grad[1] = t
+	grad[2] = t * t
+}
+
 // Area returns the closed-form Eq. (3): ∫ P dt = αt + βt²/2 + γt³/3
 // evaluated over [t0, t1].
 func (m QuadraticModel) Area(params []float64, t0, t1 float64) (float64, error) {
@@ -142,6 +154,7 @@ var (
 	_ AreaModel     = CompetingRisksModel{}
 	_ RecoveryModel = CompetingRisksModel{}
 	_ MinimumModel  = CompetingRisksModel{}
+	_ JacobianModel = CompetingRisksModel{}
 )
 
 // Name returns "competing-risks".
@@ -212,6 +225,17 @@ func (m CompetingRisksModel) Validate(params []float64) error {
 // Eval returns 2γt + α/(1+βt).
 func (CompetingRisksModel) Eval(params []float64, t float64) float64 {
 	return 2*params[2]*t + params[0]/(1+params[1]*t)
+}
+
+// HasAnalyticJacobian reports true: the gradient is exact.
+func (CompetingRisksModel) HasAnalyticJacobian() bool { return true }
+
+// EvalGrad fills ∂P/∂(α, β, γ) = (1/(1+βt), −αt/(1+βt)², 2t).
+func (CompetingRisksModel) EvalGrad(params []float64, t float64, grad []float64) {
+	d := 1 + params[1]*t
+	grad[0] = 1 / d
+	grad[1] = -params[0] * t / (d * d)
+	grad[2] = 2 * t
 }
 
 // Area returns the closed-form Eq. (6): ∫ P dt = γt² + α·ln(1+βt)/β

@@ -31,10 +31,23 @@ type CDFFamily interface {
 	ParamBounds() (lo, hi []float64)
 }
 
+// GradCDFFamily is implemented by CDF families with closed-form
+// parameter gradients ∂F/∂θ, which mixture models compose into a full
+// analytic Jacobian. GammaFamily stays on the numerical fallback (its
+// gradient needs the digamma-weighted incomplete-gamma derivative); every
+// other built-in family implements it.
+type GradCDFFamily interface {
+	CDFFamily
+	// DCDF fills grad (length NumParams) with ∂F(t; θ)/∂θ. Like CDF, it
+	// treats t <= 0 as the pre-disruption region: F ≡ 0 there, so the
+	// gradient is identically zero.
+	DCDF(params []float64, t float64, grad []float64)
+}
+
 // ExpFamily is the exponential CDF family F(t) = 1 − e^{−λt}.
 type ExpFamily struct{}
 
-var _ CDFFamily = ExpFamily{}
+var _ GradCDFFamily = ExpFamily{}
 
 // Name returns "exp".
 func (ExpFamily) Name() string { return "exp" }
@@ -51,6 +64,15 @@ func (ExpFamily) CDF(params []float64, t float64) float64 {
 		return 0
 	}
 	return -math.Expm1(-params[0] * t)
+}
+
+// DCDF fills ∂F/∂λ = t·e^{−λt}.
+func (ExpFamily) DCDF(params []float64, t float64, grad []float64) {
+	if t <= 0 {
+		grad[0] = 0
+		return
+	}
+	grad[0] = t * math.Exp(-params[0]*t)
 }
 
 // Validate requires λ > 0.
@@ -90,7 +112,7 @@ func (f ExpFamily) Dist(params []float64) (stat.Distribution, error) {
 // Eq. (23), parameterized as [shape k, scale λ].
 type WeibullFamily struct{}
 
-var _ CDFFamily = WeibullFamily{}
+var _ GradCDFFamily = WeibullFamily{}
 
 // Name returns "weibull".
 func (WeibullFamily) Name() string { return "weibull" }
@@ -107,6 +129,27 @@ func (WeibullFamily) CDF(params []float64, t float64) float64 {
 		return 0
 	}
 	return -math.Expm1(-math.Pow(t/params[1], params[0]))
+}
+
+// DCDF fills the gradient of 1 − e^{−u} with u = (t/λ)^k:
+//
+//	∂F/∂k = e^{−u}·u·ln(t/λ),   ∂F/∂λ = −e^{−u}·u·k/λ.
+//
+// When u overflows (deep in the saturated F ≈ 1 tail), e^{−u} underflows
+// to zero faster than u grows, so both components are exactly zero.
+func (WeibullFamily) DCDF(params []float64, t float64, grad []float64) {
+	grad[0], grad[1] = 0, 0
+	if t <= 0 {
+		return
+	}
+	k, lambda := params[0], params[1]
+	u := math.Pow(t/lambda, k)
+	if math.IsInf(u, 1) {
+		return
+	}
+	s := u * math.Exp(-u)
+	grad[0] = s * math.Log(t/lambda)
+	grad[1] = -s * k / lambda
 }
 
 // Validate requires k, λ > 0.
@@ -200,7 +243,7 @@ func (GammaFamily) ParamBounds() (lo, hi []float64) {
 // paper's menu, parameterized as [μ, σ].
 type LogNormalFamily struct{}
 
-var _ CDFFamily = LogNormalFamily{}
+var _ GradCDFFamily = LogNormalFamily{}
 
 // Name returns "lognormal".
 func (LogNormalFamily) Name() string { return "lognormal" }
@@ -221,6 +264,23 @@ func (LogNormalFamily) CDF(params []float64, t float64) float64 {
 		return math.NaN()
 	}
 	return d.CDF(t)
+}
+
+// DCDF fills the gradient of Φ(z) with z = (ln t − μ)/σ:
+//
+//	∂F/∂μ = −φ(z)/σ,   ∂F/∂σ = −φ(z)·z/σ,
+//
+// where φ is the standard normal density.
+func (LogNormalFamily) DCDF(params []float64, t float64, grad []float64) {
+	grad[0], grad[1] = 0, 0
+	if t <= 0 {
+		return
+	}
+	mu, sigma := params[0], params[1]
+	z := (math.Log(t) - mu) / sigma
+	phi := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+	grad[0] = -phi / sigma
+	grad[1] = -phi * z / sigma
 }
 
 // Validate requires finite μ and σ > 0.
@@ -255,7 +315,7 @@ func (LogNormalFamily) ParamBounds() (lo, hi []float64) {
 // Weibull's, suiting recovery processes with a sharp adoption phase.
 type LogLogisticFamily struct{}
 
-var _ CDFFamily = LogLogisticFamily{}
+var _ GradCDFFamily = LogLogisticFamily{}
 
 // Name returns "loglogistic".
 func (LogLogisticFamily) Name() string { return "loglogistic" }
@@ -273,6 +333,28 @@ func (LogLogisticFamily) CDF(params []float64, t float64) float64 {
 	}
 	r := math.Pow(t/params[1], params[0])
 	return r / (1 + r)
+}
+
+// DCDF fills the gradient of r/(1+r) with r = (t/α)^β:
+//
+//	∂F/∂β = r·ln(t/α)/(1+r)²,   ∂F/∂α = −β·r/(α·(1+r)²).
+//
+// When r overflows, 1/(1+r)² decays faster than r grows and both
+// components are zero (the saturated tail again).
+func (LogLogisticFamily) DCDF(params []float64, t float64, grad []float64) {
+	grad[0], grad[1] = 0, 0
+	if t <= 0 {
+		return
+	}
+	beta, alpha := params[0], params[1]
+	r := math.Pow(t/alpha, beta)
+	if math.IsInf(r, 1) {
+		return
+	}
+	d := 1 + r
+	s := r / (d * d)
+	grad[0] = s * math.Log(t/alpha)
+	grad[1] = -s * beta / alpha
 }
 
 // Validate requires β, α > 0.
@@ -314,7 +396,7 @@ func (f LogLogisticFamily) Dist(params []float64) (stat.Distribution, error) {
 // an extension with an exponentially accelerating hazard.
 type GompertzFamily struct{}
 
-var _ CDFFamily = GompertzFamily{}
+var _ GradCDFFamily = GompertzFamily{}
 
 // Name returns "gompertz".
 func (GompertzFamily) Name() string { return "gompertz" }
@@ -331,6 +413,26 @@ func (GompertzFamily) CDF(params []float64, t float64) float64 {
 		return 0
 	}
 	return -math.Expm1(-params[0] * math.Expm1(params[1]*t))
+}
+
+// DCDF fills the gradient of 1 − e^{−η·g} with g = e^{bt} − 1:
+//
+//	∂F/∂η = g·e^{−η·g},   ∂F/∂b = η·t·e^{bt − η·g}.
+//
+// ∂F/∂b is computed with the exponents combined so the saturated tail
+// (η·g ≫ bt) underflows cleanly to zero instead of producing 0·∞.
+func (GompertzFamily) DCDF(params []float64, t float64, grad []float64) {
+	grad[0], grad[1] = 0, 0
+	if t <= 0 {
+		return
+	}
+	eta, b := params[0], params[1]
+	g := math.Expm1(b * t)
+	if math.IsInf(g, 1) {
+		return
+	}
+	grad[0] = g * math.Exp(-eta*g)
+	grad[1] = eta * t * math.Exp(b*t-eta*g)
 }
 
 // Validate requires η, b > 0.

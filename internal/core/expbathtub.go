@@ -22,8 +22,9 @@ import (
 type ExpBathtubModel struct{}
 
 var (
-	_ AreaModel    = ExpBathtubModel{}
-	_ MinimumModel = ExpBathtubModel{}
+	_ AreaModel     = ExpBathtubModel{}
+	_ MinimumModel  = ExpBathtubModel{}
+	_ JacobianModel = ExpBathtubModel{}
 )
 
 // Name returns "exp-bathtub".
@@ -93,6 +94,19 @@ func (m ExpBathtubModel) Validate(params []float64) error {
 // Eval returns α·e^{−βt} + γ·(e^{δt} − 1).
 func (ExpBathtubModel) Eval(params []float64, t float64) float64 {
 	return params[0]*math.Exp(-params[1]*t) + params[2]*math.Expm1(params[3]*t)
+}
+
+// HasAnalyticJacobian reports true: the gradient is exact.
+func (ExpBathtubModel) HasAnalyticJacobian() bool { return true }
+
+// EvalGrad fills ∂P/∂(α, β, γ, δ) =
+// (e^{−βt}, −αt·e^{−βt}, e^{δt} − 1, γt·e^{δt}).
+func (ExpBathtubModel) EvalGrad(params []float64, t float64, grad []float64) {
+	decay := math.Exp(-params[1] * t)
+	grad[0] = decay
+	grad[1] = -params[0] * t * decay
+	grad[2] = math.Expm1(params[3] * t)
+	grad[3] = params[2] * t * math.Exp(params[3]*t)
 }
 
 // Area integrates the curve in closed form:

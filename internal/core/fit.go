@@ -53,6 +53,10 @@ type FitResult struct {
 	SSE float64
 	// Evals counts objective evaluations spent by the optimizer.
 	Evals int
+	// JacEvals counts analytic Jacobian fills spent by the optimizer
+	// (zero on the derivative-free and numerical-difference paths, whose
+	// cost shows up in Evals instead).
+	JacEvals int
 	// Iterations counts major optimizer iterations across all starts.
 	Iterations int
 }
@@ -135,33 +139,38 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 	}
 	// The optimize.Residual contract allows reusing the output buffer
 	// between calls (the solvers copy what they retain), so one scratch
-	// slice serves every polish-phase evaluation. The polish runs on a
-	// single goroutine after the multistart workers have joined, so the
-	// shared scratch is never written concurrently.
-	rScratch := make([]float64, len(times))
-	residual := func(params []float64) ([]float64, error) {
-		if err := m.Validate(params); err != nil {
-			return nil, err
+	// slice serves a whole solve's residual evaluations. The factory
+	// hands each concurrent LM-first worker its own scratch; the winner
+	// polish reuses the top-level instance on the calling goroutine.
+	makeResidual := func() optimize.Residual {
+		rScratch := make([]float64, len(times))
+		return func(params []float64) ([]float64, error) {
+			if err := m.Validate(params); err != nil {
+				return nil, err
+			}
+			for i, t := range times {
+				rScratch[i] = m.Eval(params, t) - values[i]
+			}
+			if !numeric.AllFinite(rScratch) {
+				return nil, fmt.Errorf("%w: non-finite residual", ErrBadParams)
+			}
+			return rScratch, nil
 		}
-		for i, t := range times {
-			rScratch[i] = m.Eval(params, t) - values[i]
-		}
-		if !numeric.AllFinite(rScratch) {
-			return nil, fmt.Errorf("%w: non-finite residual", ErrBadParams)
-		}
-		return rScratch, nil
 	}
+	residual := makeResidual()
 
 	guess := cfg.InitialParams
 	if len(guess) != m.NumParams() {
 		guess = m.Guess(data)
 	}
 	res, err := optimize.MultiStartCtx(ctx, objective, residual, guess, optimize.MultiStartConfig{
-		Starts:  cfg.Starts,
-		Bounds:  m.Bounds(),
-		Local:   cfg.Local,
-		Polish:  !cfg.SkipPolish,
-		Workers: cfg.Workers,
+		Starts:          cfg.Starts,
+		Bounds:          m.Bounds(),
+		Local:           cfg.Local,
+		Polish:          !cfg.SkipPolish,
+		Workers:         cfg.Workers,
+		Jacobian:        analyticJacobian(m, times),
+		ResidualFactory: makeResidual,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fit %s: %w", nameOf(m), err)
@@ -181,6 +190,186 @@ func FitCtx(ctx context.Context, m Model, data *timeseries.Series, cfg FitConfig
 		// would spend one full SSE pass per fit and skew the eval count.
 		SSE:        res.F,
 		Evals:      res.FuncEvals,
+		JacEvals:   res.JacEvals,
+		Iterations: res.Iterations,
+	}, nil
+}
+
+// analyticJacobian builds the least-squares Jacobian filler for a model
+// with closed-form gradients: row i is ∂rᵢ/∂θ = ∂P(tᵢ; θ)/∂θ, since the
+// residual is P(tᵢ) − R(tᵢ) and the data term is constant. It returns
+// nil when the model (or any mixture component) lacks exact gradients,
+// which keeps the optimizer on its numerical-difference fallback. The
+// returned function is pure over the captured times and per-call scratch,
+// so concurrent multistart workers may share it.
+func analyticJacobian(m Model, times []float64) optimize.JacobianFunc {
+	jm, ok := m.(JacobianModel)
+	if !ok || !jm.HasAnalyticJacobian() {
+		return nil
+	}
+	return func(x []float64, jac [][]float64) error {
+		if err := jm.Validate(x); err != nil {
+			return err
+		}
+		for i, t := range times {
+			jm.EvalGrad(x, t, jac[i])
+		}
+		return nil
+	}
+}
+
+// PolishFailure reports a polish whose optimizer ran but produced no
+// acceptable fit (stalled, left the feasible region, or a non-finite
+// objective). Evals records the objective evaluations spent before the
+// failure, so callers escalating to a full fit can account for the
+// wasted work instead of silently dropping it from their cost metrics.
+type PolishFailure struct {
+	Err   error
+	Evals int
+}
+
+func (e *PolishFailure) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause (always ErrNoConvergence) to
+// errors.Is/As.
+func (e *PolishFailure) Unwrap() error { return e.Err }
+
+// Polish runs PolishCtx without a context.
+func Polish(m Model, data *timeseries.Series, start []float64, local optimize.Options) (*FitResult, error) {
+	return PolishCtx(context.Background(), m, data, start, local)
+}
+
+// PolishCtx runs a single warm-started Levenberg–Marquardt solve from
+// start — no multistart, no simplex — using the model's analytic
+// Jacobian when it has one. It is the cheap path for incremental refits:
+// when one new observation arrives, the previous optimum is a
+// near-perfect seed and a handful of gradient steps re-converge where a
+// full multistart would spend thousands of evaluations rediscovering the
+// same basin.
+//
+// The solve must end Converged, inside the model's bounds, with a finite
+// objective; anything else returns an error wrapping ErrNoConvergence so
+// callers (monitor.Tracker) know to escalate to the full multistart
+// chain. Panics are contained exactly as in FitCtx.
+func PolishCtx(ctx context.Context, m Model, data *timeseries.Series, start []float64, local optimize.Options) (result *FitResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("polish %s: %w", nameOf(m), &optimize.PanicError{Site: "core.polish", Value: r})
+		}
+	}()
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadData)
+	}
+	if data == nil || data.Len() < m.NumParams()+1 {
+		return nil, fmt.Errorf("%w: need more observations than parameters (%d) to fit %s",
+			ErrBadData, m.NumParams(), nameOf(m))
+	}
+	if err := m.Validate(start); err != nil {
+		return nil, fmt.Errorf("polish %s: bad start: %w", nameOf(m), err)
+	}
+	if cErr := ctx.Err(); cErr != nil {
+		return nil, fmt.Errorf("polish %s: %w", nameOf(m), cErr)
+	}
+
+	// Polishes record into the same per-family fit histograms as full
+	// fits: they are fits, just cheap ones, and the evals histogram is
+	// exactly where the warm-path saving should be visible.
+	fm := fitMetricsFor(m.Name())
+	traceID := telemetry.TraceID(ctx)
+	ctx, span := telemetry.StartSpanCtx(ctx, "polish."+m.Name())
+	defer func() {
+		if result != nil {
+			d := span.End(telemetry.Int("iterations", result.Iterations),
+				telemetry.Int("evals", result.Evals))
+			fm.duration.ObserveWithExemplar(d.Seconds(), traceID)
+			fm.iterations.Observe(float64(result.Iterations))
+			fm.evals.Observe(float64(result.Evals))
+		} else {
+			fm.duration.ObserveWithExemplar(span.EndStatus("no result").Seconds(), traceID)
+		}
+	}()
+
+	times := data.Times()
+	values := data.Values()
+	rScratch := make([]float64, len(times))
+	residual := func(params []float64) ([]float64, error) {
+		if err := m.Validate(params); err != nil {
+			return nil, err
+		}
+		for i, t := range times {
+			rScratch[i] = m.Eval(params, t) - values[i]
+		}
+		if !numeric.AllFinite(rScratch) {
+			return nil, fmt.Errorf("%w: non-finite residual", ErrBadParams)
+		}
+		return rScratch, nil
+	}
+
+	// The solve runs in the bounds-transform z-space, exactly like the
+	// multistart chain: iterates stay inside the search box by
+	// construction, so a warm start resting near a bound cannot stall by
+	// stepping outside the feasible region. The analytic Jacobian is
+	// chain-ruled through the transform with DecodeDerivInto.
+	bounds := m.Bounds()
+	xJac := analyticJacobian(m, times)
+	xbuf := make([]float64, bounds.Len())
+	dbuf := make([]float64, bounds.Len())
+	zres := func(z []float64) ([]float64, error) {
+		bounds.DecodeInto(xbuf, z)
+		return residual(xbuf)
+	}
+	var zjac optimize.JacobianFunc
+	if xJac != nil {
+		zjac = func(z []float64, jac [][]float64) error {
+			bounds.DecodeInto(xbuf, z)
+			if err := xJac(xbuf, jac); err != nil {
+				return err
+			}
+			bounds.DecodeDerivInto(dbuf, z)
+			for i := range jac {
+				row := jac[i]
+				for j := range row {
+					row[j] *= dbuf[j]
+				}
+			}
+			return nil
+		}
+	}
+	z0 := make([]float64, bounds.Len())
+	bounds.EncodeInto(z0, start)
+	res, err := optimize.LeastSquaresJacCtx(ctx, zres, zjac, z0, local)
+	if err != nil {
+		return nil, fmt.Errorf("polish %s: %w", nameOf(m), err)
+	}
+	res.X = bounds.Decode(res.X)
+	if res.Status != optimize.Converged {
+		return nil, &PolishFailure{Evals: res.FuncEvals,
+			Err: fmt.Errorf("polish %s: %w: %s", nameOf(m), ErrNoConvergence, res.Status)}
+	}
+	if err := m.Validate(res.X); err != nil {
+		return nil, &PolishFailure{Evals: res.FuncEvals,
+			Err: fmt.Errorf("polish %s: %w: left feasible region: %v", nameOf(m), ErrNoConvergence, err)}
+	}
+	if !m.Bounds().Contains(res.X) {
+		return nil, &PolishFailure{Evals: res.FuncEvals,
+			Err: fmt.Errorf("polish %s: %w: left search box", nameOf(m), ErrNoConvergence)}
+	}
+	// LM minimizes ½‖r‖²; doubling recovers the Eq. (9) SSE exactly
+	// (division and multiplication by two are lossless in binary floating
+	// point), keeping polished SSEs bit-comparable with FitCtx's.
+	sse := 2 * res.F
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return nil, &PolishFailure{Evals: res.FuncEvals,
+			Err: fmt.Errorf("polish %s: %w: objective non-finite at optimum", nameOf(m), ErrNoConvergence)}
+	}
+	return &FitResult{
+		Model:      m,
+		Params:     res.X,
+		Train:      data,
+		SSE:        sse,
+		Evals:      res.FuncEvals,
+		JacEvals:   res.JacEvals,
 		Iterations: res.Iterations,
 	}, nil
 }

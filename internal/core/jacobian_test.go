@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/numeric"
+	"resilience/internal/rng"
+)
+
+// gradCheckModels is every registered-family model shape that claims an
+// analytic Jacobian, plus trend and transition variants that exercise
+// each GradTrend and GradCDFFamily implementation at least once.
+func gradCheckModels(t *testing.T) []Model {
+	t.Helper()
+	models := []Model{QuadraticModel{}, CompetingRisksModel{}, ExpBathtubModel{}}
+	for _, m := range StandardMixtures() {
+		models = append(models, m)
+	}
+	extra := []struct {
+		f1, f2 CDFFamily
+		a2     Trend
+	}{
+		{LogNormalFamily{}, LogLogisticFamily{}, ConstTrend{}},
+		{GompertzFamily{}, LogNormalFamily{}, LinearTrend{}},
+		{LogLogisticFamily{}, GompertzFamily{}, ExpTrend{}},
+	}
+	for _, e := range extra {
+		mix, err := NewMixture(e.f1, e.f2, e.a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, mix)
+	}
+	return models
+}
+
+// randParams draws an in-bounds parameter vector, shrinking the box to
+// a moderate interior region so finite differences stay well
+// conditioned (the analytic path must agree with the numeric one where
+// the numeric one is trustworthy).
+func randParams(r *rng.RNG, m Model) []float64 {
+	b := m.Bounds()
+	p := make([]float64, b.Len())
+	for i := range p {
+		lo, hi := b.Lo[i], b.Hi[i]
+		if math.IsInf(lo, -1) {
+			lo = -3
+		}
+		if math.IsInf(hi, 1) {
+			hi = 3
+		}
+		// Sample the central region on a log-ish scale: parameter boxes
+		// here span many decades (1e-9..100) and uniform draws would
+		// almost always land at the top decade.
+		span := hi - lo
+		lo += 0.05 * span
+		hi -= 0.05 * span
+		u := r.Float64()
+		p[i] = lo + u*u*(hi-lo)
+	}
+	return p
+}
+
+// TestAnalyticJacobianMatchesNumeric is the table-driven gradient check
+// the analytic-Jacobian contract hangs on: for every model family
+// claiming HasAnalyticJacobian, EvalGrad must agree with a
+// forward-difference Jacobian of Eval to 1e-5 (absolute or relative) at
+// randomized in-bounds parameter vectors across the observation grid.
+func TestAnalyticJacobianMatchesNumeric(t *testing.T) {
+	times := make([]float64, 30)
+	for i := range times {
+		times[i] = float64(i) // includes the t=0 onset edge case
+	}
+	r := rng.New(0x6a61636f62)
+	for _, m := range gradCheckModels(t) {
+		jm, ok := m.(JacobianModel)
+		if !ok || !jm.HasAnalyticJacobian() {
+			t.Errorf("%s: expected an analytic Jacobian", m.Name())
+			continue
+		}
+		n := m.NumParams()
+		for trial := 0; trial < 25; trial++ {
+			params := randParams(r, m)
+			if m.Validate(params) != nil {
+				continue
+			}
+			// Residual over the grid (value part only; subtracting data
+			// does not change the Jacobian).
+			res := func(p []float64) ([]float64, error) {
+				if err := m.Validate(p); err != nil {
+					return nil, err
+				}
+				out := make([]float64, len(times))
+				for i, tt := range times {
+					out[i] = m.Eval(p, tt)
+				}
+				return out, nil
+			}
+			r0, err := res(params)
+			if err != nil {
+				continue
+			}
+			numJac := make([][]float64, len(times))
+			for i := range numJac {
+				numJac[i] = make([]float64, n)
+			}
+			if err := numeric.Jacobian(res, params, r0, numJac); err != nil {
+				continue
+			}
+			grad := make([]float64, n)
+			for i, tt := range times {
+				jm.EvalGrad(params, tt, grad)
+				for j := 0; j < n; j++ {
+					a, nd := grad[j], numJac[i][j]
+					diff := math.Abs(a - nd)
+					// The error scale includes |r_i|: a forward difference
+					// of a function of magnitude |f| carries round-off
+					// noise ~ ε|f|/h no matter how exact the analytic side
+					// is, so agreement is only meaningful relative to the
+					// larger of the derivative and the function value.
+					scale := math.Max(1, math.Max(math.Abs(a), math.Abs(nd)))
+					scale = math.Max(scale, math.Abs(r0[i]))
+					if diff/scale > 1e-5 {
+						t.Fatalf("%s trial %d: ∂P/∂θ[%d] at t=%g: analytic %g vs numeric %g (params %v)",
+							m.Name(), trial, j, tt, a, nd, params)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyticJacobianZeroOnOverflow pins the saturation contract: where
+// a CDF's internal power/exponential overflows (the curve is flat at 1),
+// DCDF must report exactly zero gradients rather than NaN/Inf, so the
+// optimizer sees a stalled direction instead of a poisoned matrix.
+func TestAnalyticJacobianZeroOnOverflow(t *testing.T) {
+	cases := []struct {
+		fam    GradCDFFamily
+		params []float64
+	}{
+		{WeibullFamily{}, []float64{1e-6, 20}}, // (t/λ)^k overflows for t ≫ λ
+		{LogLogisticFamily{}, []float64{1e-6, 30}},
+		{GompertzFamily{}, []float64{5, 10}}, // expm1(bt) overflows
+	}
+	for _, c := range cases {
+		grad := make([]float64, c.fam.NumParams())
+		c.fam.DCDF(c.params, 1e6, grad)
+		for j, g := range grad {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				t.Errorf("%s: grad[%d] = %g at saturated tail, want finite", c.fam.Name(), j, g)
+			}
+		}
+	}
+}

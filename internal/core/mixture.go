@@ -28,7 +28,10 @@ type MixtureModel struct {
 	a2 Trend
 }
 
-var _ Model = (*MixtureModel)(nil)
+var (
+	_ Model         = (*MixtureModel)(nil)
+	_ JacobianModel = (*MixtureModel)(nil)
+)
 
 // NewMixture builds the paper's mixture: a₁(t) = 1, with the given
 // degradation CDF F₁, recovery CDF F₂, and recovery transition a₂.
@@ -160,6 +163,64 @@ func (m *MixtureModel) Eval(params []float64, t float64) float64 {
 		p += m.a2.Eval(a2p, t) * f2
 	}
 	return p
+}
+
+// HasAnalyticJacobian reports whether every component — both CDF
+// families and both transition trends — provides closed-form gradients.
+// A mixture over, say, the gamma family answers false and the fitting
+// driver keeps it on the derivative-free path.
+func (m *MixtureModel) HasAnalyticJacobian() bool {
+	_, ok1 := m.f1.(GradCDFFamily)
+	_, ok2 := m.f2.(GradCDFFamily)
+	_, okA1 := m.a1.(GradTrend)
+	_, okA2 := m.a2.(GradTrend)
+	return ok1 && ok2 && okA1 && okA2
+}
+
+// EvalGrad fills the gradient of Eq. (7) by the product rule over the
+// component groups, mirroring Eval's zeroing of the recovery term where
+// F₂(t) = 0 so the Jacobian is exactly the derivative of the evaluated
+// curve (including at the onset point t = 0):
+//
+//	∂P/∂θ_{F₁} = −a₁(t)·∂F₁/∂θ,   ∂P/∂θ_{a₁} = (1 − F₁(t))·∂a₁/∂θ,
+//	∂P/∂θ_{F₂} =  a₂(t)·∂F₂/∂θ,   ∂P/∂θ_{a₂} = F₂(t)·∂a₂/∂θ.
+//
+// It panics unless HasAnalyticJacobian is true; the fitting driver
+// checks the capability before wiring the Jacobian.
+func (m *MixtureModel) EvalGrad(params []float64, t float64, grad []float64) {
+	f1p, f2p, a2p, a1p := m.split(params)
+	g1, g2, ga2, ga1 := m.split(grad)
+
+	a1v := m.a1.Eval(a1p, t)
+	m.f1.(GradCDFFamily).DCDF(f1p, t, g1)
+	for j := range g1 {
+		g1[j] *= -a1v
+	}
+	oneMinusF1 := 1 - m.f1.CDF(f1p, t)
+	m.a1.(GradTrend).DEval(a1p, t, ga1)
+	for j := range ga1 {
+		ga1[j] *= oneMinusF1
+	}
+
+	f2 := m.f2.CDF(f2p, t)
+	if f2 > 0 {
+		a2v := m.a2.Eval(a2p, t)
+		m.f2.(GradCDFFamily).DCDF(f2p, t, g2)
+		for j := range g2 {
+			g2[j] *= a2v
+		}
+		m.a2.(GradTrend).DEval(a2p, t, ga2)
+		for j := range ga2 {
+			ga2[j] *= f2
+		}
+	} else {
+		for j := range g2 {
+			g2[j] = 0
+		}
+		for j := range ga2 {
+			ga2[j] = 0
+		}
+	}
 }
 
 // standardTrend is the a₂ transition used throughout the paper's Table

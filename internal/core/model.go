@@ -72,6 +72,30 @@ type MinimumModel interface {
 	MinimumTime(params []float64) (float64, error)
 }
 
+// JacobianModel is implemented by models with closed-form parameter
+// gradients ∂P/∂θ. The fitting driver uses them to run analytic-Jacobian
+// Levenberg–Marquardt instead of derivative-free search — the difference
+// between tens and tens of thousands of evaluations per fit.
+type JacobianModel interface {
+	Model
+	// HasAnalyticJacobian reports whether EvalGrad is exact for this
+	// instance. Composite models (mixtures) answer per instance, since
+	// exactness depends on whether every component provides gradients.
+	HasAnalyticJacobian() bool
+	// EvalGrad fills grad (length NumParams) with ∂P(t; θ)/∂θ. Like
+	// Eval, behaviour is undefined when Validate fails; fitting code
+	// always validates first.
+	EvalGrad(params []float64, t float64, grad []float64)
+}
+
+// HasAnalyticJacobian reports whether m exposes exact closed-form
+// parameter gradients, unwrapping the per-instance answer composite
+// models give.
+func HasAnalyticJacobian(m Model) bool {
+	jm, ok := m.(JacobianModel)
+	return ok && jm.HasAnalyticJacobian()
+}
+
 // Sentinel errors shared across the core package.
 var (
 	// ErrBadParams indicates a parameter vector of the wrong length or

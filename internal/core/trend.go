@@ -21,11 +21,20 @@ type Trend interface {
 	ParamBounds() (lo, hi []float64)
 }
 
+// GradTrend is implemented by trends with closed-form parameter
+// gradients ∂a/∂θ, which mixture models compose into a full analytic
+// Jacobian. All built-in trends implement it.
+type GradTrend interface {
+	Trend
+	// DEval fills grad (length NumParams) with ∂a(t; θ)/∂θ.
+	DEval(params []float64, t float64, grad []float64)
+}
+
 // UnitTrend is the fixed a(t) = 1 used for the degradation transition
 // a₁(t) in the paper's experiments.
 type UnitTrend struct{}
 
-var _ Trend = UnitTrend{}
+var _ GradTrend = UnitTrend{}
 
 // Name returns "unit".
 func (UnitTrend) Name() string { return "unit" }
@@ -36,6 +45,9 @@ func (UnitTrend) NumParams() int { return 0 }
 // Eval returns 1 for every t.
 func (UnitTrend) Eval([]float64, float64) float64 { return 1 }
 
+// DEval is a no-op: the unit trend has no parameters.
+func (UnitTrend) DEval([]float64, float64, []float64) {}
+
 // GuessParam returns nil: the unit trend has no parameters.
 func (UnitTrend) GuessParam(_, _ float64) []float64 { return nil }
 
@@ -45,7 +57,7 @@ func (UnitTrend) ParamBounds() (lo, hi []float64) { return nil, nil }
 // ConstTrend is a(t) = β.
 type ConstTrend struct{}
 
-var _ Trend = ConstTrend{}
+var _ GradTrend = ConstTrend{}
 
 // Name returns "const".
 func (ConstTrend) Name() string { return "const" }
@@ -55,6 +67,9 @@ func (ConstTrend) NumParams() int { return 1 }
 
 // Eval returns β.
 func (ConstTrend) Eval(params []float64, _ float64) float64 { return params[0] }
+
+// DEval fills ∂β/∂β = 1.
+func (ConstTrend) DEval(_ []float64, _ float64, grad []float64) { grad[0] = 1 }
 
 // GuessParam starts at the terminal performance level: if recovery has
 // completed by the horizon, a₂ ≈ P(t_end).
@@ -73,7 +88,7 @@ func (ConstTrend) ParamBounds() (lo, hi []float64) {
 // LinearTrend is a(t) = βt.
 type LinearTrend struct{}
 
-var _ Trend = LinearTrend{}
+var _ GradTrend = LinearTrend{}
 
 // Name returns "linear".
 func (LinearTrend) Name() string { return "linear" }
@@ -83,6 +98,9 @@ func (LinearTrend) NumParams() int { return 1 }
 
 // Eval returns βt.
 func (LinearTrend) Eval(params []float64, t float64) float64 { return params[0] * t }
+
+// DEval fills ∂(βt)/∂β = t.
+func (LinearTrend) DEval(_ []float64, t float64, grad []float64) { grad[0] = t }
 
 // GuessParam starts at terminal/horizon so a₂(horizon) ≈ P(t_end).
 func (LinearTrend) GuessParam(horizon, terminal float64) []float64 {
@@ -100,7 +118,7 @@ func (LinearTrend) ParamBounds() (lo, hi []float64) {
 // ExpTrend is a(t) = e^{βt}.
 type ExpTrend struct{}
 
-var _ Trend = ExpTrend{}
+var _ GradTrend = ExpTrend{}
 
 // Name returns "exp-trend".
 func (ExpTrend) Name() string { return "exp-trend" }
@@ -110,6 +128,11 @@ func (ExpTrend) NumParams() int { return 1 }
 
 // Eval returns e^{βt}.
 func (ExpTrend) Eval(params []float64, t float64) float64 { return math.Exp(params[0] * t) }
+
+// DEval fills ∂e^{βt}/∂β = t·e^{βt}.
+func (ExpTrend) DEval(params []float64, t float64, grad []float64) {
+	grad[0] = t * math.Exp(params[0]*t)
+}
 
 // GuessParam starts at ln(terminal)/horizon so a₂(horizon) ≈ P(t_end).
 func (ExpTrend) GuessParam(horizon, terminal float64) []float64 {
@@ -132,7 +155,7 @@ func (ExpTrend) ParamBounds() (lo, hi []float64) {
 // term wherever F₂(t) = 0, which covers t = 0 exactly.
 type LogTrend struct{}
 
-var _ Trend = LogTrend{}
+var _ GradTrend = LogTrend{}
 
 // Name returns "log".
 func (LogTrend) Name() string { return "log" }
@@ -144,6 +167,12 @@ func (LogTrend) NumParams() int { return 1 }
 func (LogTrend) Eval(params []float64, t float64) float64 {
 	const eps = 1e-12
 	return params[0] * math.Log(math.Max(t, eps))
+}
+
+// DEval fills ∂(β·ln t)/∂β = ln(max(t, ε)), matching Eval's clamp.
+func (LogTrend) DEval(_ []float64, t float64, grad []float64) {
+	const eps = 1e-12
+	grad[0] = math.Log(math.Max(t, eps))
 }
 
 // GuessParam starts at terminal/ln(horizon) so a₂(horizon) ≈ P(t_end).

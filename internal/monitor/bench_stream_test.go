@@ -1,0 +1,80 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/registry"
+)
+
+// benchCurve is a V-shaped incident with deterministic measurement
+// noise: streams in the wild are not smooth, and noise is what
+// separates the two refit paths — a cold multistart must re-traverse
+// the whole basin every point while a warm polish starts next to the
+// optimum it just left.
+func benchCurve(n int) []float64 {
+	vals := vCurve(3, n, 0.05)
+	for i := range vals {
+		vals[i] += 0.000 * math.Sin(7.3*float64(i))
+	}
+	return vals
+}
+
+// benchStream replays a full incident through a Tracker and reports the
+// average optimizer cost of each post-seed refit as evals/op. The first
+// fit after onset always runs the full multistart chain (there is
+// nothing to warm-start from) and is identical on both paths, so it is
+// excluded: evals/op here is the marginal cost of one more streaming
+// observation.
+func benchStream(b *testing.B, model string, disableWarm bool) {
+	vals := benchCurve(40)
+	b.ReportAllocs()
+	var evals, refits float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTracker(Config{
+			Model:             registry.MustLookup(model).Model,
+			DisableWarmPolish: disableWarm,
+		})
+		first := true
+		for j, v := range vals {
+			up, err := tr.Observe(float64(j), v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if up.Fit == nil {
+				continue
+			}
+			if first {
+				first = false
+				continue
+			}
+			evals += float64(up.Fit.Evals)
+			if !up.WarmPolished {
+				// A failed warm polish that escalated still paid for the
+				// attempt; charge it to this refit.
+				evals += float64(up.PolishEvals)
+			}
+			refits++
+		}
+	}
+	b.StopTimer()
+	if refits > 0 {
+		b.ReportMetric(evals/refits, "evals/op")
+		b.ReportMetric(refits/float64(b.N), "refits/op")
+	}
+}
+
+// BenchmarkStreamRefit measures the streaming hot path the warm-started
+// polish exists for: "warm" is the default tracker (single warm LM
+// solve per new point), "full" forces every refit through the complete
+// multistart chain. The evals/op ratio between the two per model is the
+// headline streaming speedup, summarized and gated by benchfmt in
+// BENCH_compare.txt. Covers the tracker's default bathtub model and a
+// four-parameter mixture, the expensive end of streaming refits.
+func BenchmarkStreamRefit(b *testing.B) {
+	for _, model := range []string{"competing-risks", "exp-exp"} {
+		b.Run(model+"/warm", func(b *testing.B) { benchStream(b, model, false) })
+		b.Run(model+"/full", func(b *testing.B) { benchStream(b, model, true) })
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"resilience/internal/core"
+	"resilience/internal/optimize"
 	"resilience/internal/registry"
 	"resilience/internal/telemetry"
 	"resilience/internal/timeseries"
@@ -80,6 +81,18 @@ type Config struct {
 	// Degrade field. When nil, a failed refit simply leaves Update.Fit nil
 	// (the pre-chain behavior), with the failure recorded in FitErr.
 	Fallback *core.FallbackPolicy
+	// WarmSSEFactor bounds how much a warm-polished refit's per-point SSE
+	// may exceed the previous fit's before the tracker distrusts the warm
+	// basin and escalates to the full multistart chain (default 4). One
+	// new observation can legitimately raise the mean residual — the
+	// curve bends — but a blow-up past this factor means the old optimum
+	// no longer describes the data.
+	WarmSSEFactor float64
+	// DisableWarmPolish forces every refit through the full multistart
+	// chain even when a previous fit could seed a single warm
+	// Levenberg–Marquardt solve. Useful for measuring the warm path's
+	// saving and as an escape hatch.
+	DisableWarmPolish bool
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HorizonFactor <= 0 {
 		c.HorizonFactor = 6
+	}
+	if c.WarmSSEFactor <= 0 {
+		c.WarmSSEFactor = 4
 	}
 	return c
 }
@@ -129,6 +145,15 @@ type Update struct {
 	// FitErr records why this update's refit produced no fit ("" when the
 	// refit succeeded or no refit was due).
 	FitErr string
+	// WarmPolished reports that this update's fit came from the cheap
+	// warm-started single-LM path rather than the full multistart chain.
+	WarmPolished bool
+	// PolishEvals counts the objective evaluations spent by the warm
+	// polish attempt, whether or not it was accepted. When WarmPolished
+	// is true it equals Fit.Evals; when a failed polish escalated to the
+	// full chain it is the wasted work on top of Fit.Evals, so the true
+	// refit cost is always Fit.Evals plus the unaccepted PolishEvals.
+	PolishEvals int
 }
 
 // Tracker consumes observations and maintains disruption state. It is
@@ -140,7 +165,15 @@ type Tracker struct {
 	phase      Phase
 	onsetIdx   int
 	warmParams []float64
-	history    []Update
+	// warmModel, warmSSE and warmN describe the fit that produced
+	// warmParams: the family name it belongs to and its SSE over warmN
+	// window points. A warm polish is attempted only when the configured
+	// model matches warmModel, and its result is accepted only while the
+	// per-point SSE stays within WarmSSEFactor of warmSSE/warmN.
+	warmModel string
+	warmSSE   float64
+	warmN     int
+	history   []Update
 }
 
 // ErrBadObservation is returned for non-finite or non-increasing-time
@@ -252,13 +285,41 @@ func (tr *Tracker) WarmParams() []float64 {
 
 // SetWarmParams seeds the next refit's starting point, restoring the
 // warm-start state a recovered session had before a crash. The slice is
-// copied; nil clears the warm start.
+// copied; nil clears the warm start. Because it carries no fit quality
+// metadata, the next refit runs the full multistart chain (warm-started)
+// rather than the single-LM polish; SetWarmFit restores the polish path
+// too.
 func (tr *Tracker) SetWarmParams(p []float64) {
+	tr.warmModel, tr.warmSSE, tr.warmN = "", 0, 0
 	if p == nil {
 		tr.warmParams = nil
 		return
 	}
 	tr.warmParams = append([]float64(nil), p...)
+}
+
+// SetWarmFit restores the full warm-fit state a recovered session had
+// before a crash: the parameters, the family they belong to, and the SSE
+// the fit achieved over its window points. With all of it restored, the
+// next refit takes exactly the warm-polish path the pre-crash session
+// would have taken, so recovery is bit-identical to never having
+// crashed. The params slice is copied; empty model or nil params clear
+// the state.
+func (tr *Tracker) SetWarmFit(model string, params []float64, sse float64, window int) {
+	if model == "" || params == nil {
+		tr.SetWarmParams(params)
+		return
+	}
+	tr.warmParams = append([]float64(nil), params...)
+	tr.warmModel, tr.warmSSE, tr.warmN = model, sse, window
+}
+
+// WarmFit returns the warm-fit state SetWarmFit would need to restore
+// the tracker's refit behavior: the fitted family name ("" before the
+// first successful fit), a copy of its parameters, its SSE, and the
+// window size it was fit over.
+func (tr *Tracker) WarmFit() (model string, params []float64, sse float64, window int) {
+	return tr.warmModel, tr.WarmParams(), tr.warmSSE, tr.warmN
 }
 
 // advancePhase runs the threshold state machine.
@@ -345,17 +406,47 @@ func (tr *Tracker) refit(ctx context.Context, up *Update) {
 		up.FitErr = err.Error()
 		return
 	}
-	cfg := tr.cfg.Fit
-	cfg.InitialParams = tr.warmParams
+	// Warm polish first: with a previous optimum for this same family in
+	// hand, one observation rarely moves it far, so a single warm-started
+	// LM solve (analytic Jacobian, no multistart) re-converges in a
+	// handful of iterations. The polish is trusted only while its
+	// per-point SSE stays within WarmSSEFactor of the previous fit's —
+	// otherwise the curve has genuinely changed shape and the full
+	// multistart chain runs instead. A cancelled polish aborts the refit
+	// without escalating: the session is closing, not the fit degrading.
 	var fit *core.FitResult
-	if tr.cfg.Fallback != nil {
-		fit, up.Degrade, err = core.FitWithFallback(ctx, tr.cfg.Model, window, cfg, *tr.cfg.Fallback)
-	} else {
-		fit, err = core.FitCtx(ctx, tr.cfg.Model, window, cfg)
+	if tr.warmPolishEligible() {
+		polished, pErr := core.PolishCtx(ctx, tr.cfg.Model, window, tr.warmParams, optimize.Options{})
+		if pErr != nil && (errors.Is(pErr, context.Canceled) || errors.Is(pErr, context.DeadlineExceeded)) {
+			up.FitErr = pErr.Error()
+			return
+		}
+		if pErr == nil && tr.acceptWarmPolish(polished, window.Len()) {
+			fit = polished
+			up.WarmPolished = true
+		}
+		switch {
+		case polished != nil:
+			up.PolishEvals = polished.Evals
+		default:
+			var pf *core.PolishFailure
+			if errors.As(pErr, &pf) {
+				up.PolishEvals = pf.Evals
+			}
+		}
 	}
-	if err != nil {
-		up.FitErr = err.Error()
-		return
+	if fit == nil {
+		cfg := tr.cfg.Fit
+		cfg.InitialParams = tr.warmParams
+		if tr.cfg.Fallback != nil {
+			fit, up.Degrade, err = core.FitWithFallback(ctx, tr.cfg.Model, window, cfg, *tr.cfg.Fallback)
+		} else {
+			fit, err = core.FitCtx(ctx, tr.cfg.Model, window, cfg)
+		}
+		if err != nil {
+			up.FitErr = err.Error()
+			return
+		}
 	}
 	// Warm-start the next refit from a private copy: fit.Params is shared
 	// with the caller through up.Fit, and a caller mutating its result
@@ -363,6 +454,9 @@ func (tr *Tracker) refit(ctx context.Context, up *Update) {
 	// transfer within one family; FitCtx falls back to the model's own
 	// guess when the lengths disagree (e.g. after a fallback-family fit).
 	tr.warmParams = append([]float64(nil), fit.Params...)
+	tr.warmModel = fit.Model.Name()
+	tr.warmSSE = fit.SSE
+	tr.warmN = window.Len()
 	up.Fit = fit
 
 	span := times[len(times)-1]
@@ -378,6 +472,32 @@ func (tr *Tracker) refit(ctx context.Context, up *Update) {
 	if rt, err := core.RecoveryTime(fit, tr.cfg.Baseline*(1-tr.cfg.RecoverySlack), horizon); err == nil && rt <= horizon {
 		up.PredictedRecoveryTime = onsetT + rt
 	}
+}
+
+// warmPolishEligible reports whether the next refit may take the cheap
+// single-LM path: warm polishing is enabled, and the warm state belongs
+// to the configured family (a fallback-family fit or a bare
+// SetWarmParams leaves warmModel disagreeing, which routes the refit
+// through the full chain).
+func (tr *Tracker) warmPolishEligible() bool {
+	return !tr.cfg.DisableWarmPolish &&
+		tr.warmParams != nil &&
+		tr.warmN > 0 &&
+		tr.warmModel == tr.cfg.Model.Name()
+}
+
+// acceptWarmPolish decides whether a converged polish is good enough to
+// stand in for a full refit. The comparison is per-point (the window
+// grew by one since the previous fit) and allows either an absolute
+// near-zero residual — noiseless curves where any factor test would be
+// meaningless — or staying within WarmSSEFactor of the previous fit.
+func (tr *Tracker) acceptWarmPolish(fit *core.FitResult, n int) bool {
+	if fit == nil || n <= 0 {
+		return false
+	}
+	pp := fit.SSE / float64(n)
+	const ppFloor = 1e-12
+	return pp <= ppFloor || pp <= tr.cfg.WarmSSEFactor*(tr.warmSSE/float64(tr.warmN))
 }
 
 // ObserveSeries feeds a whole series through the tracker, returning the

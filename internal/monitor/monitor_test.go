@@ -428,7 +428,7 @@ func TestReplayThenObserveResumesFitting(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	warm := live.WarmParams()
+	model, warm, sse, window := live.WarmFit()
 	if warm == nil {
 		t.Fatal("live tracker has no warm params at the cut point; pick a later cut")
 	}
@@ -439,7 +439,7 @@ func TestReplayThenObserveResumesFitting(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recovered.SetWarmParams(warm)
+	recovered.SetWarmFit(model, warm, sse, window)
 
 	for i := cut; i < len(vals); i++ {
 		lu, err := live.Observe(float64(i), vals[i])

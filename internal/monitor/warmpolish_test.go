@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/core"
+)
+
+// TestWarmPolishTakesOver verifies the streaming hot path: once the
+// first full multistart fit lands, subsequent refits ride the cheap
+// warm-started single-LM polish, and the per-refit evaluation cost
+// collapses by an order of magnitude.
+func TestWarmPolishTakesOver(t *testing.T) {
+	vals := vCurve(3, 40, 0.05)
+	tr := NewTracker(Config{})
+	var firstFitEvals, polishes, fullFits int
+	var polishEvals, fullEvals float64
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Fit == nil {
+			continue
+		}
+		if firstFitEvals == 0 {
+			firstFitEvals = up.Fit.Evals
+		}
+		if up.WarmPolished {
+			polishes++
+			polishEvals += float64(up.Fit.Evals)
+		} else {
+			fullFits++
+			fullEvals += float64(up.Fit.Evals)
+		}
+	}
+	if polishes == 0 {
+		t.Fatal("no refit took the warm-polish path")
+	}
+	if fullFits == 0 {
+		t.Fatal("the first fit should have run the full chain")
+	}
+	avgPolish := polishEvals / float64(polishes)
+	avgFull := fullEvals / float64(fullFits)
+	if avgPolish*10 > avgFull {
+		t.Errorf("warm polish averages %.0f evals vs %.0f for full fits; want ≥10× cheaper", avgPolish, avgFull)
+	}
+}
+
+// TestWarmPolishDeterminism pins warm-polish refits bit-identical across
+// sequential and parallel multistart configurations: the polish path is
+// a single LM solve, so worker count must not leak into results, and
+// the full-chain fits that seed it are deterministic by construction.
+// Run under -race -cpu 1,4 this also proves the hot path is data-race
+// free.
+func TestWarmPolishDeterminism(t *testing.T) {
+	vals := vCurve(3, 40, 0.05)
+	run := func(workers int) []Update {
+		tr := NewTracker(Config{Fit: core.FitConfig{Workers: workers}})
+		for i, v := range vals {
+			if _, err := tr.Observe(float64(i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.History()
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq) != len(par) {
+		t.Fatalf("history lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if (s.Fit == nil) != (p.Fit == nil) {
+			t.Fatalf("update %d: fit presence differs (workers 1: %v, workers 4: %v)", i, s.Fit != nil, p.Fit != nil)
+		}
+		if s.WarmPolished != p.WarmPolished {
+			t.Fatalf("update %d: warm-polish path differs (workers 1: %v, workers 4: %v)", i, s.WarmPolished, p.WarmPolished)
+		}
+		if s.Fit == nil {
+			continue
+		}
+		if s.Fit.SSE != p.Fit.SSE {
+			t.Fatalf("update %d: SSE %g (workers 1) vs %g (workers 4)", i, s.Fit.SSE, p.Fit.SSE)
+		}
+		for j := range s.Fit.Params {
+			if s.Fit.Params[j] != p.Fit.Params[j] {
+				t.Fatalf("update %d param %d: %g (workers 1) vs %g (workers 4)",
+					i, j, s.Fit.Params[j], p.Fit.Params[j])
+			}
+		}
+	}
+}
+
+// TestWarmPolishEscalates forces the warm basin to go stale — the curve
+// switches to a second, deeper dip the old optimum cannot describe —
+// and checks the tracker abandons the polish for the full chain instead
+// of riding a degrading fit.
+func TestWarmPolishEscalates(t *testing.T) {
+	// A shallow V the tracker fits, then a cliff: performance collapses
+	// far below anything the fitted curve predicts.
+	vals := vCurve(3, 24, 0.03)
+	for i := 0; i < 16; i++ {
+		u := float64(i) / 15
+		vals = append(vals, 0.55+0.1*math.Sin(math.Pi*u))
+	}
+	tr := NewTracker(Config{})
+	sawEscalation := false
+	var prevFit bool
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An escalation shows up as a full-chain refit after at least one
+		// warm polish has succeeded.
+		if up.Fit != nil && !up.WarmPolished && prevFit {
+			sawEscalation = true
+		}
+		if up.Fit != nil {
+			prevFit = prevFit || up.WarmPolished
+		}
+		_ = i
+	}
+	if !sawEscalation {
+		t.Error("cliff in the data never escalated a warm-polished tracker to the full chain")
+	}
+}
+
+// TestWarmPolishDisabled checks the escape hatch: with
+// DisableWarmPolish set, no update reports the warm path.
+func TestWarmPolishDisabled(t *testing.T) {
+	vals := vCurve(3, 30, 0.05)
+	tr := NewTracker(Config{DisableWarmPolish: true})
+	for i, v := range vals {
+		up, err := tr.Observe(float64(i), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.WarmPolished {
+			t.Fatalf("update %d took the warm-polish path with DisableWarmPolish set", i)
+		}
+	}
+}

@@ -63,7 +63,7 @@ func Jacobian(r func([]float64) ([]float64, error), x, r0 []float64, jac [][]flo
 	xi := make([]float64, len(x))
 	copy(xi, x)
 	for j := range x {
-		h := stepFor(x[j])
+		h := forwardStep(x[j])
 		orig := xi[j]
 		xi[j] = orig + h
 		rp, err := r(xi)
@@ -84,9 +84,28 @@ func Jacobian(r func([]float64) ([]float64, error), x, r0 []float64, jac [][]flo
 	return nil
 }
 
-// stepFor picks a finite-difference step proportional to the magnitude of
-// x, bounded away from zero so that x == 0 still gets a usable step.
+// stepFor picks a central-difference step proportional to the magnitude
+// of x, bounded away from zero so that x == 0 still gets a usable step.
 func stepFor(x float64) float64 {
 	const base = 1e-6
 	return base * math.Max(1, math.Abs(x))
+}
+
+// forwardStep picks the MINPACK-style forward-difference step √ε·|x|
+// (√ε when x is zero), the optimum that balances truncation against
+// round-off for O(h)-accurate differences. Scaling by |x| instead of
+// flooring at 1 keeps the Jacobian accurate for parameters spanning
+// orders of magnitude — a Weibull scale near 100 and a rate near 1e-3
+// both get a step proportionate to their own size. The returned step is
+// re-derived from the rounded sum so that x+h − x is exactly h.
+func forwardStep(x float64) float64 {
+	const sqrtEps = 1.4901161193847656e-08 // √(machine epsilon)
+	h := sqrtEps * math.Abs(x)
+	if h == 0 {
+		h = sqrtEps
+	}
+	if exact := (x + h) - x; exact > 0 {
+		h = exact
+	}
+	return h
 }

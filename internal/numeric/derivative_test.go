@@ -1,0 +1,61 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// TestJacobianRelativeStepScales pins the MINPACK-style relative step:
+// parameters spanning twelve orders of magnitude must each get a
+// forward-difference step proportionate to their own size, keeping the
+// Jacobian accurate where a fixed absolute step would either wipe out a
+// tiny parameter or vanish against a huge one.
+func TestJacobianRelativeStepScales(t *testing.T) {
+	// r(x) = [x0·x1, x0², sin(x1·1e-6)] at x0 = 1e-6, x1 = 1e6:
+	// exact Jacobian rows are [x1, x0], [2x0, 0], [0, 1e-6·cos(1)].
+	r := func(x []float64) ([]float64, error) {
+		return []float64{x[0] * x[1], x[0] * x[0], math.Sin(x[1] * 1e-6)}, nil
+	}
+	x := []float64{1e-6, 1e6}
+	r0, _ := r(x)
+	jac := [][]float64{make([]float64, 2), make([]float64, 2), make([]float64, 2)}
+	if err := Jacobian(r, x, r0, jac); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{1e6, 1e-6},
+		{2e-6, 0},
+		{0, 1e-6 * math.Cos(1)},
+	}
+	for i := range want {
+		for j := range want[i] {
+			diff := math.Abs(jac[i][j] - want[i][j])
+			scale := math.Max(math.Abs(want[i][j]), 1e-9)
+			if diff/scale > 1e-6 {
+				t.Errorf("jac[%d][%d] = %g, want %g (relative error %g)",
+					i, j, jac[i][j], want[i][j], diff/scale)
+			}
+		}
+	}
+}
+
+// TestForwardStepProperties pins the step construction itself: strictly
+// positive, exactly representable (x+h−x == h), and proportional to |x|
+// away from zero.
+func TestForwardStepProperties(t *testing.T) {
+	for _, x := range []float64{0, 1e-12, 1e-3, 1, 1e3, 1e12, -5, -1e-9} {
+		h := forwardStep(x)
+		if h <= 0 {
+			t.Fatalf("forwardStep(%g) = %g, want > 0", x, h)
+		}
+		if exact := (x + h) - x; exact != h {
+			t.Errorf("forwardStep(%g): x+h-x = %g, want exactly %g", x, exact, h)
+		}
+		if x != 0 {
+			ratio := h / math.Abs(x)
+			if ratio < 1e-9 || ratio > 1e-6 {
+				t.Errorf("forwardStep(%g)/|x| = %g outside the relative-step regime", x, ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// expDecayJacobian is the closed-form Jacobian of expDecayResidual:
+// ∂r_i/∂a = e^{-bt}, ∂r_i/∂b = -a·t·e^{-bt}.
+func expDecayJacobian(x []float64, jac [][]float64) error {
+	for i := range jac {
+		t := float64(i)
+		e := math.Exp(-x[1] * t)
+		jac[i][0] = e
+		jac[i][1] = -x[0] * t * e
+	}
+	return nil
+}
+
+func TestLeastSquaresJacConvergesLikeNumeric(t *testing.T) {
+	numRes, err := LeastSquares(expDecayResidual, []float64{1, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jacRes, err := LeastSquaresJacCtx(context.Background(), expDecayResidual, expDecayJacobian,
+		[]float64{1, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jacRes.X[0]-2) > 1e-5 || math.Abs(jacRes.X[1]-0.5) > 1e-5 {
+		t.Errorf("X = %v, want (2, 0.5)", jacRes.X)
+	}
+	if jacRes.JacEvals == 0 {
+		t.Error("analytic path recorded no Jacobian fills")
+	}
+	if numRes.JacEvals != 0 {
+		t.Errorf("numeric path recorded %d Jacobian fills, want 0", numRes.JacEvals)
+	}
+	// Each analytic iteration pays O(1) residual evaluations (trial +
+	// geodesic probe) instead of n forward-difference columns, so the
+	// analytic solve must be strictly cheaper in objective calls.
+	if jacRes.FuncEvals >= numRes.FuncEvals {
+		t.Errorf("analytic FuncEvals = %d, numeric = %d; want strictly fewer",
+			jacRes.FuncEvals, numRes.FuncEvals)
+	}
+}
+
+func TestLeastSquaresJacErrorStalls(t *testing.T) {
+	// A Jacobian that errors marks the point infeasible for
+	// differentiation; the solver must return the current iterate as
+	// Stalled rather than fail the whole solve.
+	failJac := func(x []float64, jac [][]float64) error {
+		return errors.New("no gradient here")
+	}
+	r, err := LeastSquaresJacCtx(context.Background(), expDecayResidual, failJac,
+		[]float64{1, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Stalled {
+		t.Errorf("status = %v, want Stalled", r.Status)
+	}
+}
+
+func TestLeastSquaresJacNonFiniteStalls(t *testing.T) {
+	nanJac := func(x []float64, jac [][]float64) error {
+		for i := range jac {
+			for j := range jac[i] {
+				jac[i][j] = math.NaN()
+			}
+		}
+		return nil
+	}
+	r, err := LeastSquaresJacCtx(context.Background(), expDecayResidual, nanJac,
+		[]float64{1, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Stalled {
+		t.Errorf("status = %v, want Stalled", r.Status)
+	}
+}
+
+// TestDecodeDerivMatchesDecode checks the chain-rule scale factor
+// against a finite difference of Decode itself, for all four bound
+// shapes.
+func TestDecodeDerivMatchesDecode(t *testing.T) {
+	b := Bounds{
+		Lo: []float64{0, 2, math.Inf(-1), math.Inf(-1)},
+		Hi: []float64{1, math.Inf(1), 5, math.Inf(1)},
+	}
+	z := []float64{0.3, -1.2, 0.7, 2.5}
+	d := make([]float64, len(z))
+	b.DecodeDerivInto(d, z)
+	const h = 1e-6
+	for i := range z {
+		zp := append([]float64(nil), z...)
+		zm := append([]float64(nil), z...)
+		zp[i] += h
+		zm[i] -= h
+		fd := (b.Decode(zp)[i] - b.Decode(zm)[i]) / (2 * h)
+		if math.Abs(fd-d[i]) > 1e-5*math.Max(1, math.Abs(fd)) {
+			t.Errorf("coord %d: DecodeDeriv %g vs finite difference %g", i, d[i], fd)
+		}
+	}
+}
+
+// TestMultiStartLMFirstStaysInBounds pins the z-space LM-first contract:
+// whatever the start point, an accepted gradient solve must come back
+// inside the box.
+func TestMultiStartLMFirstStaysInBounds(t *testing.T) {
+	bounds, err := NewBounds([]float64{1e-9, 1e-9}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := func(x []float64) float64 {
+		r, _ := expDecayResidual(x)
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		return s
+	}
+	res, err := MultiStart(obj, expDecayResidual, []float64{1, 0.1}, MultiStartConfig{
+		Bounds:          bounds,
+		Jacobian:        expDecayJacobian,
+		ResidualFactory: func() Residual { return expDecayResidual },
+		Polish:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Contains(res.X) {
+		t.Errorf("winner %v left the bounds box", res.X)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 || math.Abs(res.X[1]-0.5) > 1e-4 {
+		t.Errorf("X = %v, want (2, 0.5)", res.X)
+	}
+	if res.JacEvals == 0 {
+		t.Error("LM-first multistart recorded no Jacobian fills")
+	}
+}

@@ -84,6 +84,26 @@ type MultiStartConfig struct {
 	// model objectives used by the fitting pipeline are pure functions
 	// over read-only data and qualify.
 	Workers int
+	// Jacobian, when non-nil alongside a Residual, switches each start to
+	// a Levenberg–Marquardt-first strategy: the analytic-Jacobian LM solve
+	// runs from the start point in the bounds transform's internal
+	// coordinates — the Jacobian re-expressed by the chain rule through
+	// DecodeDerivInto — so every iterate stays inside the box by
+	// construction, and the Nelder–Mead simplex is launched only when LM
+	// fails to converge. Gradient steps replace thousands of simplex
+	// objective evaluations, which is where the bulk of the
+	// analytic-Jacobian speedup comes from. Like the objective, the
+	// Jacobian must tolerate concurrent calls when Workers is not 1 —
+	// per-call scratch is passed in, so pure closed-form fills qualify.
+	Jacobian JacobianFunc
+	// ResidualFactory supplies an independent Residual per worker for the
+	// LM-first strategy. The Residual contract lets implementations reuse
+	// one output buffer across calls, which becomes a data race once
+	// residuals are evaluated from concurrent starts; a factory gives
+	// each worker a private buffer without giving up the allocation-free
+	// inner loop. When nil, the shared Residual is used on every worker —
+	// then it must itself be safe for concurrent calls.
+	ResidualFactory func() Residual
 }
 
 // MultiStart minimizes obj over the bounded box by launching Nelder–Mead
@@ -102,6 +122,10 @@ func MultiStart(obj Objective, res Residual, x0 []float64, cfg MultiStartConfig)
 type startOutcome struct {
 	res Result
 	err error
+	// orig marks a result expressed in original (bounded) coordinates —
+	// accepted LM-first solves are decoded by their worker, Nelder–Mead
+	// results live in the smooth z-transform until the winner is decoded.
+	orig bool
 }
 
 // MultiStartCtx is MultiStart under a context. The starts are fanned
@@ -151,6 +175,7 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 	var (
 		totalIter int
 		totalEval int
+		totalJac  int
 	)
 	// One span per multistart solve, carrying the aggregate iteration and
 	// evaluation counts. The cost without an active trace is a context
@@ -158,7 +183,8 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 	ctx, span := telemetry.StartSpanCtx(ctx, "optimize.multistart")
 	defer func() {
 		span.End(telemetry.Int("starts", cfg.Starts), telemetry.Int("workers", workers),
-			telemetry.Int("iterations", totalIter), telemetry.Int("evals", totalEval))
+			telemetry.Int("iterations", totalIter), telemetry.Int("evals", totalEval),
+			telemetry.Int("jac_evals", totalJac))
 	}()
 
 	// Each worker claims start indices from a shared atomic cursor and
@@ -175,6 +201,41 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 			cfg.Bounds.DecodeInto(buf, z)
 			return obj(buf)
 		}
+		wres := res
+		if cfg.ResidualFactory != nil {
+			wres = cfg.ResidualFactory()
+		}
+		// The LM-first residual and Jacobian work in the internal
+		// z-coordinates: decode into per-worker scratch, evaluate in the
+		// original space, and scale Jacobian columns by the decode
+		// derivative (chain rule). LM iterates therefore never leave the
+		// box, which is what lets a converged solve skip Nelder–Mead.
+		var (
+			zres Residual
+			zjac JacobianFunc
+		)
+		if cfg.Jacobian != nil && wres != nil {
+			xbuf := make([]float64, n)
+			dbuf := make([]float64, n)
+			zres = func(z []float64) ([]float64, error) {
+				cfg.Bounds.DecodeInto(xbuf, z)
+				return wres(xbuf)
+			}
+			zjac = func(z []float64, jac [][]float64) error {
+				cfg.Bounds.DecodeInto(xbuf, z)
+				if err := cfg.Jacobian(xbuf, jac); err != nil {
+					return err
+				}
+				cfg.Bounds.DecodeDerivInto(dbuf, z)
+				for i := range jac {
+					row := jac[i]
+					for j := range row {
+						row[j] *= dbuf[j]
+					}
+				}
+				return nil
+			}
+		}
 		for {
 			i := int(cursor.Add(1)) - 1
 			if i >= len(starts) {
@@ -184,8 +245,39 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 				outcomes[i].err = cErr
 				continue
 			}
+			// LM-first: with an analytic Jacobian a gradient solve from the
+			// start point replaces the whole simplex search whenever it
+			// converges. F is re-expressed through the objective (LM
+			// minimizes ½‖r‖², the objective is ‖r‖²) so results from both
+			// strategies compare on the same scale.
 			cfg.Bounds.EncodeInto(z0, starts[i])
-			outcomes[i].res, outcomes[i].err = NelderMeadCtx(ctx, wrapped, z0, cfg.Local)
+			if zres != nil {
+				lmRes, lmErr := LeastSquaresJacCtx(ctx, zres, zjac, z0, cfg.Local)
+				if lmErr == nil && lmRes.Status == Converged {
+					x := cfg.Bounds.Decode(lmRes.X)
+					lmRes.FuncEvals++
+					if f := sanitize(obj(x)); !math.IsInf(f, 1) {
+						lmRes.X = x
+						lmRes.F = f
+						outcomes[i] = startOutcome{res: lmRes, orig: true}
+						continue
+					}
+				}
+				if lmErr != nil && isCancellation(lmErr) {
+					outcomes[i] = startOutcome{res: lmRes, err: lmErr}
+					continue
+				}
+				// LM stalled: fall through to Nelder–Mead, keeping the
+				// failed attempt's cost in the totals.
+				outcomes[i].res.Iterations += lmRes.Iterations
+				outcomes[i].res.FuncEvals += lmRes.FuncEvals
+				outcomes[i].res.JacEvals += lmRes.JacEvals
+			}
+			nmRes, nmErr := NelderMeadCtx(ctx, wrapped, z0, cfg.Local)
+			nmRes.Iterations += outcomes[i].res.Iterations
+			nmRes.FuncEvals += outcomes[i].res.FuncEvals
+			nmRes.JacEvals += outcomes[i].res.JacEvals
+			outcomes[i].res, outcomes[i].err = nmRes, nmErr
 		}
 	}
 	if workers == 1 {
@@ -205,6 +297,7 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 	// Deterministic aggregation in start-index order.
 	var (
 		best       Result
+		bestOrig   bool
 		haveBest   bool
 		firstPanic error
 		cancelErr  error
@@ -213,10 +306,12 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 		o := &outcomes[i]
 		totalIter += o.res.Iterations
 		totalEval += o.res.FuncEvals
+		totalJac += o.res.JacEvals
 		switch {
 		case o.err == nil:
 			if !haveBest || o.res.F < best.F {
 				best = o.res
+				bestOrig = o.orig
 				haveBest = true
 			}
 		case isCancellation(o.err):
@@ -229,13 +324,14 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 			}
 		}
 	}
-	if haveBest {
+	if haveBest && !bestOrig {
 		best.X = cfg.Bounds.Decode(best.X)
 	}
 	if cancelErr != nil {
 		if haveBest {
 			best.Iterations = totalIter
 			best.FuncEvals = totalEval
+			best.JacEvals = totalJac
 			return best, cancelErr
 		}
 		return Result{}, cancelErr
@@ -247,11 +343,15 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 		return Result{}, fmt.Errorf("%w: every start failed", ErrBadInput)
 	}
 
-	if cfg.Polish && res != nil {
-		if polished, lmErr := LeastSquaresCtx(ctx, res, best.X, cfg.Local); lmErr == nil {
+	// A winner that already came from a converged LM solve is at a
+	// gradient-norm stationary point; polishing it again would spend an
+	// extra solve to move nowhere, so polish only Nelder–Mead winners.
+	if cfg.Polish && res != nil && !bestOrig {
+		if polished, lmErr := LeastSquaresJacCtx(ctx, res, cfg.Jacobian, best.X, cfg.Local); lmErr == nil {
 			f := sanitize(obj(polished.X))
 			totalIter += polished.Iterations
-			totalEval += polished.FuncEvals
+			totalEval += polished.FuncEvals + 1
+			totalJac += polished.JacEvals
 			if f < best.F && cfg.Bounds.Contains(polished.X) {
 				best.X = polished.X
 				best.F = f
@@ -261,5 +361,6 @@ func MultiStartCtx(ctx context.Context, obj Objective, res Residual, x0 []float6
 	}
 	best.Iterations = totalIter
 	best.FuncEvals = totalEval
+	best.JacEvals = totalJac
 	return best, nil
 }

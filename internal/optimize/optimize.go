@@ -68,6 +68,10 @@ type Result struct {
 	Iterations int
 	// FuncEvals is the number of objective or residual evaluations.
 	FuncEvals int
+	// JacEvals is the number of analytic Jacobian fills. Numerical
+	// Jacobians cost residual evaluations and are counted in FuncEvals
+	// instead, so the two never double-count the same work.
+	JacEvals int
 }
 
 // Options configures the iterative solvers. The zero value selects

@@ -103,6 +103,32 @@ func expFloor(z, anchor float64) float64 {
 	return e
 }
 
+// DecodeDerivInto fills dst with the elementwise derivative d decode/dz
+// at z. Gradient solvers that run in the internal coordinates use it to
+// re-express a Jacobian computed in original coordinates: by the chain
+// rule, column j of the internal-coordinate Jacobian is column j of the
+// original one scaled by dst[j]. Where Decode's saturation clamps are
+// active the true derivative is zero; the smooth (unclamped) derivative
+// is returned instead, which is vanishingly small there and freezes the
+// coordinate without zeroing the whole column exactly.
+func (b Bounds) DecodeDerivInto(dst, z []float64) {
+	for i, zi := range z {
+		lo, hi := b.Lo[i], b.Hi[i]
+		loFin, hiFin := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
+		switch {
+		case loFin && hiFin:
+			p := logistic(zi)
+			dst[i] = (hi - lo) * p * (1 - p)
+		case loFin:
+			dst[i] = math.Exp(zi)
+		case hiFin:
+			dst[i] = -math.Exp(zi)
+		default:
+			dst[i] = 1
+		}
+	}
+}
+
 // Encode maps an interior point of the box to internal coordinates; it is
 // the inverse of Decode. Points on or outside the box are nudged inside
 // first so that starting points on a boundary remain usable.

@@ -40,6 +40,10 @@ type Capabilities struct {
 	// ClosedFormMinimum: the time of minimum performance solves in closed
 	// form (core.MinimumModel).
 	ClosedFormMinimum bool `json:"closed_form_minimum"`
+	// AnalyticJacobian: the family has closed-form parameter gradients
+	// (core.JacobianModel answering true), so fits run gradient-first
+	// Levenberg–Marquardt instead of derivative-free simplex search.
+	AnalyticJacobian bool `json:"analytic_jacobian"`
 }
 
 // Entry is one registered model family.
@@ -120,6 +124,7 @@ func capabilitiesOf(m core.Model) Capabilities {
 	_, c.ClosedFormArea = m.(core.AreaModel)
 	_, c.ClosedFormRecovery = m.(core.RecoveryModel)
 	_, c.ClosedFormMinimum = m.(core.MinimumModel)
+	c.AnalyticJacobian = core.HasAnalyticJacobian(m)
 	return c
 }
 

@@ -86,18 +86,36 @@ func TestByFamilyPartitionsRegistry(t *testing.T) {
 
 func TestCapabilitiesMatchModelInterfaces(t *testing.T) {
 	want := map[string]Capabilities{
-		"quadratic":       {ClosedFormArea: true, ClosedFormRecovery: true, ClosedFormMinimum: true},
-		"competing-risks": {ClosedFormArea: true, ClosedFormRecovery: true, ClosedFormMinimum: true},
-		"exp-bathtub":     {ClosedFormArea: true, ClosedFormMinimum: true},
-		"exp-exp":         {},
-		"weibull-exp":     {},
-		"exp-weibull":     {},
-		"weibull-weibull": {},
+		"quadratic":       {ClosedFormArea: true, ClosedFormRecovery: true, ClosedFormMinimum: true, AnalyticJacobian: true},
+		"competing-risks": {ClosedFormArea: true, ClosedFormRecovery: true, ClosedFormMinimum: true, AnalyticJacobian: true},
+		"exp-bathtub":     {ClosedFormArea: true, ClosedFormMinimum: true, AnalyticJacobian: true},
+		"exp-exp":         {AnalyticJacobian: true},
+		"weibull-exp":     {AnalyticJacobian: true},
+		"exp-weibull":     {AnalyticJacobian: true},
+		"weibull-weibull": {AnalyticJacobian: true},
 	}
 	for name, caps := range want {
 		e := MustLookup(name)
 		if e.Caps != caps {
 			t.Errorf("%s capabilities = %+v, want %+v", name, e.Caps, caps)
+		}
+	}
+}
+
+// TestEveryEntryHasAnalyticJacobian is the lint gate for new model
+// registrations: every built-in family must ship closed-form gradients
+// so the whole registry stays on the cheap gradient-first fit path. A
+// family that genuinely cannot provide one (e.g. a gamma CDF whose
+// parameter gradient has no elementary form) must be added to the
+// exceptions list here — consciously.
+func TestEveryEntryHasAnalyticJacobian(t *testing.T) {
+	exceptions := map[string]bool{}
+	for _, e := range All() {
+		if exceptions[e.Name] {
+			continue
+		}
+		if !e.Caps.AnalyticJacobian {
+			t.Errorf("registry entry %q has no analytic Jacobian; implement core.JacobianModel or add an exception", e.Name)
 		}
 	}
 }

@@ -11,6 +11,9 @@ var metrics = struct {
 	created       *telemetry.Counter
 	observations  *telemetry.Counter
 	refitDuration *telemetry.Histogram
+	refitEvals    *telemetry.Histogram
+	refitsWarm    *telemetry.Counter
+	refitsFull    *telemetry.Counter
 	refitErrors   *telemetry.Counter
 	evictedLRU    *telemetry.Counter
 	evictedTTL    *telemetry.Counter
@@ -25,6 +28,9 @@ var metrics = struct {
 	created:       telemetry.GetOrCreateCounter("resil_stream_sessions_created_total"),
 	observations:  telemetry.GetOrCreateCounter("resil_stream_observations_total"),
 	refitDuration: telemetry.GetOrCreateHistogram("resil_stream_refit_duration_seconds", telemetry.DurationBuckets()),
+	refitEvals:    telemetry.GetOrCreateHistogram("resil_stream_refit_evals", telemetry.ExponentialBuckets(8, 2, 12)),
+	refitsWarm:    telemetry.GetOrCreateCounter(`resil_stream_refits_total{path="warm"}`),
+	refitsFull:    telemetry.GetOrCreateCounter(`resil_stream_refits_total{path="full"}`),
 	refitErrors:   telemetry.GetOrCreateCounter("resil_stream_refit_errors_total"),
 	evictedLRU:    telemetry.GetOrCreateCounter(`resil_stream_evictions_total{reason="lru"}`),
 	evictedTTL:    telemetry.GetOrCreateCounter(`resil_stream_evictions_total{reason="ttl"}`),
@@ -42,6 +48,8 @@ type StatsSnapshot struct {
 	Sessions           float64 `json:"sessions"`
 	SessionsCreated    uint64  `json:"sessions_created"`
 	Observations       uint64  `json:"observations"`
+	RefitsWarm         uint64  `json:"refits_warm"`
+	RefitsFull         uint64  `json:"refits_full"`
 	RefitErrors        uint64  `json:"refit_errors"`
 	EvictionsLRU       uint64  `json:"evictions_lru"`
 	EvictionsTTL       uint64  `json:"evictions_ttl"`
@@ -53,6 +61,8 @@ type StatsSnapshot struct {
 	PersistErrors      uint64  `json:"persist_errors"`
 	RefitP50Ms         float64 `json:"refit_p50_ms"`
 	RefitP99Ms         float64 `json:"refit_p99_ms"`
+	RefitEvalsP50      float64 `json:"refit_evals_p50"`
+	RefitEvalsP99      float64 `json:"refit_evals_p99"`
 }
 
 // Stats snapshots the process-wide stream counters.
@@ -61,6 +71,8 @@ func Stats() StatsSnapshot {
 		Sessions:           metrics.sessions.Value(),
 		SessionsCreated:    metrics.created.Value(),
 		Observations:       metrics.observations.Value(),
+		RefitsWarm:         metrics.refitsWarm.Value(),
+		RefitsFull:         metrics.refitsFull.Value(),
 		RefitErrors:        metrics.refitErrors.Value(),
 		EvictionsLRU:       metrics.evictedLRU.Value(),
 		EvictionsTTL:       metrics.evictedTTL.Value(),
@@ -75,6 +87,10 @@ func Stats() StatsSnapshot {
 		s.RefitP50Ms = metrics.refitDuration.Quantile(0.5) * 1000
 		s.RefitP99Ms = metrics.refitDuration.Quantile(0.99) * 1000
 	}
+	if metrics.refitEvals.Count() > 0 {
+		s.RefitEvalsP50 = metrics.refitEvals.Quantile(0.5)
+		s.RefitEvalsP99 = metrics.refitEvals.Quantile(0.99)
+	}
 	return s
 }
 
@@ -87,6 +103,10 @@ func init() {
 		"Observations ingested across all streaming sessions.")
 	telemetry.RegisterFamily("resil_stream_refit_duration_seconds", "histogram",
 		"Wall time of per-observation warm-started refits.")
+	telemetry.RegisterFamily("resil_stream_refit_evals", "histogram",
+		"Objective evaluations spent per streaming refit; the warm-polish path should keep the bulk of this distribution an order of magnitude below full multistart fits.")
+	telemetry.RegisterFamily("resil_stream_refits_total", "counter",
+		"Session refits that produced a fit, by path (warm = single warm-started LM polish, full = multistart chain).")
 	telemetry.RegisterFamily("resil_stream_refit_errors_total", "counter",
 		"Session refits that produced no fit (chain exhausted or cancelled).")
 	telemetry.RegisterFamily("resil_stream_evictions_total", "counter",

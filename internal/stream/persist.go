@@ -58,6 +58,13 @@ type FitSummary struct {
 	ParamNames []string  `json:"param_names,omitempty"`
 	Params     []float64 `json:"params,omitempty"`
 	SSE        float64   `json:"sse,omitempty"`
+	// Window is how many post-onset points the fit covered. Recovery
+	// hands it (with Model, Params and SSE) to Tracker.SetWarmFit, which
+	// is what lets the first post-recovery refit take the same cheap
+	// warm-polish path the pre-crash session would have taken.
+	Window int `json:"window,omitempty"`
+	// WarmPolished mirrors the update's warm-path marker.
+	WarmPolished bool `json:"warm_polished,omitempty"`
 	// Degraded and FallbackModel mirror the update's degradation
 	// annotation.
 	Degraded      bool   `json:"degraded,omitempty"`
@@ -99,6 +106,8 @@ func fitSummaryOf(up *Update) *FitSummary {
 		ParamNames:            append([]string(nil), up.ParamNames...),
 		Params:                append([]float64(nil), up.Params...),
 		SSE:                   up.SSE,
+		Window:                up.FitWindow,
+		WarmPolished:          up.WarmPolished,
 		Degraded:              up.Degraded,
 		FallbackModel:         up.FallbackModel,
 		PredictedMinimumTime:  copyFloatPtr(up.PredictedMinimumTime),
@@ -270,7 +279,11 @@ func (m *Manager) rebuild(ps *PersistedSession) (*session, error) {
 	s.seq = uint64(len(ps.Times))
 	if fs := ps.LastFit.clone(); fs != nil {
 		s.lastFit = fs
-		s.tracker.SetWarmParams(fs.Params)
+		// Restore the full warm-fit state, not just the parameters: with
+		// the family, SSE and window back, the first post-recovery refit
+		// takes the same warm-polish path (and produces bit-identical
+		// params) as the session would have without the crash.
+		s.tracker.SetWarmFit(fs.Model, fs.Params, fs.SSE, fs.Window)
 		// The replayed updates carry no fit (replay skips refits); merge
 		// the persisted fit back onto the final update when it was the one
 		// that produced it, so the recovered snapshot matches pre-crash.
@@ -279,6 +292,8 @@ func (m *Manager) rebuild(ps *PersistedSession) (*session, error) {
 			last.ParamNames = fs.ParamNames
 			last.Params = fs.Params
 			last.SSE = fs.SSE
+			last.FitWindow = fs.Window
+			last.WarmPolished = fs.WarmPolished
 			last.Degraded = fs.Degraded
 			last.FallbackModel = fs.FallbackModel
 			last.PredictedMinimumTime = fs.PredictedMinimumTime

@@ -184,6 +184,12 @@ type Update struct {
 	ParamNames []string  `json:"param_names,omitempty"`
 	Params     []float64 `json:"params,omitempty"`
 	SSE        float64   `json:"sse,omitempty"`
+	// FitWindow is how many post-onset points the fit covered; 0 without
+	// a fit.
+	FitWindow int `json:"fit_window,omitempty"`
+	// WarmPolished marks a fit produced by the cheap warm-started
+	// single-LM path rather than the full multistart chain.
+	WarmPolished bool `json:"warm_polished,omitempty"`
 	// Predicted* locate the fitted curve's minimum and recovery; absent
 	// without a fit or when the curve never recovers inside the horizon.
 	PredictedMinimumTime  *float64 `json:"predicted_minimum_time,omitempty"`
@@ -629,6 +635,21 @@ func boolWord(b bool) string {
 // one-shot fits.
 func countRefit(ctx context.Context, mup monitor.Update) {
 	monitor.CountFit()
+	if f := mup.Fit; f != nil {
+		// The histogram records the refit's whole optimizer bill: a warm
+		// polish that failed and escalated still spent PolishEvals before
+		// the full chain ran.
+		evals := f.Evals
+		if !mup.WarmPolished {
+			evals += mup.PolishEvals
+		}
+		metrics.refitEvals.Observe(float64(evals))
+		if mup.WarmPolished {
+			metrics.refitsWarm.Inc()
+		} else {
+			metrics.refitsFull.Inc()
+		}
+	}
 	if d := mup.Degrade; d != nil {
 		if d.Degraded && mup.Fit != nil {
 			monitor.CountFallback()
@@ -870,6 +891,10 @@ func toUpdate(seq uint64, mup monitor.Update) Update {
 		up.ParamNames = mup.Fit.Model.ParamNames()
 		up.Params = append([]float64(nil), mup.Fit.Params...)
 		up.SSE = mup.Fit.SSE
+		if mup.Fit.Train != nil {
+			up.FitWindow = mup.Fit.Train.Len()
+		}
+		up.WarmPolished = mup.WarmPolished
 	}
 	if d := mup.Degrade; d != nil {
 		up.Degraded = d.Degraded
