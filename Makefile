@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke obs-smoke bench bench-compare bench-all fuzz cover report clean
+.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke obs-smoke cluster-smoke bench bench-compare bench-all fuzz cover report clean
 
 all: build vet lint-dispatch test
 
@@ -77,6 +77,14 @@ loadgen-smoke:
 # /v1/stats reports the SLO window, and resil top renders.
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Cluster chaos gate: 3 race-built nodes over a static peer table —
+# cross-node session forwarding, binary-transport SLO gate, kill -9 one
+# node, typed redirects for its sessions, replay recovery onto a
+# survivor, metrics lint of the resil_cluster_*/resil_transport_*
+# families, graceful survivor drain.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Reproducible fit-pipeline benchmark: runs BenchmarkFit across every
 # model family plus BenchmarkStreamRefit (the warm-polish streaming hot

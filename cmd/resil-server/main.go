@@ -6,6 +6,17 @@
 //
 //	resil-server -addr :8080 -fit-timeout 30s [-pprof]
 //	resil-server -data-dir /var/lib/resil -wal-sync always
+//	resil-server -binary-addr :9090
+//	resil-server -binary-addr :9090 -node 127.0.0.1:9090 \
+//	    -peers 127.0.0.1:9090,127.0.0.1:9091,127.0.0.1:9092
+//
+// With -binary-addr a second listener serves the compact binary
+// protocol (internal/transport) answering the same operations as HTTP.
+// With -peers (a static table of every node's binary address, self
+// included via -node) the server joins a shared-nothing cluster:
+// session IDs map to owners on a consistent-hash ring, and requests for
+// sessions owned elsewhere are forwarded to the owner over the binary
+// transport.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds. Fitting requests degrade rather than
@@ -29,14 +40,18 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"resilience/internal/cluster"
 	"resilience/internal/durable"
 	"resilience/internal/server"
+	"resilience/internal/transport/binary"
 )
 
 func main() {
@@ -59,6 +74,9 @@ func run(args []string, stdout *os.File) error {
 	snapshotEvery := fs.Int("snapshot-every", 64, "write a per-session snapshot after this many observations, bounding restart replay; negative disables")
 	sloP99 := fs.Float64("slo-p99", 0, "p99 latency target in seconds; enables burn-rate/error-budget gauges over a rolling window (0 disables)")
 	sloErrRate := fs.Float64("slo-error-rate", 0, "tolerated fraction of 5xx responses, e.g. 0.001; enables the error-budget gauges (0 disables)")
+	binaryAddr := fs.String("binary-addr", "", "listen address for the binary transport; empty disables it")
+	peers := fs.String("peers", "", "comma-separated binary addresses of every cluster node (self included); empty runs single-node")
+	nodeAddr := fs.String("node", "", "this node's binary address as written in -peers; required with -peers")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints at /debug/pprof/")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -91,6 +109,32 @@ func run(args []string, stdout *os.File) error {
 		}
 	}
 
+	// Clustering is opt-in: -peers names every node's binary address and
+	// -node says which entry is us. Ownership is a pure function of the
+	// table, so there is nothing to join or gossip — but forwarding needs
+	// the binary listener, so -binary-addr is required alongside.
+	var clus *cluster.Cluster
+	if *peers != "" {
+		if *nodeAddr == "" {
+			return fmt.Errorf("-peers requires -node (this node's entry in the peer table)")
+		}
+		if *binaryAddr == "" {
+			return fmt.Errorf("-peers requires -binary-addr (forwarding runs over the binary transport)")
+		}
+		table := strings.Split(*peers, ",")
+		for i := range table {
+			table[i] = strings.TrimSpace(table[i])
+		}
+		var err error
+		clus, err = cluster.New(cluster.Config{Self: *nodeAddr, Peers: table})
+		if err != nil {
+			if wlog != nil {
+				wlog.Close()
+			}
+			return err
+		}
+	}
+
 	cfg := server.Config{
 		FitTimeout:      *fitTimeout,
 		DisableFallback: *noFallback,
@@ -106,6 +150,9 @@ func run(args []string, stdout *os.File) error {
 	if wlog != nil {
 		cfg.SessionStore = wlog
 	}
+	if clus != nil {
+		cfg.Cluster = clus
+	}
 	app := server.NewApp(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
@@ -116,12 +163,34 @@ func run(args []string, stdout *os.File) error {
 		IdleTimeout:       120 * time.Second,
 	}
 
+	// The binary listener, when enabled, serves the same operation set on
+	// a second port. It binds before the HTTP goroutine starts so a bad
+	// address fails the boot instead of logging from a goroutine.
+	var binSrv *binary.Server
+	var binErrc chan error
+	if *binaryAddr != "" {
+		ln, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			if wlog != nil {
+				wlog.Close()
+			}
+			return fmt.Errorf("binary listen: %w", err)
+		}
+		binSrv = binary.NewServer(app.BinaryHandler(), logger)
+		binErrc = make(chan error, 1)
+		go func() {
+			logger.Info("binary listening", "addr", ln.Addr().String(),
+				"cluster", clus != nil)
+			binErrc <- binSrv.Serve(ln)
+		}()
+	}
+
 	// Serve until a termination signal arrives, then drain.
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "fit_timeout", fitTimeout.String(),
 			"fallback", !*noFallback, "pprof", *enablePprof, "fit_cache_size", *fitCacheSize,
-			"data_dir", *dataDir)
+			"data_dir", *dataDir, "binary_addr", *binaryAddr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -164,8 +233,19 @@ func run(args []string, stdout *os.File) error {
 		if err := app.StreamShutdown(ctx); err != nil {
 			logger.Warn("stream shutdown", "err", err)
 		}
-		// WAL flush/close second: after the stream drain (so the final
-		// snapshots are in), before the listener closes.
+		// Forwarding paths second: drain in-flight peer forwards and
+		// inbound binary requests — both can still write to sessions and
+		// hence the WAL, so they must settle before the log closes.
+		if clus != nil {
+			clus.Shutdown(ctx)
+		}
+		if binSrv != nil {
+			if err := binSrv.Shutdown(ctx); err != nil {
+				logger.Warn("binary shutdown", "err", err)
+			}
+		}
+		// WAL flush/close third: after the stream and forward drains (so
+		// the final snapshots are in), before the listeners close.
 		if wlog != nil {
 			if err := wlog.Close(); err != nil {
 				logger.Warn("wal close", "err", err)
@@ -174,9 +254,14 @@ func run(args []string, stdout *os.File) error {
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown (%s): %w", cause, err)
 		}
-		// Collect the listener goroutine's exit so it never outlives main.
+		// Collect the listener goroutines' exits so they never outlive main.
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return fmt.Errorf("serve: %w", err)
+		}
+		if binErrc != nil {
+			if err := <-binErrc; err != nil && !errors.Is(err, net.ErrClosed) {
+				return fmt.Errorf("binary serve: %w", err)
+			}
 		}
 		return nil
 	}
@@ -185,6 +270,17 @@ func run(args []string, stdout *os.File) error {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	case err := <-binErrc: // nil channel (binary disabled) never fires
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			logger.Error("binary listener failed; shutting down", "err", err)
+			binErrc = nil // already exited; don't collect it again
+			binSrv = nil
+			if serr := shutdown("binary listener failure"); serr != nil {
+				logger.Warn("shutdown after binary failure", "err", serr)
+			}
+			return fmt.Errorf("binary serve: %w", err)
 		}
 		return nil
 	case err := <-recovc:

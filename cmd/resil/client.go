@@ -1,0 +1,326 @@
+package main
+
+// caller abstracts "one operation against a running resil-server" over
+// the two wire transports. The HTTP caller maps operations onto the
+// REST routes; the binary caller speaks the compact framed protocol
+// from internal/transport to the server's -binary-addr listener. Both
+// return the response with HTTP status semantics and raw JSON bytes,
+// so the subcommands decode one shape regardless of transport — the
+// server guarantees payload-identical responses on both listeners.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"resilience/internal/telemetry"
+	"resilience/internal/transport"
+	"resilience/internal/transport/binary"
+)
+
+type caller interface {
+	// call performs one unary operation. id targets a session for the
+	// session.* ops and is ignored otherwise. The returned status uses
+	// HTTP semantics on both transports; raw is the response body as
+	// JSON bytes (nil when the server sent none); traceID is the trace
+	// under which the server recorded the request — the handle for
+	// GET /debug/traces/{id}.
+	call(ctx context.Context, op, id string, body any) (status int, raw []byte, traceID string, err error)
+	// subscribe attaches to a session's event feed and invokes onEvent
+	// per event ("snapshot", "update"s, terminal "closed") with the
+	// event payload as JSON bytes. It blocks until the feed ends.
+	subscribe(ctx context.Context, id string, onEvent func(event string, data []byte) error) error
+	// transportName reports "http" or "binary" for labels and output.
+	transportName() string
+	close()
+}
+
+// newCaller builds the caller for -transport against -server. For HTTP
+// the server is a base URL (a bare host:port gets http://); for binary
+// it is the host:port of the server's -binary-addr listener.
+func newCaller(transportName, server string) (caller, error) {
+	switch transportName {
+	case "", "http":
+		return newHTTPCaller(server), nil
+	case "binary":
+		return newBinaryCaller(server), nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want http or binary)", transportName)
+	}
+}
+
+// remoteOp runs one unary operation against a server and pretty-prints
+// the JSON reply — the remote mode of `resil fit` and `resil batch`,
+// over either transport.
+func remoteOp(transportName, server, op string, body any) error {
+	cl, err := newCaller(transportName, server)
+	if err != nil {
+		return err
+	}
+	defer cl.close()
+	status, raw, traceID, err := cl.call(context.Background(), op, "", body)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status >= 300 {
+		return opError(op, status, raw)
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") != nil {
+		pretty.Write(raw)
+	}
+	fmt.Println(pretty.String())
+	fmt.Fprintf(os.Stderr, "# %s via %s, trace %s\n", op, cl.transportName(), traceID)
+	return nil
+}
+
+// opError folds a non-2xx response body's JSON error envelope into an
+// error, keeping the server's message (and redirect owner, if any).
+func opError(what string, status int, raw []byte) error {
+	var envelope struct {
+		Error    string `json:"error"`
+		Field    string `json:"field"`
+		Redirect bool   `json:"redirect"`
+		Owner    string `json:"owner"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+		msg = envelope.Error
+		if envelope.Field != "" {
+			msg += " (field " + envelope.Field + ")"
+		}
+		if envelope.Redirect && envelope.Owner != "" {
+			msg += " (owner " + envelope.Owner + ")"
+		}
+	}
+	return fmt.Errorf("%s: status %d: %s", what, status, msg)
+}
+
+// httpCaller drives the REST routes with one pooled http.Client.
+type httpCaller struct {
+	base   string
+	client *http.Client
+}
+
+func newHTTPCaller(server string) *httpCaller {
+	base := strings.TrimRight(server, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &httpCaller{base: base, client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *httpCaller) transportName() string { return "http" }
+func (c *httpCaller) close()                { c.client.CloseIdleConnections() }
+
+// route maps a protocol op onto its REST method and path.
+func (c *httpCaller) route(op, id string) (method, path string, err error) {
+	switch op {
+	case transport.OpFit:
+		return http.MethodPost, "/v1/fit", nil
+	case transport.OpPredict:
+		return http.MethodPost, "/v1/predict", nil
+	case transport.OpMetrics:
+		return http.MethodPost, "/v1/metrics", nil
+	case transport.OpForecast:
+		return http.MethodPost, "/v1/forecast", nil
+	case transport.OpIntervention:
+		return http.MethodPost, "/v1/intervention", nil
+	case transport.OpBatch:
+		return http.MethodPost, "/v1/batch", nil
+	case transport.OpModels:
+		return http.MethodGet, "/v1/models", nil
+	case transport.OpVersion:
+		return http.MethodGet, "/v1/version", nil
+	case transport.OpStats:
+		return http.MethodGet, "/v1/stats", nil
+	case transport.OpSessionCreate:
+		return http.MethodPost, "/v1/sessions", nil
+	case transport.OpSessionList:
+		return http.MethodGet, "/v1/sessions", nil
+	case transport.OpSessionGet:
+		return http.MethodGet, "/v1/sessions/" + id, nil
+	case transport.OpSessionDelete:
+		return http.MethodDelete, "/v1/sessions/" + id, nil
+	case transport.OpSessionObserve:
+		return http.MethodPost, "/v1/sessions/" + id + "/observe", nil
+	default:
+		return "", "", fmt.Errorf("no HTTP route for operation %q", op)
+	}
+}
+
+func (c *httpCaller) call(ctx context.Context, op, id string, body any) (int, []byte, string, error) {
+	method, path, err := c.route(op, id)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, "", err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Mint a trace context so the server-side span tree is queryable
+	// afterwards under an ID the client knows.
+	tid := telemetry.NewTraceID()
+	req.Header.Set("Traceparent", telemetry.FormatTraceparent(tid, telemetry.NewSpanID()))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	// The server adopts the minted trace, but trust its header if present.
+	if rtid, _, ok := telemetry.ParseTraceparent(resp.Header.Get("Traceparent")); ok {
+		tid = rtid
+	}
+	return resp.StatusCode, raw, tid, nil
+}
+
+// subscribe consumes the session's SSE feed.
+func (c *httpCaller) subscribe(ctx context.Context, id string, onEvent func(event string, data []byte) error) error {
+	// No client timeout: the feed is open-ended by design.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sessions/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return opError("subscribe", resp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var event, payload string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			payload = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "" {
+				continue
+			}
+			if err := onEvent(event, []byte(payload)); err != nil {
+				return err
+			}
+			if event == "closed" {
+				return nil
+			}
+			event, payload = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("event feed: %w", err)
+	}
+	return fmt.Errorf("event feed ended without a terminal event")
+}
+
+// binaryCaller drives the framed binary protocol through the pooled
+// client in internal/transport/binary.
+type binaryCaller struct {
+	cli *binary.Client
+}
+
+func newBinaryCaller(server string) *binaryCaller {
+	addr := server
+	if i := strings.Index(addr, "://"); i >= 0 {
+		addr = addr[i+3:]
+	}
+	addr = strings.TrimRight(addr, "/")
+	return &binaryCaller{cli: binary.NewClient(addr)}
+}
+
+func (c *binaryCaller) transportName() string { return "binary" }
+func (c *binaryCaller) close()                { c.cli.Close() }
+
+// envelope folds the target session ID (the URL's job over HTTP) into
+// the request body, the way the binary protocol addresses sessions.
+func envelope(id string, body any) (any, error) {
+	if id == "" {
+		return body, nil
+	}
+	m := map[string]any{}
+	if body != nil {
+		tree, err := transport.ToTree(body)
+		if err != nil {
+			return nil, err
+		}
+		tm, ok := tree.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("session operation body must be a JSON object")
+		}
+		m = tm
+	}
+	m["id"] = id
+	return m, nil
+}
+
+func (c *binaryCaller) call(ctx context.Context, op, id string, body any) (int, []byte, string, error) {
+	b, err := envelope(id, body)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	tid := telemetry.NewTraceID()
+	tp := telemetry.FormatTraceparent(tid, telemetry.NewSpanID())
+	status, respBody, err := c.cli.Do(ctx, op, "", tp, b)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	var raw []byte
+	if respBody != nil {
+		if raw, err = json.Marshal(respBody); err != nil {
+			return 0, nil, "", err
+		}
+	}
+	return status, raw, tid, nil
+}
+
+func (c *binaryCaller) subscribe(ctx context.Context, id string, onEvent func(event string, data []byte) error) error {
+	b, err := envelope(id, nil)
+	if err != nil {
+		return err
+	}
+	tp := telemetry.FormatTraceparent(telemetry.NewTraceID(), telemetry.NewSpanID())
+	status, respBody, err := c.cli.Subscribe(ctx, transport.OpSessionSubscribe, "", tp, b,
+		func(event string, data any) error {
+			raw, err := json.Marshal(data)
+			if err != nil {
+				return err
+			}
+			return onEvent(event, raw)
+		})
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	if status >= 400 {
+		raw, _ := json.Marshal(respBody)
+		return opError("subscribe", status, raw)
+	}
+	return nil
+}

@@ -11,16 +11,22 @@ package main
 //
 // The request mix is weighted round-robin over three operation classes:
 //
-//	fit     POST /v1/fit on one of a small deterministic series pool
+//	fit     fit requests on one of a small deterministic series pool
 //	        (repeats hit the server's fit cache; variants miss)
-//	batch   POST /v1/batch with a few jobs per request
+//	batch   batch requests with a few jobs each
 //	stream  create a session, observe a few chunks, delete it
+//
+// -transport selects the wire: http (the REST routes), binary (the
+// compact framed protocol on the server's -binary-addr listener), or
+// both — which alternates transports per operation and reports each
+// transport's op latencies separately, so the two wires' SLO behavior
+// is directly comparable from one run.
 //
 // The series pool is deterministic, so runs are comparable across
 // machines and commits.
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,11 +42,14 @@ import (
 	"time"
 
 	"resilience/internal/telemetry"
+	"resilience/internal/transport"
 )
 
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running resil-server")
+	transportName := fs.String("transport", "http", "wire transport for the generated load: http, binary, or both")
+	binaryServer := fs.String("binary-server", "127.0.0.1:9090", "host:port of the server's -binary-addr listener (used by -transport binary/both)")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
 	concurrency := fs.Int("concurrency", 4, "concurrent workers")
 	mix := fs.String("mix", "fit=2,stream=1,batch=1", "weighted operation mix, e.g. fit=2,stream=1,batch=1")
@@ -57,14 +66,43 @@ func cmdLoadgen(args []string) error {
 	if err != nil {
 		return err
 	}
+	var transports []string
+	switch *transportName {
+	case "http":
+		transports = []string{"http"}
+	case "binary":
+		transports = []string{"binary"}
+	case "both":
+		transports = []string{"http", "binary"}
+	default:
+		return fmt.Errorf("loadgen: unknown transport %q (want http, binary, or both)", *transportName)
+	}
 
+	// Readiness is always gated over HTTP: /readyz reports WAL replay
+	// state and the HTTP listener is unconditionally on.
 	base := strings.TrimRight(*serverURL, "/")
-	client := &http.Client{Timeout: 30 * time.Second}
-	if err := waitReady(client, base, 10*time.Second); err != nil {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if err := waitReady(&http.Client{Timeout: 30 * time.Second}, base, 10*time.Second); err != nil {
 		return err
 	}
 
-	g := newLoadgen(client, base)
+	callers := make([]caller, 0, len(transports))
+	for _, tn := range transports {
+		target := base
+		if tn == "binary" {
+			target = *binaryServer
+		}
+		cl, err := newCaller(tn, target)
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		defer cl.close()
+		callers = append(callers, cl)
+	}
+
+	g := newLoadgen(callers)
 	start := time.Now()
 	deadline := start.Add(*duration)
 	var next atomic.Uint64
@@ -74,8 +112,9 @@ func cmdLoadgen(args []string) error {
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				op := schedule[next.Add(1)%uint64(len(schedule))]
-				g.runOp(op)
+				n := next.Add(1)
+				op := schedule[n%uint64(len(schedule))]
+				g.runOp(g.callers[n%uint64(len(g.callers))], op)
 			}
 		}()
 	}
@@ -163,20 +202,20 @@ func waitReady(client *http.Client, base string, timeout time.Duration) error {
 	return fmt.Errorf("loadgen: server at %s never became ready: %w", base, lastErr)
 }
 
-// loadgen drives one run: shared client, series pool, and a private
-// metrics registry (latency histograms + op/error counters per class).
+// loadgen drives one run: the transport callers, series pool, and a
+// private metrics registry (latency histograms + op/error counters per
+// transport and operation class).
 type loadgen struct {
-	client *http.Client
-	base   string
-	pool   [][]float64
-	poolIx atomic.Uint64
+	callers []caller
+	pool    [][]float64
+	poolIx  atomic.Uint64
 
 	reg     *telemetry.Registry
 	overall *telemetry.Histogram
 
 	// slowest holds the slowest requests seen so far (smallest first),
-	// each tagged with the server-side trace ID from the Traceparent
-	// response header — the handle for `GET /debug/traces/{id}`.
+	// each tagged with the server-side trace ID — the handle for
+	// `GET /debug/traces/{id}`.
 	slowMu  sync.Mutex
 	slowest []slowRequest
 }
@@ -191,15 +230,24 @@ type slowRequest struct {
 // maxSlowest bounds the slow-request list kept (and reported).
 const maxSlowest = 5
 
-func newLoadgen(client *http.Client, base string) *loadgen {
+func newLoadgen(callers []caller) *loadgen {
 	reg := telemetry.NewRegistry()
 	return &loadgen{
-		client:  client,
-		base:    base,
+		callers: callers,
 		pool:    loadSeriesPool(),
 		reg:     reg,
 		overall: reg.GetOrCreateHistogram("loadgen_latency_seconds", telemetry.DurationBuckets()),
 	}
+}
+
+// opKey names one (transport, op-class) cell in the report. With a
+// single transport the keys stay the bare op names, so existing report
+// consumers (obs_smoke.sh) read the same shape as before.
+func (g *loadgen) opKey(transportName, op string) string {
+	if len(g.callers) == 1 {
+		return op
+	}
+	return transportName + ":" + op
 }
 
 // noteSlow records a completed request into the bounded slowest list.
@@ -248,57 +296,38 @@ func (g *loadgen) nextSeries() []float64 {
 	return g.pool[g.poolIx.Add(1)%uint64(len(g.pool))]
 }
 
-// histFor returns the latency histogram for one operation class.
-func (g *loadgen) histFor(op string) *telemetry.Histogram {
+// histFor returns the latency histogram for one report key.
+func (g *loadgen) histFor(key string) *telemetry.Histogram {
 	return g.reg.GetOrCreateHistogram(
-		`loadgen_latency_seconds{op="`+op+`"}`, telemetry.DurationBuckets())
+		`loadgen_latency_seconds{op="`+key+`"}`, telemetry.DurationBuckets())
 }
 
-// observeReq times one HTTP request for operation class op, recording
-// latency and outcome. Any transport error or non-2xx status counts as
-// an error. The response body (when any) is returned for ops that need
-// it.
-func (g *loadgen) observeReq(op string, fn func() (*http.Response, error)) []byte {
+// observeCall times one operation on cl for operation class op,
+// recording latency and outcome. Any transport error or non-2xx status
+// counts as an error. The response body (when any) is returned for ops
+// that need it.
+func (g *loadgen) observeCall(cl caller, op, protoOp, id string, body any) []byte {
+	key := g.opKey(cl.transportName(), op)
 	start := time.Now()
-	resp, err := fn()
-	var body []byte
-	var traceID string
-	ok := err == nil
-	if resp != nil {
-		body, _ = io.ReadAll(resp.Body)
-		resp.Body.Close()
-		ok = ok && resp.StatusCode >= 200 && resp.StatusCode < 300
-		if tid, _, tok := telemetry.ParseTraceparent(resp.Header.Get("Traceparent")); tok {
-			traceID = tid
-		}
-	}
+	status, raw, traceID, err := cl.call(context.Background(), protoOp, id, body)
+	ok := err == nil && status >= 200 && status < 300
 	sec := time.Since(start).Seconds()
-	g.noteSlow(op, sec, traceID)
+	g.noteSlow(key, sec, traceID)
 	g.overall.Observe(sec)
-	g.histFor(op).Observe(sec)
-	g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + op + `"}`).Inc()
+	g.histFor(key).Observe(sec)
+	g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + key + `"}`).Inc()
 	if !ok {
-		g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + op + `"}`).Inc()
+		g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + key + `"}`).Inc()
 		return nil
 	}
-	return body
+	return raw
 }
 
-func (g *loadgen) postJSON(op, path string, payload any) []byte {
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return nil
-	}
-	return g.observeReq(op, func() (*http.Response, error) {
-		return g.client.Post(g.base+path, "application/json", bytes.NewReader(raw))
-	})
-}
-
-// runOp performs one logical operation of the given class.
-func (g *loadgen) runOp(op string) {
+// runOp performs one logical operation of the given class on cl.
+func (g *loadgen) runOp(cl caller, op string) {
 	switch op {
 	case "fit":
-		g.postJSON("fit", "/v1/fit", map[string]any{
+		g.observeCall(cl, "fit", transport.OpFit, "", map[string]any{
 			"model": "quadratic", "values": g.nextSeries(),
 		})
 	case "batch":
@@ -306,9 +335,9 @@ func (g *loadgen) runOp(op string) {
 		for i := range jobs {
 			jobs[i] = map[string]any{"model": "quadratic", "values": g.nextSeries()}
 		}
-		g.postJSON("batch", "/v1/batch", map[string]any{"jobs": jobs})
+		g.observeCall(cl, "batch", transport.OpBatch, "", map[string]any{"jobs": jobs})
 	case "stream":
-		body := g.postJSON("stream", "/v1/sessions", map[string]any{"model": "quadratic"})
+		body := g.observeCall(cl, "stream", transport.OpSessionCreate, "", map[string]any{"model": "quadratic"})
 		if body == nil {
 			return
 		}
@@ -321,16 +350,10 @@ func (g *loadgen) runOp(op string) {
 		series := g.nextSeries()
 		for off := 0; off < len(series); off += 8 {
 			end := min(off+8, len(series))
-			g.postJSON("stream", "/v1/sessions/"+snap.ID+"/observe",
+			g.observeCall(cl, "stream", transport.OpSessionObserve, snap.ID,
 				map[string]any{"values": series[off:end]})
 		}
-		g.observeReq("stream", func() (*http.Response, error) {
-			req, err := http.NewRequest(http.MethodDelete, g.base+"/v1/sessions/"+snap.ID, nil)
-			if err != nil {
-				return nil, err
-			}
-			return g.client.Do(req)
-		})
+		g.observeCall(cl, "stream", transport.OpSessionDelete, snap.ID, nil)
 	}
 }
 
@@ -366,9 +389,13 @@ func bucketCounts(h *telemetry.Histogram) []bucketCount {
 	return out
 }
 
-// loadReport is the run summary (also the -json output shape).
+// loadReport is the run summary (also the -json output shape). With
+// -transport both, PerOp keys are "<transport>:<op>" so the wires'
+// latencies land side by side; with a single transport they stay the
+// bare op names.
 type loadReport struct {
 	DurationSeconds float64            `json:"duration_seconds"`
+	Transports      []string           `json:"transports"`
 	Requests        uint64             `json:"requests"`
 	Errors          uint64             `json:"errors"`
 	ErrorRate       float64            `json:"error_rate"`
@@ -376,8 +403,8 @@ type loadReport struct {
 	Overall         opStats            `json:"overall"`
 	PerOp           map[string]opStats `json:"per_op"`
 	// Slowest lists the slowest individual requests with the server's
-	// trace IDs (from the Traceparent response header), slowest first —
-	// paste one into GET /debug/traces/{id} to see where the time went.
+	// trace IDs, slowest first — paste one into GET /debug/traces/{id}
+	// to see where the time went.
 	Slowest []slowRequest `json:"slowest_requests,omitempty"`
 }
 
@@ -394,21 +421,25 @@ func (g *loadgen) report(elapsed time.Duration) loadReport {
 		DurationSeconds: elapsed.Seconds(),
 		PerOp:           map[string]opStats{},
 	}
-	for _, op := range []string{"fit", "batch", "stream"} {
-		h := g.histFor(op)
-		if h.Count() == 0 {
-			continue
+	for _, cl := range g.callers {
+		rep.Transports = append(rep.Transports, cl.transportName())
+		for _, op := range []string{"fit", "batch", "stream"} {
+			key := g.opKey(cl.transportName(), op)
+			h := g.histFor(key)
+			if h.Count() == 0 {
+				continue
+			}
+			st := opStats{
+				Requests: g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + key + `"}`).Value(),
+				Errors:   g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + key + `"}`).Value(),
+				P50Ms:    quantileMs(h, 0.5),
+				P99Ms:    quantileMs(h, 0.99),
+				Buckets:  bucketCounts(h),
+			}
+			rep.PerOp[key] = st
+			rep.Requests += st.Requests
+			rep.Errors += st.Errors
 		}
-		st := opStats{
-			Requests: g.reg.GetOrCreateCounter(`loadgen_requests_total{op="` + op + `"}`).Value(),
-			Errors:   g.reg.GetOrCreateCounter(`loadgen_errors_total{op="` + op + `"}`).Value(),
-			P50Ms:    quantileMs(h, 0.5),
-			P99Ms:    quantileMs(h, 0.99),
-			Buckets:  bucketCounts(h),
-		}
-		rep.PerOp[op] = st
-		rep.Requests += st.Requests
-		rep.Errors += st.Errors
 	}
 	rep.Overall = opStats{
 		Requests: rep.Requests,
@@ -431,9 +462,10 @@ func (g *loadgen) report(elapsed time.Duration) loadReport {
 }
 
 func printLoadReport(rep loadReport) {
-	fmt.Printf("loadgen: %.1fs, %d requests (%.1f req/s), %d errors (rate %.4f)\n",
-		rep.DurationSeconds, rep.Requests, rep.Throughput, rep.Errors, rep.ErrorRate)
-	fmt.Printf("%-8s %10s %8s %10s %10s\n", "op", "requests", "errors", "p50(ms)", "p99(ms)")
+	fmt.Printf("loadgen: %.1fs over %s, %d requests (%.1f req/s), %d errors (rate %.4f)\n",
+		rep.DurationSeconds, strings.Join(rep.Transports, "+"),
+		rep.Requests, rep.Throughput, rep.Errors, rep.ErrorRate)
+	fmt.Printf("%-14s %10s %8s %10s %10s\n", "op", "requests", "errors", "p50(ms)", "p99(ms)")
 	ops := make([]string, 0, len(rep.PerOp))
 	for op := range rep.PerOp {
 		ops = append(ops, op)
@@ -441,8 +473,8 @@ func printLoadReport(rep loadReport) {
 	sort.Strings(ops)
 	for _, op := range ops {
 		st := rep.PerOp[op]
-		fmt.Printf("%-8s %10d %8d %10.1f %10.1f\n", op, st.Requests, st.Errors, st.P50Ms, st.P99Ms)
+		fmt.Printf("%-14s %10d %8d %10.1f %10.1f\n", op, st.Requests, st.Errors, st.P50Ms, st.P99Ms)
 	}
-	fmt.Printf("%-8s %10d %8d %10.1f %10.1f\n", "overall",
+	fmt.Printf("%-14s %10d %8d %10.1f %10.1f\n", "overall",
 		rep.Overall.Requests, rep.Overall.Errors, rep.Overall.P50Ms, rep.Overall.P99Ms)
 }

@@ -44,6 +44,7 @@ import (
 	"resilience/internal/service"
 	"resilience/internal/stream"
 	"resilience/internal/timeseries"
+	"resilience/internal/transport"
 )
 
 func main() {
@@ -110,18 +111,18 @@ func usage() {
 subcommands:
   datasets            list built-in recession datasets
   show                dump a dataset as CSV (-dataset)
-  fit                 fit a model (-model, -dataset)
+  fit                 fit a model (-model, -dataset; -server [-transport http|binary] runs it remotely)
   predict             predict recovery time (-model, -dataset, -level)
   metrics             interval-based resilience metrics (-model, -dataset)
-  batch               fit many dataset×model jobs concurrently (-datasets, -models)
+  batch               fit many dataset×model jobs concurrently (-datasets, -models; -server runs them remotely)
   table N             reproduce paper table N (1-4)
   figure N            reproduce paper figure N (1-6)
   ext NAME            run an extension experiment (composite, selection)
   select              rank all models on a dataset (-dataset, -criterion)
   bootstrap           residual-bootstrap intervals (-model, -dataset)
   watch               replay a series through the online tracker (-dataset)
-  stream              replay a series against a running server's /v1/sessions (-server, -dataset, -interval)
-  loadgen             mixed fit/batch/stream load against a server, with SLO gates (-server, -duration, -slo-p99)
+  stream              replay a series against a running server's sessions (-server, -dataset, -interval, -transport http|binary)
+  loadgen             mixed fit/batch/stream load against a server, with SLO gates (-server, -duration, -slo-p99, -transport http|binary|both)
   top                 live terminal view of a running server: rates, latencies, SLO budget, slowest traces (-server, -interval)
   report              render all tables+figures into one HTML file (-o)
   gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
@@ -201,6 +202,8 @@ func cmdFit(args []string) error {
 	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
 	trainFrac := fs.Float64("train", 0.9, "training fraction for validation")
 	alpha := fs.Float64("alpha", 0.05, "CI significance level")
+	serverURL := fs.String("server", "", "run against a resil-server at this address instead of in-process (prints the server's JSON reply)")
+	transportName := fs.String("transport", "http", "wire transport when -server is set: http or binary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,6 +213,12 @@ func cmdFit(args []string) error {
 	data, label, err := resolveSeries(*dataName)
 	if err != nil {
 		return err
+	}
+	if *serverURL != "" {
+		return remoteOp(*transportName, *serverURL, transport.OpFit, map[string]any{
+			"model": *modelName, "times": data.Times(), "values": data.Values(),
+			"train_fraction": *trainFrac,
+		})
 	}
 	out, err := service.New(service.Config{}).Fit(context.Background(), service.Request{
 		Model: *modelName, Series: data, TrainFraction: *trainFrac, CIAlpha: *alpha,
@@ -332,6 +341,8 @@ func cmdBatch(args []string) error {
 	modelNames := fs.String("models", strings.Join(registry.Names(), ","), "comma-separated model names (default: all)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = min(jobs, GOMAXPROCS))")
 	trainFrac := fs.Float64("train", 0.9, "training fraction for validation")
+	serverURL := fs.String("server", "", "run against a resil-server at this address instead of in-process (prints the server's JSON reply)")
+	transportName := fs.String("transport", "http", "wire transport when -server is set: http or binary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -345,6 +356,7 @@ func cmdBatch(args []string) error {
 	type jobMeta struct{ dataset, model string }
 	var jobs []service.Request
 	var metas []jobMeta
+	var wireJobs []map[string]any
 	for _, dn := range strings.Split(*dataNames, ",") {
 		dn = strings.TrimSpace(dn)
 		if dn == "" {
@@ -361,7 +373,16 @@ func cmdBatch(args []string) error {
 			}
 			jobs = append(jobs, service.Request{Model: mn, Series: data, TrainFraction: *trainFrac})
 			metas = append(metas, jobMeta{dataset: label, model: mn})
+			wireJobs = append(wireJobs, map[string]any{
+				"model": mn, "times": data.Times(), "values": data.Values(),
+				"train_fraction": *trainFrac,
+			})
 		}
+	}
+	if *serverURL != "" {
+		return remoteOp(*transportName, *serverURL, transport.OpBatch, map[string]any{
+			"jobs": wireJobs, "workers": *workers,
+		})
 	}
 
 	svc := service.New(service.Config{FitCacheSize: len(jobs)})

@@ -1,35 +1,34 @@
 package main
 
 // resil stream: a client for the server's streaming-session API. It
-// opens a session on a running resil-server, subscribes to the
-// Server-Sent Events feed, and replays a dataset (or CSV) point by
-// point — with optional -interval pacing to mimic live arrival —
-// printing each pushed update as the disruption unfolds. This is both
-// the scripted end-to-end exercise of the streaming subsystem and a
-// reference SSE consumer.
+// opens a session on a running resil-server, subscribes to the event
+// feed, and replays a dataset (or CSV) point by point — with optional
+// -interval pacing to mimic live arrival — printing each pushed update
+// as the disruption unfolds. With -transport it runs over either the
+// HTTP/SSE routes or the compact binary protocol; the event stream is
+// identical on both. This is both the scripted end-to-end exercise of
+// the streaming subsystem and a reference consumer for each transport.
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
-	"strings"
 	"time"
 
 	"resilience/internal/stream"
-	"resilience/internal/telemetry"
+	"resilience/internal/transport"
 )
 
 func cmdStream(args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
-	serverURL := fs.String("server", "http://localhost:8080", "base URL of a running resil-server")
+	serverURL := fs.String("server", "http://localhost:8080", "server address: base URL for -transport http, host:port of -binary-addr for -transport binary")
+	transportName := fs.String("transport", "http", "wire transport: http or binary")
 	dataName := fs.String("dataset", "", "built-in dataset name or CSV path")
 	modelName := fs.String("model", "competing-risks", "model the session refits on each update")
 	interval := fs.Duration("interval", 0, "pause between observations (0 replays as fast as the server accepts)")
 	keep := fs.Bool("keep", false, "leave the session open instead of deleting it when the replay ends")
+	sessionID := fs.String("session", "", "replay into this existing session instead of creating one (e.g. re-creating a killed node's session on its new owner)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,15 +39,19 @@ func cmdStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	base := strings.TrimRight(*serverURL, "/")
-	client := &http.Client{Timeout: 30 * time.Second}
+	cl, err := newCaller(*transportName, *serverURL)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	defer cl.close()
+	ctx := context.Background()
 
-	snap, err := createSession(client, base, *modelName)
+	snap, err := createSession(ctx, cl, *modelName, *sessionID)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("session %s on %s (model %s), replaying %s, %d points\n\n",
-		snap.ID, base, snap.Model, label, data.Len())
+	fmt.Printf("session %s on %s via %s (model %s), replaying %s, %d points\n\n",
+		snap.ID, *serverURL, cl.transportName(), snap.Model, label, data.Len())
 
 	// Subscribe before the first observation so no event is missed; the
 	// feed goroutine prints every pushed event and exits on the terminal
@@ -56,17 +59,20 @@ func cmdStream(args []string) error {
 	// signals the subscription is live, gating the replay.
 	events := make(chan error, 1)
 	ready := make(chan struct{})
-	go func() { events <- followEvents(base, snap.ID, ready) }()
+	go func() { events <- followEvents(ctx, cl, snap.ID, ready) }()
 	select {
 	case <-ready:
 	case err := <-events:
+		if err == nil {
+			err = fmt.Errorf("stream: event feed ended before the initial snapshot")
+		}
 		return err
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("stream: event feed never delivered the initial snapshot")
 	}
 
 	for i := 0; i < data.Len(); i++ {
-		if err := observePoint(client, base, snap.ID, data.Time(i), data.Value(i)); err != nil {
+		if err := observePoint(ctx, cl, snap.ID, data.Time(i), data.Value(i)); err != nil {
 			return err
 		}
 		if *interval > 0 && i < data.Len()-1 {
@@ -78,16 +84,13 @@ func cmdStream(args []string) error {
 		fmt.Printf("\nsession %s left open\n", snap.ID)
 		return nil
 	}
-	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+snap.ID, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
+	status, raw, _, err := cl.call(ctx, transport.OpSessionDelete, snap.ID, nil)
 	if err != nil {
 		return fmt.Errorf("stream: close session: %w", err)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	if status != 200 {
+		return fmt.Errorf("stream: %w", opError("close session", status, raw))
+	}
 	// The delete pushes the terminal event; wait for the feed to drain so
 	// every update has been printed before we return.
 	select {
@@ -98,118 +101,75 @@ func cmdStream(args []string) error {
 	}
 }
 
-func createSession(client *http.Client, base, model string) (*stream.Snapshot, error) {
-	body, _ := json.Marshal(map[string]any{"model": model})
-	resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+// createSession opens a session (or adopts an existing one when id is
+// set, the replay-recovery path after a node loss).
+func createSession(ctx context.Context, cl caller, model, id string) (*stream.Snapshot, error) {
+	var snap stream.Snapshot
+	if id != "" {
+		status, raw, _, err := cl.call(ctx, transport.OpSessionGet, id, nil)
+		if err != nil {
+			return nil, fmt.Errorf("stream: find session: %w", err)
+		}
+		if status != 200 {
+			return nil, fmt.Errorf("stream: %w", opError("find session", status, raw))
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("stream: decode session: %w", err)
+		}
+		return &snap, nil
+	}
+	status, raw, _, err := cl.call(ctx, transport.OpSessionCreate, "", map[string]any{"model": model})
 	if err != nil {
 		return nil, fmt.Errorf("stream: create session: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return nil, apiErrorf(resp, "create session")
+	if status != 201 {
+		return nil, fmt.Errorf("stream: %w", opError("create session", status, raw))
 	}
-	var snap stream.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	if err := json.Unmarshal(raw, &snap); err != nil {
 		return nil, fmt.Errorf("stream: decode session: %w", err)
 	}
 	return &snap, nil
 }
 
-func observePoint(client *http.Client, base, id string, t, v float64) error {
-	body, _ := json.Marshal(map[string]any{"time": t, "value": v})
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+id+"/observe", bytes.NewReader(body))
+func observePoint(ctx context.Context, cl caller, id string, t, v float64) error {
+	status, raw, _, err := cl.call(ctx, transport.OpSessionObserve, id,
+		map[string]any{"time": t, "value": v})
 	if err != nil {
 		return fmt.Errorf("stream: observe t=%g: %w", t, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	// Propagate a client-minted trace context: the server adopts the
-	// trace ID, so each observation's server-side span tree (observe →
-	// refit → WAL append → SSE publish) is queryable afterwards at
-	// GET /debug/traces/{id} under an ID the client chose.
-	req.Header.Set("Traceparent", telemetry.FormatTraceparent(telemetry.NewTraceID(), telemetry.NewSpanID()))
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("stream: observe t=%g: %w", t, err)
+	if status != 200 {
+		return fmt.Errorf("stream: %w", opError(fmt.Sprintf("observe t=%g", t), status, raw))
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiErrorf(resp, fmt.Sprintf("observe t=%g", t))
-	}
-	io.Copy(io.Discard, resp.Body)
 	return nil
 }
 
-// apiErrorf folds a non-2xx response's JSON error envelope into an error.
-func apiErrorf(resp *http.Response, what string) error {
-	var envelope struct {
-		Error string `json:"error"`
-		Field string `json:"field"`
-	}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	msg := strings.TrimSpace(string(raw))
-	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-		msg = envelope.Error
-		if envelope.Field != "" {
-			msg += " (field " + envelope.Field + ")"
-		}
-	}
-	return fmt.Errorf("stream: %s: %s: %s", what, resp.Status, msg)
-}
-
-// followEvents consumes the session's SSE feed, printing one line per
+// followEvents consumes the session's event feed, printing one line per
 // update until the terminal "closed" event arrives. ready is closed
 // once the initial snapshot event arrives, i.e. the subscription is
 // attached and no later update can be missed.
-func followEvents(base, id string, ready chan<- struct{}) error {
-	// No client timeout: the feed is open-ended by design.
-	resp, err := http.Get(base + "/v1/sessions/" + id + "/events")
-	if err != nil {
-		return fmt.Errorf("stream: subscribe: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiErrorf(resp, "subscribe")
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	var event, payload string
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			payload = strings.TrimPrefix(line, "data: ")
-		case line == "":
-			if event == "snapshot" && ready != nil {
-				close(ready)
-				ready = nil
-			}
-			done, err := printEvent(event, payload)
-			if err != nil {
-				return err
-			}
-			if done {
-				return nil
-			}
-			event, payload = "", ""
+func followEvents(ctx context.Context, cl caller, id string, ready chan<- struct{}) error {
+	err := cl.subscribe(ctx, id, func(event string, data []byte) error {
+		if event == "snapshot" && ready != nil {
+			close(ready)
+			ready = nil
 		}
+		return printEvent(event, data)
+	})
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("stream: event feed: %w", err)
-	}
-	return fmt.Errorf("stream: event feed ended without a terminal event")
+	return nil
 }
 
-// printEvent renders one SSE event; done reports the terminal event.
-func printEvent(event, payload string) (done bool, err error) {
+// printEvent renders one feed event.
+func printEvent(event string, payload []byte) error {
 	switch event {
 	case "snapshot":
-		return false, nil // attach-time state; the replay prints updates only
+		return nil // attach-time state; the replay prints updates only
 	case "update":
 		var ev stream.Event
-		if err := json.Unmarshal([]byte(payload), &ev); err != nil || ev.Update == nil {
-			return false, fmt.Errorf("stream: bad update event %q: %v", payload, err)
+		if err := json.Unmarshal(payload, &ev); err != nil || ev.Update == nil {
+			return fmt.Errorf("bad update event %q: %v", payload, err)
 		}
 		up := ev.Update
 		line := fmt.Sprintf("#%-3d t=%-5.1f v=%.4f  %-10s", up.Seq, up.Time, up.Value, up.Phase)
@@ -226,13 +186,13 @@ func printEvent(event, payload string) (done bool, err error) {
 			line += "  fit_error=" + up.FitErr
 		}
 		fmt.Println(line)
-		return false, nil
+		return nil
 	case "closed":
 		var ev stream.Event
-		_ = json.Unmarshal([]byte(payload), &ev)
+		_ = json.Unmarshal(payload, &ev)
 		fmt.Printf("\nsession closed (%s)\n", ev.Reason)
-		return true, nil
+		return nil
 	default:
-		return false, nil
+		return nil
 	}
 }

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilience/internal/telemetry"
+	"resilience/internal/transport/binary"
+)
+
+// DefaultForwardTimeout bounds one peer hop. It must cover a cold fit
+// on the owner (loadgen's SLO gate is hundreds of milliseconds), while
+// failing fast enough that a dead peer turns into a typed redirect
+// instead of a hung client.
+const DefaultForwardTimeout = 10 * time.Second
+
+// Config describes this node's place in the peer set.
+type Config struct {
+	// Self is this node's own binary-transport address as it appears in
+	// Peers. Ownership of a session is "Owner(id) == Self".
+	Self string
+	// Peers is the full static membership (binary addresses, self
+	// included). Every node must be configured with the same table.
+	Peers []string
+	// VNodes is the virtual-node count per peer (DefaultVNodes if <= 0).
+	VNodes int
+	// ForwardTimeout bounds one forwarded request
+	// (DefaultForwardTimeout if <= 0).
+	ForwardTimeout time.Duration
+}
+
+// Cluster computes session ownership and forwards non-owned requests to
+// their owner over the binary transport. Safe for concurrent use.
+type Cluster struct {
+	ring    *Ring
+	self    string
+	timeout time.Duration
+
+	mu       sync.Mutex
+	clients  map[string]*binary.Client
+	draining bool
+
+	inflight sync.WaitGroup // outbound forwards in flight
+}
+
+// New validates cfg and builds the cluster view. Self must appear in
+// the peer table — a node that is not in its own membership would
+// forward every request and own nothing.
+func New(cfg Config) (*Cluster, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	found := false
+	for _, p := range ring.Peers() {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer table %v", cfg.Self, ring.Peers())
+	}
+	timeout := cfg.ForwardTimeout
+	if timeout <= 0 {
+		timeout = DefaultForwardTimeout
+	}
+	c := &Cluster{
+		ring:    ring,
+		self:    cfg.Self,
+		timeout: timeout,
+		clients: make(map[string]*binary.Client),
+	}
+	metrics.peers.Set(float64(len(ring.Peers())))
+	return c, nil
+}
+
+// Self returns this node's own peer address.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the full membership in sorted order.
+func (c *Cluster) Peers() []string { return c.ring.Peers() }
+
+// Owner returns the peer address owning sessionID.
+func (c *Cluster) Owner(sessionID string) string { return c.ring.Owner(sessionID) }
+
+// IsLocal reports whether this node owns sessionID.
+func (c *Cluster) IsLocal(sessionID string) bool { return c.ring.Owner(sessionID) == c.self }
+
+// client returns (lazily creating) the pooled client for peer.
+func (c *Cluster) client(peer string) (*binary.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, fmt.Errorf("cluster: shutting down")
+	}
+	cl, ok := c.clients[peer]
+	if !ok {
+		cl = binary.NewClient(peer)
+		c.clients[peer] = cl
+	}
+	return cl, nil
+}
+
+// Forward sends one operation to peer over the binary transport,
+// propagating the request ID and trace context so the hop stitches into
+// the caller's trace, and recording a cluster.forward span plus the
+// resil_cluster_* forward metrics. The returned status/body carry the
+// owner's response verbatim (a JSON-model tree).
+func (c *Cluster) Forward(ctx context.Context, peer, op string, body any) (int, any, error) {
+	cl, err := c.client(peer)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.inflight.Add(1)
+	defer c.inflight.Done()
+
+	ctx, span := telemetry.StartSpanCtx(ctx, "cluster.forward")
+	fctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+
+	reqID := telemetry.RequestID(ctx)
+	traceparent := ""
+	if tid := telemetry.TraceID(ctx); tid != "" {
+		traceparent = telemetry.FormatTraceparent(tid, span.SpanID())
+	}
+	start := time.Now()
+	status, respBody, err := cl.Do(fctx, op, reqID, traceparent, body)
+	elapsed := time.Since(start)
+
+	outcome := "ok"
+	spanStatus := ""
+	if err != nil {
+		outcome = "error"
+		spanStatus = "forward failed"
+	}
+	span.EndStatus(spanStatus,
+		telemetry.Str("peer", peer),
+		telemetry.Str("op", op),
+		telemetry.Int("status", status),
+	)
+	forwardMetricsFor(op, outcome).observe(elapsed.Seconds(), telemetry.TraceID(ctx))
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: forward %s to %s: %w", op, peer, err)
+	}
+	return status, respBody, nil
+}
+
+// Shutdown stops new forwards, waits for in-flight ones to finish (or
+// ctx to expire), and closes the peer clients.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	clients := c.clients
+	c.clients = make(map[string]*binary.Client)
+	c.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+	return err
+}
+
+// StatsSnapshot is the cluster section of GET /v1/stats.
+type StatsSnapshot struct {
+	Self          string   `json:"self"`
+	Peers         []string `json:"peers"`
+	Forwards      uint64   `json:"forwards"`
+	ForwardErrors uint64   `json:"forward_errors"`
+	Redirects     uint64   `json:"redirects"`
+}
+
+// Stats returns the current cluster counters.
+func (c *Cluster) Stats() StatsSnapshot {
+	errs := metrics.forwardErrors.Load()
+	return StatsSnapshot{
+		Self:          c.self,
+		Peers:         c.ring.Peers(),
+		Forwards:      metrics.forwardsOK.Load() + errs,
+		ForwardErrors: errs,
+		Redirects:     metrics.redirects.Value(),
+	}
+}

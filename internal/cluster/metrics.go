@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"resilience/internal/telemetry"
+)
+
+func init() {
+	telemetry.RegisterFamily("resil_cluster_peers", "gauge",
+		"Configured peer-set size (including this node).")
+	telemetry.RegisterFamily("resil_cluster_forwards_total", "counter",
+		"Session requests forwarded to their owning peer, by op and outcome.")
+	telemetry.RegisterFamily("resil_cluster_forward_duration_seconds", "histogram",
+		"Latency of one forwarded peer hop, by op.")
+	telemetry.RegisterFamily("resil_cluster_redirects_total", "counter",
+		"Typed redirect responses returned for sessions this node does not own.")
+}
+
+// metrics holds the unlabeled handles (the peer-table gauge, the
+// redirect counter) plus plain atomic aggregates backing the /v1/stats
+// cluster section — the labeled per-op series feed /metrics and summing
+// a labeled family for a JSON snapshot is not worth the scan.
+var metrics = struct {
+	peers         *telemetry.Gauge
+	redirects     *telemetry.Counter
+	forwardsOK    atomic.Uint64
+	forwardErrors atomic.Uint64
+}{
+	peers:     telemetry.GetOrCreateGauge("resil_cluster_peers"),
+	redirects: telemetry.GetOrCreateCounter("resil_cluster_redirects_total"),
+}
+
+// forwardMetrics pairs the handles for one (op, outcome) forward cell.
+type forwardMetrics struct {
+	requests  *telemetry.Counter
+	aggregate *atomic.Uint64
+	latency   *telemetry.Histogram
+}
+
+func (m forwardMetrics) observe(seconds float64, traceID string) {
+	m.requests.Inc()
+	m.aggregate.Add(1)
+	m.latency.ObserveWithExemplar(seconds, traceID)
+}
+
+// forwardMetricsFor resolves the handles for an op/outcome pair. Ops
+// come from the fixed protocol vocabulary and outcome is ok|error, so
+// cardinality is bounded.
+func forwardMetricsFor(op, outcome string) forwardMetrics {
+	agg := &metrics.forwardsOK
+	if outcome == "error" {
+		agg = &metrics.forwardErrors
+	}
+	return forwardMetrics{
+		requests: telemetry.GetOrCreateCounter("resil_cluster_forwards_total{" +
+			telemetry.Labels("op", op, "outcome", outcome) + "}"),
+		aggregate: agg,
+		latency: telemetry.GetOrCreateHistogram("resil_cluster_forward_duration_seconds{"+
+			telemetry.Labels("op", op)+"}", telemetry.DurationBuckets()),
+	}
+}
+
+// CountRedirect records one typed-redirect response; the server's
+// session routes call it when they answer with an ownership redirect
+// instead of forwarding (or when the forward to the owner failed).
+func CountRedirect() { metrics.redirects.Inc() }

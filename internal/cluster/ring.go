@@ -1,0 +1,131 @@
+// Package cluster turns a set of independent resil-server processes
+// into a peer set that shards streaming sessions among themselves. The
+// membership model is deliberately minimal — a static `-peers` table,
+// identical on every node — so ownership is a pure function every node
+// computes locally: no gossip, no coordination, no split-brain. A node
+// answers requests for sessions it owns and forwards the rest to the
+// owner over the binary transport, propagating request ID and
+// traceparent so a cross-node request remains one trace.
+//
+// The fit cache needs no cluster awareness: it is keyed by a canonical
+// digest of (series, model), so a forwarded request fits exactly the
+// cache entry the owner would have produced for a direct request.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per peer. 128 points per peer
+// keeps the ownership share of each node within a few percent of fair
+// for realistic peer counts while the ring stays small enough that a
+// lookup is one binary search over a few hundred points.
+const DefaultVNodes = 128
+
+// ringPoint is one virtual node: a hash position owned by a peer.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// Ring maps keys (session IDs) onto peers by consistent hashing with
+// virtual nodes. Immutable after construction; safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	peers  []string
+}
+
+// NewRing builds a ring over peers (binary-transport addresses) with
+// vnodes virtual nodes each (DefaultVNodes when <= 0). Peer order does
+// not matter: every permutation builds the identical ring, which is the
+// property that lets each node compute ownership independently.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	sorted := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	r := &Ring{
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+		peers:  sorted,
+	}
+	for _, p := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(p, i), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Tie-break on peer so the ring is deterministic even in the
+		// (astronomically unlikely) event of a 64-bit hash collision.
+		return a.peer < b.peer
+	})
+	return r, nil
+}
+
+// Owner returns the peer owning key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) string {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// Peers returns the membership in sorted order.
+func (r *Ring) Peers() []string {
+	out := make([]string, len(r.peers))
+	copy(out, r.peers)
+	return out
+}
+
+// pointHash positions one virtual node. The vnode index is separated
+// from the peer name by a NUL so "peer1"+vnode 10 can never collide
+// with a peer literally named "peer110".
+func pointHash(peer string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(vnode)))
+	return mix64(h.Sum64())
+}
+
+// keyHash positions a session ID on the ring.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a has poor avalanche on
+// short, similar inputs — peer addresses differing in one digit produce
+// clustered ring positions and a badly skewed key distribution; the
+// finalizer spreads them uniformly.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"resilience/internal/transport"
+	"resilience/internal/transport/binary"
+)
+
+// sessionIDs mints n deterministic IDs shaped like the stream manager's
+// real ones (s-<16 hex>), so the distribution test measures the hash on
+// the key population it will actually see.
+func sessionIDs(n int) []string {
+	ids := make([]string, n)
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := range ids {
+		// splitmix64 over the index: deterministic, well-mixed bytes.
+		z := h + uint64(i)*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		ids[i] = fmt.Sprintf("s-%016x", z)
+	}
+	return ids
+}
+
+func peersN(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("10.0.0.%d:9443", i+1)
+	}
+	return peers
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer set accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Error("empty peer address accepted")
+	}
+}
+
+func TestRingOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:1", "n3:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:1", "n1:1", "n2:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sessionIDs(500) {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("peer order changed ownership of %s", id)
+		}
+	}
+}
+
+// TestRingUniformity: across 10k session IDs and 3 peers, every peer's
+// share must be within a reasonable band of fair (1/3). With 128 vnodes
+// the observed spread is a few percent; the 25% tolerance guards the
+// property without flaking on hash luck.
+func TestRingUniformity(t *testing.T) {
+	const nIDs = 10000
+	for _, nPeers := range []int{2, 3, 5} {
+		ring, err := NewRing(peersN(nPeers), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for _, id := range sessionIDs(nIDs) {
+			counts[ring.Owner(id)]++
+		}
+		if len(counts) != nPeers {
+			t.Fatalf("%d peers: only %d received keys", nPeers, len(counts))
+		}
+		fair := float64(nIDs) / float64(nPeers)
+		for peer, n := range counts {
+			ratio := float64(n) / fair
+			if ratio < 0.75 || ratio > 1.25 {
+				t.Errorf("%d peers: %s owns %d keys (%.2f× fair share)", nPeers, peer, n, ratio)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnAdd: adding a peer may move keys only TO the
+// new peer; every other key keeps its owner. That is the consistency
+// property that makes ring growth cheap.
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	base := peersN(3)
+	before, err := NewRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := "10.0.0.99:9443"
+	after, err := NewRing(append(append([]string{}, base...), added), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	ids := sessionIDs(10000)
+	for _, id := range ids {
+		was, now := before.Owner(id), after.Owner(id)
+		if was == now {
+			continue
+		}
+		if now != added {
+			t.Fatalf("key %s moved %s -> %s, not to the added peer", id, was, now)
+		}
+		moved++
+	}
+	// The new peer should take roughly its fair share (1/4) — and only
+	// that. Movement far above fair share would mean reshuffling.
+	fair := float64(len(ids)) / 4
+	if f := float64(moved) / fair; f < 0.7 || f > 1.3 {
+		t.Errorf("add moved %d keys (%.2f× the new peer's fair share)", moved, f)
+	}
+}
+
+// TestRingMinimalMovementOnRemove: removing a peer must only reassign
+// that peer's keys; everything else stays put.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	base := peersN(4)
+	before, err := NewRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := base[2]
+	after, err := NewRing(append(append([]string{}, base[:2]...), base[3]), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sessionIDs(10000) {
+		was, now := before.Owner(id), after.Owner(id)
+		if was == removed {
+			if now == removed {
+				t.Fatalf("key %s still maps to removed peer", id)
+			}
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %s owned by surviving %s moved to %s", id, was, now)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership hammers Owner from many goroutines
+// (meaningful under -race) and asserts every reader computes the same
+// owner for the same key — ownership is a pure function of the table.
+func TestRingDeterministicOwnership(t *testing.T) {
+	ring, err := NewRing(peersN(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sessionIDs(1000)
+	want := make([]string, len(ids))
+	for i, id := range ids {
+		want[i] = ring.Owner(id)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, id := range ids {
+				if got := ring.Owner(id); got != want[i] {
+					select {
+					case errs <- fmt.Errorf("owner(%s) = %s, want %s", id, got, want[i]):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Config{Self: "x:1", Peers: []string{"a:1", "b:1"}}); err == nil {
+		t.Error("self outside peer table accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a:1"}}); err == nil {
+		t.Error("missing self accepted")
+	}
+	c, err := New(Config{Self: "a:1", Peers: []string{"b:1", "a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Peers(); !reflect.DeepEqual(got, []string{"a:1", "b:1"}) {
+		t.Fatalf("peers = %v", got)
+	}
+	if c.Self() != "a:1" {
+		t.Fatalf("self = %q", c.Self())
+	}
+	// Every session is owned by exactly one peer, and IsLocal agrees
+	// with Owner.
+	for _, id := range sessionIDs(100) {
+		if c.IsLocal(id) != (c.Owner(id) == "a:1") {
+			t.Fatalf("IsLocal/Owner disagree for %s", id)
+		}
+	}
+}
+
+// echoHandler answers any op with the op name and echoed body.
+type echoHandler struct{}
+
+func (echoHandler) Exec(ctx context.Context, op string, body any) (int, any) {
+	return 200, map[string]any{"op": op, "echo": body}
+}
+
+func (echoHandler) Stream(ctx context.Context, op string, body any, send func(string, any) error) (int, any) {
+	return 404, map[string]any{"error": "no streams here"}
+}
+
+func TestClusterForward(t *testing.T) {
+	srv := binary.NewServer(echoHandler{}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	peer := ln.Addr().String()
+
+	c, err := New(Config{Self: peer, Peers: []string{peer, "127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, err := c.Forward(context.Background(), peer, transport.OpSessionGet,
+		map[string]any{"id": "s-abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	m, _ := body.(map[string]any)
+	if m["op"] != transport.OpSessionGet {
+		t.Fatalf("body = %#v", body)
+	}
+
+	// A dead peer is a transport error, not a hang.
+	deadCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, _, err := c.Forward(deadCtx, "127.0.0.1:1", transport.OpSessionGet, nil); err == nil {
+		t.Fatal("forward to dead peer succeeded")
+	}
+
+	st := c.Stats()
+	if st.Forwards != 2 || st.ForwardErrors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Forward(context.Background(), peer, transport.OpSessionGet, nil); err == nil {
+		t.Fatal("forward after shutdown succeeded")
+	}
+}

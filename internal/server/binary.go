@@ -1,0 +1,214 @@
+package server
+
+// The binary-transport adapter: implements transport/binary.Handler on
+// top of the operation layer in ops.go, so the binary listener serves
+// the identical operations — and payload-identical responses — as the
+// HTTP routes. The adapter's job is pure plumbing: bridge JSON-model
+// trees to the raw-bytes seam, apply the same fit timeout HTTP applies,
+// and pull the session ID out of the envelope body where HTTP reads it
+// from the URL path.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"resilience/internal/stream"
+	"resilience/internal/telemetry"
+	"resilience/internal/transport"
+)
+
+// binaryHandler adapts the api's operation layer to the binary server.
+type binaryHandler struct {
+	a *api
+}
+
+// BinaryHandler returns the handler to mount on a binary listener
+// (transport/binary.NewServer). The returned handler serves
+// fit/predict/metrics/forecast/intervention/batch, the catalog and
+// stats reads, and the full session lifecycle including the subscribe
+// stream.
+func (app *App) BinaryHandler() interface {
+	Exec(ctx context.Context, op string, body any) (int, any)
+	Stream(ctx context.Context, op string, body any, send func(event string, data any) error) (int, any)
+} {
+	return binaryHandler{a: app.a}
+}
+
+// rawBody re-renders a decoded body tree to JSON bytes for the shared
+// strict-decode path, enforcing the same byte cap as HTTP.
+func rawBody(ctx context.Context, body any, limit int64) ([]byte, *apiError) {
+	if body == nil {
+		return nil, nil
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, &apiError{status: http.StatusBadRequest, err: fmt.Errorf("decode request: %w", err)}
+	}
+	if int64(len(raw)) > limit {
+		return nil, &apiError{
+			status: http.StatusRequestEntityTooLarge,
+			err:    fmt.Errorf("request body exceeds %d bytes", limit),
+		}
+	}
+	return raw, nil
+}
+
+// sessionTarget splits a session op's body into the target ID and the
+// remaining fields (re-encoded for the strict decoders, which reject
+// unknown keys like "id").
+func sessionTarget(body any) (id string, rest []byte, err error) {
+	m, ok := body.(map[string]any)
+	if !ok || m == nil {
+		return "", nil, fmt.Errorf("session operation requires a body with an id")
+	}
+	id, _ = m["id"].(string)
+	if id == "" {
+		return "", nil, fmt.Errorf("session operation requires a non-empty id")
+	}
+	fields := make(map[string]any, len(m))
+	for k, v := range m {
+		if k != "id" {
+			fields[k] = v
+		}
+	}
+	rest, err = json.Marshal(fields)
+	return id, rest, err
+}
+
+// fitTimeout mirrors withFitTimeout for the ops HTTP bounds the same
+// way: fitting work (including session observes, whose refits run the
+// degradation chain) gets the configured deadline.
+func (h binaryHandler) fitTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, h.a.cfg.FitTimeout)
+}
+
+func (h binaryHandler) Exec(ctx context.Context, op string, body any) (int, any) {
+	a := h.a
+	switch op {
+	case transport.OpFit, transport.OpPredict, transport.OpMetrics,
+		transport.OpForecast, transport.OpIntervention:
+		raw, aerr := rawBody(ctx, body, maxBodyBytes)
+		if aerr != nil {
+			return aerr.status, aerr.body(ctx)
+		}
+		tctx, cancel := h.fitTimeout(ctx)
+		defer cancel()
+		switch op {
+		case transport.OpFit:
+			return a.execFit(tctx, raw)
+		case transport.OpPredict:
+			return a.execPredict(tctx, raw)
+		case transport.OpMetrics:
+			return a.execMetrics(tctx, raw)
+		case transport.OpForecast:
+			return a.execForecast(tctx, raw)
+		default:
+			return a.execIntervention(tctx, raw)
+		}
+	case transport.OpBatch:
+		raw, aerr := rawBody(ctx, body, maxBatchBodyBytes)
+		if aerr != nil {
+			return aerr.status, aerr.body(ctx)
+		}
+		tctx, cancel := h.fitTimeout(ctx)
+		defer cancel()
+		return a.execBatch(tctx, raw)
+	case transport.OpModels:
+		return http.StatusOK, modelsPayload()
+	case transport.OpVersion:
+		return http.StatusOK, versionPayload()
+	case transport.OpStats:
+		return http.StatusOK, a.statsPayload()
+	case transport.OpSessionCreate:
+		raw, aerr := rawBody(ctx, body, maxBodyBytes)
+		if aerr != nil {
+			return aerr.status, aerr.body(ctx)
+		}
+		return a.execSessionCreate(ctx, raw)
+	case transport.OpSessionList:
+		return a.execSessionList(ctx)
+	case transport.OpSessionGet, transport.OpSessionDelete, transport.OpSessionObserve:
+		id, rest, err := sessionTarget(body)
+		if err != nil {
+			aerr := badField("id", "%s", err.Error())
+			return aerr.status, aerr.body(ctx)
+		}
+		switch op {
+		case transport.OpSessionGet:
+			return a.execSessionGet(ctx, id)
+		case transport.OpSessionDelete:
+			return a.execSessionDelete(ctx, id)
+		default:
+			if int64(len(rest)) > maxBodyBytes {
+				aerr := &apiError{
+					status: http.StatusRequestEntityTooLarge,
+					err:    fmt.Errorf("request body exceeds %d bytes", int64(maxBodyBytes)),
+				}
+				return aerr.status, aerr.body(ctx)
+			}
+			tctx, cancel := h.fitTimeout(ctx)
+			defer cancel()
+			return a.execSessionObserve(tctx, id, rest)
+		}
+	default:
+		return errPayload(ctx, http.StatusNotFound, fmt.Errorf("unknown operation %q", op))
+	}
+}
+
+// Stream serves session.subscribe: the binary twin of the SSE feed. The
+// first event is a "snapshot" carrying the state at attach time plus
+// the request ID, then one "update" per observation, then a terminal
+// "closed". Subscriptions to sessions owned by another peer answer with
+// a typed redirect (421) instead of events — feeds are not forwarded.
+func (h binaryHandler) Stream(ctx context.Context, op string, body any, send func(event string, data any) error) (int, any) {
+	a := h.a
+	if op != transport.OpSessionSubscribe {
+		return errPayload(ctx, http.StatusNotFound, fmt.Errorf("unknown streaming operation %q", op))
+	}
+	id, _, err := sessionTarget(body)
+	if err != nil {
+		aerr := badField("id", "%s", err.Error())
+		return aerr.status, aerr.body(ctx)
+	}
+	if a.cluster != nil && !a.cluster.IsLocal(id) {
+		owner := a.cluster.Owner(id)
+		return http.StatusMisdirectedRequest, a.redirectPayload(ctx, id, owner,
+			fmt.Sprintf("session %s is owned by %s; reconnect there", id, owner))
+	}
+	reqID := telemetry.RequestID(ctx)
+	sub, snap, err := a.streams.Subscribe(id, reqID)
+	if err != nil {
+		return streamErrPayload(ctx, err)
+	}
+	defer sub.Close()
+
+	opening := struct {
+		stream.Snapshot
+		RequestID string `json:"request_id"`
+	}{snap, reqID}
+	if err := send("snapshot", opening); err != nil {
+		return http.StatusOK, nil
+	}
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				// Dropped as a slow consumer without a terminal event; tell
+				// the client the feed is over so it does not wait forever.
+				send("closed", map[string]any{"reason": "dropped"})
+				return http.StatusOK, nil
+			}
+			if err := send(string(ev.Type), ev); err != nil {
+				return http.StatusOK, nil
+			}
+			if ev.Type == stream.EventClosed {
+				return http.StatusOK, nil
+			}
+		case <-ctx.Done():
+			send("closed", map[string]any{"reason": "shutdown"})
+			return http.StatusOK, nil
+		}
+	}
+}

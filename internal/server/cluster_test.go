@@ -1,0 +1,303 @@
+package server
+
+// In-process 3-node cluster suite: three Apps share a static peer
+// table, each serving HTTP (httptest) and the binary protocol on a
+// loopback listener. Exercises self-owned session minting, cross-node
+// forwarding with ownership annotations, the typed redirect for
+// non-forwardable subscriptions, and the 502 redirect shape when the
+// owner is gone — the in-process twin of scripts/cluster_smoke.sh.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"resilience/internal/cluster"
+	"resilience/internal/transport"
+	"resilience/internal/transport/binary"
+)
+
+type clusterNode struct {
+	addr string // binary address == identity in the peer table
+	app  *App
+	hs   *httptest.Server
+	bs   *binary.Server
+	clus *cluster.Cluster
+}
+
+// startTestCluster brings up n nodes over one shared peer table. The
+// binary listeners bind first (ephemeral ports) so the table is known
+// before any node starts.
+func startTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		clus, err := cluster.New(cluster.Config{
+			Self: addrs[i], Peers: addrs, ForwardTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := NewApp(Config{Logger: quiet, Cluster: clus})
+		bs := binary.NewServer(app.BinaryHandler(), nil)
+		go bs.Serve(lns[i])
+		hs := httptest.NewServer(app.Handler)
+		nodes[i] = &clusterNode{addr: addrs[i], app: app, hs: hs, bs: bs, clus: clus}
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, nd := range nodes {
+			nd.hs.Close()
+			nd.bs.Shutdown(ctx)
+			nd.clus.Shutdown(ctx)
+		}
+	})
+	return nodes
+}
+
+// httpJSON issues one request against a node's HTTP listener.
+func httpJSON(t *testing.T, base, method, path string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &tree); err != nil {
+			t.Fatalf("%s %s: non-JSON body %q", method, path, raw)
+		}
+	}
+	return resp.StatusCode, tree
+}
+
+func TestClusterSelfOwnedMinting(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	// Every node must mint session IDs it owns, so creates never hop.
+	for i, nd := range nodes {
+		status, body := httpJSON(t, nd.hs.URL, http.MethodPost, "/v1/sessions",
+			map[string]any{"model": "quadratic"})
+		if status != http.StatusCreated {
+			t.Fatalf("node %d create: status %d: %v", i, status, body)
+		}
+		if owner := body["owner"]; owner != nd.addr {
+			t.Errorf("node %d minted a session owned by %v, want self %s", i, owner, nd.addr)
+		}
+		if node := body["node"]; node != nd.addr {
+			t.Errorf("node %d reports answering node %v, want %s", i, node, nd.addr)
+		}
+		id, _ := body["id"].(string)
+		if !nd.clus.IsLocal(id) {
+			t.Errorf("node %d: minted ID %q not local on the ring", i, id)
+		}
+	}
+}
+
+func TestClusterForwardedSessionOps(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	owner, other := nodes[0], nodes[1]
+
+	status, body := httpJSON(t, owner.hs.URL, http.MethodPost, "/v1/sessions",
+		map[string]any{"model": "quadratic"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d: %v", status, body)
+	}
+	id := body["id"].(string)
+
+	// Get through a non-owner: forwarded, same ownership annotations.
+	status, body = httpJSON(t, other.hs.URL, http.MethodGet, "/v1/sessions/"+id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("forwarded get: status %d: %v", status, body)
+	}
+	if body["owner"] != owner.addr {
+		t.Errorf("forwarded get owner = %v, want %s", body["owner"], owner.addr)
+	}
+
+	// Observe through a non-owner: applied on the owner.
+	status, body = httpJSON(t, other.hs.URL, http.MethodPost, "/v1/sessions/"+id+"/observe",
+		map[string]any{"values": []float64{1.0, 0.99, 0.98, 0.97}})
+	if status != http.StatusOK {
+		t.Fatalf("forwarded observe: status %d: %v", status, body)
+	}
+	status, body = httpJSON(t, owner.hs.URL, http.MethodGet, "/v1/sessions/"+id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("get after forwarded observe: status %d", status)
+	}
+	if obs, _ := body["observations"].(float64); obs != 4 {
+		t.Errorf("observations = %v after forwarded observe, want 4", body["observations"])
+	}
+
+	// Partial-progress validation errors survive the forward hop.
+	status, body = httpJSON(t, other.hs.URL, http.MethodPost, "/v1/sessions/"+id+"/observe",
+		map[string]any{"values": []float64{0.96}, "value": 0.95})
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid forwarded observe: status %d: %v", status, body)
+	}
+
+	// Delete through a non-owner removes it everywhere.
+	status, _ = httpJSON(t, other.hs.URL, http.MethodDelete, "/v1/sessions/"+id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("forwarded delete: status %d", status)
+	}
+	status, _ = httpJSON(t, owner.hs.URL, http.MethodGet, "/v1/sessions/"+id, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("get after forwarded delete: status %d, want 404", status)
+	}
+}
+
+func TestClusterSubscribeRedirects(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	owner, other := nodes[0], nodes[1]
+
+	status, body := httpJSON(t, owner.hs.URL, http.MethodPost, "/v1/sessions",
+		map[string]any{"model": "quadratic"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	id := body["id"].(string)
+
+	// SSE on a non-owner answers 421 with the typed redirect, never a feed.
+	status, body = httpJSON(t, other.hs.URL, http.MethodGet, "/v1/sessions/"+id+"/events", nil)
+	if status != http.StatusMisdirectedRequest {
+		t.Fatalf("remote SSE: status %d, want 421", status)
+	}
+	if body["redirect"] != true || body["owner"] != owner.addr || body["session"] != id {
+		t.Errorf("remote SSE redirect envelope = %v", body)
+	}
+
+	// Same contract on the binary transport.
+	bc := binary.NewClient(other.addr)
+	defer bc.Close()
+	bstatus, bbody, err := bc.Subscribe(context.Background(), transport.OpSessionSubscribe,
+		"", "", map[string]any{"id": id},
+		func(event string, data any) error {
+			t.Errorf("unexpected event %q on redirected subscribe", event)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("binary subscribe: %v", err)
+	}
+	if bstatus != http.StatusMisdirectedRequest {
+		t.Fatalf("binary remote subscribe: status %d, want 421", bstatus)
+	}
+	env, _ := bbody.(map[string]any)
+	if env["redirect"] != true || env["owner"] != owner.addr {
+		t.Errorf("binary redirect envelope = %v", bbody)
+	}
+}
+
+func TestClusterOwnerDownRedirect(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	owner, other := nodes[0], nodes[1]
+
+	status, body := httpJSON(t, owner.hs.URL, http.MethodPost, "/v1/sessions",
+		map[string]any{"model": "quadratic"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	id := body["id"].(string)
+
+	// Kill the owner's binary listener — the survivors' forwards now fail
+	// and must surface the typed redirect with 502, not hang or 500.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	owner.bs.Shutdown(ctx)
+	cancel()
+
+	status, body = httpJSON(t, other.hs.URL, http.MethodGet, "/v1/sessions/"+id, nil)
+	if status != http.StatusBadGateway {
+		t.Fatalf("get with dead owner: status %d: %v", status, body)
+	}
+	if body["redirect"] != true || body["owner"] != owner.addr || body["session"] != id {
+		t.Errorf("dead-owner redirect envelope = %v", body)
+	}
+
+	// Survivors keep serving their own shards untouched.
+	status, body = httpJSON(t, other.hs.URL, http.MethodPost, "/v1/sessions",
+		map[string]any{"model": "quadratic"})
+	if status != http.StatusCreated {
+		t.Fatalf("survivor create with dead peer: status %d: %v", status, body)
+	}
+	if body["owner"] != other.addr {
+		t.Errorf("survivor minted owner %v, want %s", body["owner"], other.addr)
+	}
+	sid := body["id"].(string)
+	status, _ = httpJSON(t, other.hs.URL, http.MethodPost, "/v1/sessions/"+sid+"/observe",
+		map[string]any{"values": []float64{1.0, 0.99}})
+	if status != http.StatusOK {
+		t.Fatalf("survivor observe with dead peer: status %d", status)
+	}
+}
+
+func TestClusterStatsSection(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	owner, other := nodes[0], nodes[1]
+
+	status, body := httpJSON(t, owner.hs.URL, http.MethodPost, "/v1/sessions",
+		map[string]any{"model": "quadratic"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	id := body["id"].(string)
+	if status, _ = httpJSON(t, other.hs.URL, http.MethodGet, "/v1/sessions/"+id, nil); status != 200 {
+		t.Fatalf("forwarded get: status %d", status)
+	}
+
+	status, body = httpJSON(t, other.hs.URL, http.MethodGet, "/v1/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	cs, ok := body["cluster"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no cluster section: %v", body)
+	}
+	if cs["self"] != other.addr {
+		t.Errorf("cluster.self = %v, want %s", cs["self"], other.addr)
+	}
+	if peers, _ := cs["peers"].([]any); len(peers) != 3 {
+		t.Errorf("cluster.peers = %v, want 3 entries", cs["peers"])
+	}
+	if fwd, _ := cs["forwards"].(float64); fwd < 1 {
+		t.Errorf("cluster.forwards = %v, want >= 1", cs["forwards"])
+	}
+}

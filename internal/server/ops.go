@@ -1,0 +1,402 @@
+package server
+
+// The transport-agnostic operation layer. Each exec* function runs one
+// API operation from raw JSON body bytes to a (status, payload) pair,
+// with payload a JSON-marshalable value — never touching an
+// http.ResponseWriter. The HTTP handlers in server.go and the binary
+// adapter in binary.go are both thin shells over these functions, which
+// is what keeps the two transports payload-equivalent by construction.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime/debug"
+
+	"resilience/internal/core"
+	"resilience/internal/durable"
+	"resilience/internal/faultinject"
+	"resilience/internal/monitor"
+	"resilience/internal/optimize"
+	"resilience/internal/registry"
+	"resilience/internal/service"
+	"resilience/internal/stream"
+	"resilience/internal/telemetry"
+)
+
+// readBody slurps a request body under limit with the shared hardening:
+// fault injection and a byte cap answered with 413. It accepts a plain
+// io.Reader so the HTTP body and the binary adapter's re-marshaled
+// bytes go through the identical path.
+func readBody(ctx context.Context, body io.Reader, limit int64) ([]byte, *apiError) {
+	if faultinject.Enabled() {
+		faultinject.Fire("server.decode")
+		faultinject.Sleep(ctx, "server.decode.delay")
+	}
+	raw, err := io.ReadAll(io.LimitReader(body, limit+1))
+	if err != nil {
+		return nil, &apiError{
+			status: http.StatusBadRequest,
+			err:    fmt.Errorf("read request: %w", err),
+		}
+	}
+	if int64(len(raw)) > limit {
+		return nil, &apiError{
+			status: http.StatusRequestEntityTooLarge,
+			err:    fmt.Errorf("request body exceeds %d bytes", limit),
+		}
+	}
+	return raw, nil
+}
+
+// decodeStrict parses JSON bytes into dst, rejecting unknown fields.
+func decodeStrict(raw []byte, dst any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &apiError{
+			status: http.StatusBadRequest,
+			err:    fmt.Errorf("decode request: %w", err),
+		}
+	}
+	return nil
+}
+
+// body renders the error as the standard JSON envelope.
+func (e *apiError) body(ctx context.Context) errorBody {
+	return errorBody{Error: e.err.Error(), Field: e.field, RequestID: telemetry.RequestID(ctx)}
+}
+
+// errPayload builds a plain error envelope bound to a status.
+func errPayload(ctx context.Context, status int, err error) (int, any) {
+	return status, errorBody{Error: err.Error(), RequestID: telemetry.RequestID(ctx)}
+}
+
+// fitErrPayload maps a fitting-pipeline error to its status and
+// envelope: input validation to 400 with the offending field, client
+// disconnects to 499, server-imposed deadlines to 504, contained panics
+// to 500, and everything else (bad data, non-convergence with fallback
+// disabled or exhausted) to 422.
+func fitErrPayload(ctx context.Context, err error) (int, any) {
+	var ierr *service.InputError
+	switch {
+	case errors.As(err, &ierr):
+		e := &apiError{status: http.StatusBadRequest, field: ierr.Field, err: ierr}
+		return e.status, e.body(ctx)
+	case errors.Is(err, context.Canceled):
+		return errPayload(ctx, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return errPayload(ctx, http.StatusGatewayTimeout, err)
+	case errors.Is(err, optimize.ErrOptimizerPanic):
+		return errPayload(ctx, http.StatusInternalServerError, err)
+	default:
+		return errPayload(ctx, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// streamErrPayload maps stream-subsystem errors: unknown sessions to
+// 404, a draining manager to 503, everything else through the
+// fitting-pipeline mapping.
+func streamErrPayload(ctx context.Context, err error) (int, any) {
+	switch {
+	case errors.Is(err, stream.ErrNotFound):
+		return errPayload(ctx, http.StatusNotFound, err)
+	case errors.Is(err, stream.ErrShutdown):
+		return errPayload(ctx, http.StatusServiceUnavailable, err)
+	default:
+		return fitErrPayload(ctx, err)
+	}
+}
+
+// annotateOutcome stamps the request's structured log line with the fit
+// outcome: cache hits as "cached", degradation-chain results as
+// "fallback"/"retried", and failures as "error". The monitor counters
+// are maintained by the service layer, which only counts actual
+// optimizer work.
+func annotateOutcome(ctx context.Context, info *core.DegradeInfo, cached bool, err error) {
+	meta := metaFrom(ctx)
+	if meta == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		meta.outcome = "error"
+	case cached:
+		meta.outcome = "cached"
+	case info != nil && info.FallbackUsed:
+		meta.outcome = "fallback"
+		meta.fallback = info.UsedModel
+	case info != nil && info.Degraded:
+		meta.outcome = "retried"
+	default:
+		meta.outcome = "ok"
+	}
+}
+
+// decodeModel parses and validates the shared fit-family request body.
+func decodeModel(raw []byte) (*modelRequest, *apiError) {
+	var req modelRequest
+	if aerr := decodeStrict(raw, &req); aerr != nil {
+		return nil, aerr
+	}
+	if aerr := req.validate(); aerr != nil {
+		return nil, aerr
+	}
+	return &req, nil
+}
+
+// modelOp runs one fit-family operation: decode, dispatch to the
+// service, annotate, and render via build.
+func modelOp[T any](a *api, ctx context.Context, raw []byte,
+	call func(context.Context, service.Request) (*T, error),
+	build func(*T) any,
+) (int, any) {
+	req, aerr := decodeModel(raw)
+	if aerr != nil {
+		return aerr.status, aerr.body(ctx)
+	}
+	out, err := call(ctx, req.toService())
+	if err != nil {
+		annotateOutcome(ctx, nil, false, err)
+		return fitErrPayload(ctx, err)
+	}
+	return http.StatusOK, build(out)
+}
+
+func (a *api) execFit(ctx context.Context, raw []byte) (int, any) {
+	return modelOp(a, ctx, raw, a.svc.Fit, func(out *service.FitOutcome) any {
+		annotateOutcome(ctx, out.Degrade, out.Cached, nil)
+		return buildFitResponse(out)
+	})
+}
+
+func (a *api) execPredict(ctx context.Context, raw []byte) (int, any) {
+	return modelOp(a, ctx, raw, a.svc.Predict, func(out *service.PredictOutcome) any {
+		annotateOutcome(ctx, out.Degrade, out.Cached, nil)
+		return buildPredictResponse(out)
+	})
+}
+
+func (a *api) execMetrics(ctx context.Context, raw []byte) (int, any) {
+	return modelOp(a, ctx, raw, a.svc.Metrics, func(out *service.MetricsOutcome) any {
+		annotateOutcome(ctx, out.Degrade, out.Cached, nil)
+		return buildMetricsResponse(out)
+	})
+}
+
+func (a *api) execForecast(ctx context.Context, raw []byte) (int, any) {
+	return modelOp(a, ctx, raw, a.svc.Forecast, func(out *service.ForecastOutcome) any {
+		annotateOutcome(ctx, out.Degrade, out.Cached, nil)
+		return buildForecastResponse(out)
+	})
+}
+
+func (a *api) execIntervention(ctx context.Context, raw []byte) (int, any) {
+	return modelOp(a, ctx, raw, a.svc.Intervention, func(out *service.InterventionOutcome) any {
+		annotateOutcome(ctx, out.Degrade, out.Cached, nil)
+		return buildInterventionResponse(out)
+	})
+}
+
+// execBatch fits many series×model jobs through the service's bounded
+// worker pool. Job failures are reported per-item; the request as a
+// whole only fails on a malformed envelope, an over-limit job count, or
+// cancellation. Results are deterministic: a parallel batch is
+// bit-identical to the same jobs run sequentially through fit.
+func (a *api) execBatch(ctx context.Context, raw []byte) (int, any) {
+	var breq batchRequestBody
+	if aerr := decodeStrict(raw, &breq); aerr != nil {
+		return aerr.status, aerr.body(ctx)
+	}
+	if breq.Workers < 0 {
+		aerr := badField("workers", "workers %d must be non-negative; 0 selects min(jobs, GOMAXPROCS)", breq.Workers)
+		return aerr.status, aerr.body(ctx)
+	}
+	jobs := make([]service.Request, len(breq.Jobs))
+	for i, j := range breq.Jobs {
+		jobs[i] = service.Request{
+			Model: j.Model, Times: j.Times, Values: j.Values,
+			TrainFraction: j.TrainFraction,
+		}
+	}
+	items, err := a.svc.Batch(ctx, jobs, breq.Workers)
+	if err != nil {
+		annotateOutcome(ctx, nil, false, err)
+		return fitErrPayload(ctx, err)
+	}
+	resp := batchResponse{
+		Jobs:    len(items),
+		Workers: service.EffectiveWorkers(breq.Workers, len(jobs)),
+		Results: make([]batchItemBody, len(items)),
+	}
+	for i, item := range items {
+		body := batchItemBody{Index: item.Index}
+		if item.Err != nil {
+			resp.Failed++
+			body.Error = item.Err.Error()
+			var ierr *service.InputError
+			if errors.As(item.Err, &ierr) {
+				body.Field = ierr.Field
+			}
+		} else {
+			fr := buildFitResponse(item.Outcome)
+			body.fitResponse = &fr
+		}
+		resp.Results[i] = body
+	}
+	if meta := metaFrom(ctx); meta != nil {
+		if resp.Failed > 0 {
+			meta.outcome = "error"
+		} else {
+			meta.outcome = "ok"
+		}
+	}
+	return http.StatusOK, resp
+}
+
+// buildPredictResponse renders a service predict outcome.
+func buildPredictResponse(out *service.PredictOutcome) predictResponse {
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	resp := predictResponse{
+		Model:            out.Fit.Model.Name(),
+		MinimumTime:      out.MinimumTime,
+		MinimumValue:     out.MinimumValue,
+		RecoveryLevel:    out.RecoveryLevel,
+		RecoveryTime:     out.RecoveryTime,
+		RecoveryReached:  out.RecoveryReached,
+		RecoveryErrorMsg: out.RecoveryErr,
+		degradeBody:      db,
+	}
+	// NaN does not survive JSON; encode unreached recovery as the -1
+	// sentinel.
+	if math.IsNaN(resp.RecoveryTime) {
+		resp.RecoveryTime = -1
+	}
+	return resp
+}
+
+// buildMetricsResponse renders a service metrics outcome.
+func buildMetricsResponse(out *service.MetricsOutcome) metricsResponse {
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	resp := metricsResponse{Model: out.Validation.Fit.Model.Name(), degradeBody: db}
+	for _, row := range out.Rows {
+		resp.Metrics = append(resp.Metrics, metricComparisonBody{
+			Name:          row.Kind.String(),
+			Actual:        jsonSafe(row.Actual),
+			Predicted:     jsonSafe(row.Predicted),
+			RelativeError: jsonSafe(row.RelErr),
+		})
+	}
+	return resp
+}
+
+// buildForecastResponse renders a service forecast outcome.
+func buildForecastResponse(out *service.ForecastOutcome) forecastResponse {
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	fc := out.Forecast
+	return forecastResponse{
+		Model: out.Fit.Model.Name(),
+		Times: fc.Times, Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper,
+		Sigma:       fc.Sigma,
+		degradeBody: db,
+	}
+}
+
+// buildInterventionResponse renders a service intervention outcome.
+func buildInterventionResponse(out *service.InterventionOutcome) interventionResponse {
+	db := degradeFields(out.Degrade)
+	db.Cached = out.Cached
+	impact := out.Impact
+	return interventionResponse{
+		Model:              out.Fit.Model.Name(),
+		BaselineRecovery:   jsonSafe(impact.BaselineRecovery),
+		IntervenedRecovery: jsonSafe(impact.IntervenedRecovery),
+		RecoverySaved:      jsonSafe(impact.RecoverySaved),
+		PreservedGain: jsonSafe(impact.Intervened[core.PerformancePreserved] -
+			impact.Baseline[core.PerformancePreserved]),
+		degradeBody: db,
+	}
+}
+
+// versionPayload reports build information.
+func versionPayload() any {
+	out := map[string]string{"version": Version}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["go"] = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				out["revision"] = s.Value
+			case "vcs.time":
+				out["build_time"] = s.Value
+			}
+		}
+	}
+	return out
+}
+
+// modelsPayload serves the model catalog: the legacy bare "models" name
+// list (kept for compatibility) plus per-model registry metadata under
+// "details".
+func modelsPayload() any {
+	all := registry.All()
+	details := make([]modelDetail, 0, len(all))
+	for _, e := range all {
+		details = append(details, modelDetail{
+			Name: e.Name, Aliases: e.Aliases, Family: e.Family,
+			Description: e.Description, ParamNames: e.ParamNames,
+			Capabilities: e.Caps, FallbackRank: e.FallbackRank,
+		})
+	}
+	return map[string]any{
+		"models":  registry.Names(),
+		"details": details,
+	}
+}
+
+// statsPayload exposes the process-wide counters plus per-route
+// latency, stream/durable/cluster/runtime health, the SLO budget, and
+// current exemplars.
+func (a *api) statsPayload() any {
+	resp := statsResponse{
+		CounterSnapshot: monitor.Counters(),
+		Stream:          stream.Stats(),
+		Durable:         durable.SnapshotStats(),
+		SLO:             a.slo.snapshot(),
+		Runtime:         telemetry.SnapshotRuntime(),
+		Traces:          traceStoreStats{Retained: telemetry.DefaultTraceStore.Len()},
+	}
+	if a.cluster != nil {
+		cs := a.cluster.Stats()
+		resp.Cluster = &cs
+	}
+	telemetry.EachHistogram("resil_http_request_duration_seconds", func(name string, h *telemetry.Histogram) {
+		n := h.Count()
+		if n == 0 {
+			return
+		}
+		resp.Routes = append(resp.Routes, routeStats{
+			Route:    telemetry.LabelValue(name, "route"),
+			Requests: n,
+			P50Ms:    h.Quantile(0.5) * 1000,
+			P99Ms:    h.Quantile(0.99) * 1000,
+		})
+	})
+	for _, fam := range exemplarFamilies {
+		if ex := telemetry.ExemplarsInFamily(fam); len(ex) > 0 {
+			if resp.Exemplars == nil {
+				resp.Exemplars = map[string][]telemetry.LabeledExemplar{}
+			}
+			resp.Exemplars[fam] = ex
+		}
+	}
+	return resp
+}

@@ -61,20 +61,18 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
-	"runtime/debug"
 	"sync/atomic"
 	"time"
 
+	"resilience/internal/cluster"
 	"resilience/internal/core"
 	"resilience/internal/dataset"
 	"resilience/internal/durable"
-	"resilience/internal/faultinject"
 	"resilience/internal/monitor"
 	"resilience/internal/optimize"
 	"resilience/internal/registry"
@@ -149,6 +147,13 @@ type Config struct {
 	// SLOErrorRate is the tolerated 5xx fraction (the -slo-error-rate
 	// server flag). 0 disables the error-rate SLO.
 	SLOErrorRate float64
+	// Cluster, when non-nil, shards streaming sessions across a peer set
+	// (the -peers/-node server flags build one): sessions this node does
+	// not own are forwarded to the owner over the binary transport, new
+	// session IDs are minted until they hash to this node, and session
+	// responses carry owner/node fields. Nil keeps the server
+	// single-node, with all cluster machinery inert.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +174,8 @@ type api struct {
 	svc     *service.Service
 	streams *stream.Manager
 	slo     *sloTracker
+	// cluster is the peer-set view (nil when single-node).
+	cluster *cluster.Cluster
 	// replaying is true while boot-time session recovery runs; /readyz
 	// answers 503 with phase "replaying" until MarkReady clears it.
 	replaying atomic.Bool
@@ -203,10 +210,19 @@ func NewHandler(cfg Config) http.Handler { return NewApp(cfg).Handler }
 // NewApp builds the handler plus the stateful subsystems it serves.
 func NewApp(cfg Config) *App {
 	a := &api{cfg: cfg.withDefaults()}
+	a.cluster = a.cfg.Cluster
 	a.svc = service.New(service.Config{
 		Fallback:     a.cfg.Fallback,
 		FitCacheSize: a.cfg.FitCacheSize,
 	})
+	// When clustered, every session this node creates must hash to this
+	// node, so the manager keeps minting IDs until the ring agrees; a
+	// session recovered from the WAL was minted under the same table and
+	// stays self-owned.
+	var ownsID func(string) bool
+	if a.cluster != nil {
+		ownsID = a.cluster.IsLocal
+	}
 	// Session refits run the same degradation chain as one-shot fits: the
 	// manager takes the service's resolved policy, so a -no-fallback
 	// server degrades (or doesn't) identically on both paths.
@@ -217,6 +233,7 @@ func NewApp(cfg Config) *App {
 		Store:         a.cfg.SessionStore,
 		SnapshotEvery: a.cfg.SnapshotEvery,
 		Logger:        a.cfg.Logger,
+		OwnsID:        ownsID,
 	})
 	// A durable app starts unready: the listener may open while recovery
 	// replays the WAL, and /readyz keeps traffic away until MarkReady.
@@ -393,19 +410,7 @@ func (a *api) handleReady(w http.ResponseWriter, r *http.Request) {
 
 // handleVersion reports build information.
 func handleVersion(w http.ResponseWriter, _ *http.Request) {
-	out := map[string]string{"version": Version}
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		out["go"] = bi.GoVersion
-		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				out["revision"] = s.Value
-			case "vcs.time":
-				out["build_time"] = s.Value
-			}
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, versionPayload())
 }
 
 // routeStats is one per-route latency row in the stats reply, computed
@@ -426,6 +431,7 @@ type statsResponse struct {
 	Routes    []routeStats                           `json:"routes"`
 	Stream    stream.StatsSnapshot                   `json:"stream"`
 	Durable   durable.StatsSnapshot                  `json:"durable"`
+	Cluster   *cluster.StatsSnapshot                 `json:"cluster,omitempty"`
 	SLO       sloSnapshot                            `json:"slo"`
 	Runtime   telemetry.RuntimeSnapshot              `json:"runtime"`
 	Traces    traceStoreStats                        `json:"traces"`
@@ -447,37 +453,10 @@ var exemplarFamilies = []string{
 }
 
 // handleStats exposes the process-wide counters plus per-route latency,
-// stream/durable/runtime health, the SLO budget, and current exemplars.
+// stream/durable/cluster/runtime health, the SLO budget, and current
+// exemplars.
 func (a *api) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resp := statsResponse{
-		CounterSnapshot: monitor.Counters(),
-		Stream:          stream.Stats(),
-		Durable:         durable.SnapshotStats(),
-		SLO:             a.slo.snapshot(),
-		Runtime:         telemetry.SnapshotRuntime(),
-		Traces:          traceStoreStats{Retained: telemetry.DefaultTraceStore.Len()},
-	}
-	telemetry.EachHistogram("resil_http_request_duration_seconds", func(name string, h *telemetry.Histogram) {
-		n := h.Count()
-		if n == 0 {
-			return
-		}
-		resp.Routes = append(resp.Routes, routeStats{
-			Route:    telemetry.LabelValue(name, "route"),
-			Requests: n,
-			P50Ms:    h.Quantile(0.5) * 1000,
-			P99Ms:    h.Quantile(0.99) * 1000,
-		})
-	})
-	for _, fam := range exemplarFamilies {
-		if ex := telemetry.ExemplarsInFamily(fam); len(ex) > 0 {
-			if resp.Exemplars == nil {
-				resp.Exemplars = map[string][]telemetry.LabeledExemplar{}
-			}
-			resp.Exemplars[fam] = ex
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, a.statsPayload())
 }
 
 // modelDetail is one /v1/models catalog row, mirroring the registry
@@ -492,23 +471,9 @@ type modelDetail struct {
 	FallbackRank int                   `json:"fallback_rank,omitempty"`
 }
 
-// handleModels serves the model catalog: the legacy bare "models" name
-// list (kept for compatibility) plus per-model registry metadata under
-// "details".
+// handleModels serves the model catalog.
 func handleModels(w http.ResponseWriter, _ *http.Request) {
-	all := registry.All()
-	details := make([]modelDetail, 0, len(all))
-	for _, e := range all {
-		details = append(details, modelDetail{
-			Name: e.Name, Aliases: e.Aliases, Family: e.Family,
-			Description: e.Description, ParamNames: e.ParamNames,
-			Capabilities: e.Caps, FallbackRank: e.FallbackRank,
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"models":  registry.Names(),
-		"details": details,
-	})
+	writeJSON(w, http.StatusOK, modelsPayload())
 }
 
 // datasetSummary is one catalog row.
@@ -597,42 +562,21 @@ func (req *modelRequest) validate() *apiError {
 	return nil
 }
 
-// decodeBody parses a JSON request body into dst with the shared
-// hardening: fault injection, a byte cap answered with 413, and unknown
-// fields rejected.
-func decodeBody(r *http.Request, limit int64, dst any) *apiError {
-	if faultinject.Enabled() {
-		faultinject.Fire("server.decode")
-		faultinject.Sleep(r.Context(), "server.decode.delay")
-	}
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return &apiError{
-				status: http.StatusRequestEntityTooLarge,
-				err:    fmt.Errorf("request body exceeds %d bytes", tooBig.Limit),
-			}
+// execHTTP adapts one operation-layer exec function into an HTTP
+// handler: read the body under limit, run the op on the request
+// context, write the (status, payload) result. Everything between —
+// decoding, validation, dispatch, error mapping — lives in ops.go,
+// shared verbatim with the binary transport.
+func execHTTP(limit int64, exec func(context.Context, []byte) (int, any)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		raw, aerr := readBody(r.Context(), r.Body, limit)
+		if aerr != nil {
+			writeAPIErr(w, r, aerr)
+			return
 		}
-		return &apiError{
-			status: http.StatusBadRequest,
-			err:    fmt.Errorf("decode request: %w", err),
-		}
+		status, payload := exec(r.Context(), raw)
+		writeJSON(w, status, payload)
 	}
-	return nil
-}
-
-// decode parses and validates the shared request body.
-func decode(r *http.Request) (*modelRequest, *apiError) {
-	var req modelRequest
-	if aerr := decodeBody(r, maxBodyBytes, &req); aerr != nil {
-		return nil, aerr
-	}
-	if aerr := req.validate(); aerr != nil {
-		return nil, aerr
-	}
-	return &req, nil
 }
 
 // degradeBody annotates fit-family responses with the degradation-chain
@@ -659,52 +603,6 @@ func degradeFields(info *core.DegradeInfo) degradeBody {
 		db.DegradationReason = info.Reason
 	}
 	return db
-}
-
-// annotateOutcome stamps the request's structured log line with the fit
-// outcome: cache hits as "cached", degradation-chain results as
-// "fallback"/"retried", and failures as "error". The monitor counters
-// are maintained by the service layer, which only counts actual
-// optimizer work.
-func annotateOutcome(r *http.Request, info *core.DegradeInfo, cached bool, err error) {
-	meta := metaFrom(r.Context())
-	if meta == nil {
-		return
-	}
-	switch {
-	case err != nil:
-		meta.outcome = "error"
-	case cached:
-		meta.outcome = "cached"
-	case info != nil && info.FallbackUsed:
-		meta.outcome = "fallback"
-		meta.fallback = info.UsedModel
-	case info != nil && info.Degraded:
-		meta.outcome = "retried"
-	default:
-		meta.outcome = "ok"
-	}
-}
-
-// writeFitErr maps a fitting-pipeline error to its HTTP status: input
-// validation to 400 with the offending field, client disconnects to 499,
-// server-imposed deadlines to 504, contained panics to 500, and
-// everything else (bad data, non-convergence with fallback disabled or
-// exhausted) to 422.
-func writeFitErr(w http.ResponseWriter, r *http.Request, err error) {
-	var ierr *service.InputError
-	switch {
-	case errors.As(err, &ierr):
-		writeAPIErr(w, r, &apiError{status: http.StatusBadRequest, field: ierr.Field, err: ierr})
-	case errors.Is(err, context.Canceled):
-		writeErr(w, r, statusClientClosedRequest, err)
-	case errors.Is(err, context.DeadlineExceeded):
-		writeErr(w, r, http.StatusGatewayTimeout, err)
-	case errors.Is(err, optimize.ErrOptimizerPanic):
-		writeErr(w, r, http.StatusInternalServerError, err)
-	default:
-		writeErr(w, r, http.StatusUnprocessableEntity, err)
-	}
 }
 
 // fitResponse is the /v1/fit reply (and each successful /v1/batch item).
@@ -740,19 +638,7 @@ func buildFitResponse(out *service.FitOutcome) fitResponse {
 }
 
 func (a *api) handleFit(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decode(r)
-	if aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	out, err := a.svc.Fit(r.Context(), req.toService())
-	if err != nil {
-		annotateOutcome(r, nil, false, err)
-		writeFitErr(w, r, err)
-		return
-	}
-	annotateOutcome(r, out.Degrade, out.Cached, nil)
-	writeJSON(w, http.StatusOK, buildFitResponse(out))
+	execHTTP(maxBodyBytes, a.execFit)(w, r)
 }
 
 // predictResponse is the /v1/predict reply.
@@ -768,36 +654,7 @@ type predictResponse struct {
 }
 
 func (a *api) handlePredict(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decode(r)
-	if aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	out, err := a.svc.Predict(r.Context(), req.toService())
-	if err != nil {
-		annotateOutcome(r, nil, false, err)
-		writeFitErr(w, r, err)
-		return
-	}
-	annotateOutcome(r, out.Degrade, out.Cached, nil)
-	db := degradeFields(out.Degrade)
-	db.Cached = out.Cached
-	resp := predictResponse{
-		Model:            out.Fit.Model.Name(),
-		MinimumTime:      out.MinimumTime,
-		MinimumValue:     out.MinimumValue,
-		RecoveryLevel:    out.RecoveryLevel,
-		RecoveryTime:     out.RecoveryTime,
-		RecoveryReached:  out.RecoveryReached,
-		RecoveryErrorMsg: out.RecoveryErr,
-		degradeBody:      db,
-	}
-	// NaN does not survive JSON; encode unreached recovery as the -1
-	// sentinel.
-	if math.IsNaN(resp.RecoveryTime) {
-		resp.RecoveryTime = -1
-	}
-	writeJSON(w, http.StatusOK, resp)
+	execHTTP(maxBodyBytes, a.execPredict)(w, r)
 }
 
 // metricsResponse is the /v1/metrics reply.
@@ -815,30 +672,7 @@ type metricComparisonBody struct {
 }
 
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decode(r)
-	if aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	out, err := a.svc.Metrics(r.Context(), req.toService())
-	if err != nil {
-		annotateOutcome(r, nil, false, err)
-		writeFitErr(w, r, err)
-		return
-	}
-	annotateOutcome(r, out.Degrade, out.Cached, nil)
-	db := degradeFields(out.Degrade)
-	db.Cached = out.Cached
-	resp := metricsResponse{Model: out.Validation.Fit.Model.Name(), degradeBody: db}
-	for _, row := range out.Rows {
-		resp.Metrics = append(resp.Metrics, metricComparisonBody{
-			Name:          row.Kind.String(),
-			Actual:        jsonSafe(row.Actual),
-			Predicted:     jsonSafe(row.Predicted),
-			RelativeError: jsonSafe(row.RelErr),
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	execHTTP(maxBodyBytes, a.execMetrics)(w, r)
 }
 
 // jsonSafe maps NaN/Inf (unrepresentable in JSON) to signed sentinel
@@ -862,27 +696,7 @@ type forecastResponse struct {
 }
 
 func (a *api) handleForecast(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decode(r)
-	if aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	out, err := a.svc.Forecast(r.Context(), req.toService())
-	if err != nil {
-		annotateOutcome(r, nil, false, err)
-		writeFitErr(w, r, err)
-		return
-	}
-	annotateOutcome(r, out.Degrade, out.Cached, nil)
-	db := degradeFields(out.Degrade)
-	db.Cached = out.Cached
-	fc := out.Forecast
-	writeJSON(w, http.StatusOK, forecastResponse{
-		Model: out.Fit.Model.Name(),
-		Times: fc.Times, Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper,
-		Sigma:       fc.Sigma,
-		degradeBody: db,
-	})
+	execHTTP(maxBodyBytes, a.execForecast)(w, r)
 }
 
 // interventionResponse is the /v1/intervention reply.
@@ -896,30 +710,7 @@ type interventionResponse struct {
 }
 
 func (a *api) handleIntervention(w http.ResponseWriter, r *http.Request) {
-	req, aerr := decode(r)
-	if aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	out, err := a.svc.Intervention(r.Context(), req.toService())
-	if err != nil {
-		annotateOutcome(r, nil, false, err)
-		writeFitErr(w, r, err)
-		return
-	}
-	annotateOutcome(r, out.Degrade, out.Cached, nil)
-	db := degradeFields(out.Degrade)
-	db.Cached = out.Cached
-	impact := out.Impact
-	writeJSON(w, http.StatusOK, interventionResponse{
-		Model:              out.Fit.Model.Name(),
-		BaselineRecovery:   jsonSafe(impact.BaselineRecovery),
-		IntervenedRecovery: jsonSafe(impact.IntervenedRecovery),
-		RecoverySaved:      jsonSafe(impact.RecoverySaved),
-		PreservedGain: jsonSafe(impact.Intervened[core.PerformancePreserved] -
-			impact.Baseline[core.PerformancePreserved]),
-		degradeBody: db,
-	})
+	execHTTP(maxBodyBytes, a.execIntervention)(w, r)
 }
 
 // batchJobBody is one /v1/batch job: a model plus its series.
@@ -956,60 +747,7 @@ type batchResponse struct {
 }
 
 // handleBatch fits many series×model jobs in one request through the
-// service's bounded worker pool. Job failures (unknown model, bad input,
-// non-convergence) are reported per-item; the request as a whole only
-// fails on a malformed envelope, an over-limit job count, or
-// cancellation. Results are deterministic: a parallel batch is
-// bit-identical to the same jobs run sequentially through /v1/fit.
+// service's bounded worker pool (see execBatch in ops.go).
 func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var breq batchRequestBody
-	if aerr := decodeBody(r, maxBatchBodyBytes, &breq); aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
-	}
-	if breq.Workers < 0 {
-		writeAPIErr(w, r, badField("workers", "workers %d must be non-negative; 0 selects min(jobs, GOMAXPROCS)", breq.Workers))
-		return
-	}
-	jobs := make([]service.Request, len(breq.Jobs))
-	for i, j := range breq.Jobs {
-		jobs[i] = service.Request{
-			Model: j.Model, Times: j.Times, Values: j.Values,
-			TrainFraction: j.TrainFraction,
-		}
-	}
-	items, err := a.svc.Batch(r.Context(), jobs, breq.Workers)
-	if err != nil {
-		annotateOutcome(r, nil, false, err)
-		writeFitErr(w, r, err)
-		return
-	}
-	resp := batchResponse{
-		Jobs:    len(items),
-		Workers: service.EffectiveWorkers(breq.Workers, len(jobs)),
-		Results: make([]batchItemBody, len(items)),
-	}
-	for i, item := range items {
-		body := batchItemBody{Index: item.Index}
-		if item.Err != nil {
-			resp.Failed++
-			body.Error = item.Err.Error()
-			var ierr *service.InputError
-			if errors.As(item.Err, &ierr) {
-				body.Field = ierr.Field
-			}
-		} else {
-			fr := buildFitResponse(item.Outcome)
-			body.fitResponse = &fr
-		}
-		resp.Results[i] = body
-	}
-	if meta := metaFrom(r.Context()); meta != nil {
-		if resp.Failed > 0 {
-			meta.outcome = "error"
-		} else {
-			meta.outcome = "ok"
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	execHTTP(maxBatchBodyBytes, a.execBatch)(w, r)
 }

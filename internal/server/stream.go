@@ -6,6 +6,17 @@ package server
 // warm-started fit, and recovery predictions. GET .../events upgrades to
 // a Server-Sent Events feed pushing one event per update, so dashboards
 // watch a disruption unfold without polling.
+//
+// When the server is clustered (Config.Cluster), sessions are sharded
+// across the peer set by consistent hashing of the session ID. The
+// exec* functions below route every session operation: owned sessions
+// are served locally, everything else is forwarded to the owner over
+// the binary transport with the request ID and trace context attached.
+// Operations that cannot be forwarded mid-protocol (the SSE feed, the
+// binary subscribe stream) answer with a typed redirect envelope naming
+// the owner, as does any forward whose owner is unreachable — the
+// client retries against the owner (or, after a node death, recreates
+// the session by replaying its points onto the new owner).
 
 import (
 	"context"
@@ -15,9 +26,11 @@ import (
 	"net/http"
 	"time"
 
+	"resilience/internal/cluster"
 	"resilience/internal/service"
 	"resilience/internal/stream"
 	"resilience/internal/telemetry"
+	"resilience/internal/transport"
 )
 
 // createSessionBody is the POST /v1/sessions request.
@@ -46,99 +59,197 @@ type observeResponse struct {
 	Session stream.Snapshot `json:"session"`
 }
 
-// writeStreamErr maps stream-subsystem errors onto HTTP statuses:
-// unknown sessions to 404, a draining manager to 503, input validation
-// to 400 with the offending field, and everything else through the
-// fitting-pipeline mapping.
-func writeStreamErr(w http.ResponseWriter, r *http.Request, err error) {
-	switch {
-	case errors.Is(err, stream.ErrNotFound):
-		writeErr(w, r, http.StatusNotFound, err)
-	case errors.Is(err, stream.ErrShutdown):
-		writeErr(w, r, http.StatusServiceUnavailable, err)
-	default:
-		writeFitErr(w, r, err)
+// sessionBody is a session snapshot plus cluster ownership: Owner is
+// the ring owner's peer (binary) address, Node is the peer that
+// answered. Single-node servers return the bare snapshot, so the fields
+// only appear when a cluster is configured.
+type sessionBody struct {
+	stream.Snapshot
+	Owner string `json:"owner"`
+	Node  string `json:"node"`
+}
+
+// sessionPayload wraps snap with ownership when clustered.
+func (a *api) sessionPayload(snap stream.Snapshot) any {
+	if a.cluster == nil {
+		return snap
+	}
+	return sessionBody{Snapshot: snap, Owner: a.cluster.Owner(snap.ID), Node: a.cluster.Self()}
+}
+
+// redirectBody is the typed redirect envelope for session operations
+// that reached the wrong node and could not (or must not) be forwarded:
+// Owner names the peer to retry against. Redirect is always true — it
+// is the discriminator clients branch on.
+type redirectBody struct {
+	Error     string `json:"error"`
+	Redirect  bool   `json:"redirect"`
+	Owner     string `json:"owner"`
+	Session   string `json:"session"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func (a *api) redirectPayload(ctx context.Context, id, owner, msg string) redirectBody {
+	cluster.CountRedirect()
+	return redirectBody{
+		Error:     msg,
+		Redirect:  true,
+		Owner:     owner,
+		Session:   id,
+		RequestID: telemetry.RequestID(ctx),
 	}
 }
 
-func (a *api) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+// routeSession forwards op to the session's owner when this node is not
+// it. handled=false means the session is local — serve it. A forward
+// that fails (owner dead, cluster draining) degrades to a 502 redirect
+// envelope so the client knows both that the request went unserved and
+// who should own the session now.
+func (a *api) routeSession(ctx context.Context, op, id string, body map[string]any) (handled bool, status int, payload any) {
+	if a.cluster == nil || a.cluster.IsLocal(id) {
+		return false, 0, nil
+	}
+	owner := a.cluster.Owner(id)
+	if body == nil {
+		body = map[string]any{}
+	}
+	body["id"] = id
+	st, tree, err := a.cluster.Forward(ctx, owner, op, body)
+	if err != nil {
+		return true, http.StatusBadGateway, a.redirectPayload(ctx, id, owner,
+			fmt.Sprintf("session %s is owned by %s, which is unreachable: %v", id, owner, err))
+	}
+	return true, st, tree
+}
+
+// execSessionCreate opens a session. Creation is always local — the
+// manager mints IDs until one hashes to this node — so any node in the
+// peer set can take creates and the resulting session lives where it
+// was created.
+func (a *api) execSessionCreate(ctx context.Context, raw []byte) (int, any) {
 	var body createSessionBody
-	if aerr := decodeBody(r, maxBodyBytes, &body); aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
+	if aerr := decodeStrict(raw, &body); aerr != nil {
+		return aerr.status, aerr.body(ctx)
 	}
 	if body.Model == "" {
 		body.Model = "competing-risks"
 	}
 	snap, err := a.streams.Create(body.Model, body.Config)
 	if err != nil {
-		writeStreamErr(w, r, err)
-		return
+		return streamErrPayload(ctx, err)
 	}
-	writeJSON(w, http.StatusCreated, snap)
+	return http.StatusCreated, a.sessionPayload(snap)
 }
 
-func (a *api) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+// execSessionList lists this node's sessions. Listing is shard-local by
+// design — a cluster-wide list would need a scatter-gather over every
+// peer; the ownership fields tell the caller which node they asked.
+func (a *api) execSessionList(ctx context.Context) (int, any) {
 	snaps := a.streams.List()
-	if snaps == nil {
-		snaps = []stream.Snapshot{}
+	out := make([]any, 0, len(snaps))
+	for _, snap := range snaps {
+		out = append(out, a.sessionPayload(snap))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": snaps})
+	return http.StatusOK, map[string]any{"sessions": out}
 }
 
-func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	snap, err := a.streams.Snapshot(r.PathValue("id"))
+func (a *api) execSessionGet(ctx context.Context, id string) (int, any) {
+	if handled, st, payload := a.routeSession(ctx, transport.OpSessionGet, id, nil); handled {
+		return st, payload
+	}
+	snap, err := a.streams.Snapshot(id)
 	if err != nil {
-		writeStreamErr(w, r, err)
-		return
+		return streamErrPayload(ctx, err)
 	}
-	writeJSON(w, http.StatusOK, snap)
+	return http.StatusOK, a.sessionPayload(snap)
 }
 
-func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if err := a.streams.Close(r.PathValue("id")); err != nil {
-		writeStreamErr(w, r, err)
-		return
+func (a *api) execSessionDelete(ctx context.Context, id string) (int, any) {
+	if handled, st, payload := a.routeSession(ctx, transport.OpSessionDelete, id, nil); handled {
+		return st, payload
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+	if err := a.streams.Close(id); err != nil {
+		return streamErrPayload(ctx, err)
+	}
+	return http.StatusOK, map[string]bool{"closed": true}
 }
 
-func (a *api) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+func (a *api) execSessionObserve(ctx context.Context, id string, raw []byte) (int, any) {
+	if a.cluster != nil && !a.cluster.IsLocal(id) {
+		// Forward the original fields verbatim; they are validated by the
+		// owner, exactly as a direct request there would be.
+		var fields map[string]any
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &fields); err != nil {
+				aerr := &apiError{status: http.StatusBadRequest, err: fmt.Errorf("decode request: %w", err)}
+				return aerr.status, aerr.body(ctx)
+			}
+		}
+		_, st, payload := a.routeSession(ctx, transport.OpSessionObserve, id, fields)
+		return st, payload
+	}
+
 	var body observeBody
-	if aerr := decodeBody(r, maxBodyBytes, &body); aerr != nil {
-		writeAPIErr(w, r, aerr)
-		return
+	if aerr := decodeStrict(raw, &body); aerr != nil {
+		return aerr.status, aerr.body(ctx)
 	}
 	times, values := body.Times, body.Values
 	if body.Value != nil {
 		if len(values) > 0 {
-			writeAPIErr(w, r, badField("value", "value and values are mutually exclusive"))
-			return
+			aerr := badField("value", "value and values are mutually exclusive")
+			return aerr.status, aerr.body(ctx)
 		}
 		values = []float64{*body.Value}
 		if body.Time != nil {
 			times = []float64{*body.Time}
 		}
 	}
-	updates, snap, err := a.streams.Observe(r.Context(), r.PathValue("id"), times, values)
+	updates, snap, err := a.streams.Observe(ctx, id, times, values)
 	if err != nil {
 		var ierr *service.InputError
 		if errors.As(err, &ierr) && len(updates) > 0 {
 			// Points before the offending one were ingested; report both the
 			// partial progress and the rejection in one envelope.
-			writeJSON(w, http.StatusBadRequest, struct {
+			return http.StatusBadRequest, struct {
 				observeResponse
 				errorBody
 			}{
 				observeResponse{Updates: updates, Session: snap},
-				errorBody{Error: ierr.Error(), Field: ierr.Field, RequestID: telemetry.RequestID(r.Context())},
-			})
-			return
+				errorBody{Error: ierr.Error(), Field: ierr.Field, RequestID: telemetry.RequestID(ctx)},
+			}
 		}
-		writeStreamErr(w, r, err)
+		return streamErrPayload(ctx, err)
+	}
+	return http.StatusOK, observeResponse{Updates: updates, Session: snap}
+}
+
+func (a *api) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	execHTTP(maxBodyBytes, a.execSessionCreate)(w, r)
+}
+
+func (a *api) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	status, payload := a.execSessionList(r.Context())
+	writeJSON(w, status, payload)
+}
+
+func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	status, payload := a.execSessionGet(r.Context(), r.PathValue("id"))
+	writeJSON(w, status, payload)
+}
+
+func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	status, payload := a.execSessionDelete(r.Context(), r.PathValue("id"))
+	writeJSON(w, status, payload)
+}
+
+func (a *api) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+	raw, aerr := readBody(r.Context(), r.Body, maxBodyBytes)
+	if aerr != nil {
+		writeAPIErr(w, r, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, observeResponse{Updates: updates, Session: snap})
+	status, payload := a.execSessionObserve(r.Context(), r.PathValue("id"), raw)
+	writeJSON(w, status, payload)
 }
 
 // handleSessionEvents serves the session's live feed as Server-Sent
@@ -146,11 +257,23 @@ func (a *api) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 // "update" event per observation and a terminal "closed" event when the
 // session ends. The feed lasts until the client disconnects, the
 // session closes, or the subscriber falls too far behind and is dropped.
+//
+// A feed cannot be forwarded mid-protocol, so a clustered node answers
+// requests for non-owned sessions with a typed redirect (421) naming
+// the owner, and the client reconnects there.
 func (a *api) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if a.cluster != nil && !a.cluster.IsLocal(id) {
+		owner := a.cluster.Owner(id)
+		writeJSON(w, http.StatusMisdirectedRequest, a.redirectPayload(r.Context(), id, owner,
+			fmt.Sprintf("session %s is owned by %s; reconnect there", id, owner)))
+		return
+	}
 	reqID := telemetry.RequestID(r.Context())
-	sub, snap, err := a.streams.Subscribe(r.PathValue("id"), reqID)
+	sub, snap, err := a.streams.Subscribe(id, reqID)
 	if err != nil {
-		writeStreamErr(w, r, err)
+		status, payload := streamErrPayload(r.Context(), err)
+		writeJSON(w, status, payload)
 		return
 	}
 	defer sub.Close()

@@ -234,6 +234,14 @@ func (lw lockedWriter) Write(p []byte) (int, error) {
 // GET /debug/traces/{id} with the span tree intact. Requests without a
 // traceparent mint a fresh, well-formed one.
 func TestTraceparentRoundTrip(t *testing.T) {
+	// The process-wide store reservoir-samples ordinary traces; by this
+	// point in the package run it has seen enough of them that retention
+	// of one more is probabilistic. Pin the contract against a fresh
+	// store so the assertion is deterministic.
+	oldStore := telemetry.DefaultTraceStore
+	telemetry.DefaultTraceStore = telemetry.NewTraceStore(telemetry.DefaultTraceStoreConfig())
+	t.Cleanup(func() { telemetry.DefaultTraceStore = oldStore })
+
 	h := quietHandler(Config{})
 
 	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"

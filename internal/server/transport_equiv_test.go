@@ -1,0 +1,242 @@
+package server
+
+// Golden transport-equivalence suite: the binary listener must serve
+// payload-identical responses to the HTTP routes for every operation it
+// exposes. Two separate Apps (so fit caches can't couple the runs) get
+// the same deterministic requests — one over real HTTP, one over the
+// framed binary protocol — and every response must match as a JSON
+// tree, after normalizing the values that are volatile by construction
+// (session IDs, timestamps, request IDs).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"resilience/internal/transport"
+	"resilience/internal/transport/binary"
+)
+
+// volatileKeys are response fields whose values legitimately differ
+// across processes: identities and wall-clock times. Their presence
+// must still match — normalize replaces values, never removes keys.
+var volatileKeys = map[string]bool{
+	"id":          true,
+	"session":     true,
+	"created_at":  true,
+	"last_active": true,
+	"request_id":  true,
+	"trace_id":    true,
+}
+
+// normalize replaces volatile leaf values in a decoded JSON tree so
+// trees from two independent servers compare equal.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, vv := range x {
+			if volatileKeys[k] {
+				out[k] = "NORMALIZED"
+				continue
+			}
+			out[k] = normalize(vv)
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i, vv := range x {
+			out[i] = normalize(vv)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// equivHarness holds one HTTP-served App and one binary-served App.
+type equivHarness struct {
+	hs *httptest.Server
+	bc *binary.Client
+}
+
+func newEquivHarness(t *testing.T) *equivHarness {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	httpApp := NewApp(Config{Logger: quiet})
+	hs := httptest.NewServer(httpApp.Handler)
+	t.Cleanup(hs.Close)
+
+	binApp := NewApp(Config{Logger: quiet})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := binary.NewServer(binApp.BinaryHandler(), nil)
+	go bs.Serve(ln)
+	t.Cleanup(func() { bs.Shutdown(context.Background()) })
+	bc := binary.NewClient(ln.Addr().String())
+	t.Cleanup(bc.Close)
+	return &equivHarness{hs: hs, bc: bc}
+}
+
+// overHTTP runs one op against the HTTP app, returning status and the
+// decoded body tree.
+func (h *equivHarness) overHTTP(t *testing.T, method, path string, body any) (int, any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, h.hs.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &tree); err != nil {
+			t.Fatalf("HTTP %s %s: non-JSON body %q", method, path, raw)
+		}
+	}
+	return resp.StatusCode, tree
+}
+
+// overBinary runs one op against the binary app.
+func (h *equivHarness) overBinary(t *testing.T, op string, body any) (int, any) {
+	t.Helper()
+	status, tree, err := h.bc.Do(context.Background(), op, "", "", body)
+	if err != nil {
+		t.Fatalf("binary %s: %v", op, err)
+	}
+	return status, tree
+}
+
+// assertEquivalent compares one operation's two responses.
+func assertEquivalent(t *testing.T, label string, hs int, hb any, bs int, bb any) {
+	t.Helper()
+	if hs != bs {
+		t.Errorf("%s: status HTTP %d vs binary %d", label, hs, bs)
+		return
+	}
+	hn, bn := normalize(hb), normalize(bb)
+	if !reflect.DeepEqual(hn, bn) {
+		hj, _ := json.MarshalIndent(hn, "", " ")
+		bj, _ := json.MarshalIndent(bn, "", " ")
+		t.Errorf("%s: payloads differ\nHTTP:   %s\nbinary: %s", label, hj, bj)
+	}
+}
+
+func TestBinaryHTTPPayloadEquivalence(t *testing.T) {
+	h := newEquivHarness(t)
+	series := testSeries()
+
+	unary := []struct {
+		label  string
+		method string
+		path   string
+		op     string
+		body   any
+	}{
+		{"fit", http.MethodPost, "/v1/fit", transport.OpFit,
+			map[string]any{"model": "quadratic", "values": series}},
+		// Same body again: both sides answer from their fit cache, so the
+		// cached:true annotation must round-trip identically too.
+		{"fit-cached", http.MethodPost, "/v1/fit", transport.OpFit,
+			map[string]any{"model": "quadratic", "values": series}},
+		{"predict", http.MethodPost, "/v1/predict", transport.OpPredict,
+			map[string]any{"model": "quadratic", "values": series, "level": 0.99}},
+		{"metrics", http.MethodPost, "/v1/metrics", transport.OpMetrics,
+			map[string]any{"model": "quadratic", "values": series}},
+		{"forecast", http.MethodPost, "/v1/forecast", transport.OpForecast,
+			map[string]any{"model": "quadratic", "values": series, "steps": 6}},
+		{"batch", http.MethodPost, "/v1/batch", transport.OpBatch,
+			map[string]any{"jobs": []any{
+				map[string]any{"model": "quadratic", "values": series},
+				map[string]any{"model": "not-a-model", "values": series},
+			}, "workers": 2}},
+		{"models", http.MethodGet, "/v1/models", transport.OpModels, nil},
+		{"version", http.MethodGet, "/v1/version", transport.OpVersion, nil},
+		{"fit-invalid", http.MethodPost, "/v1/fit", transport.OpFit,
+			map[string]any{"model": "quadratic", "values": []any{1.0}}},
+		{"fit-unknown-model", http.MethodPost, "/v1/fit", transport.OpFit,
+			map[string]any{"model": "nope", "values": series}},
+	}
+	for _, tc := range unary {
+		hs, hb := h.overHTTP(t, tc.method, tc.path, tc.body)
+		bs, bb := h.overBinary(t, tc.op, tc.body)
+		assertEquivalent(t, tc.label, hs, hb, bs, bb)
+	}
+}
+
+func TestBinaryHTTPSessionEquivalence(t *testing.T) {
+	h := newEquivHarness(t)
+	series := testSeries()
+
+	// Create one session on each side; IDs differ (normalized), shape
+	// must not.
+	createBody := map[string]any{"model": "quadratic"}
+	hs, hb := h.overHTTP(t, http.MethodPost, "/v1/sessions", createBody)
+	bs, bb := h.overBinary(t, transport.OpSessionCreate, createBody)
+	assertEquivalent(t, "session-create", hs, hb, bs, bb)
+	if hs != http.StatusCreated {
+		t.Fatalf("session create: status %d", hs)
+	}
+	httpID := hb.(map[string]any)["id"].(string)
+	binID := bb.(map[string]any)["id"].(string)
+
+	// Observe the same chunks through both.
+	for off := 0; off < len(series); off += 12 {
+		end := min(off+12, len(series))
+		times := make([]float64, 0, end-off)
+		for i := off; i < end; i++ {
+			times = append(times, float64(i))
+		}
+		ob := map[string]any{"times": times, "values": series[off:end]}
+		hs, hb = h.overHTTP(t, http.MethodPost, "/v1/sessions/"+httpID+"/observe", ob)
+		withID := map[string]any{"id": binID, "times": times, "values": series[off:end]}
+		bs, bb = h.overBinary(t, transport.OpSessionObserve, withID)
+		assertEquivalent(t, fmt.Sprintf("session-observe[%d]", off), hs, hb, bs, bb)
+	}
+
+	// Snapshot, list, delete, and the post-delete 404.
+	hs, hb = h.overHTTP(t, http.MethodGet, "/v1/sessions/"+httpID, nil)
+	bs, bb = h.overBinary(t, transport.OpSessionGet, map[string]any{"id": binID})
+	assertEquivalent(t, "session-get", hs, hb, bs, bb)
+
+	hs, hb = h.overHTTP(t, http.MethodGet, "/v1/sessions", nil)
+	bs, bb = h.overBinary(t, transport.OpSessionList, nil)
+	assertEquivalent(t, "session-list", hs, hb, bs, bb)
+
+	hs, hb = h.overHTTP(t, http.MethodDelete, "/v1/sessions/"+httpID, nil)
+	bs, bb = h.overBinary(t, transport.OpSessionDelete, map[string]any{"id": binID})
+	assertEquivalent(t, "session-delete", hs, hb, bs, bb)
+
+	hs, hb = h.overHTTP(t, http.MethodGet, "/v1/sessions/"+httpID, nil)
+	bs, bb = h.overBinary(t, transport.OpSessionGet, map[string]any{"id": binID})
+	assertEquivalent(t, "session-get-after-delete", hs, hb, bs, bb)
+}

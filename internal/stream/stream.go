@@ -91,6 +91,13 @@ type Config struct {
 	// cannot attribute — today, subscriber drops tagged with the request
 	// ID that opened the feed.
 	Logger *slog.Logger
+	// OwnsID, when non-nil, constrains freshly minted session IDs: Create
+	// keeps drawing random IDs until the hook accepts one. The cluster
+	// layer uses it so every session this node creates hashes to this
+	// node on the consistent-hash ring — sessions restored from a store
+	// keep their recorded IDs and are not re-checked (they were minted
+	// under the same ring). Nil accepts every ID.
+	OwnsID func(id string) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -365,6 +372,25 @@ func newID() string {
 	return "s-" + hex.EncodeToString(b[:])
 }
 
+// maxMintAttempts bounds the OwnsID minting loop. Each draw succeeds
+// with probability 1/peers; for any plausible peer count the chance of
+// exhausting 256 draws is negligible (p < 1e-7 even at 16 peers), so
+// hitting the cap means the hook is broken, not unlucky.
+const maxMintAttempts = 256
+
+// mintID draws session IDs until one satisfies the OwnsID hook.
+func (m *Manager) mintID() (string, error) {
+	if m.cfg.OwnsID == nil {
+		return newID(), nil
+	}
+	for i := 0; i < maxMintAttempts; i++ {
+		if id := newID(); m.cfg.OwnsID(id) {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("stream: could not mint a self-owned session id in %d attempts", maxMintAttempts)
+}
+
 // Create opens a session for the named model (canonical name or alias)
 // with the given monitor settings and returns its initial snapshot. At
 // the cap, the least recently active session is evicted first.
@@ -377,8 +403,12 @@ func (m *Manager) Create(modelName string, mc MonitorConfig) (Snapshot, error) {
 		return Snapshot{}, ierr
 	}
 
+	id, err := m.mintID()
+	if err != nil {
+		return Snapshot{}, err
+	}
 	pol := m.cfg.Fallback
-	s := newSession(newID(), entry, mc, &pol)
+	s := newSession(id, entry, mc, &pol)
 	s.logger = m.cfg.Logger
 	s.lastActive.Store(s.createdAt.UnixNano())
 
@@ -403,7 +433,17 @@ func (m *Manager) Create(modelName string, mc MonitorConfig) (Snapshot, error) {
 		if _, dup := m.sessions[s.id]; !dup {
 			break
 		}
-		s.id = newID()
+		// A collision re-mints under the same ownership constraint; the
+		// error path is unreachable in practice (128-bit draw colliding
+		// maxMintAttempts times) but kept honest.
+		id, err := m.mintID()
+		if err != nil {
+			m.mu.Unlock()
+			m.finishAll(victims)
+			s.cancel()
+			return Snapshot{}, err
+		}
+		s.id = id
 	}
 	m.sessions[s.id] = s
 	s.elem = m.lru.PushFront(s)

@@ -1,0 +1,244 @@
+package binary
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilience/internal/transport"
+)
+
+// fakeHandler echoes enough structure to exercise the protocol without
+// dragging in the real operation layer.
+type fakeHandler struct {
+	execs atomic.Int64
+}
+
+func (h *fakeHandler) Exec(ctx context.Context, op string, body any) (int, any) {
+	h.execs.Add(1)
+	switch op {
+	case "fit":
+		return 200, map[string]any{"op": op, "echo": body}
+	case "boom":
+		panic("handler exploded")
+	case "slow":
+		select {
+		case <-ctx.Done():
+			return 499, map[string]any{"error": "canceled"}
+		case <-time.After(5 * time.Second):
+			return 200, nil
+		}
+	default:
+		return 404, map[string]any{"error": "unknown op"}
+	}
+}
+
+func (h *fakeHandler) Stream(ctx context.Context, op string, body any, send func(string, any) error) (int, any) {
+	if m, ok := body.(map[string]any); ok && m["id"] == "missing" {
+		return 404, map[string]any{"error": "session not found"}
+	}
+	for i := 0; i < 3; i++ {
+		if err := send("update", map[string]any{"seq": float64(i)}); err != nil {
+			return 200, nil
+		}
+	}
+	send("closed", nil)
+	return 200, nil
+}
+
+func startServer(t *testing.T, h Handler) (*Server, string) {
+	t.Helper()
+	srv := NewServer(h, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	_, addr := startServer(t, &fakeHandler{})
+	c := NewClient(addr)
+	defer c.Close()
+
+	body := map[string]any{"model": "cdf-weibull", "values": []any{float64(1), float64(0.5)}}
+	status, resp, err := c.Do(context.Background(), "fit", "req-1", "", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	want := map[string]any{"op": "fit", "echo": body}
+	if !reflect.DeepEqual(resp, want) {
+		t.Fatalf("resp:\n got %#v\nwant %#v", resp, want)
+	}
+
+	// Errors come back as statuses, not transport failures.
+	status, _, err = c.Do(context.Background(), "nope", "", "", nil)
+	if err != nil || status != 404 {
+		t.Fatalf("unknown op: status=%d err=%v", status, err)
+	}
+}
+
+func TestPanicIsolated(t *testing.T) {
+	_, addr := startServer(t, &fakeHandler{})
+	c := NewClient(addr)
+	defer c.Close()
+
+	status, resp, err := c.Do(context.Background(), "boom", "", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 500 {
+		t.Fatalf("status = %d", status)
+	}
+	m, _ := resp.(map[string]any)
+	if m["error"] == "" || m["request_id"] == "" {
+		t.Fatalf("panic envelope: %#v", resp)
+	}
+
+	// The connection (and server) survive the panic.
+	if status, _, err = c.Do(context.Background(), "fit", "", "", nil); err != nil || status != 200 {
+		t.Fatalf("post-panic request: status=%d err=%v", status, err)
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	_, addr := startServer(t, &fakeHandler{})
+	c := NewClient(addr)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(ctx, "slow", "", "", nil)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+}
+
+func TestPooledConnRetryAfterServerRestart(t *testing.T) {
+	h := &fakeHandler{}
+	srv := NewServer(h, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	c := NewClient(addr)
+	defer c.Close()
+	if status, _, err := c.Do(context.Background(), "fit", "", "", nil); err != nil || status != 200 {
+		t.Fatalf("first request: status=%d err=%v", status, err)
+	}
+
+	// Kill the server; the client now holds a dead pooled connection.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	srv.Shutdown(ctx)
+	cancel()
+
+	// Restart on the same address.
+	srv2 := NewServer(h, nil)
+	var ln2 net.Listener
+	for i := 0; i < 50; i++ {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	go srv2.Serve(ln2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+	}()
+
+	// The stale pooled connection must be retried transparently.
+	if status, _, err := c.Do(context.Background(), "fit", "", "", nil); err != nil || status != 200 {
+		t.Fatalf("post-restart request: status=%d err=%v", status, err)
+	}
+}
+
+func TestSubscribeStream(t *testing.T) {
+	_, addr := startServer(t, &fakeHandler{})
+	c := NewClient(addr)
+	defer c.Close()
+
+	var events []string
+	status, _, err := c.Subscribe(context.Background(), transport.OpSessionSubscribe, "", "",
+		map[string]any{"id": "s-1"},
+		func(event string, data any) error {
+			events = append(events, event)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	want := []string{"update", "update", "update", "closed"}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %v", events)
+	}
+
+	// Rejection path: a normal error response, no events.
+	status, body, err := c.Subscribe(context.Background(), transport.OpSessionSubscribe, "", "",
+		map[string]any{"id": "missing"},
+		func(string, any) error { return fmt.Errorf("should not be called") })
+	if err != nil || status != 404 {
+		t.Fatalf("rejected subscribe: status=%d body=%v err=%v", status, body, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h := &fakeHandler{}
+	_, addr := startServer(t, h)
+	c := NewClient(addr)
+	defer c.Close()
+
+	const n = 20
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			status, _, err := c.Do(context.Background(), "fit", "", "", map[string]any{"n": float64(1)})
+			if err == nil && status != 200 {
+				err = fmt.Errorf("status %d", status)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.execs.Load(); got != n {
+		t.Fatalf("execs = %d, want %d", got, n)
+	}
+}
+
+func TestShutdownDrainsInflight(t *testing.T) {
+	_, addr := startServer(t, &fakeHandler{})
+	c := NewClient(addr)
+	defer c.Close()
+	// One request in flight survives a concurrent graceful shutdown.
+	status, _, err := c.Do(context.Background(), "fit", "", "", nil)
+	if err != nil || status != 200 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+}

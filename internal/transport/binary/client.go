@@ -1,0 +1,222 @@
+package binary
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"resilience/internal/transport"
+)
+
+// Client is a pooled binary-protocol client for one server address.
+// Connections are checked out for the duration of one request/response
+// exchange and returned to the idle pool on success; a connection that
+// errors is discarded. Safe for concurrent use.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// maxIdleConns bounds the pool; beyond this, returned connections are
+// closed instead of kept.
+const maxIdleConns = 8
+
+// defaultDialTimeout bounds dials when the caller's context carries no
+// deadline.
+const defaultDialTimeout = 5 * time.Second
+
+// NewClient returns a client for the binary listener at addr
+// (host:port). No connection is made until the first call.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: defaultDialTimeout}
+}
+
+// Addr returns the server address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes all idle connections and marks the client unusable.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}
+
+// checkout returns an idle connection (reused=true) or dials a new one.
+func (c *Client) checkout(ctx context.Context) (conn net.Conn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("binary client: closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	return c.dial(ctx)
+}
+
+func (c *Client) dial(ctx context.Context) (net.Conn, bool, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("binary client: dial %s: %w", c.addr, err)
+	}
+	return conn, false, nil
+}
+
+// checkin returns a healthy connection to the pool.
+func (c *Client) checkin(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= maxIdleConns {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// Do performs one unary operation. body must be JSON-marshalable (it is
+// bridged through transport.ToTree); the returned body is a JSON-model
+// tree — decode with transport.FromTree for typed access. The returned
+// status carries HTTP semantics; a non-2xx status is NOT an error — the
+// error return covers transport failures only.
+//
+// A request that fails on a pooled (previously idle) connection before
+// any response bytes arrive is retried once on a fresh connection, so a
+// server restart between calls does not surface as a spurious error.
+func (c *Client) Do(ctx context.Context, op, requestID, traceparent string, body any) (int, any, error) {
+	tree, err := transport.ToTree(body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("binary client: encode body: %w", err)
+	}
+	payload, err := transport.EncodeRequest(transport.Request{
+		Op: op, RequestID: requestID, Traceparent: traceparent, Body: tree,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+
+	for attempt := 0; ; attempt++ {
+		conn, reused, err := c.checkout(ctx)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := c.exchange(ctx, conn, payload)
+		if err == nil {
+			c.checkin(conn)
+			return resp.Status, resp.Body, nil
+		}
+		conn.Close()
+		// Only a stale pooled connection earns a retry: a fresh dial
+		// that failed reflects the server's actual state.
+		if reused && attempt == 0 && ctx.Err() == nil {
+			continue
+		}
+		return 0, nil, err
+	}
+}
+
+// exchange writes one request frame and reads one response frame,
+// honoring the context deadline via the connection deadline.
+func (c *Client) exchange(ctx context.Context, conn net.Conn, payload []byte) (transport.Response, error) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Time{}
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return transport.Response{}, err
+	}
+	if err := transport.WriteFrame(conn, payload); err != nil {
+		return transport.Response{}, fmt.Errorf("binary client: write: %w", err)
+	}
+	raw, err := transport.ReadFrame(conn)
+	if err != nil {
+		return transport.Response{}, fmt.Errorf("binary client: read: %w", err)
+	}
+	resp, err := transport.DecodeResponse(raw)
+	if err != nil {
+		return transport.Response{}, err
+	}
+	return resp, nil
+}
+
+// Subscribe opens a dedicated connection for a streaming op
+// (session.subscribe) and invokes onEvent for each event frame until
+// the feed ends (terminal "closed" event), onEvent returns an error,
+// ctx is cancelled, or the connection drops. If the server answers with
+// a normal error response instead of a stream, Subscribe returns its
+// status and body with a nil error and never calls onEvent.
+func (c *Client) Subscribe(ctx context.Context, op, requestID, traceparent string, body any, onEvent func(event string, data any) error) (int, any, error) {
+	tree, err := transport.ToTree(body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("binary client: encode body: %w", err)
+	}
+	payload, err := transport.EncodeRequest(transport.Request{
+		Op: op, RequestID: requestID, Traceparent: traceparent, Body: tree,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	conn, _, err := c.dial(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+
+	// A long-lived subscription has no deadline; unblock the reader when
+	// the context ends by closing the connection.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := transport.WriteFrame(conn, payload); err != nil {
+		return 0, nil, fmt.Errorf("binary client: write: %w", err)
+	}
+	for {
+		raw, err := transport.ReadFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+			return 0, nil, fmt.Errorf("binary client: read: %w", err)
+		}
+		resp, err := transport.DecodeResponse(raw)
+		if err != nil {
+			return 0, nil, err
+		}
+		env, ok := resp.Body.(map[string]any)
+		if !ok || resp.Status >= 400 {
+			// Not a stream: the server rejected the subscription.
+			return resp.Status, resp.Body, nil
+		}
+		event, _ := env["event"].(string)
+		if event == "" {
+			return resp.Status, resp.Body, nil
+		}
+		if err := onEvent(event, env["data"]); err != nil {
+			return resp.Status, nil, err
+		}
+		if event == "closed" {
+			return resp.Status, nil, nil
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package binary
+
+import "resilience/internal/telemetry"
+
+func init() {
+	telemetry.RegisterFamily("resil_transport_requests_total", "counter",
+		"Non-HTTP transport requests by transport, op, and status.")
+	telemetry.RegisterFamily("resil_transport_request_duration_seconds", "histogram",
+		"Non-HTTP transport request latency by transport and op.")
+}
+
+// transportMetrics pairs the counter and latency histogram for one
+// (transport, op, status) cell. The HTTP listener keeps its own
+// resil_http_* families; these cover every other transport.
+type transportMetrics struct {
+	requests *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func (m transportMetrics) observe(seconds float64, traceID string) {
+	m.requests.Inc()
+	m.latency.ObserveWithExemplar(seconds, traceID)
+}
+
+// transportMetricsFor resolves the handles for a transport/op/status
+// cell. All three label dimensions are bounded: transport names are
+// static, ops collapse to "other" outside the protocol vocabulary, and
+// statuses come from the handlers' finite set.
+func transportMetricsFor(transportName, op string, status int) transportMetrics {
+	return transportMetrics{
+		requests: telemetry.GetOrCreateCounter("resil_transport_requests_total{" +
+			telemetry.Labels("transport", transportName, "op", op, "status", itoa(status)) + "}"),
+		latency: telemetry.GetOrCreateHistogram("resil_transport_request_duration_seconds{"+
+			telemetry.Labels("transport", transportName, "op", op)+"}", telemetry.DurationBuckets()),
+	}
+}

@@ -1,0 +1,323 @@
+// Package binary serves and consumes the compact binary protocol
+// defined in internal/transport: CRC32C-framed request/response
+// envelopes over a plain TCP listener, answering the same operations as
+// the HTTP API. It exists for two callers — the `resil -transport
+// binary` CLI paths, and the cluster layer, which forwards non-owned
+// session requests to their owner over this protocol because a peer hop
+// should not pay HTTP framing on top of its own.
+//
+// One connection carries one request at a time (clients pool
+// connections instead of pipelining). A session.subscribe request
+// switches the connection into streaming mode: the server emits one
+// response frame per event ("snapshot", then "update"s, then a terminal
+// "closed") and afterwards returns the connection to request/response
+// mode.
+package binary
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"resilience/internal/monitor"
+	"resilience/internal/telemetry"
+	"resilience/internal/transport"
+)
+
+// Handler executes one protocol operation. It is implemented by the
+// server package's operation layer (App.BinaryHandler), keeping this
+// package free of any knowledge of request shapes.
+type Handler interface {
+	// Exec runs a unary op. body is the request body as a JSON-model
+	// tree (nil when absent); the returned body is likewise a tree (or a
+	// JSON-marshalable value — the server converts via transport.ToTree
+	// before encoding). status carries HTTP status semantics.
+	Exec(ctx context.Context, op string, body any) (status int, respBody any)
+	// Stream runs a streaming op (session.subscribe), delivering events
+	// through send until the feed ends or send fails. The returned
+	// status/body are only written as a normal response when the stream
+	// could not start (status >= 400); otherwise the events themselves,
+	// ending with "closed", are the response.
+	Stream(ctx context.Context, op string, body any, send func(event string, data any) error) (status int, respBody any)
+}
+
+// Server accepts binary-protocol connections and dispatches frames to a
+// Handler with the same observability envelope the HTTP middleware
+// provides: request IDs, trace adoption/minting, per-op spans, trace
+// store records, and resil_transport_* metrics.
+type Server struct {
+	handler Handler
+	logger  *slog.Logger
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	inflight sync.WaitGroup // one unit per request being handled
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+}
+
+// NewServer returns a server dispatching to h. logger may be nil.
+func NewServer(h Handler, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handler: h,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// Serve accepts connections on ln until the listener is closed. It
+// always returns a non-nil error; after Shutdown the error is
+// net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops accepting, waits for in-flight requests to finish (or
+// ctx to expire), then closes every remaining connection. Streaming
+// subscriptions are expected to have ended already via session shutdown;
+// any still open are cancelled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancel() // unblock any straggling streams
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		payload, err := transport.ReadFrame(conn)
+		if err != nil {
+			// Clean EOF and reset are the normal ends of a pooled
+			// connection; anything else (corrupt frame, oversize) is
+			// fatal to the connection either way.
+			return
+		}
+		if !s.serveFrame(conn, payload) {
+			return
+		}
+	}
+}
+
+// serveFrame handles one request frame; false means the connection must
+// close (encode failure or mid-stream write failure — the peer's view
+// of the stream is no longer trustworthy).
+func (s *Server) serveFrame(conn net.Conn, payload []byte) (keepAlive bool) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return false
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	start := time.Now()
+	req, err := transport.DecodeRequest(payload)
+	if err != nil {
+		// Envelope didn't parse: answer once, then drop the connection.
+		s.writeResponse(conn, transport.Response{
+			Status: 400,
+			Body:   map[string]any{"error": "malformed request envelope: " + err.Error()},
+		})
+		return false
+	}
+	opLabel := req.Op
+	if !transport.ValidOp(opLabel) {
+		opLabel = "other"
+	}
+
+	// Mirror the HTTP middleware's identity/tracing envelope.
+	trace := &telemetry.Trace{ID: sanitizeRequestID(req.RequestID)}
+	parentSpanID := ""
+	if tid, psid, ok := telemetry.ParseTraceparent(req.Traceparent); ok {
+		trace.TraceID = tid
+		parentSpanID = psid
+	} else {
+		trace.TraceID = telemetry.NewTraceID()
+	}
+	ctx := telemetry.WithTrace(s.baseCtx, trace)
+	if parentSpanID != "" {
+		ctx = telemetry.WithParentSpanID(ctx, parentSpanID)
+	}
+	ctx, root := telemetry.StartSpanCtx(ctx, "binary."+opLabel)
+
+	status := 500
+	var body any
+	streamed := false
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				monitor.CountPanicRecovery()
+				status = 500
+				body = map[string]any{
+					"error":      "internal error: request handler panicked",
+					"request_id": trace.ID,
+				}
+			}
+		}()
+		if req.Op == transport.OpSessionSubscribe {
+			streamed = true
+			status, body = s.handler.Stream(ctx, req.Op, req.Body, func(event string, data any) error {
+				return s.writeEvent(conn, event, data)
+			})
+		} else {
+			status, body = s.handler.Exec(ctx, req.Op, req.Body)
+		}
+	}()
+
+	spanStatus := ""
+	if status >= 500 {
+		spanStatus = "BIN " + itoa(status)
+	}
+	elapsed := root.EndStatus(spanStatus, telemetry.Int("status", status))
+	monitor.CountRequest(status >= 400)
+	transportMetricsFor("binary", opLabel, status).observe(elapsed.Seconds(), trace.TraceID)
+	telemetry.DefaultTraceStore.Record(&telemetry.TraceRecord{
+		TraceID:   trace.TraceID,
+		RequestID: trace.ID,
+		Route:     "bin:" + opLabel,
+		Method:    "BIN",
+		Status:    status,
+		Error:     status >= 500,
+		Start:     start,
+		Duration:  elapsed,
+		Spans:     trace.Spans(),
+	})
+	s.logger.Info("binary request",
+		"op", req.Op,
+		"status", status,
+		"duration_ms", float64(elapsed.Microseconds())/1000,
+		"request_id", trace.ID,
+		"trace_id", trace.TraceID,
+	)
+
+	if streamed && status < 400 {
+		// The events were the response; the terminal "closed" frame has
+		// already been sent by the handler's feed.
+		return true
+	}
+	tree, err := transport.ToTree(body)
+	if err != nil {
+		status = 500
+		tree = map[string]any{"error": "response encoding failed", "request_id": trace.ID}
+	}
+	return s.writeResponse(conn, transport.Response{Status: status, Body: tree})
+}
+
+func (s *Server) writeResponse(conn net.Conn, resp transport.Response) bool {
+	payload, err := transport.EncodeResponse(resp)
+	if err != nil {
+		return false
+	}
+	return transport.WriteFrame(conn, payload) == nil
+}
+
+// writeEvent sends one streaming event frame: a 200 response whose body
+// is {"event": name, "data": tree}.
+func (s *Server) writeEvent(conn net.Conn, event string, data any) error {
+	tree, err := transport.ToTree(data)
+	if err != nil {
+		return err
+	}
+	payload, err := transport.EncodeResponse(transport.Response{
+		Status: 200,
+		Body:   map[string]any{"event": event, "data": tree},
+	})
+	if err != nil {
+		return err
+	}
+	return transport.WriteFrame(conn, payload)
+}
+
+// sanitizeRequestID mirrors the HTTP middleware's policy: honor a sane
+// caller-supplied ID (so forwarded requests keep one identity across
+// nodes), mint a fresh one otherwise.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return telemetry.NewRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return telemetry.NewRequestID()
+		}
+	}
+	return id
+}
+
+func itoa(v int) string {
+	if v <= 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

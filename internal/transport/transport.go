@@ -1,0 +1,408 @@
+// Package transport is the wire-agnostic seam between the server's
+// operation layer and its transports. It owns three things every
+// non-HTTP transport needs and HTTP gets for free from net/http:
+//
+//   - the operation vocabulary: stable op names for every request the
+//     service layer answers (fit, predict, batch, session lifecycle),
+//     shared by the binary protocol, the cluster forwarder, and the CLI;
+//   - a compact self-describing value encoding over the JSON data model
+//     (nil, bool, float64, string, array, object) so any payload that
+//     can cross the HTTP transport as JSON can cross a binary transport
+//     byte-for-byte payload-equivalently;
+//   - CRC-framed message framing — length-prefixed, CRC32C-checked like
+//     the WAL — plus the request/response envelopes that carry the op
+//     name, request ID, and W3C traceparent alongside the body.
+//
+// The encoding is deliberately restricted to JSON's value space: a
+// response is built once (the same Go struct the HTTP transport
+// marshals), converted to a tree, and encoded; decoding yields the
+// identical tree a JSON client would see. That restriction is what the
+// golden round-trip test in internal/server pins: for every operation,
+// decode(binary response) == unmarshal(HTTP response).
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// Operation names. Transports carry these on the wire; the server's
+// operation layer dispatches on them. Session ops carry the session ID
+// in the body under "id".
+const (
+	OpFit          = "fit"
+	OpPredict      = "predict"
+	OpMetrics      = "metrics"
+	OpForecast     = "forecast"
+	OpIntervention = "intervention"
+	OpBatch        = "batch"
+	OpModels       = "models"
+	OpVersion      = "version"
+	OpStats        = "stats"
+
+	OpSessionCreate  = "session.create"
+	OpSessionList    = "session.list"
+	OpSessionGet     = "session.get"
+	OpSessionDelete  = "session.delete"
+	OpSessionObserve = "session.observe"
+	// OpSessionSubscribe switches a binary connection into streaming
+	// mode: the response is a "snapshot" event frame followed by one
+	// "update" frame per observation and a terminal "closed" frame — the
+	// binary twin of the HTTP SSE feed.
+	OpSessionSubscribe = "session.subscribe"
+)
+
+// knownOps is the closed set of operation names. Transports use it to
+// keep per-op metric labels bounded against hostile frames.
+var knownOps = map[string]bool{
+	OpFit: true, OpPredict: true, OpMetrics: true, OpForecast: true,
+	OpIntervention: true, OpBatch: true, OpModels: true, OpVersion: true,
+	OpStats: true, OpSessionCreate: true, OpSessionList: true,
+	OpSessionGet: true, OpSessionDelete: true, OpSessionObserve: true,
+	OpSessionSubscribe: true,
+}
+
+// ValidOp reports whether op is part of the protocol vocabulary.
+func ValidOp(op string) bool { return knownOps[op] }
+
+// MaxFrame bounds one frame's payload; anything larger is a protocol
+// violation, not a legitimate request (series are tiny; even a maximal
+// batch stays well under this).
+const MaxFrame = 16 << 20
+
+// castagnoli is the CRC32C table, the same polynomial the WAL uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame layout: uint32 big-endian payload length, payload bytes, uint32
+// big-endian CRC32C of the payload. A frame that fails the length bound
+// or the checksum is fatal to its connection — unlike the WAL there is
+// no tail to tolerate; a corrupt stream cannot be resynchronized.
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame payload %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadFrame reads one frame from r, verifying length bound and CRC.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF here is a clean end of stream
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame length %d exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: short frame payload: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("transport: short frame checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("transport: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload, nil
+}
+
+// Value-encoding tags. One byte each; lengths and counts are uint32
+// big-endian; floats are IEEE 754 bits big-endian. Object keys are
+// sorted so equal trees encode to equal bytes.
+const (
+	tagNil    = 'N'
+	tagTrue   = 'T'
+	tagFalse  = 'F'
+	tagFloat  = 'D'
+	tagString = 'S'
+	tagArray  = 'A'
+	tagObject = 'M'
+)
+
+// EncodeValue appends the encoding of a JSON-model value (nil, bool,
+// float64, string, []any, map[string]any) to b. Any other Go type is an
+// error — convert structs through ToTree first.
+func EncodeValue(b *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		b.WriteByte(tagNil)
+	case bool:
+		if x {
+			b.WriteByte(tagTrue)
+		} else {
+			b.WriteByte(tagFalse)
+		}
+	case float64:
+		var buf [9]byte
+		buf[0] = tagFloat
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(x))
+		b.Write(buf[:])
+	case string:
+		var buf [5]byte
+		buf[0] = tagString
+		binary.BigEndian.PutUint32(buf[1:], uint32(len(x)))
+		b.Write(buf[:])
+		b.WriteString(x)
+	case []any:
+		var buf [5]byte
+		buf[0] = tagArray
+		binary.BigEndian.PutUint32(buf[1:], uint32(len(x)))
+		b.Write(buf[:])
+		for _, item := range x {
+			if err := EncodeValue(b, item); err != nil {
+				return err
+			}
+		}
+	case map[string]any:
+		var buf [5]byte
+		buf[0] = tagObject
+		binary.BigEndian.PutUint32(buf[1:], uint32(len(x)))
+		b.Write(buf[:])
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := EncodeValue(b, k); err != nil {
+				return err
+			}
+			if err := EncodeValue(b, x[k]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("transport: cannot encode %T (JSON value space only)", v)
+	}
+	return nil
+}
+
+// DecodeValue reads one encoded value from r.
+func DecodeValue(r *bytes.Reader) (any, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("transport: truncated value: %w", err)
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagTrue:
+		return true, nil
+	case tagFalse:
+		return false, nil
+	case tagFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("transport: truncated float: %w", err)
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(buf[:])), nil
+	case tagString:
+		s, err := decodeString(r)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case tagArray:
+		n, err := decodeCount(r)
+		if err != nil {
+			return nil, err
+		}
+		arr := make([]any, n)
+		for i := range arr {
+			if arr[i], err = DecodeValue(r); err != nil {
+				return nil, err
+			}
+		}
+		return arr, nil
+	case tagObject:
+		n, err := decodeCount(r)
+		if err != nil {
+			return nil, err
+		}
+		obj := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			ktag, err := r.ReadByte()
+			if err != nil || ktag != tagString {
+				return nil, fmt.Errorf("transport: object key is not a string (tag %q, err %v)", ktag, err)
+			}
+			k, err := decodeString(r)
+			if err != nil {
+				return nil, err
+			}
+			if obj[k], err = DecodeValue(r); err != nil {
+				return nil, err
+			}
+		}
+		return obj, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown value tag %q", tag)
+	}
+}
+
+func decodeCount(r *bytes.Reader) (int, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("transport: truncated count: %w", err)
+	}
+	n := binary.BigEndian.Uint32(buf[:])
+	// A count can never describe more elements than bytes remaining; this
+	// keeps a hostile frame from pre-allocating gigabytes.
+	if int64(n) > int64(r.Len()) {
+		return 0, fmt.Errorf("transport: count %d exceeds remaining payload %d", n, r.Len())
+	}
+	return int(n), nil
+}
+
+func decodeString(r *bytes.Reader) (string, error) {
+	n, err := decodeCount(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("transport: truncated string: %w", err)
+	}
+	return string(buf), nil
+}
+
+// Request is the binary protocol's request envelope. Body is a value in
+// the JSON data model (what json.Unmarshal produces for the equivalent
+// HTTP request body); nil means no body.
+type Request struct {
+	// Op is the operation name (Op* constants).
+	Op string
+	// RequestID propagates the caller's X-Request-ID equivalent so
+	// forwarded requests keep one identity across nodes.
+	RequestID string
+	// Traceparent propagates the W3C trace context so cross-node spans
+	// stitch into one trace.
+	Traceparent string
+	// Body is the operation input as a JSON-model tree.
+	Body any
+}
+
+// Response is the binary protocol's response envelope. Status carries
+// HTTP status semantics so both transports share one error vocabulary.
+type Response struct {
+	Status int
+	Body   any
+}
+
+// Envelope keys.
+const (
+	keyOp          = "op"
+	keyRequestID   = "request_id"
+	keyTraceparent = "traceparent"
+	keyBody        = "body"
+	keyStatus      = "status"
+)
+
+// EncodeRequest renders a request envelope to frame-payload bytes.
+func EncodeRequest(req Request) ([]byte, error) {
+	env := map[string]any{keyOp: req.Op, keyBody: req.Body}
+	if req.RequestID != "" {
+		env[keyRequestID] = req.RequestID
+	}
+	if req.Traceparent != "" {
+		env[keyTraceparent] = req.Traceparent
+	}
+	var b bytes.Buffer
+	if err := EncodeValue(&b, env); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeRequest parses frame-payload bytes into a request envelope.
+func DecodeRequest(payload []byte) (Request, error) {
+	v, err := DecodeValue(bytes.NewReader(payload))
+	if err != nil {
+		return Request{}, err
+	}
+	env, ok := v.(map[string]any)
+	if !ok {
+		return Request{}, fmt.Errorf("transport: request envelope is %T, want object", v)
+	}
+	op, ok := env[keyOp].(string)
+	if !ok || op == "" {
+		return Request{}, fmt.Errorf("transport: request envelope missing op")
+	}
+	req := Request{Op: op, Body: env[keyBody]}
+	req.RequestID, _ = env[keyRequestID].(string)
+	req.Traceparent, _ = env[keyTraceparent].(string)
+	return req, nil
+}
+
+// EncodeResponse renders a response envelope to frame-payload bytes.
+func EncodeResponse(resp Response) ([]byte, error) {
+	env := map[string]any{keyStatus: float64(resp.Status), keyBody: resp.Body}
+	var b bytes.Buffer
+	if err := EncodeValue(&b, env); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeResponse parses frame-payload bytes into a response envelope.
+func DecodeResponse(payload []byte) (Response, error) {
+	v, err := DecodeValue(bytes.NewReader(payload))
+	if err != nil {
+		return Response{}, err
+	}
+	env, ok := v.(map[string]any)
+	if !ok {
+		return Response{}, fmt.Errorf("transport: response envelope is %T, want object", v)
+	}
+	status, ok := env[keyStatus].(float64)
+	if !ok {
+		return Response{}, fmt.Errorf("transport: response envelope missing status")
+	}
+	return Response{Status: int(status), Body: env[keyBody]}, nil
+}
+
+// ToTree converts any JSON-marshalable value (the response structs the
+// HTTP transport writes) into the JSON data model, so the binary
+// encoding of a response is payload-equivalent to its HTTP JSON body by
+// construction: both go through encoding/json's marshaling rules.
+func ToTree(v any) (any, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// FromTree decodes a JSON-model tree into dst under encoding/json's
+// rules — the inverse bridge for clients that want typed results.
+func FromTree(tree any, dst any) error {
+	raw, err := json.Marshal(tree)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, dst)
+}

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	var b bytes.Buffer
+	if err := EncodeValue(&b, v); err != nil {
+		t.Fatalf("encode %#v: %v", v, err)
+	}
+	r := bytes.NewReader(b.Bytes())
+	got, err := DecodeValue(r)
+	if err != nil {
+		t.Fatalf("decode %#v: %v", v, err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("decode %#v left %d trailing bytes", v, r.Len())
+	}
+	return got
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		true,
+		false,
+		float64(0),
+		float64(-1.5),
+		math.MaxFloat64,
+		math.SmallestNonzeroFloat64,
+		"",
+		"hello",
+		"unicode: héllo ☃",
+		[]any{},
+		[]any{nil, true, float64(3), "x"},
+		map[string]any{},
+		map[string]any{
+			"model":  "competing-risks",
+			"values": []any{float64(1), float64(0.7), float64(0.95)},
+			"nested": map[string]any{"a": nil, "b": []any{false}},
+		},
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v => %#v", v, got)
+		}
+	}
+}
+
+func TestValueRoundTripNaN(t *testing.T) {
+	// NaN != NaN, so check bit identity rather than DeepEqual.
+	got := roundTrip(t, math.NaN())
+	f, ok := got.(float64)
+	if !ok || !math.IsNaN(f) {
+		t.Fatalf("NaN round trip => %#v", got)
+	}
+}
+
+func TestValueDeterministicMapEncoding(t *testing.T) {
+	m := map[string]any{"b": float64(2), "a": float64(1), "c": "x"}
+	var b1, b2 bytes.Buffer
+	for i := 0; i < 8; i++ {
+		b1.Reset()
+		if err := EncodeValue(&b1, m); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			b2.Write(b1.Bytes())
+		} else if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("map encoding not deterministic")
+		}
+	}
+}
+
+func TestEncodeValueRejectsNonJSONTypes(t *testing.T) {
+	var b bytes.Buffer
+	if err := EncodeValue(&b, 42); err == nil {
+		t.Error("int should be rejected (JSON value space is float64)")
+	}
+	if err := EncodeValue(&b, struct{ X int }{1}); err == nil {
+		t.Error("struct should be rejected; use ToTree first")
+	}
+}
+
+func TestDecodeValueHostileCounts(t *testing.T) {
+	// An object claiming 4 billion entries with no bytes behind it must
+	// fail fast, not allocate.
+	payload := []byte{tagArray, 0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeValue(bytes.NewReader(payload)); err == nil {
+		t.Error("oversized array count accepted")
+	}
+	payload = []byte{tagString, 0x00, 0x10, 0x00, 0x00, 'x'}
+	if _, err := DecodeValue(bytes.NewReader(payload)); err == nil {
+		t.Error("oversized string length accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, []byte("x"), bytes.Repeat([]byte("abc123"), 1000)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame round trip: got %q want %q", got, p)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("important payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] ^= 0x40 // flip a payload bit
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted frame not detected: %v", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+}
+
+func TestRequestEnvelopeRoundTrip(t *testing.T) {
+	req := Request{
+		Op:          OpFit,
+		RequestID:   "req-123",
+		Traceparent: "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		Body: map[string]any{
+			"model":  "cdf-weibull",
+			"values": []any{float64(1), float64(0.6), float64(0.9)},
+		},
+	}
+	payload, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("request round trip:\n got %#v\nwant %#v", got, req)
+	}
+
+	// Optional fields stay absent.
+	bare := Request{Op: OpModels}
+	payload, err = EncodeRequest(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RequestID != "" || got.Traceparent != "" || got.Body != nil {
+		t.Fatalf("bare request grew fields: %#v", got)
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	var b bytes.Buffer
+	if err := EncodeValue(&b, "not an object"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(b.Bytes()); err == nil {
+		t.Error("non-object envelope accepted")
+	}
+	b.Reset()
+	if err := EncodeValue(&b, map[string]any{"body": nil}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(b.Bytes()); err == nil {
+		t.Error("envelope without op accepted")
+	}
+}
+
+func TestResponseEnvelopeRoundTrip(t *testing.T) {
+	resp := Response{Status: 422, Body: map[string]any{"error": "fit failed"}}
+	payload, err := EncodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("response round trip:\n got %#v\nwant %#v", got, resp)
+	}
+}
+
+func TestToTreeMatchesJSONModel(t *testing.T) {
+	type inner struct {
+		Name  string    `json:"name"`
+		Vals  []float64 `json:"vals"`
+		Skip  string    `json:"skip,omitempty"`
+		Count int       `json:"count"`
+	}
+	tree, err := ToTree(inner{Name: "x", Vals: []float64{1, 2}, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":  "x",
+		"vals":  []any{float64(1), float64(2)},
+		"count": float64(3),
+	}
+	if !reflect.DeepEqual(tree, want) {
+		t.Fatalf("ToTree:\n got %#v\nwant %#v", tree, want)
+	}
+	var back inner
+	if err := FromTree(tree, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "x" || back.Count != 3 || len(back.Vals) != 2 {
+		t.Fatalf("FromTree: %#v", back)
+	}
+}

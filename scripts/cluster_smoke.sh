@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Black-box 3-node cluster chaos smoke against real resil-server
+# binaries built with -race: bring up a consistent-hash cluster over a
+# static peer table, prove cross-node session forwarding and ownership
+# annotations, SLO-gate the binary transport with loadgen the same way
+# the HTTP smoke gates HTTP, kill -9 one node and assert the survivors
+# keep serving their shards while requests for the dead node's sessions
+# come back as typed redirects, replay a dataset onto a survivor with
+# `resil stream -transport binary` (the operator recovery move), lint
+# the cluster/transport metric families, and SIGTERM the survivors for
+# a clean drain.
+#
+# Requires only the Go toolchain and curl. Exits non-zero on any
+# violated assertion.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${RESIL_CLUSTER_PORT:-18200}"
+HTTP1=$BASE_PORT;         HTTP2=$((BASE_PORT + 1));  HTTP3=$((BASE_PORT + 2))
+BIN1=$((BASE_PORT + 10)); BIN2=$((BASE_PORT + 11));  BIN3=$((BASE_PORT + 12))
+NODE1="127.0.0.1:$BIN1";  NODE2="127.0.0.1:$BIN2";   NODE3="127.0.0.1:$BIN3"
+PEERS="$NODE1,$NODE2,$NODE3"
+WORK="${RESIL_CLUSTER_DIR:-$(mktemp -d)}"
+PID1=""; PID2=""; PID3=""
+
+cleanup() {
+  for pid in "$PID1" "$PID2" "$PID3"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() { # port
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://localhost:$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  fail "node on port $1 never became ready (see $WORK/*.log)"
+}
+
+# http_status METHOD URL [JSON] -> status in $STATUS, body in $BODY
+http_status() {
+  local method=$1 url=$2 data=${3:-}
+  local args=(-sS -o "$WORK/body.json" -w '%{http_code}' -X "$method" "$url")
+  [ -n "$data" ] && args+=(-H 'Content-Type: application/json' -d "$data")
+  STATUS=$(curl "${args[@]}")
+  BODY=$(cat "$WORK/body.json")
+}
+
+json_field() { # key <- extracts "key":"value"
+  echo "$1" | grep -o "\"$2\":\"[^\"]*\"" | head -1 | cut -d'"' -f4
+}
+
+echo "==> building resil-server (-race) and resil"
+go build -race -o "$WORK/resil-server" ./cmd/resil-server
+go build -o "$WORK/resil" ./cmd/resil
+
+echo "==> starting 3 nodes over peer table $PEERS"
+"$WORK/resil-server" -addr ":$HTTP1" -binary-addr ":$BIN1" -node "$NODE1" -peers "$PEERS" \
+  >"$WORK/node1.log" 2>&1 &
+PID1=$!
+"$WORK/resil-server" -addr ":$HTTP2" -binary-addr ":$BIN2" -node "$NODE2" -peers "$PEERS" \
+  >"$WORK/node2.log" 2>&1 &
+PID2=$!
+"$WORK/resil-server" -addr ":$HTTP3" -binary-addr ":$BIN3" -node "$NODE3" -peers "$PEERS" \
+  >"$WORK/node3.log" 2>&1 &
+PID3=$!
+wait_ready "$HTTP1"; wait_ready "$HTTP2"; wait_ready "$HTTP3"
+
+echo "==> every node mints sessions it owns"
+for port in "$HTTP1:$NODE1" "$HTTP2:$NODE2" "$HTTP3:$NODE3"; do
+  http=${port%%:*}; self=${port#*:}
+  http_status POST "http://localhost:$http/v1/sessions" '{"model":"quadratic"}'
+  [ "$STATUS" = 201 ] || fail "create on :$http -> status $STATUS: $BODY"
+  owner=$(json_field "$BODY" owner)
+  [ "$owner" = "$self" ] || fail "node :$http minted owner $owner, want $self"
+done
+
+echo "==> cross-node forwarding with ownership annotations"
+http_status POST "http://localhost:$HTTP1/v1/sessions" '{"model":"quadratic"}'
+[ "$STATUS" = 201 ] || fail "create on node1: $STATUS"
+SID=$(json_field "$BODY" id)
+[ -n "$SID" ] || fail "no session id: $BODY"
+http_status GET "http://localhost:$HTTP2/v1/sessions/$SID"
+[ "$STATUS" = 200 ] || fail "forwarded get via node2: $STATUS: $BODY"
+[ "$(json_field "$BODY" owner)" = "$NODE1" ] || fail "forwarded get owner: $BODY"
+http_status POST "http://localhost:$HTTP3/v1/sessions/$SID/observe" \
+  '{"values":[1,0.99,0.98,0.985]}'
+[ "$STATUS" = 200 ] || fail "forwarded observe via node3: $STATUS: $BODY"
+http_status GET "http://localhost:$HTTP1/v1/sessions/$SID"
+echo "$BODY" | grep -q '"observations":4' || fail "forwarded observe lost: $BODY"
+
+echo "==> misrouted SSE answers a typed redirect (421)"
+http_status GET "http://localhost:$HTTP2/v1/sessions/$SID/events"
+[ "$STATUS" = 421 ] || fail "remote SSE status $STATUS, want 421"
+echo "$BODY" | grep -q '"redirect":true' || fail "SSE redirect envelope: $BODY"
+echo "$BODY" | grep -q "\"owner\":\"$NODE1\"" || fail "SSE redirect owner: $BODY"
+
+echo "==> loadgen SLO gate on the binary transport (same gates as HTTP)"
+"$WORK/resil" loadgen -server "http://localhost:$HTTP2" \
+  -transport binary -binary-server "$NODE2" \
+  -duration 3s -concurrency 2 -slo-p99 2s -slo-error-rate 0 \
+  >"$WORK/loadgen_binary.txt" || fail "binary loadgen breached SLO: $(cat "$WORK/loadgen_binary.txt")"
+"$WORK/resil" loadgen -server "http://localhost:$HTTP2" \
+  -duration 3s -concurrency 2 -slo-p99 2s -slo-error-rate 0 \
+  >"$WORK/loadgen_http.txt" || fail "http loadgen breached SLO: $(cat "$WORK/loadgen_http.txt")"
+
+echo "==> metrics lint with required cluster/transport families"
+curl -fsS "http://localhost:$HTTP2/metrics" >"$WORK/metrics.txt"
+REQUIRE_FAMILIES="resil_cluster_peers resil_cluster_forwards_total resil_cluster_forward_duration_seconds resil_cluster_redirects_total resil_transport_requests_total resil_transport_request_duration_seconds" \
+  bash scripts/metrics_lint.sh "$WORK/metrics.txt" \
+  || fail "metrics lint on node2 exposition"
+
+echo "==> kill -9 node1"
+kill -9 "$PID1"
+wait "$PID1" 2>/dev/null || true
+PID1=""
+
+echo "==> requests for the dead node's sessions return typed redirects"
+http_status GET "http://localhost:$HTTP2/v1/sessions/$SID"
+[ "$STATUS" = 502 ] || fail "dead-owner get status $STATUS, want 502: $BODY"
+echo "$BODY" | grep -q '"redirect":true' || fail "dead-owner redirect envelope: $BODY"
+echo "$BODY" | grep -q "\"owner\":\"$NODE1\"" || fail "dead-owner redirect owner: $BODY"
+
+echo "==> survivors keep serving their shards"
+for http in "$HTTP2" "$HTTP3"; do
+  http_status POST "http://localhost:$http/v1/sessions" '{"model":"quadratic"}'
+  [ "$STATUS" = 201 ] || fail "survivor :$http create: $STATUS: $BODY"
+  SURV=$(json_field "$BODY" id)
+  http_status POST "http://localhost:$http/v1/sessions/$SURV/observe" '{"values":[1,0.99]}'
+  [ "$STATUS" = 200 ] || fail "survivor :$http observe: $STATUS: $BODY"
+done
+
+echo "==> replaying the lost workload onto a survivor (resil stream, binary transport)"
+"$WORK/resil" stream -server "$NODE2" -transport binary \
+  -dataset 1990-93 -model quadratic >"$WORK/replay.txt" \
+  || fail "stream replay onto survivor failed: $(tail -5 "$WORK/replay.txt")"
+grep -q "session closed" "$WORK/replay.txt" || fail "replay never saw the terminal event"
+
+echo "==> graceful SIGTERM drain of the survivors"
+kill -TERM "$PID2" "$PID3"
+wait "$PID2" || fail "node2 exited non-zero on SIGTERM"
+wait "$PID3" || fail "node3 exited non-zero on SIGTERM"
+PID2=""; PID3=""
+for log in node2 node3; do
+  grep -q 'draining' "$WORK/$log.log" || fail "$log never logged draining"
+  if grep -q 'WARNING: DATA RACE' "$WORK/$log.log"; then
+    fail "$log hit a data race (see $WORK/$log.log)"
+  fi
+done
+if grep -q 'WARNING: DATA RACE' "$WORK/node1.log"; then
+  fail "node1 hit a data race before the kill"
+fi
+
+echo "cluster_smoke: OK (3 nodes, forwarding, kill -9, typed redirects, replay recovery)"

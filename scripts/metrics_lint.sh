@@ -93,6 +93,19 @@ while read -r name; do
   fi
 done < <(grep -vE "^#|^$" "$EXPO" | sed -E 's/[{ ].*//' | sort -u)
 
+# --- Required-family pass (opt-in) ----------------------------------
+# REQUIRE_FAMILIES lists space-separated family names that must be
+# declared in the exposition. The cluster smoke uses it to pin the
+# resil_cluster_*/resil_transport_* families, which only appear once
+# clustering and the binary listener are exercised.
+if [ -n "${REQUIRE_FAMILIES:-}" ]; then
+  for family in $REQUIRE_FAMILIES; do
+    if ! grep -qE "^# TYPE $family " "$EXPO"; then
+      complain "required family $family not declared in exposition"
+    fi
+  done
+fi
+
 # --- Exemplar pass: only on bucket lines ----------------------------
 bad=$(grep -nE ' # \{' "$EXPO" | grep -vE '^[0-9]+:[a-zA-Z_:][a-zA-Z0-9_:]*_bucket\{' || true)
 if [ -n "$bad" ]; then
