@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke obs-smoke cluster-smoke bench bench-compare bench-all fuzz cover report clean
+.PHONY: all build vet lint-dispatch test test-short check chaos stream-chaos crash-smoke loadgen-smoke obs-smoke cluster-smoke sim-smoke bench bench-compare bench-all fuzz cover report clean
 
 all: build vet lint-dispatch test
 
@@ -77,6 +77,15 @@ loadgen-smoke:
 # /v1/stats reports the SLO window, and resil top renders.
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Scenario-engine gate: `resil simulate` renders byte-identical sets
+# across reruns and GOMAXPROCS 1 vs 4, an N>=1k Monte Carlo study
+# through Batch() emits non-empty coverage and win-rate-by-shape-class
+# tables (and reproduces from its seed), and a live server answers
+# POST /v1/simulate with the resil_scenario_* metric families passing
+# lint. Scale with SIM_SCENARIOS.
+sim-smoke:
+	bash scripts/sim_smoke.sh
 
 # Cluster chaos gate: 3 race-built nodes over a static peer table —
 # cross-node session forwarding, binary-transport SLO gate, kill -9 one

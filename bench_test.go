@@ -307,6 +307,10 @@ func BenchmarkExtensionComposite(b *testing.B) { benchArtifact(b, "ext-composite
 // experiment (all models ranked by PMSE with rolling-origin CV).
 func BenchmarkExtensionSelection(b *testing.B) { benchArtifact(b, "ext-selection") }
 
+// BenchmarkExtensionMonteCarlo runs the coupled-scenario Monte Carlo
+// study: CI coverage and model-selection win rate by shape class.
+func BenchmarkExtensionMonteCarlo(b *testing.B) { benchArtifact(b, "ext-montecarlo") }
+
 // BenchmarkBootstrap measures a full 100-replicate residual bootstrap of
 // the competing-risks model on 1990-93.
 func BenchmarkBootstrap(b *testing.B) {

@@ -135,6 +135,8 @@ func (c *httpCaller) route(op, id string) (method, path string, err error) {
 		return http.MethodPost, "/v1/intervention", nil
 	case transport.OpBatch:
 		return http.MethodPost, "/v1/batch", nil
+	case transport.OpSimulate:
+		return http.MethodPost, "/v1/simulate", nil
 	case transport.OpModels:
 		return http.MethodGet, "/v1/models", nil
 	case transport.OpVersion:

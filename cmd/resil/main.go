@@ -32,7 +32,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"strings"
 
@@ -96,6 +95,8 @@ func run(args []string) error {
 		return cmdGallery()
 	case "generate":
 		return cmdGenerate(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -127,6 +128,7 @@ subcommands:
   report              render all tables+figures into one HTML file (-o)
   gallery             show the canonical letter-shape curves (V/U/W/L/J/K)
   generate            emit a synthetic recession curve (-shape, -months)
+  simulate            render coupled multi-system scenario sets (-preset|-spec, -n, -seed, -format csv|json; -study runs a Monte Carlo coverage/win-rate study; -server renders remotely)
 
 models: %s
         (aliases and any casing accepted; see internal/registry)
@@ -459,43 +461,16 @@ func cmdGenerate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := specForShape(*shape, *months, *depth, *noise, *seed)
+	spec, err := dataset.ShapeSpec(*shape, *months, *depth, *noise, *seed)
 	if err != nil {
 		return err
 	}
-	s, err := dataset.Generate(spec)
+	tagged, err := dataset.GenerateTagged(spec)
 	if err != nil {
 		return err
 	}
-	return dataset.WriteCSV(os.Stdout, s)
-}
-
-// specForShape builds a canonical Spec per letter shape.
-func specForShape(shape string, months int, depth, noise float64, seed uint64) (dataset.Spec, error) {
-	m := float64(months)
-	base := dataset.Spec{Months: months, Noise: noise, Seed: seed, EndLevel: 1.01}
-	switch strings.ToUpper(shape) {
-	case "V":
-		base.Dips = []dataset.Dip{{Start: 0, TTrough: m * 0.15, TRecover: m * 0.45, Depth: depth,
-			DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1}}
-	case "U":
-		base.Dips = []dataset.Dip{{Start: 0, TTrough: m * 0.45, TRecover: m * 0.95, Depth: depth,
-			DeclineA: 1.8, DeclineB: 1.6, RecoverA: 1.6, RecoverB: 1.4}}
-	case "W":
-		base.Dips = []dataset.Dip{
-			{Start: 0, TTrough: m * 0.1, TRecover: m * 0.3, Depth: depth,
-				DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1, RecoverTo: 1.003},
-			{Start: m * 0.35, TTrough: m * 0.65, TRecover: m * 0.95, Depth: depth * 1.5,
-				DeclineA: 1.5, DeclineB: 1.3, RecoverA: 1.4, RecoverB: 1.2},
-		}
-	case "L":
-		base.EndLevel = 1 - depth*0.3
-		base.Dips = []dataset.Dip{{Start: 0, TTrough: math.Max(2, m*0.08), TRecover: m * 0.95, Depth: depth,
-			DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.55, RecoverB: 2.8}}
-	default:
-		return dataset.Spec{}, fmt.Errorf("unknown shape %q (want V, U, W, or L)", shape)
-	}
-	return base, nil
+	fmt.Fprintf(os.Stderr, "shape class: %s\n", tagged.Class)
+	return dataset.WriteCSV(os.Stdout, tagged.Series)
 }
 
 func cmdSelect(args []string) error {

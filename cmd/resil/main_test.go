@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"resilience/internal/dataset"
 	"resilience/internal/registry"
 )
 
@@ -83,7 +84,7 @@ func TestResolveSeriesBuiltinAndFile(t *testing.T) {
 
 func TestSpecForShape(t *testing.T) {
 	for _, shape := range []string{"V", "U", "W", "L", "v", "u"} {
-		spec, err := specForShape(shape, 48, 0.03, 0.001, 7)
+		spec, err := dataset.ShapeSpec(shape, 48, 0.03, 0.001, 7)
 		if err != nil {
 			t.Errorf("shape %q: %v", shape, err)
 			continue
@@ -95,7 +96,7 @@ func TestSpecForShape(t *testing.T) {
 			t.Errorf("W spec has %d dips", len(spec.Dips))
 		}
 	}
-	if _, err := specForShape("Z", 48, 0.03, 0.001, 7); err == nil {
+	if _, err := dataset.ShapeSpec("Z", 48, 0.03, 0.001, 7); err == nil {
 		t.Error("unknown shape: want error")
 	}
 }

@@ -1,0 +1,119 @@
+package main
+
+// resil simulate: render deterministic coupled scenario sets from the
+// scenario engine, either locally (CSV/JSON to stdout or a file), on a
+// running server over either transport, or — with -study — as a Monte
+// Carlo coverage/win-rate study through the service batch pool.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"resilience/internal/experiment"
+	"resilience/internal/scenario"
+	"resilience/internal/transport"
+)
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "JSON scenario spec file (overrides -preset)")
+	preset := fs.String("preset", "pair", "built-in coupled spec: "+strings.Join(scenario.PresetNames(), " or "))
+	n := fs.Int("n", 1, "number of scenarios in the set")
+	seed := fs.Uint64("seed", 7, "top-level set seed; reproduces the entire set bit-identically")
+	workers := fs.Int("workers", 0, "generation workers (0 = min(n, GOMAXPROCS)); output is identical at any setting")
+	format := fs.String("format", "csv", "output format: csv or json")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	study := fs.Bool("study", false, "run a Monte Carlo study through the batch pool instead of emitting the set")
+	modelNames := fs.String("models", "quadratic,competing-risks", "study: comma-separated model names to race")
+	trainFrac := fs.Float64("train", 0, "study: training fraction (0 = service default 0.9)")
+	alpha := fs.Float64("alpha", 0, "study: CI significance level (0 = default 0.05)")
+	serverURL := fs.String("server", "", "render the set on a resil-server at this address instead of in-process (prints the server's JSON reply)")
+	transportName := fs.String("transport", "http", "wire transport when -server is set: http or binary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec scenario.Spec
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			return fmt.Errorf("simulate: %w", err)
+		}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return fmt.Errorf("simulate: parse spec %s: %w", *specPath, err)
+		}
+	} else {
+		var err error
+		if spec, err = scenario.Preset(*preset); err != nil {
+			return fmt.Errorf("simulate: %w", err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+
+	if *serverURL != "" {
+		if *study {
+			return fmt.Errorf("simulate: -study runs in-process; drop -server")
+		}
+		return remoteOp(*transportName, *serverURL, transport.OpSimulate, map[string]any{
+			"spec": spec, "count": *n, "seed": *seed, "workers": *workers,
+		})
+	}
+
+	if *study {
+		var models []string
+		for _, m := range strings.Split(*modelNames, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				models = append(models, m)
+			}
+		}
+		res, err := experiment.MonteCarlo(scenario.StudyConfig{
+			Spec:          spec,
+			Scenarios:     *n,
+			Seed:          *seed,
+			Models:        models,
+			Workers:       *workers,
+			TrainFraction: *trainFrac,
+			CIAlpha:       *alpha,
+		})
+		if err != nil {
+			return fmt.Errorf("simulate: %w", err)
+		}
+		fmt.Println(res.Text)
+		return nil
+	}
+
+	set, err := scenario.GenerateSet(context.Background(), spec, *n, *seed, *workers)
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("simulate: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = set.WriteCSV(w)
+	case "json":
+		err = set.WriteJSON(w)
+	default:
+		return fmt.Errorf("simulate: unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "# %d scenarios, seed %d, classes %v\n",
+		len(set.Scenarios), set.Seed, set.Classes())
+	return nil
+}

@@ -322,27 +322,54 @@ func TestKumaraswamyProperties(t *testing.T) {
 	}
 }
 
-func TestLCGNormalMoments(t *testing.T) {
-	rng := newLCG(7)
-	const n = 200000
-	var sum, sumSq float64
-	for i := 0; i < n; i++ {
-		x := rng.normal()
-		sum += x
-		sumSq += x * x
+func TestShapeSpecClasses(t *testing.T) {
+	for _, class := range []string{"V", "U", "W", "L", "v", "u"} {
+		spec, err := ShapeSpec(class, 48, 0.03, 0.001, 7)
+		if err != nil {
+			t.Errorf("class %q: %v", class, err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("class %q spec invalid: %v", class, err)
+		}
+		want := strings.ToUpper(class)
+		if spec.Class != want || spec.ShapeClass() != want {
+			t.Errorf("class %q: tagged %q, derived %q", class, spec.Class, spec.ShapeClass())
+		}
+		tagged, err := GenerateTagged(spec)
+		if err != nil {
+			t.Errorf("class %q: generate: %v", class, err)
+			continue
+		}
+		if tagged.Class != want || tagged.Series.Len() != 48 {
+			t.Errorf("class %q: tagged series class %q len %d", class, tagged.Class, tagged.Series.Len())
+		}
 	}
-	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if math.Abs(mean) > 0.02 {
-		t.Errorf("normal mean = %g", mean)
+	if _, err := ShapeSpec("Z", 48, 0.03, 0.001, 7); err == nil {
+		t.Error("unknown class: want error")
 	}
-	if math.Abs(variance-1) > 0.03 {
-		t.Errorf("normal variance = %g", variance)
+}
+
+func TestShapeClassDerivation(t *testing.T) {
+	// Explicit tag wins over structure.
+	tagged := Spec{Class: "V+shock", Dips: []Dip{{}, {}}}
+	if got := tagged.ShapeClass(); got != "V+shock" {
+		t.Errorf("explicit class: got %q", got)
 	}
-	// Zero seed falls back to a nonzero default.
-	zeroSeeded := newLCG(0)
-	if zeroSeeded.uniform() == 0 {
-		t.Error("zero-seed generator degenerate")
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Months: 48, Dips: []Dip{{}, {}}, EndLevel: 1.0}, "W"},
+		{Spec{Months: 48, Dips: []Dip{{TTrough: 5, TRecover: 20}}, EndLevel: 0.97}, "L"},
+		{Spec{Months: 48, Dips: []Dip{{TTrough: 5, TRecover: 20}}, EndLevel: 1.05}, "J"},
+		{Spec{Months: 48, Dips: []Dip{{TTrough: 20, TRecover: 40}}, EndLevel: 1.0}, "U"},
+		{Spec{Months: 48, Dips: []Dip{{TTrough: 6, TRecover: 20}}, EndLevel: 1.01}, "V"},
+	}
+	for i, c := range cases {
+		if got := c.spec.ShapeClass(); got != c.want {
+			t.Errorf("case %d: got %q, want %q", i, got, c.want)
+		}
 	}
 }
 

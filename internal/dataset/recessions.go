@@ -147,6 +147,8 @@ var _recessionSpecs = []struct {
 func Recessions() ([]Recession, error) {
 	out := make([]Recession, 0, len(_recessionSpecs))
 	for _, rs := range _recessionSpecs {
+		// The documented letter shape is the authoritative class tag.
+		rs.spec.Class = rs.shape
 		series, err := Generate(rs.spec)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: building %s: %w", rs.name, err)

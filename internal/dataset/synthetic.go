@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
+	"resilience/internal/rng"
 	"resilience/internal/timeseries"
 )
 
@@ -66,6 +68,38 @@ type Spec struct {
 	Noise float64
 	// Seed drives the deterministic noise generator.
 	Seed uint64
+	// Class is the spec's letter-shape tag (V, U, W, L, J, optionally with
+	// a "+shock" suffix for scenario-engine shocked variants). Empty means
+	// "derive from the dips" — see ShapeClass. The tag travels with the
+	// generated series (GenerateTagged) so Monte Carlo studies can group
+	// results by shape class without re-classifying curves.
+	Class string
+}
+
+// ShapeClass returns the spec's shape-class tag: the explicit Class when
+// set, otherwise a structural derivation — two or more dips are W, a
+// terminal level below the pre-hazard peak is L, a strong overshoot is J,
+// a trough later than 30% of the window is U, and everything else is V.
+func (s Spec) ShapeClass() string {
+	if s.Class != "" {
+		return s.Class
+	}
+	if len(s.Dips) >= 2 {
+		return "W"
+	}
+	if s.EndLevel < 0.995 {
+		return "L"
+	}
+	if s.EndLevel >= 1.04 {
+		return "J"
+	}
+	if len(s.Dips) == 1 {
+		d := s.Dips[0]
+		if d.TTrough-d.Start > 0.3*float64(s.Months) {
+			return "U"
+		}
+	}
+	return "V"
 }
 
 // Validate checks a Spec for structural errors.
@@ -117,7 +151,7 @@ func Generate(spec Spec) (*timeseries.Series, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	rng := newLCG(spec.Seed)
+	gen := rng.New(spec.Seed)
 	values := make([]float64, spec.Months)
 	lastRecover := spec.Dips[len(spec.Dips)-1].TRecover
 	for i := range values {
@@ -127,7 +161,7 @@ func Generate(spec Spec) (*timeseries.Series, error) {
 			v += spec.Drift * (t - lastRecover)
 		}
 		if spec.Noise > 0 && i > 0 {
-			v *= 1 + spec.Noise*rng.normal()
+			v *= 1 + spec.Noise*gen.Normal()
 		}
 		values[i] = v
 	}
@@ -170,39 +204,57 @@ func baseLevel(spec Spec, t float64) float64 {
 	return level
 }
 
-// lcg is a deterministic linear congruential generator with a Box–Muller
-// normal transform. math/rand would work too, but a local generator keeps
-// the embedded datasets reproducible across Go versions regardless of
-// rand's internals.
-type lcg struct {
-	state uint64
-	spare float64
-	has   bool
+// Tagged pairs a generated series with its shape-class tag so downstream
+// consumers (Monte Carlo studies, scenario sets) can group results by
+// class without re-classifying the curve.
+type Tagged struct {
+	Series *timeseries.Series
+	// Class is the letter-shape tag (V, U, W, L, J) with an optional
+	// "+shock" suffix.
+	Class string
 }
 
-func newLCG(seed uint64) *lcg {
-	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15
+// GenerateTagged renders the spec and attaches its shape class.
+func GenerateTagged(spec Spec) (Tagged, error) {
+	s, err := Generate(spec)
+	if err != nil {
+		return Tagged{}, err
 	}
-	return &lcg{state: seed}
+	return Tagged{Series: s, Class: spec.ShapeClass()}, nil
 }
 
-// uniform returns the next value in (0, 1).
-func (r *lcg) uniform() float64 {
-	r.state = r.state*6364136223846793005 + 1442695040888963407
-	// Use the top 53 bits for a uniform double.
-	return (float64(r.state>>11) + 0.5) / (1 << 53)
-}
-
-// normal returns a standard normal draw via Box–Muller.
-func (r *lcg) normal() float64 {
-	if r.has {
-		r.has = false
-		return r.spare
+// ShapeSpec builds the canonical parametric spec for a letter shape class
+// (case-insensitive V, U, W, or L) over the given window, trough depth,
+// and noise level. These are the templates behind `resil generate` and
+// the scenario engine's disruption library; the returned spec carries the
+// normalized class tag.
+func ShapeSpec(class string, months int, depth, noise float64, seed uint64) (Spec, error) {
+	m := float64(months)
+	spec := Spec{Months: months, Noise: noise, Seed: seed, EndLevel: 1.01}
+	switch strings.ToUpper(class) {
+	case "V":
+		spec.Dips = []Dip{{Start: 0, TTrough: m * 0.15, TRecover: m * 0.45, Depth: depth,
+			DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1}}
+		spec.Class = "V"
+	case "U":
+		spec.Dips = []Dip{{Start: 0, TTrough: m * 0.45, TRecover: m * 0.95, Depth: depth,
+			DeclineA: 1.8, DeclineB: 1.6, RecoverA: 1.6, RecoverB: 1.4}}
+		spec.Class = "U"
+	case "W":
+		spec.Dips = []Dip{
+			{Start: 0, TTrough: m * 0.1, TRecover: m * 0.3, Depth: depth,
+				DeclineA: 1.3, DeclineB: 1.1, RecoverA: 1.3, RecoverB: 1.1, RecoverTo: 1.003},
+			{Start: m * 0.35, TTrough: m * 0.65, TRecover: m * 0.95, Depth: depth * 1.5,
+				DeclineA: 1.5, DeclineB: 1.3, RecoverA: 1.4, RecoverB: 1.2},
+		}
+		spec.Class = "W"
+	case "L":
+		spec.EndLevel = 1 - depth*0.3
+		spec.Dips = []Dip{{Start: 0, TTrough: math.Max(2, m*0.08), TRecover: m * 0.95, Depth: depth,
+			DeclineA: 0.9, DeclineB: 1.0, RecoverA: 0.55, RecoverB: 2.8}}
+		spec.Class = "L"
+	default:
+		return Spec{}, fmt.Errorf("dataset: unknown shape class %q (want V, U, W, or L)", class)
 	}
-	u1, u2 := r.uniform(), r.uniform()
-	mag := math.Sqrt(-2 * math.Log(u1))
-	r.spare = mag * math.Sin(2*math.Pi*u2)
-	r.has = true
-	return mag * math.Cos(2*math.Pi*u2)
+	return spec, nil
 }

@@ -51,8 +51,9 @@ var _titles = map[string]string{
 	"fig5":          "Figure 5: Weibull-Exponential model fit to 1990-93 U.S. recession data",
 	"fig6":          "Figure 6: Exp-Weibull and Wei-Wei model fits to 1981-83 U.S. recession data",
 	"table4":        "Table IV: interval-based resilience metrics using mixture distributions (1990-93)",
-	"ext-composite": "Extension: changepoint composites on the W-shaped 1980 recession",
-	"ext-selection": "Extension: automated model selection on 1990-93",
+	"ext-composite":  "Extension: changepoint composites on the W-shaped 1980 recession",
+	"ext-selection":  "Extension: automated model selection on 1990-93",
+	"ext-montecarlo": "Extension: Monte Carlo coverage and model-selection study over coupled scenarios",
 }
 
 // runners maps artifact IDs to their implementations. Lazily resolved by
@@ -69,8 +70,9 @@ func runners() map[string]Runner {
 		"fig5":          Figure5,
 		"fig6":          Figure6,
 		"table4":        Table4,
-		"ext-composite": ExtensionComposite,
-		"ext-selection": func() (*Result, error) { return ExtensionSelection("1990-93") },
+		"ext-composite":  ExtensionComposite,
+		"ext-selection":  func() (*Result, error) { return ExtensionSelection("1990-93") },
+		"ext-montecarlo": ExtensionMonteCarlo,
 	}
 }
 
@@ -91,7 +93,7 @@ func orderKey(id string) string {
 		"fig1": "00", "fig2": "01", "table1": "02", "fig3": "03",
 		"fig4": "04", "table2": "05", "table3": "06", "fig5": "07",
 		"fig6": "08", "table4": "09",
-		"ext-composite": "10", "ext-selection": "11",
+		"ext-composite": "10", "ext-selection": "11", "ext-montecarlo": "12",
 	}
 	if k, ok := order[id]; ok {
 		return k

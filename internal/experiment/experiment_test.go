@@ -12,7 +12,8 @@ import (
 func TestRegistryCompleteness(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig1", "fig2", "table1", "fig3", "fig4", "table2",
-		"table3", "fig5", "fig6", "table4", "ext-composite", "ext-selection"}
+		"table3", "fig5", "fig6", "table4", "ext-composite", "ext-selection",
+		"ext-montecarlo"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

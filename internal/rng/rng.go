@@ -30,6 +30,26 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Derive mixes a base seed with a path of stream indexes into an
+// independent sub-seed, so one top-level seed can reproduce an entire
+// study: scenario k's generator is New(Derive(seed, k)), system j inside
+// it New(Derive(seed, k, j)), and so on. Each path element passes through
+// the SplitMix64 finalizer, so adjacent indexes yield statistically
+// unrelated streams and Derive(s, a, b) != Derive(s, b, a).
+func Derive(seed uint64, path ...uint64) uint64 {
+	z := seed
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	for _, p := range path {
+		z += 0x9E3779B97F4A7C15 * (p + 1)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z = z ^ (z >> 31)
+	}
+	return z
+}
+
 // Uint64 returns the next 64 pseudorandom bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15

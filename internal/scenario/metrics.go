@@ -1,0 +1,25 @@
+package scenario
+
+import "resilience/internal/telemetry"
+
+// metrics are the scenario engine's telemetry handles, resolved once.
+// They live in the process-wide registry and are scraped at GET /metrics
+// alongside the fit-pipeline and stream families.
+var metrics = struct {
+	generated *telemetry.Counter
+	shocks    *telemetry.Counter
+	duration  *telemetry.Histogram
+}{
+	generated: telemetry.GetOrCreateCounter("resil_scenario_generated_total"),
+	shocks:    telemetry.GetOrCreateCounter("resil_scenario_shocks_total"),
+	duration:  telemetry.GetOrCreateHistogram("resil_scenario_generation_duration_seconds", telemetry.DurationBuckets()),
+}
+
+func init() {
+	telemetry.RegisterFamily("resil_scenario_generated_total", "counter",
+		"Scenarios rendered by the coupled scenario engine.")
+	telemetry.RegisterFamily("resil_scenario_shocks_total", "counter",
+		"Shock arrivals (catastrophic + cumulative) injected across all rendered scenarios.")
+	telemetry.RegisterFamily("resil_scenario_generation_duration_seconds", "histogram",
+		"Wall time to render one scenario (all systems, full horizon).")
+}

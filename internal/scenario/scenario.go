@@ -1,0 +1,449 @@
+// Package scenario is the coupled multi-system scenario engine: it
+// composes the single-curve resilience generators into seeded,
+// deterministic trajectories over a directed coupling graph. One
+// system's degradation raises its neighbors' disruption hazard,
+// disruptions arrive repeatedly (and cascade along marked edges),
+// recovery exhibits hysteresis — a system that trips into a stressed
+// phase recovers at a damped rate until it climbs back above the reset
+// threshold — and two shock-damage processes ride on top: catastrophic
+// shocks knock the level down instantly, cumulative shocks accrue
+// damage that permanently lowers the recovery ceiling. Shock severity
+// follows the extended-exponential law s = Scale·(−ln(1−u))^(1/Shape)
+// (Mohri & Takeshita), which degenerates to the exponential at
+// Shape = 1.
+//
+// Determinism contract: a scenario set is a pure function of its spec
+// and top-level seed. Scenario k draws every variate from one RNG
+// seeded rng.Derive(seed, k), consumed in fixed system order within
+// each time step, and parallel generation writes indexed slots — so
+// output is bit-identical across runs and GOMAXPROCS settings.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/rng"
+	"resilience/internal/timeseries"
+)
+
+// ShockSpec parameterizes one shock process attached to a system.
+type ShockSpec struct {
+	// Rate is the per-month Poisson arrival rate; 0 disables the process.
+	Rate float64 `json:"rate"`
+	// Scale and Shape parameterize the extended-exponential severity
+	// s = Scale·(−ln(1−u))^(1/Shape). Shape 1 is the plain exponential;
+	// Shape > 1 thins the tail, Shape < 1 fattens it.
+	Scale float64 `json:"scale"`
+	Shape float64 `json:"shape"`
+}
+
+func (s *ShockSpec) validate(field string) error {
+	if s == nil {
+		return nil
+	}
+	if s.Rate < 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) {
+		return fmt.Errorf("scenario: %s.rate %g must be finite and non-negative", field, s.Rate)
+	}
+	if s.Rate == 0 {
+		return nil
+	}
+	if !(s.Scale > 0) || math.IsInf(s.Scale, 0) {
+		return fmt.Errorf("scenario: %s.scale %g must be positive and finite", field, s.Scale)
+	}
+	if !(s.Shape > 0) || math.IsInf(s.Shape, 0) {
+		return fmt.Errorf("scenario: %s.shape %g must be positive and finite", field, s.Shape)
+	}
+	return nil
+}
+
+// severity draws one extended-exponential severity.
+func (s *ShockSpec) severity(gen *rng.RNG) float64 {
+	u := gen.Float64Open()
+	return s.Scale * math.Pow(-math.Log(1-u), 1/s.Shape)
+}
+
+// HysteresisSpec puts a two-threshold phase machine on recovery: when
+// the level falls below Trip the system enters a stressed phase in
+// which recovery is multiplied by Damping, and it stays stressed until
+// the level climbs back above Reset (> Trip). The gap between the
+// thresholds is what makes the loop hysteretic rather than a simple
+// level-dependent rate.
+type HysteresisSpec struct {
+	Trip  float64 `json:"trip"`
+	Reset float64 `json:"reset"`
+	// Damping multiplies the recovery rate while stressed (0 freezes
+	// recovery, 1 disables the effect).
+	Damping float64 `json:"damping"`
+}
+
+func (h *HysteresisSpec) validate(field string) error {
+	if h == nil {
+		return nil
+	}
+	if !(h.Trip > 0 && h.Trip < h.Reset && h.Reset <= 1) {
+		return fmt.Errorf("scenario: %s needs 0 < trip < reset <= 1, got trip %g reset %g", field, h.Trip, h.Reset)
+	}
+	if !(h.Damping >= 0 && h.Damping <= 1) {
+		return fmt.Errorf("scenario: %s.damping %g outside [0, 1]", field, h.Damping)
+	}
+	return nil
+}
+
+// SystemSpec describes one node of the coupling graph.
+type SystemSpec struct {
+	// Name identifies the system in couplings and output.
+	Name string `json:"name"`
+	// Shape is the letter class (V, U, W, or L) of the system's
+	// disruption template; it sets decline duration/curvature and the
+	// intrinsic recovery modifier. See dataset.ShapeSpec for the
+	// single-curve analogues.
+	Shape string `json:"shape"`
+	// Depth is the typical fractional drop per disruption; individual
+	// disruptions jitter around it.
+	Depth float64 `json:"depth"`
+	// Noise is the multiplicative observation-noise standard deviation.
+	Noise float64 `json:"noise,omitempty"`
+	// HazardRate is the baseline per-month disruption hazard; coupling
+	// terms add to it.
+	HazardRate float64 `json:"hazard_rate"`
+	// RecoveryRate is the per-month fraction of the gap to the ceiling
+	// recovered, before shape and hysteresis modifiers.
+	RecoveryRate float64 `json:"recovery_rate"`
+	// Hysteresis, when set, dampens recovery in the stressed phase.
+	Hysteresis *HysteresisSpec `json:"hysteresis,omitempty"`
+	// Catastrophic shocks drop the level instantly; Cumulative shocks
+	// accrue damage that lowers the recovery ceiling.
+	Catastrophic *ShockSpec `json:"catastrophic,omitempty"`
+	Cumulative   *ShockSpec `json:"cumulative,omitempty"`
+}
+
+// Coupling is one directed edge: From's degradation feeds To's hazard.
+type Coupling struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Gain scales the hazard contribution Gain·(1 − level_from).
+	Gain float64 `json:"gain"`
+	// Cascade additionally triggers a forced disruption on To in the
+	// step after a disruption arrives on From.
+	Cascade bool `json:"cascade,omitempty"`
+}
+
+// Spec is a complete scenario template: the coupling graph plus the
+// horizon. The same Spec with the same seed always renders the same
+// trajectories.
+type Spec struct {
+	// Name labels the spec in output and presets.
+	Name string `json:"name,omitempty"`
+	// Horizon is the number of monthly observations per system.
+	Horizon int `json:"horizon"`
+	// Systems lists the graph nodes; order is the deterministic RNG
+	// consumption order.
+	Systems []SystemSpec `json:"systems"`
+	// Couplings lists the directed edges.
+	Couplings []Coupling `json:"couplings,omitempty"`
+}
+
+// MaxHorizon and MaxSystems bound a single scenario so a hostile spec
+// cannot make the engine allocate unboundedly.
+const (
+	MaxHorizon = 4096
+	MaxSystems = 64
+)
+
+// Validate checks the spec for structural errors.
+func (sp Spec) Validate() error {
+	if sp.Horizon < 8 {
+		return fmt.Errorf("scenario: horizon %d too short (need >= 8)", sp.Horizon)
+	}
+	if sp.Horizon > MaxHorizon {
+		return fmt.Errorf("scenario: horizon %d exceeds limit %d", sp.Horizon, MaxHorizon)
+	}
+	if len(sp.Systems) == 0 {
+		return fmt.Errorf("scenario: at least one system required")
+	}
+	if len(sp.Systems) > MaxSystems {
+		return fmt.Errorf("scenario: %d systems exceeds limit %d", len(sp.Systems), MaxSystems)
+	}
+	names := make(map[string]bool, len(sp.Systems))
+	for i, sys := range sp.Systems {
+		if sys.Name == "" {
+			return fmt.Errorf("scenario: system %d has no name", i)
+		}
+		if names[sys.Name] {
+			return fmt.Errorf("scenario: duplicate system name %q", sys.Name)
+		}
+		names[sys.Name] = true
+		if _, ok := shapeTemplates[normalizeShape(sys.Shape)]; !ok {
+			return fmt.Errorf("scenario: system %q shape %q unknown (want V, U, W, or L)", sys.Name, sys.Shape)
+		}
+		if !(sys.Depth > 0 && sys.Depth < 1) {
+			return fmt.Errorf("scenario: system %q depth %g outside (0, 1)", sys.Name, sys.Depth)
+		}
+		if sys.Noise < 0 || math.IsNaN(sys.Noise) {
+			return fmt.Errorf("scenario: system %q negative noise", sys.Name)
+		}
+		if sys.HazardRate < 0 || math.IsNaN(sys.HazardRate) || math.IsInf(sys.HazardRate, 0) {
+			return fmt.Errorf("scenario: system %q hazard_rate %g must be finite and non-negative", sys.Name, sys.HazardRate)
+		}
+		if !(sys.RecoveryRate >= 0 && sys.RecoveryRate <= 1) {
+			return fmt.Errorf("scenario: system %q recovery_rate %g outside [0, 1]", sys.Name, sys.RecoveryRate)
+		}
+		prefix := fmt.Sprintf("system %q", sys.Name)
+		if err := sys.Hysteresis.validate(prefix + " hysteresis"); err != nil {
+			return err
+		}
+		if err := sys.Catastrophic.validate(prefix + " catastrophic"); err != nil {
+			return err
+		}
+		if err := sys.Cumulative.validate(prefix + " cumulative"); err != nil {
+			return err
+		}
+	}
+	for i, c := range sp.Couplings {
+		if !names[c.From] || !names[c.To] {
+			return fmt.Errorf("scenario: coupling %d references unknown system (%q -> %q)", i, c.From, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("scenario: coupling %d is a self-loop on %q", i, c.From)
+		}
+		if !(c.Gain >= 0) || math.IsInf(c.Gain, 0) {
+			return fmt.Errorf("scenario: coupling %d gain %g must be finite and non-negative", i, c.Gain)
+		}
+	}
+	return nil
+}
+
+// shapeTemplate sets how a disruption of a given letter class unfolds:
+// decline duration as a fraction of a 12-month reference, Kumaraswamy
+// curvature of the decline path, and a multiplier on the system's
+// recovery rate (L-shaped systems grind back slowly; V-shaped ones
+// bounce).
+type shapeTemplate struct {
+	declineMonths      int
+	declineA, declineB float64
+	recoveryMod        float64
+}
+
+var shapeTemplates = map[string]shapeTemplate{
+	"V": {declineMonths: 3, declineA: 1.3, declineB: 1.1, recoveryMod: 1.0},
+	"U": {declineMonths: 8, declineA: 2.2, declineB: 2.0, recoveryMod: 0.55},
+	"W": {declineMonths: 4, declineA: 1.4, declineB: 1.2, recoveryMod: 0.9},
+	"L": {declineMonths: 3, declineA: 0.9, declineB: 1.0, recoveryMod: 0.3},
+}
+
+func normalizeShape(s string) string {
+	switch s {
+	case "v":
+		return "V"
+	case "u":
+		return "U"
+	case "w":
+		return "W"
+	case "l":
+		return "L"
+	default:
+		return s
+	}
+}
+
+// kumaraswamy is the CDF 1 − (1 − u^a)^b on [0, 1], the same closed-form
+// S-curve family dataset uses for single-curve decline paths.
+func kumaraswamy(u, a, b float64) float64 {
+	switch {
+	case u <= 0:
+		return 0
+	case u >= 1:
+		return 1
+	default:
+		return 1 - math.Pow(1-math.Pow(u, a), b)
+	}
+}
+
+// System is one rendered trajectory plus its bookkeeping.
+type System struct {
+	// Name echoes the spec.
+	Name string `json:"name"`
+	// Class is the shape-class tag: the spec's letter shape, suffixed
+	// with "+shock" when any shock process fired on this system during
+	// the scenario.
+	Class string `json:"class"`
+	// Values is the observed monthly trajectory, 1.0 at t = 0.
+	Values []float64 `json:"values"`
+	// Disruptions counts disruption arrivals (spontaneous + cascaded).
+	Disruptions int `json:"disruptions"`
+	// Shocks counts catastrophic plus cumulative shock arrivals.
+	Shocks int `json:"shocks"`
+}
+
+// Series converts the trajectory to a timeseries (times 0 … Horizon−1).
+func (s System) Series() (*timeseries.Series, error) {
+	return timeseries.FromValues(s.Values)
+}
+
+// Scenario is one rendered multi-system trajectory.
+type Scenario struct {
+	// Index is the scenario's position in its set.
+	Index int `json:"index"`
+	// Seed is the derived per-scenario seed (rng.Derive(setSeed, Index)).
+	Seed uint64 `json:"seed"`
+	// Systems are the trajectories in spec order.
+	Systems []System `json:"systems"`
+}
+
+// disruption is one in-flight decline: it subtracts Kumaraswamy-shaped
+// increments from the level over declineMonths steps, then expires,
+// leaving recovery to pull the level back toward the ceiling.
+type disruption struct {
+	start int
+	depth float64
+	tmpl  shapeTemplate
+}
+
+// levelFloor keeps trajectories strictly positive so downstream log
+// transforms and normalizations stay finite.
+const levelFloor = 0.02
+
+// Generate renders one scenario from the spec and a scenario seed. The
+// caller is responsible for deriving per-scenario seeds (GenerateSet
+// does); identical (spec, seed) always produces identical output.
+func Generate(sp Spec, seed uint64) (Scenario, error) {
+	if err := sp.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	gen := rng.New(seed)
+	n := len(sp.Systems)
+
+	// Per-system simulation state.
+	level := make([]float64, n)   // true performance level
+	ceiling := make([]float64, n) // recovery ceiling (cumulative damage lowers it)
+	stressed := make([]bool, n)
+	shocked := make([]bool, n)
+	forced := make([]bool, n) // cascade-triggered arrival pending this step
+	active := make([][]disruption, n)
+	tmpl := make([]shapeTemplate, n)
+	out := make([]System, n)
+	// incoming[i] lists coupling edges into system i; cascadeTo[i] lists
+	// targets of cascade edges out of i.
+	incoming := make([][]Coupling, n)
+	cascadeTo := make([][]int, n)
+	index := make(map[string]int, n)
+	for i, sys := range sp.Systems {
+		index[sys.Name] = i
+		level[i], ceiling[i] = 1, 1
+		tmpl[i] = shapeTemplates[normalizeShape(sys.Shape)]
+		out[i] = System{Name: sys.Name, Values: make([]float64, sp.Horizon)}
+		out[i].Values[0] = 1
+	}
+	for _, c := range sp.Couplings {
+		incoming[index[c.To]] = append(incoming[index[c.To]], c)
+		if c.Cascade {
+			cascadeTo[index[c.From]] = append(cascadeTo[index[c.From]], index[c.To])
+		}
+	}
+
+	for t := 1; t < sp.Horizon; t++ {
+		// Hazard terms read the previous step's levels so within-step
+		// system order never feeds forward.
+		prev := make([]float64, n)
+		copy(prev, level)
+		nextForced := make([]bool, n)
+
+		for i := range sp.Systems {
+			sys := &sp.Systems[i]
+
+			// 1. Disruption arrival: baseline hazard plus coupled
+			// degradation pressure, or a forced cascade arrival.
+			hazard := sys.HazardRate
+			for _, c := range incoming[i] {
+				hazard += c.Gain * (1 - prev[index[c.From]])
+			}
+			arrived := forced[i]
+			if !arrived && hazard > 0 {
+				arrived = gen.Float64() < 1-math.Exp(-hazard)
+			}
+			if arrived {
+				out[i].Disruptions++
+				depth := sys.Depth * (0.6 + 0.8*gen.Float64())
+				active[i] = append(active[i], disruption{start: t, depth: depth, tmpl: tmpl[i]})
+				for _, j := range cascadeTo[i] {
+					nextForced[j] = true
+				}
+			}
+
+			// 2. Shock processes: catastrophic drops the level now;
+			// cumulative lowers the ceiling for every later recovery.
+			if cs := sys.Catastrophic; cs != nil && cs.Rate > 0 {
+				if gen.Float64() < 1-math.Exp(-cs.Rate) {
+					out[i].Shocks++
+					shocked[i] = true
+					sev := math.Min(cs.severity(gen), 0.9)
+					level[i] *= 1 - sev
+				}
+			}
+			if cu := sys.Cumulative; cu != nil && cu.Rate > 0 {
+				if gen.Float64() < 1-math.Exp(-cu.Rate) {
+					out[i].Shocks++
+					shocked[i] = true
+					ceiling[i] = math.Max(ceiling[i]-cu.severity(gen), levelFloor)
+				}
+			}
+
+			// 3. Active declines subtract their Kumaraswamy increment
+			// for this step and expire when the decline completes.
+			keep := active[i][:0]
+			for _, d := range active[i] {
+				dm := float64(d.tmpl.declineMonths)
+				u0 := (float64(t-1) - float64(d.start) + 1) / dm
+				u1 := (float64(t) - float64(d.start) + 1) / dm
+				level[i] -= d.depth * (kumaraswamy(u1, d.tmpl.declineA, d.tmpl.declineB) -
+					kumaraswamy(math.Max(u0, 0), d.tmpl.declineA, d.tmpl.declineB))
+				if u1 < 1 {
+					keep = append(keep, d)
+				}
+			}
+			active[i] = keep
+
+			// 4. Recovery pulls toward the ceiling, damped by shape and
+			// (while stressed) hysteresis.
+			rate := sys.RecoveryRate * tmpl[i].recoveryMod
+			if stressed[i] && sys.Hysteresis != nil {
+				rate *= sys.Hysteresis.Damping
+			}
+			if gap := ceiling[i] - level[i]; gap > 0 {
+				level[i] += rate * gap
+			} else if gap < 0 {
+				// Above the ceiling (cumulative damage lowered it):
+				// settle down onto it.
+				level[i] = math.Max(ceiling[i], level[i]-0.25*(-gap))
+			}
+			level[i] = math.Max(level[i], levelFloor)
+
+			// 5. Hysteresis phase update.
+			if h := sys.Hysteresis; h != nil {
+				if level[i] < h.Trip {
+					stressed[i] = true
+				} else if level[i] > h.Reset {
+					stressed[i] = false
+				}
+			}
+
+			// 6. Observation: multiplicative noise on the true level;
+			// noise never feeds back into the dynamics.
+			obs := level[i]
+			if sys.Noise > 0 {
+				obs *= 1 + sys.Noise*gen.Normal()
+			}
+			out[i].Values[t] = math.Max(obs, levelFloor)
+		}
+		forced = nextForced
+	}
+
+	for i := range out {
+		out[i].Class = normalizeShape(sp.Systems[i].Shape)
+		if shocked[i] {
+			out[i].Class += "+shock"
+		}
+	}
+	return Scenario{Seed: seed, Systems: out}, nil
+}

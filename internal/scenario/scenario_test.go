@@ -1,0 +1,373 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	valid := func() Spec {
+		sp, err := Preset("pair")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("preset pair rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"short horizon", func(s *Spec) { s.Horizon = 4 }},
+		{"oversized horizon", func(s *Spec) { s.Horizon = MaxHorizon + 1 }},
+		{"no systems", func(s *Spec) { s.Systems = nil }},
+		{"unnamed system", func(s *Spec) { s.Systems[0].Name = "" }},
+		{"duplicate name", func(s *Spec) { s.Systems[1].Name = s.Systems[0].Name }},
+		{"unknown shape", func(s *Spec) { s.Systems[0].Shape = "Z" }},
+		{"bad depth", func(s *Spec) { s.Systems[0].Depth = 1.5 }},
+		{"negative hazard", func(s *Spec) { s.Systems[0].HazardRate = -1 }},
+		{"bad recovery", func(s *Spec) { s.Systems[0].RecoveryRate = 2 }},
+		{"bad hysteresis", func(s *Spec) { s.Systems[1].Hysteresis = &HysteresisSpec{Trip: 0.9, Reset: 0.8} }},
+		{"bad shock scale", func(s *Spec) { s.Systems[0].Catastrophic = &ShockSpec{Rate: 0.1, Scale: -1, Shape: 1} }},
+		{"bad shock shape", func(s *Spec) { s.Systems[0].Catastrophic = &ShockSpec{Rate: 0.1, Scale: 0.1, Shape: 0} }},
+		{"unknown coupling target", func(s *Spec) { s.Couplings[0].To = "nobody" }},
+		{"self coupling", func(s *Spec) { s.Couplings[0].To = s.Couplings[0].From }},
+		{"negative gain", func(s *Spec) { s.Couplings[0].Gain = -1 }},
+	}
+	for _, c := range cases {
+		sp := valid()
+		c.mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", c.name)
+		}
+	}
+}
+
+// TestSetDeterminismHammer is the seeded-determinism gate: the same
+// (spec, count, seed) must render a byte-identical set at every worker
+// count. CI runs the suite with -cpu 1,4 -race, which exercises both
+// GOMAXPROCS settings the acceptance criteria name.
+func TestSetDeterminismHammer(t *testing.T) {
+	for _, preset := range PresetNames() {
+		sp, err := Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const count, seed = 24, 1234
+		var golden []byte
+		for _, workers := range []int{0, 1, 2, 7, count} {
+			set, err := GenerateSet(context.Background(), sp, count, seed, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", preset, workers, err)
+			}
+			var csv, js bytes.Buffer
+			if err := set.WriteCSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if err := set.WriteJSON(&js); err != nil {
+				t.Fatal(err)
+			}
+			blob := append(csv.Bytes(), js.Bytes()...)
+			if golden == nil {
+				golden = blob
+				continue
+			}
+			if !bytes.Equal(golden, blob) {
+				t.Fatalf("%s: workers=%d output differs from workers=0", preset, workers)
+			}
+		}
+	}
+}
+
+// TestGoldenSpecRoundTrip pins the on-disk spec format: the checked-in
+// spec file must parse, validate, survive a marshal/unmarshal cycle
+// unchanged, and render exactly the checked-in golden CSV.
+func TestGoldenSpecRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp Spec
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		t.Fatalf("parse golden spec: %v", err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("golden spec invalid: %v", err)
+	}
+
+	again, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp2 Spec
+	if err := json.Unmarshal(again, &sp2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(sp)
+	b2, _ := json.Marshal(sp2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("spec round-trip drifted:\n%s\n%s", b1, b2)
+	}
+
+	set, err := GenerateSet(context.Background(), sp, 2, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := set.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_set.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("golden set drifted from testdata/golden_set.csv (%d vs %d bytes); the engine's output for a fixed seed changed",
+			got.Len(), len(want))
+	}
+}
+
+// TestRegenGolden rewrites the golden files; guarded so it only runs
+// when explicitly requested (REGEN_GOLDEN=1 go test -run TestRegenGolden).
+func TestRegenGolden(t *testing.T) {
+	if os.Getenv("REGEN_GOLDEN") == "" {
+		t.Skip("set REGEN_GOLDEN=1 to regenerate testdata")
+	}
+	sp, err := Preset("pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join("testdata", "golden_spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sp); err != nil {
+		t.Fatal(err)
+	}
+	set, err := GenerateSet(context.Background(), sp, 2, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Create(filepath.Join("testdata", "golden_set.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := set.WriteCSV(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatastrophicShockDropsLevel(t *testing.T) {
+	sp := Spec{
+		Horizon: 24,
+		Systems: []SystemSpec{{
+			Name: "a", Shape: "V", Depth: 0.05,
+			HazardRate: 0, RecoveryRate: 0,
+			Catastrophic: &ShockSpec{Rate: 5, Scale: 0.3, Shape: 1},
+		}},
+	}
+	sc, err := Generate(sp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sc.Systems[0]
+	if sys.Shocks == 0 {
+		t.Fatal("rate-5 shock process never fired in 24 months")
+	}
+	if !strings.HasSuffix(sys.Class, "+shock") {
+		t.Errorf("shocked system tagged %q", sys.Class)
+	}
+	min := 2.0
+	for _, v := range sys.Values {
+		if v < min {
+			min = v
+		}
+	}
+	if min > 0.8 {
+		t.Errorf("catastrophic shocks with scale 0.3 left min level %g", min)
+	}
+}
+
+func TestCumulativeShockLowersCeiling(t *testing.T) {
+	sp := Spec{
+		Horizon: 48,
+		Systems: []SystemSpec{{
+			Name: "a", Shape: "V", Depth: 0.05,
+			HazardRate: 0, RecoveryRate: 0.9,
+			Cumulative: &ShockSpec{Rate: 1, Scale: 0.05, Shape: 1},
+		}},
+	}
+	sc, err := Generate(sp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sc.Systems[0]
+	if sys.Shocks < 5 {
+		t.Fatalf("rate-1 cumulative process fired only %d times in 48 months", sys.Shocks)
+	}
+	// With no disruptions and aggressive recovery, the level tracks the
+	// ceiling — which only ever decreases.
+	last := sys.Values[len(sys.Values)-1]
+	if last > 0.9 {
+		t.Errorf("accrued cumulative damage should pin the level well below 1, got %g", last)
+	}
+	for i := 1; i < len(sys.Values); i++ {
+		if sys.Values[i] > sys.Values[i-1]+1e-9 {
+			t.Fatalf("level rose at t=%d (%g -> %g) despite a monotone ceiling", i, sys.Values[i-1], sys.Values[i])
+		}
+	}
+}
+
+func TestCascadeForcesDownstreamDisruption(t *testing.T) {
+	base := Spec{
+		Horizon: 60,
+		Systems: []SystemSpec{
+			{Name: "up", Shape: "V", Depth: 0.05, HazardRate: 0.3, RecoveryRate: 0.4},
+			{Name: "down", Shape: "V", Depth: 0.05, HazardRate: 0, RecoveryRate: 0.4},
+		},
+	}
+	// Without a cascade edge the downstream system (hazard 0, no
+	// coupling) never sees a disruption.
+	sc, err := Generate(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Systems[1].Disruptions; got != 0 {
+		t.Fatalf("uncoupled zero-hazard system saw %d disruptions", got)
+	}
+	withEdge := base
+	withEdge.Couplings = []Coupling{{From: "up", To: "down", Gain: 0, Cascade: true}}
+	sc, err = Generate(withEdge, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, down := sc.Systems[0], sc.Systems[1]
+	if up.Disruptions == 0 {
+		t.Fatal("upstream hazard 0.3 never produced a disruption")
+	}
+	if down.Disruptions != up.Disruptions {
+		t.Errorf("cascade edge: downstream %d disruptions, upstream %d", down.Disruptions, up.Disruptions)
+	}
+}
+
+func TestCouplingRaisesHazard(t *testing.T) {
+	// The downstream system has zero baseline hazard; only the coupling
+	// term (gain × upstream degradation) can disrupt it.
+	sp := Spec{
+		Horizon: 96,
+		Systems: []SystemSpec{
+			{Name: "up", Shape: "L", Depth: 0.3, HazardRate: 0.4, RecoveryRate: 0.05},
+			{Name: "down", Shape: "V", Depth: 0.05, HazardRate: 0, RecoveryRate: 0.4},
+		},
+		Couplings: []Coupling{{From: "up", To: "down", Gain: 3}},
+	}
+	sc, err := Generate(sp, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Systems[1].Disruptions == 0 {
+		t.Error("coupled degradation never raised downstream hazard enough to disrupt")
+	}
+}
+
+func TestHysteresisDampsRecovery(t *testing.T) {
+	// Deterministic single dip: forced cascade-free comparison of the
+	// same trajectory with and without hysteresis damping. Drive the
+	// level down with one catastrophic shock at a huge rate for one
+	// step? Simpler: high hazard for disruptions is stochastic, so use
+	// the same seed and compare recoveries — the damped system must sit
+	// at or below the undamped one at every step.
+	base := Spec{
+		Horizon: 48,
+		Systems: []SystemSpec{{
+			Name: "a", Shape: "U", Depth: 0.3, HazardRate: 0.15, RecoveryRate: 0.25,
+		}},
+	}
+	damped := base
+	damped.Systems = []SystemSpec{base.Systems[0]}
+	damped.Systems[0].Hysteresis = &HysteresisSpec{Trip: 0.95, Reset: 0.99, Damping: 0.1}
+
+	free, err := Generate(base, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Generate(damped, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seed and draw order (hysteresis consumes no variates),
+	// so the disruption history matches; damping may only lower levels.
+	sumFree, sumSlow := 0.0, 0.0
+	for i := range free.Systems[0].Values {
+		sumFree += free.Systems[0].Values[i]
+		sumSlow += slow.Systems[0].Values[i]
+	}
+	if !(sumSlow < sumFree) {
+		t.Errorf("hysteresis damping did not slow recovery: damped area %g vs free %g", sumSlow, sumFree)
+	}
+}
+
+func TestGenerateSetBounds(t *testing.T) {
+	sp, _ := Preset("pair")
+	if _, err := GenerateSet(context.Background(), sp, 0, 1, 0); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := GenerateSet(context.Background(), sp, MaxSetCount+1, 1, 0); err == nil {
+		t.Error("oversized count accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateSet(ctx, sp, 50, 1, 0); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		sp, err := Preset(name)
+		if err != nil {
+			t.Errorf("preset %s: %v", name, err)
+			continue
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		if sp.Name != name {
+			t.Errorf("preset %s named %q", name, sp.Name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestSystemSeries(t *testing.T) {
+	sp, _ := Preset("triad")
+	sc, err := Generate(sp, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range sc.Systems {
+		s, err := sys.Series()
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		if s.Len() != sp.Horizon {
+			t.Errorf("%s: series len %d, want %d", sys.Name, s.Len(), sp.Horizon)
+		}
+		if s.Value(0) != 1 {
+			t.Errorf("%s: starts at %g, want 1", sys.Name, s.Value(0))
+		}
+	}
+}

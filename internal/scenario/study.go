@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"resilience/internal/service"
+	"resilience/internal/telemetry"
+	"resilience/internal/timeseries"
+)
+
+// StudyConfig parameterizes a Monte Carlo study: render Scenarios
+// scenarios from Spec, fit every (system trajectory × model) pair
+// through the service's Batch pool, and aggregate empirical CI coverage
+// and model-selection win rates by shape class.
+type StudyConfig struct {
+	// Spec is the scenario template.
+	Spec Spec
+	// Scenarios is the number of scenarios to render (N of the study).
+	Scenarios int
+	// Seed is the top-level seed; it reproduces the entire study.
+	Seed uint64
+	// Models lists the model families to race (registry names/aliases).
+	Models []string
+	// Workers bounds both set generation and the batch pool (<= 0 auto).
+	Workers int
+	// TrainFraction and CIAlpha pass through to the fit pipeline
+	// (0 selects the service defaults: 0.9 and 0.05).
+	TrainFraction float64
+	// CIAlpha is the confidence-interval significance level; coverage is
+	// compared against the 1−CIAlpha nominal level.
+	CIAlpha float64
+}
+
+// ClassStat aggregates one shape class across the study.
+type ClassStat struct {
+	// Class is the shape-class tag (V, U, …, possibly "+shock").
+	Class string
+	// SeriesCount is the number of trajectories in this class.
+	SeriesCount int
+	// MeanEC maps model name to mean empirical coverage over the class's
+	// successful fits.
+	MeanEC map[string]float64
+	// Fits maps model name to the number of successful fits.
+	Fits map[string]int
+	// Wins maps model name to the number of trajectories it won (lowest
+	// PMSE among the models that fit that trajectory).
+	Wins map[string]int
+	// Errors counts fit attempts in this class that returned an error.
+	Errors int
+}
+
+// StudyResult is a completed Monte Carlo study.
+type StudyResult struct {
+	// Models echoes the raced model names in request order.
+	Models []string
+	// Classes holds per-class aggregates, sorted by class tag.
+	Classes []ClassStat
+	// Series is the total number of trajectories fitted.
+	Series int
+	// NominalCoverage is the 1−CIAlpha level MeanEC is judged against.
+	NominalCoverage float64
+}
+
+// RunStudy renders the scenario set and pushes every trajectory × model
+// job through svc.Batch in MaxBatchJobs-sized chunks. Aggregation walks
+// results in job-index order, so the study output is deterministic for
+// a fixed (spec, seed, models) regardless of worker scheduling.
+func RunStudy(ctx context.Context, svc *service.Service, cfg StudyConfig) (*StudyResult, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("scenario: study needs a service")
+	}
+	if cfg.Scenarios <= 0 {
+		return nil, fmt.Errorf("scenario: study needs a positive scenario count, got %d", cfg.Scenarios)
+	}
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("scenario: study needs at least one model")
+	}
+	ctx, span := telemetry.StartSpanCtx(ctx, "scenario.study")
+	defer span.End()
+
+	set, err := GenerateSet(ctx, cfg.Spec, cfg.Scenarios, cfg.Seed, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten trajectories once; each contributes one job per model.
+	type traj struct {
+		class  string
+		series *timeseries.Series
+	}
+	var trajs []traj
+	for _, sc := range set.Scenarios {
+		for _, sys := range sc.Systems {
+			s, err := sys.Series()
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %d/%s: %w", sc.Index, sys.Name, err)
+			}
+			trajs = append(trajs, traj{class: sys.Class, series: s})
+		}
+	}
+
+	alpha := cfg.CIAlpha
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	stats := map[string]*ClassStat{}
+	classStat := func(class string) *ClassStat {
+		cs, ok := stats[class]
+		if !ok {
+			cs = &ClassStat{Class: class,
+				MeanEC: map[string]float64{}, Fits: map[string]int{}, Wins: map[string]int{}}
+			stats[class] = cs
+		}
+		return cs
+	}
+	sumEC := map[string]map[string]float64{} // class -> model -> ΣEC
+
+	// One row of jobs per trajectory (all models side by side), chunked
+	// so each Batch call stays under the per-request job cap. Chunks are
+	// whole trajectories, so a trajectory's fits never straddle a chunk.
+	perTraj := len(cfg.Models)
+	if perTraj > service.MaxBatchJobs {
+		return nil, fmt.Errorf("scenario: %d models exceeds batch capacity %d", perTraj, service.MaxBatchJobs)
+	}
+	trajPerChunk := service.MaxBatchJobs / perTraj
+	for lo := 0; lo < len(trajs); lo += trajPerChunk {
+		hi := min(lo+trajPerChunk, len(trajs))
+		jobs := make([]service.Request, 0, (hi-lo)*perTraj)
+		for _, tr := range trajs[lo:hi] {
+			for _, m := range cfg.Models {
+				jobs = append(jobs, service.Request{
+					Model:         m,
+					Series:        tr.series,
+					TrainFraction: cfg.TrainFraction,
+					CIAlpha:       cfg.CIAlpha,
+				})
+			}
+		}
+		items, err := svc.Batch(ctx, jobs, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: study batch: %w", err)
+		}
+		for ti := lo; ti < hi; ti++ {
+			tr := trajs[ti]
+			cs := classStat(tr.class)
+			cs.SeriesCount++
+			bestModel := ""
+			bestPMSE := 0.0
+			for mi, m := range cfg.Models {
+				item := items[(ti-lo)*perTraj+mi]
+				if item.Err != nil || item.Outcome == nil || item.Outcome.Validation == nil {
+					cs.Errors++
+					continue
+				}
+				v := item.Outcome.Validation
+				cs.Fits[m]++
+				if sumEC[tr.class] == nil {
+					sumEC[tr.class] = map[string]float64{}
+				}
+				sumEC[tr.class][m] += v.EC
+				if bestModel == "" || v.GoF.PMSE < bestPMSE {
+					bestModel, bestPMSE = m, v.GoF.PMSE
+				}
+			}
+			if bestModel != "" {
+				cs.Wins[bestModel]++
+			}
+		}
+	}
+
+	res := &StudyResult{Models: cfg.Models, Series: len(trajs), NominalCoverage: 1 - alpha}
+	for class, cs := range stats {
+		for m, sum := range sumEC[class] {
+			if n := cs.Fits[m]; n > 0 {
+				cs.MeanEC[m] = sum / float64(n)
+			}
+		}
+		res.Classes = append(res.Classes, *cs)
+	}
+	sort.Slice(res.Classes, func(i, j int) bool { return res.Classes[i].Class < res.Classes[j].Class })
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"resilience/internal/service"
+)
+
+func studyConfig(n int) StudyConfig {
+	sp, _ := Preset("pair")
+	return StudyConfig{
+		Spec:      sp,
+		Scenarios: n,
+		Seed:      7,
+		Models:    []string{"quadratic", "competing-risks"},
+	}
+}
+
+func TestRunStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs model fits")
+	}
+	svc := service.New(service.Config{})
+	res, err := RunStudy(context.Background(), svc, studyConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series != 24 { // 12 scenarios × 2 systems
+		t.Errorf("series = %d, want 24", res.Series)
+	}
+	if res.NominalCoverage != 0.95 {
+		t.Errorf("nominal coverage = %g, want 0.95", res.NominalCoverage)
+	}
+	if len(res.Classes) == 0 {
+		t.Fatal("no class aggregates")
+	}
+	total, wins := 0, 0
+	for _, cs := range res.Classes {
+		total += cs.SeriesCount
+		for _, m := range res.Models {
+			wins += cs.Wins[m]
+			if ec := cs.MeanEC[m]; cs.Fits[m] > 0 && !(ec >= 0 && ec <= 1) {
+				t.Errorf("class %s model %s: mean EC %g outside [0, 1]", cs.Class, m, ec)
+			}
+		}
+		if wins > total {
+			t.Errorf("class %s: more wins than series", cs.Class)
+		}
+	}
+	if total != res.Series {
+		t.Errorf("class series sum %d != total %d", total, res.Series)
+	}
+}
+
+// TestRunStudyDeterministic pins the study contract: same config, same
+// aggregates, regardless of batch worker scheduling.
+func TestRunStudyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs model fits")
+	}
+	svc := service.New(service.Config{})
+	cfg := studyConfig(6)
+	a, err := RunStudy(context.Background(), svc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunStudy(context.Background(), svc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("study results differ across worker counts:\n%#v\n%#v", a, b)
+	}
+}
+
+func TestRunStudyValidation(t *testing.T) {
+	svc := service.New(service.Config{})
+	ctx := context.Background()
+	if _, err := RunStudy(ctx, nil, studyConfig(2)); err == nil {
+		t.Error("nil service accepted")
+	}
+	cfg := studyConfig(0)
+	if _, err := RunStudy(ctx, svc, cfg); err == nil {
+		t.Error("zero scenarios accepted")
+	}
+	cfg = studyConfig(2)
+	cfg.Models = nil
+	if _, err := RunStudy(ctx, svc, cfg); err == nil {
+		t.Error("no models accepted")
+	}
+}

@@ -115,6 +115,12 @@ func (h binaryHandler) Exec(ctx context.Context, op string, body any) (int, any)
 		tctx, cancel := h.fitTimeout(ctx)
 		defer cancel()
 		return a.execBatch(tctx, raw)
+	case transport.OpSimulate:
+		raw, aerr := rawBody(ctx, body, maxBodyBytes)
+		if aerr != nil {
+			return aerr.status, aerr.body(ctx)
+		}
+		return a.execSimulate(ctx, raw)
 	case transport.OpModels:
 		return http.StatusOK, modelsPayload()
 	case transport.OpVersion:

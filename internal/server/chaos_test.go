@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -18,6 +17,7 @@ import (
 
 	"resilience/internal/faultinject"
 	"resilience/internal/monitor"
+	"resilience/internal/rng"
 )
 
 // TestChaos hammers a live server with a hostile request mix — valid
@@ -108,7 +108,7 @@ func TestChaos(t *testing.T) {
 				if p.cancelIn > 0 {
 					// Jitter the cancellation point so requests die at
 					// different pipeline stages.
-					jitter := time.Duration(rand.New(rand.NewSource(seed)).Int63n(int64(p.cancelIn)))
+					jitter := time.Duration(rng.New(uint64(seed)).Intn(int(p.cancelIn)))
 					var cancel context.CancelFunc
 					ctx, cancel = context.WithTimeout(ctx, p.cancelIn+jitter)
 					defer cancel()

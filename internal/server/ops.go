@@ -24,6 +24,7 @@ import (
 	"resilience/internal/monitor"
 	"resilience/internal/optimize"
 	"resilience/internal/registry"
+	"resilience/internal/scenario"
 	"resilience/internal/service"
 	"resilience/internal/stream"
 	"resilience/internal/telemetry"
@@ -257,6 +258,69 @@ func (a *api) execBatch(ctx context.Context, raw []byte) (int, any) {
 		}
 	}
 	return http.StatusOK, resp
+}
+
+// maxSimulateObservations bounds one simulate response:
+// count × systems × horizon observations, which keeps the JSON reply in
+// the same size class as a maximal batch reply. Larger studies belong
+// client-side (the CLI study runner streams chunks through batch).
+const maxSimulateObservations = 262_144
+
+// execSimulate renders a deterministic scenario set from an inline spec
+// or a named preset. Generation is seeded and indexed, so the same
+// request body always yields the same reply, on either transport.
+func (a *api) execSimulate(ctx context.Context, raw []byte) (int, any) {
+	var sreq simulateRequestBody
+	if aerr := decodeStrict(raw, &sreq); aerr != nil {
+		return aerr.status, aerr.body(ctx)
+	}
+	if sreq.Spec != nil && sreq.Preset != "" {
+		aerr := badField("preset", "spec and preset are mutually exclusive")
+		return aerr.status, aerr.body(ctx)
+	}
+	spec := scenario.Spec{}
+	if sreq.Spec != nil {
+		spec = *sreq.Spec
+	} else {
+		name := sreq.Preset
+		if name == "" {
+			name = "pair"
+		}
+		var err error
+		if spec, err = scenario.Preset(name); err != nil {
+			aerr := badField("preset", "%s", err.Error())
+			return aerr.status, aerr.body(ctx)
+		}
+	}
+	count := sreq.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < 0 || count > scenario.MaxSetCount {
+		aerr := badField("count", "count %d outside [1, %d]", count, scenario.MaxSetCount)
+		return aerr.status, aerr.body(ctx)
+	}
+	if err := spec.Validate(); err != nil {
+		aerr := badField("spec", "%s", err.Error())
+		return aerr.status, aerr.body(ctx)
+	}
+	if obs := count * len(spec.Systems) * spec.Horizon; obs > maxSimulateObservations {
+		aerr := badField("count", "%d observations (count × systems × horizon) exceeds the per-request limit %d; run larger sets client-side", obs, maxSimulateObservations)
+		return aerr.status, aerr.body(ctx)
+	}
+	set, err := scenario.GenerateSet(ctx, spec, count, sreq.Seed, sreq.Workers)
+	if err != nil {
+		annotateOutcome(ctx, nil, false, err)
+		return errPayload(ctx, http.StatusBadRequest, err)
+	}
+	if meta := metaFrom(ctx); meta != nil {
+		meta.outcome = "ok"
+	}
+	return http.StatusOK, simulateResponse{
+		Count:   len(set.Scenarios),
+		Classes: set.Classes(),
+		Set:     set,
+	}
 }
 
 // buildPredictResponse renders a service predict outcome.

@@ -76,6 +76,7 @@ import (
 	"resilience/internal/monitor"
 	"resilience/internal/optimize"
 	"resilience/internal/registry"
+	"resilience/internal/scenario"
 	"resilience/internal/service"
 	"resilience/internal/stream"
 	"resilience/internal/telemetry"
@@ -263,6 +264,7 @@ func NewApp(cfg Config) *App {
 	mux.HandleFunc("POST /v1/forecast", a.withFitTimeout(a.handleForecast))
 	mux.HandleFunc("POST /v1/intervention", a.withFitTimeout(a.handleIntervention))
 	mux.HandleFunc("POST /v1/batch", a.withFitTimeout(a.handleBatch))
+	mux.HandleFunc("POST /v1/simulate", a.handleSimulate)
 	mux.HandleFunc("POST /v1/sessions", a.handleSessionCreate)
 	mux.HandleFunc("GET /v1/sessions", a.handleSessionList)
 	mux.HandleFunc("GET /v1/sessions/{id}", a.handleSessionGet)
@@ -750,4 +752,34 @@ type batchResponse struct {
 // service's bounded worker pool (see execBatch in ops.go).
 func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
 	execHTTP(maxBatchBodyBytes, a.execBatch)(w, r)
+}
+
+// simulateRequestBody is the /v1/simulate request envelope: an inline
+// scenario spec or a named preset, plus the set size and seed.
+type simulateRequestBody struct {
+	Spec *scenario.Spec `json:"spec,omitempty"`
+	// Preset names a built-in coupled spec; mutually exclusive with
+	// Spec. Empty with no Spec selects "pair".
+	Preset string `json:"preset,omitempty"`
+	// Count is the number of scenarios (0 selects 1).
+	Count int `json:"count,omitempty"`
+	// Seed is the top-level set seed; scenario k derives its own stream
+	// from it.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds generation concurrency; 0 selects
+	// min(count, GOMAXPROCS). Output is identical at any setting.
+	Workers int `json:"workers,omitempty"`
+}
+
+// simulateResponse is the /v1/simulate reply envelope.
+type simulateResponse struct {
+	Count   int      `json:"count"`
+	Classes []string `json:"classes"`
+	*scenario.Set
+}
+
+// handleSimulate renders a deterministic scenario set (see execSimulate
+// in ops.go).
+func (a *api) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	execHTTP(maxBodyBytes, a.execSimulate)(w, r)
 }

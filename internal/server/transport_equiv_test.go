@@ -179,6 +179,13 @@ func TestBinaryHTTPPayloadEquivalence(t *testing.T) {
 				map[string]any{"model": "quadratic", "values": series},
 				map[string]any{"model": "not-a-model", "values": series},
 			}, "workers": 2}},
+		// Simulate is seeded, so both transports must return the exact
+		// same scenario set — decode(binary) == unmarshal(HTTP) bit for
+		// bit after JSON normalization.
+		{"simulate", http.MethodPost, "/v1/simulate", transport.OpSimulate,
+			map[string]any{"preset": "pair", "count": 2, "seed": 42}},
+		{"simulate-bad-preset", http.MethodPost, "/v1/simulate", transport.OpSimulate,
+			map[string]any{"preset": "nope"}},
 		{"models", http.MethodGet, "/v1/models", transport.OpModels, nil},
 		{"version", http.MethodGet, "/v1/version", transport.OpVersion, nil},
 		{"fit-invalid", http.MethodPost, "/v1/fit", transport.OpFit,

@@ -42,6 +42,7 @@ const (
 	OpForecast     = "forecast"
 	OpIntervention = "intervention"
 	OpBatch        = "batch"
+	OpSimulate     = "simulate"
 	OpModels       = "models"
 	OpVersion      = "version"
 	OpStats        = "stats"
@@ -62,8 +63,8 @@ const (
 // keep per-op metric labels bounded against hostile frames.
 var knownOps = map[string]bool{
 	OpFit: true, OpPredict: true, OpMetrics: true, OpForecast: true,
-	OpIntervention: true, OpBatch: true, OpModels: true, OpVersion: true,
-	OpStats: true, OpSessionCreate: true, OpSessionList: true,
+	OpIntervention: true, OpBatch: true, OpSimulate: true, OpModels: true,
+	OpVersion: true, OpStats: true, OpSessionCreate: true, OpSessionList: true,
 	OpSessionGet: true, OpSessionDelete: true, OpSessionObserve: true,
 	OpSessionSubscribe: true,
 }

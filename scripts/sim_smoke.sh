@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Scenario-engine smoke: the end-to-end gate for `resil simulate` and
+# the Monte Carlo study pipeline.
+#
+#   1. Determinism: the same seed renders a byte-identical scenario set
+#      twice in a row AND at GOMAXPROCS=1 vs 4 — the engine's replay
+#      contract, checked on the real binary.
+#   2. Study: an N-scenario coupled study (default 1000) runs through
+#      the service Batch() pool and must emit non-empty CI-coverage and
+#      win-rate-by-shape-class tables, and reproduce exactly on a
+#      second run with the same seed.
+#   3. API + telemetry: POST /v1/simulate on a live server answers with
+#      scenarios, and the /metrics exposition passes metrics_lint with
+#      the resil_scenario_* families present.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${RESIL_SMOKE_PORT:-18127}"
+BASE="http://localhost:${PORT}"
+WORK="${RESIL_SMOKE_DIR:-$(mktemp -d)}"
+SCENARIOS="${SIM_SCENARIOS:-1000}"
+MODELS="${SIM_MODELS:-quadratic,competing-risks}"
+SEED="${SIM_SEED:-7}"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> building resil and resil-server"
+go build -o "$WORK/resil" ./cmd/resil
+go build -o "$WORK/resil-server" ./cmd/resil-server
+
+echo "==> determinism: same seed twice, and GOMAXPROCS 1 vs 4"
+"$WORK/resil" simulate -preset triad -n 16 -seed "$SEED" -format csv -o "$WORK/set_a.csv" 2>/dev/null
+"$WORK/resil" simulate -preset triad -n 16 -seed "$SEED" -format csv -o "$WORK/set_b.csv" 2>/dev/null
+cmp "$WORK/set_a.csv" "$WORK/set_b.csv" || { echo "sim_smoke: FAIL same-seed reruns differ" >&2; exit 1; }
+GOMAXPROCS=1 "$WORK/resil" simulate -preset triad -n 16 -seed "$SEED" -format csv -o "$WORK/set_p1.csv" 2>/dev/null
+GOMAXPROCS=4 "$WORK/resil" simulate -preset triad -n 16 -seed "$SEED" -format csv -o "$WORK/set_p4.csv" 2>/dev/null
+cmp "$WORK/set_p1.csv" "$WORK/set_p4.csv" || { echo "sim_smoke: FAIL GOMAXPROCS 1 vs 4 differ" >&2; exit 1; }
+cmp "$WORK/set_a.csv" "$WORK/set_p1.csv" || { echo "sim_smoke: FAIL parallel vs baseline differ" >&2; exit 1; }
+[ "$(wc -l < "$WORK/set_a.csv")" -gt 1 ] || { echo "sim_smoke: FAIL empty scenario set" >&2; exit 1; }
+echo "    byte-identical across reruns and core counts"
+
+echo "==> Monte Carlo study: $SCENARIOS scenarios through Batch() ($MODELS)"
+"$WORK/resil" simulate -study -preset pair -n "$SCENARIOS" -seed "$SEED" -models "$MODELS" \
+  > "$WORK/study_a.txt"
+grep -q "Empirical CI coverage by shape class" "$WORK/study_a.txt" \
+  || { echo "sim_smoke: FAIL no coverage table" >&2; cat "$WORK/study_a.txt" >&2; exit 1; }
+grep -q "Model-selection win rate by shape class" "$WORK/study_a.txt" \
+  || { echo "sim_smoke: FAIL no win-rate table" >&2; exit 1; }
+# Non-empty means actual class rows under the headers: at least one
+# line starting with a letter-shape tag and a percentage on it.
+grep -Eq '^[VUWL][^ ]* +[0-9]+ .*%' "$WORK/study_a.txt" \
+  || { echo "sim_smoke: FAIL tables have no class rows" >&2; cat "$WORK/study_a.txt" >&2; exit 1; }
+
+echo "==> study determinism: same seed reproduces the same tables"
+"$WORK/resil" simulate -study -preset pair -n "$SCENARIOS" -seed "$SEED" -models "$MODELS" \
+  > "$WORK/study_b.txt"
+cmp "$WORK/study_a.txt" "$WORK/study_b.txt" || { echo "sim_smoke: FAIL study reruns differ" >&2; exit 1; }
+
+echo "==> live server: POST /v1/simulate + scenario telemetry"
+"$WORK/resil-server" -addr ":$PORT" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+curl -fsS -X POST "$BASE/v1/simulate" \
+  -H 'Content-Type: application/json' \
+  -d "{\"preset\":\"pair\",\"count\":4,\"seed\":$SEED}" > "$WORK/simulate.json"
+grep -q '"scenarios"' "$WORK/simulate.json" || { echo "sim_smoke: FAIL /v1/simulate reply has no scenarios" >&2; exit 1; }
+grep -q '"classes"' "$WORK/simulate.json" || { echo "sim_smoke: FAIL /v1/simulate reply has no classes" >&2; exit 1; }
+
+curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
+REQUIRE_FAMILIES="resil_scenario_generated_total resil_scenario_shocks_total resil_scenario_generation_duration_seconds" \
+  bash scripts/metrics_lint.sh "$WORK/metrics.txt"
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "sim_smoke: OK ($SCENARIOS scenarios, seed $SEED)"
